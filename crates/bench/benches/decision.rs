@@ -1,0 +1,72 @@
+//! Microbenchmarks behind Table VI: per-decision latency and per-update
+//! cost of each PAMDP learner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decision::{
+    Action, AgentConfig, AugmentedState, BpDqn, LaneBehaviour, PDdpg, PDqn, PQp, PamdpAgent,
+    Transition,
+};
+
+fn act_latency(c: &mut Criterion) {
+    let cfg = AgentConfig::default();
+    let state = AugmentedState::zeros();
+    let mut group = c.benchmark_group("act_latency");
+    let mut agents: Vec<Box<dyn PamdpAgent>> = vec![
+        Box::new(PQp::new(cfg)),
+        Box::new(PDdpg::new(cfg)),
+        Box::new(PDqn::new(cfg)),
+        Box::new(BpDqn::new(cfg)),
+    ];
+    for agent in agents.iter_mut() {
+        group.bench_function(agent.name(), |b| {
+            b.iter(|| std::hint::black_box(agent.act(&state, false)))
+        });
+    }
+    group.finish();
+}
+
+fn learn_step(c: &mut Criterion) {
+    let cfg = AgentConfig { warmup: 64, batch_size: 64, ..AgentConfig::default() };
+    let mut group = c.benchmark_group("learn_step");
+    group.sample_size(10);
+    let mut agents: Vec<Box<dyn PamdpAgent>> = vec![
+        Box::new(PQp::new(cfg)),
+        Box::new(PDdpg::new(cfg)),
+        Box::new(PDqn::new(cfg)),
+        Box::new(BpDqn::new(cfg)),
+    ];
+    for agent in agents.iter_mut() {
+        for i in 0..256 {
+            agent.observe(Transition {
+                state: AugmentedState::zeros(),
+                action: Action { behaviour: LaneBehaviour::Keep, accel: (i % 5) as f64 - 2.0 },
+                params: [0.0; 6],
+                reward: (i % 7) as f64 * 0.1,
+                next_state: AugmentedState::zeros(),
+                terminal: i % 50 == 49,
+            });
+        }
+        let name = agent.name().to_string();
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                agent.observe(Transition {
+                    state: AugmentedState::zeros(),
+                    action: Action { behaviour: LaneBehaviour::Keep, accel: 0.0 },
+                    params: [0.0; 6],
+                    reward: 0.1,
+                    next_state: AugmentedState::zeros(),
+                    terminal: false,
+                });
+                std::hint::black_box(agent.learn())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = act_latency, learn_step
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end environment-step benchmark: the full Fig. 1 loop (simulate →
+//! sense → phantom construction → graph → predict → reward) per step, for
+//! both perception modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decision::{Action, LaneBehaviour};
+use head::{EnvConfig, HighwayEnv, PerceptionMode, Terminal};
+use perception::{LstGat, LstGatConfig, Normalizer};
+
+fn env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_step");
+    group.sample_size(20);
+    let action = Action { behaviour: LaneBehaviour::Keep, accel: 0.5 };
+
+    let mut env = HighwayEnv::new(EnvConfig::bench_scale(), PerceptionMode::Persistence);
+    group.bench_function("persistence_perception", |b| {
+        b.iter(|| {
+            if env.step(action).terminal != Terminal::None {
+                env.reset();
+            }
+        })
+    });
+
+    let model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+    let mut env =
+        HighwayEnv::new(EnvConfig::bench_scale(), PerceptionMode::LstGat(Box::new(model)));
+    group.bench_function("lstgat_perception", |b| {
+        b.iter(|| {
+            if env.step(action).terminal != Terminal::None {
+                env.reset();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = env_step
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmarks behind Table IV: per-call inference latency of each
+//! state predictor (LST-GAT's single parallel pass vs the baselines'
+//! per-vehicle loops) and phantom/graph construction cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::{generate_samples, CorpusConfig};
+use perception::{
+    EdLstm, EdLstmConfig, GasLed, GasLedConfig, LstGat, LstGatConfig, LstmMlp, LstmMlpConfig,
+    Normalizer, StatePredictor,
+};
+
+fn predictors(c: &mut Criterion) {
+    let samples = generate_samples(&CorpusConfig {
+        windows: 4,
+        egos_per_window: 2,
+        warmup_steps: 40,
+        ..CorpusConfig::default()
+    });
+    let graph = &samples[0].graph;
+    let norm = Normalizer::paper_default();
+    let mut group = c.benchmark_group("predict_one_step");
+    let lst_gat = LstGat::new(LstGatConfig::default(), norm);
+    group.bench_function("LST-GAT", |b| b.iter(|| std::hint::black_box(lst_gat.predict(graph))));
+    let lstm_mlp = LstmMlp::new(LstmMlpConfig::default(), norm);
+    group.bench_function("LSTM-MLP", |b| b.iter(|| std::hint::black_box(lstm_mlp.predict(graph))));
+    let ed = EdLstm::new(EdLstmConfig::default(), norm);
+    group.bench_function("ED-LSTM", |b| b.iter(|| std::hint::black_box(ed.predict(graph))));
+    let gas = GasLed::new(GasLedConfig::default(), norm);
+    group.bench_function("GAS-LED", |b| b.iter(|| std::hint::black_box(gas.predict(graph))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = predictors
+}
+criterion_main!(benches);

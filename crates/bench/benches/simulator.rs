@@ -1,0 +1,56 @@
+//! Microbenchmarks for the traffic-simulator substrate: per-step cost as a
+//! function of vehicle count (supports the end-to-end wall-clock numbers
+//! in EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traffic_sim::{SimConfig, Simulation};
+
+fn sim_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    for density in [60.0, 120.0, 180.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(density as u64),
+            &density,
+            |b, &density| {
+                let mut sim = Simulation::new(SimConfig {
+                    road_len: 1000.0,
+                    density_per_km: density,
+                    seed: 1,
+                    ..SimConfig::default()
+                });
+                sim.populate();
+                sim.warm_up(50);
+                b.iter(|| std::hint::black_box(sim.step()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn sensor_sweep(c: &mut Criterion) {
+    use sensor::{sense, SensorConfig};
+    let mut sim = Simulation::new(SimConfig {
+        road_len: 1000.0,
+        density_per_km: 180.0,
+        seed: 2,
+        ..SimConfig::default()
+    });
+    sim.populate();
+    sim.warm_up(50);
+    let ego = sim.spawn_external(2, 500.0, 20.0);
+    let cfg = SensorConfig::default();
+    c.bench_function("sensor_sweep_occlusion", |b| {
+        b.iter(|| std::hint::black_box(sense(&sim, ego, &cfg)))
+    });
+    let no_occ = SensorConfig { occlusion: false, ..cfg };
+    c.bench_function("sensor_sweep_range_only", |b| {
+        b.iter(|| std::hint::black_box(sense(&sim, ego, &no_occ)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sim_step, sensor_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates Table 1 of the paper. Usage:
+//! `cargo run -p bench --bin table1 --release -- [--scale smoke|bench|paper]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = head::experiments::run_table1(&scale);
+    println!("{report}");
+    bench::maybe_write_json(&report);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Tables III & IV (state-predictor accuracy and efficiency).
+//! Usage: `cargo run -p bench --bin table3_4 --release -- [--scale ...]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = head::experiments::run_tables_3_4(&scale);
+    println!("{report}");
+    bench::maybe_write_json(&report);
+}

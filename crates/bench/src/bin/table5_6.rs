@@ -1,0 +1,9 @@
+//! Regenerates Tables V & VI (PAMDP learner effectiveness and efficiency).
+//! Usage: `cargo run -p bench --bin table5_6 --release -- [--scale ...]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = head::experiments::run_tables_5_6(&scale);
+    println!("{report}");
+    bench::maybe_write_json(&report);
+}

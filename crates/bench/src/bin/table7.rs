@@ -1,0 +1,9 @@
+//! Regenerates Table 7 of the paper. Usage:
+//! `cargo run -p bench --bin table7 --release -- [--scale smoke|bench|paper]`
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let report = head::experiments::run_table7(&scale);
+    println!("{report}");
+    bench::maybe_write_json(&report);
+}

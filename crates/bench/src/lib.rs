@@ -1,0 +1,39 @@
+//! Shared helpers for the table-regeneration binaries.
+
+use head::experiments::Scale;
+
+/// Parses the common CLI flags of the table binaries:
+/// `--scale smoke|bench|paper` (default `bench`) and
+/// `--episodes N` / `--eval N` overrides.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = match flag_value(&args, "--scale").as_deref() {
+        Some("smoke") => Scale::smoke(),
+        Some("paper") => Scale::paper(),
+        _ => Scale::bench(),
+    };
+    if let Some(n) = flag_value(&args, "--episodes").and_then(|v| v.parse().ok()) {
+        scale.train_episodes = n;
+    }
+    if let Some(n) = flag_value(&args, "--eval").and_then(|v| v.parse().ok()) {
+        scale.eval_episodes = n;
+    }
+    if let Some(n) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+        scale.env.seed = n;
+    }
+    scale
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Writes a report JSON next to stdout output when `--json PATH` is given.
+pub fn maybe_write_json<T: serde::Serialize>(report: &T) {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = flag_value(&args, "--json") {
+        let json = serde_json::to_string_pretty(report).expect("serialisable report");
+        std::fs::write(&path, json).expect("writable json path");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,288 @@
+//! # dataset — the synthetic REAL corpus
+//!
+//! The paper trains its state predictors on **REAL**, a merge of the NGSIM
+//! US-101 and I-80 recordings: conventional-vehicle trajectories on a
+//! 1.14 km six-lane highway segment, resampled to 0.5 s. Those recordings
+//! are not redistributable here, so this crate generates the closest
+//! synthetic equivalent (see DESIGN.md §3): trajectories produced by the
+//! `traffic-sim` substrate with *heterogeneous* driver parameters on a road
+//! of the same shape. Like NGSIM, the corpus contains naturalistic
+//! car-following and lane-change interactions; like the paper, samples are
+//! extracted ego-centrically (a randomly chosen conventional vehicle plays
+//! the observer) through the simulated sensor, including its range and
+//! occlusion limitations, and split 4:1 into train/test.
+
+use perception::{relative_truth, BuilderConfig, GraphBuilder, RawState, TrainSample, NUM_TARGETS};
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use sensor::{sense, SensorConfig, SensorHistory};
+use serde::{Deserialize, Serialize};
+use traffic_sim::{SimConfig, Simulation, VehicleId};
+
+/// Corpus-generation options.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Road length, m (the NGSIM segment is 1.14 km).
+    pub road_len: f64,
+    /// Number of lanes.
+    pub lanes: usize,
+    /// Traffic density over the whole road, veh/km.
+    pub density_per_km: f64,
+    /// Warm-up steps before recording starts.
+    pub warmup_steps: usize,
+    /// Number of recording windows.
+    pub windows: usize,
+    /// Ego perspectives extracted per window.
+    pub egos_per_window: usize,
+    /// Plain simulation steps between windows (decorrelates samples).
+    pub gap_steps: usize,
+    /// History depth `z`.
+    pub z: usize,
+    /// Sensor detection radius, m.
+    pub sensor_range: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            road_len: 1140.0,
+            lanes: 6,
+            density_per_km: 180.0,
+            warmup_steps: 120,
+            windows: 100,
+            egos_per_window: 4,
+            gap_steps: 3,
+            z: 5,
+            sensor_range: 100.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated corpus, already split 4:1 (the paper's ratio).
+#[derive(Clone, Debug)]
+pub struct RealCorpus {
+    /// Training samples.
+    pub train: Vec<TrainSample>,
+    /// Held-out test samples.
+    pub test: Vec<TrainSample>,
+}
+
+impl RealCorpus {
+    /// Generates the corpus.
+    pub fn generate(cfg: &CorpusConfig) -> Self {
+        let samples = generate_samples(cfg);
+        split(samples, 0.8, cfg.seed ^ 0x5eed)
+    }
+}
+
+/// Generates raw (unsplit) samples.
+pub fn generate_samples(cfg: &CorpusConfig) -> Vec<TrainSample> {
+    let sim_cfg = SimConfig {
+        lanes: cfg.lanes,
+        road_len: cfg.road_len,
+        density_per_km: cfg.density_per_km,
+        seed: cfg.seed,
+        ..SimConfig::default()
+    };
+    let dt = sim_cfg.dt;
+    let lane_width = sim_cfg.lane_width;
+    let builder = GraphBuilder::new(BuilderConfig {
+        lanes: cfg.lanes,
+        lane_width,
+        range: cfg.sensor_range,
+        dt,
+        z: cfg.z,
+        phantoms_enabled: true,
+    });
+    let sensor_cfg = SensorConfig { range: cfg.sensor_range, ..SensorConfig::default() };
+
+    let mut sim = Simulation::new(sim_cfg);
+    sim.populate();
+    sim.warm_up(cfg.warmup_steps);
+
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9));
+    let mut out = Vec::with_capacity(cfg.windows * cfg.egos_per_window);
+
+    for _ in 0..cfg.windows {
+        // Pick ego perspectives away from the road ends so neighbourhoods
+        // are well populated throughout the window.
+        let candidates: Vec<VehicleId> = sim
+            .vehicles()
+            .iter()
+            .filter(|v| v.pos > 150.0 && v.pos < cfg.road_len - 150.0)
+            .map(|v| v.id)
+            .collect();
+        if candidates.is_empty() {
+            sim.warm_up(cfg.gap_steps.max(1));
+            continue;
+        }
+        let egos: Vec<VehicleId> = candidates
+            .choose_multiple(&mut rng, cfg.egos_per_window.min(candidates.len()))
+            .copied()
+            .collect();
+
+        let mut histories: Vec<(VehicleId, SensorHistory)> =
+            egos.iter().map(|&id| (id, SensorHistory::new(cfg.z))).collect();
+
+        // Record z frames.
+        let mut alive = true;
+        for _ in 0..cfg.z {
+            for (id, history) in &mut histories {
+                if sim.get(*id).is_some() {
+                    history.push(sense(&sim, *id, &sensor_cfg));
+                } else {
+                    alive = false;
+                }
+            }
+            sim.step();
+            if !alive {
+                break;
+            }
+        }
+        if !alive {
+            continue;
+        }
+
+        // Build graphs at t, then read the t+1 ground truth directly from
+        // the simulator (which, unlike the sensor, always knows the truth).
+        for (id, history) in &histories {
+            if !history.is_full() || sim.get(*id).is_none() {
+                continue;
+            }
+            let graph = builder.build(history);
+            let ego_now = graph.ego_latest;
+            let mut truth = [[0.0; 3]; NUM_TARGETS];
+            let mut complete = true;
+            for (i, t) in truth.iter_mut().enumerate() {
+                if let Some(target_id) = graph.target_id(i) {
+                    match sim.get(target_id) {
+                        Some(v) => {
+                            let next = RawState {
+                                lat: v.lane as f64 + 1.0,
+                                lon: v.pos,
+                                vel: v.vel,
+                            };
+                            *t = relative_truth(&next, &ego_now, lane_width);
+                        }
+                        None => {
+                            // The target left the road between t and t+1 —
+                            // the sample has no complete label.
+                            complete = false;
+                        }
+                    }
+                }
+            }
+            if complete {
+                out.push(TrainSample { graph, truth });
+            }
+        }
+
+        sim.warm_up(cfg.gap_steps);
+    }
+    out
+}
+
+/// Splits samples into (train, test) with `train_fraction` in train.
+pub fn split(mut samples: Vec<TrainSample>, train_fraction: f64, seed: u64) -> RealCorpus {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    samples.shuffle(&mut rng);
+    let cut = ((samples.len() as f64) * train_fraction).round() as usize;
+    let test = samples.split_off(cut.min(samples.len()));
+    RealCorpus { train: samples, test }
+}
+
+/// Quick corpus statistics used in reports and sanity tests.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Total samples.
+    pub samples: usize,
+    /// Mean real (non-phantom) targets per sample.
+    pub mean_real_targets: f64,
+    /// Fraction of samples containing at least one phantom target.
+    pub phantom_fraction: f64,
+}
+
+/// Computes [`CorpusStats`] for a sample set.
+pub fn stats(samples: &[TrainSample]) -> CorpusStats {
+    if samples.is_empty() {
+        return CorpusStats::default();
+    }
+    let mut real = 0usize;
+    let mut with_phantom = 0usize;
+    for s in samples {
+        let r = (0..NUM_TARGETS).filter(|&i| !s.graph.target_is_phantom(i)).count();
+        real += r;
+        if r < NUM_TARGETS {
+            with_phantom += 1;
+        }
+    }
+    CorpusStats {
+        samples: samples.len(),
+        mean_real_targets: real as f64 / samples.len() as f64,
+        phantom_fraction: with_phantom as f64 / samples.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(seed: u64) -> CorpusConfig {
+        CorpusConfig { windows: 12, egos_per_window: 3, warmup_steps: 60, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_labelled_samples() {
+        let samples = generate_samples(&small_cfg(1));
+        assert!(samples.len() >= 20, "expected a usable corpus, got {}", samples.len());
+        for s in &samples {
+            assert_eq!(s.graph.depth(), 5);
+            for i in 0..NUM_TARGETS {
+                if !s.graph.target_is_phantom(i) {
+                    // Real targets must have plausible labels: within sensor
+                    // range plus one step of motion.
+                    assert!(s.truth[i][1].abs() < 150.0, "d_lon label {}", s.truth[i][1]);
+                    assert!(s.truth[i][2].abs() < 30.0, "v_rel label {}", s.truth[i][2]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let a = generate_samples(&small_cfg(7));
+        let b = generate_samples(&small_cfg(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.truth, y.truth);
+        }
+        let c = generate_samples(&small_cfg(8));
+        assert!(a.len() != c.len() || a.iter().zip(&c).any(|(x, y)| x.truth != y.truth));
+    }
+
+    #[test]
+    fn split_ratio_respected() {
+        let samples = generate_samples(&small_cfg(2));
+        let n = samples.len();
+        let corpus = split(samples, 0.8, 3);
+        assert_eq!(corpus.train.len() + corpus.test.len(), n);
+        let ratio = corpus.train.len() as f64 / n as f64;
+        assert!((ratio - 0.8).abs() < 0.05, "split ratio {ratio}");
+    }
+
+    #[test]
+    fn stats_reflect_sensor_limits() {
+        let samples = generate_samples(&small_cfg(4));
+        let st = stats(&samples);
+        assert_eq!(st.samples, samples.len());
+        assert!(st.mean_real_targets > 1.0, "dense traffic should surround egos");
+        assert!(st.mean_real_targets <= 6.0);
+        // With occlusion and range limits, some neighbourhoods are always
+        // incomplete.
+        assert!(st.phantom_fraction > 0.0);
+    }
+}

@@ -1,0 +1,430 @@
+//! BP-DQN — Branched Parameterized Deep Q-Network (the paper's maneuver
+//! decision model, §IV-B, Fig. 6, Eqs. 24–27).
+//!
+//! Both the deterministic parameter network `x` and the value network `Q`
+//! process the current-state block `hᵗ` and the predicted-future block
+//! `f̂ᵗ⁺¹` in **separate computational branches** before merging — avoiding
+//! the erroneous weight sharing between differently-scaled inputs that the
+//! vanilla P-DQN trunk suffers from. Optimisation follows the P-DQN
+//! paradigm (Eqs. 21–23) with target networks and Polyak soft updates.
+
+use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::pamdp::{
+    Action, AugmentedState, LaneBehaviour, CURRENT_ROWS, FUTURE_ROWS, NUM_BEHAVIOURS,
+};
+use crate::replay::{ReplayBuffer, Transition};
+use nn::{Adam, Graph, Linear, Matrix, ParamStore, Var};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// The branched x-network (Eqs. 24–25): per-vehicle branch encodings are
+/// squeezed to one scalar per vehicle, concatenated (7 + 6 = 13) and mapped
+/// to one acceleration per discrete behaviour, bounded by `a'·tanh`.
+struct BranchedX {
+    phi5: Linear,
+    phi6: Linear,
+    phi7: Linear,
+    phi8: Linear,
+    phi9: Linear,
+}
+
+impl BranchedX {
+    fn new(store: &mut ParamStore, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            phi5: Linear::new(store, "x.phi5", 4, hidden, rng),
+            phi6: Linear::new(store, "x.phi6", hidden, 1, rng),
+            phi7: Linear::new(store, "x.phi7", 4, hidden, rng),
+            phi8: Linear::new(store, "x.phi8", hidden, 1, rng),
+            phi9: Linear::new(store, "x.phi9", CURRENT_ROWS + FUTURE_ROWS, NUM_BEHAVIOURS, rng),
+        }
+    }
+
+    /// `cur` is `(B*7) x 4`, `fut` is `(B*6) x 4`; returns `B x 3`.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        cur: Var,
+        fut: Var,
+        batch: usize,
+        a_max: f32,
+        trainable: bool,
+    ) -> Var {
+        let branch = |g: &mut Graph, l1: &Linear, l2: &Linear, x: Var, rows: usize| {
+            let h = if trainable { l1.forward(g, store, x) } else { l1.forward_frozen(g, store, x) };
+            let h = g.relu(h);
+            let h = if trainable { l2.forward(g, store, h) } else { l2.forward_frozen(g, store, h) };
+            let h = g.relu(h);
+            g.reshape(h, batch, rows)
+        };
+        let hc = branch(g, &self.phi5, &self.phi6, cur, CURRENT_ROWS);
+        let hf = branch(g, &self.phi7, &self.phi8, fut, FUTURE_ROWS);
+        let cat = g.concat_cols(hc, hf);
+        let out = if trainable {
+            self.phi9.forward(g, store, cat)
+        } else {
+            self.phi9.forward_frozen(g, store, cat)
+        };
+        let t = g.tanh(out);
+        g.scale(t, a_max)
+    }
+}
+
+/// The branched Q-network (Eqs. 26–27): three branches (current block,
+/// future block, action-parameters) merged into three Q-values.
+struct BranchedQ {
+    phi10: Linear,
+    phi11: Linear,
+    phi12: Linear,
+    phi13: Linear,
+    phi14: Linear,
+    phi15: Linear,
+    phi16: Linear,
+}
+
+impl BranchedQ {
+    fn new(store: &mut ParamStore, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            phi10: Linear::new(store, "q.phi10", 4, hidden, rng),
+            phi11: Linear::new(store, "q.phi11", hidden, 1, rng),
+            phi12: Linear::new(store, "q.phi12", 4, hidden, rng),
+            phi13: Linear::new(store, "q.phi13", hidden, 1, rng),
+            phi14: Linear::new(store, "q.phi14", NUM_BEHAVIOURS, hidden, rng),
+            phi15: Linear::new(store, "q.phi15", hidden, NUM_BEHAVIOURS, rng),
+            phi16: Linear::new(
+                store,
+                "q.phi16",
+                CURRENT_ROWS + FUTURE_ROWS + NUM_BEHAVIOURS,
+                NUM_BEHAVIOURS,
+                rng,
+            ),
+        }
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        cur: Var,
+        fut: Var,
+        x_out: Var,
+        batch: usize,
+        trainable: bool,
+    ) -> Var {
+        let branch = |g: &mut Graph, l1: &Linear, l2: &Linear, x: Var, rows: Option<usize>| {
+            let h = if trainable { l1.forward(g, store, x) } else { l1.forward_frozen(g, store, x) };
+            let h = g.relu(h);
+            let h = if trainable { l2.forward(g, store, h) } else { l2.forward_frozen(g, store, h) };
+            let h = g.relu(h);
+            match rows {
+                Some(r) => g.reshape(h, batch, r),
+                None => h,
+            }
+        };
+        let hc = branch(g, &self.phi10, &self.phi11, cur, Some(CURRENT_ROWS));
+        let hf = branch(g, &self.phi12, &self.phi13, fut, Some(FUTURE_ROWS));
+        let hx = branch(g, &self.phi14, &self.phi15, x_out, None);
+        let cat = g.concat_cols(hc, hf);
+        let cat = g.concat_cols(cat, hx);
+        if trainable {
+            self.phi16.forward(g, store, cat)
+        } else {
+            self.phi16.forward_frozen(g, store, cat)
+        }
+    }
+}
+
+/// The BP-DQN learner.
+pub struct BpDqn {
+    cfg: AgentConfig,
+    x_store: ParamStore,
+    x_net: BranchedX,
+    q_store: ParamStore,
+    q_net: BranchedQ,
+    x_target: ParamStore,
+    q_target: ParamStore,
+    adam_x: Adam,
+    adam_q: Adam,
+    replay: ReplayBuffer,
+    rng: ChaCha12Rng,
+    act_steps: usize,
+    observed: usize,
+    since_learn: usize,
+}
+
+impl BpDqn {
+    /// Builds a freshly initialised learner.
+    pub fn new(cfg: AgentConfig) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let mut x_store = ParamStore::new();
+        let x_net = BranchedX::new(&mut x_store, cfg.hidden, &mut rng);
+        let mut q_store = ParamStore::new();
+        let q_net = BranchedQ::new(&mut q_store, cfg.hidden, &mut rng);
+        let x_target = x_store.clone();
+        let q_target = q_store.clone();
+        Self {
+            adam_x: Adam::new(cfg.lr),
+            adam_q: Adam::new(cfg.lr),
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            rng,
+            act_steps: 0,
+            observed: 0,
+            since_learn: 0,
+            cfg,
+            x_store,
+            x_net,
+            q_store,
+            q_net,
+            x_target,
+            q_target,
+        }
+    }
+
+    /// Greedy parameters and Q-values for one state.
+    fn evaluate_state(&self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
+        let mut g = Graph::new();
+        let cur = g.input(self.cfg.scale.current_batch(&[state]));
+        let fut = g.input(self.cfg.scale.future_batch(&[state]));
+        let x = self.x_net.forward(
+            &mut g,
+            &self.x_store,
+            cur,
+            fut,
+            1,
+            self.cfg.a_max as f32,
+            false,
+        );
+        let q = self.q_net.forward(&mut g, &self.q_store, cur, fut, x, 1, false);
+        let xr = g.value(x).row_slice(0);
+        let qr = g.value(q).row_slice(0);
+        ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]])
+    }
+}
+
+impl PamdpAgent for BpDqn {
+    fn name(&self) -> &'static str {
+        "BP-DQN"
+    }
+
+    fn act(&mut self, state: &AugmentedState, explore: bool) -> (Action, [f32; 6]) {
+        let (mut params, q) = self.evaluate_state(state);
+        let mut chosen = argmax(&q);
+        if explore {
+            let eps = self.cfg.epsilon.value(self.act_steps);
+            if self.rng.random::<f64>() < eps {
+                chosen = crate::agents::random_behaviour(&mut self.rng, self.cfg.explore_keep_bias);
+            }
+            let sigma = self.cfg.noise.value(self.act_steps);
+            if sigma > 0.0 {
+                let noise = sigma * crate::explore::standard_normal(&mut self.rng);
+                params[chosen] = (params[chosen] as f64 + noise)
+                    .clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
+            }
+            self.act_steps += 1;
+        }
+        let action = Action {
+            behaviour: LaneBehaviour::from_index(chosen),
+            accel: params[chosen] as f64,
+        };
+        (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+    }
+
+    fn observe(&mut self, transition: Transition) {
+        self.replay.push(transition);
+        self.observed += 1;
+        self.since_learn += 1;
+    }
+
+    fn learn(&mut self) -> Option<LearnStats> {
+        if self.replay.len() < self.cfg.warmup.max(self.cfg.batch_size)
+            || self.since_learn < self.cfg.update_every
+        {
+            return None;
+        }
+        self.since_learn = 0;
+        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let n = batch.len();
+        let a_max = self.cfg.a_max as f32;
+
+        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
+        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
+        let cur_m = self.cfg.scale.current_batch(&states);
+        let fut_m = self.cfg.scale.future_batch(&states);
+        let cur_next_m = self.cfg.scale.current_batch(&next_states);
+        let fut_next_m = self.cfg.scale.future_batch(&next_states);
+
+        // --- Bellman targets via the target networks (Eq. 22) -----------
+        let targets: Vec<f32> = {
+            let mut g = Graph::new();
+            let cur_n = g.input(cur_next_m);
+            let fut_n = g.input(fut_next_m);
+            let xp = self.x_net.forward(&mut g, &self.x_target, cur_n, fut_n, n, a_max, false);
+            let qn = self.q_net.forward(&mut g, &self.q_target, cur_n, fut_n, xp, n, false);
+            let qn = g.value(qn);
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let max_q = qn
+                        .row_slice(i)
+                        .iter()
+                        .cloned()
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    t.reward as f32
+                        + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                })
+                .collect()
+        };
+
+        // --- Q update (mean-squared Bellman error on the chosen action) ---
+        let q_loss = {
+            let mut g = Graph::new();
+            let cur = g.input(cur_m.clone());
+            let fut = g.input(fut_m.clone());
+            let mut params = Matrix::zeros(n, NUM_BEHAVIOURS);
+            let mut onehot = Matrix::zeros(n, NUM_BEHAVIOURS);
+            for (i, t) in batch.iter().enumerate() {
+                for b in 0..NUM_BEHAVIOURS {
+                    params.set(i, b, t.params[b]);
+                }
+                onehot.set(i, t.action.behaviour.index(), 1.0);
+            }
+            let params = g.input(params);
+            let onehot = g.input(onehot);
+            let q = self.q_net.forward(&mut g, &self.q_store, cur, fut, params, n, true);
+            let masked = g.mul_elem(q, onehot);
+            let ones = g.input(Matrix::full(NUM_BEHAVIOURS, 1, 1.0));
+            let q_sel = g.matmul(masked, ones);
+            let y = g.input(Matrix::from_vec(n, 1, targets));
+            let loss = g.mse(q_sel, y);
+            self.q_store.zero_grad();
+            let lv = g.backward(loss, &mut self.q_store);
+            self.q_store.clip_grad_norm(10.0);
+            self.adam_q.step(&mut self.q_store);
+            lv as f64
+        };
+
+        // --- x update: maximise Σ_b Q(s, x(s)) with θ_Q frozen (Eq. 23) ---
+        let x_loss = {
+            let mut g = Graph::new();
+            let cur = g.input(cur_m);
+            let fut = g.input(fut_m);
+            let xo = self.x_net.forward(&mut g, &self.x_store, cur, fut, n, a_max, true);
+            let qv = self.q_net.forward(&mut g, &self.q_store, cur, fut, xo, n, false);
+            let total = g.sum_all(qv);
+            let loss = g.scale(total, -1.0 / n as f32);
+            self.x_store.zero_grad();
+            let lv = g.backward(loss, &mut self.x_store);
+            self.x_store.clip_grad_norm(10.0);
+            self.adam_x.step(&mut self.x_store);
+            lv as f64
+        };
+
+        // --- target soft updates ------------------------------------------
+        self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
+        self.x_target.soft_update_from(&self.x_store, self.cfg.tau);
+
+        Some(LearnStats { q_loss, x_loss })
+    }
+
+    fn param_count(&self) -> usize {
+        self.x_store.scalar_count() + self.q_store.scalar_count()
+    }
+
+    fn save_json(&self) -> String {
+        serde_json::to_string(&(&self.x_store, &self.q_store)).expect("serialisable")
+    }
+
+    fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let (x, q): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        self.x_store.copy_values_from(&x);
+        self.q_store.copy_values_from(&q);
+        self.x_target.copy_values_from(&x);
+        self.q_target.copy_values_from(&q);
+        Ok(())
+    }
+}
+
+pub(crate) fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::test_support::toy_training_curve;
+    use crate::explore::LinearSchedule;
+
+    fn quick_cfg(seed: u64) -> AgentConfig {
+        AgentConfig {
+            warmup: 64,
+            epsilon: LinearSchedule::new(1.0, 0.05, 600),
+            noise: LinearSchedule::new(1.0, 0.1, 600),
+            seed,
+            ..AgentConfig::default()
+        }
+    }
+
+    #[test]
+    fn action_accel_is_bounded() {
+        let mut agent = BpDqn::new(quick_cfg(1));
+        let s = AugmentedState::zeros();
+        for _ in 0..50 {
+            let (a, params) = agent.act(&s, true);
+            assert!(a.accel.abs() <= 3.0 + 1e-6);
+            for p in &params[..3] {
+                assert!(p.abs() <= 3.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_action_is_deterministic() {
+        let mut agent = BpDqn::new(quick_cfg(2));
+        let s = AugmentedState::zeros();
+        let (a1, _) = agent.act(&s, false);
+        let (a2, _) = agent.act(&s, false);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn learn_requires_warmup() {
+        let mut agent = BpDqn::new(quick_cfg(3));
+        assert!(agent.learn().is_none());
+    }
+
+    #[test]
+    fn improves_on_toy_problem() {
+        let mut agent = BpDqn::new(quick_cfg(4));
+        let (first, last) = toy_training_curve(&mut agent, 60, 4);
+        assert!(
+            last > first + 1.0,
+            "BP-DQN did not improve: first-third return {first}, last-third {last}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut agent = BpDqn::new(quick_cfg(5));
+        toy_training_curve(&mut agent, 12, 5);
+        let json = agent.save_json();
+        let s = AugmentedState::zeros();
+        let (before, _) = agent.act(&s, false);
+        let mut fresh = BpDqn::new(quick_cfg(99));
+        fresh.load_json(&json).unwrap();
+        let (after, _) = fresh.act(&s, false);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.5, 0.3]), 1);
+        assert_eq!(argmax(&[1.0, 1.0, 1.0]), 0, "first wins ties");
+    }
+}

@@ -1,0 +1,229 @@
+//! Discrete double-free DQN over a coarse 9-action grid (3 lane behaviours
+//! × 3 acceleration levels). This is the decision core of the paper's
+//! DRL-SC end-to-end baseline (Nageshrao et al. 2019): deep RL with
+//! *discrete* actions; the safety-check wrapper lives in the `head` crate.
+
+use crate::agents::bpdqn::argmax;
+use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::pamdp::{Action, AugmentedState, LaneBehaviour, STATE_DIM};
+use crate::replay::{ReplayBuffer, Transition};
+use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// The discrete action grid: every lane behaviour paired with
+/// brake / hold / full acceleration (scaled by `a'`).
+pub const DISCRETE_ACTIONS: [(LaneBehaviour, f64); 9] = [
+    (LaneBehaviour::Left, -1.0),
+    (LaneBehaviour::Left, 0.0),
+    (LaneBehaviour::Left, 1.0),
+    (LaneBehaviour::Keep, -1.0),
+    (LaneBehaviour::Keep, 0.0),
+    (LaneBehaviour::Keep, 1.0),
+    (LaneBehaviour::Right, -1.0),
+    (LaneBehaviour::Right, 0.0),
+    (LaneBehaviour::Right, 1.0),
+];
+
+/// A plain DQN over [`DISCRETE_ACTIONS`].
+pub struct DiscreteDqn {
+    cfg: AgentConfig,
+    store: ParamStore,
+    net: Mlp,
+    target: ParamStore,
+    adam: Adam,
+    replay: ReplayBuffer,
+    rng: ChaCha12Rng,
+    act_steps: usize,
+    since_learn: usize,
+}
+
+impl DiscreteDqn {
+    /// Builds a freshly initialised learner.
+    pub fn new(cfg: AgentConfig) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let net = Mlp::new(
+            &mut store,
+            "dqn",
+            &[STATE_DIM, cfg.hidden, cfg.hidden, DISCRETE_ACTIONS.len()],
+            &mut rng,
+        );
+        let target = store.clone();
+        Self {
+            adam: Adam::new(cfg.lr),
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            rng,
+            act_steps: 0,
+            since_learn: 0,
+            cfg,
+            store,
+            net,
+            target,
+        }
+    }
+
+    /// Q-values of every discrete action for one state.
+    pub fn q_values(&self, state: &AugmentedState) -> Vec<f32> {
+        let mut g = Graph::new();
+        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let q = self.net.forward_frozen(&mut g, &self.store, s);
+        g.value(q).row_slice(0).to_vec()
+    }
+
+    /// Action corresponding to a discrete index.
+    pub fn action_of(&self, index: usize) -> Action {
+        let (behaviour, level) = DISCRETE_ACTIONS[index];
+        Action { behaviour, accel: level * self.cfg.a_max }
+    }
+
+    /// Index of the executed action in [`DISCRETE_ACTIONS`].
+    fn index_of(&self, action: &Action) -> usize {
+        let level = (action.accel / self.cfg.a_max).round();
+        DISCRETE_ACTIONS
+            .iter()
+            .position(|&(b, l)| b == action.behaviour && (l - level).abs() < 0.5)
+            .unwrap_or(4) // Keep / hold
+    }
+}
+
+impl PamdpAgent for DiscreteDqn {
+    fn name(&self) -> &'static str {
+        "DQN"
+    }
+
+    fn act(&mut self, state: &AugmentedState, explore: bool) -> (Action, [f32; 6]) {
+        let q = self.q_values(state);
+        let mut chosen = argmax(&q);
+        if explore {
+            let eps = self.cfg.epsilon.value(self.act_steps);
+            if self.rng.random::<f64>() < eps {
+                chosen = self.rng.random_range(0..DISCRETE_ACTIONS.len());
+            }
+            self.act_steps += 1;
+        }
+        let action = self.action_of(chosen);
+        // Per-behaviour acceleration slots mirror the executed action.
+        let mut params = [0.0f32; 6];
+        params[action.behaviour.index()] = action.accel as f32;
+        (action, params)
+    }
+
+    fn observe(&mut self, transition: Transition) {
+        self.replay.push(transition);
+        self.since_learn += 1;
+    }
+
+    fn learn(&mut self) -> Option<LearnStats> {
+        if self.replay.len() < self.cfg.warmup.max(self.cfg.batch_size)
+            || self.since_learn < self.cfg.update_every
+        {
+            return None;
+        }
+        self.since_learn = 0;
+        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let n = batch.len();
+        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
+        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
+        let s_m = self.cfg.scale.flat_batch(&states);
+        let sn_m = self.cfg.scale.flat_batch(&next_states);
+
+        let targets: Vec<f32> = {
+            let mut g = Graph::new();
+            let sn = g.input(sn_m);
+            let qn = self.net.forward_frozen(&mut g, &self.target, sn);
+            let qn = g.value(qn);
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let max_q =
+                        qn.row_slice(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    t.reward as f32 + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                })
+                .collect()
+        };
+
+        let mut g = Graph::new();
+        let s = g.input(s_m);
+        let q = self.net.forward(&mut g, &self.store, s);
+        let mut onehot = Matrix::zeros(n, DISCRETE_ACTIONS.len());
+        for (i, t) in batch.iter().enumerate() {
+            onehot.set(i, self.index_of(&t.action), 1.0);
+        }
+        let onehot = g.input(onehot);
+        let masked = g.mul_elem(q, onehot);
+        let ones = g.input(Matrix::full(DISCRETE_ACTIONS.len(), 1, 1.0));
+        let q_sel = g.matmul(masked, ones);
+        let y = g.input(Matrix::from_vec(n, 1, targets));
+        let loss = g.mse(q_sel, y);
+        self.store.zero_grad();
+        let lv = g.backward(loss, &mut self.store);
+        self.store.clip_grad_norm(10.0);
+        self.adam.step(&mut self.store);
+        self.target.soft_update_from(&self.store, self.cfg.tau);
+        Some(LearnStats { q_loss: lv as f64, x_loss: 0.0 })
+    }
+
+    fn param_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+
+    fn save_json(&self) -> String {
+        self.store.to_json()
+    }
+
+    fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let restored = ParamStore::from_json(json)?;
+        self.store.copy_values_from(&restored);
+        self.target.copy_values_from(&restored);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::test_support::toy_training_curve;
+    use crate::explore::LinearSchedule;
+
+    fn quick_cfg(seed: u64) -> AgentConfig {
+        AgentConfig {
+            warmup: 64,
+            epsilon: LinearSchedule::new(1.0, 0.05, 600),
+            noise: LinearSchedule::new(0.0, 0.0, 1),
+            seed,
+            ..AgentConfig::default()
+        }
+    }
+
+    #[test]
+    fn improves_on_toy_problem() {
+        let mut agent = DiscreteDqn::new(quick_cfg(41));
+        let (first, last) = toy_training_curve(&mut agent, 60, 41);
+        assert!(last > first + 1.0, "DQN did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn action_grid_roundtrip() {
+        let agent = DiscreteDqn::new(quick_cfg(42));
+        for i in 0..DISCRETE_ACTIONS.len() {
+            let a = agent.action_of(i);
+            assert_eq!(agent.index_of(&a), i);
+        }
+    }
+
+    #[test]
+    fn actions_only_from_grid() {
+        let mut agent = DiscreteDqn::new(quick_cfg(43));
+        let s = AugmentedState::zeros();
+        for _ in 0..40 {
+            let (a, _) = agent.act(&s, true);
+            assert!(
+                [-3.0, 0.0, 3.0].contains(&a.accel),
+                "discrete accel {} not on grid",
+                a.accel
+            );
+        }
+    }
+}

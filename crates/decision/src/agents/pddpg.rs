@@ -1,0 +1,271 @@
+//! P-DDPG (Hausknecht & Stone 2015): collapses the parameterized action
+//! space into one continuous vector. The actor emits three discrete-choice
+//! activations plus three accelerations; the discrete behaviour is the
+//! argmax activation. As the paper notes (§IV-B), this relaxation loses
+//! which action-parameter belongs to which action, which is why it
+//! underperforms P-DQN/BP-DQN in Table V.
+
+use crate::agents::bpdqn::argmax;
+use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::pamdp::{Action, AugmentedState, LaneBehaviour, NUM_BEHAVIOURS, STATE_DIM};
+use crate::replay::{ReplayBuffer, Transition};
+use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Width of the collapsed action vector: 3 activations + 3 accelerations.
+const ACTION_DIM: usize = 2 * NUM_BEHAVIOURS;
+
+/// The P-DDPG learner.
+pub struct PDdpg {
+    cfg: AgentConfig,
+    actor_store: ParamStore,
+    actor: Mlp,
+    critic_store: ParamStore,
+    critic: Mlp,
+    actor_target: ParamStore,
+    critic_target: ParamStore,
+    adam_actor: Adam,
+    adam_critic: Adam,
+    replay: ReplayBuffer,
+    rng: ChaCha12Rng,
+    act_steps: usize,
+    since_learn: usize,
+}
+
+impl PDdpg {
+    /// Builds a freshly initialised learner.
+    pub fn new(cfg: AgentConfig) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let mut actor_store = ParamStore::new();
+        let actor = Mlp::new(
+            &mut actor_store,
+            "actor",
+            &[STATE_DIM, cfg.hidden, cfg.hidden, ACTION_DIM],
+            &mut rng,
+        );
+        let mut critic_store = ParamStore::new();
+        let critic = Mlp::new(
+            &mut critic_store,
+            "critic",
+            &[STATE_DIM + ACTION_DIM, cfg.hidden, cfg.hidden, 1],
+            &mut rng,
+        );
+        let actor_target = actor_store.clone();
+        let critic_target = critic_store.clone();
+        Self {
+            adam_actor: Adam::new(cfg.lr),
+            adam_critic: Adam::new(cfg.lr),
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            rng,
+            act_steps: 0,
+            since_learn: 0,
+            cfg,
+            actor_store,
+            actor,
+            critic_store,
+            critic,
+            actor_target,
+            critic_target,
+        }
+    }
+
+    /// Actor output for one state: `[act0, act1, act2, a0, a1, a2]` with
+    /// activations in (-1, 1) and accelerations in (-a', a').
+    fn actor_output(&self, state: &AugmentedState) -> [f32; ACTION_DIM] {
+        let mut g = Graph::new();
+        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let raw = self.actor.forward_frozen(&mut g, &self.actor_store, s);
+        let out = g.tanh(raw);
+        let row = g.value(out).row_slice(0);
+        let a = self.cfg.a_max as f32;
+        [row[0], row[1], row[2], row[3] * a, row[4] * a, row[5] * a]
+    }
+
+    /// Scales a raw tanh actor output node into the collapsed action
+    /// vector (activations untouched, accelerations × a').
+    fn scale_action(&self, g: &mut Graph, raw: nn::Var) -> nn::Var {
+        let t = g.tanh(raw);
+        let a = self.cfg.a_max as f32;
+        let scale_row = Matrix::row(&[1.0, 1.0, 1.0, a, a, a]);
+        // Broadcast multiply: one row per batch sample.
+        let rows = g.value(t).rows();
+        let mut data = Vec::with_capacity(rows * ACTION_DIM);
+        for _ in 0..rows {
+            data.extend_from_slice(scale_row.data());
+        }
+        let scale = g.input(Matrix::from_vec(rows, ACTION_DIM, data));
+        g.mul_elem(t, scale)
+    }
+}
+
+impl PamdpAgent for PDdpg {
+    fn name(&self) -> &'static str {
+        "P-DDPG"
+    }
+
+    fn act(&mut self, state: &AugmentedState, explore: bool) -> (Action, [f32; 6]) {
+        let mut out = self.actor_output(state);
+        let mut chosen = argmax(&out[..NUM_BEHAVIOURS]);
+        if explore {
+            let eps = self.cfg.epsilon.value(self.act_steps);
+            if self.rng.random::<f64>() < eps {
+                chosen = crate::agents::random_behaviour(&mut self.rng, self.cfg.explore_keep_bias);
+                // Make the stored activation consistent with the choice.
+                out[chosen] = 1.0;
+            }
+            let sigma = self.cfg.noise.value(self.act_steps);
+            if sigma > 0.0 {
+                let noise = sigma * crate::explore::standard_normal(&mut self.rng);
+                out[NUM_BEHAVIOURS + chosen] = (out[NUM_BEHAVIOURS + chosen] as f64 + noise)
+                    .clamp(-self.cfg.a_max, self.cfg.a_max)
+                    as f32;
+            }
+            self.act_steps += 1;
+        }
+        let accel = out[NUM_BEHAVIOURS + chosen] as f64;
+        let action = Action { behaviour: LaneBehaviour::from_index(chosen), accel };
+        // Store accelerations in slots 0..3 and activations in 3..6.
+        (action, [out[3], out[4], out[5], out[0], out[1], out[2]])
+    }
+
+    fn observe(&mut self, transition: Transition) {
+        self.replay.push(transition);
+        self.since_learn += 1;
+    }
+
+    fn learn(&mut self) -> Option<LearnStats> {
+        if self.replay.len() < self.cfg.warmup.max(self.cfg.batch_size)
+            || self.since_learn < self.cfg.update_every
+        {
+            return None;
+        }
+        self.since_learn = 0;
+        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let n = batch.len();
+
+        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
+        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
+        let s_m = self.cfg.scale.flat_batch(&states);
+        let sn_m = self.cfg.scale.flat_batch(&next_states);
+
+        // Critic targets.
+        let targets: Vec<f32> = {
+            let mut g = Graph::new();
+            let sn = g.input(sn_m);
+            let raw = self.actor.forward_frozen(&mut g, &self.actor_target, sn);
+            let an = self.scale_action(&mut g, raw);
+            let sa = g.concat_cols(sn, an);
+            let qn = self.critic.forward_frozen(&mut g, &self.critic_target, sa);
+            let qn = g.value(qn);
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    t.reward as f32
+                        + if t.terminal { 0.0 } else { self.cfg.gamma * qn.get(i, 0) }
+                })
+                .collect()
+        };
+
+        // Critic update against the executed action vector.
+        let q_loss = {
+            let mut g = Graph::new();
+            let s = g.input(s_m.clone());
+            let mut act = Matrix::zeros(n, ACTION_DIM);
+            for (i, t) in batch.iter().enumerate() {
+                // Stored layout: accelerations 0..3, activations 3..6.
+                for b in 0..NUM_BEHAVIOURS {
+                    act.set(i, b, t.params[NUM_BEHAVIOURS + b]);
+                    act.set(i, NUM_BEHAVIOURS + b, t.params[b]);
+                }
+            }
+            let act = g.input(act);
+            let sa = g.concat_cols(s, act);
+            let q = self.critic.forward(&mut g, &self.critic_store, sa);
+            let y = g.input(Matrix::from_vec(n, 1, targets));
+            let loss = g.mse(q, y);
+            self.critic_store.zero_grad();
+            let lv = g.backward(loss, &mut self.critic_store);
+            self.critic_store.clip_grad_norm(10.0);
+            self.adam_critic.step(&mut self.critic_store);
+            lv as f64
+        };
+
+        // Actor update: ascend Q(s, actor(s)) with the critic frozen.
+        let x_loss = {
+            let mut g = Graph::new();
+            let s = g.input(s_m);
+            let raw = self.actor.forward(&mut g, &self.actor_store, s);
+            let a = self.scale_action(&mut g, raw);
+            let sa = g.concat_cols(s, a);
+            let q = self.critic.forward_frozen(&mut g, &self.critic_store, sa);
+            let total = g.sum_all(q);
+            let loss = g.scale(total, -1.0 / n as f32);
+            self.actor_store.zero_grad();
+            let lv = g.backward(loss, &mut self.actor_store);
+            self.actor_store.clip_grad_norm(10.0);
+            self.adam_actor.step(&mut self.actor_store);
+            lv as f64
+        };
+
+        self.critic_target.soft_update_from(&self.critic_store, self.cfg.tau);
+        self.actor_target.soft_update_from(&self.actor_store, self.cfg.tau);
+
+        Some(LearnStats { q_loss, x_loss })
+    }
+
+    fn param_count(&self) -> usize {
+        self.actor_store.scalar_count() + self.critic_store.scalar_count()
+    }
+
+    fn save_json(&self) -> String {
+        serde_json::to_string(&(&self.actor_store, &self.critic_store)).expect("serialisable")
+    }
+
+    fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let (a, c): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        self.actor_store.copy_values_from(&a);
+        self.critic_store.copy_values_from(&c);
+        self.actor_target.copy_values_from(&a);
+        self.critic_target.copy_values_from(&c);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::test_support::toy_training_curve;
+    use crate::explore::LinearSchedule;
+
+    fn quick_cfg(seed: u64) -> AgentConfig {
+        AgentConfig {
+            warmup: 64,
+            epsilon: LinearSchedule::new(1.0, 0.05, 600),
+            noise: LinearSchedule::new(1.0, 0.1, 600),
+            seed,
+            ..AgentConfig::default()
+        }
+    }
+
+    #[test]
+    fn improves_on_toy_problem() {
+        let mut agent = PDdpg::new(quick_cfg(21));
+        let (first, last) = toy_training_curve(&mut agent, 60, 21);
+        assert!(last > first + 0.5, "P-DDPG did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn collapsed_action_vector_respects_bounds() {
+        let mut agent = PDdpg::new(quick_cfg(22));
+        let s = AugmentedState::zeros();
+        for _ in 0..30 {
+            let (a, params) = agent.act(&s, true);
+            assert!(a.accel.abs() <= 3.0 + 1e-6);
+            for &p in &params[..3] {
+                assert!(p.abs() <= 3.0 + 1e-5, "acceleration slot {p}");
+            }
+        }
+    }
+}

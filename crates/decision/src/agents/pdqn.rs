@@ -1,0 +1,249 @@
+//! P-DQN — Parameterized Deep Q-Network (Xiong et al. 2018), the paper's
+//! strongest comparison method and the optimisation paradigm BP-DQN builds
+//! on. In contrast to BP-DQN, both networks are **single-trunk MLPs over
+//! the flattened augmented state**, sharing weights between differently
+//! scaled inputs — exactly the structural weakness (wrong weight sharing)
+//! the paper's branched variant removes.
+
+use crate::agents::bpdqn::argmax;
+use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::pamdp::{Action, AugmentedState, LaneBehaviour, NUM_BEHAVIOURS, STATE_DIM};
+use crate::replay::{ReplayBuffer, Transition};
+use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// The P-DQN learner.
+pub struct PDqn {
+    cfg: AgentConfig,
+    x_store: ParamStore,
+    x_net: Mlp,
+    q_store: ParamStore,
+    q_net: Mlp,
+    x_target: ParamStore,
+    q_target: ParamStore,
+    adam_x: Adam,
+    adam_q: Adam,
+    replay: ReplayBuffer,
+    rng: ChaCha12Rng,
+    act_steps: usize,
+    since_learn: usize,
+}
+
+impl PDqn {
+    /// Builds a freshly initialised learner.
+    pub fn new(cfg: AgentConfig) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let mut x_store = ParamStore::new();
+        let x_net =
+            Mlp::new(&mut x_store, "x", &[STATE_DIM, cfg.hidden, cfg.hidden, NUM_BEHAVIOURS], &mut rng);
+        let mut q_store = ParamStore::new();
+        let q_net = Mlp::new(
+            &mut q_store,
+            "q",
+            &[STATE_DIM + NUM_BEHAVIOURS, cfg.hidden, cfg.hidden, NUM_BEHAVIOURS],
+            &mut rng,
+        );
+        let x_target = x_store.clone();
+        let q_target = q_store.clone();
+        Self {
+            adam_x: Adam::new(cfg.lr),
+            adam_q: Adam::new(cfg.lr),
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            rng,
+            act_steps: 0,
+            since_learn: 0,
+            cfg,
+            x_store,
+            x_net,
+            q_store,
+            q_net,
+            x_target,
+            q_target,
+        }
+    }
+
+    fn evaluate_state(&self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
+        let mut g = Graph::new();
+        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let x = self.x_net.forward_frozen(&mut g, &self.x_store, s);
+        let x = g.tanh(x);
+        let x = g.scale(x, self.cfg.a_max as f32);
+        let sq = g.concat_cols(s, x);
+        let q = self.q_net.forward_frozen(&mut g, &self.q_store, sq);
+        let xr = g.value(x).row_slice(0);
+        let qr = g.value(q).row_slice(0);
+        ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]])
+    }
+}
+
+impl PamdpAgent for PDqn {
+    fn name(&self) -> &'static str {
+        "P-DQN"
+    }
+
+    fn act(&mut self, state: &AugmentedState, explore: bool) -> (Action, [f32; 6]) {
+        let (mut params, q) = self.evaluate_state(state);
+        let mut chosen = argmax(&q);
+        if explore {
+            let eps = self.cfg.epsilon.value(self.act_steps);
+            if self.rng.random::<f64>() < eps {
+                chosen = crate::agents::random_behaviour(&mut self.rng, self.cfg.explore_keep_bias);
+            }
+            let sigma = self.cfg.noise.value(self.act_steps);
+            if sigma > 0.0 {
+                let noise = sigma * crate::explore::standard_normal(&mut self.rng);
+                params[chosen] = (params[chosen] as f64 + noise)
+                    .clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
+            }
+            self.act_steps += 1;
+        }
+        let action = Action {
+            behaviour: LaneBehaviour::from_index(chosen),
+            accel: params[chosen] as f64,
+        };
+        (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+    }
+
+    fn observe(&mut self, transition: Transition) {
+        self.replay.push(transition);
+        self.since_learn += 1;
+    }
+
+    fn learn(&mut self) -> Option<LearnStats> {
+        if self.replay.len() < self.cfg.warmup.max(self.cfg.batch_size)
+            || self.since_learn < self.cfg.update_every
+        {
+            return None;
+        }
+        self.since_learn = 0;
+        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let n = batch.len();
+        let a_max = self.cfg.a_max as f32;
+
+        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
+        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
+        let s_m = self.cfg.scale.flat_batch(&states);
+        let sn_m = self.cfg.scale.flat_batch(&next_states);
+
+        let targets: Vec<f32> = {
+            let mut g = Graph::new();
+            let sn = g.input(sn_m);
+            let xp = self.x_net.forward_frozen(&mut g, &self.x_target, sn);
+            let xp = g.tanh(xp);
+            let xp = g.scale(xp, a_max);
+            let snq = g.concat_cols(sn, xp);
+            let qn = self.q_net.forward_frozen(&mut g, &self.q_target, snq);
+            let qn = g.value(qn);
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let max_q =
+                        qn.row_slice(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    t.reward as f32 + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                })
+                .collect()
+        };
+
+        let q_loss = {
+            let mut g = Graph::new();
+            let s = g.input(s_m.clone());
+            let mut params = Matrix::zeros(n, NUM_BEHAVIOURS);
+            let mut onehot = Matrix::zeros(n, NUM_BEHAVIOURS);
+            for (i, t) in batch.iter().enumerate() {
+                for b in 0..NUM_BEHAVIOURS {
+                    params.set(i, b, t.params[b]);
+                }
+                onehot.set(i, t.action.behaviour.index(), 1.0);
+            }
+            let params = g.input(params);
+            let onehot = g.input(onehot);
+            let sq = g.concat_cols(s, params);
+            let q = self.q_net.forward(&mut g, &self.q_store, sq);
+            let masked = g.mul_elem(q, onehot);
+            let ones = g.input(Matrix::full(NUM_BEHAVIOURS, 1, 1.0));
+            let q_sel = g.matmul(masked, ones);
+            let y = g.input(Matrix::from_vec(n, 1, targets));
+            let loss = g.mse(q_sel, y);
+            self.q_store.zero_grad();
+            let lv = g.backward(loss, &mut self.q_store);
+            self.q_store.clip_grad_norm(10.0);
+            self.adam_q.step(&mut self.q_store);
+            lv as f64
+        };
+
+        let x_loss = {
+            let mut g = Graph::new();
+            let s = g.input(s_m);
+            let xo = self.x_net.forward(&mut g, &self.x_store, s);
+            let xo = g.tanh(xo);
+            let xo = g.scale(xo, a_max);
+            let sq = g.concat_cols(s, xo);
+            let qv = self.q_net.forward_frozen(&mut g, &self.q_store, sq);
+            let total = g.sum_all(qv);
+            let loss = g.scale(total, -1.0 / n as f32);
+            self.x_store.zero_grad();
+            let lv = g.backward(loss, &mut self.x_store);
+            self.x_store.clip_grad_norm(10.0);
+            self.adam_x.step(&mut self.x_store);
+            lv as f64
+        };
+
+        self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
+        self.x_target.soft_update_from(&self.x_store, self.cfg.tau);
+
+        Some(LearnStats { q_loss, x_loss })
+    }
+
+    fn param_count(&self) -> usize {
+        self.x_store.scalar_count() + self.q_store.scalar_count()
+    }
+
+    fn save_json(&self) -> String {
+        serde_json::to_string(&(&self.x_store, &self.q_store)).expect("serialisable")
+    }
+
+    fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let (x, q): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        self.x_store.copy_values_from(&x);
+        self.q_store.copy_values_from(&q);
+        self.x_target.copy_values_from(&x);
+        self.q_target.copy_values_from(&q);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::test_support::toy_training_curve;
+    use crate::explore::LinearSchedule;
+
+    fn quick_cfg(seed: u64) -> AgentConfig {
+        AgentConfig {
+            warmup: 64,
+            epsilon: LinearSchedule::new(1.0, 0.05, 600),
+            noise: LinearSchedule::new(1.0, 0.1, 600),
+            seed,
+            ..AgentConfig::default()
+        }
+    }
+
+    #[test]
+    fn improves_on_toy_problem() {
+        let mut agent = PDqn::new(quick_cfg(11));
+        let (first, last) = toy_training_curve(&mut agent, 60, 11);
+        assert!(last > first + 1.0, "P-DQN did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn accel_bounded_by_tanh_scaling() {
+        let mut agent = PDqn::new(quick_cfg(12));
+        let s = AugmentedState::zeros();
+        for _ in 0..30 {
+            let (a, _) = agent.act(&s, true);
+            assert!(a.accel.abs() <= 3.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! P-QP (Masson, Ranchod & Konidaris 2016 — "Q-PAMDP"): alternates
+//! between (1) Q-learning over the discrete behaviours with the parameter
+//! policy held fixed and (2) policy search over the continuous parameters
+//! with the Q-function held fixed. As in the original, the two phases do
+//! not share information within a phase — the structural weakness the
+//! paper cites (§IV-B) for why it trails P-DQN/BP-DQN in Table V.
+//!
+//! The parameter-policy search uses advantage-weighted regression towards
+//! the executed (noise-perturbed) accelerations — a deterministic-policy
+//! form of the stochastic policy search used in the original.
+
+use crate::agents::bpdqn::argmax;
+use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::pamdp::{Action, AugmentedState, LaneBehaviour, NUM_BEHAVIOURS, STATE_DIM};
+use crate::replay::{ReplayBuffer, Transition};
+use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Learning steps per alternation phase.
+const PHASE_LEN: usize = 200;
+
+/// The P-QP learner.
+pub struct PQp {
+    cfg: AgentConfig,
+    q_store: ParamStore,
+    q_net: Mlp,
+    q_target: ParamStore,
+    param_store: ParamStore,
+    param_net: Mlp,
+    adam_q: Adam,
+    adam_param: Adam,
+    replay: ReplayBuffer,
+    rng: ChaCha12Rng,
+    act_steps: usize,
+    learn_steps: usize,
+    since_learn: usize,
+}
+
+impl PQp {
+    /// Builds a freshly initialised learner.
+    pub fn new(cfg: AgentConfig) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let mut q_store = ParamStore::new();
+        let q_net = Mlp::new(
+            &mut q_store,
+            "q",
+            &[STATE_DIM, cfg.hidden, cfg.hidden, NUM_BEHAVIOURS],
+            &mut rng,
+        );
+        let mut param_store = ParamStore::new();
+        let param_net = Mlp::new(
+            &mut param_store,
+            "param",
+            &[STATE_DIM, cfg.hidden, cfg.hidden, NUM_BEHAVIOURS],
+            &mut rng,
+        );
+        let q_target = q_store.clone();
+        Self {
+            adam_q: Adam::new(cfg.lr),
+            adam_param: Adam::new(cfg.lr),
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            rng,
+            act_steps: 0,
+            learn_steps: 0,
+            since_learn: 0,
+            cfg,
+            q_store,
+            q_net,
+            q_target,
+            param_store,
+            param_net,
+        }
+    }
+
+    fn params_of(&self, state: &AugmentedState) -> [f32; 3] {
+        let mut g = Graph::new();
+        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let raw = self.param_net.forward_frozen(&mut g, &self.param_store, s);
+        let t = g.tanh(raw);
+        let out = g.scale(t, self.cfg.a_max as f32);
+        let row = g.value(out).row_slice(0);
+        [row[0], row[1], row[2]]
+    }
+
+    fn q_of(&self, state: &AugmentedState) -> [f32; 3] {
+        let mut g = Graph::new();
+        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let q = self.q_net.forward_frozen(&mut g, &self.q_store, s);
+        let row = g.value(q).row_slice(0);
+        [row[0], row[1], row[2]]
+    }
+}
+
+impl PamdpAgent for PQp {
+    fn name(&self) -> &'static str {
+        "P-QP"
+    }
+
+    fn act(&mut self, state: &AugmentedState, explore: bool) -> (Action, [f32; 6]) {
+        let mut params = self.params_of(state);
+        let q = self.q_of(state);
+        let mut chosen = argmax(&q);
+        if explore {
+            let eps = self.cfg.epsilon.value(self.act_steps);
+            if self.rng.random::<f64>() < eps {
+                chosen = crate::agents::random_behaviour(&mut self.rng, self.cfg.explore_keep_bias);
+            }
+            let sigma = self.cfg.noise.value(self.act_steps);
+            if sigma > 0.0 {
+                let noise = sigma * crate::explore::standard_normal(&mut self.rng);
+                params[chosen] = (params[chosen] as f64 + noise)
+                    .clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
+            }
+            self.act_steps += 1;
+        }
+        let action = Action {
+            behaviour: LaneBehaviour::from_index(chosen),
+            accel: params[chosen] as f64,
+        };
+        (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+    }
+
+    fn observe(&mut self, transition: Transition) {
+        self.replay.push(transition);
+        self.since_learn += 1;
+    }
+
+    fn learn(&mut self) -> Option<LearnStats> {
+        if self.replay.len() < self.cfg.warmup.max(self.cfg.batch_size)
+            || self.since_learn < self.cfg.update_every
+        {
+            return None;
+        }
+        self.since_learn = 0;
+        self.learn_steps += 1;
+        let q_phase = (self.learn_steps / PHASE_LEN) % 2 == 0;
+        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let n = batch.len();
+
+        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
+        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
+        let s_m = self.cfg.scale.flat_batch(&states);
+        let sn_m = self.cfg.scale.flat_batch(&next_states);
+
+        // Bellman targets (Q has no parameter input in Q-PAMDP: it values
+        // the discrete behaviours under the *current* parameter policy).
+        let targets: Vec<f32> = {
+            let mut g = Graph::new();
+            let sn = g.input(sn_m);
+            let qn = self.q_net.forward_frozen(&mut g, &self.q_target, sn);
+            let qn = g.value(qn);
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let max_q =
+                        qn.row_slice(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    t.reward as f32 + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                })
+                .collect()
+        };
+
+        let mut onehot = Matrix::zeros(n, NUM_BEHAVIOURS);
+        for (i, t) in batch.iter().enumerate() {
+            onehot.set(i, t.action.behaviour.index(), 1.0);
+        }
+
+        if q_phase {
+            // --- Q phase: standard TD regression on the chosen behaviour ---
+            let mut g = Graph::new();
+            let s = g.input(s_m);
+            let onehot_v = g.input(onehot);
+            let q = self.q_net.forward(&mut g, &self.q_store, s);
+            let masked = g.mul_elem(q, onehot_v);
+            let ones = g.input(Matrix::full(NUM_BEHAVIOURS, 1, 1.0));
+            let q_sel = g.matmul(masked, ones);
+            let y = g.input(Matrix::from_vec(n, 1, targets));
+            let loss = g.mse(q_sel, y);
+            self.q_store.zero_grad();
+            let lv = g.backward(loss, &mut self.q_store);
+            self.q_store.clip_grad_norm(10.0);
+            self.adam_q.step(&mut self.q_store);
+            self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
+            Some(LearnStats { q_loss: lv as f64, x_loss: 0.0 })
+        } else {
+            // --- parameter phase: advantage-weighted regression ------------
+            // advantage_i = y_i - Q(s_i)[b_i]  (Q frozen)
+            let advantages: Vec<f32> = {
+                let mut g = Graph::new();
+                let s = g.input(s_m.clone());
+                let q = self.q_net.forward_frozen(&mut g, &self.q_store, s);
+                let q = g.value(q);
+                batch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        (targets[i] - q.get(i, t.action.behaviour.index())).clamp(-1.0, 1.0)
+                    })
+                    .collect()
+            };
+            let mut g = Graph::new();
+            let s = g.input(s_m);
+            let raw = self.param_net.forward(&mut g, &self.param_store, s);
+            let t = g.tanh(raw);
+            let mu = g.scale(t, self.cfg.a_max as f32);
+            let mut exec = Matrix::zeros(n, NUM_BEHAVIOURS);
+            let mut weight = Matrix::zeros(n, NUM_BEHAVIOURS);
+            for (i, tr) in batch.iter().enumerate() {
+                let b = tr.action.behaviour.index();
+                exec.set(i, b, tr.action.accel as f32);
+                // Positive advantage pulls μ towards the executed accel,
+                // negative pushes it away.
+                weight.set(i, b, advantages[i]);
+            }
+            let exec = g.input(exec);
+            let weight = g.input(weight);
+            let d = g.sub(mu, exec);
+            let sq = g.mul_elem(d, d);
+            let weighted = g.mul_elem(sq, weight);
+            let total = g.sum_all(weighted);
+            let loss = g.scale(total, 1.0 / n as f32);
+            self.param_store.zero_grad();
+            let lv = g.backward(loss, &mut self.param_store);
+            self.param_store.clip_grad_norm(10.0);
+            self.adam_param.step(&mut self.param_store);
+            Some(LearnStats { q_loss: 0.0, x_loss: lv as f64 })
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.q_store.scalar_count() + self.param_store.scalar_count()
+    }
+
+    fn save_json(&self) -> String {
+        serde_json::to_string(&(&self.param_store, &self.q_store)).expect("serialisable")
+    }
+
+    fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let (p, q): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        self.param_store.copy_values_from(&p);
+        self.q_store.copy_values_from(&q);
+        self.q_target.copy_values_from(&q);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::test_support::toy_training_curve;
+    use crate::explore::LinearSchedule;
+
+    fn quick_cfg(seed: u64) -> AgentConfig {
+        AgentConfig {
+            warmup: 64,
+            epsilon: LinearSchedule::new(1.0, 0.05, 600),
+            noise: LinearSchedule::new(1.0, 0.1, 600),
+            seed,
+            ..AgentConfig::default()
+        }
+    }
+
+    #[test]
+    fn improves_on_toy_problem() {
+        let mut agent = PQp::new(quick_cfg(31));
+        let (first, last) = toy_training_curve(&mut agent, 60, 31);
+        assert!(last > first, "P-QP did not improve at all: {first} -> {last}");
+    }
+
+    #[test]
+    fn alternation_touches_both_networks() {
+        let mut agent = PQp::new(quick_cfg(32));
+        let mut saw_q = false;
+        let mut saw_param = false;
+        // Drive enough learning steps to cross a phase boundary.
+        let _ = toy_training_curve(&mut agent, 30, 32);
+        let dummy = crate::replay::Transition {
+            state: AugmentedState::zeros(),
+            action: Action { behaviour: LaneBehaviour::Keep, accel: 0.0 },
+            params: [0.0; 6],
+            reward: 0.0,
+            next_state: AugmentedState::zeros(),
+            terminal: false,
+        };
+        for _ in 0..(PHASE_LEN * 2 + 10) {
+            agent.observe(dummy.clone());
+            if let Some(stats) = agent.learn() {
+                if stats.q_loss != 0.0 {
+                    saw_q = true;
+                }
+                if stats.x_loss != 0.0 {
+                    saw_param = true;
+                }
+            }
+        }
+        assert!(saw_q && saw_param, "alternation must exercise both phases");
+    }
+}

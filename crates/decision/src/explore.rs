@@ -1,0 +1,66 @@
+//! Exploration schedules: linear ε-decay for the discrete behaviour and
+//! decaying Gaussian noise for the continuous action-parameter.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Standard-normal sample via the Box–Muller transform (avoids pulling in
+/// a distributions crate for one function).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A linearly decaying exploration value.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinearSchedule {
+    /// Initial value.
+    pub start: f64,
+    /// Final value.
+    pub end: f64,
+    /// Steps over which the value decays from `start` to `end`.
+    pub decay_steps: usize,
+}
+
+impl LinearSchedule {
+    /// Creates a schedule.
+    pub fn new(start: f64, end: f64, decay_steps: usize) -> Self {
+        Self { start, end, decay_steps }
+    }
+
+    /// Value at step `t`.
+    pub fn value(&self, t: usize) -> f64 {
+        if self.decay_steps == 0 || t >= self.decay_steps {
+            return self.end;
+        }
+        let frac = t as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decays_linearly_then_clamps() {
+        let s = LinearSchedule::new(1.0, 0.1, 100);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.55).abs() < 1e-12);
+        assert_eq!(s.value(100), 0.1);
+        assert_eq!(s.value(10_000), 0.1);
+    }
+
+    #[test]
+    fn zero_decay_steps_is_constant_end() {
+        let s = LinearSchedule::new(1.0, 0.2, 0);
+        assert_eq!(s.value(0), 0.2);
+    }
+
+    #[test]
+    fn increasing_schedules_also_work() {
+        let s = LinearSchedule::new(0.0, 1.0, 10);
+        assert!((s.value(5) - 0.5).abs() < 1e-12);
+    }
+}

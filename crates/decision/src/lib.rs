@@ -1,0 +1,34 @@
+//! # decision — the HEAD maneuver decision module
+//!
+//! Reproduces §IV of *"Impact-aware Maneuver Decision with Enhanced
+//! Perception for Autonomous Vehicle"* (ICDE 2023):
+//!
+//! * **PAMDP formulation** ([`AugmentedState`], [`Action`]) — the
+//!   discrete-continuous hybrid action space of lane-change behaviour ×
+//!   bounded acceleration, over states augmented with the perception
+//!   module's one-step predictions (Eqs. 15–18).
+//! * **Hybrid reward** ([`RewardConfig`]) — safety (TTC), efficiency
+//!   (speed), comfort (jerk) and the paper's headline contribution,
+//!   the **impact** term penalising forced deceleration of the rear
+//!   vehicle (Eqs. 28–30).
+//! * **BP-DQN** ([`BpDqn`]) — the branched parameterized deep Q-network
+//!   (Fig. 6), plus the Table V/VI comparison learners [`PDqn`],
+//!   [`PDdpg`], [`PQp`] and the discrete [`DiscreteDqn`] that powers the
+//!   DRL-SC end-to-end baseline.
+
+mod agents;
+mod explore;
+mod pamdp;
+mod replay;
+mod reward;
+
+pub use agents::{
+    AgentConfig, BpDqn, DiscreteDqn, LearnStats, PDdpg, PDqn, PQp, PamdpAgent, DISCRETE_ACTIONS,
+};
+pub use explore::{standard_normal, LinearSchedule};
+pub use pamdp::{
+    Action, AugmentedState, LaneBehaviour, StateScale, CURRENT_ROWS, FUTURE_ROWS, NUM_BEHAVIOURS,
+    ROW_DIM, STATE_DIM,
+};
+pub use replay::{ReplayBuffer, Transition};
+pub use reward::{RewardConfig, RewardInput, RewardParts};

@@ -1,0 +1,253 @@
+//! The Parameterized Action Markov Decision Process (paper §IV-A).
+//!
+//! * **Augmented state** `s⁺ = [hᵗ, f̂ᵗ⁺¹]` — the current states of the ego
+//!   and its six targets plus the *predicted* next states of the targets
+//!   (Eqs. 15–16).
+//! * **Parameterized action** `ac = (b, a)` — a discrete lateral behaviour
+//!   `b ∈ {ll, lr, lk}` paired with a continuous longitudinal acceleration
+//!   `a ∈ [-a', a']` (Eq. 17).
+
+use nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Number of vehicles in the current-state block (ego + 6 targets).
+pub const CURRENT_ROWS: usize = 7;
+/// Number of vehicles in the future-state block (6 targets).
+pub const FUTURE_ROWS: usize = 6;
+/// Feature width per vehicle row.
+pub const ROW_DIM: usize = 4;
+/// Width of the flattened augmented state.
+pub const STATE_DIM: usize = (CURRENT_ROWS + FUTURE_ROWS) * ROW_DIM;
+/// Number of discrete lateral behaviours.
+pub const NUM_BEHAVIOURS: usize = 3;
+
+/// Discrete lateral lane-change behaviour, in the paper's `x_out` order
+/// `[ll, lr, lk]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaneBehaviour {
+    /// Change lane to the left (`ll`).
+    Left,
+    /// Change lane to the right (`lr`).
+    Right,
+    /// Keep lane (`lk`).
+    Keep,
+}
+
+impl LaneBehaviour {
+    /// Index in network outputs.
+    pub fn index(self) -> usize {
+        match self {
+            LaneBehaviour::Left => 0,
+            LaneBehaviour::Right => 1,
+            LaneBehaviour::Keep => 2,
+        }
+    }
+
+    /// Inverse of [`LaneBehaviour::index`].
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => LaneBehaviour::Left,
+            1 => LaneBehaviour::Right,
+            2 => LaneBehaviour::Keep,
+            _ => panic!("behaviour index {i} out of range"),
+        }
+    }
+
+    /// All behaviours in index order.
+    pub const ALL: [LaneBehaviour; NUM_BEHAVIOURS] =
+        [LaneBehaviour::Left, LaneBehaviour::Right, LaneBehaviour::Keep];
+}
+
+/// A parameterized action: discrete behaviour + continuous acceleration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Lateral behaviour.
+    pub behaviour: LaneBehaviour,
+    /// Longitudinal acceleration, m/s².
+    pub accel: f64,
+}
+
+/// The augmented state `s⁺` (raw physical units; scaling happens at the
+/// network boundary via [`StateScale`]).
+///
+/// `current[0]` is the ego's raw `[lat, lon, v, 0]` (1-based lane number);
+/// `current[1..7]` are the six targets' `[d_lat, d_lon, v_rel, IF]`;
+/// `future[0..6]` are the predicted `[d̂_lat, d̂_lon, v̂_rel, IF]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AugmentedState {
+    /// Current-state block `hᵗ`.
+    pub current: [[f64; ROW_DIM]; CURRENT_ROWS],
+    /// Future-state block `f̂ᵗ⁺¹`.
+    pub future: [[f64; ROW_DIM]; FUTURE_ROWS],
+}
+
+impl AugmentedState {
+    /// An all-zero state (used as the padding for terminal transitions).
+    pub fn zeros() -> Self {
+        Self { current: [[0.0; ROW_DIM]; CURRENT_ROWS], future: [[0.0; ROW_DIM]; FUTURE_ROWS] }
+    }
+}
+
+/// Normalisation constants applied when states enter a network.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StateScale {
+    /// Scale for raw lane numbers (κ + 1).
+    pub lat: f64,
+    /// Scale for raw longitudinal positions (road length), m.
+    pub lon: f64,
+    /// Scale for velocities (speed limit), m/s.
+    pub vel: f64,
+    /// Scale for relative lateral offsets, m.
+    pub d_lat: f64,
+    /// Scale for relative longitudinal offsets (sensor radius), m.
+    pub d_lon: f64,
+}
+
+impl StateScale {
+    /// The paper's environment: 6 lanes × 3.2 m, 3 km road, 25 m/s limit,
+    /// 100 m sensor radius.
+    pub fn paper_default() -> Self {
+        Self { lat: 7.0, lon: 3000.0, vel: 25.0, d_lat: 7.0 * 3.2, d_lon: 100.0 }
+    }
+
+    fn scale_rel(&self, row: &[f64; ROW_DIM]) -> [f32; ROW_DIM] {
+        [
+            (row[0] / self.d_lat) as f32,
+            (row[1] / self.d_lon) as f32,
+            (row[2] / self.vel) as f32,
+            row[3] as f32,
+        ]
+    }
+
+    fn scale_ego(&self, row: &[f64; ROW_DIM]) -> [f32; ROW_DIM] {
+        [
+            (row[0] / self.lat) as f32,
+            (row[1] / self.lon) as f32,
+            (row[2] / self.vel) as f32,
+            row[3] as f32,
+        ]
+    }
+
+    /// The current block as a `CURRENT_ROWS x ROW_DIM` matrix.
+    pub fn current_matrix(&self, s: &AugmentedState) -> Matrix {
+        let mut data = Vec::with_capacity(CURRENT_ROWS * ROW_DIM);
+        data.extend_from_slice(&self.scale_ego(&s.current[0]));
+        for row in &s.current[1..] {
+            data.extend_from_slice(&self.scale_rel(row));
+        }
+        Matrix::from_vec(CURRENT_ROWS, ROW_DIM, data)
+    }
+
+    /// The future block as a `FUTURE_ROWS x ROW_DIM` matrix.
+    pub fn future_matrix(&self, s: &AugmentedState) -> Matrix {
+        let mut data = Vec::with_capacity(FUTURE_ROWS * ROW_DIM);
+        for row in &s.future {
+            data.extend_from_slice(&self.scale_rel(row));
+        }
+        Matrix::from_vec(FUTURE_ROWS, ROW_DIM, data)
+    }
+
+    /// The whole state as one `1 x STATE_DIM` row (for flat-input nets).
+    pub fn flat_row(&self, s: &AugmentedState) -> Vec<f32> {
+        let mut data = Vec::with_capacity(STATE_DIM);
+        data.extend_from_slice(self.current_matrix(s).data());
+        data.extend_from_slice(self.future_matrix(s).data());
+        data
+    }
+
+    /// Stacks many states into a `(batch * CURRENT_ROWS) x ROW_DIM` matrix
+    /// (the layout the branched nets reshape from).
+    pub fn current_batch(&self, states: &[&AugmentedState]) -> Matrix {
+        let mut data = Vec::with_capacity(states.len() * CURRENT_ROWS * ROW_DIM);
+        for s in states {
+            data.extend_from_slice(self.current_matrix(s).data());
+        }
+        Matrix::from_vec(states.len() * CURRENT_ROWS, ROW_DIM, data)
+    }
+
+    /// Stacks many states into a `(batch * FUTURE_ROWS) x ROW_DIM` matrix.
+    pub fn future_batch(&self, states: &[&AugmentedState]) -> Matrix {
+        let mut data = Vec::with_capacity(states.len() * FUTURE_ROWS * ROW_DIM);
+        for s in states {
+            data.extend_from_slice(self.future_matrix(s).data());
+        }
+        Matrix::from_vec(states.len() * FUTURE_ROWS, ROW_DIM, data)
+    }
+
+    /// Stacks many states into a `batch x STATE_DIM` matrix.
+    pub fn flat_batch(&self, states: &[&AugmentedState]) -> Matrix {
+        let mut data = Vec::with_capacity(states.len() * STATE_DIM);
+        for s in states {
+            data.extend(self.flat_row(s));
+        }
+        Matrix::from_vec(states.len(), STATE_DIM, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_state() -> AugmentedState {
+        let mut s = AugmentedState::zeros();
+        s.current[0] = [3.0, 1500.0, 20.0, 0.0];
+        s.current[1] = [-3.2, 40.0, -5.0, 0.0];
+        s.future[0] = [-3.2, 37.5, -5.0, 0.0];
+        s
+    }
+
+    #[test]
+    fn behaviour_index_roundtrip() {
+        for b in LaneBehaviour::ALL {
+            assert_eq!(LaneBehaviour::from_index(b.index()), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_behaviour_index_panics() {
+        let _ = LaneBehaviour::from_index(3);
+    }
+
+    #[test]
+    fn matrices_have_paper_shapes() {
+        let scale = StateScale::paper_default();
+        let s = demo_state();
+        assert_eq!(scale.current_matrix(&s).shape(), (7, 4));
+        assert_eq!(scale.future_matrix(&s).shape(), (6, 4));
+        assert_eq!(scale.flat_row(&s).len(), STATE_DIM);
+        assert_eq!(STATE_DIM, 52);
+    }
+
+    #[test]
+    fn scaling_keeps_magnitudes_order_one() {
+        let scale = StateScale::paper_default();
+        let s = demo_state();
+        for &v in scale.current_matrix(&s).data() {
+            assert!(v.abs() <= 1.0 + 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn ego_row_uses_raw_scaling() {
+        let scale = StateScale::paper_default();
+        let s = demo_state();
+        let m = scale.current_matrix(&s);
+        assert!((m.get(0, 0) - 3.0 / 7.0).abs() < 1e-6);
+        assert!((m.get(0, 1) - 0.5).abs() < 1e-6);
+        // Target row uses relative scaling.
+        assert!((m.get(1, 1) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_layout_is_row_blocked() {
+        let scale = StateScale::paper_default();
+        let a = demo_state();
+        let mut b = demo_state();
+        b.current[0][2] = 10.0;
+        let batch = scale.current_batch(&[&a, &b]);
+        assert_eq!(batch.shape(), (14, 4));
+        assert_eq!(batch.get(0, 2), scale.current_matrix(&a).get(0, 2));
+        assert_eq!(batch.get(7, 2), scale.current_matrix(&b).get(0, 2));
+    }
+}

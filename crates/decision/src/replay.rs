@@ -1,0 +1,139 @@
+//! Experience replay buffer (fixed-capacity ring, uniform sampling) — the
+//! replay memory `B` of the paper's P-DQN-style optimisation (Eq. 22).
+
+use crate::pamdp::{Action, AugmentedState};
+use rand::Rng;
+
+/// One stored experience.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: AugmentedState,
+    /// The executed parameterized action.
+    pub action: Action,
+    /// The full action vector in force when the action was chosen
+    /// (including exploration noise). Slots 0..3 hold one acceleration per
+    /// discrete behaviour; slots 3..6 hold discrete activations (used only
+    /// by P-DDPG's collapsed action space). Learners that do not condition
+    /// on parameters ignore it.
+    pub params: [f32; 6],
+    /// Observed reward.
+    pub reward: f64,
+    /// Successor state (ignored when `terminal`).
+    pub next_state: AugmentedState,
+    /// Whether the episode ended after this transition.
+    pub terminal: bool,
+}
+
+/// Fixed-capacity FIFO replay buffer with uniform random sampling.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer that keeps the last `capacity` transitions
+    /// (the paper uses 20 000).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { capacity, items: Vec::with_capacity(capacity.min(4096)), head: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum number of transitions retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut impl Rng) -> Vec<&'a Transition> {
+        (0..n).map(|_| &self.items[rng.random_range(0..self.items.len())]).collect()
+    }
+
+    /// Clears all stored transitions.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pamdp::LaneBehaviour;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn transition(reward: f64) -> Transition {
+        Transition {
+            state: AugmentedState::zeros(),
+            action: Action { behaviour: LaneBehaviour::Keep, accel: 0.0 },
+            params: [0.0; 6],
+            reward,
+            next_state: AugmentedState::zeros(),
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(transition(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f64> = buf.items.iter().map(|t| t.reward).collect();
+        // Ring overwrote 0 and 1.
+        assert!(rewards.contains(&2.0) && rewards.contains(&3.0) && rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sampling_covers_buffer() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.push(transition(i as f64));
+        }
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let sample = buf.sample(200, &mut rng);
+        let mut seen = [false; 10];
+        for t in sample {
+            seen[t.reward as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampling should cover all slots");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.push(transition(1.0));
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The hybrid reward function (paper §IV-C, Eqs. 28–30): a weighted sum of
+//! safety (time-to-collision), efficiency (speed), comfort (jerk) and
+//! impact (deceleration forced onto the rear vehicle).
+
+use serde::{Deserialize, Serialize};
+
+/// Reward coefficients and thresholds. Defaults are the paper's grid-search
+/// winners (Table VII): `w = (0.9, 0.8, 0.6, 0.2)`, `G = 4 s`,
+/// `v_thr = 0.5 m/s`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// Safety weight `w1`.
+    pub w_safety: f64,
+    /// Efficiency weight `w2`.
+    pub w_efficiency: f64,
+    /// Comfort weight `w3`.
+    pub w_comfort: f64,
+    /// Impact weight `w4` (0 disables the paper's contribution — the
+    /// HEAD-w/o-IMP ablation).
+    pub w_impact: f64,
+    /// TTC scaling threshold `G`, s.
+    pub ttc_threshold: f64,
+    /// Rear-deceleration threshold `v_thr`, m/s.
+    pub v_thr: f64,
+    /// Acceleration bound `a'`, m/s².
+    pub a_max: f64,
+    /// Speed limits, m/s.
+    pub v_min: f64,
+    /// Speed limit, m/s.
+    pub v_max: f64,
+    /// Step length Δt, s.
+    pub dt: f64,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self {
+            w_safety: 0.9,
+            w_efficiency: 0.8,
+            w_comfort: 0.6,
+            w_impact: 0.2,
+            ttc_threshold: 4.0,
+            v_thr: 0.5,
+            a_max: 3.0,
+            v_min: 5.0 / 3.6,
+            v_max: 25.0,
+            dt: 0.5,
+        }
+    }
+}
+
+/// Everything the reward needs to know about one transition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RewardInput {
+    /// The ego collided (vehicle crash or road-boundary hit) this step.
+    pub collision: bool,
+    /// Longitudinal distance to the front vehicle at `t+1`, m (`d_lon`).
+    pub front_gap: Option<f64>,
+    /// Relative velocity of the front vehicle at `t+1`
+    /// (`v(C2, A)`; negative = closing).
+    pub front_v_rel: Option<f64>,
+    /// The front slot is a constructed phantom (TTC masked per the paper).
+    pub front_is_phantom: bool,
+    /// Ego velocity at `t+1`, m/s.
+    pub ego_vel_next: f64,
+    /// Acceleration commanded at `t`.
+    pub accel: f64,
+    /// Acceleration commanded at `t-1`.
+    pub prev_accel: f64,
+    /// Rear vehicle's velocity at `t`, m/s.
+    pub rear_vel_now: Option<f64>,
+    /// Rear vehicle's velocity at `t+1`, m/s.
+    pub rear_vel_next: Option<f64>,
+    /// The rear slot is a constructed phantom (impact masked).
+    pub rear_is_phantom: bool,
+}
+
+/// The four reward components plus their weighted sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RewardParts {
+    /// `r1 ∈ [-3, 0]`.
+    pub safety: f64,
+    /// `r2 ∈ [0, 1]`.
+    pub efficiency: f64,
+    /// `r3 ∈ [-1, 0]`.
+    pub comfort: f64,
+    /// `r4 ∈ [-1, 0]`.
+    pub impact: f64,
+    /// `w1 r1 + w2 r2 + w3 r3 + w4 r4`.
+    pub total: f64,
+}
+
+impl RewardConfig {
+    /// Evaluates the hybrid reward for one transition.
+    pub fn evaluate(&self, input: &RewardInput) -> RewardParts {
+        let safety = self.safety(input);
+        let efficiency =
+            ((input.ego_vel_next - self.v_min) / (self.v_max - self.v_min)).clamp(0.0, 1.0);
+        let comfort = -((input.accel - input.prev_accel).abs() / (2.0 * self.a_max)).min(1.0);
+        let impact = self.impact(input);
+        let total = self.w_safety * safety
+            + self.w_efficiency * efficiency
+            + self.w_comfort * comfort
+            + self.w_impact * impact;
+        RewardParts { safety, efficiency, comfort, impact, total }
+    }
+
+    /// Eq. 29. TTC is only defined while closing on the front vehicle
+    /// (`v_rel < 0`); phantoms contribute only through collisions.
+    fn safety(&self, input: &RewardInput) -> f64 {
+        if input.collision {
+            return -3.0;
+        }
+        if input.front_is_phantom {
+            return 0.0;
+        }
+        match (input.front_gap, input.front_v_rel) {
+            (Some(gap), Some(v_rel)) if v_rel < 0.0 => {
+                let ttc = gap / (-v_rel);
+                if ttc >= 0.0 && ttc < self.ttc_threshold {
+                    (ttc / self.ttc_threshold).ln().max(-3.0)
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Eq. 30: penalise forcing the rear vehicle to decelerate by more
+    /// than `v_thr` within one step.
+    fn impact(&self, input: &RewardInput) -> f64 {
+        if input.rear_is_phantom {
+            return 0.0;
+        }
+        match (input.rear_vel_now, input.rear_vel_next) {
+            (Some(now), Some(next)) if now - next > self.v_thr => {
+                ((next - now) / (2.0 * self.a_max * self.dt)).max(-1.0)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Returns the weights as the `(w1, w2, w3, w4)` tuple (Table VII).
+    pub fn weights(&self) -> (f64, f64, f64, f64) {
+        (self.w_safety, self.w_efficiency, self.w_comfort, self.w_impact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_input() -> RewardInput {
+        RewardInput { ego_vel_next: 20.0, ..Default::default() }
+    }
+
+    #[test]
+    fn collision_gives_minimum_safety() {
+        let cfg = RewardConfig::default();
+        let parts = cfg.evaluate(&RewardInput { collision: true, ..base_input() });
+        assert_eq!(parts.safety, -3.0);
+    }
+
+    #[test]
+    fn ttc_below_threshold_is_log_penalised() {
+        let cfg = RewardConfig::default();
+        // gap 20 m, closing at 10 m/s -> TTC = 2 s < G = 4 s.
+        let parts = cfg.evaluate(&RewardInput {
+            front_gap: Some(20.0),
+            front_v_rel: Some(-10.0),
+            ..base_input()
+        });
+        assert!((parts.safety - (2.0f64 / 4.0).ln()).abs() < 1e-12);
+        assert!(parts.safety < 0.0 && parts.safety > -3.0);
+    }
+
+    #[test]
+    fn ttc_penalty_clipped_at_minus_three() {
+        let cfg = RewardConfig::default();
+        let parts = cfg.evaluate(&RewardInput {
+            front_gap: Some(0.01),
+            front_v_rel: Some(-25.0),
+            ..base_input()
+        });
+        assert_eq!(parts.safety, -3.0);
+    }
+
+    #[test]
+    fn receding_front_vehicle_is_safe() {
+        let cfg = RewardConfig::default();
+        let parts = cfg.evaluate(&RewardInput {
+            front_gap: Some(5.0),
+            front_v_rel: Some(2.0),
+            ..base_input()
+        });
+        assert_eq!(parts.safety, 0.0);
+    }
+
+    #[test]
+    fn phantom_front_masks_ttc() {
+        let cfg = RewardConfig::default();
+        let parts = cfg.evaluate(&RewardInput {
+            front_gap: Some(1.0),
+            front_v_rel: Some(-20.0),
+            front_is_phantom: true,
+            ..base_input()
+        });
+        assert_eq!(parts.safety, 0.0);
+    }
+
+    #[test]
+    fn efficiency_spans_unit_interval() {
+        let cfg = RewardConfig::default();
+        let at = |v: f64| cfg.evaluate(&RewardInput { ego_vel_next: v, ..base_input() }).efficiency;
+        assert_eq!(at(cfg.v_min), 0.0);
+        assert_eq!(at(cfg.v_max), 1.0);
+        assert!(at(13.2) > 0.0 && at(13.2) < 1.0);
+        assert_eq!(at(99.0), 1.0, "clamped above v_max");
+    }
+
+    #[test]
+    fn comfort_penalises_jerk() {
+        let cfg = RewardConfig::default();
+        let parts =
+            cfg.evaluate(&RewardInput { accel: 3.0, prev_accel: -3.0, ..base_input() });
+        assert_eq!(parts.comfort, -1.0);
+        let smooth = cfg.evaluate(&RewardInput { accel: 1.0, prev_accel: 1.0, ..base_input() });
+        assert_eq!(smooth.comfort, 0.0);
+    }
+
+    #[test]
+    fn impact_fires_only_above_threshold() {
+        let cfg = RewardConfig::default();
+        let big = cfg.evaluate(&RewardInput {
+            rear_vel_now: Some(20.0),
+            rear_vel_next: Some(18.0),
+            ..base_input()
+        });
+        assert!((big.impact - (-2.0 / 3.0)).abs() < 1e-12);
+        let small = cfg.evaluate(&RewardInput {
+            rear_vel_now: Some(20.0),
+            rear_vel_next: Some(19.8),
+            ..base_input()
+        });
+        assert_eq!(small.impact, 0.0, "0.2 m/s is below v_thr");
+        let accelerating = cfg.evaluate(&RewardInput {
+            rear_vel_now: Some(20.0),
+            rear_vel_next: Some(21.0),
+            ..base_input()
+        });
+        assert_eq!(accelerating.impact, 0.0);
+    }
+
+    #[test]
+    fn phantom_rear_masks_impact() {
+        let cfg = RewardConfig::default();
+        let parts = cfg.evaluate(&RewardInput {
+            rear_vel_now: Some(20.0),
+            rear_vel_next: Some(10.0),
+            rear_is_phantom: true,
+            ..base_input()
+        });
+        assert_eq!(parts.impact, 0.0);
+    }
+
+    #[test]
+    fn total_is_weighted_sum() {
+        let cfg = RewardConfig::default();
+        let input = RewardInput {
+            front_gap: Some(20.0),
+            front_v_rel: Some(-10.0),
+            accel: 2.0,
+            prev_accel: 0.0,
+            rear_vel_now: Some(20.0),
+            rear_vel_next: Some(18.0),
+            ..base_input()
+        };
+        let p = cfg.evaluate(&input);
+        let expected =
+            0.9 * p.safety + 0.8 * p.efficiency + 0.6 * p.comfort + 0.2 * p.impact;
+        assert!((p.total - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_bounds_hold_over_sweep() {
+        let cfg = RewardConfig::default();
+        for gap in [0.1, 1.0, 10.0, 100.0] {
+            for v_rel in [-30.0, -5.0, 0.0, 5.0] {
+                for vel in [0.0, 10.0, 25.0] {
+                    let p = cfg.evaluate(&RewardInput {
+                        front_gap: Some(gap),
+                        front_v_rel: Some(v_rel),
+                        ego_vel_next: vel,
+                        accel: 3.0,
+                        prev_accel: -1.0,
+                        rear_vel_now: Some(20.0),
+                        rear_vel_next: Some(12.0),
+                        ..Default::default()
+                    });
+                    assert!((-3.0..=0.0).contains(&p.safety));
+                    assert!((0.0..=1.0).contains(&p.efficiency));
+                    assert!((-1.0..=0.0).contains(&p.comfort));
+                    assert!((-1.0..=0.0).contains(&p.impact));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the hybrid reward: component bounds, weight
+//! linearity and masking invariants must hold for arbitrary inputs.
+
+use decision::{RewardConfig, RewardInput};
+use proptest::prelude::*;
+
+fn input_strategy() -> impl Strategy<Value = RewardInput> {
+    (
+        any::<bool>(),
+        prop::option::of(0.0f64..200.0),
+        prop::option::of(-30.0f64..30.0),
+        any::<bool>(),
+        0.0f64..25.0,
+        -3.0f64..3.0,
+        -3.0f64..3.0,
+        prop::option::of(0.0f64..25.0),
+        prop::option::of(0.0f64..25.0),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(collision, front_gap, front_v_rel, front_is_phantom, ego_vel_next, accel, prev_accel, rear_vel_now, rear_vel_next, rear_is_phantom)| {
+                RewardInput {
+                    collision,
+                    front_gap,
+                    front_v_rel,
+                    front_is_phantom,
+                    ego_vel_next,
+                    accel,
+                    prev_accel,
+                    rear_vel_now,
+                    rear_vel_next,
+                    rear_is_phantom,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn components_stay_in_paper_bounds(input in input_strategy()) {
+        let parts = RewardConfig::default().evaluate(&input);
+        prop_assert!((-3.0..=0.0).contains(&parts.safety), "safety {}", parts.safety);
+        prop_assert!((0.0..=1.0).contains(&parts.efficiency));
+        prop_assert!((-1.0..=0.0).contains(&parts.comfort));
+        prop_assert!((-1.0..=0.0).contains(&parts.impact));
+        prop_assert!(parts.total.is_finite());
+    }
+
+    #[test]
+    fn total_is_linear_in_weights(input in input_strategy(), s in 0.1f64..3.0) {
+        let base = RewardConfig::default();
+        let scaled = RewardConfig {
+            w_safety: base.w_safety * s,
+            w_efficiency: base.w_efficiency * s,
+            w_comfort: base.w_comfort * s,
+            w_impact: base.w_impact * s,
+            ..base
+        };
+        let a = base.evaluate(&input);
+        let b = scaled.evaluate(&input);
+        prop_assert!((b.total - s * a.total).abs() < 1e-9);
+        // Components themselves are weight-independent.
+        prop_assert_eq!(a.safety, b.safety);
+        prop_assert_eq!(a.impact, b.impact);
+    }
+
+    #[test]
+    fn collision_dominates_safety(mut input in input_strategy()) {
+        input.collision = true;
+        let parts = RewardConfig::default().evaluate(&input);
+        prop_assert_eq!(parts.safety, -3.0);
+    }
+
+    #[test]
+    fn phantoms_mask_their_terms(mut input in input_strategy()) {
+        input.collision = false;
+        input.front_is_phantom = true;
+        input.rear_is_phantom = true;
+        let parts = RewardConfig::default().evaluate(&input);
+        prop_assert_eq!(parts.safety, 0.0);
+        prop_assert_eq!(parts.impact, 0.0);
+    }
+
+    #[test]
+    fn impact_zero_weight_removes_impact_from_total(input in input_strategy()) {
+        let base = RewardConfig::default();
+        let no_imp = RewardConfig { w_impact: 0.0, ..base };
+        let a = base.evaluate(&input);
+        let b = no_imp.evaluate(&input);
+        prop_assert!((a.total - b.total - base.w_impact * a.impact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_is_never_less_efficient(input in input_strategy(), dv in 0.0f64..10.0) {
+        let cfg = RewardConfig::default();
+        let slow = cfg.evaluate(&input);
+        let mut faster = input;
+        faster.ego_vel_next += dv;
+        let fast = cfg.evaluate(&faster);
+        prop_assert!(fast.efficiency >= slow.efficiency - 1e-12);
+    }
+}

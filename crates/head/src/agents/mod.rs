@@ -1,0 +1,57 @@
+//! End-to-end driving agents: HEAD itself (a PAMDP policy over the
+//! enhanced-perception state) and the paper's four baselines
+//! (IDM-LC, ACC-LC, DRL-SC, TP-BTS).
+
+mod drl_sc;
+mod policy;
+mod rule;
+mod tp_bts;
+
+pub use drl_sc::{DrlSc, SafetyCheck};
+pub use policy::PolicyAgent;
+pub use rule::{AccLc, IdmLc, RuleConfig};
+pub use tp_bts::{TpBts, TpBtsConfig};
+
+use crate::env::Percepts;
+use decision::{Action, AugmentedState};
+
+/// A complete driving agent: maps percepts to maneuvers, optionally
+/// learning from feedback.
+pub trait DrivingAgent {
+    /// Display name (used as the table row label).
+    fn name(&self) -> String;
+
+    /// Chooses the maneuver for the current percepts.
+    fn decide(&mut self, percepts: &Percepts, explore: bool) -> Action;
+
+    /// Learning feedback after the environment applied `action`.
+    /// Rule-based agents ignore it.
+    fn feedback(
+        &mut self,
+        _state: &AugmentedState,
+        _action: Action,
+        _reward: f64,
+        _next_state: &AugmentedState,
+        _terminal: bool,
+    ) {
+    }
+
+    /// Stores a demonstration transition (an action chosen by a teacher,
+    /// not by this agent) without triggering a learning step. Rule-based
+    /// agents ignore it.
+    fn demonstrate(
+        &mut self,
+        _state: &AugmentedState,
+        _action: Action,
+        _reward: f64,
+        _next_state: &AugmentedState,
+        _terminal: bool,
+    ) {
+    }
+
+    /// Whether the agent learns online (controls whether training episodes
+    /// are run at all).
+    fn is_learning(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,110 @@
+//! Adapter wrapping any PAMDP learner (BP-DQN, P-DQN, …) as a driving
+//! agent — this is HEAD itself when the learner is BP-DQN and the
+//! environment runs the full enhanced-perception pipeline.
+
+use crate::agents::DrivingAgent;
+use crate::env::Percepts;
+use decision::{Action, AugmentedState, PamdpAgent, Transition};
+
+/// A learning driving agent backed by a PAMDP policy.
+pub struct PolicyAgent {
+    label: String,
+    inner: Box<dyn PamdpAgent>,
+    last_params: [f32; 6],
+}
+
+impl PolicyAgent {
+    /// Wraps a learner under a display label (e.g. `"HEAD"`).
+    pub fn new(label: impl Into<String>, inner: Box<dyn PamdpAgent>) -> Self {
+        Self { label: label.into(), inner, last_params: [0.0; 6] }
+    }
+
+    /// Access to the wrapped learner.
+    pub fn learner(&self) -> &dyn PamdpAgent {
+        self.inner.as_ref()
+    }
+
+    /// Mutable access to the wrapped learner (e.g. for checkpointing).
+    pub fn learner_mut(&mut self) -> &mut dyn PamdpAgent {
+        self.inner.as_mut()
+    }
+}
+
+impl DrivingAgent for PolicyAgent {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, percepts: &Percepts, explore: bool) -> Action {
+        let (action, params) = self.inner.act(&percepts.state, explore);
+        self.last_params = params;
+        action
+    }
+
+    fn feedback(
+        &mut self,
+        state: &AugmentedState,
+        action: Action,
+        reward: f64,
+        next_state: &AugmentedState,
+        terminal: bool,
+    ) {
+        self.inner.observe(Transition {
+            state: *state,
+            action,
+            params: self.last_params,
+            reward,
+            next_state: *next_state,
+            terminal,
+        });
+        self.inner.learn();
+    }
+
+    fn demonstrate(
+        &mut self,
+        state: &AugmentedState,
+        action: Action,
+        reward: f64,
+        next_state: &AugmentedState,
+        terminal: bool,
+    ) {
+        // The teacher's acceleration stands in for all three behaviour
+        // slots: for the executed behaviour it is exact; for the others it
+        // is a neutral, plausible parameter.
+        let a = action.accel as f32;
+        self.inner.observe(Transition {
+            state: *state,
+            action,
+            params: [a, a, a, 0.0, 0.0, 0.0],
+            reward,
+            next_state: *next_state,
+            terminal,
+        });
+    }
+
+    fn is_learning(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decision::{AgentConfig, BpDqn, LinearSchedule};
+
+    #[test]
+    fn wraps_learner_name_and_decisions() {
+        let cfg = AgentConfig {
+            warmup: 8,
+            batch_size: 8,
+            epsilon: LinearSchedule::new(1.0, 0.1, 100),
+            ..AgentConfig::default()
+        };
+        let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(cfg)));
+        assert_eq!(agent.name(), "HEAD");
+        assert!(agent.is_learning());
+        let state = AugmentedState::zeros();
+        // Feedback before any experience must be safe.
+        agent.feedback(&state, decision::Action { behaviour: decision::LaneBehaviour::Keep, accel: 0.0 }, 0.0, &state, false);
+    }
+}

@@ -1,0 +1,230 @@
+//! Rule-based baselines: **IDM-LC** (intelligent driver model + lane
+//! changing) and **ACC-LC** (adaptive cruise control + lane changing) —
+//! the paper's two traditional comparison methods. Both perceive the world
+//! through the same sensor-limited percepts as HEAD (they read the target
+//! slots of the spatial-temporal graph) and use a MOBIL-style
+//! incentive+safety lane-change rule.
+
+use crate::agents::DrivingAgent;
+use crate::env::Percepts;
+use decision::{Action, LaneBehaviour};
+use perception::{Area, MissingKind, NodeSource};
+use serde::{Deserialize, Serialize};
+use traffic_sim::{
+    acc_accel, idm_accel, mobil_decision, Controller, DriverParams, FollowerView, LaneChange,
+    LaneContext, LeaderView, Vehicle, VehicleId,
+};
+
+/// Parameters shared by the rule-based agents.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RuleConfig {
+    /// Vehicle body length, m (to convert centre distances to gaps).
+    pub vehicle_len: f64,
+    /// Acceleration bound a', m/s².
+    pub a_max: f64,
+    /// Driver profile used for car-following and lane-change incentives.
+    pub driver: DriverParams,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        let mut driver = DriverParams::nominal();
+        driver.desired_speed = 25.0; // drive up to the limit, like the AV
+        Self { vehicle_len: 5.0, a_max: 3.0, driver }
+    }
+}
+
+/// Which car-following law the rule agent uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FollowLaw {
+    Idm,
+    Acc,
+}
+
+/// Shared implementation of the two rule-based agents.
+struct RuleAgent {
+    cfg: RuleConfig,
+    law: FollowLaw,
+}
+
+/// Extracts a leader view from a front-side target slot. Phantom vehicles
+/// constructed at the sensor horizon behave like a distant leader, which is
+/// exactly their purpose.
+fn leader_of(percepts: &Percepts, area: Area, vehicle_len: f64) -> Option<LeaderView> {
+    let h = percepts.target(area);
+    match percepts.target_source(area) {
+        NodeSource::Phantom(MissingKind::ZeroPadded) => None,
+        _ => Some(LeaderView {
+            gap: h[1] - vehicle_len,
+            vel: percepts.ego.vel + h[2],
+        }),
+    }
+}
+
+fn follower_of(
+    percepts: &Percepts,
+    area: Area,
+    vehicle_len: f64,
+    driver: DriverParams,
+) -> Option<FollowerView> {
+    let h = percepts.target(area);
+    match percepts.target_source(area) {
+        NodeSource::Phantom(MissingKind::ZeroPadded) => None,
+        _ => Some(FollowerView {
+            gap: -h[1] - vehicle_len,
+            vel: percepts.ego.vel + h[2],
+            decel: driver.decel,
+            driver,
+        }),
+    }
+}
+
+/// A lane is unavailable when its targets are *inherent* phantoms (the
+/// virtual boundary lane).
+fn lane_available(percepts: &Percepts, front: Area, rear: Area) -> bool {
+    !matches!(percepts.target_source(front), NodeSource::Phantom(MissingKind::Inherent))
+        && !matches!(percepts.target_source(rear), NodeSource::Phantom(MissingKind::Inherent))
+}
+
+impl RuleAgent {
+    fn decide(&mut self, percepts: &Percepts) -> Action {
+        let cfg = &self.cfg;
+        let ego_vehicle = Vehicle {
+            id: VehicleId(u64::MAX),
+            lane: (percepts.ego.lat - 1.0).max(0.0) as usize,
+            pos: percepts.ego.lon,
+            vel: percepts.ego.vel,
+            accel: 0.0,
+            length: cfg.vehicle_len,
+            controller: Controller::External,
+            driver: cfg.driver,
+            collided: false,
+            lc_cooldown: 0,
+        };
+
+        let current = LaneContext {
+            leader: leader_of(percepts, Area::Front, cfg.vehicle_len),
+            follower: follower_of(percepts, Area::Rear, cfg.vehicle_len, cfg.driver),
+        };
+        let left = lane_available(percepts, Area::FrontLeft, Area::RearLeft).then(|| LaneContext {
+            leader: leader_of(percepts, Area::FrontLeft, cfg.vehicle_len),
+            follower: follower_of(percepts, Area::RearLeft, cfg.vehicle_len, cfg.driver),
+        });
+        let right =
+            lane_available(percepts, Area::FrontRight, Area::RearRight).then(|| LaneContext {
+                leader: leader_of(percepts, Area::FrontRight, cfg.vehicle_len),
+                follower: follower_of(percepts, Area::RearRight, cfg.vehicle_len, cfg.driver),
+            });
+
+        let change = mobil_decision(&ego_vehicle, current, left, right);
+        let (behaviour, leader) = match change {
+            LaneChange::Keep => (LaneBehaviour::Keep, current.leader),
+            LaneChange::Left => {
+                (LaneBehaviour::Left, left.and_then(|c| c.leader))
+            }
+            LaneChange::Right => {
+                (LaneBehaviour::Right, right.and_then(|c| c.leader))
+            }
+        };
+        let accel = match self.law {
+            FollowLaw::Idm => idm_accel(&cfg.driver, percepts.ego.vel, leader),
+            FollowLaw::Acc => acc_accel(&cfg.driver, percepts.ego.vel, leader),
+        };
+        Action { behaviour, accel: accel.clamp(-cfg.a_max, cfg.a_max) }
+    }
+}
+
+/// The IDM-LC baseline.
+pub struct IdmLc(RuleAgent);
+
+impl IdmLc {
+    /// Builds the agent.
+    pub fn new(cfg: RuleConfig) -> Self {
+        Self(RuleAgent { cfg, law: FollowLaw::Idm })
+    }
+}
+
+impl DrivingAgent for IdmLc {
+    fn name(&self) -> String {
+        "IDM-LC".into()
+    }
+
+    fn decide(&mut self, percepts: &Percepts, _explore: bool) -> Action {
+        self.0.decide(percepts)
+    }
+}
+
+/// The ACC-LC baseline.
+pub struct AccLc(RuleAgent);
+
+impl AccLc {
+    /// Builds the agent.
+    pub fn new(cfg: RuleConfig) -> Self {
+        Self(RuleAgent { cfg, law: FollowLaw::Acc })
+    }
+}
+
+impl DrivingAgent for AccLc {
+    fn name(&self) -> String {
+        "ACC-LC".into()
+    }
+
+    fn decide(&mut self, percepts: &Percepts, _explore: bool) -> Action {
+        self.0.decide(percepts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvConfig;
+    use crate::env::{HighwayEnv, PerceptionMode};
+    use crate::metrics::Terminal;
+
+    fn drive(agent: &mut dyn DrivingAgent, seed: u64) -> (Terminal, usize) {
+        let mut cfg = EnvConfig::test_scale();
+        cfg.seed = seed;
+        let mut env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+        for step in 0..400 {
+            let action = agent.decide(env.percepts(), false);
+            let r = env.step(action);
+            if r.terminal != Terminal::None {
+                return (r.terminal, step + 1);
+            }
+        }
+        (Terminal::None, 400)
+    }
+
+    #[test]
+    fn idm_lc_completes_episodes_without_crashing() {
+        let mut agent = IdmLc::new(RuleConfig::default());
+        for seed in 0..5 {
+            let (terminal, _) = drive(&mut agent, seed);
+            assert_eq!(terminal, Terminal::Destination, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn acc_lc_completes_episodes_without_crashing() {
+        let mut agent = AccLc::new(RuleConfig::default());
+        for seed in 10..15 {
+            let (terminal, _) = drive(&mut agent, seed);
+            assert_eq!(terminal, Terminal::Destination, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rule_agents_respect_acceleration_bound() {
+        let mut cfg = EnvConfig::test_scale();
+        cfg.seed = 42;
+        let mut env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+        let mut agent = IdmLc::new(RuleConfig::default());
+        for _ in 0..50 {
+            let a = agent.decide(env.percepts(), false);
+            assert!(a.accel.abs() <= 3.0 + 1e-9);
+            if env.step(a).terminal != Terminal::None {
+                break;
+            }
+        }
+    }
+}

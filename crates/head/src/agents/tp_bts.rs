@@ -1,0 +1,256 @@
+//! TP-BTS baseline (Liu et al., KDD 2021): Trajectory Prediction +
+//! Behaviour-Tree Search. The agent rolls each candidate maneuver forward
+//! over a short horizon against the perception module's predicted
+//! neighbour states, scores the outcomes with hand-crafted rules (safety,
+//! efficiency, and the discrete queue/cross/jump impact cases), and
+//! executes the best first action. As the paper argues (§I), the
+//! discretised accelerations and rule-based impact handling limit it in
+//! continuous action space — the gap Tables I/V quantify.
+
+use crate::agents::DrivingAgent;
+use crate::env::Percepts;
+use decision::{Action, LaneBehaviour};
+use perception::{Area, MissingKind, NodeSource, AREAS};
+use serde::{Deserialize, Serialize};
+
+/// Search options.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TpBtsConfig {
+    /// Discrete acceleration levels searched, m/s².
+    pub accel_levels: [f64; 5],
+    /// Rollout depth, steps.
+    pub depth: usize,
+    /// Step length Δt, s.
+    pub dt: f64,
+    /// Speed limit, m/s.
+    pub v_max: f64,
+    /// Minimum speed, m/s.
+    pub v_min: f64,
+    /// Vehicle body length, m.
+    pub vehicle_len: f64,
+    /// Utility gain a lane change must offer over keeping lane.
+    pub change_hysteresis: f64,
+    /// Candidates whose rollout TTC drops below this are pruned outright
+    /// (the behaviour tree's safety branch).
+    pub ttc_prune: f64,
+}
+
+impl Default for TpBtsConfig {
+    fn default() -> Self {
+        Self {
+            accel_levels: [-3.0, -1.5, 0.0, 1.5, 3.0],
+            depth: 3,
+            dt: 0.5,
+            v_max: 25.0,
+            v_min: 5.0 / 3.6,
+            vehicle_len: 5.0,
+            change_hysteresis: 0.05,
+            ttc_prune: 1.2,
+        }
+    }
+}
+
+/// A neighbour in ego-relative coordinates used by the rollout.
+#[derive(Clone, Copy, Debug)]
+struct Neighbour {
+    d_lat_lanes: f64,
+    d_lon: f64,
+    v_rel: f64,
+    phantom: bool,
+}
+
+/// The TP-BTS agent.
+pub struct TpBts {
+    cfg: TpBtsConfig,
+    lane_width: f64,
+}
+
+impl TpBts {
+    /// Builds the agent.
+    pub fn new(cfg: TpBtsConfig, lane_width: f64) -> Self {
+        Self { cfg, lane_width }
+    }
+
+    fn neighbours(&self, percepts: &Percepts) -> Vec<Neighbour> {
+        AREAS
+            .iter()
+            .map(|&area| {
+                // Geometry is anchored at the *current* relative positions
+                // (exact), while the predicted next state supplies the
+                // velocity estimate — the informative half of the
+                // trajectory prediction. This keeps the rollout sound even
+                // when the predictor is ablated.
+                let now = percepts.target(area);
+                let p = percepts.prediction[area.slot()];
+                let phantom = percepts.target_is_phantom(area);
+                Neighbour {
+                    d_lat_lanes: now[0] / self.lane_width,
+                    d_lon: now[1],
+                    v_rel: p.v_rel,
+                    phantom,
+                }
+            })
+            .collect()
+    }
+
+    /// Scores a candidate (behaviour, accel) by rolling it out against
+    /// constant-velocity extrapolations of the predicted neighbours.
+    fn score(&self, percepts: &Percepts, behaviour: LaneBehaviour, accel: f64) -> f64 {
+        let cfg = &self.cfg;
+        let lane_offset = match behaviour {
+            LaneBehaviour::Left => -1.0,
+            LaneBehaviour::Right => 1.0,
+            LaneBehaviour::Keep => 0.0,
+        };
+        // Lane validity (inherent phantoms mark the road edge).
+        if behaviour != LaneBehaviour::Keep {
+            let (front, rear) = match behaviour {
+                LaneBehaviour::Left => (Area::FrontLeft, Area::RearLeft),
+                LaneBehaviour::Right => (Area::FrontRight, Area::RearRight),
+                LaneBehaviour::Keep => unreachable!(),
+            };
+            for area in [front, rear] {
+                if matches!(
+                    percepts.target_source(area),
+                    NodeSource::Phantom(MissingKind::Inherent)
+                ) {
+                    return f64::NEG_INFINITY;
+                }
+                // Immediate-overlap check: a lane change is instantaneous,
+                // so a vehicle currently alongside (|d_lon| within a body
+                // length) makes the branch fatal *now*, before any rollout.
+                let h = percepts.target(area);
+                if !matches!(
+                    percepts.target_source(area),
+                    NodeSource::Phantom(MissingKind::ZeroPadded)
+                ) && h[1].abs() < cfg.vehicle_len + 1.0
+                {
+                    return f64::NEG_INFINITY;
+                }
+            }
+        }
+
+        // Rollout in a fixed frame anchored at the ego's position at t.
+        // Ego: x_e(0) = 0, v(0) = current speed, constant candidate accel.
+        // Neighbour n (current offset d_lon, predicted absolute speed
+        // v_n = v0 + v_rel): x_n(s) = d_lon + v_n·Δt·s.
+        let v0 = percepts.ego.vel;
+        let mut v = v0;
+        let mut x_ego = 0.0_f64;
+        let mut utility = 0.0;
+        let neighbours = self.neighbours(percepts);
+
+        for step in 1..=cfg.depth {
+            let v_next = (v + accel * cfg.dt).clamp(cfg.v_min, cfg.v_max);
+            x_ego += (v + v_next) * 0.5 * cfg.dt;
+            v = v_next;
+
+            let mut min_ttc = f64::INFINITY;
+            let mut impact_penalty = 0.0;
+            for (slot, n) in neighbours.iter().enumerate() {
+                if n.phantom && !AREAS[slot].is_front() {
+                    continue; // rear phantoms carry no threat information
+                }
+                let same_lane = (n.d_lat_lanes - lane_offset).abs() < 0.5;
+                if !same_lane {
+                    continue;
+                }
+                let v_n = v0 + n.v_rel;
+                let x_n = n.d_lon + v_n * cfg.dt * step as f64;
+                let rel_lon = x_n - x_ego;
+                let gap = rel_lon.abs() - cfg.vehicle_len;
+                if gap < 0.5 {
+                    return f64::NEG_INFINITY; // predicted collision
+                }
+                if rel_lon > 0.0 {
+                    let closing = v - v_n;
+                    if closing > 0.0 {
+                        min_ttc = min_ttc.min(gap / closing);
+                    }
+                } else {
+                    // Rear vehicle in the (new) lane: estimate the forced
+                    // deceleration — the queue/jump impact cases.
+                    let required = (v_n - v) - gap / 2.0;
+                    if required > 0.0 {
+                        impact_penalty += required.min(3.0) / 3.0;
+                    }
+                }
+            }
+            if min_ttc < cfg.ttc_prune {
+                return f64::NEG_INFINITY; // unsafe branch: pruned
+            }
+            let safety = if min_ttc < 4.0 { (min_ttc / 4.0).ln().max(-3.0) } else { 0.0 };
+            let efficiency = (v - cfg.v_min) / (cfg.v_max - cfg.v_min);
+            utility += 0.9 * safety + 0.8 * efficiency - 0.2 * impact_penalty;
+        }
+        // Behaviour-tree bias: lane keeping is preferred unless a change
+        // clearly wins.
+        if behaviour != LaneBehaviour::Keep {
+            utility -= cfg.change_hysteresis;
+        }
+        utility
+    }
+}
+
+impl DrivingAgent for TpBts {
+    fn name(&self) -> String {
+        "TP-BTS".into()
+    }
+
+    fn decide(&mut self, percepts: &Percepts, _explore: bool) -> Action {
+        // Fallback when every branch is pruned: emergency braking.
+        let mut best = Action { behaviour: LaneBehaviour::Keep, accel: -self.cfg.accel_levels[0].abs() };
+        let mut best_score = f64::NEG_INFINITY;
+        for behaviour in [LaneBehaviour::Keep, LaneBehaviour::Left, LaneBehaviour::Right] {
+            for &accel in &self.cfg.accel_levels {
+                let s = self.score(percepts, behaviour, accel);
+                if s > best_score {
+                    best_score = s;
+                    best = Action { behaviour, accel };
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvConfig;
+    use crate::env::{HighwayEnv, PerceptionMode};
+    use crate::metrics::Terminal;
+
+    #[test]
+    fn picks_actions_from_the_discrete_grid() {
+        let mut cfg = EnvConfig::test_scale();
+        cfg.seed = 7;
+        let env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+        let mut agent = TpBts::new(TpBtsConfig::default(), 3.2);
+        let a = agent.decide(env.percepts(), false);
+        assert!(TpBtsConfig::default().accel_levels.contains(&a.accel));
+    }
+
+    #[test]
+    fn completes_short_episodes() {
+        let mut completions = 0;
+        for seed in 0..5 {
+            let mut cfg = EnvConfig::test_scale();
+            cfg.seed = 100 + seed;
+            let mut env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+            let mut agent = TpBts::new(TpBtsConfig::default(), 3.2);
+            for _ in 0..400 {
+                let action = agent.decide(env.percepts(), false);
+                let r = env.step(action);
+                if r.terminal == Terminal::Destination {
+                    completions += 1;
+                    break;
+                }
+                if r.terminal != Terminal::None {
+                    break;
+                }
+            }
+        }
+        assert!(completions >= 4, "TP-BTS completed only {completions}/5 episodes");
+    }
+}

@@ -1,0 +1,98 @@
+//! Environment and experiment configuration.
+
+use decision::RewardConfig;
+use sensor::SensorConfig;
+use serde::{Deserialize, Serialize};
+use traffic_sim::SimConfig;
+
+/// Configuration of the closed-loop highway environment an agent drives in.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EnvConfig {
+    /// Simulator settings (road, traffic, restrictions).
+    pub sim: SimConfig,
+    /// Sensor settings (range, occlusion).
+    pub sensor: SensorConfig,
+    /// History depth `z` for the perception module.
+    pub z: usize,
+    /// Hybrid reward settings.
+    pub reward: RewardConfig,
+    /// Hard step cap per episode (safety net; the paper's episodes end at
+    /// the destination or at a collision).
+    pub max_steps: usize,
+    /// Simulation steps run before the AV is inserted.
+    pub warmup_steps: usize,
+    /// AV entry velocity, m/s.
+    pub av_start_vel: f64,
+    /// Base RNG seed; episode `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        Self {
+            sim: SimConfig::default(),
+            sensor: SensorConfig::default(),
+            z: 5,
+            reward: RewardConfig::default(),
+            max_steps: 1200,
+            warmup_steps: 60,
+            av_start_vel: 15.0,
+            seed: 0,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// The paper's full-scale environment: 3 km six-lane road, 180 veh/km.
+    pub fn paper_scale() -> Self {
+        Self::default()
+    }
+
+    /// A reduced environment for tests and laptop-scale benches: shorter
+    /// road, same density and restrictions — the per-step decision problem
+    /// is unchanged, episodes are just shorter.
+    pub fn bench_scale() -> Self {
+        let mut cfg = Self::default();
+        cfg.sim.road_len = 600.0;
+        cfg.max_steps = 240;
+        cfg.warmup_steps = 40;
+        cfg
+    }
+
+    /// An even smaller environment for unit tests.
+    pub fn test_scale() -> Self {
+        let mut cfg = Self::default();
+        cfg.sim.road_len = 300.0;
+        cfg.sim.lanes = 4;
+        cfg.max_steps = 120;
+        cfg.warmup_steps = 20;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let cfg = EnvConfig::paper_scale();
+        assert_eq!(cfg.sim.lanes, 6);
+        assert_eq!(cfg.sim.road_len, 3000.0);
+        assert_eq!(cfg.sim.lane_width, 3.2);
+        assert_eq!(cfg.sim.dt, 0.5);
+        assert_eq!(cfg.sim.density_per_km, 180.0);
+        assert_eq!(cfg.sensor.range, 100.0);
+        assert_eq!(cfg.z, 5);
+        assert_eq!(cfg.reward.weights(), (0.9, 0.8, 0.6, 0.2));
+    }
+
+    #[test]
+    fn scaled_configs_keep_the_decision_problem() {
+        for cfg in [EnvConfig::bench_scale(), EnvConfig::test_scale()] {
+            assert_eq!(cfg.sim.dt, 0.5);
+            assert_eq!(cfg.sim.a_max, 3.0);
+            assert_eq!(cfg.sim.density_per_km, 180.0);
+        }
+    }
+}

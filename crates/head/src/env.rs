@@ -1,0 +1,440 @@
+//! The closed-loop highway environment: simulator + sensor + enhanced
+//! perception wired into the PAMDP interface the decision module consumes
+//! (paper Fig. 1: the full perception-and-decision loop).
+
+use crate::config::EnvConfig;
+use crate::metrics::{EpisodeMetrics, MetricsCollector, Terminal};
+use decision::{
+    Action, AugmentedState, LaneBehaviour, RewardInput, RewardParts, CURRENT_ROWS, FUTURE_ROWS,
+};
+use perception::{
+    target_node, Area, BuilderConfig, GraphBuilder, LstGat, NodeSource, Prediction, RawState,
+    StGraph, StatePredictor, NUM_TARGETS,
+};
+use sensor::{sense, SensorHistory};
+use traffic_sim::{ExternalCommand, LaneChange, Simulation, VehicleId};
+
+/// Which state predictor feeds the decision module.
+pub enum PerceptionMode {
+    /// The paper's LST-GAT model (pre-trained).
+    LstGat(Box<LstGat>),
+    /// No prediction: the future block repeats the current states — the
+    /// HEAD-w/o-LST-GAT ablation ("only use the current observable states").
+    Persistence,
+}
+
+impl PerceptionMode {
+    fn predict(&self, graph: &StGraph) -> Prediction {
+        match self {
+            PerceptionMode::LstGat(model) => model.predict(graph),
+            PerceptionMode::Persistence => {
+                let latest = &graph.frames[graph.depth() - 1];
+                let mut pred = Prediction::default();
+                for (i, p) in pred.iter_mut().enumerate() {
+                    let h = latest[target_node(i)];
+                    p.d_lat = h[0];
+                    p.d_lon = h[1];
+                    p.v_rel = h[2];
+                }
+                pred
+            }
+        }
+    }
+}
+
+/// Everything an agent can see at one step.
+#[derive(Clone, Debug)]
+pub struct Percepts {
+    /// The PAMDP augmented state `s⁺` (Eqs. 15–16).
+    pub state: AugmentedState,
+    /// The raw spatial-temporal graph (rule-based agents and TP-BTS read
+    /// the target slots directly).
+    pub graph: StGraph,
+    /// One-step predictions for the six targets.
+    pub prediction: Prediction,
+    /// The ego's raw state (1-based lane).
+    pub ego: RawState,
+}
+
+impl Percepts {
+    /// Latest relative state `[d_lat, d_lon, v_rel, IF]` of a target area.
+    pub fn target(&self, area: Area) -> [f64; 4] {
+        self.graph.frames[self.graph.depth() - 1][target_node(area.slot())]
+    }
+
+    /// Provenance of a target area.
+    pub fn target_source(&self, area: Area) -> NodeSource {
+        self.graph.sources[target_node(area.slot())]
+    }
+
+    /// True when the area's node is a constructed phantom.
+    pub fn target_is_phantom(&self, area: Area) -> bool {
+        self.target_source(area).is_phantom()
+    }
+}
+
+/// Result of one environment step.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Hybrid reward of the executed action.
+    pub reward: RewardParts,
+    /// Terminal status after the step.
+    pub terminal: Terminal,
+    /// The successor augmented state.
+    pub next_state: AugmentedState,
+    /// Per-episode metrics, present when the episode just ended.
+    pub episode: Option<EpisodeMetrics>,
+}
+
+/// The closed-loop environment.
+pub struct HighwayEnv {
+    cfg: EnvConfig,
+    builder: GraphBuilder,
+    perception: PerceptionMode,
+    sim: Simulation,
+    av: VehicleId,
+    history: SensorHistory,
+    percepts: Percepts,
+    prev_accel: f64,
+    steps: usize,
+    episode_index: u64,
+    collector: MetricsCollector,
+}
+
+impl HighwayEnv {
+    /// Creates the environment and starts the first episode.
+    pub fn new(cfg: EnvConfig, perception: PerceptionMode) -> Self {
+        let builder = GraphBuilder::new(BuilderConfig {
+            lanes: cfg.sim.lanes,
+            lane_width: cfg.sim.lane_width,
+            range: cfg.sensor.range,
+            dt: cfg.sim.dt,
+            z: cfg.z,
+            phantoms_enabled: true,
+        });
+        let mut env = Self {
+            builder,
+            perception,
+            sim: Simulation::new(cfg.sim.clone()),
+            av: VehicleId(0),
+            history: SensorHistory::new(cfg.z),
+            percepts: Percepts {
+                state: AugmentedState::zeros(),
+                graph: StGraph {
+                    frames: vec![[[0.0; 4]; perception::NUM_NODES]; cfg.z],
+                    sources: [NodeSource::Ego; perception::NUM_NODES],
+                    ego_latest: RawState { lat: 1.0, lon: 0.0, vel: 0.0 },
+                },
+                prediction: Prediction::default(),
+                ego: RawState { lat: 1.0, lon: 0.0, vel: 0.0 },
+            },
+            prev_accel: 0.0,
+            steps: 0,
+            episode_index: 0,
+            collector: MetricsCollector::new(),
+            cfg,
+        };
+        env.reset();
+        env
+    }
+
+    /// Disables the phantom-construction strategy (HEAD-w/o-PVC ablation).
+    pub fn disable_phantoms(&mut self) {
+        let mut b = *self.builder.cfg();
+        b.phantoms_enabled = false;
+        self.builder = GraphBuilder::new(b);
+    }
+
+    /// Environment configuration.
+    pub fn cfg(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Episodes started so far.
+    pub fn episode_index(&self) -> u64 {
+        self.episode_index
+    }
+
+    /// Starts a new episode and returns its first percepts.
+    pub fn reset(&mut self) -> &Percepts {
+        let seed = self.cfg.seed.wrapping_add(self.episode_index);
+        self.reset_with_seed(seed)
+    }
+
+    /// Starts a new episode with an explicit seed.
+    pub fn reset_with_seed(&mut self, seed: u64) -> &Percepts {
+        self.episode_index += 1;
+        let mut sim_cfg = self.cfg.sim.clone();
+        sim_cfg.seed = seed;
+        self.sim = Simulation::new(sim_cfg);
+        self.sim.populate();
+        self.sim.warm_up(self.cfg.warmup_steps);
+        // Random entry lane, as in the paper.
+        let lane = (seed % self.cfg.sim.lanes as u64) as usize;
+        self.av =
+            self.sim.spawn_external(lane, self.cfg.sim.vehicle_len + 2.0, self.cfg.av_start_vel);
+        self.history.clear();
+        self.prev_accel = 0.0;
+        self.steps = 0;
+        self.collector = MetricsCollector::new();
+        self.refresh_percepts();
+        &self.percepts
+    }
+
+    /// Current percepts.
+    pub fn percepts(&self) -> &Percepts {
+        &self.percepts
+    }
+
+    /// Read access to the underlying simulation (diagnostics, examples).
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    fn refresh_percepts(&mut self) {
+        let frame = sense(&self.sim, self.av, &self.cfg.sensor);
+        self.history.push(frame);
+        let graph = self.builder.build(&self.history);
+        let prediction = self.perception.predict(&graph);
+        let state = augmented_state(&graph, &prediction);
+        let ego = graph.ego_latest;
+        self.percepts = Percepts { state, graph, prediction, ego };
+    }
+
+    /// Executes a maneuver and advances the world by Δt.
+    pub fn step(&mut self, action: Action) -> StepResult {
+        // Rear-vehicle bookkeeping for the impact term (before stepping).
+        let rear_source = self.percepts.target_source(Area::Rear);
+        let (rear_id, rear_vel_now, rear_is_phantom) = match rear_source {
+            NodeSource::Observed(id) => {
+                (Some(id), self.sim.get(id).map(|v| v.vel), false)
+            }
+            _ => (None, None, true),
+        };
+
+        let lane_change = match action.behaviour {
+            LaneBehaviour::Left => LaneChange::Left,
+            LaneBehaviour::Right => LaneChange::Right,
+            LaneBehaviour::Keep => LaneChange::Keep,
+        };
+        self.sim.set_command(self.av, ExternalCommand { lane_change, accel: action.accel });
+        let outcome = self.sim.step();
+        self.steps += 1;
+
+        let collided = outcome
+            .collisions
+            .iter()
+            .any(|c| c.vehicle == self.av || c.other == Some(self.av));
+        let arrived = outcome.exited_external.contains(&self.av);
+
+        // Perceive the new world (the AV still exists in every case).
+        self.refresh_percepts();
+
+        // Reward (Eqs. 28–30), evaluated on t+1 values as the paper defines.
+        // TTC uses the bumper-to-bumper gap (d_lon minus the body length):
+        // the paper's Eq. 1 d_lon is front-bumper distance, but "time to
+        // collision" is over the physical gap — without this, the safety
+        // penalty stays shallow right up to contact.
+        let front = self.percepts.target(Area::Front);
+        let front_gap = (front[1] - self.cfg.sim.vehicle_len).max(0.0);
+        let front_phantom = self.percepts.target_is_phantom(Area::Front);
+        let rear_vel_next = rear_id.and_then(|id| self.sim.get(id)).map(|v| v.vel);
+        let ego_vel_next = self.sim.get(self.av).map(|v| v.vel).unwrap_or(0.0);
+        let input = RewardInput {
+            collision: collided,
+            front_gap: Some(front_gap),
+            front_v_rel: Some(front[2]),
+            front_is_phantom: front_phantom,
+            ego_vel_next,
+            accel: action.accel,
+            prev_accel: self.prev_accel,
+            rear_vel_now,
+            rear_vel_next,
+            rear_is_phantom,
+        };
+        let reward = self.cfg.reward.evaluate(&input);
+        self.prev_accel = action.accel;
+
+        // Metrics.
+        let ttc = if !front_phantom && front[2] < 0.0 && front_gap > 0.0 {
+            Some(front_gap / -front[2])
+        } else {
+            None
+        };
+        let rear_decel = match (rear_vel_now, rear_vel_next) {
+            (Some(now), Some(next)) if !rear_is_phantom => Some(now - next),
+            _ => None,
+        };
+        let jerk = action.accel - input.prev_accel;
+        let follower_mean_vel = self.follower_mean_velocity();
+        self.collector.record_step(
+            ego_vel_next,
+            jerk,
+            ttc,
+            rear_decel,
+            follower_mean_vel,
+            reward.total,
+            self.cfg.reward.v_thr,
+        );
+
+        let terminal = if collided {
+            Terminal::Collision
+        } else if arrived {
+            Terminal::Destination
+        } else if self.steps >= self.cfg.max_steps {
+            Terminal::Timeout
+        } else {
+            Terminal::None
+        };
+        let episode = (terminal != Terminal::None)
+            .then(|| self.collector.finish(terminal, self.cfg.sim.dt));
+
+        StepResult { reward, terminal, next_state: self.percepts.state, episode }
+    }
+
+    /// Mean velocity of conventional vehicles within 100 m behind the AV
+    /// (the AvgDT-C population).
+    fn follower_mean_velocity(&self) -> Option<f64> {
+        let av = self.sim.get(self.av)?;
+        let vels: Vec<f64> = self
+            .sim
+            .vehicles()
+            .iter()
+            .filter(|v| v.id != self.av && v.pos <= av.pos && v.pos >= av.pos - 100.0)
+            .map(|v| v.vel)
+            .collect();
+        if vels.is_empty() {
+            None
+        } else {
+            Some(vels.iter().sum::<f64>() / vels.len() as f64)
+        }
+    }
+}
+
+/// Assembles the augmented state `s⁺ = [hᵗ, f̂ᵗ⁺¹]` from the graph's latest
+/// frame and the perception module's predictions.
+pub fn augmented_state(graph: &StGraph, prediction: &Prediction) -> AugmentedState {
+    let latest = &graph.frames[graph.depth() - 1];
+    let ego = graph.ego_latest;
+    let mut s = AugmentedState::zeros();
+    s.current[0] = [ego.lat, ego.lon, ego.vel, 0.0];
+    for i in 0..NUM_TARGETS.min(CURRENT_ROWS - 1) {
+        s.current[i + 1] = latest[target_node(i)];
+    }
+    for i in 0..NUM_TARGETS.min(FUTURE_ROWS) {
+        let flag = if graph.target_is_phantom(i) { 1.0 } else { 0.0 };
+        s.future[i] =
+            [prediction[i].d_lat, prediction[i].d_lon, prediction[i].v_rel, flag];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_env() -> HighwayEnv {
+        HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence)
+    }
+
+    fn keep(accel: f64) -> Action {
+        Action { behaviour: LaneBehaviour::Keep, accel }
+    }
+
+    #[test]
+    fn reset_produces_valid_percepts() {
+        let env = test_env();
+        let p = env.percepts();
+        assert_eq!(p.graph.depth(), 5);
+        assert!(p.ego.lon > 0.0);
+        // Augmented-state ego row mirrors the raw ego state.
+        assert_eq!(p.state.current[0][2], p.ego.vel);
+    }
+
+    #[test]
+    fn step_advances_and_rewards() {
+        let mut env = test_env();
+        let r = env.step(keep(1.0));
+        assert_eq!(r.terminal, Terminal::None);
+        assert!(r.reward.total.is_finite());
+        assert!(r.reward.efficiency > 0.0);
+        assert!(env.percepts().ego.lon > 0.0);
+    }
+
+    #[test]
+    fn episode_reaches_destination() {
+        let mut env = test_env();
+        let mut terminal = Terminal::None;
+        for _ in 0..600 {
+            let r = env.step(keep(1.0));
+            terminal = r.terminal;
+            if terminal != Terminal::None {
+                assert!(r.episode.is_some());
+                break;
+            }
+        }
+        // On a 300 m test road the AV always finishes (or crashes) quickly.
+        assert_ne!(terminal, Terminal::None);
+    }
+
+    #[test]
+    fn boundary_crash_terminates_with_collision() {
+        let mut env = test_env();
+        // Drive off the left edge by forcing left changes.
+        let mut terminal = Terminal::None;
+        for _ in 0..10 {
+            let r = env.step(Action { behaviour: LaneBehaviour::Left, accel: 0.0 });
+            terminal = r.terminal;
+            if terminal != Terminal::None {
+                assert!((r.reward.safety + 3.0).abs() < 1e-9, "collision safety = -3");
+                break;
+            }
+        }
+        assert_eq!(terminal, Terminal::Collision);
+    }
+
+    #[test]
+    fn persistence_prediction_repeats_current() {
+        let env = test_env();
+        let p = env.percepts();
+        for i in 0..NUM_TARGETS {
+            let cur = p.graph.frames[p.graph.depth() - 1][target_node(i)];
+            assert_eq!(p.prediction[i].d_lon, cur[1]);
+            assert_eq!(p.state.future[i][0], cur[0]);
+        }
+    }
+
+    #[test]
+    fn episodes_are_reproducible_by_seed() {
+        let run = |seed: u64| {
+            let mut cfg = EnvConfig::test_scale();
+            cfg.seed = seed;
+            let mut env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+            let mut trace = Vec::new();
+            for i in 0..30 {
+                let accel = ((i % 5) as f64) - 2.0;
+                let r = env.step(keep(accel));
+                trace.push((r.reward.total.to_bits(), r.terminal));
+                if r.terminal != Terminal::None {
+                    break;
+                }
+            }
+            trace
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn augmented_state_shape_invariants() {
+        let env = test_env();
+        let s = &env.percepts().state;
+        // Ego row flag is 0; target rows carry IF flags 0/1.
+        assert_eq!(s.current[0][3], 0.0);
+        for row in &s.current[1..] {
+            assert!(row[3] == 0.0 || row[3] == 1.0);
+        }
+        for row in &s.future {
+            assert!(row[3] == 0.0 || row[3] == 1.0);
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! Experiment drivers: one function per table of the paper's evaluation
+//! (§V). Each returns a serialisable report whose `Display` prints the
+//! same rows the paper reports; the `bench` crate's binaries call these.
+//!
+//! All drivers take a [`Scale`] so the same code runs at smoke scale (unit
+//! tests), bench scale (the recorded laptop run in EXPERIMENTS.md) and
+//! paper scale (3 km road, 4 000 training episodes).
+
+use crate::agents::{AccLc, DrivingAgent, DrlSc, IdmLc, PolicyAgent, RuleConfig, SafetyCheck, TpBts, TpBtsConfig};
+use crate::config::EnvConfig;
+use crate::env::{HighwayEnv, PerceptionMode};
+use crate::metrics::{aggregate, AggregateMetrics};
+use crate::train::{evaluate_agent, train_agent};
+use crate::variants::{build_agent, Variant};
+use dataset::{CorpusConfig, RealCorpus};
+use decision::{AgentConfig, BpDqn, DiscreteDqn, PDdpg, PDqn, PQp, RewardConfig};
+use perception::{
+    evaluate as evaluate_predictor, mean_inference_ms, train as train_predictor, EdLstm,
+    EdLstmConfig, GasLed, GasLedConfig, LstGat, LstGatConfig, LstmMlp, LstmMlpConfig, Normalizer,
+    StatePredictor, TrainOptions,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Experiment sizing.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Environment settings.
+    pub env: EnvConfig,
+    /// Learner hyper-parameters.
+    pub agent: AgentConfig,
+    /// Training episodes for learning agents.
+    pub train_episodes: usize,
+    /// Evaluation episodes (paper: 500).
+    pub eval_episodes: usize,
+    /// Seed base for paired evaluation episodes.
+    pub eval_seed_base: u64,
+    /// Synthetic-REAL corpus settings.
+    pub corpus: CorpusConfig,
+    /// Predictor training passes (paper: 15).
+    pub predictor_epochs: usize,
+    /// Predictor mini-batch size (paper: 64).
+    pub predictor_batch: usize,
+    /// Repetitions when measuring inference latency.
+    pub inference_reps: usize,
+    /// IDM-LC demonstration episodes used to seed each learner's replay
+    /// buffer before training (see `seed_with_demonstrations`).
+    pub demo_episodes: usize,
+}
+
+impl Scale {
+    /// Tiny sizing for unit tests (seconds, not minutes).
+    pub fn smoke() -> Self {
+        Self {
+            env: EnvConfig::test_scale(),
+            agent: AgentConfig {
+                warmup: 64,
+                batch_size: 32,
+                update_every: 4,
+                epsilon: decision::LinearSchedule::new(1.0, 0.1, 400),
+                noise: decision::LinearSchedule::new(1.0, 0.2, 400),
+                ..AgentConfig::default()
+            },
+            train_episodes: 10,
+            eval_episodes: 3,
+            eval_seed_base: 1_000_000,
+            corpus: CorpusConfig { windows: 10, egos_per_window: 3, warmup_steps: 40, ..CorpusConfig::default() },
+            predictor_epochs: 2,
+            predictor_batch: 32,
+            inference_reps: 1,
+            demo_episodes: 2,
+        }
+    }
+
+    /// Laptop-scale sizing used for the recorded run in EXPERIMENTS.md.
+    pub fn bench() -> Self {
+        Self {
+            env: EnvConfig::bench_scale(),
+            agent: AgentConfig {
+                warmup: 1_000,
+                batch_size: 64,
+                update_every: 2,
+                epsilon: decision::LinearSchedule::new(0.8, 0.03, 25_000),
+                noise: decision::LinearSchedule::new(1.0, 0.1, 25_000),
+                ..AgentConfig::default()
+            },
+            train_episodes: 1_600,
+            eval_episodes: 40,
+            eval_seed_base: 1_000_000,
+            corpus: CorpusConfig { windows: 150, egos_per_window: 4, ..CorpusConfig::default() },
+            predictor_epochs: 8,
+            predictor_batch: 64,
+            inference_reps: 3,
+            demo_episodes: 60,
+        }
+    }
+
+    /// The paper's full sizing (4 000 training / 500 test episodes on the
+    /// 3 km road). Expect hours of wall-clock on a laptop CPU.
+    pub fn paper() -> Self {
+        Self {
+            env: EnvConfig::paper_scale(),
+            agent: AgentConfig::default(),
+            train_episodes: 4_000,
+            eval_episodes: 500,
+            eval_seed_base: 1_000_000,
+            corpus: CorpusConfig { windows: 1_000, egos_per_window: 4, ..CorpusConfig::default() },
+            predictor_epochs: 15,
+            predictor_batch: 64,
+            inference_reps: 5,
+            demo_episodes: 100,
+        }
+    }
+
+    /// The normaliser matching this scale's geometry.
+    pub fn normalizer(&self) -> Normalizer {
+        Normalizer::new(
+            self.env.sim.lanes,
+            self.env.sim.lane_width,
+            self.env.sensor.range,
+            self.env.sim.v_max,
+            self.env.sim.road_len,
+        )
+    }
+}
+
+/// Trains LST-GAT on the synthetic REAL corpus; returns the weight
+/// checkpoint, the corpus and the training report.
+pub fn train_lstgat(scale: &Scale) -> (String, RealCorpus, perception::TrainReport) {
+    let corpus = RealCorpus::generate(&scale.corpus);
+    let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
+    let report = train_predictor(
+        &mut model,
+        &corpus.train,
+        &TrainOptions {
+            epochs: scale.predictor_epochs,
+            batch_size: scale.predictor_batch,
+            ..TrainOptions::default()
+        },
+    );
+    (model.weights_json(), corpus, report)
+}
+
+/// Seeds a learner's replay buffer with IDM-LC demonstrations.
+fn seed_demos(scale: &Scale, env: &mut HighwayEnv, student: &mut dyn DrivingAgent) {
+    if scale.demo_episodes > 0 {
+        let mut teacher = IdmLc::new(RuleConfig::default());
+        crate::train::seed_with_demonstrations(env, &mut teacher, student, scale.demo_episodes);
+    }
+}
+
+fn lstgat_env(scale: &Scale, weights: &str) -> HighwayEnv {
+    let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
+    model.load_weights_json(weights).expect("own checkpoint");
+    HighwayEnv::new(scale.env.clone(), PerceptionMode::LstGat(Box::new(model)))
+}
+
+/// A Table I / Table II style report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EndToEndReport {
+    /// Table title.
+    pub title: String,
+    /// `(method, metrics)` rows.
+    pub rows: Vec<(String, AggregateMetrics)>,
+}
+
+impl fmt::Display for EndToEndReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        writeln!(
+            f,
+            "{:<18} {:>9} {:>9} {:>8} {:>10} {:>9} {:>9} {:>9}",
+            "Method", "AvgDT-A", "AvgDT-C", "Avg#-CA", "MinTTC-A", "AvgV-A", "AvgJ-A", "AvgD-CA"
+        )?;
+        for (name, m) in &self.rows {
+            writeln!(
+                f,
+                "{:<18} {:>9.1} {:>9.1} {:>8.1} {:>10.2} {:>9.2} {:>9.2} {:>9.2}",
+                name,
+                m.avg_dt_a,
+                m.avg_dt_c,
+                m.avg_impact_events,
+                m.min_ttc_a,
+                m.avg_v_a,
+                m.avg_j_a,
+                m.avg_d_ca
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// **Table I** — end-to-end comparison of IDM-LC, ACC-LC, DRL-SC, TP-BTS
+/// and HEAD.
+pub fn run_table1(scale: &Scale) -> EndToEndReport {
+    let (weights, _, _) = train_lstgat(scale);
+    let mut rows = Vec::new();
+
+    // Rule-based baselines need no training.
+    {
+        let mut env =
+            HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
+        let mut agent = IdmLc::new(RuleConfig::default());
+        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+        let mut agent = AccLc::new(RuleConfig::default());
+        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+    }
+
+    // DRL-SC: discrete DQN + safety check, no prediction.
+    {
+        let mut env =
+            HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
+        let mut agent = DrlSc::new(DiscreteDqn::new(scale.agent), SafetyCheck::default());
+        seed_demos(scale, &mut env, &mut agent);
+        train_agent(&mut env, &mut agent, scale.train_episodes);
+        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+    }
+
+    // TP-BTS: prediction + search, no training.
+    {
+        let mut env = lstgat_env(scale, &weights);
+        let mut agent = TpBts::new(
+            TpBtsConfig { dt: scale.env.sim.dt, v_max: scale.env.sim.v_max, ..TpBtsConfig::default() },
+            scale.env.sim.lane_width,
+        );
+        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+    }
+
+    // HEAD: full framework.
+    {
+        let mut env = lstgat_env(scale, &weights);
+        let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
+        seed_demos(scale, &mut env, &mut agent);
+        train_agent(&mut env, &mut agent, scale.train_episodes);
+        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+    }
+
+    EndToEndReport { title: "Table I: end-to-end performance".into(), rows }
+}
+
+/// **Table II** — ablation study over the HEAD variants.
+pub fn run_table2(scale: &Scale) -> EndToEndReport {
+    let (weights, _, _) = train_lstgat(scale);
+    let norm = scale.normalizer();
+    let mut rows = Vec::new();
+    for variant in Variant::ALL {
+        let (mut env, mut agent) =
+            build_agent(variant, &scale.env, &scale.agent, Some(&weights), norm);
+        seed_demos(scale, &mut env, &mut agent);
+        train_agent(&mut env, &mut agent, scale.train_episodes);
+        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+    }
+    EndToEndReport { title: "Table II: ablation study".into(), rows }
+}
+
+/// One row of the prediction break-down (Tables III + IV merged).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictorRow {
+    /// Model name.
+    pub name: String,
+    /// Mean absolute error (normalised units).
+    pub mae: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Training convergence time, s.
+    pub tct_secs: f64,
+    /// Mean inference latency, ms.
+    pub avg_it_ms: f64,
+}
+
+/// The prediction break-down report (Tables III & IV).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PredictionReport {
+    /// One row per model.
+    pub rows: Vec<PredictorRow>,
+}
+
+impl fmt::Display for PredictionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Tables III & IV: state prediction on REAL ==")?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>8} {:>8} {:>9} {:>10}",
+            "Model", "MAE", "MSE", "RMSE", "TCT(s)", "AvgIT(ms)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:>8.3} {:>8.4} {:>8.3} {:>9.2} {:>10.3}",
+                r.name, r.mae, r.mse, r.rmse, r.tct_secs, r.avg_it_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// **Tables III & IV** — accuracy and efficiency of the four predictors.
+pub fn run_tables_3_4(scale: &Scale) -> PredictionReport {
+    let corpus = RealCorpus::generate(&scale.corpus);
+    let norm = scale.normalizer();
+    let opts = TrainOptions {
+        epochs: scale.predictor_epochs,
+        batch_size: scale.predictor_batch,
+        ..TrainOptions::default()
+    };
+    let mut rows = Vec::new();
+    let mut models: Vec<Box<dyn StatePredictor>> = vec![
+        Box::new(LstmMlp::new(LstmMlpConfig::default(), norm)),
+        Box::new(EdLstm::new(EdLstmConfig::default(), norm)),
+        Box::new(GasLed::new(GasLedConfig::default(), norm)),
+        Box::new(LstGat::new(LstGatConfig::default(), norm)),
+    ];
+    for model in models.iter_mut() {
+        let report = train_predictor(model.as_mut(), &corpus.train, &opts);
+        let acc = evaluate_predictor(model.as_ref(), &corpus.test, &norm);
+        let latency = mean_inference_ms(
+            model.as_ref(),
+            &corpus.test[..corpus.test.len().min(32)],
+            scale.inference_reps,
+        );
+        rows.push(PredictorRow {
+            name: model.name().to_string(),
+            mae: acc.mae,
+            mse: acc.mse,
+            rmse: acc.rmse,
+            tct_secs: report.convergence_secs,
+            avg_it_ms: latency,
+        });
+    }
+    PredictionReport { rows }
+}
+
+/// One row of the decision break-down (Tables V + VI merged).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LearnerRow {
+    /// Learner name.
+    pub name: String,
+    /// Minimum per-episode mean reward over evaluation.
+    pub min_r: f64,
+    /// Maximum per-episode mean reward.
+    pub max_r: f64,
+    /// Mean per-episode mean reward.
+    pub avg_r: f64,
+    /// Training convergence time, s.
+    pub tct_secs: f64,
+    /// Mean decision latency, ms.
+    pub avg_it_ms: f64,
+}
+
+/// The decision break-down report (Tables V & VI).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionReport {
+    /// One row per learner.
+    pub rows: Vec<LearnerRow>,
+}
+
+impl fmt::Display for DecisionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Tables V & VI: PAMDP learners in the simulator ==")?;
+        writeln!(
+            f,
+            "{:<8} {:>8} {:>8} {:>8} {:>9} {:>10}",
+            "Method", "MinR", "MaxR", "AvgR", "TCT(s)", "AvgIT(ms)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<8} {:>8.3} {:>8.3} {:>8.3} {:>9.2} {:>10.3}",
+                r.name, r.min_r, r.max_r, r.avg_r, r.tct_secs, r.avg_it_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// **Tables V & VI** — the four PAMDP learners under identical training
+/// budgets, perception and reward.
+pub fn run_tables_5_6(scale: &Scale) -> DecisionReport {
+    let (weights, _, _) = train_lstgat(scale);
+    let mut rows = Vec::new();
+    let builders: Vec<(&str, Box<dyn Fn(AgentConfig) -> Box<dyn decision::PamdpAgent>>)> = vec![
+        ("P-QP", Box::new(|c| Box::new(PQp::new(c)))),
+        ("P-DDPG", Box::new(|c| Box::new(PDdpg::new(c)))),
+        ("P-DQN", Box::new(|c| Box::new(PDqn::new(c)))),
+        ("BP-DQN", Box::new(|c| Box::new(BpDqn::new(c)))),
+    ];
+    for (name, build) in builders {
+        let mut env = lstgat_env(scale, &weights);
+        let mut agent = PolicyAgent::new(name, build(scale.agent));
+        seed_demos(scale, &mut env, &mut agent);
+        let report = train_agent(&mut env, &mut agent, scale.train_episodes);
+        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let agg = aggregate(scale.env.sim.road_len, &eps);
+        let latency =
+            crate::train::mean_decision_ms(&mut env, &mut agent, 60.min(scale.eval_episodes * 20));
+        rows.push(LearnerRow {
+            name: name.to_string(),
+            min_r: agg.min_r,
+            max_r: agg.max_r,
+            avg_r: agg.avg_r,
+            tct_secs: report.convergence_secs,
+            avg_it_ms: latency,
+        });
+    }
+    DecisionReport { rows }
+}
+
+/// One coefficient row of Table VII.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoefficientRow {
+    /// Coefficient name (w1..w4).
+    pub name: String,
+    /// Search range minimum.
+    pub min: f64,
+    /// Search range maximum.
+    pub max: f64,
+    /// Search step.
+    pub step: f64,
+    /// Best value found.
+    pub best: f64,
+}
+
+/// The reward-shaping report (Table VII).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RewardSearchReport {
+    /// One row per coefficient.
+    pub rows: Vec<CoefficientRow>,
+    /// Objective value at the final coefficients.
+    pub best_score: f64,
+}
+
+impl fmt::Display for RewardSearchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table VII: reward-coefficient grid search ==")?;
+        writeln!(f, "{:<6} {:>6} {:>6} {:>6} {:>6}", "Coef", "Min", "Max", "Step", "Best")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<6} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+                r.name, r.min, r.max, r.step, r.best
+            )?;
+        }
+        writeln!(f, "objective at best: {:.3}", self.best_score)
+    }
+}
+
+/// The weight-independent objective used to compare reward settings:
+/// drive fast, keep TTC healthy, avoid jerk, avoid impacting followers,
+/// never collide. (A reward-dependent score would be circular.)
+pub fn shaping_objective(env: &EnvConfig, m: &AggregateMetrics) -> f64 {
+    let v_term = m.avg_v_a / env.sim.v_max;
+    let ttc_term = (m.min_ttc_a / env.reward.ttc_threshold).min(1.0);
+    let impact_term = m.avg_impact_events / 20.0;
+    let jerk_term = m.avg_j_a / env.sim.a_max;
+    let collision_term = m.collisions as f64 / m.episodes.max(1) as f64;
+    v_term + ttc_term - impact_term - jerk_term - 10.0 * collision_term
+}
+
+/// **Table VII** — coordinate-wise grid search over the four reward
+/// coefficients (paper's ranges and steps), scoring each setting by
+/// [`shaping_objective`] after a short training run.
+pub fn run_table7(scale: &Scale) -> RewardSearchReport {
+    let (weights, _, _) = train_lstgat(scale);
+    let norm = scale.normalizer();
+    // (name, min, max, step) per the paper.
+    let ranges =
+        [("w1", 0.5, 1.0, 0.1), ("w2", 0.0, 1.0, 0.2), ("w3", 0.0, 1.0, 0.2), ("w4", 0.0, 0.5, 0.1)];
+    let mut best = [0.9, 0.8, 0.6, 0.2]; // start from the paper's optimum
+    let mut rows = Vec::new();
+    let mut best_score = f64::NEG_INFINITY;
+
+    let score_weights = |w: [f64; 4]| -> f64 {
+        let mut env_cfg = scale.env.clone();
+        env_cfg.reward = RewardConfig {
+            w_safety: w[0],
+            w_efficiency: w[1],
+            w_comfort: w[2],
+            w_impact: w[3],
+            ..scale.env.reward
+        };
+        let mut model = LstGat::new(LstGatConfig::default(), norm);
+        model.load_weights_json(&weights).expect("own checkpoint");
+        let mut env = HighwayEnv::new(env_cfg.clone(), PerceptionMode::LstGat(Box::new(model)));
+        let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
+        seed_demos(scale, &mut env, &mut agent);
+        train_agent(&mut env, &mut agent, (scale.train_episodes / 4).max(2));
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            (scale.eval_episodes / 4).max(2),
+            scale.eval_seed_base,
+        );
+        shaping_objective(&env_cfg, &aggregate(env_cfg.sim.road_len, &eps))
+    };
+
+    for (ci, (name, lo, hi, step)) in ranges.iter().enumerate() {
+        let mut best_value = best[ci];
+        let mut best_local = f64::NEG_INFINITY;
+        let mut v = *lo;
+        while v <= hi + 1e-9 {
+            let mut w = best;
+            w[ci] = v;
+            let s = score_weights(w);
+            if s > best_local {
+                best_local = s;
+                best_value = v;
+            }
+            v += step;
+        }
+        best[ci] = best_value;
+        best_score = best_local;
+        rows.push(CoefficientRow {
+            name: name.to_string(),
+            min: *lo,
+            max: *hi,
+            step: *step,
+            best: best_value,
+        });
+    }
+    RewardSearchReport { rows, best_score }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_is_small() {
+        let s = Scale::smoke();
+        assert!(s.train_episodes <= 20);
+        assert!(s.corpus.windows <= 20);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let s = Scale::paper();
+        assert_eq!(s.train_episodes, 4_000);
+        assert_eq!(s.eval_episodes, 500);
+        assert_eq!(s.predictor_epochs, 15);
+        assert_eq!(s.env.sim.road_len, 3000.0);
+    }
+
+    #[test]
+    fn lstgat_pipeline_trains_at_smoke_scale() {
+        let scale = Scale::smoke();
+        let (weights, corpus, report) = train_lstgat(&scale);
+        assert!(!corpus.train.is_empty());
+        assert!(!weights.is_empty());
+        assert_eq!(report.epoch_losses.len(), scale.predictor_epochs);
+    }
+
+    #[test]
+    fn shaping_objective_prefers_safe_fast_gentle() {
+        let env = EnvConfig::test_scale();
+        let good = AggregateMetrics {
+            avg_v_a: 22.0,
+            min_ttc_a: 5.0,
+            avg_impact_events: 2.0,
+            avg_j_a: 0.3,
+            episodes: 10,
+            ..Default::default()
+        };
+        let bad = AggregateMetrics {
+            avg_v_a: 22.0,
+            min_ttc_a: 1.0,
+            avg_impact_events: 15.0,
+            avg_j_a: 1.5,
+            collisions: 2,
+            episodes: 10,
+            ..Default::default()
+        };
+        assert!(shaping_objective(&env, &good) > shaping_objective(&env, &bad));
+    }
+}

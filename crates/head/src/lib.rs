@@ -1,0 +1,48 @@
+//! # head — the HEAD perception-and-decision framework
+//!
+//! Rust reproduction of *"Impact-aware Maneuver Decision with Enhanced
+//! Perception for Autonomous Vehicle"* (Liu et al., ICDE 2023). This crate
+//! is the paper's primary contribution wired end-to-end:
+//!
+//! * [`HighwayEnv`] — the closed loop of Fig. 1: simulator → sensor →
+//!   phantom construction → spatial-temporal graph → LST-GAT prediction →
+//!   augmented PAMDP state → maneuver → hybrid reward.
+//! * [`PolicyAgent`] over [`decision::BpDqn`] — **HEAD** itself.
+//! * Baselines: [`IdmLc`], [`AccLc`], [`DrlSc`], [`TpBts`] (Table I).
+//! * Ablations: the four HEAD-w/o-* variants (Table II) via
+//!   [`Variant`].
+//! * [`experiments`] — drivers that regenerate every table of the paper's
+//!   evaluation section.
+//!
+//! ```no_run
+//! use head::{EnvConfig, HighwayEnv, PerceptionMode, PolicyAgent, run_episode};
+//! use decision::{AgentConfig, BpDqn};
+//!
+//! let mut env = HighwayEnv::new(EnvConfig::bench_scale(), PerceptionMode::Persistence);
+//! let mut head = PolicyAgent::new("HEAD", Box::new(BpDqn::new(AgentConfig::default())));
+//! for _ in 0..10 {
+//!     env.reset();
+//!     let metrics = run_episode(&mut env, &mut head, true);
+//!     println!("mean step reward {:.3}", metrics.mean_reward);
+//! }
+//! ```
+
+mod agents;
+mod config;
+mod env;
+pub mod experiments;
+mod metrics;
+mod train;
+mod variants;
+
+pub use agents::{
+    AccLc, DrivingAgent, DrlSc, IdmLc, PolicyAgent, RuleConfig, SafetyCheck, TpBts, TpBtsConfig,
+};
+pub use config::EnvConfig;
+pub use env::{augmented_state, HighwayEnv, PerceptionMode, Percepts, StepResult};
+pub use metrics::{aggregate, AggregateMetrics, EpisodeMetrics, MetricsCollector, Terminal};
+pub use train::{
+    evaluate_agent, mean_decision_ms, run_episode, seed_with_demonstrations, train_agent,
+    TrainingReport,
+};
+pub use variants::{build_agent, Variant};

@@ -1,0 +1,273 @@
+//! Macroscopic and microscopic effectiveness metrics (paper §V-B).
+//!
+//! Per-episode collection plus cross-episode aggregation into the seven
+//! columns of Tables I–II:
+//!
+//! * **AvgDT-A** — mean AV transit time over the road.
+//! * **AvgDT-C** — mean transit time of conventional vehicles within 100 m
+//!   behind the AV. Measured as `road_len / v̄_followers` (expected transit
+//!   time at the followers' observed mean speed) — an unbiased proxy that
+//!   avoids waiting for followers to finish after the AV's episode ends.
+//! * **Avg#-CA** — times per episode the rear vehicle decelerated by more
+//!   than 0.5 m/s in one step.
+//! * **MinTTC-A** — per-episode minimum time-to-collision, averaged over
+//!   episodes in which a TTC was ever defined.
+//! * **AvgV-A** — mean AV velocity.
+//! * **AvgJ-A** — mean |Δa| between consecutive steps (the paper's jerk
+//!   indicator, reported in m/s²).
+//! * **AvgD-CA** — mean per-step velocity drop of the rear vehicle.
+
+use serde::{Deserialize, Serialize};
+
+/// How an episode ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminal {
+    /// Episode still running.
+    None,
+    /// The AV crashed or hit a road boundary.
+    Collision,
+    /// The AV reached the end of the road.
+    Destination,
+    /// The step cap was reached.
+    Timeout,
+}
+
+/// Everything measured about one finished episode.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpisodeMetrics {
+    /// Steps executed.
+    pub steps: usize,
+    /// How the episode ended.
+    pub terminal: Terminal,
+    /// AV transit time, s (only meaningful when `terminal == Destination`).
+    pub driving_time: f64,
+    /// Minimum TTC observed, s (`f64::INFINITY` when never defined).
+    pub min_ttc: f64,
+    /// Mean AV velocity, m/s.
+    pub avg_v: f64,
+    /// Mean |Δ accel| between consecutive steps, m/s².
+    pub avg_jerk: f64,
+    /// Rear-vehicle hard-deceleration events (> 0.5 m/s per step).
+    pub impact_events: usize,
+    /// Mean per-step rear-vehicle velocity drop, m/s.
+    pub avg_rear_decel: f64,
+    /// Mean velocity of conventional vehicles within 100 m behind the AV.
+    pub follower_mean_vel: f64,
+    /// Mean per-step hybrid reward.
+    pub mean_reward: f64,
+    /// Sum of step rewards.
+    pub total_reward: f64,
+}
+
+/// Streaming per-episode accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsCollector {
+    steps: usize,
+    vel_sum: f64,
+    jerk_sum: f64,
+    min_ttc: Option<f64>,
+    impact_events: usize,
+    rear_decel_sum: f64,
+    rear_decel_steps: usize,
+    follower_vel_sum: f64,
+    follower_vel_steps: usize,
+    reward_sum: f64,
+}
+
+impl MetricsCollector {
+    /// Fresh collector for a new episode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one step of the episode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_step(
+        &mut self,
+        av_vel: f64,
+        jerk: f64,
+        ttc: Option<f64>,
+        rear_decel: Option<f64>,
+        follower_mean_vel: Option<f64>,
+        reward: f64,
+        impact_threshold: f64,
+    ) {
+        self.steps += 1;
+        self.vel_sum += av_vel;
+        self.jerk_sum += jerk.abs();
+        if let Some(t) = ttc {
+            self.min_ttc = Some(self.min_ttc.map_or(t, |m: f64| m.min(t)));
+        }
+        if let Some(d) = rear_decel {
+            self.rear_decel_steps += 1;
+            let drop = d.max(0.0);
+            self.rear_decel_sum += drop;
+            if drop > impact_threshold {
+                self.impact_events += 1;
+            }
+        }
+        if let Some(v) = follower_mean_vel {
+            self.follower_vel_steps += 1;
+            self.follower_vel_sum += v;
+        }
+        self.reward_sum += reward;
+    }
+
+    /// Steps recorded so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Closes the episode.
+    pub fn finish(&self, terminal: Terminal, dt: f64) -> EpisodeMetrics {
+        let n = self.steps.max(1) as f64;
+        EpisodeMetrics {
+            steps: self.steps,
+            terminal,
+            driving_time: self.steps as f64 * dt,
+            min_ttc: self.min_ttc.unwrap_or(f64::INFINITY),
+            avg_v: self.vel_sum / n,
+            avg_jerk: self.jerk_sum / n,
+            impact_events: self.impact_events,
+            avg_rear_decel: self.rear_decel_sum / self.rear_decel_steps.max(1) as f64,
+            follower_mean_vel: self.follower_vel_sum / self.follower_vel_steps.max(1) as f64,
+            mean_reward: self.reward_sum / n,
+            total_reward: self.reward_sum,
+        }
+    }
+}
+
+/// The seven Table I/II columns plus reward statistics, aggregated over a
+/// set of evaluation episodes.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct AggregateMetrics {
+    /// AvgDT-A, s.
+    pub avg_dt_a: f64,
+    /// AvgDT-C, s.
+    pub avg_dt_c: f64,
+    /// Avg#-CA.
+    pub avg_impact_events: f64,
+    /// MinTTC-A, s.
+    pub min_ttc_a: f64,
+    /// AvgV-A, m/s.
+    pub avg_v_a: f64,
+    /// AvgJ-A, m/s².
+    pub avg_j_a: f64,
+    /// AvgD-CA, m/s.
+    pub avg_d_ca: f64,
+    /// Minimum per-episode mean reward (MinR).
+    pub min_r: f64,
+    /// Maximum per-episode mean reward (MaxR).
+    pub max_r: f64,
+    /// Mean per-episode mean reward (AvgR).
+    pub avg_r: f64,
+    /// Episodes aggregated.
+    pub episodes: usize,
+    /// Episodes that reached the destination.
+    pub completed: usize,
+    /// Episodes that ended in a collision.
+    pub collisions: usize,
+}
+
+/// Aggregates per-episode metrics into a table row.
+pub fn aggregate(road_len: f64, episodes: &[EpisodeMetrics]) -> AggregateMetrics {
+    if episodes.is_empty() {
+        return AggregateMetrics::default();
+    }
+    let n = episodes.len() as f64;
+    let completed: Vec<&EpisodeMetrics> =
+        episodes.iter().filter(|e| e.terminal == Terminal::Destination).collect();
+    let avg_dt_a = if completed.is_empty() {
+        // Fall back to expected transit time at observed mean speed.
+        road_len / (episodes.iter().map(|e| e.avg_v).sum::<f64>() / n).max(0.1)
+    } else {
+        completed.iter().map(|e| e.driving_time).sum::<f64>() / completed.len() as f64
+    };
+    let follower_v =
+        episodes.iter().map(|e| e.follower_mean_vel).sum::<f64>() / n;
+    let finite_ttcs: Vec<f64> =
+        episodes.iter().map(|e| e.min_ttc).filter(|t| t.is_finite()).collect();
+    let min_ttc_a = if finite_ttcs.is_empty() {
+        f64::INFINITY
+    } else {
+        finite_ttcs.iter().sum::<f64>() / finite_ttcs.len() as f64
+    };
+    let rewards: Vec<f64> = episodes.iter().map(|e| e.mean_reward).collect();
+    AggregateMetrics {
+        avg_dt_a,
+        avg_dt_c: road_len / follower_v.max(0.1),
+        avg_impact_events: episodes.iter().map(|e| e.impact_events as f64).sum::<f64>() / n,
+        min_ttc_a,
+        avg_v_a: episodes.iter().map(|e| e.avg_v).sum::<f64>() / n,
+        avg_j_a: episodes.iter().map(|e| e.avg_jerk).sum::<f64>() / n,
+        avg_d_ca: episodes.iter().map(|e| e.avg_rear_decel).sum::<f64>() / n,
+        min_r: rewards.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_r: rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        avg_r: rewards.iter().sum::<f64>() / n,
+        episodes: episodes.len(),
+        completed: completed.len(),
+        collisions: episodes.iter().filter(|e| e.terminal == Terminal::Collision).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_demo() -> MetricsCollector {
+        let mut c = MetricsCollector::new();
+        // Step 1: fast, smooth, safe.
+        c.record_step(20.0, 0.0, None, Some(0.0), Some(18.0), 0.8, 0.5);
+        // Step 2: TTC event + rear braking event.
+        c.record_step(22.0, 1.0, Some(3.0), Some(0.8), Some(17.0), 0.2, 0.5);
+        // Step 3: milder.
+        c.record_step(21.0, 0.5, Some(5.0), Some(0.3), Some(17.5), 0.5, 0.5);
+        c
+    }
+
+    #[test]
+    fn per_episode_metrics() {
+        let m = collect_demo().finish(Terminal::Destination, 0.5);
+        assert_eq!(m.steps, 3);
+        assert!((m.driving_time - 1.5).abs() < 1e-12);
+        assert!((m.avg_v - 21.0).abs() < 1e-12);
+        assert!((m.min_ttc - 3.0).abs() < 1e-12);
+        assert_eq!(m.impact_events, 1);
+        assert!((m.avg_jerk - 0.5).abs() < 1e-12);
+        assert!((m.avg_rear_decel - (0.0 + 0.8 + 0.3) / 3.0).abs() < 1e-12);
+        assert!((m.mean_reward - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_ttc_yields_infinity() {
+        let mut c = MetricsCollector::new();
+        c.record_step(20.0, 0.0, None, None, None, 0.0, 0.5);
+        let m = c.finish(Terminal::Timeout, 0.5);
+        assert!(m.min_ttc.is_infinite());
+        assert_eq!(m.avg_rear_decel, 0.0);
+    }
+
+    #[test]
+    fn aggregation_produces_table_row() {
+        let e1 = collect_demo().finish(Terminal::Destination, 0.5);
+        let mut c2 = MetricsCollector::new();
+        c2.record_step(15.0, 2.0, Some(2.0), Some(1.2), Some(15.0), -0.5, 0.5);
+        let e2 = c2.finish(Terminal::Destination, 0.5);
+        let agg = aggregate(300.0, &[e1, e2]);
+        assert_eq!(agg.episodes, 2);
+        assert_eq!(agg.completed, 2);
+        assert!((agg.avg_dt_a - (1.5 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((agg.min_ttc_a - 2.5).abs() < 1e-12);
+        assert!((agg.avg_impact_events - 1.0).abs() < 1e-12);
+        assert!(agg.min_r <= agg.avg_r && agg.avg_r <= agg.max_r);
+        // Follower transit proxy: road / mean follower speed.
+        let follower_v = (e1.follower_mean_vel + e2.follower_mean_vel) / 2.0;
+        assert!((agg.avg_dt_c - 300.0 / follower_v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_aggregate_is_default() {
+        let agg = aggregate(300.0, &[]);
+        assert_eq!(agg.episodes, 0);
+    }
+}

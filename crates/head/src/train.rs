@@ -1,0 +1,199 @@
+//! Episode runner, training loop and evaluation harness.
+
+use crate::agents::DrivingAgent;
+use crate::env::HighwayEnv;
+use crate::metrics::{EpisodeMetrics, Terminal};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Runs one episode. `explore` enables exploration and learning feedback.
+pub fn run_episode(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, explore: bool) -> EpisodeMetrics {
+    let mut state = env.percepts().state;
+    loop {
+        let action = agent.decide(env.percepts(), explore);
+        let result = env.step(action);
+        if explore && agent.is_learning() {
+            agent.feedback(
+                &state,
+                action,
+                result.reward.total,
+                &result.next_state,
+                result.terminal != Terminal::None,
+            );
+        }
+        state = result.next_state;
+        if let Some(metrics) = result.episode {
+            return metrics;
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Per-episode metrics, in order.
+    pub episodes: Vec<EpisodeMetrics>,
+    /// Wall-clock seconds for the whole run.
+    pub total_secs: f64,
+    /// Wall-clock seconds until the smoothed mean reward stopped improving
+    /// (the paper's training-convergence-time, TCT).
+    pub convergence_secs: f64,
+}
+
+impl TrainingReport {
+    /// Mean reward of the last `n` episodes.
+    pub fn recent_mean_reward(&self, n: usize) -> f64 {
+        let take = n.min(self.episodes.len()).max(1);
+        let slice = &self.episodes[self.episodes.len() - take..];
+        slice.iter().map(|e| e.mean_reward).sum::<f64>() / take as f64
+    }
+}
+
+/// Trains a learning agent for `episodes` episodes. For non-learning
+/// agents this still runs the episodes (useful for timing) but nothing is
+/// updated.
+pub fn train_agent(
+    env: &mut HighwayEnv,
+    agent: &mut dyn DrivingAgent,
+    episodes: usize,
+) -> TrainingReport {
+    let started = Instant::now();
+    let mut all = Vec::with_capacity(episodes);
+    let mut best_window = f64::NEG_INFINITY;
+    let mut convergence_secs = None;
+    let window = 20usize;
+    for k in 0..episodes {
+        env.reset();
+        let m = run_episode(env, agent, true);
+        all.push(m);
+        // Convergence: the trailing-window mean reward stops reaching new
+        // highs for a full window.
+        if all.len() >= window && k % (window / 2).max(1) == 0 {
+            let mean = all[all.len() - window..]
+                .iter()
+                .map(|e| e.mean_reward)
+                .sum::<f64>()
+                / window as f64;
+            if mean > best_window + 1e-3 {
+                best_window = mean;
+                convergence_secs = None; // still improving
+            } else if convergence_secs.is_none() {
+                convergence_secs = Some(started.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let total = started.elapsed().as_secs_f64();
+    TrainingReport {
+        episodes: all,
+        total_secs: total,
+        convergence_secs: convergence_secs.unwrap_or(total),
+    }
+}
+
+/// Seeds a learning agent's replay buffer with demonstration episodes
+/// driven by a teacher (typically IDM-LC). The student observes the
+/// teacher's states, actions and rewards but performs no gradient steps —
+/// learning starts afterwards with a buffer that already contains safe,
+/// road-completing experience. This is the standard demonstration-seeding
+/// trick for sparse-catastrophe driving tasks; DESIGN.md documents it as
+/// an implementation choice (the paper trains ~1.2M steps instead).
+pub fn seed_with_demonstrations(
+    env: &mut HighwayEnv,
+    teacher: &mut dyn DrivingAgent,
+    student: &mut dyn DrivingAgent,
+    episodes: usize,
+) {
+    for _ in 0..episodes {
+        env.reset();
+        let mut state = env.percepts().state;
+        loop {
+            let action = teacher.decide(env.percepts(), false);
+            let result = env.step(action);
+            let terminal = result.terminal != Terminal::None;
+            student.demonstrate(&state, action, result.reward.total, &result.next_state, terminal);
+            state = result.next_state;
+            if terminal {
+                break;
+            }
+        }
+    }
+}
+
+/// Evaluates an agent greedily over `episodes` fixed-seed episodes.
+///
+/// All agents are evaluated on the *same* seed sequence
+/// (`eval_seed_base + k`) so their table rows are paired.
+pub fn evaluate_agent(
+    env: &mut HighwayEnv,
+    agent: &mut dyn DrivingAgent,
+    episodes: usize,
+    eval_seed_base: u64,
+) -> Vec<EpisodeMetrics> {
+    (0..episodes)
+        .map(|k| {
+            env.reset_with_seed(eval_seed_base.wrapping_add(k as u64));
+            run_episode(env, agent, false)
+        })
+        .collect()
+}
+
+/// Measures the agent's mean decision latency (ms per `decide` call).
+pub fn mean_decision_ms(
+    env: &mut HighwayEnv,
+    agent: &mut dyn DrivingAgent,
+    steps: usize,
+) -> f64 {
+    env.reset_with_seed(424242);
+    let mut calls = 0usize;
+    let mut decide_time = std::time::Duration::ZERO;
+    for _ in 0..steps {
+        let t0 = Instant::now();
+        let action = agent.decide(env.percepts(), false);
+        decide_time += t0.elapsed();
+        calls += 1;
+        let r = env.step(action);
+        if r.terminal != Terminal::None {
+            env.reset_with_seed(424242 + calls as u64);
+        }
+    }
+    decide_time.as_secs_f64() * 1e3 / calls.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::{IdmLc, RuleConfig};
+    use crate::config::EnvConfig;
+    use crate::env::PerceptionMode;
+
+    #[test]
+    fn run_episode_terminates_and_reports() {
+        let mut env = crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
+        let mut agent = IdmLc::new(RuleConfig::default());
+        let m = run_episode(&mut env, &mut agent, false);
+        assert!(m.steps > 0);
+        assert_eq!(m.terminal, Terminal::Destination);
+    }
+
+    #[test]
+    fn evaluation_is_seed_paired() {
+        let cfg = EnvConfig::test_scale();
+        let mut env1 = crate::env::HighwayEnv::new(cfg.clone(), PerceptionMode::Persistence);
+        let mut env2 = crate::env::HighwayEnv::new(cfg, PerceptionMode::Persistence);
+        let mut a1 = IdmLc::new(RuleConfig::default());
+        let mut a2 = IdmLc::new(RuleConfig::default());
+        let m1 = evaluate_agent(&mut env1, &mut a1, 3, 777);
+        let m2 = evaluate_agent(&mut env2, &mut a2, 3, 777);
+        for (x, y) in m1.iter().zip(&m2) {
+            assert_eq!(x.steps, y.steps, "same agent + same seeds = same episodes");
+        }
+    }
+
+    #[test]
+    fn decision_latency_positive() {
+        let mut env = crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
+        let mut agent = IdmLc::new(RuleConfig::default());
+        let ms = mean_decision_ms(&mut env, &mut agent, 20);
+        assert!(ms >= 0.0);
+    }
+}

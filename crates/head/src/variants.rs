@@ -1,0 +1,126 @@
+//! The paper's ablation variants (Table II): each removes exactly one
+//! component of HEAD.
+
+use crate::agents::PolicyAgent;
+use crate::config::EnvConfig;
+use crate::env::{HighwayEnv, PerceptionMode};
+use decision::{AgentConfig, BpDqn, PDqn};
+use perception::{LstGat, LstGatConfig, Normalizer};
+use serde::{Deserialize, Serialize};
+
+/// HEAD and its four ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The full framework.
+    Head,
+    /// Phantom-vehicle construction removed: unobservable vehicles are
+    /// zero-padded.
+    WithoutPvc,
+    /// LST-GAT removed: the decision module sees only current states.
+    WithoutLstGat,
+    /// BP-DQN replaced by the vanilla P-DQN.
+    WithoutBpDqn,
+    /// The impact reward term removed (w4 = 0).
+    WithoutImp,
+}
+
+impl Variant {
+    /// All variants in Table II order (HEAD last, as the reference row).
+    pub const ALL: [Variant; 5] = [
+        Variant::WithoutPvc,
+        Variant::WithoutLstGat,
+        Variant::WithoutBpDqn,
+        Variant::WithoutImp,
+        Variant::Head,
+    ];
+
+    /// The row label used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Head => "HEAD",
+            Variant::WithoutPvc => "HEAD-w/o-PVC",
+            Variant::WithoutLstGat => "HEAD-w/o-LST-GAT",
+            Variant::WithoutBpDqn => "HEAD-w/o-BP-DQN",
+            Variant::WithoutImp => "HEAD-w/o-IMP",
+        }
+    }
+}
+
+/// Builds the environment + policy agent for a variant.
+///
+/// `lstgat_weights` is a checkpoint produced by [`LstGat::weights_json`];
+/// pass the same checkpoint to every variant so only the ablated component
+/// differs. `normalizer` must match the environment geometry.
+pub fn build_agent(
+    variant: Variant,
+    env_cfg: &EnvConfig,
+    agent_cfg: &AgentConfig,
+    lstgat_weights: Option<&str>,
+    normalizer: Normalizer,
+) -> (HighwayEnv, PolicyAgent) {
+    let mut env_cfg = env_cfg.clone();
+    if variant == Variant::WithoutImp {
+        env_cfg.reward.w_impact = 0.0;
+    }
+
+    let perception = if variant == Variant::WithoutLstGat {
+        PerceptionMode::Persistence
+    } else {
+        let mut model = LstGat::new(LstGatConfig::default(), normalizer);
+        if let Some(json) = lstgat_weights {
+            model.load_weights_json(json).expect("valid LST-GAT checkpoint");
+        }
+        PerceptionMode::LstGat(Box::new(model))
+    };
+
+    let mut env = HighwayEnv::new(env_cfg, perception);
+    if variant == Variant::WithoutPvc {
+        env.disable_phantoms();
+    }
+
+    let agent = if variant == Variant::WithoutBpDqn {
+        PolicyAgent::new(variant.label(), Box::new(PDqn::new(*agent_cfg)))
+    } else {
+        PolicyAgent::new(variant.label(), Box::new(BpDqn::new(*agent_cfg)))
+    };
+    (env, agent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::DrivingAgent;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Variant::Head.label(), "HEAD");
+        assert_eq!(Variant::WithoutPvc.label(), "HEAD-w/o-PVC");
+        assert_eq!(Variant::ALL.len(), 5);
+    }
+
+    #[test]
+    fn variants_assemble_and_decide() {
+        let env_cfg = EnvConfig::test_scale();
+        let agent_cfg = AgentConfig { warmup: 16, batch_size: 8, ..AgentConfig::default() };
+        let norm = Normalizer::paper_default();
+        for v in Variant::ALL {
+            let (mut env, mut agent) = build_agent(v, &env_cfg, &agent_cfg, None, norm);
+            let action = agent.decide(env.percepts(), false);
+            assert!(action.accel.abs() <= 3.0 + 1e-6, "{}", v.label());
+            let r = env.step(action);
+            assert!(r.reward.total.is_finite());
+        }
+    }
+
+    #[test]
+    fn without_imp_zeroes_the_impact_weight() {
+        let env_cfg = EnvConfig::test_scale();
+        let agent_cfg = AgentConfig::default();
+        let norm = Normalizer::paper_default();
+        let (env, _) =
+            build_agent(Variant::WithoutImp, &env_cfg, &agent_cfg, None, norm);
+        assert_eq!(env.cfg().reward.w_impact, 0.0);
+        let (env, _) = build_agent(Variant::Head, &env_cfg, &agent_cfg, None, norm);
+        assert!(env.cfg().reward.w_impact > 0.0);
+    }
+}

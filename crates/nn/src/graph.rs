@@ -1,0 +1,622 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a tape of operations built for a single forward pass. Each
+//! op builder immediately computes the forward value and records how to
+//! propagate gradients. [`Graph::backward`] walks the tape in reverse and
+//! accumulates parameter gradients into the [`ParamStore`].
+//!
+//! The op set is exactly what the HEAD networks need: dense algebra,
+//! broadcasts, activations, row-softmax, and the gather/segment-sum pair that
+//! expresses graph attention over a fixed neighbour structure.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use std::rc::Rc;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Clone, Debug)]
+enum Op {
+    Input,
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    AddBroadcastRow(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    MulBroadcastCol(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Tanh(Var),
+    Sigmoid(Var),
+    SoftmaxRows(Var),
+    GatherRows(Var, Rc<Vec<usize>>),
+    SumGroups(Var, usize),
+    Reshape(Var),
+    Transpose(Var),
+    ConcatCols(Var, Var),
+    ConcatRows(Var, Var),
+    SumAll(Var),
+    MeanAll(Var),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// A single-use computation tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Adds a constant leaf (no gradient flows into it).
+    pub fn input(&mut self, m: Matrix) -> Var {
+        self.push(Op::Input, m)
+    }
+
+    /// Adds a parameter leaf; its gradient is routed to `id` on backward.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(Op::Param(id), store.value(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Element-wise sum of two same-shape nodes.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// `(r, c) + (1, c)` broadcast sum — the bias add.
+    pub fn add_broadcast_row(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut out = am.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + bm.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        self.push(Op::AddBroadcastRow(a, b), out)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        self.push(Op::MulElem(a, b), v)
+    }
+
+    /// `(r, c) * (r, 1)` broadcast product — per-row scaling.
+    pub fn mul_broadcast_col(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(bm.cols(), 1, "broadcast operand must be a column vector");
+        assert_eq!(am.rows(), bm.rows(), "broadcast height mismatch");
+        let mut out = am.clone();
+        for r in 0..out.rows() {
+            let s = bm.get(r, 0);
+            for v in out.row_slice_mut(r) {
+                *v *= s;
+            }
+        }
+        self.push(Op::MulBroadcastCol(a, b), out)
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * s);
+        self.push(Op::Scale(a, s), v)
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + s);
+        self.push(Op::AddScalar(a), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Leaky ReLU with the given negative-side slope.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(Op::LeakyRelu(a, slope), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let row = out.row_slice_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        self.push(Op::SoftmaxRows(a), out)
+    }
+
+    /// Builds a new matrix whose row `i` is row `indices[i]` of `a`.
+    pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<usize>>) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(indices.len(), m.cols());
+        for (i, &src) in indices.iter().enumerate() {
+            out.row_slice_mut(i).copy_from_slice(m.row_slice(src));
+        }
+        self.push(Op::GatherRows(a, indices), out)
+    }
+
+    /// Sums consecutive row groups of size `group_size`.
+    ///
+    /// Input `(k * g, c)` becomes output `(k, c)` with row `j` equal to the
+    /// sum of input rows `j*g .. (j+1)*g`.
+    pub fn sum_groups(&mut self, a: Var, group_size: usize) -> Var {
+        let m = &self.nodes[a.0].value;
+        assert!(group_size > 0 && m.rows() % group_size == 0, "rows must divide into groups");
+        let groups = m.rows() / group_size;
+        let mut out = Matrix::zeros(groups, m.cols());
+        for j in 0..groups {
+            for i in 0..group_size {
+                let src = m.row_slice(j * group_size + i);
+                for (o, &s) in out.row_slice_mut(j).iter_mut().zip(src) {
+                    *o += s;
+                }
+            }
+        }
+        self.push(Op::SumGroups(a, group_size), out)
+    }
+
+    /// Reshapes without reordering data.
+    pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
+        let v = self.nodes[a.0].value.reshaped(rows, cols);
+        self.push(Op::Reshape(a), v)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Horizontal concatenation `[a || b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(am.rows(), bm.rows(), "concat_cols row mismatch");
+        let mut out = Matrix::zeros(am.rows(), am.cols() + bm.cols());
+        for r in 0..am.rows() {
+            let dst = out.row_slice_mut(r);
+            dst[..am.cols()].copy_from_slice(am.row_slice(r));
+            dst[am.cols()..].copy_from_slice(bm.row_slice(r));
+        }
+        self.push(Op::ConcatCols(a, b), out)
+    }
+
+    /// Vertical concatenation (stack `b` below `a`).
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(am.cols(), bm.cols(), "concat_rows col mismatch");
+        let mut data = Vec::with_capacity((am.rows() + bm.rows()) * am.cols());
+        data.extend_from_slice(am.data());
+        data.extend_from_slice(bm.data());
+        let out = Matrix::from_vec(am.rows() + bm.rows(), am.cols(), data);
+        self.push(Op::ConcatRows(a, b), out)
+    }
+
+    /// Sum of all elements, as a `1x1` matrix.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all elements, as a `1x1` matrix.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let v = Matrix::from_vec(1, 1, vec![m.sum() / m.len() as f32]);
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Convenience: mean-squared-error between `pred` and `target`.
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.mul_elem(d, d);
+        self.mean_all(sq)
+    }
+
+    /// Convenience: element-mask-weighted squared error, normalised by
+    /// `normaliser` (used by the LST-GAT loss to mask phantom targets).
+    pub fn masked_sse(&mut self, pred: Var, target: Var, mask: Var, normaliser: f32) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.mul_elem(d, d);
+        let masked = self.mul_elem(sq, mask);
+        let s = self.sum_all(masked);
+        self.scale(s, 1.0 / normaliser)
+    }
+
+    /// Runs the backward pass from `loss` (must be `1x1`) and accumulates
+    /// parameter gradients into `store`. Returns the scalar loss value.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) -> f32 {
+        let loss_value = {
+            let m = &self.nodes[loss.0].value;
+            assert_eq!(m.shape(), (1, 1), "backward seed must be a scalar");
+            m.get(0, 0)
+        };
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            // Re-insert so callers can inspect grads of intermediate nodes if
+            // this ever becomes useful; cheap because matrices are small.
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Param(id) => store.accumulate_grad(id, &g),
+                Op::MatMul(a, b) => {
+                    let bt = self.nodes[b.0].value.transpose();
+                    let ga = g.matmul(&bt);
+                    let at = self.nodes[a.0].value.transpose();
+                    let gb = at.matmul(&g);
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    accumulate(&mut grads, b.0, g);
+                }
+                Op::AddBroadcastRow(a, b) => {
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            let v = gb.get(0, c) + g.get(r, c);
+                            gb.set(0, c, v);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, g);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    accumulate(&mut grads, b.0, g.map(|x| -x));
+                }
+                Op::MulElem(a, b) => {
+                    let ga = g.zip(&self.nodes[b.0].value, |x, y| x * y);
+                    let gb = g.zip(&self.nodes[a.0].value, |x, y| x * y);
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::MulBroadcastCol(a, b) => {
+                    let am = &self.nodes[a.0].value;
+                    let bm = &self.nodes[b.0].value;
+                    let mut ga = g.clone();
+                    for r in 0..ga.rows() {
+                        let s = bm.get(r, 0);
+                        for v in ga.row_slice_mut(r) {
+                            *v *= s;
+                        }
+                    }
+                    let mut gb = Matrix::zeros(bm.rows(), 1);
+                    for r in 0..g.rows() {
+                        let dot: f32 =
+                            g.row_slice(r).iter().zip(am.row_slice(r)).map(|(&x, &y)| x * y).sum();
+                        gb.set(r, 0, dot);
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, a.0, g.map(|x| x * s)),
+                Op::AddScalar(a) => accumulate(&mut grads, a.0, g),
+                Op::Relu(a) => {
+                    let ga = g.zip(&self.nodes[a.0].value, |gv, x| if x > 0.0 { gv } else { 0.0 });
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let ga = g.zip(
+                        &self.nodes[a.0].value,
+                        |gv, x| if x > 0.0 { gv } else { gv * slope },
+                    );
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Tanh(a) => {
+                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * y * (1.0 - y));
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 =
+                            g.row_slice(r).iter().zip(y.row_slice(r)).map(|(&x, &p)| x * p).sum();
+                        for c in 0..y.cols() {
+                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::GatherRows(a, indices) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for (r, &idx) in indices.iter().enumerate() {
+                        for (o, &gv) in ga.row_slice_mut(idx).iter_mut().zip(g.row_slice(r)) {
+                            *o += gv;
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::SumGroups(a, group_size) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for r in 0..src.rows() {
+                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(r / group_size));
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Reshape(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    accumulate(&mut grads, a.0, g.reshaped(r, c));
+                }
+                Op::Transpose(a) => accumulate(&mut grads, a.0, g.transpose()),
+                Op::ConcatCols(a, b) => {
+                    let ac = self.nodes[a.0].value.cols();
+                    let mut ga = Matrix::zeros(g.rows(), ac);
+                    let mut gb = Matrix::zeros(g.rows(), g.cols() - ac);
+                    for r in 0..g.rows() {
+                        let src = g.row_slice(r);
+                        ga.row_slice_mut(r).copy_from_slice(&src[..ac]);
+                        gb.row_slice_mut(r).copy_from_slice(&src[ac..]);
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::ConcatRows(a, b) => {
+                    let ar = self.nodes[a.0].value.rows();
+                    let cols = g.cols();
+                    let ga =
+                        Matrix::from_vec(ar, cols, g.data()[..ar * cols].to_vec());
+                    let gb = Matrix::from_vec(
+                        g.rows() - ar,
+                        cols,
+                        g.data()[ar * cols..].to_vec(),
+                    );
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::SumAll(a) => {
+                    let s = g.get(0, 0);
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    accumulate(&mut grads, a.0, Matrix::full(r, c, s));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let s = g.get(0, 0) / (r * c) as f32;
+                    accumulate(&mut grads, a.0, Matrix::full(r, c, s));
+                }
+            }
+        }
+        loss_value
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, delta: Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_linear_chain() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row(&[1.0, 2.0]));
+        let w = g.input(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let y = g.matmul(x, w);
+        assert_eq!(g.value(y), &Matrix::row(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn backward_through_matmul_param() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_rows(&[&[2.0], &[3.0]]));
+        let mut g = Graph::new();
+        let x = g.input(Matrix::row(&[5.0, 7.0]));
+        let wv = g.param(&store, w);
+        let y = g.matmul(x, wv); // y = 5*2 + 7*3 = 31
+        let loss = g.sum_all(y);
+        let lv = g.backward(loss, &mut store);
+        assert_eq!(lv, 31.0);
+        // dloss/dw = x^T
+        assert_eq!(store.get(w).grad, Matrix::from_rows(&[&[5.0], &[7.0]]));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_grad_is_zero_for_uniform_seed() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Matrix::row(&[1.0, 2.0, 3.0]));
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let sm = g.softmax_rows(pv);
+        let total: f32 = g.value(sm).data().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        // Sum of softmax outputs is constant 1 => gradient of the sum is 0.
+        let loss = g.sum_all(sm);
+        g.backward(loss, &mut store);
+        for &v in store.get(p).grad.data() {
+            assert!(v.abs() < 1e-6, "expected zero grad, got {v}");
+        }
+    }
+
+    #[test]
+    fn gather_rows_forward_and_backward() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]));
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let gathered = g.gather_rows(pv, Rc::new(vec![2, 0, 2]));
+        assert_eq!(g.value(gathered), &Matrix::from_rows(&[&[100.0], &[1.0], &[100.0]]));
+        let loss = g.sum_all(gathered);
+        g.backward(loss, &mut store);
+        // Row 2 gathered twice -> grad 2; row 0 once; row 1 never.
+        assert_eq!(store.get(p).grad, Matrix::from_rows(&[&[1.0], &[0.0], &[2.0]]));
+    }
+
+    #[test]
+    fn sum_groups_forward_and_backward() {
+        let mut store = ParamStore::new();
+        let p = store.register(
+            "p",
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]),
+        );
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let summed = g.sum_groups(pv, 2);
+        assert_eq!(g.value(summed), &Matrix::from_rows(&[&[4.0, 6.0], &[12.0, 14.0]]));
+        let loss = g.sum_all(summed);
+        g.backward(loss, &mut store);
+        assert_eq!(store.get(p).grad, Matrix::full(4, 2, 1.0));
+    }
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Matrix::row(&[1.0, 3.0]));
+        let mut g = Graph::new();
+        let pred = g.param(&store, p);
+        let target = g.input(Matrix::row(&[0.0, 0.0]));
+        let loss = g.mse(pred, target);
+        let lv = g.backward(loss, &mut store);
+        assert!((lv - 5.0).abs() < 1e-6); // (1 + 9) / 2
+        // d/dp mean((p - 0)^2) = 2p / n = p
+        assert_eq!(store.get(p).grad, Matrix::row(&[1.0, 3.0]));
+    }
+
+    #[test]
+    fn masked_sse_ignores_masked_entries() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Matrix::row(&[2.0, 100.0]));
+        let mut g = Graph::new();
+        let pred = g.param(&store, p);
+        let target = g.input(Matrix::row(&[0.0, 0.0]));
+        let mask = g.input(Matrix::row(&[1.0, 0.0]));
+        let loss = g.masked_sse(pred, target, mask, 1.0);
+        let lv = g.backward(loss, &mut store);
+        assert!((lv - 4.0).abs() < 1e-6);
+        assert_eq!(store.get(p).grad.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::row(&[1.0]));
+        let b = store.register("b", Matrix::row(&[2.0, 3.0]));
+        let mut g = Graph::new();
+        let av = g.param(&store, a);
+        let bv = g.param(&store, b);
+        let cat = g.concat_cols(av, bv);
+        assert_eq!(g.value(cat), &Matrix::row(&[1.0, 2.0, 3.0]));
+        let w = g.input(Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]));
+        let y = g.matmul(cat, w);
+        let loss = g.sum_all(y);
+        g.backward(loss, &mut store);
+        assert_eq!(store.get(a).grad, Matrix::row(&[1.0]));
+        assert_eq!(store.get(b).grad, Matrix::row(&[10.0, 100.0]));
+    }
+
+    #[test]
+    fn grad_accumulates_over_fanout() {
+        // y = p + p => dy/dp = 2
+        let mut store = ParamStore::new();
+        let p = store.register("p", Matrix::row(&[4.0]));
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let y = g.add(pv, pv);
+        let loss = g.sum_all(y);
+        g.backward(loss, &mut store);
+        assert_eq!(store.get(p).grad, Matrix::row(&[2.0]));
+    }
+
+    #[test]
+    fn transpose_backward() {
+        let mut store = ParamStore::new();
+        let p = store.register("p", Matrix::from_rows(&[&[1.0, 2.0]]));
+        let mut g = Graph::new();
+        let pv = g.param(&store, p);
+        let t = g.transpose(pv);
+        let w = g.input(Matrix::from_rows(&[&[3.0, 5.0]]));
+        let y = g.matmul(w, t); // 1x1 = 3*1 + 5*2 = 13
+        let loss = g.sum_all(y);
+        let lv = g.backward(loss, &mut store);
+        assert_eq!(lv, 13.0);
+        assert_eq!(store.get(p).grad, Matrix::from_rows(&[&[3.0, 5.0]]));
+    }
+}

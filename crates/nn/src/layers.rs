@@ -1,0 +1,318 @@
+//! Reusable layers built on top of the autodiff [`Graph`].
+//!
+//! Convention: activations are **row vectors**; a batch is a matrix whose
+//! rows are samples. A [`Linear`] layer therefore stores its weight as
+//! `(in_dim, out_dim)` and computes `x @ w + b`.
+
+use crate::graph::{Graph, Var};
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use rand::Rng;
+
+/// Fully connected layer `y = x @ w + b`.
+#[derive(Clone, Copy, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers weights for a `in_dim -> out_dim` layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.register_xavier(format!("{name}.w"), in_dim, out_dim, rng);
+        let b = store.register_zeros(format!("{name}.b"), 1, out_dim);
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to a `(batch, in_dim)` node.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        self.forward_inner(g, store, x, true)
+    }
+
+    /// Applies the layer with its weights treated as constants: gradients
+    /// flow *through* the layer to its input but not *into* its weights.
+    /// Used when optimising one network through another that must stay
+    /// fixed (e.g. the P-DQN actor loss with θ_Q frozen).
+    pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        self.forward_inner(g, store, x, false)
+    }
+
+    fn forward_inner(&self, g: &mut Graph, store: &ParamStore, x: Var, trainable: bool) -> Var {
+        debug_assert_eq!(g.value(x).cols(), self.in_dim, "Linear input width mismatch");
+        let (w, b) = if trainable {
+            (g.param(store, self.w), g.param(store, self.b))
+        } else {
+            (g.input(store.value(self.w)), g.input(store.value(self.b)))
+        };
+        let xw = g.matmul(x, w);
+        g.add_broadcast_row(xw, b)
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// A standard LSTM cell (Hochreiter & Schmidhuber) operating on row batches.
+///
+/// Gates use separate input/recurrent weight matrices; the forget-gate bias
+/// is initialised to 1.0 (common practice that speeds up convergence).
+#[derive(Clone, Copy, Debug)]
+pub struct LstmCell {
+    wxi: ParamId,
+    whi: ParamId,
+    bi: ParamId,
+    wxf: ParamId,
+    whf: ParamId,
+    bf: ParamId,
+    wxg: ParamId,
+    whg: ParamId,
+    bg: ParamId,
+    wxo: ParamId,
+    who: ParamId,
+    bo: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+/// The recurrent state `(h, c)` of an [`LstmCell`] as graph nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct LstmState {
+    /// Hidden state node, shape `(batch, hidden)`.
+    pub h: Var,
+    /// Cell state node, shape `(batch, hidden)`.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Registers weights for an `in_dim -> hidden` LSTM cell.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let wxi = store.register_xavier(format!("{name}.wxi"), in_dim, hidden, rng);
+        let whi = store.register_xavier(format!("{name}.whi"), hidden, hidden, rng);
+        let wxf = store.register_xavier(format!("{name}.wxf"), in_dim, hidden, rng);
+        let whf = store.register_xavier(format!("{name}.whf"), hidden, hidden, rng);
+        let wxg = store.register_xavier(format!("{name}.wxg"), in_dim, hidden, rng);
+        let whg = store.register_xavier(format!("{name}.whg"), hidden, hidden, rng);
+        let wxo = store.register_xavier(format!("{name}.wxo"), in_dim, hidden, rng);
+        let who = store.register_xavier(format!("{name}.who"), hidden, hidden, rng);
+        let bi = store.register_zeros(format!("{name}.bi"), 1, hidden);
+        let bf = store.register(format!("{name}.bf"), Matrix::full(1, hidden, 1.0));
+        let bg = store.register_zeros(format!("{name}.bg"), 1, hidden);
+        let bo = store.register_zeros(format!("{name}.bo"), 1, hidden);
+        Self { wxi, whi, bi, wxf, whf, bf, wxg, whg, bg, wxo, who, bo, in_dim, hidden }
+    }
+
+    /// Zero initial state for a batch of `batch` rows.
+    pub fn zero_state(&self, g: &mut Graph, batch: usize) -> LstmState {
+        LstmState {
+            h: g.input(Matrix::zeros(batch, self.hidden)),
+            c: g.input(Matrix::zeros(batch, self.hidden)),
+        }
+    }
+
+    fn gate(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        h: Var,
+        wx: ParamId,
+        wh: ParamId,
+        b: ParamId,
+    ) -> Var {
+        let wxv = g.param(store, wx);
+        let whv = g.param(store, wh);
+        let bv = g.param(store, b);
+        let a = g.matmul(x, wxv);
+        let r = g.matmul(h, whv);
+        let s = g.add(a, r);
+        g.add_broadcast_row(s, bv)
+    }
+
+    /// One recurrence step on a `(batch, in_dim)` input node.
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
+        debug_assert_eq!(g.value(x).cols(), self.in_dim, "LSTM input width mismatch");
+        let i_pre = self.gate(g, store, x, state.h, self.wxi, self.whi, self.bi);
+        let i = g.sigmoid(i_pre);
+        let f_pre = self.gate(g, store, x, state.h, self.wxf, self.whf, self.bf);
+        let f = g.sigmoid(f_pre);
+        let gg_pre = self.gate(g, store, x, state.h, self.wxg, self.whg, self.bg);
+        let gg = g.tanh(gg_pre);
+        let o_pre = self.gate(g, store, x, state.h, self.wxo, self.who, self.bo);
+        let o = g.sigmoid(o_pre);
+
+        let fc = g.mul_elem(f, state.c);
+        let ig = g.mul_elem(i, gg);
+        let c = g.add(fc, ig);
+        let ct = g.tanh(c);
+        let h = g.mul_elem(o, ct);
+        LstmState { h, c }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+}
+
+/// A small multilayer perceptron with ReLU activations between layers.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[52, 64, 64, 3]`.
+    pub fn new(store: &mut ParamStore, name: &str, dims: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Forward pass; ReLU after every layer except the last.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            if i + 1 < self.layers.len() {
+                h = g.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Forward pass with frozen weights (see [`Linear::forward_frozen`]).
+    pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_frozen(g, store, h);
+            if i + 1 < self.layers.len() {
+                h = g.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Output width of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Input width of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", 3, 5, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(4, 3));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (4, 5));
+    }
+
+    #[test]
+    fn linear_zero_bias_initially() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", 2, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(1, 2));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y), &Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn lstm_step_shapes_and_bounds() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 4, 8, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::full(6, 4, 0.5));
+        let s0 = cell.zero_state(&mut g, 6);
+        let s1 = cell.step(&mut g, &store, x, s0);
+        assert_eq!(g.value(s1.h).shape(), (6, 8));
+        assert_eq!(g.value(s1.c).shape(), (6, 8));
+        // h = o * tanh(c) is bounded to (-1, 1).
+        assert!(g.value(s1.h).data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn lstm_state_carries_information() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 4, &mut rng);
+        let mut g = Graph::new();
+        let x1 = g.input(Matrix::full(1, 2, 1.0));
+        let x2 = g.input(Matrix::zeros(1, 2));
+        let s0 = cell.zero_state(&mut g, 1);
+        let s1 = cell.step(&mut g, &store, x1, s0);
+        let s2 = cell.step(&mut g, &store, x2, s1);
+        // A fresh zero state stepped with zero input differs from s2,
+        // proving the recurrence actually carries history.
+        let f0 = cell.zero_state(&mut g, 1);
+        let f1 = cell.step(&mut g, &store, x2, f0);
+        assert_ne!(g.value(s2.h), g.value(f1.h));
+    }
+
+    #[test]
+    fn mlp_trains_toward_target() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "mlp", &[2, 16, 1], &mut rng);
+        let mut opt = crate::optim::Adam::new(1e-2);
+        let x_data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let y_data = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]); // XOR
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let x = g.input(x_data.clone());
+            let t = g.input(y_data.clone());
+            let y = mlp.forward(&mut g, &store, x);
+            let loss = g.mse(y, t);
+            store.zero_grad();
+            last = g.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        assert!(last < 0.05, "XOR loss did not drop: {last}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # nn — a minimal neural-network engine
+//!
+//! This crate is the PyTorch substitute for the HEAD reproduction: a small,
+//! dependency-light, reverse-mode automatic-differentiation engine over dense
+//! `f32` matrices, plus the layers (linear, LSTM) and optimisers (Adam) that
+//! the paper's networks need.
+//!
+//! Design points:
+//!
+//! * **Define-by-run tape** — a [`Graph`] is built per forward pass; ops
+//!   compute eagerly and record a backward rule. This mirrors how the paper's
+//!   models (LST-GAT, BP-DQN, the baselines) would be written in PyTorch.
+//! * **External parameter store** — layer structs hold [`ParamId`] handles
+//!   into a [`ParamStore`]; gradients are accumulated back into the store by
+//!   [`Graph::backward`]. Target networks for DQN-style learners are just a
+//!   second store updated with [`ParamStore::soft_update_from`].
+//! * **Graph-attention primitives** — [`Graph::gather_rows`] and
+//!   [`Graph::sum_groups`] express attention over a fixed neighbour structure
+//!   (the paper's 42-node spatial graph) without any sparse-matrix machinery.
+//!
+//! Everything is gradient-checked against central finite differences in the
+//! property-test suite (`tests/gradcheck.rs`).
+//!
+//! ```
+//! use nn::{Graph, Matrix, ParamStore, Adam, Mlp};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, "demo", &[2, 8, 1], &mut rng);
+//! let mut adam = Adam::new(1e-2);
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Matrix::row(&[0.5, -0.5]));
+//! let t = g.input(Matrix::row(&[1.0]));
+//! let y = mlp.forward(&mut g, &store, x);
+//! let loss = g.mse(y, t);
+//! store.zero_grad();
+//! g.backward(loss, &mut store);
+//! adam.step(&mut store);
+//! ```
+
+mod graph;
+mod layers;
+mod matrix;
+mod optim;
+mod params;
+
+pub use graph::{Graph, Var};
+pub use layers::{Linear, LstmCell, LstmState, Mlp};
+pub use matrix::Matrix;
+pub use optim::{Adam, Sgd};
+pub use params::{Param, ParamId, ParamStore};

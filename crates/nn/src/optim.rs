@@ -1,0 +1,148 @@
+//! Optimisers and training-loop helpers.
+
+use crate::matrix::Matrix;
+use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
+
+/// Adam optimiser (Kingma & Ba, 2014), the optimiser used throughout the
+/// HEAD paper (learning rate 0.001 by default there).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates Adam with standard betas (0.9 / 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = store.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.v = self.m.clone();
+        }
+    }
+
+    /// Applies one update using the gradients currently in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in store.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((w, &g), (mm, vv)) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+            {
+                *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mm / bc1;
+                let v_hat = *vv / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD, kept for tests and as a reference implementation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one update using the gradients currently in `store`.
+    pub fn step(&self, store: &mut ParamStore) {
+        for p in store.iter_mut() {
+            for (w, &g) in p.value.data_mut().iter_mut().zip(p.grad.data()) {
+                *w -= self.lr * g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimise (w - 3)^2 with each optimiser.
+    fn quadratic_loss(store: &mut ParamStore, step: &mut dyn FnMut(&mut ParamStore)) -> f32 {
+        let w = store.register("w", Matrix::row(&[0.0]));
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let wv = g.param(store, w);
+            let target = g.input(Matrix::row(&[3.0]));
+            let loss = g.mse(wv, target);
+            store.zero_grad();
+            g.backward(loss, store);
+            step(store);
+        }
+        store.value(w).get(0, 0)
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let mut adam = Adam::new(0.05);
+        let w = quadratic_loss(&mut store, &mut |s| adam.step(s));
+        assert!((w - 3.0).abs() < 1e-2, "adam ended at {w}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let sgd = Sgd::new(0.1);
+        let w = quadratic_loss(&mut store, &mut |s| sgd.step(s));
+        assert!((w - 3.0).abs() < 1e-3, "sgd ended at {w}");
+    }
+
+    #[test]
+    fn adam_steps_counted() {
+        let mut store = ParamStore::new();
+        store.register("w", Matrix::row(&[1.0]));
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut store);
+        adam.step(&mut store);
+        assert_eq!(adam.steps(), 2);
+    }
+
+    #[test]
+    fn adam_handles_param_store_growth_gracefully() {
+        // If the store changes size, moment state is re-initialised.
+        let mut store = ParamStore::new();
+        store.register("a", Matrix::row(&[1.0]));
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut store);
+        store.register("b", Matrix::row(&[2.0]));
+        adam.step(&mut store); // must not panic
+        assert_eq!(adam.steps(), 2);
+    }
+}

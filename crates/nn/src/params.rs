@@ -1,0 +1,245 @@
+//! Learnable parameters and their registry.
+//!
+//! Layers hold [`ParamId`] handles; the values, gradients and optimizer
+//! moments live in a [`ParamStore`] owned by the model. Computation graphs
+//! read parameter values when a node is created and write gradients back
+//! after the backward pass, which keeps the graph free of borrows into the
+//! store.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Handle to one learnable tensor inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// One learnable tensor plus its accumulated gradient.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Human-readable name, used in checkpoints and error messages.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated since the last `zero_grad`.
+    pub grad: Matrix,
+}
+
+/// Registry of all learnable parameters of a model.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Registers a `rows x cols` parameter with Xavier/Glorot-uniform init.
+    pub fn register_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.random_range(-bound..bound)).collect();
+        self.register(name, Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Registers a zero-initialised parameter (typical for biases).
+    pub fn register_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.register(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Immutable access to a parameter.
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutable access to a parameter.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Value of a parameter (cloned; matrices here are small).
+    pub fn value(&self, id: ParamId) -> Matrix {
+        self.params[id.0].value.clone()
+    }
+
+    /// Adds `delta` into the gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Matrix) {
+        self.params[id.0].grad.add_assign(delta);
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            p.grad.zero_out();
+        }
+    }
+
+    /// Iterates over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Iterates mutably over all parameters.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.params.iter_mut()
+    }
+
+    /// Global L2 norm of all gradients (for clipping diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                let n = p.grad.frobenius_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient so that the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                p.grad.scale_assign(s);
+            }
+        }
+    }
+
+    /// Copies all values from `src` (shapes must match; used for target nets).
+    pub fn copy_values_from(&mut self, src: &ParamStore) {
+        assert_eq!(self.params.len(), src.params.len(), "param count mismatch");
+        for (dst, s) in self.params.iter_mut().zip(&src.params) {
+            assert_eq!(dst.value.shape(), s.value.shape(), "param shape mismatch");
+            dst.value = s.value.clone();
+        }
+    }
+
+    /// Polyak soft update: `self = tau * src + (1 - tau) * self`.
+    pub fn soft_update_from(&mut self, src: &ParamStore, tau: f32) {
+        assert_eq!(self.params.len(), src.params.len(), "param count mismatch");
+        for (dst, s) in self.params.iter_mut().zip(&src.params) {
+            dst.value = dst.value.zip(&s.value, |d, v| (1.0 - tau) * d + tau * v);
+        }
+    }
+
+    /// Serialises the store to JSON (model checkpoint).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore is always serialisable")
+    }
+
+    /// Restores a store from [`ParamStore::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn register_and_access() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::from_rows(&[&[1.0, 2.0]]));
+        assert_eq!(store.value(id).get(0, 1), 2.0);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.scalar_count(), 2);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let id = store.register_xavier("w", 10, 30, &mut rng);
+        let bound = (6.0f32 / 40.0).sqrt();
+        assert!(store.value(id).data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn grad_accumulate_and_zero() {
+        let mut store = ParamStore::new();
+        let id = store.register_zeros("b", 1, 2);
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[1.0, -1.0]]));
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[0.5, 0.5]]));
+        assert_eq!(store.get(id).grad, Matrix::from_rows(&[&[1.5, -0.5]]));
+        store.zero_grad();
+        assert_eq!(store.get(id).grad, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut store = ParamStore::new();
+        let id = store.register_zeros("w", 1, 2);
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[3.0, 4.0]]));
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        let g = store.get(id).grad.clone();
+        assert!((g.get(0, 0) / g.get(0, 1) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut store = ParamStore::new();
+        let id = store.register_zeros("w", 1, 2);
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[0.3, 0.4]]));
+        store.clip_grad_norm(10.0);
+        assert_eq!(store.get(id).grad, Matrix::from_rows(&[&[0.3, 0.4]]));
+    }
+
+    #[test]
+    fn soft_update_mixes() {
+        let mut a = ParamStore::new();
+        let ida = a.register("w", Matrix::from_rows(&[&[0.0]]));
+        let mut b = ParamStore::new();
+        b.register("w", Matrix::from_rows(&[&[10.0]]));
+        a.soft_update_from(&b, 0.1);
+        assert!((a.value(ida).get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        store.register_xavier("w1", 3, 4, &mut rng);
+        store.register_zeros("b1", 1, 4);
+        let json = store.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(ParamId(0)).value, store.get(ParamId(0)).value);
+    }
+}

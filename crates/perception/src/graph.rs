@@ -1,0 +1,273 @@
+//! The spatial-temporal graph (paper §III-B, Eqs. 7–9).
+//!
+//! At every step the graph holds 42 nodes — 6 *target* conventional
+//! vehicles plus 6 *surrounding* vehicles for each target — replicated over
+//! the last `z` time steps. Edges are fixed: each target connects to its
+//! 6 surrounding nodes plus a self-loop.
+//!
+//! Node features follow the paper exactly: conventional (and phantom)
+//! vehicles carry **states relative to the autonomous vehicle**
+//! `[d_lat, d_lon, v_rel, IF]`; the slots occupied by the autonomous
+//! vehicle itself carry its **raw** state `[lat, lon, v, 0]`.
+//! Lane numbers use the paper's 1-based convention (lane 1 = leftmost,
+//! lane κ = rightmost; inherent phantoms sit at 0 and κ+1).
+
+use serde::{Deserialize, Serialize};
+use traffic_sim::VehicleId;
+
+/// Number of target conventional vehicles around the ego.
+pub const NUM_TARGETS: usize = 6;
+/// Surrounding vehicles per target.
+pub const NUM_SURROUNDING: usize = 6;
+/// Total nodes per spatial graph: 6 targets + 6 × 6 surrounding.
+pub const NUM_NODES: usize = NUM_TARGETS + NUM_TARGETS * NUM_SURROUNDING;
+/// Feature width of one node: `[d_lat, d_lon, v_rel, IF]`.
+pub const NODE_DIM: usize = 4;
+
+/// The six key areas around a centre vehicle (paper Fig. 2), in the paper's
+/// order: front-left, front, front-right, rear-left, rear, rear-right.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Area {
+    /// Ahead, one lane to the left.
+    FrontLeft,
+    /// Ahead, same lane.
+    Front,
+    /// Ahead, one lane to the right.
+    FrontRight,
+    /// Behind, one lane to the left.
+    RearLeft,
+    /// Behind, same lane.
+    Rear,
+    /// Behind, one lane to the right.
+    RearRight,
+}
+
+/// All areas in slot order `0..6`.
+pub const AREAS: [Area; 6] =
+    [Area::FrontLeft, Area::Front, Area::FrontRight, Area::RearLeft, Area::Rear, Area::RearRight];
+
+impl Area {
+    /// Lane offset of the area relative to the centre vehicle
+    /// (−1 = one lane left, +1 = one lane right).
+    pub fn lane_offset(self) -> i64 {
+        match self {
+            Area::FrontLeft | Area::RearLeft => -1,
+            Area::Front | Area::Rear => 0,
+            Area::FrontRight | Area::RearRight => 1,
+        }
+    }
+
+    /// Whether the area is ahead of the centre vehicle.
+    pub fn is_front(self) -> bool {
+        matches!(self, Area::FrontLeft | Area::Front | Area::FrontRight)
+    }
+
+    /// Slot index `0..6` in the paper's ordering.
+    pub fn slot(self) -> usize {
+        AREAS.iter().position(|&a| a == self).expect("all areas listed")
+    }
+
+    /// The reciprocal slot: if `B` sits in area `a` of `A`, then `A` sits in
+    /// area `a.reciprocal()` of `B` (paper footnote 1: pairs (1,6), (2,5),
+    /// (3,4), (4,3), (5,2), (6,1)).
+    pub fn reciprocal(self) -> Area {
+        AREAS[NUM_SURROUNDING - 1 - self.slot()]
+    }
+}
+
+/// Why a node was filled in by the phantom-construction strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissingKind {
+    /// Outside the sensor's detection radius (paper Eq. 4).
+    Range,
+    /// The centre vehicle is in an edge lane, so the neighbour cannot exist
+    /// (paper Eq. 5).
+    Inherent,
+    /// Hidden behind the centre vehicle (paper Eq. 6).
+    Occlusion,
+    /// Zero-padded: the centre vehicle is itself a phantom, so its
+    /// neighbours carry no information (paper §III-B step 2).
+    ZeroPadded,
+}
+
+/// Provenance of one graph node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeSource {
+    /// A really-observed conventional vehicle.
+    Observed(VehicleId),
+    /// The autonomous vehicle itself (reciprocal slots).
+    Ego,
+    /// A constructed phantom vehicle.
+    Phantom(MissingKind),
+}
+
+impl NodeSource {
+    /// The paper's `IF` indicator: 1 for constructed phantoms, 0 otherwise.
+    pub fn if_flag(self) -> f64 {
+        match self {
+            NodeSource::Phantom(_) => 1.0,
+            _ => 0.0,
+        }
+    }
+
+    /// True for phantom nodes.
+    pub fn is_phantom(self) -> bool {
+        matches!(self, NodeSource::Phantom(_))
+    }
+}
+
+/// Raw (world-frame) state of one node at one time step, before relative
+/// encoding. `lat` is the paper's 1-based lane number (0 and κ+1 are the
+/// virtual boundary lanes).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RawState {
+    /// Lane number, 1-based.
+    pub lat: f64,
+    /// Longitudinal front-bumper position, m.
+    pub lon: f64,
+    /// Longitudinal velocity, m/s.
+    pub vel: f64,
+}
+
+/// Node index of target `i` (0-based).
+pub fn target_node(i: usize) -> usize {
+    debug_assert!(i < NUM_TARGETS);
+    i
+}
+
+/// Node index of surrounding vehicle `j` of target `i` (both 0-based).
+pub fn surrounding_node(i: usize, j: usize) -> usize {
+    debug_assert!(i < NUM_TARGETS && j < NUM_SURROUNDING);
+    NUM_TARGETS + i * NUM_SURROUNDING + j
+}
+
+/// For each target, the node indices attended over by the graph attention:
+/// the target itself (self-loop) followed by its six surrounding nodes.
+pub fn member_indices() -> [[usize; NUM_SURROUNDING + 1]; NUM_TARGETS] {
+    let mut out = [[0usize; NUM_SURROUNDING + 1]; NUM_TARGETS];
+    for (i, row) in out.iter_mut().enumerate() {
+        row[0] = target_node(i);
+        for j in 0..NUM_SURROUNDING {
+            row[j + 1] = surrounding_node(i, j);
+        }
+    }
+    out
+}
+
+/// A spatial-temporal graph: `z` frames of `NUM_NODES` encoded node
+/// features, plus per-node provenance (time-invariant, like the edge set).
+#[derive(Clone, Debug)]
+pub struct StGraph {
+    /// Encoded node features per time step, oldest first; each frame is
+    /// `NUM_NODES` rows of `[d_lat, d_lon, v_rel, IF]` (relative frame) or
+    /// `[lat, lon, v, 0]` for ego slots.
+    pub frames: Vec<[[f64; NODE_DIM]; NUM_NODES]>,
+    /// Provenance of each node (shared by all frames).
+    pub sources: [NodeSource; NUM_NODES],
+    /// The ego's raw state at the latest step (needed to de-relativise
+    /// predictions and to seed the decision state).
+    pub ego_latest: RawState,
+}
+
+impl StGraph {
+    /// History depth `z`.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether target `i` is a constructed phantom (its prediction loss is
+    /// masked during training, per the paper's Eq. 14 note).
+    pub fn target_is_phantom(&self, i: usize) -> bool {
+        self.sources[target_node(i)].is_phantom()
+    }
+
+    /// Prediction mask row: 1.0 for real targets, 0.0 for phantoms.
+    pub fn target_mask(&self) -> [f64; NUM_TARGETS] {
+        let mut m = [0.0; NUM_TARGETS];
+        for (i, v) in m.iter_mut().enumerate() {
+            *v = if self.target_is_phantom(i) { 0.0 } else { 1.0 };
+        }
+        m
+    }
+
+    /// Identity of target `i` when it is a real observed vehicle.
+    pub fn target_id(&self, i: usize) -> Option<VehicleId> {
+        match self.sources[target_node(i)] {
+            NodeSource::Observed(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// One-step-ahead prediction for a single target, in the same relative
+/// frame as the graph encoding: relative to the **ego at the current step**.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictedState {
+    /// Predicted lateral offset `d_lat(C^{t+1}, A^t)`, m.
+    pub d_lat: f64,
+    /// Predicted longitudinal offset `d_lon(C^{t+1}, A^t)`, m.
+    pub d_lon: f64,
+    /// Predicted relative velocity `v(C^{t+1}, A^t)`, m/s.
+    pub v_rel: f64,
+}
+
+/// Predictions for all six targets.
+pub type Prediction = [PredictedState; NUM_TARGETS];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_layout_is_dense_and_disjoint() {
+        let mut seen = [false; NUM_NODES];
+        for i in 0..NUM_TARGETS {
+            assert!(!seen[target_node(i)]);
+            seen[target_node(i)] = true;
+            for j in 0..NUM_SURROUNDING {
+                assert!(!seen[surrounding_node(i, j)]);
+                seen[surrounding_node(i, j)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all 42 node slots used exactly once");
+    }
+
+    #[test]
+    fn member_lists_have_self_loop_first() {
+        let members = member_indices();
+        for (i, row) in members.iter().enumerate() {
+            assert_eq!(row[0], target_node(i));
+            assert_eq!(row.len(), 7);
+        }
+    }
+
+    #[test]
+    fn reciprocal_slots_match_paper_footnote() {
+        // (1,6), (2,5), (3,4), (4,3), (5,2), (6,1) in the paper's 1-based
+        // numbering.
+        assert_eq!(Area::FrontLeft.reciprocal(), Area::RearRight);
+        assert_eq!(Area::Front.reciprocal(), Area::Rear);
+        assert_eq!(Area::FrontRight.reciprocal(), Area::RearLeft);
+        assert_eq!(Area::RearLeft.reciprocal(), Area::FrontRight);
+        assert_eq!(Area::Rear.reciprocal(), Area::Front);
+        assert_eq!(Area::RearRight.reciprocal(), Area::FrontLeft);
+    }
+
+    #[test]
+    fn area_geometry() {
+        assert_eq!(Area::FrontLeft.lane_offset(), -1);
+        assert!(Area::FrontLeft.is_front());
+        assert_eq!(Area::Rear.lane_offset(), 0);
+        assert!(!Area::Rear.is_front());
+        for (slot, area) in AREAS.iter().enumerate() {
+            assert_eq!(area.slot(), slot);
+        }
+    }
+
+    #[test]
+    fn if_flag_only_for_phantoms() {
+        assert_eq!(NodeSource::Ego.if_flag(), 0.0);
+        assert_eq!(NodeSource::Observed(VehicleId(3)).if_flag(), 0.0);
+        assert_eq!(NodeSource::Phantom(MissingKind::Range).if_flag(), 1.0);
+    }
+}

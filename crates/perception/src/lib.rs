@@ -1,0 +1,35 @@
+//! # perception — the HEAD enhanced perception module
+//!
+//! Reproduces §III of *"Impact-aware Maneuver Decision with Enhanced
+//! Perception for Autonomous Vehicle"* (ICDE 2023):
+//!
+//! * **Phantom vehicle construction** ([`GraphBuilder`]) — fills vehicles
+//!   missing from the sensor view according to their missing kind (range /
+//!   occlusion / inherent, Eqs. 4–6) so the downstream predictor always
+//!   sees a complete 42-node neighbourhood.
+//! * **Spatial-temporal graph** ([`StGraph`]) — 6 targets + 36 surrounding
+//!   nodes over `z` history steps with relative-state encoding (Eqs. 7–9).
+//! * **LST-GAT** ([`LstGat`]) — graph attention + LSTM one-step state
+//!   predictor operating on all targets in parallel (Eqs. 10–14).
+//! * **Baselines** — [`LstmMlp`], [`EdLstm`], [`GasLed`], the comparison
+//!   models of Tables III–IV.
+//! * **Harness** — [`train`], [`evaluate`], [`mean_inference_ms`] produce
+//!   the accuracy and efficiency numbers those tables report.
+
+mod graph;
+mod models;
+mod normalize;
+mod phantom;
+mod trainer;
+
+pub use graph::{
+    member_indices, surrounding_node, target_node, Area, MissingKind, NodeSource, PredictedState,
+    Prediction, RawState, StGraph, AREAS, NODE_DIM, NUM_NODES, NUM_SURROUNDING, NUM_TARGETS,
+};
+pub use models::{
+    EdLstm, EdLstmConfig, GasLed, GasLedConfig, LstGat, LstGatConfig, LstmMlp, LstmMlpConfig,
+    StatePredictor, TrainSample,
+};
+pub use normalize::{relative_truth, Normalizer};
+pub use phantom::{de_relativise, BuilderConfig, GraphBuilder};
+pub use trainer::{evaluate, mean_inference_ms, train, EvalMetrics, TrainOptions, TrainReport};

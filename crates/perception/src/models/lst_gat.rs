@@ -1,0 +1,284 @@
+//! LST-GAT — Local Spatial-Temporal Graph ATtention network
+//! (the paper's enhanced-perception model, §III-B, Fig. 5, Eqs. 10–14).
+//!
+//! Per time step, a shared graph-attention layer updates each target node
+//! by attending over its 7-member neighbourhood (itself + 6 surrounding
+//! vehicles); the updated target states are then fed through an LSTM over
+//! the `z` history steps, and a linear head emits the one-step future state
+//! of all six targets **in parallel** (a single forward pass).
+
+use crate::graph::{member_indices, target_node, Prediction, StGraph, NUM_SURROUNDING, NUM_TARGETS};
+use crate::models::{
+    mask_matrix, node_matrix, real_output_count, to_prediction, truth_matrix, StatePredictor,
+    TrainSample,
+};
+use crate::normalize::Normalizer;
+use nn::{Adam, Graph, Linear, LstmCell, ParamId, ParamStore, Var};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::rc::Rc;
+
+/// Hyper-parameters of [`LstGat`]. Defaults follow the paper (§V-A):
+/// `D_φ1 = D_φ3 = D_l = 64`, Adam with learning rate 0.001.
+#[derive(Clone, Copy, Debug)]
+pub struct LstGatConfig {
+    /// Attention embedding width `D_φ1`.
+    pub d_phi1: usize,
+    /// Value embedding width `D_φ3`.
+    pub d_phi3: usize,
+    /// LSTM hidden width `D_l`.
+    pub d_lstm: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// LeakyReLU negative slope in the attention scores.
+    pub leaky_slope: f32,
+    /// Weight-init / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for LstGatConfig {
+    fn default() -> Self {
+        Self { d_phi1: 64, d_phi3: 64, d_lstm: 64, lr: 1e-3, leaky_slope: 0.2, seed: 0 }
+    }
+}
+
+/// The LST-GAT state-prediction model.
+pub struct LstGat {
+    store: ParamStore,
+    w1: ParamId,
+    a1: ParamId,
+    a2: ParamId,
+    w3: ParamId,
+    lstm: LstmCell,
+    head: Linear,
+    adam: Adam,
+    norm: Normalizer,
+    target_flat: Rc<Vec<usize>>,
+    member_flat: Rc<Vec<usize>>,
+    leaky_slope: f32,
+}
+
+impl LstGat {
+    /// Builds a freshly initialised model.
+    pub fn new(cfg: LstGatConfig, norm: Normalizer) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let w1 = store.register_xavier("gat.phi1", 4, cfg.d_phi1, &mut rng);
+        let a1 = store.register_xavier("gat.phi2_self", cfg.d_phi1, 1, &mut rng);
+        let a2 = store.register_xavier("gat.phi2_neigh", cfg.d_phi1, 1, &mut rng);
+        let w3 = store.register_xavier("gat.phi3", 4, cfg.d_phi3, &mut rng);
+        let lstm = LstmCell::new(&mut store, "lstm", cfg.d_phi3, cfg.d_lstm, &mut rng);
+        let head = Linear::new(&mut store, "head.phi4", cfg.d_lstm, 3, &mut rng);
+
+        let members = member_indices();
+        let mut target_flat = Vec::with_capacity(NUM_TARGETS * (NUM_SURROUNDING + 1));
+        let mut member_flat = Vec::with_capacity(NUM_TARGETS * (NUM_SURROUNDING + 1));
+        for (i, row) in members.iter().enumerate() {
+            for &m in row {
+                target_flat.push(target_node(i));
+                member_flat.push(m);
+            }
+        }
+
+        Self {
+            store,
+            w1,
+            a1,
+            a2,
+            w3,
+            lstm,
+            head,
+            adam: Adam::new(cfg.lr),
+            norm,
+            target_flat: Rc::new(target_flat),
+            member_flat: Rc::new(member_flat),
+            leaky_slope: cfg.leaky_slope,
+        }
+    }
+
+    /// Shared forward pass: returns the normalised `6 x 3` output node.
+    fn forward(&self, g: &mut Graph, graph: &StGraph) -> Var {
+        let group = NUM_SURROUNDING + 1;
+        let mut state = self.lstm.zero_state(g, NUM_TARGETS);
+        for tau in 0..graph.depth() {
+            let h = g.input(node_matrix(graph, tau, &self.norm));
+            let w1 = g.param(&self.store, self.w1);
+            let u = g.matmul(h, w1);
+            let a1 = g.param(&self.store, self.a1);
+            let a2 = g.param(&self.store, self.a2);
+            let s_self = g.matmul(u, a1);
+            let s_neigh = g.matmul(u, a2);
+            // Attention logits e_{i,x} = LeakyReLU(a1·U_i + a2·U_x) — the
+            // standard GAT factorisation of φ2 [φ1 h_i || φ1 h_x].
+            let e_self = g.gather_rows(s_self, Rc::clone(&self.target_flat));
+            let e_neigh = g.gather_rows(s_neigh, Rc::clone(&self.member_flat));
+            let e = g.add(e_self, e_neigh);
+            let e = g.leaky_relu(e, self.leaky_slope);
+            let e = g.reshape(e, NUM_TARGETS, group);
+            let alpha = g.softmax_rows(e);
+            let alpha_flat = g.reshape(alpha, NUM_TARGETS * group, 1);
+            // Weighted aggregation of value embeddings (Eq. 11).
+            let w3 = g.param(&self.store, self.w3);
+            let v = g.matmul(h, w3);
+            let v_gathered = g.gather_rows(v, Rc::clone(&self.member_flat));
+            let weighted = g.mul_broadcast_col(v_gathered, alpha_flat);
+            let updated = g.sum_groups(weighted, group);
+            // Temporal aggregation (Eq. 12): all six targets as one batch.
+            state = self.lstm.step(g, &self.store, updated, state);
+        }
+        // Output head (Eq. 13) with a residual connection to the targets'
+        // latest (normalised) states: the head predicts the one-step
+        // *change*, which is far better conditioned than reproducing the
+        // absolute state through the LSTM bottleneck. (Implementation
+        // refinement; documented in DESIGN.md §6.)
+        let delta = self.head.forward(g, &self.store, state.h);
+        let latest = node_matrix(graph, graph.depth() - 1, &self.norm);
+        let mut current = nn::Matrix::zeros(NUM_TARGETS, 3);
+        for i in 0..NUM_TARGETS {
+            for c in 0..3 {
+                current.set(i, c, latest.get(target_node(i), c));
+            }
+        }
+        let current = g.input(current);
+        g.add(delta, current)
+    }
+
+    /// Serialises the weights (checkpoint).
+    pub fn weights_json(&self) -> String {
+        self.store.to_json()
+    }
+
+    /// Restores weights from [`LstGat::weights_json`] output.
+    pub fn load_weights_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let restored = ParamStore::from_json(json)?;
+        self.store.copy_values_from(&restored);
+        Ok(())
+    }
+
+    /// Attention weights of the latest frame for target `i` (diagnostics;
+    /// each row sums to 1).
+    pub fn attention_of(&self, graph: &StGraph, i: usize) -> Vec<f32> {
+        let group = NUM_SURROUNDING + 1;
+        let mut g = Graph::new();
+        let tau = graph.depth() - 1;
+        let h = g.input(node_matrix(graph, tau, &self.norm));
+        let w1 = g.param(&self.store, self.w1);
+        let u = g.matmul(h, w1);
+        let a1 = g.param(&self.store, self.a1);
+        let a2 = g.param(&self.store, self.a2);
+        let s_self = g.matmul(u, a1);
+        let s_neigh = g.matmul(u, a2);
+        let e_self = g.gather_rows(s_self, Rc::clone(&self.target_flat));
+        let e_neigh = g.gather_rows(s_neigh, Rc::clone(&self.member_flat));
+        let e = g.add(e_self, e_neigh);
+        let e = g.leaky_relu(e, self.leaky_slope);
+        let e = g.reshape(e, NUM_TARGETS, group);
+        let alpha = g.softmax_rows(e);
+        g.value(alpha).row_slice(i).to_vec()
+    }
+}
+
+impl StatePredictor for LstGat {
+    fn name(&self) -> &'static str {
+        "LST-GAT"
+    }
+
+    fn predict(&self, graph: &StGraph) -> Prediction {
+        let mut g = Graph::new();
+        let out = self.forward(&mut g, graph);
+        to_prediction(g.value(out), &self.norm)
+    }
+
+    fn train_batch(&mut self, samples: &[TrainSample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        self.store.zero_grad();
+        let mut total = 0.0;
+        let n = samples.len() as f32;
+        for s in samples {
+            let mut g = Graph::new();
+            let pred = self.forward(&mut g, &s.graph);
+            let truth = g.input(truth_matrix(&s.truth, &self.norm));
+            let mask = g.input(mask_matrix(&s.graph));
+            let normaliser = real_output_count(&s.graph) * n;
+            let loss = g.masked_sse(pred, truth, mask, normaliser);
+            total += g.backward(loss, &mut self.store) as f64;
+        }
+        self.store.clip_grad_norm(5.0);
+        self.adam.step(&mut self.store);
+        total
+    }
+
+    fn param_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::synthetic_samples;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_and_attention_normalisation() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let samples = synthetic_samples(1, &mut rng);
+        let model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+        let pred = model.predict(&samples[0].graph);
+        assert_eq!(pred.len(), NUM_TARGETS);
+        for i in 0..NUM_TARGETS {
+            let alpha = model.attention_of(&samples[0].graph, i);
+            assert_eq!(alpha.len(), NUM_SURROUNDING + 1);
+            let sum: f32 = alpha.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "attention row must sum to 1, got {sum}");
+            assert!(alpha.iter().all(|&a| a >= 0.0));
+        }
+    }
+
+    #[test]
+    fn loss_decreases_on_synthetic_corpus() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let samples = synthetic_samples(32, &mut rng);
+        let mut model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+        let first = model.train_batch(&samples);
+        let mut last = first;
+        for _ in 0..40 {
+            last = model.train_batch(&samples);
+        }
+        assert!(
+            last < first * 0.5,
+            "LST-GAT failed to learn: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let samples = synthetic_samples(4, &mut rng);
+        let mut model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+        for _ in 0..5 {
+            model.train_batch(&samples);
+        }
+        let json = model.weights_json();
+        let before = model.predict(&samples[0].graph);
+        let mut fresh = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+        fresh.load_weights_json(&json).unwrap();
+        let after = fresh.predict(&samples[0].graph);
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((b.d_lon - a.d_lon).abs() < 1e-6);
+            assert!((b.d_lat - a.d_lat).abs() < 1e-6);
+            assert!((b.v_rel - a.v_rel).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_count_is_positive_and_stable() {
+        let model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+        let expected = 4 * 64 + 64 + 64 + 4 * 64 // GAT
+            + 4 * (64 * 64 + 64 * 64 + 64) // LSTM gates
+            + 64 * 3 + 3; // head
+        assert_eq!(model.param_count(), expected);
+    }
+}

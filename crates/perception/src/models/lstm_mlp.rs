@@ -1,0 +1,151 @@
+//! LSTM-MLP baseline (Altché & de La Fortelle 2017, as adapted in the
+//! paper's Table III): a vanilla LSTM over each target's *own* history
+//! followed by an MLP head. No vehicle interactions, and each target is
+//! predicted by a **separate** forward pass — reproducing the baseline's
+//! poor inference efficiency (paper §III-A, limitation 3).
+
+use crate::graph::{Prediction, StGraph, NUM_TARGETS};
+use crate::models::{target_history, StatePredictor, TrainSample, TARGET_HISTORY_DIM};
+use crate::normalize::Normalizer;
+use nn::{Adam, Graph, LstmCell, Matrix, Mlp, ParamStore, Var};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Hyper-parameters of [`LstmMlp`].
+#[derive(Clone, Copy, Debug)]
+pub struct LstmMlpConfig {
+    /// LSTM hidden width.
+    pub d_lstm: usize,
+    /// MLP hidden width.
+    pub d_mlp: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for LstmMlpConfig {
+    fn default() -> Self {
+        Self { d_lstm: 64, d_mlp: 64, lr: 1e-3, seed: 0 }
+    }
+}
+
+/// The LSTM-MLP baseline predictor.
+pub struct LstmMlp {
+    store: ParamStore,
+    lstm: LstmCell,
+    mlp: Mlp,
+    adam: Adam,
+    norm: Normalizer,
+}
+
+impl LstmMlp {
+    /// Builds a freshly initialised model.
+    pub fn new(cfg: LstmMlpConfig, norm: Normalizer) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let lstm = LstmCell::new(&mut store, "lstm", TARGET_HISTORY_DIM, cfg.d_lstm, &mut rng);
+        let mlp = Mlp::new(&mut store, "mlp", &[cfg.d_lstm, cfg.d_mlp, 3], &mut rng);
+        Self { store, lstm, mlp, adam: Adam::new(cfg.lr), norm }
+    }
+
+    /// Forward pass for one target; `rows` is its `z x 4` history.
+    fn forward_one(&self, g: &mut Graph, history: &Matrix) -> Var {
+        let z = history.rows();
+        let mut state = self.lstm.zero_state(g, 1);
+        for tau in 0..z {
+            let x = g.input(Matrix::from_vec(1, TARGET_HISTORY_DIM, history.row_slice(tau).to_vec()));
+            state = self.lstm.step(g, &self.store, x, state);
+        }
+        self.mlp.forward(g, &self.store, state.h)
+    }
+}
+
+impl StatePredictor for LstmMlp {
+    fn name(&self) -> &'static str {
+        "LSTM-MLP"
+    }
+
+    fn predict(&self, graph: &StGraph) -> Prediction {
+        let mut pred = Prediction::default();
+        // Deliberately one independent forward pass per vehicle: the
+        // baseline does not support parallel prediction.
+        for (i, p) in pred.iter_mut().enumerate() {
+            let history = target_history(graph, i, &self.norm);
+            let mut g = Graph::new();
+            let out = self.forward_one(&mut g, &history);
+            *p = self.norm.denorm_prediction(g.value(out).row_slice(0));
+        }
+        pred
+    }
+
+    fn train_batch(&mut self, samples: &[TrainSample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        self.store.zero_grad();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for s in samples {
+            for i in 0..NUM_TARGETS {
+                if s.graph.target_is_phantom(i) {
+                    continue;
+                }
+                count += 1;
+            }
+        }
+        let denom = count.max(1) as f32;
+        for s in samples {
+            for i in 0..NUM_TARGETS {
+                if s.graph.target_is_phantom(i) {
+                    continue;
+                }
+                let history = target_history(&s.graph, i, &self.norm);
+                let mut g = Graph::new();
+                let out = self.forward_one(&mut g, &history);
+                let truth = g.input(Matrix::row(&self.norm.truth(&s.truth[i])));
+                let d = g.sub(out, truth);
+                let sq = g.mul_elem(d, d);
+                let sum = g.sum_all(sq);
+                let loss = g.scale(sum, 1.0 / (3.0 * denom));
+                total += g.backward(loss, &mut self.store) as f64;
+            }
+        }
+        self.store.clip_grad_norm(5.0);
+        self.adam.step(&mut self.store);
+        total
+    }
+
+    fn param_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::synthetic_samples;
+
+    #[test]
+    fn learns_constant_velocity_pattern() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let samples = synthetic_samples(24, &mut rng);
+        let mut model = LstmMlp::new(LstmMlpConfig::default(), Normalizer::paper_default());
+        let first = model.train_batch(&samples);
+        let mut last = first;
+        for _ in 0..40 {
+            last = model.train_batch(&samples);
+        }
+        assert!(last < first * 0.5, "LSTM-MLP failed to learn: {first} -> {last}");
+    }
+
+    #[test]
+    fn predictions_have_six_entries() {
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let samples = synthetic_samples(1, &mut rng);
+        let model = LstmMlp::new(LstmMlpConfig::default(), Normalizer::paper_default());
+        let pred = model.predict(&samples[0].graph);
+        assert_eq!(pred.len(), NUM_TARGETS);
+        assert!(pred.iter().all(|p| p.d_lon.is_finite()));
+    }
+}

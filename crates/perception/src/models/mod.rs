@@ -1,0 +1,240 @@
+//! State-prediction models: LST-GAT (the paper's contribution) and the
+//! three baselines it is compared against in Tables III–IV.
+
+mod ed_lstm;
+mod gas_led;
+mod lst_gat;
+mod lstm_mlp;
+
+pub use ed_lstm::{EdLstm, EdLstmConfig};
+pub use gas_led::{GasLed, GasLedConfig};
+pub use lst_gat::{LstGat, LstGatConfig};
+pub use lstm_mlp::{LstmMlp, LstmMlpConfig};
+
+use crate::graph::{NodeSource, Prediction, StGraph, NODE_DIM, NUM_NODES, NUM_TARGETS};
+use crate::normalize::Normalizer;
+use nn::Matrix;
+
+/// One supervised example: a graph at step `t` and the relative ground
+/// truth of the six targets at `t + 1` (phantom targets are masked).
+#[derive(Clone, Debug)]
+pub struct TrainSample {
+    /// Input spatial-temporal graph.
+    pub graph: StGraph,
+    /// `[d_lat, d_lon, v_rel]` per target, relative to the ego at `t`.
+    pub truth: [[f64; 3]; NUM_TARGETS],
+}
+
+/// Common interface of all one-step state predictors.
+pub trait StatePredictor {
+    /// Short model name, used in reports.
+    fn name(&self) -> &'static str;
+    /// Predicts the six targets' next states for one graph.
+    fn predict(&self, graph: &StGraph) -> Prediction;
+    /// Runs one optimisation step over a mini-batch; returns the mean
+    /// masked loss (normalised units).
+    fn train_batch(&mut self, samples: &[TrainSample]) -> f64;
+    /// Number of scalar parameters (for reports).
+    fn param_count(&self) -> usize;
+}
+
+/// Builds the normalised `NUM_NODES x NODE_DIM` input matrix for frame
+/// `tau` of a graph.
+pub(crate) fn node_matrix(graph: &StGraph, tau: usize, norm: &Normalizer) -> Matrix {
+    let mut data = Vec::with_capacity(NUM_NODES * NODE_DIM);
+    for (node, h) in graph.frames[tau].iter().enumerate() {
+        let row = match graph.sources[node] {
+            NodeSource::Ego => norm.raw(h),
+            _ => norm.relative(h),
+        };
+        data.extend_from_slice(&row);
+    }
+    Matrix::from_vec(NUM_NODES, NODE_DIM, data.iter().map(|&v| v as f32).collect())
+}
+
+/// Normalised `NUM_TARGETS x 3` ground-truth matrix.
+pub(crate) fn truth_matrix(truth: &[[f64; 3]; NUM_TARGETS], norm: &Normalizer) -> Matrix {
+    let mut data = Vec::with_capacity(NUM_TARGETS * 3);
+    for t in truth {
+        data.extend_from_slice(&norm.truth(t));
+    }
+    Matrix::from_vec(NUM_TARGETS, 3, data)
+}
+
+/// `NUM_TARGETS x 3` mask matrix: rows of ones for real targets, zeros for
+/// phantoms (Eq. 14's loss masking).
+pub(crate) fn mask_matrix(graph: &StGraph) -> Matrix {
+    let mask = graph.target_mask();
+    let mut data = Vec::with_capacity(NUM_TARGETS * 3);
+    for m in mask {
+        data.extend_from_slice(&[m as f32; 3]);
+    }
+    Matrix::from_vec(NUM_TARGETS, 3, data)
+}
+
+/// Number of unmasked scalar outputs in a sample (≥ 1 to avoid 0-division).
+pub(crate) fn real_output_count(graph: &StGraph) -> f32 {
+    let n: f64 = graph.target_mask().iter().sum();
+    ((n * 3.0) as f32).max(1.0)
+}
+
+/// The normalised `z x (7 * NODE_DIM)` history of a single target: its own
+/// state concatenated with its six surrounding vehicles' states at each
+/// step. This is the input representation of the sequence-only baselines
+/// (LSTM-MLP and ED-LSTM condition on the target's neighbourhood features,
+/// as the original models do) — computed *separately per target*, which is
+/// exactly the per-vehicle cost the paper's efficiency comparison measures.
+pub(crate) fn target_history(graph: &StGraph, i: usize, norm: &Normalizer) -> Matrix {
+    let z = graph.depth();
+    let width = (crate::graph::NUM_SURROUNDING + 1) * NODE_DIM;
+    let mut data = Vec::with_capacity(z * width);
+    for tau in 0..z {
+        let frame = &graph.frames[tau];
+        let h = &frame[crate::graph::target_node(i)];
+        data.extend_from_slice(&norm.relative(h));
+        for j in 0..crate::graph::NUM_SURROUNDING {
+            let node = crate::graph::surrounding_node(i, j);
+            let row = match graph.sources[node] {
+                crate::graph::NodeSource::Ego => norm.raw(&frame[node]),
+                _ => norm.relative(&frame[node]),
+            };
+            data.extend_from_slice(&row);
+        }
+    }
+    Matrix::from_vec(z, width, data)
+}
+
+/// Input width of [`target_history`] rows.
+pub(crate) const TARGET_HISTORY_DIM: usize = (crate::graph::NUM_SURROUNDING + 1) * NODE_DIM;
+
+/// Converts a `NUM_TARGETS x 3` normalised output matrix to a [`Prediction`].
+pub(crate) fn to_prediction(out: &Matrix, norm: &Normalizer) -> Prediction {
+    let mut pred = Prediction::default();
+    for (i, p) in pred.iter_mut().enumerate() {
+        *p = norm.denorm_prediction(out.row_slice(i));
+    }
+    pred
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::graph::RawState;
+    use crate::phantom::{BuilderConfig, GraphBuilder};
+    use rand::Rng;
+    use sensor::{ObservedState, SensorFrame, SensorHistory};
+    use traffic_sim::VehicleId;
+
+    /// Generates a small synthetic corpus with a learnable pattern:
+    /// constant-velocity motion of all vehicles.
+    pub fn synthetic_samples(n: usize, rng: &mut impl Rng) -> Vec<TrainSample> {
+        let cfg = BuilderConfig::default();
+        let builder = GraphBuilder::new(cfg);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ego_lane = rng.random_range(1..5usize);
+            let ego_vel = rng.random_range(12.0..24.0);
+            let ego_pos = rng.random_range(400.0..2000.0);
+            let mut history = SensorHistory::new(cfg.z);
+            let mut cars: Vec<(usize, f64, f64)> = Vec::new();
+            for lane_off in -1i64..=1 {
+                let lane = (ego_lane as i64 + lane_off) as usize;
+                cars.push((lane, ego_pos + rng.random_range(15.0..60.0), rng.random_range(10.0..24.0)));
+                cars.push((lane, ego_pos - rng.random_range(15.0..60.0), rng.random_range(10.0..24.0)));
+            }
+            for tau in 0..=cfg.z {
+                let dtau = tau as f64 * cfg.dt;
+                let ego = ObservedState {
+                    id: VehicleId(0),
+                    lane: ego_lane,
+                    pos: ego_pos + ego_vel * dtau,
+                    vel: ego_vel,
+                };
+                let observed: Vec<ObservedState> = cars
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(lane, pos, vel))| ObservedState {
+                        id: VehicleId(k as u64 + 1),
+                        lane,
+                        pos: pos + vel * dtau,
+                        vel,
+                    })
+                    .collect();
+                if tau < cfg.z {
+                    history.push(SensorFrame { step: tau as u64, ego, observed });
+                } else {
+                    // Final frame is the ground truth.
+                    let graph = builder.build(&history);
+                    let ego_now = graph.ego_latest;
+                    let mut truth = [[0.0; 3]; NUM_TARGETS];
+                    for (i, t) in truth.iter_mut().enumerate() {
+                        if let Some(id) = graph.target_id(i) {
+                            let s = observed.iter().find(|o| o.id == id).expect("still present");
+                            let next = RawState {
+                                lat: s.lane as f64 + 1.0,
+                                lon: s.pos,
+                                vel: s.vel,
+                            };
+                            *t = crate::normalize::relative_truth(&next, &ego_now, cfg.lane_width);
+                        }
+                    }
+                    out.push(TrainSample { graph, truth });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn node_matrix_shape_and_scale() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let samples = test_support::synthetic_samples(2, &mut rng);
+        let norm = Normalizer::paper_default();
+        let m = node_matrix(&samples[0].graph, 0, &norm);
+        assert_eq!(m.shape(), (NUM_NODES, NODE_DIM));
+        for &v in m.data() {
+            assert!(v.abs() <= 2.5, "normalised feature {v} out of range");
+        }
+    }
+
+    #[test]
+    fn mask_matches_phantom_targets() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let samples = test_support::synthetic_samples(3, &mut rng);
+        for s in &samples {
+            let mask = mask_matrix(&s.graph);
+            for i in 0..NUM_TARGETS {
+                let expect = if s.graph.target_is_phantom(i) { 0.0 } else { 1.0 };
+                assert_eq!(mask.get(i, 0), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_truth_is_consistent_with_constant_velocity() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let samples = test_support::synthetic_samples(4, &mut rng);
+        for s in &samples {
+            for i in 0..NUM_TARGETS {
+                if s.graph.target_id(i).is_some() {
+                    // Truth is relative to the ego at t, so d_lon advances by
+                    // the target's *absolute* velocity (v_rel + ego velocity).
+                    let h = s.graph.frames[s.graph.depth() - 1][i];
+                    let expected = h[1] + (h[2] + s.graph.ego_latest.vel) * 0.5;
+                    assert!(
+                        (s.truth[i][1] - expected).abs() < 1e-6,
+                        "target {i}: truth {} vs expected {expected}",
+                        s.truth[i][1]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Input/output normalisation for the state-prediction networks.
+//!
+//! The paper's state vectors mix metres (|d_lon| up to R = 100), lane
+//! widths (|d_lat| ≤ ~20) and m/s (|v_rel| ≤ 25), plus the ego's raw
+//! longitudinal position which grows to the road length. Feeding those raw
+//! scales into small dense networks stalls training, so every model in this
+//! crate normalises node features with the fixed constants below and
+//! denormalises its outputs. (The paper does not describe its scaling; this
+//! is the standard practice its PyTorch implementation would rely on.)
+
+use crate::graph::{PredictedState, RawState};
+use serde::{Deserialize, Serialize};
+
+/// Fixed normalisation constants.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Scale for relative lateral offsets, m.
+    pub d_lat: f64,
+    /// Scale for relative longitudinal offsets, m (the sensor radius).
+    pub d_lon: f64,
+    /// Scale for velocities, m/s (the speed limit).
+    pub vel: f64,
+    /// Scale for raw lane numbers (κ + 1).
+    pub lat: f64,
+    /// Scale for raw longitudinal positions, m (the road length).
+    pub lon: f64,
+}
+
+impl Normalizer {
+    /// Builds the normaliser from environment constants.
+    pub fn new(lanes: usize, lane_width: f64, range: f64, v_max: f64, road_len: f64) -> Self {
+        Self {
+            d_lat: (lanes as f64 + 1.0) * lane_width,
+            d_lon: range,
+            vel: v_max,
+            lat: lanes as f64 + 1.0,
+            lon: road_len,
+        }
+    }
+
+    /// Normalises one *relative* node feature vector `[d_lat, d_lon, v_rel, IF]`.
+    pub fn relative(&self, h: &[f64; 4]) -> [f32; 4] {
+        [
+            (h[0] / self.d_lat) as f32,
+            (h[1] / self.d_lon) as f32,
+            (h[2] / self.vel) as f32,
+            h[3] as f32,
+        ]
+    }
+
+    /// Normalises one *raw ego* node feature vector `[lat, lon, v, 0]`.
+    pub fn raw(&self, h: &[f64; 4]) -> [f32; 4] {
+        [
+            (h[0] / self.lat) as f32,
+            (h[1] / self.lon) as f32,
+            (h[2] / self.vel) as f32,
+            h[3] as f32,
+        ]
+    }
+
+    /// Normalises a ground-truth target `[d_lat, d_lon, v_rel]`.
+    pub fn truth(&self, t: &[f64; 3]) -> [f32; 3] {
+        [(t[0] / self.d_lat) as f32, (t[1] / self.d_lon) as f32, (t[2] / self.vel) as f32]
+    }
+
+    /// Denormalises a network output row back into a [`PredictedState`].
+    pub fn denorm_prediction(&self, row: &[f32]) -> PredictedState {
+        PredictedState {
+            d_lat: row[0] as f64 * self.d_lat,
+            d_lon: row[1] as f64 * self.d_lon,
+            v_rel: row[2] as f64 * self.vel,
+        }
+    }
+
+    /// Default normaliser for the paper's environment (6 lanes × 3.2 m,
+    /// R = 100 m, v_max = 25 m/s, 3 km road).
+    pub fn paper_default() -> Self {
+        Self::new(6, 3.2, 100.0, 25.0, 3000.0)
+    }
+}
+
+/// Ground truth of one target relative to the ego at the *current* step:
+/// `[d_lat(C^{t+1}, A^t), d_lon(C^{t+1}, A^t), v(C^{t+1}, A^t)]`.
+pub fn relative_truth(next: &RawState, ego_now: &RawState, lane_width: f64) -> [f64; 3] {
+    [
+        (next.lat - ego_now.lat) * lane_width,
+        next.lon - ego_now.lon,
+        next.vel - ego_now.vel,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_roundtrip() {
+        let n = Normalizer::paper_default();
+        let h = [6.4, -50.0, 12.5, 1.0];
+        let v = n.relative(&h);
+        assert!((v[0] as f64 * n.d_lat - 6.4).abs() < 1e-5);
+        assert!((v[1] as f64 * n.d_lon + 50.0).abs() < 1e-5);
+        assert!((v[2] as f64 * n.vel - 12.5).abs() < 1e-5);
+        assert_eq!(v[3], 1.0);
+    }
+
+    #[test]
+    fn normalised_magnitudes_are_order_one() {
+        let n = Normalizer::paper_default();
+        let raw = n.raw(&[6.0, 2900.0, 24.0, 0.0]);
+        for v in raw {
+            assert!(v.abs() <= 1.05, "raw feature {v} not O(1)");
+        }
+        let rel = n.relative(&[-22.4, 100.0, -25.0, 1.0]);
+        for v in rel {
+            assert!(v.abs() <= 1.05, "relative feature {v} not O(1)");
+        }
+    }
+
+    #[test]
+    fn truth_and_prediction_are_inverses() {
+        let n = Normalizer::paper_default();
+        let t = [3.2, 42.0, -7.5];
+        let norm = n.truth(&t);
+        let back = n.denorm_prediction(&norm);
+        assert!((back.d_lat - t[0]).abs() < 1e-4);
+        assert!((back.d_lon - t[1]).abs() < 1e-4);
+        assert!((back.v_rel - t[2]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn relative_truth_geometry() {
+        let next = RawState { lat: 4.0, lon: 530.0, vel: 25.0 };
+        let ego = RawState { lat: 3.0, lon: 500.0, vel: 20.0 };
+        let t = relative_truth(&next, &ego, 3.2);
+        assert_eq!(t, [3.2, 30.0, 5.0]);
+    }
+}

@@ -1,0 +1,538 @@
+//! Target selection and the phantom-vehicle construction strategy
+//! (paper §III-B, steps 1–3, Eqs. 4–6 and Fig. 3/4).
+//!
+//! Given the rolling sensor history, [`GraphBuilder::build`] produces the
+//! 42-node spatial-temporal graph:
+//!
+//! 1. select the six target conventional vehicles around the ego and the
+//!    six surrounding vehicles of each target;
+//! 2. fill every missing vehicle with a phantom according to its missing
+//!    kind — **occlusion** (mirrored through the occluder, Eq. 6, checked
+//!    first), **inherent** (virtual boundary lane, Eq. 5) or **range**
+//!    (placed at the sensor horizon, Eq. 4); neighbours of phantom targets
+//!    are zero-padded;
+//! 3. encode all nodes relative to the ego (Eqs. 7–8).
+
+use crate::graph::{
+    surrounding_node, target_node, Area, MissingKind, NodeSource, PredictedState, RawState,
+    StGraph, AREAS, NODE_DIM, NUM_NODES, NUM_SURROUNDING, NUM_TARGETS,
+};
+use sensor::{ObservedState, SensorHistory};
+use serde::{Deserialize, Serialize};
+use traffic_sim::VehicleId;
+
+/// Static parameters of the graph builder.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BuilderConfig {
+    /// Number of real lanes κ.
+    pub lanes: usize,
+    /// Lane width, m.
+    pub lane_width: f64,
+    /// Sensor detection radius `R`, m.
+    pub range: f64,
+    /// Step length Δt, s.
+    pub dt: f64,
+    /// History depth `z`.
+    pub z: usize,
+    /// When false, the phantom strategy is disabled and every missing
+    /// vehicle is zero-padded (the paper's HEAD-w/o-PVC ablation).
+    pub phantoms_enabled: bool,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        Self { lanes: 6, lane_width: 3.2, range: 100.0, dt: 0.5, z: 5, phantoms_enabled: true }
+    }
+}
+
+/// Builds spatial-temporal graphs from sensor history.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphBuilder {
+    cfg: BuilderConfig,
+}
+
+/// Raw per-step states of one node plus its provenance.
+struct NodeTrack {
+    states: Vec<RawState>,
+    source: NodeSource,
+}
+
+impl GraphBuilder {
+    /// Creates a builder.
+    pub fn new(cfg: BuilderConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Builder configuration.
+    pub fn cfg(&self) -> &BuilderConfig {
+        &self.cfg
+    }
+
+    /// Builds the graph for the current history window.
+    ///
+    /// # Panics
+    /// Panics if the history holds no frame yet.
+    pub fn build(&self, history: &SensorHistory) -> StGraph {
+        assert!(!history.is_empty(), "sensor history must hold at least one frame");
+        let z = self.cfg.z;
+        let ego = history.ego_track(self.cfg.dt).expect("non-empty history");
+        let ego_states: Vec<RawState> = ego.states.iter().map(|s| raw_of(s)).collect();
+        let latest = history.latest().expect("non-empty history");
+        let observed = &latest.observed;
+        let ego_latest = *ego_states.last().expect("z >= 1");
+
+        // --- Step 1: select targets --------------------------------------
+        let mut targets: Vec<NodeTrack> = Vec::with_capacity(NUM_TARGETS);
+        for area in AREAS {
+            let found = find_in_area(
+                observed,
+                ego_latest.lat,
+                ego_latest.lon,
+                area,
+                &[latest.ego.id],
+            );
+            let track = match found {
+                Some(id) => self.observed_track(history, id),
+                None => self.missing_target(area, &ego_states),
+            };
+            targets.push(track);
+        }
+
+        // --- Step 2: surrounding vehicles / phantoms ----------------------
+        let mut surroundings: Vec<Vec<NodeTrack>> = Vec::with_capacity(NUM_TARGETS);
+        for (i, target) in targets.iter().enumerate() {
+            let mut row = Vec::with_capacity(NUM_SURROUNDING);
+            for (j, area) in AREAS.iter().enumerate() {
+                // The reciprocal slot is always the ego itself (footnote 1).
+                if j == NUM_SURROUNDING - 1 - i {
+                    row.push(NodeTrack { states: ego_states.clone(), source: NodeSource::Ego });
+                    continue;
+                }
+                if target.source.is_phantom() {
+                    // Neighbours of an uncertain vehicle carry no signal.
+                    row.push(zero_track(z));
+                    continue;
+                }
+                let t_latest = target.states.last().expect("z >= 1");
+                let exclude = [latest.ego.id, observed_id(&target.source)];
+                let found = find_in_area(observed, t_latest.lat, t_latest.lon, *area, &exclude);
+                let track = match found {
+                    Some(id) => self.observed_track(history, id),
+                    None => self.missing_surrounding(i, j, *area, target, &ego_states),
+                };
+                row.push(track);
+            }
+            surroundings.push(row);
+        }
+
+        // --- Step 3: relative encoding ------------------------------------
+        let mut sources = [NodeSource::Ego; NUM_NODES];
+        let mut frames = vec![[[0.0; NODE_DIM]; NUM_NODES]; z];
+        for (i, t) in targets.iter().enumerate() {
+            sources[target_node(i)] = t.source;
+            for (tau, frame) in frames.iter_mut().enumerate() {
+                frame[target_node(i)] = self.encode(&t.states[tau], t.source, &ego_states[tau]);
+            }
+        }
+        for (i, row) in surroundings.iter().enumerate() {
+            for (j, s) in row.iter().enumerate() {
+                sources[surrounding_node(i, j)] = s.source;
+                for (tau, frame) in frames.iter_mut().enumerate() {
+                    frame[surrounding_node(i, j)] =
+                        self.encode(&s.states[tau], s.source, &ego_states[tau]);
+                }
+            }
+        }
+
+        StGraph { frames, sources, ego_latest }
+    }
+
+    fn observed_track(&self, history: &SensorHistory, id: VehicleId) -> NodeTrack {
+        let t = history.track_of(id, self.cfg.dt).expect("id taken from latest frame");
+        NodeTrack {
+            states: t.states.iter().map(raw_of).collect(),
+            source: NodeSource::Observed(id),
+        }
+    }
+
+    /// Phantom construction for a missing *target* (Eqs. 4–5 with centre A).
+    fn missing_target(&self, area: Area, ego: &[RawState]) -> NodeTrack {
+        if !self.cfg.phantoms_enabled {
+            return zero_track(ego.len());
+        }
+        let ego_lat = ego.last().expect("z >= 1").lat;
+        let kind = self.missing_kind_for(area, ego_lat);
+        self.phantom_track(area, kind, ego, None)
+    }
+
+    /// Phantom construction for a missing surrounding vehicle `C_{i.j}`.
+    ///
+    /// Occlusion missing is checked first (paper: "we prioritise the
+    /// occlusion missing"): the diagonal slot `j == i` sits exactly in the
+    /// shadow the target casts from the ego's viewpoint (Fig. 4).
+    fn missing_surrounding(
+        &self,
+        i: usize,
+        j: usize,
+        area: Area,
+        target: &NodeTrack,
+        ego: &[RawState],
+    ) -> NodeTrack {
+        if !self.cfg.phantoms_enabled {
+            return zero_track(ego.len());
+        }
+        let centre_lat = target.states.last().expect("z >= 1").lat;
+        let occludable = j == i
+            && centre_lat + area.lane_offset() as f64 >= 1.0
+            && centre_lat + area.lane_offset() as f64 <= self.cfg.lanes as f64;
+        if occludable {
+            let states = target
+                .states
+                .iter()
+                .zip(ego)
+                .map(|(c, a)| RawState {
+                    lat: c.lat + area.lane_offset() as f64,
+                    lon: c.lon + (c.lon - a.lon),
+                    vel: c.vel,
+                })
+                .collect();
+            return NodeTrack { states, source: NodeSource::Phantom(MissingKind::Occlusion) };
+        }
+        let kind = self.missing_kind_for(area, centre_lat);
+        self.phantom_track(area, kind, &target.states, Some(target.source))
+    }
+
+    fn missing_kind_for(&self, area: Area, centre_lat: f64) -> MissingKind {
+        let off = area.lane_offset() as f64;
+        let target_lat = centre_lat + off;
+        if target_lat < 1.0 || target_lat > self.cfg.lanes as f64 {
+            MissingKind::Inherent
+        } else {
+            MissingKind::Range
+        }
+    }
+
+    /// Eqs. 4/5 relative to an arbitrary centre track.
+    fn phantom_track(
+        &self,
+        area: Area,
+        kind: MissingKind,
+        centre: &[RawState],
+        _centre_source: Option<NodeSource>,
+    ) -> NodeTrack {
+        let states = centre
+            .iter()
+            .map(|c| match kind {
+                MissingKind::Inherent => RawState {
+                    lat: if area.lane_offset() < 0 { 0.0 } else { self.cfg.lanes as f64 + 1.0 },
+                    lon: c.lon,
+                    vel: c.vel,
+                },
+                _ => RawState {
+                    lat: c.lat + area.lane_offset() as f64,
+                    lon: c.lon + if area.is_front() { self.cfg.range } else { -self.cfg.range },
+                    vel: c.vel,
+                },
+            })
+            .collect();
+        NodeTrack { states, source: NodeSource::Phantom(kind) }
+    }
+
+    /// Eq. 7/8 encoding: relative states for conventional and phantom
+    /// nodes, raw states for ego slots, all-zero (with IF=1) for padding.
+    fn encode(&self, s: &RawState, source: NodeSource, ego: &RawState) -> [f64; NODE_DIM] {
+        match source {
+            NodeSource::Ego => [ego.lat, ego.lon, ego.vel, 0.0],
+            NodeSource::Phantom(MissingKind::ZeroPadded) => [0.0, 0.0, 0.0, 1.0],
+            _ => [
+                (s.lat - ego.lat) * self.cfg.lane_width,
+                s.lon - ego.lon,
+                s.vel - ego.vel,
+                source.if_flag(),
+            ],
+        }
+    }
+}
+
+/// Converts a prediction back to absolute coordinates using the ego state
+/// the graph was encoded against.
+pub fn de_relativise(p: &PredictedState, ego: &RawState, lane_width: f64) -> RawState {
+    RawState {
+        lat: ego.lat + p.d_lat / lane_width,
+        lon: ego.lon + p.d_lon,
+        vel: ego.vel + p.v_rel,
+    }
+}
+
+/// All-zero track for zero-padded nodes.
+fn zero_track(z: usize) -> NodeTrack {
+    NodeTrack {
+        states: vec![RawState { lat: 0.0, lon: 0.0, vel: 0.0 }; z],
+        source: NodeSource::Phantom(MissingKind::ZeroPadded),
+    }
+}
+
+fn raw_of(s: &ObservedState) -> RawState {
+    RawState { lat: s.lane as f64 + 1.0, lon: s.pos, vel: s.vel }
+}
+
+fn observed_id(source: &NodeSource) -> VehicleId {
+    match source {
+        NodeSource::Observed(id) => *id,
+        _ => VehicleId(u64::MAX),
+    }
+}
+
+/// Finds the nearest observed vehicle in `area` relative to a centre at
+/// (`centre_lat` 1-based, `centre_lon`).
+fn find_in_area(
+    observed: &[ObservedState],
+    centre_lat: f64,
+    centre_lon: f64,
+    area: Area,
+    exclude: &[VehicleId],
+) -> Option<VehicleId> {
+    let want_lat = centre_lat + area.lane_offset() as f64;
+    observed
+        .iter()
+        .filter(|o| !exclude.contains(&o.id))
+        .filter(|o| (o.lane as f64 + 1.0 - want_lat).abs() < 0.5)
+        .filter(|o| if area.is_front() { o.pos > centre_lon } else { o.pos <= centre_lon })
+        .min_by(|a, b| {
+            let da = (a.pos - centre_lon).abs();
+            let db = (b.pos - centre_lon).abs();
+            da.partial_cmp(&db).expect("finite").then(a.id.cmp(&b.id))
+        })
+        .map(|o| o.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensor::{SensorFrame, SensorHistory};
+
+    const Z: usize = 5;
+
+    fn cfg() -> BuilderConfig {
+        BuilderConfig { lanes: 6, lane_width: 3.2, range: 100.0, dt: 0.5, z: Z, phantoms_enabled: true }
+    }
+
+    fn obs(id: u64, lane: usize, pos: f64, vel: f64) -> ObservedState {
+        ObservedState { id: VehicleId(id), lane, pos, vel }
+    }
+
+    /// History of `Z` identical frames (static scene) for geometry tests.
+    fn static_history(ego: ObservedState, observed: Vec<ObservedState>) -> SensorHistory {
+        let mut h = SensorHistory::new(Z);
+        for step in 0..Z {
+            h.push(SensorFrame { step: step as u64, ego, observed: observed.clone() });
+        }
+        h
+    }
+
+    #[test]
+    fn full_neighbourhood_no_phantoms_needed_except_structure() {
+        // Ego in lane 2 (0-based), completely boxed in: all 6 targets real.
+        let ego = obs(0, 2, 500.0, 20.0);
+        let observed = vec![
+            obs(1, 1, 520.0, 20.0), // front-left
+            obs(2, 2, 525.0, 20.0), // front
+            obs(3, 3, 530.0, 20.0), // front-right
+            obs(4, 1, 480.0, 20.0), // rear-left
+            obs(5, 2, 475.0, 20.0), // rear
+            obs(6, 3, 470.0, 20.0), // rear-right
+        ];
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, observed));
+        for i in 0..NUM_TARGETS {
+            assert!(
+                matches!(g.sources[target_node(i)], NodeSource::Observed(_)),
+                "target {i} should be observed, got {:?}",
+                g.sources[target_node(i)]
+            );
+        }
+        assert_eq!(g.target_id(1), Some(VehicleId(2)));
+        assert_eq!(g.target_mask(), [1.0; 6]);
+    }
+
+    #[test]
+    fn empty_road_constructs_range_phantoms_at_sensor_horizon() {
+        let ego = obs(0, 2, 500.0, 20.0);
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![]));
+        // Front target: phantom at lon + R, same lane, ego speed (Eq. 4).
+        assert_eq!(g.sources[target_node(1)], NodeSource::Phantom(MissingKind::Range));
+        let h = g.frames[Z - 1][target_node(1)];
+        assert!((h[0] - 0.0).abs() < 1e-9, "front phantom d_lat");
+        assert!((h[1] - 100.0).abs() < 1e-9, "front phantom d_lon = +R");
+        assert!((h[2] - 0.0).abs() < 1e-9, "front phantom matches ego speed");
+        assert_eq!(h[3], 1.0, "IF flag set");
+        // Rear-left target: d_lon = -R, d_lat = -lane_width.
+        let h = g.frames[Z - 1][target_node(3)];
+        assert!((h[0] + 3.2).abs() < 1e-9);
+        assert!((h[1] + 100.0).abs() < 1e-9);
+        assert_eq!(g.target_mask(), [0.0; 6]);
+    }
+
+    #[test]
+    fn leftmost_lane_gets_inherent_boundary_phantoms() {
+        // Ego in the leftmost lane (0-based 0 == paper lane 1).
+        let ego = obs(0, 0, 500.0, 20.0);
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![]));
+        // Front-left & rear-left are inherent: lat 0 (paper), lon = A.lon.
+        for i in [0usize, 3] {
+            assert_eq!(
+                g.sources[target_node(i)],
+                NodeSource::Phantom(MissingKind::Inherent),
+                "target {i}"
+            );
+            let h = g.frames[Z - 1][target_node(i)];
+            // d_lat = (0 - 1) * width = -3.2; d_lon = 0; moving boundary.
+            assert!((h[0] + 3.2).abs() < 1e-9);
+            assert!(h[1].abs() < 1e-9);
+            assert!(h[2].abs() < 1e-9);
+        }
+        // Front (same lane) is range missing, not inherent.
+        assert_eq!(g.sources[target_node(1)], NodeSource::Phantom(MissingKind::Range));
+    }
+
+    #[test]
+    fn rightmost_lane_boundary_phantom_at_kappa_plus_one() {
+        let ego = obs(0, 5, 500.0, 20.0); // paper lane 6 of 6
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![]));
+        for i in [2usize, 5] {
+            assert_eq!(g.sources[target_node(i)], NodeSource::Phantom(MissingKind::Inherent));
+            let h = g.frames[Z - 1][target_node(i)];
+            // lat = κ+1 = 7, ego lat 6 -> d_lat = +3.2.
+            assert!((h[0] - 3.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn occlusion_phantom_mirrored_through_front_target() {
+        // Front target observed; its own front (slot (2,2) in the paper,
+        // 0-based (1,1)) is missing -> occlusion phantom mirrored through
+        // the target: lon = C.lon + d_lon(C, A).
+        let ego = obs(0, 2, 500.0, 20.0);
+        let front = obs(2, 2, 530.0, 18.0);
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![front]));
+        let node = surrounding_node(1, 1);
+        assert_eq!(g.sources[node], NodeSource::Phantom(MissingKind::Occlusion));
+        let h = g.frames[Z - 1][node];
+        // d_lon = (530 + 30) - 500 = 60; same lane; speed of the occluder.
+        assert!((h[1] - 60.0).abs() < 1e-9, "mirrored longitudinal offset, got {}", h[1]);
+        assert!(h[0].abs() < 1e-9);
+        assert!((h[2] - (-2.0)).abs() < 1e-9, "phantom inherits occluder speed");
+    }
+
+    #[test]
+    fn occlusion_phantom_for_rear_target_mirrors_backwards() {
+        let ego = obs(0, 2, 500.0, 20.0);
+        let rear = obs(5, 2, 470.0, 22.0);
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![rear]));
+        let node = surrounding_node(4, 4); // rear target's rear slot
+        assert_eq!(g.sources[node], NodeSource::Phantom(MissingKind::Occlusion));
+        let h = g.frames[Z - 1][node];
+        assert!((h[1] - (440.0 - 500.0)).abs() < 1e-9, "got {}", h[1]);
+    }
+
+    #[test]
+    fn surroundings_of_phantom_targets_are_zero_padded() {
+        let ego = obs(0, 2, 500.0, 20.0);
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![]));
+        // Target 1 (front) is a phantom; its non-reciprocal neighbours are
+        // zero-padded with IF = 1.
+        for j in 0..NUM_SURROUNDING {
+            let node = surrounding_node(1, j);
+            if j == NUM_SURROUNDING - 1 - 1 {
+                assert_eq!(g.sources[node], NodeSource::Ego, "reciprocal slot is the ego");
+                let h = g.frames[Z - 1][node];
+                assert!((h[0] - 3.0).abs() < 1e-9, "ego raw lat (1-based lane 3)");
+                assert!((h[1] - 500.0).abs() < 1e-9);
+            } else {
+                assert_eq!(g.sources[node], NodeSource::Phantom(MissingKind::ZeroPadded));
+                assert_eq!(g.frames[Z - 1][node], [0.0, 0.0, 0.0, 1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocal_slots_carry_raw_ego_state_everywhere() {
+        let ego = obs(0, 2, 500.0, 20.0);
+        let observed = vec![
+            obs(1, 1, 520.0, 20.0),
+            obs(2, 2, 525.0, 20.0),
+            obs(3, 3, 530.0, 20.0),
+            obs(4, 1, 480.0, 20.0),
+            obs(5, 2, 475.0, 20.0),
+            obs(6, 3, 470.0, 20.0),
+        ];
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, observed));
+        for i in 0..NUM_TARGETS {
+            let node = surrounding_node(i, NUM_SURROUNDING - 1 - i);
+            assert_eq!(g.sources[node], NodeSource::Ego, "target {i}");
+            let h = g.frames[Z - 1][node];
+            assert_eq!(h, [3.0, 500.0, 20.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn disabled_phantoms_zero_pad_missing_targets() {
+        let mut c = cfg();
+        c.phantoms_enabled = false;
+        let ego = obs(0, 2, 500.0, 20.0);
+        let g = GraphBuilder::new(c).build(&static_history(ego, vec![]));
+        for i in 0..NUM_TARGETS {
+            assert_eq!(g.sources[target_node(i)], NodeSource::Phantom(MissingKind::ZeroPadded));
+            assert_eq!(g.frames[Z - 1][target_node(i)], [0.0, 0.0, 0.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn nearest_vehicle_wins_each_area() {
+        let ego = obs(0, 2, 500.0, 20.0);
+        let observed = vec![
+            obs(1, 2, 560.0, 20.0), // far front
+            obs(2, 2, 525.0, 20.0), // near front -> selected
+        ];
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, observed));
+        assert_eq!(g.target_id(1), Some(VehicleId(2)));
+    }
+
+    #[test]
+    fn relative_encoding_matches_equations() {
+        let ego = obs(0, 2, 500.0, 20.0);
+        let front_right = obs(3, 3, 530.0, 25.0);
+        let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![front_right]));
+        let h = g.frames[Z - 1][target_node(2)];
+        assert!((h[0] - 3.2).abs() < 1e-9, "d_lat = 1 lane * 3.2 m");
+        assert!((h[1] - 30.0).abs() < 1e-9, "d_lon = 30 m");
+        assert!((h[2] - 5.0).abs() < 1e-9, "v_rel = +5 m/s");
+        assert_eq!(h[3], 0.0, "IF = 0 for an observed vehicle");
+    }
+
+    #[test]
+    fn de_relativise_roundtrip() {
+        let ego = RawState { lat: 3.0, lon: 500.0, vel: 20.0 };
+        let p = PredictedState { d_lat: 3.2, d_lon: 30.0, v_rel: 5.0 };
+        let abs = de_relativise(&p, &ego, 3.2);
+        assert!((abs.lat - 4.0).abs() < 1e-9);
+        assert!((abs.lon - 530.0).abs() < 1e-9);
+        assert!((abs.vel - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_history_is_tracked_per_step() {
+        // Ego advancing 10 m per step; front vehicle advancing 12 m.
+        let mut h = SensorHistory::new(Z);
+        for k in 0..Z {
+            let ego = obs(0, 2, 500.0 + 10.0 * k as f64, 20.0);
+            let front = obs(2, 2, 540.0 + 12.0 * k as f64, 24.0);
+            h.push(SensorFrame { step: k as u64, ego, observed: vec![front] });
+        }
+        let g = GraphBuilder::new(cfg()).build(&h);
+        // d_lon grows by 2 m per step: 40, 42, 44, 46, 48.
+        for (tau, frame) in g.frames.iter().enumerate() {
+            let d = frame[target_node(1)][1];
+            assert!((d - (40.0 + 2.0 * tau as f64)).abs() < 1e-9, "tau {tau}: {d}");
+        }
+    }
+}

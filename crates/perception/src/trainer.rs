@@ -1,0 +1,194 @@
+//! Training and evaluation harness for state predictors — produces the
+//! numbers reported in the paper's Tables III (MAE/MSE/RMSE) and IV
+//! (training convergence time, average inference time).
+
+use crate::graph::NUM_TARGETS;
+use crate::models::{StatePredictor, TrainSample};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Training options.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainOptions {
+    /// Number of passes over the training set (paper: 15).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Relative epoch-loss improvement below which training counts as
+    /// converged (for the TCT metric).
+    pub convergence_tol: f64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self { epochs: 15, batch_size: 64, seed: 0, convergence_tol: 0.01 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds until the convergence criterion fired (or until
+    /// the last epoch if it never did).
+    pub convergence_secs: f64,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+}
+
+/// Trains `model` on `samples` and reports per-epoch losses and timing.
+pub fn train(
+    model: &mut dyn StatePredictor,
+    samples: &[TrainSample],
+    opts: &TrainOptions,
+) -> TrainReport {
+    let mut rng = ChaCha12Rng::seed_from_u64(opts.seed);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let started = Instant::now();
+    let mut epoch_losses = Vec::with_capacity(opts.epochs);
+    let mut convergence_secs = None;
+    for _epoch in 0..opts.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(opts.batch_size) {
+            let batch: Vec<TrainSample> = chunk.iter().map(|&i| samples[i].clone()).collect();
+            epoch_loss += model.train_batch(&batch);
+            batches += 1;
+        }
+        let mean = epoch_loss / batches.max(1) as f64;
+        if convergence_secs.is_none() {
+            if let Some(&prev) = epoch_losses.last() {
+                if prev > 0.0 && (prev - mean) / prev < opts.convergence_tol {
+                    convergence_secs = Some(started.elapsed().as_secs_f64());
+                }
+            }
+        }
+        epoch_losses.push(mean);
+    }
+    let total_secs = started.elapsed().as_secs_f64();
+    TrainReport {
+        epoch_losses,
+        convergence_secs: convergence_secs.unwrap_or(total_secs),
+        total_secs,
+    }
+}
+
+/// Accuracy metrics over real (non-phantom) targets, in normalised units so
+/// lateral, longitudinal and velocity errors are commensurable — the
+/// convention behind the paper's Table III magnitudes.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct EvalMetrics {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Number of scalar errors aggregated.
+    pub count: usize,
+}
+
+/// Evaluates a predictor on a held-out set.
+pub fn evaluate(
+    model: &dyn StatePredictor,
+    samples: &[TrainSample],
+    norm: &crate::normalize::Normalizer,
+) -> EvalMetrics {
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut count = 0usize;
+    for s in samples {
+        let pred = model.predict(&s.graph);
+        for i in 0..NUM_TARGETS {
+            if s.graph.target_is_phantom(i) {
+                continue;
+            }
+            let t = norm.truth(&s.truth[i]);
+            let p = [
+                (pred[i].d_lat / norm.d_lat) as f32,
+                (pred[i].d_lon / norm.d_lon) as f32,
+                (pred[i].v_rel / norm.vel) as f32,
+            ];
+            for (a, b) in p.iter().zip(t.iter()) {
+                let e = (a - b) as f64;
+                abs_sum += e.abs();
+                sq_sum += e * e;
+                count += 1;
+            }
+        }
+    }
+    let n = count.max(1) as f64;
+    let mse = sq_sum / n;
+    EvalMetrics { mae: abs_sum / n, mse, rmse: mse.sqrt(), count }
+}
+
+/// Measures average per-call inference latency in milliseconds.
+pub fn mean_inference_ms(model: &dyn StatePredictor, samples: &[TrainSample], reps: usize) -> f64 {
+    let started = Instant::now();
+    let mut calls = 0usize;
+    for _ in 0..reps.max(1) {
+        for s in samples {
+            let p = model.predict(&s.graph);
+            std::hint::black_box(p);
+            calls += 1;
+        }
+    }
+    started.elapsed().as_secs_f64() * 1e3 / calls.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_support::synthetic_samples;
+    use crate::models::{LstGat, LstGatConfig};
+    use crate::normalize::Normalizer;
+
+    #[test]
+    fn train_reduces_loss_and_eval_improves() {
+        let mut rng = ChaCha12Rng::seed_from_u64(21);
+        let samples = synthetic_samples(48, &mut rng);
+        let (train_set, test_set) = samples.split_at(40);
+        let norm = Normalizer::paper_default();
+        let mut model = LstGat::new(LstGatConfig::default(), norm);
+        let before = evaluate(&model, test_set, &norm);
+        let report = train(
+            &mut model,
+            train_set,
+            &TrainOptions { epochs: 8, batch_size: 16, ..Default::default() },
+        );
+        let after = evaluate(&model, test_set, &norm);
+        assert!(report.epoch_losses.first().unwrap() > report.epoch_losses.last().unwrap());
+        assert!(after.mae < before.mae, "MAE {} -> {}", before.mae, after.mae);
+        assert!(after.rmse <= after.mae * 10.0);
+        assert!(report.convergence_secs <= report.total_secs);
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let mut rng = ChaCha12Rng::seed_from_u64(22);
+        let samples = synthetic_samples(6, &mut rng);
+        let norm = Normalizer::paper_default();
+        let model = LstGat::new(LstGatConfig::default(), norm);
+        let m = evaluate(&model, &samples, &norm);
+        assert!(m.count > 0);
+        assert!((m.rmse * m.rmse - m.mse).abs() < 1e-9);
+        assert!(m.mae >= 0.0 && m.mse >= 0.0);
+    }
+
+    #[test]
+    fn inference_timer_returns_positive() {
+        let mut rng = ChaCha12Rng::seed_from_u64(23);
+        let samples = synthetic_samples(2, &mut rng);
+        let norm = Normalizer::paper_default();
+        let model = LstGat::new(LstGatConfig::default(), norm);
+        let ms = mean_inference_ms(&model, &samples, 2);
+        assert!(ms > 0.0);
+    }
+}

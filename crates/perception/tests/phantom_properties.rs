@@ -1,0 +1,176 @@
+//! Property tests for the phantom-construction strategy: for *any*
+//! sensor-consistent scene, the builder must produce a complete, bounded,
+//! well-formed spatial-temporal graph.
+
+use perception::{
+    surrounding_node, target_node, BuilderConfig, GraphBuilder, MissingKind, NodeSource,
+    NUM_NODES, NUM_SURROUNDING, NUM_TARGETS,
+};
+use proptest::prelude::*;
+use sensor::{ObservedState, SensorFrame, SensorHistory};
+use traffic_sim::VehicleId;
+
+const Z: usize = 5;
+
+fn cfg() -> BuilderConfig {
+    BuilderConfig { lanes: 6, lane_width: 3.2, range: 100.0, dt: 0.5, z: Z, phantoms_enabled: true }
+}
+
+/// Random scene: ego + up to 12 observed vehicles within sensor range.
+fn scene_strategy() -> impl Strategy<Value = (ObservedState, Vec<ObservedState>)> {
+    let ego = (0usize..6, 200.0f64..2000.0, 5.0f64..25.0).prop_map(|(lane, pos, vel)| {
+        ObservedState { id: VehicleId(0), lane, pos, vel }
+    });
+    let others = prop::collection::vec(
+        (0usize..6, -95.0f64..95.0, 5.0f64..25.0),
+        0..12,
+    );
+    (ego, others).prop_map(|(ego, others)| {
+        let observed = others
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (lane, off, _))| {
+                // Keep vehicles physically distinct from the ego.
+                !(*lane == ego.lane && off.abs() < 6.0)
+            })
+            .map(|(k, (lane, off, vel))| ObservedState {
+                id: VehicleId(k as u64 + 1),
+                lane,
+                pos: ego.pos + off,
+                vel,
+            })
+            .collect();
+        (ego, observed)
+    })
+}
+
+fn history_of(ego: ObservedState, observed: Vec<ObservedState>) -> SensorHistory {
+    let mut h = SensorHistory::new(Z);
+    for step in 0..Z {
+        let dt = step as f64 * 0.5;
+        let ego_t = ObservedState { pos: ego.pos + ego.vel * dt, ..ego };
+        let obs_t = observed
+            .iter()
+            .map(|o| ObservedState { pos: o.pos + o.vel * dt, ..*o })
+            .collect();
+        h.push(SensorFrame { step: step as u64, ego: ego_t, observed: obs_t });
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_is_always_complete_and_bounded((ego, observed) in scene_strategy()) {
+        let graph = GraphBuilder::new(cfg()).build(&history_of(ego, observed));
+        prop_assert_eq!(graph.depth(), Z);
+        for frame in &graph.frames {
+            prop_assert_eq!(frame.len(), NUM_NODES);
+            for (node, h) in frame.iter().enumerate() {
+                for v in h {
+                    prop_assert!(v.is_finite(), "node {node} has non-finite feature");
+                }
+                // IF flag is binary.
+                prop_assert!(h[3] == 0.0 || h[3] == 1.0);
+                match graph.sources[node] {
+                    NodeSource::Phantom(MissingKind::ZeroPadded) => {
+                        prop_assert_eq!(h[..3].to_vec(), vec![0.0, 0.0, 0.0]);
+                    }
+                    NodeSource::Ego => {
+                        // Raw ego features: lane in [1, 6], lon positive.
+                        prop_assert!(h[0] >= 1.0 && h[0] <= 6.0);
+                        prop_assert!(h[1] > 0.0);
+                    }
+                    _ => {
+                        // Relative features bounded by sensor geometry:
+                        // the occlusion mirror can reach ~2R, and over the
+                        // z-step history a fast target drifts further.
+                        prop_assert!(h[1].abs() <= 2.0 * (100.0 + 60.0), "d_lon {}", h[1]);
+                        prop_assert!(h[0].abs() <= 8.0 * 3.2, "d_lat {}", h[0]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_targets_match_sensor_ids((ego, observed) in scene_strategy()) {
+        let graph = GraphBuilder::new(cfg()).build(&history_of(ego, observed.clone()));
+        for i in 0..NUM_TARGETS {
+            if let Some(id) = graph.target_id(i) {
+                prop_assert!(
+                    observed.iter().any(|o| o.id == id),
+                    "target {i} id {id:?} not among observed vehicles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocal_slots_always_ego((ego, observed) in scene_strategy()) {
+        let graph = GraphBuilder::new(cfg()).build(&history_of(ego, observed));
+        for i in 0..NUM_TARGETS {
+            let node = surrounding_node(i, NUM_SURROUNDING - 1 - i);
+            prop_assert_eq!(graph.sources[node], NodeSource::Ego);
+        }
+    }
+
+    #[test]
+    fn phantom_targets_have_zero_padded_neighbourhoods((ego, observed) in scene_strategy()) {
+        let graph = GraphBuilder::new(cfg()).build(&history_of(ego, observed));
+        for i in 0..NUM_TARGETS {
+            if graph.target_is_phantom(i) {
+                for j in 0..NUM_SURROUNDING {
+                    if j == NUM_SURROUNDING - 1 - i {
+                        continue; // reciprocal ego slot
+                    }
+                    prop_assert_eq!(
+                        graph.sources[surrounding_node(i, j)],
+                        NodeSource::Phantom(MissingKind::ZeroPadded)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_phantoms_never_construct((ego, observed) in scene_strategy()) {
+        let mut c = cfg();
+        c.phantoms_enabled = false;
+        let graph = GraphBuilder::new(c).build(&history_of(ego, observed));
+        for node in 0..NUM_NODES {
+            match graph.sources[node] {
+                NodeSource::Phantom(kind) => {
+                    prop_assert_eq!(kind, MissingKind::ZeroPadded, "node {}", node);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn front_target_is_ahead_and_nearest((ego, observed) in scene_strategy()) {
+        let graph = GraphBuilder::new(cfg()).build(&history_of(ego, observed.clone()));
+        // Selection happens at the *latest* frame: propagate positions to
+        // step Z-1 before comparing.
+        let horizon = (Z - 1) as f64 * 0.5;
+        let at_latest =
+            |o: &ObservedState| o.pos + o.vel * horizon;
+        let ego_latest = ego.pos + ego.vel * horizon;
+        if let Some(front_id) = graph.target_id(1) {
+            let front = observed.iter().find(|o| o.id == front_id).unwrap();
+            prop_assert_eq!(front.lane, ego.lane);
+            prop_assert!(at_latest(front) > ego_latest);
+            for o in &observed {
+                if o.lane == ego.lane && at_latest(o) > ego_latest {
+                    prop_assert!(
+                        at_latest(o) >= at_latest(front),
+                        "nearer front vehicle {:?} missed",
+                        o.id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Rolling `z`-step history of sensor frames.
+//!
+//! The LST-GAT state-prediction model consumes the last `z` sweeps. A
+//! vehicle that entered the field of view fewer than `z` steps ago has an
+//! incomplete track; the paper's model needs *some* value for those steps,
+//! so the track is backfilled by constant-velocity extrapolation from its
+//! earliest observation (the paper does not specify this case; constant
+//! velocity is the mildest assumption and is flagged via
+//! [`VehicleTrack::backfilled`]).
+
+use crate::model::{ObservedState, SensorFrame};
+use std::collections::VecDeque;
+use traffic_sim::VehicleId;
+
+/// A fixed-capacity FIFO of the most recent sensor frames.
+#[derive(Clone, Debug)]
+pub struct SensorHistory {
+    z: usize,
+    frames: VecDeque<SensorFrame>,
+}
+
+/// The `z`-step history of one vehicle, oldest first.
+#[derive(Clone, Debug)]
+pub struct VehicleTrack {
+    /// Vehicle identity.
+    pub id: VehicleId,
+    /// One state per history step, oldest first; length = `z`.
+    pub states: Vec<ObservedState>,
+    /// How many leading entries were backfilled rather than observed.
+    pub backfilled: usize,
+}
+
+impl SensorHistory {
+    /// Creates a history that keeps the last `z` frames.
+    pub fn new(z: usize) -> Self {
+        assert!(z >= 1, "history needs at least one step");
+        Self { z, frames: VecDeque::with_capacity(z) }
+    }
+
+    /// History depth `z`.
+    pub fn depth(&self) -> usize {
+        self.z
+    }
+
+    /// Pushes the newest frame, dropping the oldest when full.
+    pub fn push(&mut self, frame: SensorFrame) {
+        if self.frames.len() == self.z {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame);
+    }
+
+    /// True once `z` frames have been recorded.
+    pub fn is_full(&self) -> bool {
+        self.frames.len() == self.z
+    }
+
+    /// Number of frames currently held.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frame has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The most recent frame, if any.
+    pub fn latest(&self) -> Option<&SensorFrame> {
+        self.frames.back()
+    }
+
+    /// Frames oldest-first.
+    pub fn frames(&self) -> impl Iterator<Item = &SensorFrame> {
+        self.frames.iter()
+    }
+
+    /// Clears all stored frames (episode reset).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Ego track over the stored window (always fully observed), padded to
+    /// `z` by constant-velocity backfill when fewer frames exist.
+    pub fn ego_track(&self, dt: f64) -> Option<VehicleTrack> {
+        let states: Vec<ObservedState> = self.frames.iter().map(|f| f.ego).collect();
+        Self::pad_track(states, self.z, dt)
+    }
+
+    /// Track of a surrounding vehicle. Returns `None` when the vehicle is
+    /// not visible in the *latest* frame (then it is a candidate for the
+    /// phantom construction instead).
+    ///
+    /// Steps in which the vehicle was not observed — including steps before
+    /// it first appeared — are backfilled at constant velocity from its
+    /// earliest observation.
+    pub fn track_of(&self, id: VehicleId, dt: f64) -> Option<VehicleTrack> {
+        self.latest()?.get(id)?;
+        let observed: Vec<Option<ObservedState>> =
+            self.frames.iter().map(|f| f.get(id).copied()).collect();
+        // Fill gaps: walk from the earliest observation backwards, and
+        // carry observations forward across interior gaps.
+        let first_idx = observed.iter().position(Option::is_some)?;
+        let mut states = Vec::with_capacity(self.z);
+        let mut backfilled = 0;
+        let first = observed[first_idx].expect("present by construction");
+        // Leading backfill (also covers frames not yet recorded).
+        let missing_lead = first_idx + (self.z - observed.len());
+        for k in 0..missing_lead {
+            let steps_back = (missing_lead - k) as f64;
+            let mut s = first;
+            s.pos -= s.vel * dt * steps_back;
+            states.push(s);
+            backfilled += 1;
+        }
+        let mut last_seen = first;
+        for slot in &observed[first_idx..] {
+            match slot {
+                Some(s) => {
+                    last_seen = *s;
+                    states.push(*s);
+                }
+                None => {
+                    // Interior gap: constant-velocity coast.
+                    let mut s = last_seen;
+                    s.pos += s.vel * dt;
+                    last_seen = s;
+                    states.push(s);
+                    backfilled += 1;
+                }
+            }
+        }
+        debug_assert_eq!(states.len(), self.z);
+        Some(VehicleTrack { id, states, backfilled })
+    }
+
+    fn pad_track(states: Vec<ObservedState>, z: usize, dt: f64) -> Option<VehicleTrack> {
+        let first = *states.first()?;
+        let missing = z - states.len();
+        let mut padded = Vec::with_capacity(z);
+        for k in 0..missing {
+            let steps_back = (missing - k) as f64;
+            let mut s = first;
+            s.pos -= s.vel * dt * steps_back;
+            padded.push(s);
+        }
+        let id = first.id;
+        padded.extend(states);
+        Some(VehicleTrack { id, states: padded, backfilled: missing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(id: u64, pos: f64, vel: f64) -> ObservedState {
+        ObservedState { id: VehicleId(id), lane: 0, pos, vel }
+    }
+
+    fn frame(step: u64, ego_pos: f64, observed: Vec<ObservedState>) -> SensorFrame {
+        SensorFrame { step, ego: obs(0, ego_pos, 10.0), observed }
+    }
+
+    #[test]
+    fn fifo_semantics() {
+        let mut h = SensorHistory::new(3);
+        for i in 0..5 {
+            h.push(frame(i, i as f64, vec![]));
+        }
+        assert!(h.is_full());
+        let steps: Vec<u64> = h.frames().map(|f| f.step).collect();
+        assert_eq!(steps, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn track_fully_observed() {
+        let mut h = SensorHistory::new(3);
+        for i in 0..3 {
+            h.push(frame(i, 0.0, vec![obs(7, 100.0 + i as f64, 2.0)]));
+        }
+        let t = h.track_of(VehicleId(7), 0.5).unwrap();
+        assert_eq!(t.backfilled, 0);
+        assert_eq!(t.states.len(), 3);
+        assert_eq!(t.states[0].pos, 100.0);
+        assert_eq!(t.states[2].pos, 102.0);
+    }
+
+    #[test]
+    fn track_missing_in_latest_frame_is_none() {
+        let mut h = SensorHistory::new(3);
+        h.push(frame(0, 0.0, vec![obs(7, 100.0, 2.0)]));
+        h.push(frame(1, 0.0, vec![obs(7, 101.0, 2.0)]));
+        h.push(frame(2, 0.0, vec![]));
+        assert!(h.track_of(VehicleId(7), 0.5).is_none());
+    }
+
+    #[test]
+    fn leading_backfill_constant_velocity() {
+        let mut h = SensorHistory::new(4);
+        h.push(frame(0, 0.0, vec![]));
+        h.push(frame(1, 0.0, vec![]));
+        h.push(frame(2, 0.0, vec![obs(7, 100.0, 4.0)]));
+        h.push(frame(3, 0.0, vec![obs(7, 102.0, 4.0)]));
+        let t = h.track_of(VehicleId(7), 0.5).unwrap();
+        assert_eq!(t.backfilled, 2);
+        assert_eq!(t.states.len(), 4);
+        // Extrapolated backwards at 4 m/s * 0.5 s = 2 m per step.
+        assert!((t.states[0].pos - 96.0).abs() < 1e-9);
+        assert!((t.states[1].pos - 98.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_gap_coasts_forward() {
+        let mut h = SensorHistory::new(3);
+        h.push(frame(0, 0.0, vec![obs(7, 100.0, 4.0)]));
+        h.push(frame(1, 0.0, vec![])); // momentarily occluded
+        h.push(frame(2, 0.0, vec![obs(7, 104.0, 4.0)]));
+        let t = h.track_of(VehicleId(7), 0.5).unwrap();
+        assert_eq!(t.backfilled, 1);
+        assert!((t.states[1].pos - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_history_is_padded() {
+        let mut h = SensorHistory::new(5);
+        h.push(frame(0, 0.0, vec![obs(7, 50.0, 2.0)]));
+        let t = h.track_of(VehicleId(7), 0.5).unwrap();
+        assert_eq!(t.states.len(), 5);
+        assert_eq!(t.backfilled, 4);
+        assert!((t.states[0].pos - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ego_track_padded_and_ordered() {
+        let mut h = SensorHistory::new(3);
+        h.push(frame(0, 10.0, vec![]));
+        h.push(frame(1, 15.0, vec![]));
+        let t = h.ego_track(0.5).unwrap();
+        assert_eq!(t.states.len(), 3);
+        assert_eq!(t.backfilled, 1);
+        assert!((t.states[0].pos - 5.0).abs() < 1e-9); // 10 - 10*0.5
+        assert_eq!(t.states[2].pos, 15.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = SensorHistory::new(2);
+        h.push(frame(0, 0.0, vec![]));
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.latest().is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! # sensor — onboard perception front-end
+//!
+//! Models the sensor limitations the HEAD paper builds its enhanced
+//! perception module around (§III-A):
+//!
+//! * **Limited detection range** — only vehicles within a Euclidean radius
+//!   `R` of the ego (100 m in the paper) are returned.
+//! * **Occlusion** — a vehicle is invisible when the straight line of sight
+//!   from the ego's body centre to the vehicle's body centre passes through
+//!   another vehicle's body rectangle (axis-aligned in road coordinates).
+//!
+//! The crate also provides [`SensorHistory`], the rolling `z`-step frame
+//! buffer the state-prediction model consumes, including the constant-
+//! velocity backfill used when a vehicle has been visible for fewer than
+//! `z` steps.
+
+mod history;
+mod model;
+
+pub use history::{SensorHistory, VehicleTrack};
+pub use model::{sense, ObservedState, SensorConfig, SensorFrame};

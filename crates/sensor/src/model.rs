@@ -1,0 +1,225 @@
+//! The geometric sensor model: range filtering and line-of-sight occlusion.
+
+use serde::{Deserialize, Serialize};
+use traffic_sim::{Simulation, Vehicle, VehicleId};
+
+/// Sensor parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Detection radius `R`, m (100 m in the paper).
+    pub range: f64,
+    /// Vehicle body width used for occlusion rectangles, m.
+    pub vehicle_width: f64,
+    /// Whether occlusion is simulated (disabling it gives an idealised
+    /// sensor, useful for ablations and ground-truth extraction).
+    pub occlusion: bool,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        Self { range: 100.0, vehicle_width: 1.8, occlusion: true }
+    }
+}
+
+/// The state of one vehicle as reported by the sensor (ground coordinates).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObservedState {
+    /// Vehicle identity (ideal data association, as the paper assumes).
+    pub id: VehicleId,
+    /// Lane index, 0 = leftmost.
+    pub lane: usize,
+    /// Front-bumper longitudinal position, m.
+    pub pos: f64,
+    /// Longitudinal velocity, m/s.
+    pub vel: f64,
+}
+
+impl ObservedState {
+    fn from_vehicle(v: &Vehicle) -> Self {
+        Self { id: v.id, lane: v.lane, pos: v.pos, vel: v.vel }
+    }
+}
+
+/// One sensor sweep: the ego's own state plus every visible vehicle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SensorFrame {
+    /// Simulation step at which the sweep was taken.
+    pub step: u64,
+    /// Ego state (always known exactly).
+    pub ego: ObservedState,
+    /// Visible surrounding vehicles.
+    pub observed: Vec<ObservedState>,
+}
+
+impl SensorFrame {
+    /// Looks up an observed vehicle by id.
+    pub fn get(&self, id: VehicleId) -> Option<&ObservedState> {
+        self.observed.iter().find(|o| o.id == id)
+    }
+}
+
+/// Body centre of a vehicle in road coordinates `(x, y)`:
+/// `x` longitudinal (m), `y` lateral (m, lane 0 centred at 0.5 widths).
+fn centre(v: &Vehicle, lane_width: f64) -> (f64, f64) {
+    (v.pos - v.length * 0.5, (v.lane as f64 + 0.5) * lane_width)
+}
+
+/// Axis-aligned body rectangle `(x_min, x_max, y_min, y_max)`.
+fn body_rect(v: &Vehicle, lane_width: f64, width: f64) -> (f64, f64, f64, f64) {
+    let (cx, cy) = centre(v, lane_width);
+    (cx - v.length * 0.5, cx + v.length * 0.5, cy - width * 0.5, cy + width * 0.5)
+}
+
+/// Segment/AABB intersection (slab method).
+fn segment_hits_rect(
+    (x0, y0): (f64, f64),
+    (x1, y1): (f64, f64),
+    (rx0, rx1, ry0, ry1): (f64, f64, f64, f64),
+) -> bool {
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let mut t_min = 0.0_f64;
+    let mut t_max = 1.0_f64;
+    for (p, d, lo, hi) in [(x0, dx, rx0, rx1), (y0, dy, ry0, ry1)] {
+        if d.abs() < 1e-12 {
+            if p < lo || p > hi {
+                return false;
+            }
+        } else {
+            let mut t1 = (lo - p) / d;
+            let mut t2 = (hi - p) / d;
+            if t1 > t2 {
+                std::mem::swap(&mut t1, &mut t2);
+            }
+            t_min = t_min.max(t1);
+            t_max = t_max.min(t2);
+            if t_min > t_max {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Performs one sensor sweep around `ego_id`.
+///
+/// # Panics
+/// Panics if `ego_id` is not on the road.
+pub fn sense(sim: &Simulation, ego_id: VehicleId, cfg: &SensorConfig) -> SensorFrame {
+    let ego = sim.get(ego_id).expect("ego vehicle must exist");
+    let lane_width = sim.cfg().lane_width;
+    let ego_centre = centre(ego, lane_width);
+
+    // Range gate first.
+    let in_range: Vec<&Vehicle> = sim
+        .vehicles()
+        .iter()
+        .filter(|v| v.id != ego_id)
+        .filter(|v| {
+            let (cx, cy) = centre(v, lane_width);
+            let d2 = (cx - ego_centre.0).powi(2) + (cy - ego_centre.1).powi(2);
+            d2 <= cfg.range * cfg.range
+        })
+        .collect();
+
+    // Occlusion gate: target visible unless line of sight to its centre is
+    // blocked by some other (nearer) vehicle body.
+    let observed = in_range
+        .iter()
+        .filter(|target| {
+            if !cfg.occlusion {
+                return true;
+            }
+            let t_centre = centre(target, lane_width);
+            !in_range.iter().any(|occluder| {
+                occluder.id != target.id
+                    && segment_hits_rect(
+                        ego_centre,
+                        t_centre,
+                        body_rect(occluder, lane_width, cfg.vehicle_width),
+                    )
+            })
+        })
+        .map(|v| ObservedState::from_vehicle(v))
+        .collect();
+
+    SensorFrame { step: sim.step_count(), ego: ObservedState::from_vehicle(ego), observed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_sim::SimConfig;
+
+    fn sim_with(positions: &[(usize, f64, f64)]) -> (Simulation, VehicleId) {
+        // First entry is the ego.
+        let cfg = SimConfig { road_len: 2000.0, lanes: 6, density_per_km: 0.0, ..Default::default() };
+        let mut sim = Simulation::new(cfg);
+        let (lane, pos, vel) = positions[0];
+        let ego = sim.spawn_external(lane, pos, vel);
+        for &(lane, pos, vel) in &positions[1..] {
+            let id = sim.spawn_external(lane, pos, vel);
+            // Repaint as conventional so only one ego exists conceptually.
+            let _ = id;
+        }
+        (sim, ego)
+    }
+
+    #[test]
+    fn segment_rect_geometry() {
+        let rect = (1.0, 2.0, -0.5, 0.5);
+        assert!(segment_hits_rect((0.0, 0.0), (3.0, 0.0), rect));
+        assert!(!segment_hits_rect((0.0, 2.0), (3.0, 2.0), rect));
+        assert!(!segment_hits_rect((0.0, 0.0), (0.9, 0.0), rect)); // stops short
+        assert!(segment_hits_rect((1.5, -2.0), (1.5, 2.0), rect)); // vertical
+    }
+
+    #[test]
+    fn range_limit_filters_far_vehicles() {
+        let (sim, ego) = sim_with(&[(2, 500.0, 20.0), (2, 590.0, 20.0), (2, 700.0, 20.0)]);
+        let frame = sense(&sim, ego, &SensorConfig { occlusion: false, ..Default::default() });
+        assert_eq!(frame.observed.len(), 1);
+        assert!((frame.observed[0].pos - 590.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occlusion_hides_vehicle_behind_leader() {
+        // Ego, a leader dead ahead, and a second vehicle straight behind
+        // the leader in the same lane: the far one must be occluded.
+        let (sim, ego) = sim_with(&[(2, 500.0, 20.0), (2, 530.0, 20.0), (2, 560.0, 20.0)]);
+        let frame = sense(&sim, ego, &SensorConfig::default());
+        let ids: Vec<f64> = frame.observed.iter().map(|o| o.pos).collect();
+        assert_eq!(ids, vec![530.0], "only the near leader should be visible");
+    }
+
+    #[test]
+    fn adjacent_lane_vehicle_not_occluded() {
+        let (sim, ego) = sim_with(&[(2, 500.0, 20.0), (2, 530.0, 20.0), (1, 560.0, 20.0)]);
+        let frame = sense(&sim, ego, &SensorConfig::default());
+        assert_eq!(frame.observed.len(), 2, "diagonal line of sight is clear");
+    }
+
+    #[test]
+    fn rear_occlusion_symmetrical() {
+        let (sim, ego) = sim_with(&[(2, 500.0, 20.0), (2, 470.0, 20.0), (2, 440.0, 20.0)]);
+        let frame = sense(&sim, ego, &SensorConfig::default());
+        assert_eq!(frame.observed.len(), 1);
+        assert!((frame.observed[0].pos - 470.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabling_occlusion_reveals_all_in_range() {
+        let (sim, ego) = sim_with(&[(2, 500.0, 20.0), (2, 530.0, 20.0), (2, 560.0, 20.0)]);
+        let frame = sense(&sim, ego, &SensorConfig { occlusion: false, ..Default::default() });
+        assert_eq!(frame.observed.len(), 2);
+    }
+
+    #[test]
+    fn ego_always_reports_itself() {
+        let (sim, ego) = sim_with(&[(3, 100.0, 15.0)]);
+        let frame = sense(&sim, ego, &SensorConfig::default());
+        assert_eq!(frame.ego.id, ego);
+        assert_eq!(frame.ego.lane, 3);
+        assert!(frame.observed.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # traffic-sim — a microscopic multi-lane highway simulator
+//!
+//! SUMO substitute for the HEAD reproduction (ICDE 2023). The paper runs
+//! its agent on a straight six-lane 3 km road simulated by SUMO and driven
+//! through TraCI; this crate provides the equivalent substrate:
+//!
+//! * discrete time steps (Δt = 0.5 s, the paper's maneuver granularity);
+//! * conventional traffic controlled by the Krauss model (SUMO's default)
+//!   with MOBIL-style lane changing, heterogeneous per-driver parameters,
+//!   density maintenance via exit recycling;
+//! * IDM and ACC controllers for the paper's rule-based baselines;
+//! * a TraCI-like command interface ([`Simulation::set_command`]) for the
+//!   externally controlled autonomous vehicle, with the paper's traffic
+//!   restrictions (speed limits, ±a' acceleration bound, adjacent-lane
+//!   changes only);
+//! * collision detection (vehicle crash and road-boundary violation), the
+//!   paper's episode-terminating events.
+//!
+//! ```
+//! use traffic_sim::{Simulation, SimConfig, ExternalCommand, LaneChange};
+//!
+//! let mut sim = Simulation::new(SimConfig { road_len: 500.0, ..SimConfig::default() });
+//! sim.populate();
+//! sim.warm_up(20);
+//! let av = sim.spawn_external(2, 10.0, 15.0);
+//! sim.set_command(av, ExternalCommand { lane_change: LaneChange::Keep, accel: 1.0 });
+//! let outcome = sim.step();
+//! assert!(outcome.collisions.is_empty());
+//! ```
+
+mod models;
+mod sim;
+mod vehicle;
+
+pub use models::{
+    acc_accel, idm_accel, krauss_accel, mobil_decision, FollowerView, LaneChange, LaneContext,
+    LeaderView,
+};
+pub use sim::{CollisionEvent, ExternalCommand, SimConfig, Simulation, StepOutcome};
+pub use vehicle::{Controller, DriverParams, Vehicle, VehicleId};

@@ -1,0 +1,313 @@
+//! Longitudinal car-following models and the lateral lane-change model.
+//!
+//! * [`idm_accel`] — Intelligent Driver Model (Treiber, Hennecke & Helbing
+//!   2000), the paper's IDM-LC baseline controller.
+//! * [`krauss_accel`] — Krauss model (Krauss et al. 1997), SUMO's default;
+//!   drives the conventional traffic, matching the paper's "SUMO-controlled
+//!   conventional vehicles".
+//! * [`acc_accel`] — constant-time-gap adaptive cruise control (Milanés &
+//!   Shladover 2014), the ACC-LC baseline controller.
+//! * [`mobil_decision`] — MOBIL-style incentive+safety lane changing
+//!   (functional equivalent of SUMO's LC2013), used by all rule-based
+//!   agents and the conventional traffic.
+
+use crate::vehicle::{DriverParams, Vehicle};
+
+/// A leader observation: bumper gap (m) and leader speed (m/s).
+#[derive(Clone, Copy, Debug)]
+pub struct LeaderView {
+    /// Bumper-to-bumper gap, m.
+    pub gap: f64,
+    /// Leader speed, m/s.
+    pub vel: f64,
+}
+
+/// IDM acceleration for a follower at speed `v` with optional leader.
+pub fn idm_accel(d: &DriverParams, v: f64, leader: Option<LeaderView>) -> f64 {
+    let v0 = d.desired_speed.max(0.1);
+    let free = 1.0 - (v / v0).powi(4);
+    let interaction = match leader {
+        Some(l) => {
+            let dv = v - l.vel;
+            let s_star =
+                d.min_gap + (v * d.headway + v * dv / (2.0 * (d.accel * d.decel).sqrt())).max(0.0);
+            let s = l.gap.max(0.1);
+            (s_star / s).powi(2)
+        }
+        None => 0.0,
+    };
+    d.accel * (free - interaction)
+}
+
+/// Krauss safe-velocity acceleration with driver imperfection `dawdle` in
+/// `[0, 1)` (pass 0 for deterministic behaviour; the simulation samples it).
+pub fn krauss_accel(d: &DriverParams, v: f64, leader: Option<LeaderView>, dt: f64, dawdle: f64) -> f64 {
+    let tau = d.headway;
+    let b = d.decel;
+    let v_safe = match leader {
+        Some(l) => {
+            // v_safe = -b*tau + sqrt(b^2 tau^2 + v_l^2 + 2 b g)
+            let g = (l.gap - d.min_gap).max(0.0);
+            -b * tau + (b * b * tau * tau + l.vel * l.vel + 2.0 * b * g).sqrt()
+        }
+        None => f64::INFINITY,
+    };
+    let v_des = (v + d.accel * dt).min(v_safe).min(d.desired_speed);
+    let v_next = (v_des - d.sigma * d.accel * dt * dawdle).max(0.0);
+    (v_next - v) / dt
+}
+
+/// Constant-time-gap ACC acceleration (gap-and-speed linear feedback).
+pub fn acc_accel(d: &DriverParams, v: f64, leader: Option<LeaderView>) -> f64 {
+    const K_GAP: f64 = 0.23; // 1/s^2, gap-error gain
+    const K_VEL: f64 = 0.7; // 1/s, speed-error gain
+    match leader {
+        Some(l) => {
+            let desired_gap = d.min_gap + d.headway * v;
+            let a = K_GAP * (l.gap - desired_gap) + K_VEL * (l.vel - v);
+            // Blend toward free-flow target when far from the leader.
+            if l.gap > 2.0 * desired_gap {
+                a.max(K_VEL * (d.desired_speed - v))
+            } else {
+                a
+            }
+        }
+        None => K_VEL * (d.desired_speed - v),
+    }
+}
+
+/// Deceleration `follower` must apply to keep a safe Krauss gap if
+/// `candidate` merges in front of it. Used as the MOBIL safety criterion.
+fn induced_accel(
+    follower: &DriverParams,
+    follower_vel: f64,
+    new_leader: LeaderView,
+) -> f64 {
+    idm_accel(follower, follower_vel, Some(new_leader))
+}
+
+/// Neighbourhood of a vehicle in one lane, as seen by the lane-change model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaneContext {
+    /// Leader in the lane, if any.
+    pub leader: Option<LeaderView>,
+    /// Follower in the lane: gap from follower's front bumper to the
+    /// candidate's rear bumper, and follower's speed and driver profile.
+    pub follower: Option<FollowerView>,
+}
+
+/// A follower observation for safety checks.
+#[derive(Clone, Copy, Debug)]
+pub struct FollowerView {
+    /// Gap between the follower's front bumper and the candidate rear, m.
+    pub gap: f64,
+    /// Follower speed, m/s.
+    pub vel: f64,
+    /// Follower's comfortable deceleration, m/s^2.
+    pub decel: f64,
+    /// Follower's behavioural profile (for induced-deceleration estimates).
+    pub driver: DriverParams,
+}
+
+/// Outcome of a lane-change evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneChange {
+    /// Stay in the current lane.
+    Keep,
+    /// Move one lane to the left (towards lane 0).
+    Left,
+    /// Move one lane to the right.
+    Right,
+}
+
+/// MOBIL-style lane-change decision.
+///
+/// A change is *safe* when the would-be new follower does not need to brake
+/// harder than its comfortable deceleration and all gaps are positive.
+/// A change is *desirable* when the own acceleration gain, minus the
+/// politeness-weighted loss imposed on the new follower, exceeds the
+/// driver's switching threshold.
+pub fn mobil_decision(
+    vehicle: &Vehicle,
+    current: LaneContext,
+    left: Option<LaneContext>,
+    right: Option<LaneContext>,
+) -> LaneChange {
+    let d = &vehicle.driver;
+    let a_now = idm_accel(d, vehicle.vel, current.leader);
+
+    let evaluate = |ctx: &LaneContext| -> Option<f64> {
+        // Safety: physical gaps must exist.
+        if let Some(f) = ctx.follower {
+            if f.gap <= 0.5 {
+                return None;
+            }
+            let induced = induced_accel(
+                &f.driver,
+                f.vel,
+                LeaderView { gap: f.gap, vel: vehicle.vel },
+            );
+            if induced < -f.decel {
+                return None;
+            }
+        }
+        if let Some(l) = ctx.leader {
+            if l.gap <= 0.5 {
+                return None;
+            }
+        }
+        let a_new = idm_accel(d, vehicle.vel, ctx.leader);
+        let follower_penalty = ctx
+            .follower
+            .map(|f| {
+                let before = idm_accel(
+                    &f.driver,
+                    f.vel,
+                    current.follower.map(|cf| LeaderView { gap: cf.gap, vel: vehicle.vel }),
+                );
+                let after =
+                    induced_accel(&f.driver, f.vel, LeaderView { gap: f.gap, vel: vehicle.vel });
+                (before - after).max(0.0)
+            })
+            .unwrap_or(0.0);
+        Some(a_new - a_now - d.politeness * follower_penalty)
+    };
+
+    let left_gain = left.as_ref().and_then(|c| evaluate(c)).unwrap_or(f64::NEG_INFINITY);
+    let right_gain = right.as_ref().and_then(|c| evaluate(c)).unwrap_or(f64::NEG_INFINITY);
+
+    if left_gain > d.lc_threshold && left_gain >= right_gain {
+        LaneChange::Left
+    } else if right_gain > d.lc_threshold {
+        LaneChange::Right
+    } else {
+        LaneChange::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vehicle::{Controller, VehicleId};
+
+    fn nominal_vehicle(vel: f64) -> Vehicle {
+        Vehicle {
+            id: VehicleId(1),
+            lane: 1,
+            pos: 100.0,
+            vel,
+            accel: 0.0,
+            length: 5.0,
+            controller: Controller::Idm,
+            driver: DriverParams::nominal(),
+            collided: false,
+            lc_cooldown: 0,
+        }
+    }
+
+    #[test]
+    fn idm_free_road_accelerates_below_desired_speed() {
+        let d = DriverParams::nominal();
+        assert!(idm_accel(&d, 10.0, None) > 0.0);
+        // At the desired speed the free term vanishes.
+        assert!(idm_accel(&d, d.desired_speed, None).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idm_brakes_when_close_and_closing() {
+        let d = DriverParams::nominal();
+        let a = idm_accel(&d, 20.0, Some(LeaderView { gap: 5.0, vel: 5.0 }));
+        assert!(a < -2.0, "expected hard braking, got {a}");
+    }
+
+    #[test]
+    fn idm_monotone_in_gap() {
+        let d = DriverParams::nominal();
+        let mut last = f64::NEG_INFINITY;
+        for gap in [3.0, 6.0, 12.0, 25.0, 50.0, 100.0] {
+            let a = idm_accel(&d, 15.0, Some(LeaderView { gap, vel: 15.0 }));
+            assert!(a >= last, "IDM accel must not decrease with gap");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn krauss_never_exceeds_safe_speed() {
+        let d = DriverParams::nominal();
+        let dt = 0.5;
+        let v = 20.0;
+        let leader = LeaderView { gap: 10.0, vel: 5.0 };
+        let a = krauss_accel(&d, v, Some(leader), dt, 0.0);
+        let v_next = v + a * dt;
+        let b = d.decel;
+        let tau = d.headway;
+        let g = (leader.gap - d.min_gap).max(0.0);
+        let v_safe = -b * tau + (b * b * tau * tau + leader.vel * leader.vel + 2.0 * b * g).sqrt();
+        assert!(v_next <= v_safe + 1e-9);
+    }
+
+    #[test]
+    fn krauss_free_road_approaches_desired_speed() {
+        let d = DriverParams::nominal();
+        let mut v: f64 = 0.0;
+        for _ in 0..200 {
+            let a = krauss_accel(&d, v, None, 0.5, 0.0);
+            v = (v + a * 0.5).max(0.0);
+        }
+        assert!((v - d.desired_speed).abs() < 0.5, "krauss settled at {v}");
+    }
+
+    #[test]
+    fn acc_tracks_time_gap() {
+        let d = DriverParams::nominal();
+        let v = 20.0;
+        let desired_gap = d.min_gap + d.headway * v;
+        // At exactly the desired gap and matched speed, accel ~ 0.
+        let a = acc_accel(&d, v, Some(LeaderView { gap: desired_gap, vel: v }));
+        assert!(a.abs() < 1e-9);
+        // Too close -> brake; too far (but not free-flow) -> accelerate.
+        assert!(acc_accel(&d, v, Some(LeaderView { gap: desired_gap - 5.0, vel: v })) < 0.0);
+        assert!(acc_accel(&d, v, Some(LeaderView { gap: desired_gap + 5.0, vel: v })) > 0.0);
+    }
+
+    #[test]
+    fn mobil_changes_to_free_lane_when_blocked() {
+        let vehicle = nominal_vehicle(15.0);
+        let blocked = LaneContext {
+            leader: Some(LeaderView { gap: 6.0, vel: 5.0 }),
+            follower: None,
+        };
+        let free = LaneContext { leader: None, follower: None };
+        let d = mobil_decision(&vehicle, blocked, Some(free), None);
+        assert_eq!(d, LaneChange::Left);
+    }
+
+    #[test]
+    fn mobil_keeps_lane_when_no_gain() {
+        let vehicle = nominal_vehicle(15.0);
+        let ctx = LaneContext { leader: None, follower: None };
+        let d = mobil_decision(&vehicle, ctx, Some(ctx), Some(ctx));
+        assert_eq!(d, LaneChange::Keep);
+    }
+
+    #[test]
+    fn mobil_rejects_unsafe_follower_gap() {
+        let vehicle = nominal_vehicle(15.0);
+        let blocked = LaneContext {
+            leader: Some(LeaderView { gap: 6.0, vel: 5.0 }),
+            follower: None,
+        };
+        // Target lane free ahead but a fast follower is right on the bumper.
+        let unsafe_lane = LaneContext {
+            leader: None,
+            follower: Some(FollowerView {
+                gap: 1.0,
+                vel: 30.0,
+                decel: 2.5,
+                driver: DriverParams::nominal(),
+            }),
+        };
+        let d = mobil_decision(&vehicle, blocked, Some(unsafe_lane), None);
+        assert_eq!(d, LaneChange::Keep);
+    }
+}

@@ -1,0 +1,167 @@
+//! Vehicle state and per-driver behavioural parameters.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a vehicle for the lifetime of a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VehicleId(pub u64);
+
+/// Which longitudinal controller drives a vehicle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Controller {
+    /// Krauss model (SUMO's default car-following model).
+    Krauss,
+    /// Intelligent Driver Model (Treiber et al.).
+    Idm,
+    /// Adaptive cruise control (constant-time-gap linear feedback).
+    Acc,
+    /// Externally commanded: the simulation applies whatever maneuver the
+    /// caller sets each step (used for the autonomous vehicle).
+    External,
+}
+
+/// Behavioural parameters of one driver.
+///
+/// Conventional traffic gets heterogeneous parameters (sampled once per
+/// vehicle) so the synthetic REAL corpus has NGSIM-like driver variety.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriverParams {
+    /// Desired (free-flow) speed, m/s.
+    pub desired_speed: f64,
+    /// Desired time headway, s.
+    pub headway: f64,
+    /// Minimum standstill gap, m.
+    pub min_gap: f64,
+    /// Maximum self-imposed acceleration, m/s^2 (≤ the road's legal bound).
+    pub accel: f64,
+    /// Comfortable deceleration, m/s^2 (positive number).
+    pub decel: f64,
+    /// Krauss driver-imperfection (dawdling) factor in [0, 1].
+    pub sigma: f64,
+    /// MOBIL politeness factor in [0, 1].
+    pub politeness: f64,
+    /// Lane-change incentive threshold, m/s^2.
+    pub lc_threshold: f64,
+}
+
+impl DriverParams {
+    /// A deterministic mid-range driver (used for the AV's fallback model
+    /// and in unit tests).
+    pub fn nominal() -> Self {
+        Self {
+            desired_speed: 22.0,
+            headway: 1.4,
+            min_gap: 2.0,
+            accel: 2.0,
+            decel: 2.5,
+            sigma: 0.0,
+            politeness: 0.3,
+            lc_threshold: 0.2,
+        }
+    }
+
+    /// Samples a heterogeneous driver around the nominal profile.
+    pub fn sample(rng: &mut impl Rng, v_max: f64) -> Self {
+        let nominal = Self::nominal();
+        Self {
+            desired_speed: (nominal.desired_speed * rng.random_range(0.85..1.15)).min(v_max),
+            headway: rng.random_range(1.0..2.0),
+            min_gap: rng.random_range(1.5..3.0),
+            accel: rng.random_range(1.5..2.5),
+            decel: rng.random_range(2.0..3.0),
+            sigma: rng.random_range(0.0..0.4),
+            politeness: rng.random_range(0.1..0.6),
+            lc_threshold: rng.random_range(0.1..0.4),
+        }
+    }
+}
+
+/// Full dynamic state of one vehicle.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vehicle {
+    /// Stable identifier.
+    pub id: VehicleId,
+    /// Lane index, 0 = leftmost.
+    pub lane: usize,
+    /// Longitudinal position of the *front bumper*, metres from the origin.
+    pub pos: f64,
+    /// Longitudinal velocity, m/s (always ≥ 0).
+    pub vel: f64,
+    /// Acceleration applied during the last step, m/s^2.
+    pub accel: f64,
+    /// Body length, m.
+    pub length: f64,
+    /// Longitudinal controller.
+    pub controller: Controller,
+    /// Behavioural parameters.
+    pub driver: DriverParams,
+    /// Set when this vehicle was involved in a collision.
+    pub collided: bool,
+    /// Steps remaining before another lane change is allowed.
+    pub lc_cooldown: u32,
+}
+
+impl Vehicle {
+    /// Rear-bumper position.
+    #[inline]
+    pub fn rear(&self) -> f64 {
+        self.pos - self.length
+    }
+
+    /// Bumper-to-bumper gap from `self` (follower) to `leader`.
+    ///
+    /// Negative values mean the bodies overlap.
+    #[inline]
+    pub fn gap_to(&self, leader: &Vehicle) -> f64 {
+        leader.rear() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn car(pos: f64, len: f64) -> Vehicle {
+        Vehicle {
+            id: VehicleId(0),
+            lane: 0,
+            pos,
+            vel: 10.0,
+            accel: 0.0,
+            length: len,
+            controller: Controller::Idm,
+            driver: DriverParams::nominal(),
+            collided: false,
+            lc_cooldown: 0,
+        }
+    }
+
+    #[test]
+    fn gap_geometry() {
+        let follower = car(50.0, 5.0);
+        let leader = car(70.0, 5.0);
+        assert_eq!(follower.gap_to(&leader), 15.0);
+        assert_eq!(leader.rear(), 65.0);
+    }
+
+    #[test]
+    fn overlapping_gap_is_negative() {
+        let follower = car(68.0, 5.0);
+        let leader = car(70.0, 5.0);
+        assert!(follower.gap_to(&leader) < 0.0);
+    }
+
+    #[test]
+    fn sampled_drivers_respect_speed_cap() {
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        for _ in 0..100 {
+            let d = DriverParams::sample(&mut rng, 20.0);
+            assert!(d.desired_speed <= 20.0);
+            assert!(d.headway >= 1.0 && d.headway <= 2.0);
+            assert!(d.sigma >= 0.0 && d.sigma < 0.4);
+        }
+    }
+}

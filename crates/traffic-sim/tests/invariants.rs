@@ -1,0 +1,97 @@
+//! Property tests for simulator invariants: over random seeds, densities
+//! and horizons, the conventional traffic must stay legal, collision-free
+//! and deterministic.
+
+use proptest::prelude::*;
+use traffic_sim::{ExternalCommand, LaneChange, SimConfig, Simulation};
+
+fn cfg(seed: u64, density: f64, lanes: usize) -> SimConfig {
+    SimConfig {
+        road_len: 600.0,
+        lanes,
+        density_per_km: density,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conventional_traffic_never_collides(
+        seed in 0u64..500,
+        density in 30.0f64..200.0,
+        lanes in 2usize..7,
+    ) {
+        let mut sim = Simulation::new(cfg(seed, density, lanes));
+        sim.populate();
+        for _ in 0..150 {
+            let out = sim.step();
+            prop_assert!(out.collisions.is_empty(), "collision at step {}", sim.step_count());
+        }
+    }
+
+    #[test]
+    fn kinematics_stay_bounded(seed in 0u64..500) {
+        let mut sim = Simulation::new(cfg(seed, 150.0, 4));
+        sim.populate();
+        let a_max = sim.cfg().a_max;
+        let e_decel = sim.cfg().emergency_decel;
+        let v_max = sim.cfg().v_max;
+        let dt = sim.cfg().dt;
+        for _ in 0..100 {
+            let before: std::collections::HashMap<_, _> =
+                sim.vehicles().iter().map(|v| (v.id, (v.pos, v.vel))).collect();
+            sim.step();
+            for v in sim.vehicles() {
+                prop_assert!(v.vel >= 0.0 && v.vel <= v_max + 1e-9);
+                prop_assert!(v.accel <= a_max + 1e-9 && v.accel >= -e_decel - 1e-9);
+                if let Some(&(pos0, vel0)) = before.get(&v.id) {
+                    // No teleporting: displacement consistent with speeds.
+                    let disp = v.pos - pos0;
+                    let max_disp = (vel0.max(v.vel)) * dt + 1e-9;
+                    prop_assert!(disp >= -1e-9 && disp <= max_disp,
+                        "vehicle moved {disp} m in one step (v0={vel0}, v1={})", v.vel);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_over_random_commands(seed in 0u64..500) {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(cfg(seed, 120.0, 4));
+            sim.populate();
+            let av = sim.spawn_external(1, 20.0, 12.0);
+            let mut trace = Vec::new();
+            for i in 0..80u32 {
+                let lc = match i % 7 {
+                    0 => LaneChange::Left,
+                    3 => LaneChange::Right,
+                    _ => LaneChange::Keep,
+                };
+                let accel = ((i % 5) as f64) - 2.0;
+                sim.set_command(av, ExternalCommand { lane_change: lc, accel });
+                sim.step();
+                if let Some(v) = sim.get(av) {
+                    trace.push((v.lane, v.pos.to_bits(), v.vel.to_bits()));
+                }
+            }
+            trace
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn density_is_maintained(seed in 0u64..500) {
+        let mut sim = Simulation::new(cfg(seed, 100.0, 4));
+        sim.populate();
+        let initial = sim.vehicles().len();
+        for _ in 0..300 {
+            sim.step();
+        }
+        let now = sim.vehicles().len();
+        prop_assert!(now * 10 >= initial * 8, "density decayed {initial} -> {now}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Impact study: compares how strongly different agents disturb the
+//! traffic behind them — the paper's headline motivation. Runs IDM-LC,
+//! ACC-LC and TP-BTS on identical evaluation seeds and prints the
+//! impact-centric metrics (Avg#-CA, AvgD-CA, AvgDT-C).
+//!
+//! ```sh
+//! cargo run -p head --example highway_impact --release
+//! ```
+
+use head::{
+    aggregate, evaluate_agent, AccLc, DrivingAgent, EnvConfig, HighwayEnv, IdmLc, PerceptionMode,
+    PolicyAgent, RuleConfig, TpBts, TpBtsConfig,
+};
+use decision::{AgentConfig, BpDqn};
+
+fn main() {
+    let cfg = EnvConfig::bench_scale();
+    let eval_episodes = 8;
+    let seed_base = 5_000_000;
+
+    let mut rows: Vec<(String, head::AggregateMetrics)> = Vec::new();
+
+    let mut env = HighwayEnv::new(cfg.clone(), PerceptionMode::Persistence);
+    let mut idm = IdmLc::new(RuleConfig::default());
+    rows.push((idm.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut idm, eval_episodes, seed_base))));
+
+    let mut acc = AccLc::new(RuleConfig::default());
+    rows.push((acc.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut acc, eval_episodes, seed_base))));
+
+    let mut bts = TpBts::new(TpBtsConfig::default(), cfg.sim.lane_width);
+    rows.push((bts.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut bts, eval_episodes, seed_base))));
+
+    // An untrained policy for contrast: random-ish maneuvers disturb the
+    // platoon far more (train it properly with examples/train_head.rs).
+    let mut raw = PolicyAgent::new("HEAD (untrained)", Box::new(BpDqn::new(AgentConfig::default())));
+    rows.push((raw.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut raw, eval_episodes, seed_base))));
+
+    println!(
+        "{:<18} {:>8} {:>8} {:>9} {:>9} {:>10}",
+        "Agent", "Avg#-CA", "AvgD-CA", "AvgDT-C", "AvgV-A", "collisions"
+    );
+    for (name, m) in rows {
+        println!(
+            "{:<18} {:>8.1} {:>8.2} {:>9.1} {:>9.2} {:>7}/{}",
+            name, m.avg_impact_events, m.avg_d_ca, m.avg_dt_c, m.avg_v_a, m.collisions, m.episodes
+        );
+    }
+    println!("\nLower Avg#-CA / AvgD-CA / AvgDT-C = less disturbance to following traffic.");
+}

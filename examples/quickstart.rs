@@ -1,0 +1,56 @@
+//! Quickstart: drive the highway environment with a rule-based baseline
+//! and with a (briefly trained) HEAD agent, and print the episode metrics.
+//!
+//! ```sh
+//! cargo run -p head --example quickstart --release
+//! ```
+
+use decision::{AgentConfig, BpDqn, LinearSchedule};
+use head::{
+    aggregate, evaluate_agent, run_episode, train_agent, DrivingAgent, EnvConfig, HighwayEnv,
+    IdmLc, PerceptionMode, PolicyAgent, RuleConfig,
+};
+
+fn main() {
+    // A short road keeps this example under a minute; swap in
+    // `EnvConfig::paper_scale()` for the paper's 3 km setting.
+    let cfg = EnvConfig::bench_scale();
+
+    // --- 1. A rule-based driver needs no training. ----------------------
+    let mut env = HighwayEnv::new(cfg.clone(), PerceptionMode::Persistence);
+    let mut idm = IdmLc::new(RuleConfig::default());
+    env.reset();
+    let metrics = run_episode(&mut env, &mut idm, false);
+    println!(
+        "IDM-LC: finished in {:.1} s at mean speed {:.1} m/s ({:?})",
+        metrics.driving_time, metrics.avg_v, metrics.terminal
+    );
+
+    // --- 2. HEAD: train a small BP-DQN for a handful of episodes. -------
+    // (A real run uses head::experiments::train_lstgat for perception and
+    // hundreds of episodes; this is just the API tour.)
+    let agent_cfg = AgentConfig {
+        warmup: 256,
+        update_every: 4,
+        epsilon: LinearSchedule::new(1.0, 0.1, 2_000),
+        noise: LinearSchedule::new(1.0, 0.2, 2_000),
+        ..AgentConfig::default()
+    };
+    let mut env = HighwayEnv::new(cfg.clone(), PerceptionMode::Persistence);
+    let mut headv = PolicyAgent::new("HEAD (mini)", Box::new(BpDqn::new(agent_cfg)));
+    let report = train_agent(&mut env, &mut headv, 40);
+    println!(
+        "{}: trained 40 episodes in {:.1} s, recent mean step reward {:+.3}",
+        headv.name(),
+        report.total_secs,
+        report.recent_mean_reward(10)
+    );
+
+    // --- 3. Greedy evaluation on paired seeds. ---------------------------
+    let eps = evaluate_agent(&mut env, &mut headv, 5, 9_000_000);
+    let agg = aggregate(cfg.sim.road_len, &eps);
+    println!(
+        "evaluation over {} episodes: AvgDT-A {:.1} s, AvgV-A {:.1} m/s, Avg#-CA {:.1}, collisions {}",
+        agg.episodes, agg.avg_dt_a, agg.avg_v_a, agg.avg_impact_events, agg.collisions
+    );
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Injects the recorded results/*.txt tables into EXPERIMENTS.md."""
+import pathlib
+
+root = pathlib.Path("/root/repo")
+doc = (root / "EXPERIMENTS.md").read_text()
+
+def block(name):
+    p = root / "results" / f"{name}.txt"
+    if not p.exists():
+        return "*(not recorded)*"
+    return "```text\n" + p.read_text().strip() + "\n```"
+
+doc = doc.replace("<!-- TABLE1 -->", block("table1"))
+doc = doc.replace("<!-- TABLE2 -->", block("table2"))
+doc = doc.replace("<!-- TABLE3_4 -->", block("table3_4"))
+doc = doc.replace("<!-- TABLE5_6 -->", block("table5_6"))
+doc = doc.replace("<!-- TABLE7 -->", block("table7"))
+(root / "EXPERIMENTS.md").write_text(doc)
+print("filled")

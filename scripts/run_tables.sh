@@ -1,0 +1,8 @@
+#!/bin/sh
+cd /root/repo
+./target/release/table3_4 --json results/table3_4.json > results/table3_4.txt 2>&1
+./target/release/table1 --episodes 1200 --json results/table1.json > results/table1.txt 2>&1
+./target/release/table5_6 --episodes 800 --json results/table5_6.json > results/table5_6.txt 2>&1
+./target/release/table2 --episodes 800 --json results/table2.json > results/table2.txt 2>&1
+./target/release/table7 --episodes 400 --eval 16 --json results/table7.json > results/table7.txt 2>&1
+touch results/ALL_DONE

@@ -1,0 +1,74 @@
+//! End-to-end tests: smoke-scale versions of the paper's experiment
+//! drivers — every table function must run and produce well-formed rows.
+
+use head::experiments::{
+    run_table1, run_table2, run_tables_3_4, run_tables_5_6, shaping_objective, Scale,
+};
+use head::EnvConfig;
+
+fn tiny() -> Scale {
+    let mut s = Scale::smoke();
+    s.train_episodes = 4;
+    s.eval_episodes = 2;
+    s.demo_episodes = 1;
+    s
+}
+
+#[test]
+fn table1_produces_all_five_methods() {
+    let report = run_table1(&tiny());
+    let names: Vec<&str> = report.rows.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["IDM-LC", "ACC-LC", "DRL-SC", "TP-BTS", "HEAD"]);
+    for (name, m) in &report.rows {
+        assert!(m.episodes > 0, "{name} evaluated no episodes");
+        assert!(m.avg_v_a > 0.0 && m.avg_v_a <= 25.0, "{name} AvgV-A {:.2}", m.avg_v_a);
+        assert!(m.avg_dt_a.is_finite() && m.avg_dt_c.is_finite());
+    }
+    // The report renders as a table.
+    let text = report.to_string();
+    assert!(text.contains("AvgDT-A") && text.contains("HEAD"));
+}
+
+#[test]
+fn table2_produces_all_variants() {
+    let report = run_table2(&tiny());
+    let names: Vec<&str> = report.rows.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"HEAD"));
+    assert!(names.contains(&"HEAD-w/o-PVC"));
+    assert!(names.contains(&"HEAD-w/o-LST-GAT"));
+    assert!(names.contains(&"HEAD-w/o-BP-DQN"));
+    assert!(names.contains(&"HEAD-w/o-IMP"));
+}
+
+#[test]
+fn tables_3_4_rank_all_predictors() {
+    let report = run_tables_3_4(&tiny());
+    assert_eq!(report.rows.len(), 4);
+    for row in &report.rows {
+        assert!(row.mae.is_finite() && row.mae >= 0.0, "{} MAE", row.name);
+        assert!((row.rmse * row.rmse - row.mse).abs() < 1e-9, "{} rmse^2 = mse", row.name);
+        assert!(row.avg_it_ms > 0.0);
+        assert!(row.tct_secs >= 0.0);
+    }
+}
+
+#[test]
+fn tables_5_6_rank_all_learners() {
+    let report = run_tables_5_6(&tiny());
+    let names: Vec<&str> = report.rows.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, vec!["P-QP", "P-DDPG", "P-DQN", "BP-DQN"]);
+    for row in &report.rows {
+        assert!(row.min_r <= row.avg_r && row.avg_r <= row.max_r, "{}", row.name);
+        assert!(row.avg_it_ms > 0.0);
+    }
+}
+
+#[test]
+fn shaping_objective_is_monotone_in_collisions() {
+    let env = EnvConfig::test_scale();
+    let mut base = head::AggregateMetrics { avg_v_a: 20.0, min_ttc_a: 4.0, episodes: 10, ..Default::default() };
+    let clean = shaping_objective(&env, &base);
+    base.collisions = 5;
+    let crashy = shaping_objective(&env, &base);
+    assert!(clean > crashy);
+}

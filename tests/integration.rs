@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: the full perception → decision loop,
+//! component interop, and determinism across the whole stack.
+
+use dataset::{generate_samples, CorpusConfig};
+use decision::{AgentConfig, AugmentedState, BpDqn, LaneBehaviour, PamdpAgent};
+use head::{
+    augmented_state, run_episode, EnvConfig, HighwayEnv, IdmLc, PerceptionMode, PolicyAgent,
+    RuleConfig, Terminal,
+};
+use perception::{
+    train, LstGat, LstGatConfig, Normalizer, StatePredictor, TrainOptions, NUM_TARGETS,
+};
+
+fn small_corpus(seed: u64) -> CorpusConfig {
+    CorpusConfig { windows: 15, egos_per_window: 3, warmup_steps: 50, seed, ..Default::default() }
+}
+
+#[test]
+fn corpus_to_predictor_to_env_pipeline() {
+    // dataset -> perception -> env: train LST-GAT briefly, plug it into an
+    // environment and drive one episode.
+    let samples = generate_samples(&small_corpus(1));
+    assert!(samples.len() >= 20);
+    let norm = Normalizer::paper_default();
+    let mut model = LstGat::new(LstGatConfig::default(), norm);
+    let report = train(
+        &mut model,
+        &samples,
+        &TrainOptions { epochs: 2, batch_size: 16, ..Default::default() },
+    );
+    assert!(report.epoch_losses[1] <= report.epoch_losses[0] * 1.5);
+
+    let mut env = HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::LstGat(Box::new(model)));
+    let mut agent = IdmLc::new(RuleConfig::default());
+    let metrics = run_episode(&mut env, &mut agent, false);
+    assert_eq!(metrics.terminal, Terminal::Destination);
+}
+
+#[test]
+fn trained_predictor_beats_untrained_in_the_loop() {
+    let samples = generate_samples(&small_corpus(2));
+    let norm = Normalizer::paper_default();
+    let untrained = LstGat::new(LstGatConfig::default(), norm);
+    let mut trained = LstGat::new(LstGatConfig::default(), norm);
+    train(&mut trained, &samples, &TrainOptions { epochs: 4, batch_size: 16, ..Default::default() });
+    let acc_untrained = perception::evaluate(&untrained, &samples, &norm);
+    let acc_trained = perception::evaluate(&trained, &samples, &norm);
+    assert!(
+        acc_trained.mae < acc_untrained.mae,
+        "training must reduce MAE: {} vs {}",
+        acc_trained.mae,
+        acc_untrained.mae
+    );
+}
+
+#[test]
+fn augmented_state_mirrors_graph_and_prediction() {
+    let env = HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
+    let p = env.percepts();
+    let s = augmented_state(&p.graph, &p.prediction);
+    assert_eq!(s, p.state);
+    for i in 0..NUM_TARGETS {
+        assert_eq!(s.future[i][1], p.prediction[i].d_lon);
+    }
+}
+
+#[test]
+fn learning_agent_trains_in_environment_smoke() {
+    let cfg = AgentConfig {
+        warmup: 64,
+        batch_size: 16,
+        update_every: 4,
+        epsilon: decision::LinearSchedule::new(0.8, 0.2, 500),
+        noise: decision::LinearSchedule::new(1.0, 0.3, 500),
+        ..AgentConfig::default()
+    };
+    let mut env = HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
+    let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(cfg)));
+    for _ in 0..6 {
+        env.reset();
+        let m = run_episode(&mut env, &mut agent, true);
+        assert!(m.steps > 0);
+        assert!(m.mean_reward.is_finite());
+    }
+}
+
+#[test]
+fn pamdp_state_flows_unchanged_through_the_stack() {
+    // The decision crate's zero state must be accepted by every learner.
+    let mut agent = BpDqn::new(AgentConfig::default());
+    let (action, params) = agent.act(&AugmentedState::zeros(), false);
+    assert!(action.accel.abs() <= 3.0);
+    assert!(params.iter().all(|p| p.is_finite()));
+    assert!(matches!(
+        action.behaviour,
+        LaneBehaviour::Left | LaneBehaviour::Right | LaneBehaviour::Keep
+    ));
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let samples = generate_samples(&small_corpus(5));
+        let norm = Normalizer::paper_default();
+        let mut model = LstGat::new(LstGatConfig::default(), norm);
+        train(
+            &mut model,
+            &samples,
+            &TrainOptions { epochs: 1, batch_size: 16, ..Default::default() },
+        );
+        let mut cfg = EnvConfig::test_scale();
+        cfg.seed = 99;
+        let mut env = HighwayEnv::new(cfg, PerceptionMode::LstGat(Box::new(model)));
+        let mut agent = IdmLc::new(RuleConfig::default());
+        let m = run_episode(&mut env, &mut agent, false);
+        (m.steps, m.mean_reward.to_bits(), m.avg_v.to_bits())
+    };
+    assert_eq!(run(), run());
+}
