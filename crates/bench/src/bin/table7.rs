@@ -3,7 +3,9 @@
 
 fn main() {
     let scale = bench::scale_from_args();
+    bench::init_telemetry("table7", &scale);
     let report = head::experiments::run_table7(&scale);
     println!("{report}");
     bench::maybe_write_json(&report);
+    bench::finish_telemetry();
 }

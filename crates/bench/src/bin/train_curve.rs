@@ -11,6 +11,7 @@ use perception::{LstGat, LstGatConfig};
 
 fn main() {
     let scale = bench::scale_from_args();
+    bench::init_telemetry("train_curve", &scale);
     let (weights, _, _) = train_lstgat(&scale);
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
     model.load_weights_json(&weights).unwrap();
@@ -31,4 +32,5 @@ fn main() {
     println!("eval: DT-A {:.1} DT-C {:.1} #CA {:.1} minTTC {:.2} V {:.2} J {:.2} D-CA {:.2} collisions {}/{}",
         agg.avg_dt_a, agg.avg_dt_c, agg.avg_impact_events, agg.min_ttc_a, agg.avg_v_a, agg.avg_j_a, agg.avg_d_ca,
         agg.collisions, agg.episodes);
+    bench::finish_telemetry();
 }

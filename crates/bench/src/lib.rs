@@ -37,3 +37,53 @@ pub fn maybe_write_json<T: serde::Serialize>(report: &T) {
         eprintln!("wrote {path}");
     }
 }
+
+/// Enables telemetry and installs a JSONL run recorder when requested via
+/// `--telemetry DIR` or the `TELEMETRY_DIR` environment variable. The sink
+/// is `DIR/<table>.telemetry.jsonl`; its first line is a run manifest
+/// embedding the resolved environment config, seed and episode budgets.
+/// Spans/metrics alone (no sink) can be switched on with `TELEMETRY=1`.
+/// Returns `true` when a recorder was installed.
+pub fn init_telemetry(table: &str, scale: &Scale) -> bool {
+    telemetry::init_from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let dir = flag_value(&args, "--telemetry").or_else(|| std::env::var("TELEMETRY_DIR").ok());
+    let Some(dir) = dir else { return false };
+    telemetry::set_enabled(true);
+    let path = std::path::Path::new(&dir).join(format!("{table}.telemetry.jsonl"));
+    match telemetry::RunRecorder::create(&path) {
+        Ok(rec) => {
+            // Re-encode the serde config through the telemetry Json type so
+            // the manifest embeds it structurally rather than as a string.
+            let config = serde_json::to_string(&scale.env)
+                .ok()
+                .and_then(|s| telemetry::Json::parse(&s).ok())
+                .unwrap_or(telemetry::Json::Null);
+            rec.write_manifest(vec![
+                ("table", telemetry::Json::from(table)),
+                ("seed", telemetry::Json::from(scale.env.seed)),
+                ("train_episodes", telemetry::Json::from(scale.train_episodes)),
+                ("eval_episodes", telemetry::Json::from(scale.eval_episodes)),
+                ("config", config),
+            ]);
+            telemetry::install_recorder(rec);
+            eprintln!("telemetry: recording to {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("telemetry: cannot create {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// Prints the hierarchical timing tree and the metrics report when
+/// telemetry is enabled, then drops the recorder so its file is flushed
+/// and closed before the process exits.
+pub fn finish_telemetry() {
+    if telemetry::enabled() {
+        println!("{}", telemetry::timing_report());
+        println!("{}", telemetry::metrics_report());
+    }
+    drop(telemetry::take_recorder());
+}

@@ -211,6 +211,7 @@ impl PamdpAgent for BpDqn {
         let mut chosen = argmax(&q);
         if explore {
             let eps = self.cfg.epsilon.value(self.act_steps);
+            telemetry::gauge_set("decision.epsilon", eps);
             if self.rng.random::<f64>() < eps {
                 chosen = crate::agents::random_behaviour(&mut self.rng, self.cfg.explore_keep_bias);
             }
@@ -241,8 +242,13 @@ impl PamdpAgent for BpDqn {
         {
             return None;
         }
+        let _learn_span = telemetry::span!("bpdqn.learn");
         self.since_learn = 0;
-        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let batch = {
+            let _sample_span = telemetry::span!("replay_sample");
+            self.replay.sample(self.cfg.batch_size, &mut self.rng)
+        };
+        telemetry::gauge_set("decision.replay_occupancy", self.replay.len() as f64);
         let n = batch.len();
         let a_max = self.cfg.a_max as f32;
 
@@ -324,6 +330,8 @@ impl PamdpAgent for BpDqn {
         self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
         self.x_target.soft_update_from(&self.x_store, self.cfg.tau);
 
+        telemetry::histogram_record("decision.q_loss", q_loss);
+        telemetry::histogram_record("decision.x_loss", x_loss);
         Some(LearnStats { q_loss, x_loss })
     }
 

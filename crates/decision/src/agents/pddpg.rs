@@ -140,8 +140,13 @@ impl PamdpAgent for PDdpg {
         {
             return None;
         }
+        let _learn_span = telemetry::span!("pddpg.learn");
         self.since_learn = 0;
-        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let batch = {
+            let _sample_span = telemetry::span!("replay_sample");
+            self.replay.sample(self.cfg.batch_size, &mut self.rng)
+        };
+        telemetry::gauge_set("decision.replay_occupancy", self.replay.len() as f64);
         let n = batch.len();
 
         let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
@@ -212,6 +217,8 @@ impl PamdpAgent for PDdpg {
         self.critic_target.soft_update_from(&self.critic_store, self.cfg.tau);
         self.actor_target.soft_update_from(&self.actor_store, self.cfg.tau);
 
+        telemetry::histogram_record("decision.q_loss", q_loss);
+        telemetry::histogram_record("decision.x_loss", x_loss);
         Some(LearnStats { q_loss, x_loss })
     }
 

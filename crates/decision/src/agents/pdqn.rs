@@ -116,8 +116,13 @@ impl PamdpAgent for PDqn {
         {
             return None;
         }
+        let _learn_span = telemetry::span!("pdqn.learn");
         self.since_learn = 0;
-        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let batch = {
+            let _sample_span = telemetry::span!("replay_sample");
+            self.replay.sample(self.cfg.batch_size, &mut self.rng)
+        };
+        telemetry::gauge_set("decision.replay_occupancy", self.replay.len() as f64);
         let n = batch.len();
         let a_max = self.cfg.a_max as f32;
 
@@ -193,6 +198,8 @@ impl PamdpAgent for PDqn {
         self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
         self.x_target.soft_update_from(&self.x_store, self.cfg.tau);
 
+        telemetry::histogram_record("decision.q_loss", q_loss);
+        telemetry::histogram_record("decision.x_loss", x_loss);
         Some(LearnStats { q_loss, x_loss })
     }
 

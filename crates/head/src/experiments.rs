@@ -124,9 +124,22 @@ impl Scale {
     }
 }
 
+/// Emits a training-phase-transition event to the run's JSONL sink (a
+/// no-op when no recorder is installed).
+fn phase(table: &str, name: &str) {
+    telemetry::emit_event(
+        "phase",
+        vec![
+            ("table", telemetry::Json::from(table)),
+            ("name", telemetry::Json::from(name)),
+        ],
+    );
+}
+
 /// Trains LST-GAT on the synthetic REAL corpus; returns the weight
 /// checkpoint, the corpus and the training report.
 pub fn train_lstgat(scale: &Scale) -> (String, RealCorpus, perception::TrainReport) {
+    let _span = telemetry::span!("head.train_lstgat");
     let corpus = RealCorpus::generate(&scale.corpus);
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
     let report = train_predictor(
@@ -193,11 +206,13 @@ impl fmt::Display for EndToEndReport {
 /// **Table I** — end-to-end comparison of IDM-LC, ACC-LC, DRL-SC, TP-BTS
 /// and HEAD.
 pub fn run_table1(scale: &Scale) -> EndToEndReport {
+    phase("table1", "train_lstgat");
     let (weights, _, _) = train_lstgat(scale);
     let mut rows = Vec::new();
 
     // Rule-based baselines need no training.
     {
+        phase("table1", "rule_baselines");
         let mut env =
             HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
         let mut agent = IdmLc::new(RuleConfig::default());
@@ -210,6 +225,7 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
 
     // DRL-SC: discrete DQN + safety check, no prediction.
     {
+        phase("table1", "drl_sc");
         let mut env =
             HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
         let mut agent = DrlSc::new(DiscreteDqn::new(scale.agent), SafetyCheck::default());
@@ -221,6 +237,7 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
 
     // TP-BTS: prediction + search, no training.
     {
+        phase("table1", "tp_bts");
         let mut env = lstgat_env(scale, &weights);
         let mut agent = TpBts::new(
             TpBtsConfig { dt: scale.env.sim.dt, v_max: scale.env.sim.v_max, ..TpBtsConfig::default() },
@@ -232,6 +249,7 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
 
     // HEAD: full framework.
     {
+        phase("table1", "head");
         let mut env = lstgat_env(scale, &weights);
         let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
         seed_demos(scale, &mut env, &mut agent);
@@ -245,12 +263,14 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
 
 /// **Table II** — ablation study over the HEAD variants.
 pub fn run_table2(scale: &Scale) -> EndToEndReport {
+    phase("table2", "train_lstgat");
     let (weights, _, _) = train_lstgat(scale);
     let norm = scale.normalizer();
     let mut rows = Vec::new();
     for variant in Variant::ALL {
         let (mut env, mut agent) =
             build_agent(variant, &scale.env, &scale.agent, Some(&weights), norm);
+        phase("table2", &agent.name());
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, scale.train_episodes);
         let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
@@ -304,6 +324,7 @@ impl fmt::Display for PredictionReport {
 
 /// **Tables III & IV** — accuracy and efficiency of the four predictors.
 pub fn run_tables_3_4(scale: &Scale) -> PredictionReport {
+    phase("table3_4", "generate_corpus");
     let corpus = RealCorpus::generate(&scale.corpus);
     let norm = scale.normalizer();
     let opts = TrainOptions {
@@ -319,6 +340,7 @@ pub fn run_tables_3_4(scale: &Scale) -> PredictionReport {
         Box::new(LstGat::new(LstGatConfig::default(), norm)),
     ];
     for model in models.iter_mut() {
+        phase("table3_4", model.name());
         let report = train_predictor(model.as_mut(), &corpus.train, &opts);
         let acc = evaluate_predictor(model.as_ref(), &corpus.test, &norm);
         let latency = mean_inference_ms(
@@ -384,6 +406,7 @@ impl fmt::Display for DecisionReport {
 /// **Tables V & VI** — the four PAMDP learners under identical training
 /// budgets, perception and reward.
 pub fn run_tables_5_6(scale: &Scale) -> DecisionReport {
+    phase("table5_6", "train_lstgat");
     let (weights, _, _) = train_lstgat(scale);
     let mut rows = Vec::new();
     let builders: Vec<(&str, Box<dyn Fn(AgentConfig) -> Box<dyn decision::PamdpAgent>>)> = vec![
@@ -393,6 +416,7 @@ pub fn run_tables_5_6(scale: &Scale) -> DecisionReport {
         ("BP-DQN", Box::new(|c| Box::new(BpDqn::new(c)))),
     ];
     for (name, build) in builders {
+        phase("table5_6", name);
         let mut env = lstgat_env(scale, &weights);
         let mut agent = PolicyAgent::new(name, build(scale.agent));
         seed_demos(scale, &mut env, &mut agent);
@@ -468,6 +492,7 @@ pub fn shaping_objective(env: &EnvConfig, m: &AggregateMetrics) -> f64 {
 /// coefficients (paper's ranges and steps), scoring each setting by
 /// [`shaping_objective`] after a short training run.
 pub fn run_table7(scale: &Scale) -> RewardSearchReport {
+    phase("table7", "train_lstgat");
     let (weights, _, _) = train_lstgat(scale);
     let norm = scale.normalizer();
     // (name, min, max, step) per the paper.
@@ -502,6 +527,7 @@ pub fn run_table7(scale: &Scale) -> RewardSearchReport {
     };
 
     for (ci, (name, lo, hi, step)) in ranges.iter().enumerate() {
+        phase("table7", name);
         let mut best_value = best[ci];
         let mut best_local = f64::NEG_INFINITY;
         let mut v = *lo;

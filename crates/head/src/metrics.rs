@@ -266,6 +266,56 @@ mod tests {
     }
 
     #[test]
+    fn aggregation_matches_hand_computed_two_episode_fixture() {
+        // Explicit EpisodeMetrics (no collector involved) so every expected
+        // value below is checkable by hand from the struct literals.
+        let e1 = EpisodeMetrics {
+            steps: 100,
+            terminal: Terminal::Destination,
+            driving_time: 50.0,
+            min_ttc: 4.0,
+            avg_v: 20.0,
+            avg_jerk: 0.4,
+            impact_events: 2,
+            avg_rear_decel: 0.10,
+            follower_mean_vel: 16.0,
+            mean_reward: 0.6,
+            total_reward: 60.0,
+        };
+        let e2 = EpisodeMetrics {
+            steps: 80,
+            terminal: Terminal::Collision,
+            driving_time: 40.0,
+            min_ttc: f64::INFINITY, // no TTC ever defined this episode
+            avg_v: 10.0,
+            avg_jerk: 0.8,
+            impact_events: 4,
+            avg_rear_decel: 0.30,
+            follower_mean_vel: 14.0,
+            mean_reward: -0.2,
+            total_reward: -16.0,
+        };
+        let agg = aggregate(400.0, &[e1, e2]);
+        // AvgDT-A: only the completed episode counts -> 50.0.
+        assert!((agg.avg_dt_a - 50.0).abs() < 1e-12);
+        // AvgDT-C: road / mean follower speed = 400 / 15.
+        assert!((agg.avg_dt_c - 400.0 / 15.0).abs() < 1e-12);
+        // Avg#-CA: (2 + 4) / 2.
+        assert!((agg.avg_impact_events - 3.0).abs() < 1e-12);
+        // MinTTC-A: averaged over episodes with a defined TTC -> 4.0.
+        assert!((agg.min_ttc_a - 4.0).abs() < 1e-12);
+        // AvgV-A: (20 + 10) / 2; AvgJ-A: (0.4 + 0.8) / 2; AvgD-CA mirrors.
+        assert!((agg.avg_v_a - 15.0).abs() < 1e-12);
+        assert!((agg.avg_j_a - 0.6).abs() < 1e-12);
+        assert!((agg.avg_d_ca - 0.2).abs() < 1e-12);
+        // Reward stats over mean_reward = {0.6, -0.2}.
+        assert!((agg.min_r - -0.2).abs() < 1e-12);
+        assert!((agg.max_r - 0.6).abs() < 1e-12);
+        assert!((agg.avg_r - 0.2).abs() < 1e-12);
+        assert_eq!((agg.episodes, agg.completed, agg.collisions), (2, 1, 1));
+    }
+
+    #[test]
     fn empty_aggregate_is_default() {
         let agg = aggregate(300.0, &[]);
         assert_eq!(agg.episodes, 0);

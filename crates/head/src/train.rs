@@ -8,11 +8,19 @@ use std::time::Instant;
 
 /// Runs one episode. `explore` enables exploration and learning feedback.
 pub fn run_episode(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, explore: bool) -> EpisodeMetrics {
+    let _episode_span = telemetry::span!("head.episode");
     let mut state = env.percepts().state;
     loop {
-        let action = agent.decide(env.percepts(), explore);
-        let result = env.step(action);
+        let action = {
+            let _decide_span = telemetry::span!("head.decide");
+            agent.decide(env.percepts(), explore)
+        };
+        let result = {
+            let _env_span = telemetry::span!("env.step");
+            env.step(action)
+        };
         if explore && agent.is_learning() {
+            let _feedback_span = telemetry::span!("head.feedback");
             agent.feedback(
                 &state,
                 action,
@@ -23,6 +31,23 @@ pub fn run_episode(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, explore: 
         }
         state = result.next_state;
         if let Some(metrics) = result.episode {
+            telemetry::counter_add("head.episodes", 1);
+            telemetry::histogram_record("head.episode_steps", metrics.steps as f64);
+            telemetry::emit_event(
+                "episode",
+                vec![
+                    ("episode", telemetry::Json::from(env.episode_index())),
+                    ("explore", telemetry::Json::from(explore)),
+                    ("agent", telemetry::Json::from(agent.name())),
+                    ("steps", telemetry::Json::from(metrics.steps)),
+                    ("terminal", telemetry::Json::from(format!("{:?}", metrics.terminal))),
+                    ("mean_reward", telemetry::Json::from(metrics.mean_reward)),
+                    ("total_reward", telemetry::Json::from(metrics.total_reward)),
+                    ("min_ttc", telemetry::Json::from(metrics.min_ttc)),
+                    ("avg_v", telemetry::Json::from(metrics.avg_v)),
+                    ("impact_events", telemetry::Json::from(metrics.impact_events)),
+                ],
+            );
             return metrics;
         }
     }
@@ -57,6 +82,7 @@ pub fn train_agent(
     agent: &mut dyn DrivingAgent,
     episodes: usize,
 ) -> TrainingReport {
+    let _train_span = telemetry::span!("head.train_agent");
     let started = Instant::now();
     let mut all = Vec::with_capacity(episodes);
     let mut best_window = f64::NEG_INFINITY;
@@ -103,6 +129,7 @@ pub fn seed_with_demonstrations(
     student: &mut dyn DrivingAgent,
     episodes: usize,
 ) {
+    let _seed_span = telemetry::span!("head.seed_demos");
     for _ in 0..episodes {
         env.reset();
         let mut state = env.percepts().state;
@@ -129,6 +156,7 @@ pub fn evaluate_agent(
     episodes: usize,
     eval_seed_base: u64,
 ) -> Vec<EpisodeMetrics> {
+    let _eval_span = telemetry::span!("head.evaluate");
     (0..episodes)
         .map(|k| {
             env.reset_with_seed(eval_seed_base.wrapping_add(k as u64));
@@ -138,25 +166,36 @@ pub fn evaluate_agent(
 }
 
 /// Measures the agent's mean decision latency (ms per `decide` call).
+///
+/// Timing goes through the telemetry span registry — the same `head.decide`
+/// spans every episode records — instead of a private stopwatch, so the
+/// table number and the timing tree can never disagree. Telemetry is
+/// force-enabled for the measurement and restored afterwards.
 pub fn mean_decision_ms(
     env: &mut HighwayEnv,
     agent: &mut dyn DrivingAgent,
     steps: usize,
 ) -> f64 {
     env.reset_with_seed(424242);
+    let was_enabled = telemetry::set_enabled(true);
+    let before = telemetry::span_stats("head.decide");
     let mut calls = 0usize;
-    let mut decide_time = std::time::Duration::ZERO;
     for _ in 0..steps {
-        let t0 = Instant::now();
-        let action = agent.decide(env.percepts(), false);
-        decide_time += t0.elapsed();
+        let action = {
+            let _decide_span = telemetry::span!("head.decide");
+            agent.decide(env.percepts(), false)
+        };
         calls += 1;
         let r = env.step(action);
         if r.terminal != Terminal::None {
             env.reset_with_seed(424242 + calls as u64);
         }
     }
-    decide_time.as_secs_f64() * 1e3 / calls.max(1) as f64
+    telemetry::set_enabled(was_enabled);
+    let after = telemetry::span_stats("head.decide");
+    let count = after.count.saturating_sub(before.count).max(1);
+    let delta_ns = after.total_ns.saturating_sub(before.total_ns);
+    delta_ns as f64 / 1e6 / count as f64
 }
 
 #[cfg(test)]
@@ -193,7 +232,11 @@ mod tests {
     fn decision_latency_positive() {
         let mut env = crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
         let mut agent = IdmLc::new(RuleConfig::default());
+        let before = telemetry::span_stats("head.decide").count;
         let ms = mean_decision_ms(&mut env, &mut agent, 20);
         assert!(ms >= 0.0);
+        // The measurement goes through the shared span registry.
+        let after = telemetry::span_stats("head.decide").count;
+        assert!(after >= before + 20, "span registry saw the decide calls");
     }
 }

@@ -11,7 +11,9 @@
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
+use std::collections::HashMap;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,16 +51,77 @@ struct Node {
     value: Matrix,
 }
 
+/// The stable label used in telemetry counter names for one op variant.
+fn op_kind(op: &Op) -> &'static str {
+    match op {
+        Op::Input => "input",
+        Op::Param(_) => "param",
+        Op::MatMul(..) => "matmul",
+        Op::Add(..) => "add",
+        Op::AddBroadcastRow(..) => "add_broadcast_row",
+        Op::Sub(..) => "sub",
+        Op::MulElem(..) => "mul_elem",
+        Op::MulBroadcastCol(..) => "mul_broadcast_col",
+        Op::Scale(..) => "scale",
+        Op::AddScalar(_) => "add_scalar",
+        Op::Relu(_) => "relu",
+        Op::LeakyRelu(..) => "leaky_relu",
+        Op::Tanh(_) => "tanh",
+        Op::Sigmoid(_) => "sigmoid",
+        Op::SoftmaxRows(_) => "softmax_rows",
+        Op::GatherRows(..) => "gather_rows",
+        Op::SumGroups(..) => "sum_groups",
+        Op::Reshape(_) => "reshape",
+        Op::Transpose(_) => "transpose",
+        Op::ConcatCols(..) => "concat_cols",
+        Op::ConcatRows(..) => "concat_rows",
+        Op::SumAll(_) => "sum_all",
+        Op::MeanAll(_) => "mean_all",
+    }
+}
+
+/// Per-op-kind `(calls, ns)` aggregates for one tape's lifetime, only
+/// allocated when telemetry is enabled at [`Graph::new`] time so the
+/// disabled path stays a `None` check per op.
+struct OpTimes {
+    /// Rolling timestamp: forward time between consecutive `push()` calls
+    /// is attributed to the op being pushed (each builder computes its
+    /// value immediately before pushing, so the delta is dominated by that
+    /// op's own compute).
+    mark: Instant,
+    fwd: HashMap<&'static str, (u64, u64)>,
+    bwd: HashMap<&'static str, (u64, u64)>,
+}
+
 /// A single-use computation tape.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    timing: Option<Box<OpTimes>>,
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        // Flush per-op aggregates into global telemetry counters. Formatting
+        // ~20 names per tape is noise next to the matrix work the tape did.
+        let Some(t) = self.timing.take() else { return };
+        for (prefix, map) in [("nn.fwd", &t.fwd), ("nn.bwd", &t.bwd)] {
+            for (kind, &(calls, ns)) in map {
+                telemetry::counter_add(&format!("{prefix}.{kind}.calls"), calls);
+                telemetry::counter_add(&format!("{prefix}.{kind}.ns"), ns);
+            }
+        }
+    }
 }
 
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph. Per-op timing is captured for this tape's
+    /// whole lifetime iff telemetry is enabled now.
     pub fn new() -> Self {
-        Self::default()
+        let timing = telemetry::enabled().then(|| {
+            Box::new(OpTimes { mark: Instant::now(), fwd: HashMap::new(), bwd: HashMap::new() })
+        });
+        Self { nodes: Vec::new(), timing }
     }
 
     /// Number of nodes recorded so far.
@@ -72,6 +135,14 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
+        if let Some(t) = &mut self.timing {
+            let now = Instant::now();
+            let ns = now.duration_since(t.mark).as_nanos() as u64;
+            let e = t.fwd.entry(op_kind(&op)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += ns;
+            t.mark = now;
+        }
         self.nodes.push(Node { op, value });
         Var(self.nodes.len() - 1)
     }
@@ -312,6 +383,8 @@ impl Graph {
             // Re-insert so callers can inspect grads of intermediate nodes if
             // this ever becomes useful; cheap because matrices are small.
             let op = self.nodes[i].op.clone();
+            let kind = op_kind(&op);
+            let t0 = self.timing.as_ref().map(|_| Instant::now());
             match op {
                 Op::Input => {}
                 Op::Param(id) => store.accumulate_grad(id, &g),
@@ -459,6 +532,11 @@ impl Graph {
                     accumulate(&mut grads, a.0, Matrix::full(r, c, s));
                 }
             }
+            if let (Some(t0), Some(t)) = (t0, &mut self.timing) {
+                let e = t.bwd.entry(kind).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += t0.elapsed().as_nanos() as u64;
+            }
         }
         loss_value
     }
@@ -603,6 +681,24 @@ mod tests {
         let loss = g.sum_all(y);
         g.backward(loss, &mut store);
         assert_eq!(store.get(p).grad, Matrix::row(&[2.0]));
+    }
+
+    #[test]
+    fn op_timing_flows_into_telemetry_counters() {
+        let was = telemetry::set_enabled(true);
+        {
+            let mut store = ParamStore::new();
+            let mut g = Graph::new();
+            let x = g.input(Matrix::row(&[1.0, 2.0]));
+            let w = g.input(Matrix::from_rows(&[&[1.0], &[1.0]]));
+            let y = g.matmul(x, w);
+            let loss = g.sum_all(y);
+            g.backward(loss, &mut store);
+        } // dropping the tape flushes its per-op aggregates
+        telemetry::set_enabled(was);
+        assert!(telemetry::counter_value("nn.fwd.matmul.calls") >= 1);
+        assert!(telemetry::counter_value("nn.bwd.matmul.calls") >= 1);
+        assert!(telemetry::counter_value("nn.bwd.sum_all.calls") >= 1);
     }
 
     #[test]

@@ -48,18 +48,23 @@ pub fn train(
     samples: &[TrainSample],
     opts: &TrainOptions,
 ) -> TrainReport {
+    let _train_span = telemetry::span!("perception.train");
     let mut rng = ChaCha12Rng::seed_from_u64(opts.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let started = Instant::now();
     let mut epoch_losses = Vec::with_capacity(opts.epochs);
     let mut convergence_secs = None;
-    for _epoch in 0..opts.epochs {
+    for epoch in 0..opts.epochs {
+        let _epoch_span = telemetry::span!("epoch");
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(opts.batch_size) {
+            let _batch_span = telemetry::span!("train_batch");
             let batch: Vec<TrainSample> = chunk.iter().map(|&i| samples[i].clone()).collect();
-            epoch_loss += model.train_batch(&batch);
+            let batch_loss = model.train_batch(&batch);
+            telemetry::histogram_record("perception.batch_loss", batch_loss);
+            epoch_loss += batch_loss;
             batches += 1;
         }
         let mean = epoch_loss / batches.max(1) as f64;
@@ -70,6 +75,14 @@ pub fn train(
                 }
             }
         }
+        telemetry::gauge_set("perception.epoch_loss", mean);
+        telemetry::emit_event(
+            "perception_epoch",
+            vec![
+                ("epoch", telemetry::Json::from(epoch)),
+                ("mean_loss", telemetry::Json::from(mean)),
+            ],
+        );
         epoch_losses.push(mean);
     }
     let total_secs = started.elapsed().as_secs_f64();
@@ -101,6 +114,7 @@ pub fn evaluate(
     samples: &[TrainSample],
     norm: &crate::normalize::Normalizer,
 ) -> EvalMetrics {
+    let _eval_span = telemetry::span!("perception.evaluate");
     let mut abs_sum = 0.0;
     let mut sq_sum = 0.0;
     let mut count = 0usize;

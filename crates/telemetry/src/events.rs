@@ -1,0 +1,208 @@
+//! The structured JSONL event sink.
+//!
+//! A [`RunRecorder`] owns one append-only `.jsonl` file. The first line is
+//! a *run manifest* (binary, argv, unix timestamp, git revision, embedded
+//! config); every later line is one event object with a `kind` tag and a
+//! `t_ms` offset from recorder creation. Lines are flushed as they are
+//! written so a crashed run still leaves a readable prefix.
+//!
+//! Table binaries install one global recorder ([`install_recorder`]); the
+//! library crates then publish events through [`emit_event`] without
+//! threading a handle through every signature. Events are gated on the
+//! *recorder being installed*, not on the span/metrics enabled flag, so a
+//! run can keep JSONL records while leaving the hot-path timers off.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+
+/// Append-only JSONL writer for one run's events.
+pub struct RunRecorder {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    started: Instant,
+}
+
+impl RunRecorder {
+    /// Creates (truncating) the JSONL file at `path`, making parent
+    /// directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<RunRecorder> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(RunRecorder {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            started: Instant::now(),
+        })
+    }
+
+    /// Where this recorder writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_line(&self, value: &Json) {
+        let mut w = match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Telemetry must never take the run down: IO errors are swallowed.
+        let _ = writeln!(w, "{value}");
+        let _ = w.flush();
+    }
+
+    /// Writes the run manifest line: binary + argv, wall-clock unix
+    /// timestamp, git revision (when available) and any caller-provided
+    /// `extra` fields (config, seed, scale, ...).
+    pub fn write_manifest(&self, extra: Vec<(&str, Json)>) {
+        let argv: Vec<Json> = std::env::args().map(Json::from).collect();
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("kind".to_string(), Json::from("manifest")),
+            ("unix_ms".to_string(), Json::from(unix_ms)),
+            ("argv".to_string(), Json::Arr(argv)),
+            (
+                "git_rev".to_string(),
+                git_rev().map(Json::from).unwrap_or(Json::Null),
+            ),
+        ];
+        for (k, v) in extra {
+            pairs.push((k.to_string(), v));
+        }
+        self.write_line(&Json::Obj(pairs));
+    }
+
+    /// Appends one event line: `{"kind": <kind>, "t_ms": <offset>, ...fields}`.
+    pub fn event(&self, kind: &str, fields: Vec<(&str, Json)>) {
+        let t_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("kind".to_string(), Json::from(kind)),
+            ("t_ms".to_string(), Json::Num(t_ms)),
+        ];
+        for (k, v) in fields {
+            pairs.push((k.to_string(), v));
+        }
+        self.write_line(&Json::Obj(pairs));
+    }
+}
+
+/// Short git revision of the working tree, when `git` is available and the
+/// process runs inside a repository.
+pub fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev)
+    }
+}
+
+fn global() -> MutexGuard<'static, Option<RunRecorder>> {
+    static RECORDER: OnceLock<Mutex<Option<RunRecorder>>> = OnceLock::new();
+    match RECORDER.get_or_init(|| Mutex::new(None)).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs `rec` as the process-wide recorder used by [`emit_event`],
+/// returning the previously installed one, if any.
+pub fn install_recorder(rec: RunRecorder) -> Option<RunRecorder> {
+    global().replace(rec)
+}
+
+/// Removes and returns the process-wide recorder.
+pub fn take_recorder() -> Option<RunRecorder> {
+    global().take()
+}
+
+/// Path of the currently installed recorder, if any.
+pub fn recorder_path() -> Option<PathBuf> {
+    global().as_ref().map(|r| r.path().to_path_buf())
+}
+
+/// Appends an event through the process-wide recorder; a silent no-op when
+/// none is installed, so library crates can emit unconditionally.
+pub fn emit_event(kind: &str, fields: Vec<(&str, Json)>) {
+    if let Some(rec) = global().as_ref() {
+        rec.event(kind, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let unique = format!(
+            "telemetry_{tag}_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        );
+        std::env::temp_dir().join(unique)
+    }
+
+    #[test]
+    fn manifest_and_events_are_valid_jsonl() {
+        let path = temp_path("events");
+        let rec = RunRecorder::create(&path).expect("create recorder");
+        rec.write_manifest(vec![("seed", Json::from(7u64))]);
+        rec.event("phase", vec![("name", Json::from("warmup"))]);
+        drop(rec);
+
+        let text = fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let manifest = Json::parse(lines[0]).expect("manifest parses");
+        assert_eq!(manifest.get("kind").and_then(Json::as_str), Some("manifest"));
+        assert_eq!(manifest.get("seed").and_then(Json::as_f64), Some(7.0));
+        assert!(manifest.get("unix_ms").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        let ev = Json::parse(lines[1]).expect("event parses");
+        assert_eq!(ev.get("kind").and_then(Json::as_str), Some("phase"));
+        assert_eq!(ev.get("name").and_then(Json::as_str), Some("warmup"));
+        assert!(ev.get("t_ms").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn global_recorder_install_take_roundtrip() {
+        let _l = crate::test_lock::hold();
+        let path = temp_path("global");
+        // No recorder installed: emit is a no-op.
+        let _ = take_recorder();
+        emit_event("noop", vec![]);
+        assert!(recorder_path().is_none());
+
+        let rec = RunRecorder::create(&path).expect("create recorder");
+        assert!(install_recorder(rec).is_none());
+        assert_eq!(recorder_path().as_deref(), Some(path.as_path()));
+        emit_event("episode", vec![("reward", Json::from(1.5))]);
+        let rec = take_recorder().expect("still installed");
+        drop(rec);
+
+        let text = fs::read_to_string(&path).expect("read back");
+        let ev = Json::parse(text.lines().next().expect("one line")).expect("parses");
+        assert_eq!(ev.get("kind").and_then(Json::as_str), Some("episode"));
+        assert_eq!(ev.get("reward").and_then(Json::as_f64), Some(1.5));
+        let _ = fs::remove_file(&path);
+    }
+}

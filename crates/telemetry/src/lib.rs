@@ -1,0 +1,117 @@
+//! # telemetry — zero-dependency observability for the HEAD stack
+//!
+//! Three pillars, all behind one global on/off switch so instrumented hot
+//! paths cost a single relaxed atomic load when telemetry is disabled:
+//!
+//! * **Spans** ([`SpanGuard`], the [`span!`] macro) — scoped wall-clock
+//!   timers that nest via a thread-local stack and aggregate into a global
+//!   registry, printable as a flamegraph-style tree ([`timing_report`]).
+//! * **Metrics** — named [`counter_add`] / [`gauge_set`] /
+//!   [`histogram_record`] with log-scale histogram buckets and
+//!   p50/p95/p99 extraction ([`metrics_report`]).
+//! * **Events** — a structured JSONL sink ([`RunRecorder`]) for episode
+//!   records, training-phase transitions and a run manifest (config, seed,
+//!   git revision), written under `results/` by the table binaries so every
+//!   run is a replayable artifact instead of a flat log.
+//!
+//! The crate is deliberately dependency-free (hand-rolled [`Json`]
+//! encoder/parser included) so it builds even when the crates-io registry
+//! is unreachable — see README §Reproducibility.
+//!
+//! ## Usage
+//!
+//! ```
+//! telemetry::set_enabled(true);
+//! {
+//!     let _outer = telemetry::span!("sim.step");
+//!     let _inner = telemetry::span!("car_following");
+//!     telemetry::counter_add("sim.collisions", 1);
+//!     telemetry::histogram_record("decision.q_loss", 0.02);
+//! }
+//! println!("{}", telemetry::timing_report());
+//! ```
+
+mod events;
+mod json;
+mod metrics;
+mod span;
+
+pub use events::{
+    emit_event, git_rev, install_recorder, recorder_path, take_recorder, RunRecorder,
+};
+pub use json::Json;
+pub use metrics::{
+    counter_add, counter_value, gauge_set, gauge_value, histogram_record, histogram_snapshot,
+    metrics_report, reset_metrics, HistogramSnapshot,
+};
+pub use span::{reset_spans, span_snapshot, span_stats, timing_report, SpanGuard, SpanStat};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when telemetry collection is switched on.
+///
+/// All recording entry points check this first; the disabled path is one
+/// relaxed atomic load and a branch, cheap enough for per-step and per-op
+/// call sites.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Switches telemetry collection on or off. Returns the previous state.
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// Enables telemetry when the `TELEMETRY` environment variable is set to
+/// `1`, `true` or `on`. Returns the resulting enabled state.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("TELEMETRY") {
+        if matches!(v.as_str(), "1" | "true" | "on") {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+/// Starts a scoped span timer; expands to a [`SpanGuard`] that must be
+/// bound to a local (`let _g = telemetry::span!("sim.step");`) so it lives
+/// to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::new($name)
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Tests toggling the global enabled flag or reading global registries
+    /// serialise on this lock so parallel test threads don't race.
+    pub fn hold() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_roundtrip() {
+        let _l = test_lock::hold();
+        let was = set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(was);
+    }
+}

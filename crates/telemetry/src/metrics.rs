@@ -1,0 +1,318 @@
+//! The metrics registry: named counters, gauges and log-scale histograms.
+//!
+//! Histograms use geometric buckets — [`BUCKETS_PER_OCTAVE`] buckets per
+//! factor-of-two — so any positive value is represented with a bounded
+//! relative error (≤ `2^(1/(2·BUCKETS_PER_OCTAVE))` ≈ 4.4%) across ~27
+//! decades, which is plenty for everything from nanosecond op timings to
+//! multi-hour training runs. Quantiles are read from the bucket where the
+//! cumulative count crosses the requested rank, then clamped to the exact
+//! observed `[min, max]` so degenerate distributions stay exact.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Geometric resolution: buckets per factor of two.
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+/// Lower edge of the first bucket; values at or below it share bucket 0.
+const LO: f64 = 1e-9;
+/// Hard cap on bucket count (bucket index for ~1e18 is ~718).
+const MAX_BUCKETS: usize = 1024;
+
+fn bucket_index(v: f64) -> usize {
+    if !(v > LO) {
+        return 0;
+    }
+    let idx = 1 + ((v / LO).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
+    idx.min(MAX_BUCKETS - 1)
+}
+
+/// Geometric midpoint of bucket `i`'s bounds — its representative value.
+fn bucket_repr(i: usize) -> f64 {
+    if i == 0 {
+        LO
+    } else {
+        LO * 2f64.powf((i as f64 - 0.5) / BUCKETS_PER_OCTAVE)
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = bucket_index(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+}
+
+/// Read-only copy of one histogram's state.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: f64,
+    /// Exact minimum recorded value.
+    pub min: f64,
+    /// Exact maximum recorded value.
+    pub max: f64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of recorded values (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`), within the log-bucket
+    /// relative-error bound and clamped to the observed `[min, max]`.
+    /// NaN when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_repr(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Default)]
+struct Metrics {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, Histogram>,
+}
+
+fn registry() -> MutexGuard<'static, Metrics> {
+    static METRICS: OnceLock<Mutex<Metrics>> = OnceLock::new();
+    match METRICS.get_or_init(|| Mutex::new(Metrics::default())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Adds `delta` to the named counter (no-op while telemetry is disabled).
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    *registry().counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Current value of a counter (0 when never touched).
+pub fn counter_value(name: &str) -> u64 {
+    registry().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Sets the named gauge to `v` (no-op while telemetry is disabled).
+pub fn gauge_set(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    registry().gauges.insert(name.to_string(), v);
+}
+
+/// Last value written to a gauge.
+pub fn gauge_value(name: &str) -> Option<f64> {
+    registry().gauges.get(name).copied()
+}
+
+/// Records `v` into the named log-scale histogram (no-op while telemetry
+/// is disabled).
+pub fn histogram_record(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    registry().histograms.entry(name.to_string()).or_default().record(v);
+}
+
+/// Snapshot of the named histogram, if it has ever been written.
+pub fn histogram_snapshot(name: &str) -> Option<HistogramSnapshot> {
+    registry().histograms.get(name).map(|h| HistogramSnapshot {
+        count: h.count,
+        sum: h.sum,
+        min: h.min,
+        max: h.max,
+        buckets: h.buckets.clone(),
+    })
+}
+
+/// Clears every counter, gauge and histogram (for tests and fresh runs).
+pub fn reset_metrics() {
+    let mut reg = registry();
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+}
+
+/// Renders all registered metrics, sorted by name within each section.
+pub fn metrics_report() -> String {
+    let reg = registry();
+    let mut out = String::from("=== telemetry: metrics ===\n");
+    if !reg.counters.is_empty() {
+        out.push_str("counters:\n");
+        let mut names: Vec<&String> = reg.counters.keys().collect();
+        names.sort();
+        for n in names {
+            let _ = writeln!(out, "  {n:<40} {:>14}", reg.counters[n]);
+        }
+    }
+    if !reg.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let mut names: Vec<&String> = reg.gauges.keys().collect();
+        names.sort();
+        for n in names {
+            let _ = writeln!(out, "  {n:<40} {:>14.6}", reg.gauges[n]);
+        }
+    }
+    if !reg.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "histograms:{:<31} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        let mut names: Vec<&String> = reg.histograms.keys().collect();
+        names.sort();
+        for n in names {
+            let h = &reg.histograms[n];
+            let snap = HistogramSnapshot {
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+                buckets: h.buckets.clone(),
+            };
+            let _ = writeln!(
+                out,
+                "  {n:<40} {:>10} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                snap.count,
+                snap.mean(),
+                snap.quantile(0.50),
+                snap.quantile(0.95),
+                snap.quantile(0.99),
+                snap.max,
+            );
+        }
+    }
+    if reg.counters.is_empty() && reg.gauges.is_empty() && reg.histograms.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn counters_and_gauges_roundtrip_and_respect_enabled() {
+        let _l = test_lock::hold();
+        let was = crate::set_enabled(false);
+        counter_add("test.m.disabled", 5);
+        assert_eq!(counter_value("test.m.disabled"), 0);
+        crate::set_enabled(true);
+        counter_add("test.m.counter", 2);
+        counter_add("test.m.counter", 3);
+        gauge_set("test.m.gauge", 0.25);
+        crate::set_enabled(was);
+        assert_eq!(counter_value("test.m.counter"), 5);
+        assert_eq!(gauge_value("test.m.gauge"), Some(0.25));
+    }
+
+    #[test]
+    fn log_bucket_bounds_hold_the_relative_error_guarantee() {
+        // Every positive value's bucket representative is within the
+        // documented half-bucket geometric error of the value itself.
+        let max_ratio = 2f64.powf(1.0 / (2.0 * BUCKETS_PER_OCTAVE)) + 1e-12;
+        for &v in &[1.5e-9, 1e-6, 0.012, 1.0, 123.456, 9.87e4, 3.3e9] {
+            let repr = bucket_repr(bucket_index(v));
+            let ratio = if repr > v { repr / v } else { v / repr };
+            assert!(
+                ratio <= max_ratio,
+                "value {v}: repr {repr} off by factor {ratio} > {max_ratio}"
+            );
+        }
+        // At or below the floor everything shares bucket 0.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(LO), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_correct_within_bucket_error() {
+        let _l = test_lock::hold();
+        let was = crate::set_enabled(true);
+        for i in 1..=1000 {
+            histogram_record("test.m.hist", i as f64);
+        }
+        crate::set_enabled(was);
+        let h = histogram_snapshot("test.m.hist").expect("recorded");
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean() - 500.5).abs() < 1e-9, "mean is exact: {}", h.mean());
+        for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            let rel = (got - exact).abs() / exact;
+            assert!(rel < 0.05, "p{:.0} = {got}, want ~{exact} (rel err {rel:.3})", q * 100.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_histograms_are_exact() {
+        let _l = test_lock::hold();
+        let was = crate::set_enabled(true);
+        histogram_record("test.m.single", 123.456);
+        crate::set_enabled(was);
+        let h = histogram_snapshot("test.m.single").expect("recorded");
+        // min == max clamp makes every quantile exact.
+        assert_eq!(h.quantile(0.5), 123.456);
+        assert_eq!(h.quantile(0.99), 123.456);
+        assert!(histogram_snapshot("test.m.never").is_none());
+    }
+
+    #[test]
+    fn report_lists_all_sections() {
+        let _l = test_lock::hold();
+        let was = crate::set_enabled(true);
+        counter_add("test.m.rep_counter", 1);
+        gauge_set("test.m.rep_gauge", 2.0);
+        histogram_record("test.m.rep_hist", 3.0);
+        crate::set_enabled(was);
+        let rep = metrics_report();
+        for needle in ["test.m.rep_counter", "test.m.rep_gauge", "test.m.rep_hist", "p95"] {
+            assert!(rep.contains(needle), "missing {needle} in:\n{rep}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Scoped span timers with hierarchical aggregation.
+//!
+//! A [`SpanGuard`] pushes its name onto a thread-local stack on creation
+//! and, on drop, records its elapsed wall-clock under the full
+//! `outer/inner/...` path in a global registry. Guards are strictly
+//! scope-nested (LIFO), which the borrow checker enforces for the usual
+//! `let _g = span!(...)` pattern. When telemetry is disabled the guard is
+//! an empty struct and construction is one atomic load.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Aggregated statistics of one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock across all completions, nanoseconds.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Total wall-clock, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mean duration per completion, nanoseconds (0 when never completed).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+fn registry() -> MutexGuard<'static, HashMap<String, SpanStat>> {
+    static SPANS: OnceLock<Mutex<HashMap<String, SpanStat>>> = OnceLock::new();
+    match SPANS.get_or_init(|| Mutex::new(HashMap::new())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scoped wall-clock timer; see the module docs and the
+/// [`span!`](crate::span!) macro.
+pub struct SpanGuard {
+    /// `Some` only when telemetry was enabled at construction — exactly the
+    /// guards that pushed onto the thread-local stack and must pop it.
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts a span named `name` (a no-op when telemetry is disabled).
+    pub fn new(name: &'static str) -> Self {
+        if !crate::enabled() {
+            return Self { start: None };
+        }
+        STACK.with(|s| s.borrow_mut().push(name));
+        Self { start: Some(Instant::now()) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else { return };
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut reg = registry();
+        let stat = reg.entry(path).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+    }
+}
+
+/// Aggregated stats for every span whose *leaf* name is `name`, summed
+/// across all paths it appears under (e.g. `head.decide` both at top level
+/// and nested under `head.train_agent`).
+pub fn span_stats(name: &str) -> SpanStat {
+    let reg = registry();
+    let mut total = SpanStat::default();
+    for (path, stat) in reg.iter() {
+        if path.rsplit('/').next() == Some(name) {
+            total.count += stat.count;
+            total.total_ns += stat.total_ns;
+        }
+    }
+    total
+}
+
+/// Snapshot of all recorded `(path, stats)` pairs, sorted by path.
+pub fn span_snapshot() -> Vec<(String, SpanStat)> {
+    let mut all: Vec<(String, SpanStat)> = registry().iter().map(|(k, v)| (k.clone(), *v)).collect();
+    all.sort_by(|a, b| a.0.cmp(&b.0));
+    all
+}
+
+/// Clears all recorded span statistics (for tests and fresh runs).
+pub fn reset_spans() {
+    registry().clear();
+}
+
+fn fmt_duration(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Renders the flamegraph-style timing tree: every span path indented
+/// under its parent, with call count, total wall-clock, mean duration and
+/// share of the parent's total. Children are sorted by total descending.
+pub fn timing_report() -> String {
+    let snapshot = span_snapshot();
+    let mut out = String::from("=== telemetry: timing tree ===\n");
+    if snapshot.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    // Group by parent path ("" for roots).
+    let mut children: HashMap<&str, Vec<(&str, &str, SpanStat)>> = HashMap::new();
+    for (path, stat) in &snapshot {
+        let (parent, leaf) = match path.rfind('/') {
+            Some(i) => (&path[..i], &path[i + 1..]),
+            None => ("", path.as_str()),
+        };
+        children.entry(parent).or_default().push((path.as_str(), leaf, *stat));
+    }
+    for list in children.values_mut() {
+        list.sort_by(|a, b| b.2.total_ns.cmp(&a.2.total_ns).then(a.1.cmp(b.1)));
+    }
+    fn render(
+        out: &mut String,
+        children: &HashMap<&str, Vec<(&str, &str, SpanStat)>>,
+        parent_path: &str,
+        parent_total: Option<u64>,
+        depth: usize,
+    ) {
+        let Some(list) = children.get(parent_path) else { return };
+        for (path, leaf, stat) in list {
+            let label = format!("{}{}", "  ".repeat(depth), leaf);
+            let share = match parent_total {
+                Some(p) if p > 0 => format!("  {:4.1}%", 100.0 * stat.total_ns as f64 / p as f64),
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{label:<38} {:>10} calls  total {:>10}  mean {:>10}{share}",
+                stat.count,
+                fmt_duration(stat.total_ns as f64),
+                fmt_duration(stat.mean_ns()),
+            );
+            render(out, children, path, Some(stat.total_ns), depth + 1);
+        }
+    }
+    render(&mut out, &children, "", None, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = test_lock::hold();
+        let was = crate::set_enabled(false);
+        {
+            let _g = crate::span!("test.disabled_span");
+        }
+        assert_eq!(span_stats("test.disabled_span").count, 0);
+        crate::set_enabled(was);
+    }
+
+    #[test]
+    fn nesting_builds_paths_and_aggregates() {
+        let _l = test_lock::hold();
+        let was = crate::set_enabled(true);
+        {
+            let _outer = crate::span!("test.outer");
+            for _ in 0..3 {
+                let _inner = crate::span!("test.inner");
+                std::hint::black_box(2 + 2);
+            }
+        }
+        {
+            // The same leaf name at top level lands on a different path.
+            let _inner = crate::span!("test.inner");
+        }
+        crate::set_enabled(was);
+
+        let paths: Vec<String> = span_snapshot().into_iter().map(|(p, _)| p).collect();
+        assert!(paths.iter().any(|p| p == "test.outer"), "missing root path in {paths:?}");
+        assert!(
+            paths.iter().any(|p| p == "test.outer/test.inner"),
+            "missing nested path in {paths:?}"
+        );
+        assert!(paths.iter().any(|p| p == "test.inner"), "missing top-level path in {paths:?}");
+
+        let outer = span_stats("test.outer");
+        assert_eq!(outer.count, 1);
+        // Leaf lookup sums the nested (3) and top-level (1) occurrences.
+        let inner = span_stats("test.inner");
+        assert_eq!(inner.count, 4);
+        // A parent's total covers its children's.
+        assert!(outer.total_ns >= span_snapshot().iter().find(|(p, _)| p == "test.outer/test.inner").unwrap().1.total_ns);
+    }
+
+    #[test]
+    fn timing_report_renders_tree() {
+        let _l = test_lock::hold();
+        let was = crate::set_enabled(true);
+        {
+            let _a = crate::span!("test.report_root");
+            let _b = crate::span!("test.report_leaf");
+        }
+        crate::set_enabled(was);
+        let report = timing_report();
+        assert!(report.contains("test.report_root"));
+        assert!(report.contains("  test.report_leaf"), "child must be indented:\n{report}");
+        assert!(report.contains('%'), "child line carries a parent share:\n{report}");
+    }
+
+    #[test]
+    fn mean_ns_is_total_over_count() {
+        let s = SpanStat { count: 4, total_ns: 1000 };
+        assert_eq!(s.mean_ns(), 250.0);
+        assert_eq!(SpanStat::default().mean_ns(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end tests: a JSONL round-trip of an episode record through a
+//! real file, and a full spans + metrics + recorder smoke flow.
+
+use std::fs;
+use std::path::PathBuf;
+
+use telemetry::Json;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let unique = format!(
+        "telemetry_it_{tag}_{}_{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    );
+    std::env::temp_dir().join(unique)
+}
+
+/// The shape `head::train` writes per episode, round-tripped through the
+/// sink and the parser with exact field recovery.
+#[test]
+fn episode_record_roundtrips_through_jsonl() {
+    let path = temp_path("episode");
+    let rec = telemetry::RunRecorder::create(&path).expect("create recorder");
+    rec.write_manifest(vec![
+        ("seed", Json::from(42u64)),
+        ("table", Json::from("table1")),
+        (
+            "config",
+            Json::obj(vec![
+                ("episodes", Json::from(1200u64)),
+                ("density", Json::from(120.0)),
+            ]),
+        ),
+    ]);
+    rec.event(
+        "episode",
+        vec![
+            ("episode", Json::from(17u64)),
+            ("steps", Json::from(314u64)),
+            ("reward", Json::from(-3.25)),
+            ("terminal", Json::from("Collision")),
+            ("min_ttc", Json::from(0.85)),
+            ("collided", Json::from(true)),
+        ],
+    );
+    drop(rec);
+
+    let text = fs::read_to_string(&path).expect("read back");
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).expect("every line is valid JSON"))
+        .collect();
+    assert_eq!(lines.len(), 2);
+
+    let manifest = &lines[0];
+    assert_eq!(manifest.get("kind").and_then(Json::as_str), Some("manifest"));
+    assert_eq!(manifest.get("seed").and_then(Json::as_f64), Some(42.0));
+    let config = manifest.get("config").expect("config embedded");
+    assert_eq!(config.get("episodes").and_then(Json::as_f64), Some(1200.0));
+    assert_eq!(config.get("density").and_then(Json::as_f64), Some(120.0));
+
+    let ep = &lines[1];
+    assert_eq!(ep.get("kind").and_then(Json::as_str), Some("episode"));
+    assert_eq!(ep.get("episode").and_then(Json::as_f64), Some(17.0));
+    assert_eq!(ep.get("steps").and_then(Json::as_f64), Some(314.0));
+    assert_eq!(ep.get("reward").and_then(Json::as_f64), Some(-3.25));
+    assert_eq!(ep.get("terminal").and_then(Json::as_str), Some("Collision"));
+    assert_eq!(ep.get("min_ttc").and_then(Json::as_f64), Some(0.85));
+    assert_eq!(ep.get("collided"), Some(&Json::Bool(true)));
+    assert!(ep.get("t_ms").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+
+    let _ = fs::remove_file(&path);
+}
+
+/// The flow a table binary runs: enable, install a recorder, time nested
+/// work, record metrics, then render both reports.
+#[test]
+fn full_run_smoke() {
+    let path = temp_path("smoke");
+    let was = telemetry::set_enabled(true);
+    telemetry::reset_spans();
+    telemetry::reset_metrics();
+
+    let rec = telemetry::RunRecorder::create(&path).expect("create recorder");
+    rec.write_manifest(vec![("seed", Json::from(1u64))]);
+    telemetry::install_recorder(rec);
+
+    for step in 0..3u64 {
+        let _outer = telemetry::span!("sim.step");
+        {
+            let _inner = telemetry::span!("car_following");
+            telemetry::histogram_record("it.accel", 0.5 * step as f64);
+        }
+        telemetry::counter_add("it.steps", 1);
+        telemetry::gauge_set("it.vehicles", 12.0);
+    }
+    telemetry::emit_event("phase", vec![("name", Json::from("done"))]);
+
+    assert_eq!(telemetry::counter_value("it.steps"), 3);
+    assert_eq!(telemetry::gauge_value("it.vehicles"), Some(12.0));
+    assert_eq!(telemetry::span_stats("sim.step").count, 3);
+    assert_eq!(telemetry::span_stats("car_following").count, 3);
+    let hist = telemetry::histogram_snapshot("it.accel").expect("recorded");
+    assert_eq!(hist.count, 3);
+
+    let timing = telemetry::timing_report();
+    assert!(timing.contains("sim.step"), "timing tree has the root:\n{timing}");
+    assert!(timing.contains("  car_following"), "nested child is indented:\n{timing}");
+    let metrics = telemetry::metrics_report();
+    assert!(metrics.contains("it.steps"), "metrics report has counters:\n{metrics}");
+
+    drop(telemetry::take_recorder());
+    telemetry::set_enabled(was);
+
+    let text = fs::read_to_string(&path).expect("read back");
+    assert_eq!(text.lines().count(), 2, "manifest + one event:\n{text}");
+    for line in text.lines() {
+        Json::parse(line).expect("valid JSONL");
+    }
+    let _ = fs::remove_file(&path);
+}

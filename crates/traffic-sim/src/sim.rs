@@ -338,10 +338,12 @@ impl Simulation {
 
     /// Advances the simulation by one Δt step.
     pub fn step(&mut self) -> StepOutcome {
+        let _step_span = telemetry::span!("sim.step");
         let mut outcome = StepOutcome::default();
         let lanes = self.lane_order();
 
         // --- Phase 1: lane-change decisions -----------------------------
+        let lc_span = telemetry::span!("lane_change");
         let mut changes: Vec<(usize, i32)> = Vec::new();
         for vi in 0..self.vehicles.len() {
             let v = &self.vehicles[vi];
@@ -411,7 +413,10 @@ impl Simulation {
             }
         }
 
+        drop(lc_span);
+
         // --- Phase 2: longitudinal control -------------------------------
+        let cf_span = telemetry::span!("car_following");
         let lanes = self.lane_order();
         let mut accels = vec![0.0_f64; self.vehicles.len()];
         for vi in 0..self.vehicles.len() {
@@ -436,7 +441,10 @@ impl Simulation {
             accels[vi] = a.clamp(-max_decel, self.cfg.a_max);
         }
 
+        drop(cf_span);
+
         // --- Phase 3: integration ----------------------------------------
+        let int_span = telemetry::span!("integrate");
         let dt = self.cfg.dt;
         for (vi, v) in self.vehicles.iter_mut().enumerate() {
             let v_floor = if matches!(v.controller, Controller::External) {
@@ -452,7 +460,10 @@ impl Simulation {
             v.lc_cooldown = v.lc_cooldown.saturating_sub(1);
         }
 
+        drop(int_span);
+
         // --- Phase 4: collision detection ---------------------------------
+        let col_span = telemetry::span!("collision");
         let lanes = self.lane_order();
         for order in &lanes {
             for pair in order.windows(2) {
@@ -476,7 +487,10 @@ impl Simulation {
             }
         }
 
+        drop(col_span);
+
         // --- Phase 5: recycle exits ----------------------------------------
+        let rc_span = telemetry::span!("recycle");
         let road_len = self.cfg.road_len;
         let mut exited_external = Vec::new();
         let mut removed = 0usize;
@@ -497,7 +511,12 @@ impl Simulation {
         }
         self.try_respawn();
         outcome.exited_external = exited_external;
+        drop(rc_span);
 
+        if !outcome.collisions.is_empty() {
+            telemetry::counter_add("sim.collisions", outcome.collisions.len() as u64);
+        }
+        telemetry::gauge_set("sim.vehicles", self.vehicles.len() as f64);
         self.step_count += 1;
         outcome
     }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Local CI gate: formatting, lints (warnings are errors), full test suite.
+# Run from anywhere; operates on the workspace root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

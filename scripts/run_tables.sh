@@ -1,8 +1,28 @@
 #!/bin/sh
+# Regenerates every paper table into results/, with telemetry JSONL sinks.
+# Fails loudly: any table binary exiting non-zero aborts the whole run and
+# propagates its exit code (results/ALL_DONE is only written on full success).
+set -eu
 cd /root/repo
-./target/release/table3_4 --json results/table3_4.json > results/table3_4.txt 2>&1
-./target/release/table1 --episodes 1200 --json results/table1.json > results/table1.txt 2>&1
-./target/release/table5_6 --episodes 800 --json results/table5_6.json > results/table5_6.txt 2>&1
-./target/release/table2 --episodes 800 --json results/table2.json > results/table2.txt 2>&1
-./target/release/table7 --episodes 400 --eval 16 --json results/table7.json > results/table7.txt 2>&1
+mkdir -p results
+
+run_table() {
+    name=$1
+    shift
+    echo "== $name =="
+    "./target/release/$name" "$@" --telemetry results \
+        --json "results/$name.json" > "results/$name.txt" 2>&1 || {
+        status=$?
+        echo "FAIL: $name exited $status (see results/$name.txt)" >&2
+        exit "$status"
+    }
+    echo "   telemetry: results/$name.telemetry.jsonl"
+}
+
+run_table table3_4
+run_table table1 --episodes 1200
+run_table table5_6 --episodes 800
+run_table table2 --episodes 800
+run_table table7 --episodes 400 --eval 16
 touch results/ALL_DONE
+echo "all tables regenerated"
