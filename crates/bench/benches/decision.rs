@@ -26,7 +26,11 @@ fn act_latency(c: &mut Criterion) {
 }
 
 fn learn_step(c: &mut Criterion) {
-    let cfg = AgentConfig { warmup: 64, batch_size: 64, ..AgentConfig::default() };
+    let cfg = AgentConfig {
+        warmup: 64,
+        batch_size: 64,
+        ..AgentConfig::default()
+    };
     let mut group = c.benchmark_group("learn_step");
     group.sample_size(10);
     let mut agents: Vec<Box<dyn PamdpAgent>> = vec![
@@ -39,7 +43,10 @@ fn learn_step(c: &mut Criterion) {
         for i in 0..256 {
             agent.observe(Transition {
                 state: AugmentedState::zeros(),
-                action: Action { behaviour: LaneBehaviour::Keep, accel: (i % 5) as f64 - 2.0 },
+                action: Action {
+                    behaviour: LaneBehaviour::Keep,
+                    accel: (i % 5) as f64 - 2.0,
+                },
                 params: [0.0; 6],
                 reward: (i % 7) as f64 * 0.1,
                 next_state: AugmentedState::zeros(),
@@ -51,7 +58,10 @@ fn learn_step(c: &mut Criterion) {
             b.iter(|| {
                 agent.observe(Transition {
                     state: AugmentedState::zeros(),
-                    action: Action { behaviour: LaneBehaviour::Keep, accel: 0.0 },
+                    action: Action {
+                        behaviour: LaneBehaviour::Keep,
+                        accel: 0.0,
+                    },
                     params: [0.0; 6],
                     reward: 0.1,
                     next_state: AugmentedState::zeros(),

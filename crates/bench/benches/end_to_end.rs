@@ -10,7 +10,10 @@ use perception::{LstGat, LstGatConfig, Normalizer};
 fn env_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("env_step");
     group.sample_size(20);
-    let action = Action { behaviour: LaneBehaviour::Keep, accel: 0.5 };
+    let action = Action {
+        behaviour: LaneBehaviour::Keep,
+        accel: 0.5,
+    };
 
     let mut env = HighwayEnv::new(EnvConfig::bench_scale(), PerceptionMode::Persistence);
     group.bench_function("persistence_perception", |b| {
@@ -22,8 +25,10 @@ fn env_step(c: &mut Criterion) {
     });
 
     let model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
-    let mut env =
-        HighwayEnv::new(EnvConfig::bench_scale(), PerceptionMode::LstGat(Box::new(model)));
+    let mut env = HighwayEnv::new(
+        EnvConfig::bench_scale(),
+        PerceptionMode::LstGat(Box::new(model)),
+    );
     group.bench_function("lstgat_perception", |b| {
         b.iter(|| {
             if env.step(action).terminal != Terminal::None {

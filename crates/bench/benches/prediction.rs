@@ -20,13 +20,21 @@ fn predictors(c: &mut Criterion) {
     let norm = Normalizer::paper_default();
     let mut group = c.benchmark_group("predict_one_step");
     let lst_gat = LstGat::new(LstGatConfig::default(), norm);
-    group.bench_function("LST-GAT", |b| b.iter(|| std::hint::black_box(lst_gat.predict(graph))));
+    group.bench_function("LST-GAT", |b| {
+        b.iter(|| std::hint::black_box(lst_gat.predict(graph)))
+    });
     let lstm_mlp = LstmMlp::new(LstmMlpConfig::default(), norm);
-    group.bench_function("LSTM-MLP", |b| b.iter(|| std::hint::black_box(lstm_mlp.predict(graph))));
+    group.bench_function("LSTM-MLP", |b| {
+        b.iter(|| std::hint::black_box(lstm_mlp.predict(graph)))
+    });
     let ed = EdLstm::new(EdLstmConfig::default(), norm);
-    group.bench_function("ED-LSTM", |b| b.iter(|| std::hint::black_box(ed.predict(graph))));
+    group.bench_function("ED-LSTM", |b| {
+        b.iter(|| std::hint::black_box(ed.predict(graph)))
+    });
     let gas = GasLed::new(GasLedConfig::default(), norm);
-    group.bench_function("GAS-LED", |b| b.iter(|| std::hint::black_box(gas.predict(graph))));
+    group.bench_function("GAS-LED", |b| {
+        b.iter(|| std::hint::black_box(gas.predict(graph)))
+    });
     group.finish();
 }
 

@@ -42,7 +42,10 @@ fn sensor_sweep(c: &mut Criterion) {
     c.bench_function("sensor_sweep_occlusion", |b| {
         b.iter(|| std::hint::black_box(sense(&sim, ego, &cfg)))
     });
-    let no_occ = SensorConfig { occlusion: false, ..cfg };
+    let no_occ = SensorConfig {
+        occlusion: false,
+        ..cfg
+    };
     c.bench_function("sensor_sweep_range_only", |b| {
         b.iter(|| std::hint::black_box(sense(&sim, ego, &no_occ)))
     });

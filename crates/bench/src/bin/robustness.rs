@@ -1,0 +1,110 @@
+//! Fault-injection robustness run: trains HEAD under a seeded fault
+//! profile with crash-safe checkpointing, then reports how often each
+//! degradation and recovery path fired. Usage:
+//!
+//! ```text
+//! cargo run -p bench --bin robustness -- \
+//!     [--scale smoke|bench|paper] [--episodes N] [--seed N] \
+//!     [--faults none|light|heavy|blackout] \
+//!     [--checkpoint DIR] [--resume DIR] [--every K] [--halt-after N]
+//! ```
+//!
+//! `--checkpoint DIR` and `--resume DIR` are synonyms: both run through the
+//! checkpoint in `DIR`, continuing it when one exists. `--halt-after N`
+//! stops after `N` episodes this invocation (simulating a kill mid-run; a
+//! later invocation against the same directory resumes).
+
+use decision::BpDqn;
+use head::{
+    train_agent, train_agent_resumable, HighwayEnv, PerceptionMode, PolicyAgent, ResumableOptions,
+    TrainingReport, Watchdog,
+};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+const COUNTERS: [&str; 16] = [
+    "sensor.fault.dropout",
+    "sensor.fault.noise",
+    "sensor.fault.latency",
+    "sensor.fault.blackout",
+    "sensor.fault.nan",
+    "perception.fallback.last_prediction",
+    "perception.fallback.last_observation",
+    "perception.fallback.extrapolation",
+    "nn.nonfinite.loss",
+    "nn.nonfinite.grad",
+    "nn.nonfinite.skipped",
+    "nn.nonfinite.restored",
+    "robustness.nonfinite_vehicle",
+    "robustness.nonfinite_reward",
+    "robustness.nonfinite_action",
+    "robustness.watchdog_abort",
+];
+
+fn main() {
+    let scale = bench::scale_from_args();
+    bench::init_telemetry("robustness", &scale);
+    // The whole point of this run is the robustness counters — record them
+    // even without a `--telemetry` sink.
+    telemetry::set_enabled(true);
+
+    let args: Vec<String> = std::env::args().collect();
+    let dir = flag_value(&args, "--checkpoint").or_else(|| flag_value(&args, "--resume"));
+    let every = flag_value(&args, "--every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let halt_after = flag_value(&args, "--halt-after").and_then(|v| v.parse().ok());
+
+    let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
+    let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
+    let episodes = scale.train_episodes;
+
+    let report: TrainingReport = match dir {
+        Some(dir) => {
+            let opts = ResumableOptions {
+                dir: dir.into(),
+                every,
+                watchdog: Some(Watchdog::generous(scale.env.max_steps)),
+                halt_after,
+            };
+            match train_agent_resumable(&mut env, &mut agent, episodes, &opts) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("checkpointed run failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => train_agent(&mut env, &mut agent, episodes),
+    };
+
+    let faults = scale
+        .env
+        .faults
+        .map_or_else(|| "none".to_string(), |p| format!("{p:?}"));
+    println!(
+        "robustness run: {} episodes, faults = {faults}",
+        report.episodes.len()
+    );
+    println!(
+        "mean reward (last 20 episodes): {:.4}",
+        report.recent_mean_reward(20)
+    );
+    let fault_episodes = report
+        .episodes
+        .iter()
+        .filter(|e| e.terminal == head::Terminal::Fault)
+        .count();
+    println!("fault-terminated episodes: {fault_episodes}");
+    println!("counters:");
+    for name in COUNTERS {
+        println!("  {name} = {}", telemetry::counter_value(name));
+    }
+    bench::maybe_write_json(&report);
+    bench::finish_telemetry();
+}

@@ -2,11 +2,11 @@
 //! plus greedy evaluation metrics. Not a paper table; used to tune the
 //! recorded-run settings.
 
+use decision::BpDqn;
 use head::experiments::train_lstgat;
-use head::{aggregate, evaluate_agent, train_agent, HighwayEnv, PerceptionMode, PolicyAgent};
 #[allow(unused_imports)]
 use head::DrivingAgent;
-use decision::BpDqn;
+use head::{aggregate, evaluate_agent, train_agent, HighwayEnv, PerceptionMode, PolicyAgent};
 use perception::{LstGat, LstGatConfig};
 
 fn main() {
@@ -23,11 +23,29 @@ fn main() {
     for (i, chunk) in report.episodes.chunks(100).enumerate() {
         let mean_r: f64 = chunk.iter().map(|e| e.mean_reward).sum::<f64>() / chunk.len() as f64;
         let mean_v: f64 = chunk.iter().map(|e| e.avg_v).sum::<f64>() / chunk.len() as f64;
-        let crashes = chunk.iter().filter(|e| e.terminal == head::Terminal::Collision).count();
-        println!("ep {:>4}: meanR {:+.3} meanV {:.1} crashes {}/{}", i * 100, mean_r, mean_v, crashes, chunk.len());
+        let crashes = chunk
+            .iter()
+            .filter(|e| e.terminal == head::Terminal::Collision)
+            .count();
+        println!(
+            "ep {:>4}: meanR {:+.3} meanV {:.1} crashes {}/{}",
+            i * 100,
+            mean_r,
+            mean_v,
+            crashes,
+            chunk.len()
+        );
     }
-    println!("TCT {:.1}s total {:.1}s", report.convergence_secs, report.total_secs);
-    let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+    println!(
+        "TCT {:.1}s total {:.1}s",
+        report.convergence_secs, report.total_secs
+    );
+    let eps = evaluate_agent(
+        &mut env,
+        &mut agent,
+        scale.eval_episodes,
+        scale.eval_seed_base,
+    );
     let agg = aggregate(scale.env.sim.road_len, &eps);
     println!("eval: DT-A {:.1} DT-C {:.1} #CA {:.1} minTTC {:.2} V {:.2} J {:.2} D-CA {:.2} collisions {}/{}",
         agg.avg_dt_a, agg.avg_dt_c, agg.avg_impact_events, agg.min_ttc_a, agg.avg_v_a, agg.avg_j_a, agg.avg_d_ca,

@@ -3,8 +3,10 @@
 use head::experiments::Scale;
 
 /// Parses the common CLI flags of the table binaries:
-/// `--scale smoke|bench|paper` (default `bench`) and
-/// `--episodes N` / `--eval N` overrides.
+/// `--scale smoke|bench|paper` (default `bench`),
+/// `--episodes N` / `--eval N` / `--seed N` overrides, and
+/// `--faults none|light|heavy|blackout` for fault-injection runs
+/// (an unknown profile name exits with status 2).
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = match flag_value(&args, "--scale").as_deref() {
@@ -21,11 +23,23 @@ pub fn scale_from_args() -> Scale {
     if let Some(n) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
         scale.env.seed = n;
     }
+    if let Some(name) = flag_value(&args, "--faults") {
+        match sensor::FaultProfile::from_name(&name) {
+            Some(profile) => scale.env.faults = Some(profile),
+            None => {
+                eprintln!("unknown fault profile '{name}' (expected none|light|heavy|blackout)");
+                std::process::exit(2);
+            }
+        }
+    }
     scale
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Writes a report JSON next to stdout output when `--json PATH` is given.
@@ -62,7 +76,10 @@ pub fn init_telemetry(table: &str, scale: &Scale) -> bool {
             rec.write_manifest(vec![
                 ("table", telemetry::Json::from(table)),
                 ("seed", telemetry::Json::from(scale.env.seed)),
-                ("train_episodes", telemetry::Json::from(scale.train_episodes)),
+                (
+                    "train_episodes",
+                    telemetry::Json::from(scale.train_episodes),
+                ),
                 ("eval_episodes", telemetry::Json::from(scale.eval_episodes)),
                 ("config", config),
             ]);

@@ -98,7 +98,10 @@ pub fn generate_samples(cfg: &CorpusConfig) -> Vec<TrainSample> {
         z: cfg.z,
         phantoms_enabled: true,
     });
-    let sensor_cfg = SensorConfig { range: cfg.sensor_range, ..SensorConfig::default() };
+    let sensor_cfg = SensorConfig {
+        range: cfg.sensor_range,
+        ..SensorConfig::default()
+    };
 
     let mut sim = Simulation::new(sim_cfg);
     sim.populate();
@@ -125,8 +128,10 @@ pub fn generate_samples(cfg: &CorpusConfig) -> Vec<TrainSample> {
             .copied()
             .collect();
 
-        let mut histories: Vec<(VehicleId, SensorHistory)> =
-            egos.iter().map(|&id| (id, SensorHistory::new(cfg.z))).collect();
+        let mut histories: Vec<(VehicleId, SensorHistory)> = egos
+            .iter()
+            .map(|&id| (id, SensorHistory::new(cfg.z)))
+            .collect();
 
         // Record z frames.
         let mut alive = true;
@@ -192,7 +197,10 @@ pub fn split(mut samples: Vec<TrainSample>, train_fraction: f64, seed: u64) -> R
     samples.shuffle(&mut rng);
     let cut = ((samples.len() as f64) * train_fraction).round() as usize;
     let test = samples.split_off(cut.min(samples.len()));
-    RealCorpus { train: samples, test }
+    RealCorpus {
+        train: samples,
+        test,
+    }
 }
 
 /// Quick corpus statistics used in reports and sanity tests.
@@ -214,7 +222,9 @@ pub fn stats(samples: &[TrainSample]) -> CorpusStats {
     let mut real = 0usize;
     let mut with_phantom = 0usize;
     for s in samples {
-        let r = (0..NUM_TARGETS).filter(|&i| !s.graph.target_is_phantom(i)).count();
+        let r = (0..NUM_TARGETS)
+            .filter(|&i| !s.graph.target_is_phantom(i))
+            .count();
         real += r;
         if r < NUM_TARGETS {
             with_phantom += 1;
@@ -232,13 +242,23 @@ mod tests {
     use super::*;
 
     fn small_cfg(seed: u64) -> CorpusConfig {
-        CorpusConfig { windows: 12, egos_per_window: 3, warmup_steps: 60, seed, ..Default::default() }
+        CorpusConfig {
+            windows: 12,
+            egos_per_window: 3,
+            warmup_steps: 60,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn generates_labelled_samples() {
         let samples = generate_samples(&small_cfg(1));
-        assert!(samples.len() >= 20, "expected a usable corpus, got {}", samples.len());
+        assert!(
+            samples.len() >= 20,
+            "expected a usable corpus, got {}",
+            samples.len()
+        );
         for s in &samples {
             assert_eq!(s.graph.depth(), 5);
             for i in 0..NUM_TARGETS {
@@ -279,7 +299,10 @@ mod tests {
         let samples = generate_samples(&small_cfg(4));
         let st = stats(&samples);
         assert_eq!(st.samples, samples.len());
-        assert!(st.mean_real_targets > 1.0, "dense traffic should surround egos");
+        assert!(
+            st.mean_real_targets > 1.0,
+            "dense traffic should surround egos"
+        );
         assert!(st.mean_real_targets <= 6.0);
         // With occlusion and range limits, some neighbourhoods are always
         // incomplete.

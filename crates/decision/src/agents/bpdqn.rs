@@ -13,7 +13,7 @@ use crate::pamdp::{
     Action, AugmentedState, LaneBehaviour, CURRENT_ROWS, FUTURE_ROWS, NUM_BEHAVIOURS,
 };
 use crate::replay::{ReplayBuffer, Transition};
-use nn::{Adam, Graph, Linear, Matrix, ParamStore, Var};
+use nn::{Adam, DivergenceGuard, Graph, Linear, Matrix, ParamStore, Var};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -35,11 +35,18 @@ impl BranchedX {
             phi6: Linear::new(store, "x.phi6", hidden, 1, rng),
             phi7: Linear::new(store, "x.phi7", 4, hidden, rng),
             phi8: Linear::new(store, "x.phi8", hidden, 1, rng),
-            phi9: Linear::new(store, "x.phi9", CURRENT_ROWS + FUTURE_ROWS, NUM_BEHAVIOURS, rng),
+            phi9: Linear::new(
+                store,
+                "x.phi9",
+                CURRENT_ROWS + FUTURE_ROWS,
+                NUM_BEHAVIOURS,
+                rng,
+            ),
         }
     }
 
     /// `cur` is `(B*7) x 4`, `fut` is `(B*6) x 4`; returns `B x 3`.
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         &self,
         g: &mut Graph,
@@ -51,9 +58,17 @@ impl BranchedX {
         trainable: bool,
     ) -> Var {
         let branch = |g: &mut Graph, l1: &Linear, l2: &Linear, x: Var, rows: usize| {
-            let h = if trainable { l1.forward(g, store, x) } else { l1.forward_frozen(g, store, x) };
+            let h = if trainable {
+                l1.forward(g, store, x)
+            } else {
+                l1.forward_frozen(g, store, x)
+            };
             let h = g.relu(h);
-            let h = if trainable { l2.forward(g, store, h) } else { l2.forward_frozen(g, store, h) };
+            let h = if trainable {
+                l2.forward(g, store, h)
+            } else {
+                l2.forward_frozen(g, store, h)
+            };
             let h = g.relu(h);
             g.reshape(h, batch, rows)
         };
@@ -101,6 +116,7 @@ impl BranchedQ {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         &self,
         g: &mut Graph,
@@ -112,9 +128,17 @@ impl BranchedQ {
         trainable: bool,
     ) -> Var {
         let branch = |g: &mut Graph, l1: &Linear, l2: &Linear, x: Var, rows: Option<usize>| {
-            let h = if trainable { l1.forward(g, store, x) } else { l1.forward_frozen(g, store, x) };
+            let h = if trainable {
+                l1.forward(g, store, x)
+            } else {
+                l1.forward_frozen(g, store, x)
+            };
             let h = g.relu(h);
-            let h = if trainable { l2.forward(g, store, h) } else { l2.forward_frozen(g, store, h) };
+            let h = if trainable {
+                l2.forward(g, store, h)
+            } else {
+                l2.forward_frozen(g, store, h)
+            };
             let h = g.relu(h);
             match rows {
                 Some(r) => g.reshape(h, batch, r),
@@ -145,12 +169,19 @@ pub struct BpDqn {
     q_target: ParamStore,
     adam_x: Adam,
     adam_q: Adam,
+    guard_x: DivergenceGuard,
+    guard_q: DivergenceGuard,
     replay: ReplayBuffer,
     rng: ChaCha12Rng,
     act_steps: usize,
     observed: usize,
     since_learn: usize,
 }
+
+/// Gradient-norm ceiling for both networks (pre-existing clip value).
+const MAX_GRAD_NORM: f32 = 10.0;
+/// Consecutive poisoned updates tolerated before rolling parameters back.
+const DIVERGENCE_PATIENCE: u32 = 3;
 
 impl BpDqn {
     /// Builds a freshly initialised learner.
@@ -165,6 +196,8 @@ impl BpDqn {
         Self {
             adam_x: Adam::new(cfg.lr),
             adam_q: Adam::new(cfg.lr),
+            guard_x: DivergenceGuard::new(MAX_GRAD_NORM, DIVERGENCE_PATIENCE),
+            guard_q: DivergenceGuard::new(MAX_GRAD_NORM, DIVERGENCE_PATIENCE),
             replay: ReplayBuffer::new(cfg.replay_capacity),
             rng,
             act_steps: 0,
@@ -194,7 +227,9 @@ impl BpDqn {
             self.cfg.a_max as f32,
             false,
         );
-        let q = self.q_net.forward(&mut g, &self.q_store, cur, fut, x, 1, false);
+        let q = self
+            .q_net
+            .forward(&mut g, &self.q_store, cur, fut, x, 1, false);
         let xr = g.value(x).row_slice(0);
         let qr = g.value(q).row_slice(0);
         ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]])
@@ -218,8 +253,8 @@ impl PamdpAgent for BpDqn {
             let sigma = self.cfg.noise.value(self.act_steps);
             if sigma > 0.0 {
                 let noise = sigma * crate::explore::standard_normal(&mut self.rng);
-                params[chosen] = (params[chosen] as f64 + noise)
-                    .clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
+                params[chosen] =
+                    (params[chosen] as f64 + noise).clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
             }
             self.act_steps += 1;
         }
@@ -264,8 +299,12 @@ impl PamdpAgent for BpDqn {
             let mut g = Graph::new();
             let cur_n = g.input(cur_next_m);
             let fut_n = g.input(fut_next_m);
-            let xp = self.x_net.forward(&mut g, &self.x_target, cur_n, fut_n, n, a_max, false);
-            let qn = self.q_net.forward(&mut g, &self.q_target, cur_n, fut_n, xp, n, false);
+            let xp = self
+                .x_net
+                .forward(&mut g, &self.x_target, cur_n, fut_n, n, a_max, false);
+            let qn = self
+                .q_net
+                .forward(&mut g, &self.q_target, cur_n, fut_n, xp, n, false);
             let qn = g.value(qn);
             batch
                 .iter()
@@ -277,7 +316,11 @@ impl PamdpAgent for BpDqn {
                         .cloned()
                         .fold(f32::NEG_INFINITY, f32::max);
                     t.reward as f32
-                        + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                        + if t.terminal {
+                            0.0
+                        } else {
+                            self.cfg.gamma * max_q
+                        }
                 })
                 .collect()
         };
@@ -297,7 +340,9 @@ impl PamdpAgent for BpDqn {
             }
             let params = g.input(params);
             let onehot = g.input(onehot);
-            let q = self.q_net.forward(&mut g, &self.q_store, cur, fut, params, n, true);
+            let q = self
+                .q_net
+                .forward(&mut g, &self.q_store, cur, fut, params, n, true);
             let masked = g.mul_elem(q, onehot);
             let ones = g.input(Matrix::full(NUM_BEHAVIOURS, 1, 1.0));
             let q_sel = g.matmul(masked, ones);
@@ -305,8 +350,12 @@ impl PamdpAgent for BpDqn {
             let loss = g.mse(q_sel, y);
             self.q_store.zero_grad();
             let lv = g.backward(loss, &mut self.q_store);
-            self.q_store.clip_grad_norm(10.0);
-            self.adam_q.step(&mut self.q_store);
+            // Poisoned transitions (NaN rewards / observations) surface as
+            // non-finite losses here; the guard skips the update and rolls
+            // back to the last good snapshot if the poisoning persists.
+            if self.guard_q.admit(lv, &mut self.q_store) {
+                self.adam_q.step(&mut self.q_store);
+            }
             lv as f64
         };
 
@@ -315,14 +364,19 @@ impl PamdpAgent for BpDqn {
             let mut g = Graph::new();
             let cur = g.input(cur_m);
             let fut = g.input(fut_m);
-            let xo = self.x_net.forward(&mut g, &self.x_store, cur, fut, n, a_max, true);
-            let qv = self.q_net.forward(&mut g, &self.q_store, cur, fut, xo, n, false);
+            let xo = self
+                .x_net
+                .forward(&mut g, &self.x_store, cur, fut, n, a_max, true);
+            let qv = self
+                .q_net
+                .forward(&mut g, &self.q_store, cur, fut, xo, n, false);
             let total = g.sum_all(qv);
             let loss = g.scale(total, -1.0 / n as f32);
             self.x_store.zero_grad();
             let lv = g.backward(loss, &mut self.x_store);
-            self.x_store.clip_grad_norm(10.0);
-            self.adam_x.step(&mut self.x_store);
+            if self.guard_x.admit(lv, &mut self.x_store) {
+                self.adam_x.step(&mut self.x_store);
+            }
             lv as f64
         };
 
@@ -350,6 +404,18 @@ impl PamdpAgent for BpDqn {
         self.x_target.copy_values_from(&x);
         self.q_target.copy_values_from(&q);
         Ok(())
+    }
+
+    fn exploration_steps(&self) -> u64 {
+        self.act_steps as u64
+    }
+
+    fn set_exploration_steps(&mut self, steps: u64) {
+        self.act_steps = steps as usize;
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = ChaCha12Rng::seed_from_u64(seed);
     }
 }
 
@@ -428,6 +494,58 @@ mod tests {
         fresh.load_json(&json).unwrap();
         let (after, _) = fresh.act(&s, false);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn nan_rewards_skip_updates_and_keep_weights_finite() {
+        let mut agent = BpDqn::new(quick_cfg(6));
+        let s = AugmentedState::zeros();
+        let mk = |reward: f64| Transition {
+            state: s,
+            action: Action {
+                behaviour: LaneBehaviour::Keep,
+                accel: 0.5,
+            },
+            params: [0.5, 0.0, 0.0, 0.0, 0.0, 0.0],
+            reward,
+            next_state: s,
+            terminal: false,
+        };
+        // Clean warmup so the guards hold a known-good snapshot.
+        for _ in 0..64 {
+            agent.observe(mk(0.5));
+            agent.learn();
+        }
+        // Poison the stream: batches now contain NaN Bellman targets, which
+        // surface as NaN losses. Every such update must be skipped, not
+        // stepped on.
+        for _ in 0..64 {
+            agent.observe(mk(f64::NAN));
+            agent.learn();
+        }
+        let (after, params) = agent.act(&s, false);
+        assert!(after.accel.is_finite(), "weights poisoned by NaN rewards");
+        assert!(params[..3].iter().all(|p| p.is_finite()));
+        // Training remains functional on clean data afterwards.
+        for _ in 0..8 {
+            agent.observe(mk(0.5));
+            agent.learn();
+        }
+        let (recovered, _) = agent.act(&s, false);
+        assert!(recovered.accel.is_finite());
+    }
+
+    #[test]
+    fn exploration_counter_roundtrips() {
+        let mut agent = BpDqn::new(quick_cfg(7));
+        let s = AugmentedState::zeros();
+        for _ in 0..5 {
+            let _ = agent.act(&s, true);
+        }
+        assert_eq!(agent.exploration_steps(), 5);
+        agent.set_exploration_steps(123);
+        assert_eq!(agent.exploration_steps(), 123);
+        agent.reseed(42); // must not panic; stream becomes seed-derived
     }
 
     #[test]

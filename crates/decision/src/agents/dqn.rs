@@ -74,7 +74,10 @@ impl DiscreteDqn {
     /// Action corresponding to a discrete index.
     pub fn action_of(&self, index: usize) -> Action {
         let (behaviour, level) = DISCRETE_ACTIONS[index];
-        Action { behaviour, accel: level * self.cfg.a_max }
+        Action {
+            behaviour,
+            accel: level * self.cfg.a_max,
+        }
     }
 
     /// Index of the executed action in [`DISCRETE_ACTIONS`].
@@ -137,9 +140,17 @@ impl PamdpAgent for DiscreteDqn {
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
-                    let max_q =
-                        qn.row_slice(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                    t.reward as f32 + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                    let max_q = qn
+                        .row_slice(i)
+                        .iter()
+                        .cloned()
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    t.reward as f32
+                        + if t.terminal {
+                            0.0
+                        } else {
+                            self.cfg.gamma * max_q
+                        }
                 })
                 .collect()
         };
@@ -162,7 +173,10 @@ impl PamdpAgent for DiscreteDqn {
         self.store.clip_grad_norm(10.0);
         self.adam.step(&mut self.store);
         self.target.soft_update_from(&self.store, self.cfg.tau);
-        Some(LearnStats { q_loss: lv as f64, x_loss: 0.0 })
+        Some(LearnStats {
+            q_loss: lv as f64,
+            x_loss: 0.0,
+        })
     }
 
     fn param_count(&self) -> usize {

@@ -127,6 +127,22 @@ pub trait PamdpAgent {
 
     /// Restores policy weights saved by [`PamdpAgent::save_json`].
     fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error>;
+
+    /// Number of exploration (training) action selections taken so far.
+    /// Drives ε / noise schedules; checkpointed so a resumed run continues
+    /// its annealing instead of restarting it. Learners without schedules
+    /// keep the default.
+    fn exploration_steps(&self) -> u64 {
+        0
+    }
+
+    /// Restores the exploration step counter from a checkpoint.
+    fn set_exploration_steps(&mut self, _steps: u64) {}
+
+    /// Deterministically reseeds the learner's exploration / sampling
+    /// stream (used on resume: generator internals are not serialisable,
+    /// so a resumed run continues on a fresh, seed-derived stream).
+    fn reseed(&mut self, _seed: u64) {}
 }
 
 #[cfg(test)]
@@ -161,8 +177,11 @@ pub(crate) mod test_support {
 
         /// Applies an acceleration, returns (reward, done).
         pub fn step(&mut self, action: &Action) -> (f64, bool) {
-            let lane_penalty =
-                if matches!(action.behaviour, LaneBehaviour::Keep) { 0.0 } else { -0.5 };
+            let lane_penalty = if matches!(action.behaviour, LaneBehaviour::Keep) {
+                0.0
+            } else {
+                -0.5
+            };
             self.vel = (self.vel + action.accel * 0.5).clamp(0.0, 25.0);
             self.gap -= self.vel * 0.5 * 0.2; // leader slowly pulls away less
             let crash = self.gap < 2.0;
@@ -179,7 +198,10 @@ pub(crate) mod test_support {
     fn greedy_return(agent: &mut dyn PamdpAgent, seed: u64, episodes: usize) -> f64 {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
-        let mut env = ToyEnv { gap: 50.0, vel: 10.0 };
+        let mut env = ToyEnv {
+            gap: 50.0,
+            vel: 10.0,
+        };
         let mut total = 0.0;
         for _ in 0..episodes {
             env.reset(&mut rng);
@@ -205,7 +227,10 @@ pub(crate) mod test_support {
         use rand::SeedableRng;
         let before = greedy_return(agent, 999, 10);
         let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
-        let mut env = ToyEnv { gap: 50.0, vel: 10.0 };
+        let mut env = ToyEnv {
+            gap: 50.0,
+            vel: 10.0,
+        };
         for _ in 0..episodes {
             env.reset(&mut rng);
             for _ in 0..40 {

@@ -124,7 +124,10 @@ impl PamdpAgent for PDdpg {
             self.act_steps += 1;
         }
         let accel = out[NUM_BEHAVIOURS + chosen] as f64;
-        let action = Action { behaviour: LaneBehaviour::from_index(chosen), accel };
+        let action = Action {
+            behaviour: LaneBehaviour::from_index(chosen),
+            accel,
+        };
         // Store accelerations in slots 0..3 and activations in 3..6.
         (action, [out[3], out[4], out[5], out[0], out[1], out[2]])
     }
@@ -168,7 +171,11 @@ impl PamdpAgent for PDdpg {
                 .enumerate()
                 .map(|(i, t)| {
                     t.reward as f32
-                        + if t.terminal { 0.0 } else { self.cfg.gamma * qn.get(i, 0) }
+                        + if t.terminal {
+                            0.0
+                        } else {
+                            self.cfg.gamma * qn.get(i, 0)
+                        }
                 })
                 .collect()
         };
@@ -214,8 +221,10 @@ impl PamdpAgent for PDdpg {
             lv as f64
         };
 
-        self.critic_target.soft_update_from(&self.critic_store, self.cfg.tau);
-        self.actor_target.soft_update_from(&self.actor_store, self.cfg.tau);
+        self.critic_target
+            .soft_update_from(&self.critic_store, self.cfg.tau);
+        self.actor_target
+            .soft_update_from(&self.actor_store, self.cfg.tau);
 
         telemetry::histogram_record("decision.q_loss", q_loss);
         telemetry::histogram_record("decision.x_loss", x_loss);
@@ -260,7 +269,10 @@ mod tests {
     fn improves_on_toy_problem() {
         let mut agent = PDdpg::new(quick_cfg(21));
         let (first, last) = toy_training_curve(&mut agent, 60, 21);
-        assert!(last > first + 0.5, "P-DDPG did not improve: {first} -> {last}");
+        assert!(
+            last > first + 0.5,
+            "P-DDPG did not improve: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -35,13 +35,22 @@ impl PDqn {
     pub fn new(cfg: AgentConfig) -> Self {
         let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
         let mut x_store = ParamStore::new();
-        let x_net =
-            Mlp::new(&mut x_store, "x", &[STATE_DIM, cfg.hidden, cfg.hidden, NUM_BEHAVIOURS], &mut rng);
+        let x_net = Mlp::new(
+            &mut x_store,
+            "x",
+            &[STATE_DIM, cfg.hidden, cfg.hidden, NUM_BEHAVIOURS],
+            &mut rng,
+        );
         let mut q_store = ParamStore::new();
         let q_net = Mlp::new(
             &mut q_store,
             "q",
-            &[STATE_DIM + NUM_BEHAVIOURS, cfg.hidden, cfg.hidden, NUM_BEHAVIOURS],
+            &[
+                STATE_DIM + NUM_BEHAVIOURS,
+                cfg.hidden,
+                cfg.hidden,
+                NUM_BEHAVIOURS,
+            ],
             &mut rng,
         );
         let x_target = x_store.clone();
@@ -93,8 +102,8 @@ impl PamdpAgent for PDqn {
             let sigma = self.cfg.noise.value(self.act_steps);
             if sigma > 0.0 {
                 let noise = sigma * crate::explore::standard_normal(&mut self.rng);
-                params[chosen] = (params[chosen] as f64 + noise)
-                    .clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
+                params[chosen] =
+                    (params[chosen] as f64 + noise).clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
             }
             self.act_steps += 1;
         }
@@ -144,9 +153,17 @@ impl PamdpAgent for PDqn {
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
-                    let max_q =
-                        qn.row_slice(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                    t.reward as f32 + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                    let max_q = qn
+                        .row_slice(i)
+                        .iter()
+                        .cloned()
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    t.reward as f32
+                        + if t.terminal {
+                            0.0
+                        } else {
+                            self.cfg.gamma * max_q
+                        }
                 })
                 .collect()
         };
@@ -241,7 +258,10 @@ mod tests {
     fn improves_on_toy_problem() {
         let mut agent = PDqn::new(quick_cfg(11));
         let (first, last) = toy_training_curve(&mut agent, 60, 11);
-        assert!(last > first + 1.0, "P-DQN did not improve: {first} -> {last}");
+        assert!(
+            last > first + 1.0,
+            "P-DQN did not improve: {first} -> {last}"
+        );
     }
 
     #[test]

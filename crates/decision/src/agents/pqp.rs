@@ -109,8 +109,8 @@ impl PamdpAgent for PQp {
             let sigma = self.cfg.noise.value(self.act_steps);
             if sigma > 0.0 {
                 let noise = sigma * crate::explore::standard_normal(&mut self.rng);
-                params[chosen] = (params[chosen] as f64 + noise)
-                    .clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
+                params[chosen] =
+                    (params[chosen] as f64 + noise).clamp(-self.cfg.a_max, self.cfg.a_max) as f32;
             }
             self.act_steps += 1;
         }
@@ -154,9 +154,17 @@ impl PamdpAgent for PQp {
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
-                    let max_q =
-                        qn.row_slice(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                    t.reward as f32 + if t.terminal { 0.0 } else { self.cfg.gamma * max_q }
+                    let max_q = qn
+                        .row_slice(i)
+                        .iter()
+                        .cloned()
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    t.reward as f32
+                        + if t.terminal {
+                            0.0
+                        } else {
+                            self.cfg.gamma * max_q
+                        }
                 })
                 .collect()
         };
@@ -182,7 +190,10 @@ impl PamdpAgent for PQp {
             self.q_store.clip_grad_norm(10.0);
             self.adam_q.step(&mut self.q_store);
             self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
-            Some(LearnStats { q_loss: lv as f64, x_loss: 0.0 })
+            Some(LearnStats {
+                q_loss: lv as f64,
+                x_loss: 0.0,
+            })
         } else {
             // --- parameter phase: advantage-weighted regression ------------
             // advantage_i = y_i - Q(s_i)[b_i]  (Q frozen)
@@ -224,7 +235,10 @@ impl PamdpAgent for PQp {
             let lv = g.backward(loss, &mut self.param_store);
             self.param_store.clip_grad_norm(10.0);
             self.adam_param.step(&mut self.param_store);
-            Some(LearnStats { q_loss: 0.0, x_loss: lv as f64 })
+            Some(LearnStats {
+                q_loss: 0.0,
+                x_loss: lv as f64,
+            })
         }
     }
 
@@ -265,7 +279,10 @@ mod tests {
     fn improves_on_toy_problem() {
         let mut agent = PQp::new(quick_cfg(31));
         let (first, last) = toy_training_curve(&mut agent, 60, 31);
-        assert!(last > first, "P-QP did not improve at all: {first} -> {last}");
+        assert!(
+            last > first,
+            "P-QP did not improve at all: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -277,7 +294,10 @@ mod tests {
         let _ = toy_training_curve(&mut agent, 30, 32);
         let dummy = crate::replay::Transition {
             state: AugmentedState::zeros(),
-            action: Action { behaviour: LaneBehaviour::Keep, accel: 0.0 },
+            action: Action {
+                behaviour: LaneBehaviour::Keep,
+                accel: 0.0,
+            },
             params: [0.0; 6],
             reward: 0.0,
             next_state: AugmentedState::zeros(),

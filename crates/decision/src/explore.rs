@@ -26,7 +26,11 @@ pub struct LinearSchedule {
 impl LinearSchedule {
     /// Creates a schedule.
     pub fn new(start: f64, end: f64, decay_steps: usize) -> Self {
-        Self { start, end, decay_steps }
+        Self {
+            start,
+            end,
+            decay_steps,
+        }
     }
 
     /// Value at step `t`.

@@ -54,8 +54,11 @@ impl LaneBehaviour {
     }
 
     /// All behaviours in index order.
-    pub const ALL: [LaneBehaviour; NUM_BEHAVIOURS] =
-        [LaneBehaviour::Left, LaneBehaviour::Right, LaneBehaviour::Keep];
+    pub const ALL: [LaneBehaviour; NUM_BEHAVIOURS] = [
+        LaneBehaviour::Left,
+        LaneBehaviour::Right,
+        LaneBehaviour::Keep,
+    ];
 }
 
 /// A parameterized action: discrete behaviour + continuous acceleration.
@@ -84,7 +87,10 @@ pub struct AugmentedState {
 impl AugmentedState {
     /// An all-zero state (used as the padding for terminal transitions).
     pub fn zeros() -> Self {
-        Self { current: [[0.0; ROW_DIM]; CURRENT_ROWS], future: [[0.0; ROW_DIM]; FUTURE_ROWS] }
+        Self {
+            current: [[0.0; ROW_DIM]; CURRENT_ROWS],
+            future: [[0.0; ROW_DIM]; FUTURE_ROWS],
+        }
     }
 }
 
@@ -107,7 +113,13 @@ impl StateScale {
     /// The paper's environment: 6 lanes × 3.2 m, 3 km road, 25 m/s limit,
     /// 100 m sensor radius.
     pub fn paper_default() -> Self {
-        Self { lat: 7.0, lon: 3000.0, vel: 25.0, d_lat: 7.0 * 3.2, d_lon: 100.0 }
+        Self {
+            lat: 7.0,
+            lon: 3000.0,
+            vel: 25.0,
+            d_lat: 7.0 * 3.2,
+            d_lon: 100.0,
+        }
     }
 
     fn scale_rel(&self, row: &[f64; ROW_DIM]) -> [f32; ROW_DIM] {

@@ -38,7 +38,11 @@ impl ReplayBuffer {
     /// (the paper uses 20 000).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { capacity, items: Vec::with_capacity(capacity.min(4096)), head: 0 }
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -66,9 +70,16 @@ impl ReplayBuffer {
         }
     }
 
-    /// Samples `n` transitions uniformly with replacement.
+    /// Samples `n` transitions uniformly with replacement. An empty buffer
+    /// yields an empty sample (callers gate learning on warmup anyway, but
+    /// an early call must not panic).
     pub fn sample<'a>(&'a self, n: usize, rng: &mut impl Rng) -> Vec<&'a Transition> {
-        (0..n).map(|_| &self.items[rng.random_range(0..self.items.len())]).collect()
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| &self.items[rng.random_range(0..self.items.len())])
+            .collect()
     }
 
     /// Clears all stored transitions.
@@ -88,7 +99,10 @@ mod tests {
     fn transition(reward: f64) -> Transition {
         Transition {
             state: AugmentedState::zeros(),
-            action: Action { behaviour: LaneBehaviour::Keep, accel: 0.0 },
+            action: Action {
+                behaviour: LaneBehaviour::Keep,
+                accel: 0.0,
+            },
             params: [0.0; 6],
             reward,
             next_state: AugmentedState::zeros(),
@@ -120,7 +134,10 @@ mod tests {
         for t in sample {
             seen[t.reward as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "uniform sampling should cover all slots");
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform sampling should cover all slots"
+        );
     }
 
     #[test]
@@ -135,5 +152,12 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn sampling_empty_buffer_is_empty_not_panic() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        assert!(buf.sample(8, &mut rng).is_empty());
     }
 }

@@ -102,7 +102,13 @@ impl RewardConfig {
             + self.w_efficiency * efficiency
             + self.w_comfort * comfort
             + self.w_impact * impact;
-        RewardParts { safety, efficiency, comfort, impact, total }
+        RewardParts {
+            safety,
+            efficiency,
+            comfort,
+            impact,
+            total,
+        }
     }
 
     /// Eq. 29. TTC is only defined while closing on the front vehicle
@@ -143,7 +149,12 @@ impl RewardConfig {
 
     /// Returns the weights as the `(w1, w2, w3, w4)` tuple (Table VII).
     pub fn weights(&self) -> (f64, f64, f64, f64) {
-        (self.w_safety, self.w_efficiency, self.w_comfort, self.w_impact)
+        (
+            self.w_safety,
+            self.w_efficiency,
+            self.w_comfort,
+            self.w_impact,
+        )
     }
 }
 
@@ -152,13 +163,19 @@ mod tests {
     use super::*;
 
     fn base_input() -> RewardInput {
-        RewardInput { ego_vel_next: 20.0, ..Default::default() }
+        RewardInput {
+            ego_vel_next: 20.0,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn collision_gives_minimum_safety() {
         let cfg = RewardConfig::default();
-        let parts = cfg.evaluate(&RewardInput { collision: true, ..base_input() });
+        let parts = cfg.evaluate(&RewardInput {
+            collision: true,
+            ..base_input()
+        });
         assert_eq!(parts.safety, -3.0);
     }
 
@@ -212,7 +229,13 @@ mod tests {
     #[test]
     fn efficiency_spans_unit_interval() {
         let cfg = RewardConfig::default();
-        let at = |v: f64| cfg.evaluate(&RewardInput { ego_vel_next: v, ..base_input() }).efficiency;
+        let at = |v: f64| {
+            cfg.evaluate(&RewardInput {
+                ego_vel_next: v,
+                ..base_input()
+            })
+            .efficiency
+        };
         assert_eq!(at(cfg.v_min), 0.0);
         assert_eq!(at(cfg.v_max), 1.0);
         assert!(at(13.2) > 0.0 && at(13.2) < 1.0);
@@ -222,10 +245,17 @@ mod tests {
     #[test]
     fn comfort_penalises_jerk() {
         let cfg = RewardConfig::default();
-        let parts =
-            cfg.evaluate(&RewardInput { accel: 3.0, prev_accel: -3.0, ..base_input() });
+        let parts = cfg.evaluate(&RewardInput {
+            accel: 3.0,
+            prev_accel: -3.0,
+            ..base_input()
+        });
         assert_eq!(parts.comfort, -1.0);
-        let smooth = cfg.evaluate(&RewardInput { accel: 1.0, prev_accel: 1.0, ..base_input() });
+        let smooth = cfg.evaluate(&RewardInput {
+            accel: 1.0,
+            prev_accel: 1.0,
+            ..base_input()
+        });
         assert_eq!(smooth.comfort, 0.0);
     }
 
@@ -277,8 +307,7 @@ mod tests {
             ..base_input()
         };
         let p = cfg.evaluate(&input);
-        let expected =
-            0.9 * p.safety + 0.8 * p.efficiency + 0.6 * p.comfort + 0.2 * p.impact;
+        let expected = 0.9 * p.safety + 0.8 * p.efficiency + 0.6 * p.comfort + 0.2 * p.impact;
         assert!((p.total - expected).abs() < 1e-12);
     }
 

@@ -18,7 +18,18 @@ fn input_strategy() -> impl Strategy<Value = RewardInput> {
         any::<bool>(),
     )
         .prop_map(
-            |(collision, front_gap, front_v_rel, front_is_phantom, ego_vel_next, accel, prev_accel, rear_vel_now, rear_vel_next, rear_is_phantom)| {
+            |(
+                collision,
+                front_gap,
+                front_v_rel,
+                front_is_phantom,
+                ego_vel_next,
+                accel,
+                prev_accel,
+                rear_vel_now,
+                rear_vel_next,
+                rear_is_phantom,
+            )| {
                 RewardInput {
                     collision,
                     front_gap,

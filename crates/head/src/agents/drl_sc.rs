@@ -63,7 +63,10 @@ impl SafetyCheck {
                 // longitudinal check below still guards the current lane.
                 // (Forcing a deceleration here traps the agent in a
                 // braking spiral whenever it keeps proposing changes.)
-                action = Action { behaviour: LaneBehaviour::Keep, accel: proposed.accel };
+                action = Action {
+                    behaviour: LaneBehaviour::Keep,
+                    accel: proposed.accel,
+                };
             }
         }
         // Longitudinal safety: no acceleration into a short-TTC leader in
@@ -78,7 +81,10 @@ impl SafetyCheck {
         if closing > 0.0 && !percepts.target_is_phantom(front_area) {
             let ttc = (front[1] - self.vehicle_len).max(0.0) / closing;
             if ttc < self.min_ttc && action.accel > self.fallback_decel {
-                return Action { behaviour: action.behaviour, accel: self.fallback_decel };
+                return Action {
+                    behaviour: action.behaviour,
+                    accel: self.fallback_decel,
+                };
             }
         }
         action
@@ -146,7 +152,10 @@ impl DrivingAgent for DrlSc {
     ) {
         // Snap the teacher's continuous acceleration onto the DQN's grid.
         let level = (action.accel / 3.0).clamp(-1.0, 1.0).round() * 3.0;
-        let snapped = Action { behaviour: action.behaviour, accel: level };
+        let snapped = Action {
+            behaviour: action.behaviour,
+            accel: level,
+        };
         let mut params = [0.0f32; 6];
         params[snapped.behaviour.index()] = snapped.accel as f32;
         self.dqn.observe(Transition {
@@ -178,7 +187,10 @@ mod tests {
         let env = HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
         let check = SafetyCheck::default();
         let p = env.percepts();
-        let proposed = Action { behaviour: LaneBehaviour::Keep, accel: 3.0 };
+        let proposed = Action {
+            behaviour: LaneBehaviour::Keep,
+            accel: 3.0,
+        };
         let filtered = check.filter(p, proposed);
         let front = p.target(Area::Front);
         let closing = -front[2];
@@ -209,9 +221,16 @@ mod tests {
             let check = SafetyCheck::default();
             let out = check.filter(
                 env.percepts(),
-                Action { behaviour: LaneBehaviour::Left, accel: 0.0 },
+                Action {
+                    behaviour: LaneBehaviour::Left,
+                    accel: 0.0,
+                },
             );
-            assert_eq!(out.behaviour, LaneBehaviour::Keep, "left change off-road vetoed");
+            assert_eq!(
+                out.behaviour,
+                LaneBehaviour::Keep,
+                "left change off-road vetoed"
+            );
         }
     }
 }

@@ -54,4 +54,30 @@ pub trait DrivingAgent {
     fn is_learning(&self) -> bool {
         false
     }
+
+    /// Serialises the agent's learned state for a checkpoint. `None` means
+    /// the agent has nothing to save (rule-based agents).
+    fn save_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state produced by [`DrivingAgent::save_state`]. The default
+    /// accepts nothing (stateless agents should never be handed a payload).
+    fn load_state(&mut self, _state: &str) -> Result<(), String> {
+        Err("agent has no loadable state".to_string())
+    }
+
+    /// Exploration (training) steps taken so far — checkpointed so resumed
+    /// runs continue their ε / noise annealing.
+    fn exploration_steps(&self) -> u64 {
+        0
+    }
+
+    /// Restores the exploration step counter from a checkpoint.
+    fn set_exploration_steps(&mut self, _steps: u64) {}
+
+    /// Deterministically reseeds internal exploration randomness (resume:
+    /// generator internals are not serialisable, so the resumed run
+    /// continues on a fresh seed-derived stream).
+    fn reseed(&mut self, _seed: u64) {}
 }

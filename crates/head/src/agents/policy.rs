@@ -16,7 +16,11 @@ pub struct PolicyAgent {
 impl PolicyAgent {
     /// Wraps a learner under a display label (e.g. `"HEAD"`).
     pub fn new(label: impl Into<String>, inner: Box<dyn PamdpAgent>) -> Self {
-        Self { label: label.into(), inner, last_params: [0.0; 6] }
+        Self {
+            label: label.into(),
+            inner,
+            last_params: [0.0; 6],
+        }
     }
 
     /// Access to the wrapped learner.
@@ -85,6 +89,26 @@ impl DrivingAgent for PolicyAgent {
     fn is_learning(&self) -> bool {
         true
     }
+
+    fn save_state(&self) -> Option<String> {
+        Some(self.inner.save_json())
+    }
+
+    fn load_state(&mut self, state: &str) -> Result<(), String> {
+        self.inner.load_json(state).map_err(|e| e.to_string())
+    }
+
+    fn exploration_steps(&self) -> u64 {
+        self.inner.exploration_steps()
+    }
+
+    fn set_exploration_steps(&mut self, steps: u64) {
+        self.inner.set_exploration_steps(steps);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.inner.reseed(seed);
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +129,15 @@ mod tests {
         assert!(agent.is_learning());
         let state = AugmentedState::zeros();
         // Feedback before any experience must be safe.
-        agent.feedback(&state, decision::Action { behaviour: decision::LaneBehaviour::Keep, accel: 0.0 }, 0.0, &state, false);
+        agent.feedback(
+            &state,
+            decision::Action {
+                behaviour: decision::LaneBehaviour::Keep,
+                accel: 0.0,
+            },
+            0.0,
+            &state,
+            false,
+        );
     }
 }

@@ -30,7 +30,11 @@ impl Default for RuleConfig {
     fn default() -> Self {
         let mut driver = DriverParams::nominal();
         driver.desired_speed = 25.0; // drive up to the limit, like the AV
-        Self { vehicle_len: 5.0, a_max: 3.0, driver }
+        Self {
+            vehicle_len: 5.0,
+            a_max: 3.0,
+            driver,
+        }
     }
 }
 
@@ -82,8 +86,13 @@ fn follower_of(
 /// A lane is unavailable when its targets are *inherent* phantoms (the
 /// virtual boundary lane).
 fn lane_available(percepts: &Percepts, front: Area, rear: Area) -> bool {
-    !matches!(percepts.target_source(front), NodeSource::Phantom(MissingKind::Inherent))
-        && !matches!(percepts.target_source(rear), NodeSource::Phantom(MissingKind::Inherent))
+    !matches!(
+        percepts.target_source(front),
+        NodeSource::Phantom(MissingKind::Inherent)
+    ) && !matches!(
+        percepts.target_source(rear),
+        NodeSource::Phantom(MissingKind::Inherent)
+    )
 }
 
 impl RuleAgent {
@@ -119,18 +128,17 @@ impl RuleAgent {
         let change = mobil_decision(&ego_vehicle, current, left, right);
         let (behaviour, leader) = match change {
             LaneChange::Keep => (LaneBehaviour::Keep, current.leader),
-            LaneChange::Left => {
-                (LaneBehaviour::Left, left.and_then(|c| c.leader))
-            }
-            LaneChange::Right => {
-                (LaneBehaviour::Right, right.and_then(|c| c.leader))
-            }
+            LaneChange::Left => (LaneBehaviour::Left, left.and_then(|c| c.leader)),
+            LaneChange::Right => (LaneBehaviour::Right, right.and_then(|c| c.leader)),
         };
         let accel = match self.law {
             FollowLaw::Idm => idm_accel(&cfg.driver, percepts.ego.vel, leader),
             FollowLaw::Acc => acc_accel(&cfg.driver, percepts.ego.vel, leader),
         };
-        Action { behaviour, accel: accel.clamp(-cfg.a_max, cfg.a_max) }
+        Action {
+            behaviour,
+            accel: accel.clamp(-cfg.a_max, cfg.a_max),
+        }
     }
 }
 
@@ -140,7 +148,10 @@ pub struct IdmLc(RuleAgent);
 impl IdmLc {
     /// Builds the agent.
     pub fn new(cfg: RuleConfig) -> Self {
-        Self(RuleAgent { cfg, law: FollowLaw::Idm })
+        Self(RuleAgent {
+            cfg,
+            law: FollowLaw::Idm,
+        })
     }
 }
 
@@ -160,7 +171,10 @@ pub struct AccLc(RuleAgent);
 impl AccLc {
     /// Builds the agent.
     pub fn new(cfg: RuleConfig) -> Self {
-        Self(RuleAgent { cfg, law: FollowLaw::Acc })
+        Self(RuleAgent {
+            cfg,
+            law: FollowLaw::Acc,
+        })
     }
 }
 

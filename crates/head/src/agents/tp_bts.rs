@@ -179,7 +179,11 @@ impl TpBts {
             if min_ttc < cfg.ttc_prune {
                 return f64::NEG_INFINITY; // unsafe branch: pruned
             }
-            let safety = if min_ttc < 4.0 { (min_ttc / 4.0).ln().max(-3.0) } else { 0.0 };
+            let safety = if min_ttc < 4.0 {
+                (min_ttc / 4.0).ln().max(-3.0)
+            } else {
+                0.0
+            };
             let efficiency = (v - cfg.v_min) / (cfg.v_max - cfg.v_min);
             utility += 0.9 * safety + 0.8 * efficiency - 0.2 * impact_penalty;
         }
@@ -199,9 +203,16 @@ impl DrivingAgent for TpBts {
 
     fn decide(&mut self, percepts: &Percepts, _explore: bool) -> Action {
         // Fallback when every branch is pruned: emergency braking.
-        let mut best = Action { behaviour: LaneBehaviour::Keep, accel: -self.cfg.accel_levels[0].abs() };
+        let mut best = Action {
+            behaviour: LaneBehaviour::Keep,
+            accel: -self.cfg.accel_levels[0].abs(),
+        };
         let mut best_score = f64::NEG_INFINITY;
-        for behaviour in [LaneBehaviour::Keep, LaneBehaviour::Left, LaneBehaviour::Right] {
+        for behaviour in [
+            LaneBehaviour::Keep,
+            LaneBehaviour::Left,
+            LaneBehaviour::Right,
+        ] {
             for &accel in &self.cfg.accel_levels {
                 let s = self.score(percepts, behaviour, accel);
                 if s > best_score {
@@ -251,6 +262,9 @@ mod tests {
                 }
             }
         }
-        assert!(completions >= 4, "TP-BTS completed only {completions}/5 episodes");
+        assert!(
+            completions >= 4,
+            "TP-BTS completed only {completions}/5 episodes"
+        );
     }
 }

@@ -1,0 +1,279 @@
+//! Crash-safe training checkpoints.
+//!
+//! A [`Checkpoint`] captures everything a training run needs to continue
+//! after being killed: the agent's weights, the per-episode metrics so far,
+//! the exploration-schedule position and the fault injector's generator
+//! state. Saves are atomic (write to a temporary file, then rename), so a
+//! crash mid-write leaves the previous checkpoint intact rather than a
+//! truncated file.
+//!
+//! Serialisation goes through [`telemetry::Json`] — dependency-free and
+//! byte-stable offline. `u64` generator states are stored as decimal
+//! strings because JSON numbers are `f64` and would lose low bits.
+
+use crate::metrics::{EpisodeMetrics, Terminal};
+use sensor::InjectorState;
+use std::fs;
+use std::io;
+use std::path::Path;
+use telemetry::Json;
+
+/// File name of the checkpoint inside its directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// A resumable snapshot of a training run.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Environment episode index after the last completed episode.
+    pub episode: u64,
+    /// Metrics of every completed episode, in order.
+    pub episodes: Vec<EpisodeMetrics>,
+    /// Agent weights (`PamdpAgent::save_json`), when the agent has any.
+    pub agent_json: Option<String>,
+    /// Exploration-schedule position (`PamdpAgent::exploration_steps`).
+    pub exploration_steps: u64,
+    /// Fault injector generator state, when fault injection is active.
+    pub injector: Option<InjectorState>,
+}
+
+fn terminal_name(t: Terminal) -> &'static str {
+    match t {
+        Terminal::None => "None",
+        Terminal::Collision => "Collision",
+        Terminal::Destination => "Destination",
+        Terminal::Timeout => "Timeout",
+        Terminal::Fault => "Fault",
+    }
+}
+
+fn terminal_from_name(name: &str) -> Option<Terminal> {
+    Some(match name {
+        "None" => Terminal::None,
+        "Collision" => Terminal::Collision,
+        "Destination" => Terminal::Destination,
+        "Timeout" => Terminal::Timeout,
+        "Fault" => Terminal::Fault,
+        _ => return None,
+    })
+}
+
+fn metrics_to_json(m: &EpisodeMetrics) -> Json {
+    Json::obj(vec![
+        ("steps", Json::from(m.steps)),
+        ("terminal", Json::from(terminal_name(m.terminal))),
+        ("driving_time", Json::from(m.driving_time)),
+        ("min_ttc", Json::from(m.min_ttc)),
+        ("avg_v", Json::from(m.avg_v)),
+        ("avg_jerk", Json::from(m.avg_jerk)),
+        ("impact_events", Json::from(m.impact_events)),
+        ("avg_rear_decel", Json::from(m.avg_rear_decel)),
+        ("follower_mean_vel", Json::from(m.follower_mean_vel)),
+        ("mean_reward", Json::from(m.mean_reward)),
+        ("total_reward", Json::from(m.total_reward)),
+    ])
+}
+
+fn num(v: &Json, key: &str) -> Option<f64> {
+    v.get(key)?.as_f64()
+}
+
+fn metrics_from_json(v: &Json) -> Option<EpisodeMetrics> {
+    Some(EpisodeMetrics {
+        steps: num(v, "steps")? as usize,
+        terminal: terminal_from_name(v.get("terminal")?.as_str()?)?,
+        driving_time: num(v, "driving_time")?,
+        // Non-finite numbers serialise as `null`; the only non-finite
+        // metric is a never-defined TTC, so `null` round-trips to +inf.
+        min_ttc: num(v, "min_ttc").unwrap_or(f64::INFINITY),
+        avg_v: num(v, "avg_v")?,
+        avg_jerk: num(v, "avg_jerk")?,
+        impact_events: num(v, "impact_events")? as usize,
+        avg_rear_decel: num(v, "avg_rear_decel")?,
+        follower_mean_vel: num(v, "follower_mean_vel")?,
+        mean_reward: num(v, "mean_reward")?,
+        total_reward: num(v, "total_reward")?,
+    })
+}
+
+fn u64_str(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn u64_from(v: &Json, key: &str) -> Option<u64> {
+    v.get(key)?.as_str()?.parse().ok()
+}
+
+fn injector_to_json(s: &InjectorState) -> Json {
+    Json::obj(vec![
+        ("rng_state", u64_str(s.rng_state)),
+        ("noise_left", Json::from(u64::from(s.noise_left))),
+        ("blackout_left", Json::from(u64::from(s.blackout_left))),
+        ("frames_seen", u64_str(s.frames_seen)),
+    ])
+}
+
+fn injector_from_json(v: &Json) -> Option<InjectorState> {
+    Some(InjectorState {
+        rng_state: u64_from(v, "rng_state")?,
+        noise_left: num(v, "noise_left")? as u32,
+        blackout_left: num(v, "blackout_left")? as u32,
+        frames_seen: u64_from(v, "frames_seen")?,
+    })
+}
+
+impl Checkpoint {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("version", Json::from(1u64)),
+            ("episode", u64_str(self.episode)),
+            ("exploration_steps", u64_str(self.exploration_steps)),
+            (
+                "episodes",
+                Json::Arr(self.episodes.iter().map(metrics_to_json).collect()),
+            ),
+        ];
+        if let Some(json) = &self.agent_json {
+            pairs.push(("agent_json", Json::from(json.clone())));
+        }
+        if let Some(state) = &self.injector {
+            pairs.push(("injector", injector_to_json(state)));
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Option<Checkpoint> {
+        let episodes = match v.get("episodes")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(metrics_from_json)
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(Checkpoint {
+            episode: u64_from(v, "episode")?,
+            episodes,
+            agent_json: v
+                .get("agent_json")
+                .and_then(|j| j.as_str())
+                .map(String::from),
+            exploration_steps: u64_from(v, "exploration_steps")?,
+            injector: v.get("injector").and_then(injector_from_json),
+        })
+    }
+
+    /// Atomically writes the checkpoint into `dir` (created if missing):
+    /// the content lands in a temporary file first and is renamed over
+    /// `checkpoint.json`, so readers never observe a partial write.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        let finality = dir.join(CHECKPOINT_FILE);
+        fs::write(&tmp, self.to_json().to_string())?;
+        fs::rename(&tmp, &finality)
+    }
+
+    /// Loads the checkpoint from `dir`. A missing file is `Ok(None)` (a
+    /// fresh run); a present-but-corrupt file is an error.
+    pub fn load(dir: &Path) -> io::Result<Option<Checkpoint>> {
+        let text = match fs::read_to_string(dir.join(CHECKPOINT_FILE)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let value =
+            Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Checkpoint::from_json(&value)
+            .map(Some)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed checkpoint"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_metrics(terminal: Terminal) -> EpisodeMetrics {
+        EpisodeMetrics {
+            steps: 42,
+            terminal,
+            driving_time: 21.0,
+            min_ttc: f64::INFINITY,
+            avg_v: 17.5,
+            avg_jerk: 0.3,
+            impact_events: 1,
+            avg_rear_decel: 0.05,
+            follower_mean_vel: 16.0,
+            mean_reward: 0.4,
+            total_reward: 16.8,
+        }
+    }
+
+    fn demo_checkpoint() -> Checkpoint {
+        Checkpoint {
+            episode: 7,
+            episodes: vec![
+                demo_metrics(Terminal::Destination),
+                demo_metrics(Terminal::Fault),
+            ],
+            agent_json: Some("{\"weights\":[1,2,3]}".to_string()),
+            exploration_steps: u64::MAX - 3,
+            injector: Some(InjectorState {
+                rng_state: u64::MAX - 1,
+                noise_left: 2,
+                blackout_left: 0,
+                frames_seen: 999,
+            }),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("head-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips_every_field() {
+        let dir = temp_dir("roundtrip");
+        let ckpt = demo_checkpoint();
+        ckpt.save(&dir).expect("save");
+        let back = Checkpoint::load(&dir).expect("load").expect("present");
+        assert_eq!(back.episode, ckpt.episode);
+        assert_eq!(back.exploration_steps, ckpt.exploration_steps);
+        assert_eq!(back.agent_json, ckpt.agent_json);
+        assert_eq!(back.injector, ckpt.injector, "u64 state survives exactly");
+        assert_eq!(back.episodes.len(), 2);
+        assert_eq!(back.episodes[0].terminal, Terminal::Destination);
+        assert_eq!(back.episodes[1].terminal, Terminal::Fault);
+        assert!(
+            back.episodes[0].min_ttc.is_infinite(),
+            "null round-trips to +inf"
+        );
+        assert_eq!(back.episodes[0].steps, 42);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_not_error() {
+        let dir = temp_dir("missing");
+        assert!(Checkpoint::load(&dir).expect("missing is ok").is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(CHECKPOINT_FILE), "{not json").expect("write");
+        assert!(Checkpoint::load(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_leaves_no_temporary_file() {
+        let dir = temp_dir("tmpfile");
+        demo_checkpoint().save(&dir).expect("save");
+        assert!(dir.join(CHECKPOINT_FILE).exists());
+        assert!(!dir.join(format!("{CHECKPOINT_FILE}.tmp")).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

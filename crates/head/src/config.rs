@@ -1,7 +1,7 @@
 //! Environment and experiment configuration.
 
 use decision::RewardConfig;
-use sensor::SensorConfig;
+use sensor::{FaultProfile, SensorConfig};
 use serde::{Deserialize, Serialize};
 use traffic_sim::SimConfig;
 
@@ -25,6 +25,9 @@ pub struct EnvConfig {
     pub av_start_vel: f64,
     /// Base RNG seed; episode `k` uses `seed + k`.
     pub seed: u64,
+    /// Deterministic sensor fault injection (robustness runs). `None`
+    /// delivers every sweep untouched.
+    pub faults: Option<FaultProfile>,
 }
 
 impl Default for EnvConfig {
@@ -38,6 +41,7 @@ impl Default for EnvConfig {
             warmup_steps: 60,
             av_start_vel: 15.0,
             seed: 0,
+            faults: None,
         }
     }
 }

@@ -4,15 +4,29 @@
 
 use crate::config::EnvConfig;
 use crate::metrics::{EpisodeMetrics, MetricsCollector, Terminal};
+use crate::robustness::RobustnessEvent;
 use decision::{
     Action, AugmentedState, LaneBehaviour, RewardInput, RewardParts, CURRENT_ROWS, FUTURE_ROWS,
 };
 use perception::{
-    target_node, Area, BuilderConfig, GraphBuilder, LstGat, NodeSource, Prediction, RawState,
-    StGraph, StatePredictor, NUM_TARGETS,
+    target_node, Area, BuilderConfig, FallbackGuard, GraphBuilder, LstGat, NodeSource, Prediction,
+    RawState, StGraph, StatePredictor, NUM_TARGETS,
 };
-use sensor::{sense, SensorHistory};
+use sensor::{sense, FaultInjector, InjectorState, SensorHistory};
 use traffic_sim::{ExternalCommand, LaneChange, Simulation, VehicleId};
+
+/// Salt xored into the environment seed for the fault injector, so the
+/// fault stream is independent of the traffic stream under the same seed.
+const FAULT_SEED_SALT: u64 = 0x6661_756c_7421_5eed;
+
+/// Telemetry counter per [`sensor::FaultKind::index`] slot.
+const FAULT_COUNTERS: [&str; 5] = [
+    "sensor.fault.dropout",
+    "sensor.fault.noise",
+    "sensor.fault.latency",
+    "sensor.fault.blackout",
+    "sensor.fault.nan",
+];
 
 /// Which state predictor feeds the decision module.
 pub enum PerceptionMode {
@@ -99,6 +113,8 @@ pub struct HighwayEnv {
     steps: usize,
     episode_index: u64,
     collector: MetricsCollector,
+    injector: Option<FaultInjector>,
+    fallback: FallbackGuard,
 }
 
 impl HighwayEnv {
@@ -123,15 +139,28 @@ impl HighwayEnv {
                 graph: StGraph {
                     frames: vec![[[0.0; 4]; perception::NUM_NODES]; cfg.z],
                     sources: [NodeSource::Ego; perception::NUM_NODES],
-                    ego_latest: RawState { lat: 1.0, lon: 0.0, vel: 0.0 },
+                    ego_latest: RawState {
+                        lat: 1.0,
+                        lon: 0.0,
+                        vel: 0.0,
+                    },
                 },
                 prediction: Prediction::default(),
-                ego: RawState { lat: 1.0, lon: 0.0, vel: 0.0 },
+                ego: RawState {
+                    lat: 1.0,
+                    lon: 0.0,
+                    vel: 0.0,
+                },
             },
             prev_accel: 0.0,
             steps: 0,
             episode_index: 0,
             collector: MetricsCollector::new(),
+            injector: cfg
+                .faults
+                .filter(|p| !p.is_noop())
+                .map(|p| FaultInjector::new(p, cfg.seed ^ FAULT_SEED_SALT)),
+            fallback: FallbackGuard::new(cfg.sim.dt),
             cfg,
         };
         env.reset();
@@ -172,13 +201,47 @@ impl HighwayEnv {
         // Random entry lane, as in the paper.
         let lane = (seed % self.cfg.sim.lanes as u64) as usize;
         self.av =
-            self.sim.spawn_external(lane, self.cfg.sim.vehicle_len + 2.0, self.cfg.av_start_vel);
+            self.sim
+                .spawn_external(lane, self.cfg.sim.vehicle_len + 2.0, self.cfg.av_start_vel);
         self.history.clear();
         self.prev_accel = 0.0;
         self.steps = 0;
         self.collector = MetricsCollector::new();
+        // The fault injector deliberately persists across episodes (one
+        // continuous fault stream); the degradation ladder does not.
+        self.fallback = FallbackGuard::new(self.cfg.sim.dt);
         self.refresh_percepts();
         &self.percepts
+    }
+
+    /// Overrides the episode counter (checkpoint resume: episode `k`'s
+    /// seed is `seed + k`, so resuming must restart the arithmetic there).
+    pub fn set_episode_index(&mut self, index: u64) {
+        self.episode_index = index;
+    }
+
+    /// Read access to the fault injector, when fault injection is active.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Resumable fault-injector state, when fault injection is active.
+    pub fn injector_state(&self) -> Option<InjectorState> {
+        self.injector.as_ref().map(|i| i.state())
+    }
+
+    /// Restores the fault injector to a checkpointed state (no-op when
+    /// fault injection is inactive).
+    pub fn restore_injector(&mut self, state: InjectorState) {
+        if let Some(injector) = self.injector.as_mut() {
+            injector.restore(state);
+        }
+    }
+
+    /// Closes the running episode early with [`Terminal::Fault`] (episode
+    /// watchdog). The caller is expected to `reset` before stepping again.
+    pub fn abort_episode(&mut self) -> EpisodeMetrics {
+        self.collector.finish(Terminal::Fault, self.cfg.sim.dt)
     }
 
     /// Current percepts.
@@ -192,23 +255,73 @@ impl HighwayEnv {
     }
 
     fn refresh_percepts(&mut self) {
-        let frame = sense(&self.sim, self.av, &self.cfg.sensor);
-        self.history.push(frame);
-        let graph = self.builder.build(&self.history);
-        let prediction = self.perception.predict(&graph);
-        let state = augmented_state(&graph, &prediction);
-        let ego = graph.ego_latest;
-        self.percepts = Percepts { state, graph, prediction, ego };
+        let raw = sense(&self.sim, self.av, &self.cfg.sensor);
+        // The boot frame of every episode bypasses injection: each episode
+        // starts from warm, known-good percepts (and the rule keeps the
+        // injected fault stream a pure function of the frame sequence).
+        let boot_frame = self.history.is_empty();
+        let delivered = match self.injector.as_mut() {
+            Some(injector) if !boot_frame => {
+                let before = injector.counts();
+                let out = injector.apply(raw);
+                let after = injector.counts();
+                for (i, counter) in FAULT_COUNTERS.iter().enumerate() {
+                    let delta = after[i].saturating_sub(before[i]);
+                    if delta > 0 {
+                        telemetry::counter_add(counter, delta);
+                    }
+                }
+                out
+            }
+            _ => Some(raw),
+        };
+
+        let fresh = delivered.map(|mut frame| {
+            // A NaN-corrupted detection is dropped before it can poison the
+            // graph — from the pipeline's viewpoint it behaves like a
+            // dropout of that vehicle.
+            frame
+                .observed
+                .retain(|o| o.pos.is_finite() && o.vel.is_finite());
+            self.history.push(frame);
+            let graph = self.builder.build(&self.history);
+            let prediction = self.perception.predict(&graph);
+            (graph, prediction)
+        });
+
+        // Blackout or non-finite perception: degrade through the fallback
+        // ladder. `None` is only possible before the first good frame of a
+        // process, which the boot-frame rule rules out — keeping the
+        // previous percepts is the safe no-op either way.
+        if let Some((graph, prediction, _tier)) = self.fallback.resolve(fresh) {
+            let state = augmented_state(&graph, &prediction);
+            let ego = graph.ego_latest;
+            self.percepts = Percepts {
+                state,
+                graph,
+                prediction,
+                ego,
+            };
+        }
     }
 
     /// Executes a maneuver and advances the world by Δt.
     pub fn step(&mut self, action: Action) -> StepResult {
+        // Recoverable faults observed this step. A non-finite commanded
+        // acceleration (a diverged policy) coasts instead of executing and
+        // ends the episode with `Terminal::Fault`.
+        let mut faults: Vec<RobustnessEvent> = Vec::new();
+        let accel = if action.accel.is_finite() {
+            action.accel
+        } else {
+            faults.push(RobustnessEvent::NonFiniteAction { step: self.steps });
+            0.0
+        };
+
         // Rear-vehicle bookkeeping for the impact term (before stepping).
         let rear_source = self.percepts.target_source(Area::Rear);
         let (rear_id, rear_vel_now, rear_is_phantom) = match rear_source {
-            NodeSource::Observed(id) => {
-                (Some(id), self.sim.get(id).map(|v| v.vel), false)
-            }
+            NodeSource::Observed(id) => (Some(id), self.sim.get(id).map(|v| v.vel), false),
             _ => (None, None, true),
         };
 
@@ -217,7 +330,8 @@ impl HighwayEnv {
             LaneBehaviour::Right => LaneChange::Right,
             LaneBehaviour::Keep => LaneChange::Keep,
         };
-        self.sim.set_command(self.av, ExternalCommand { lane_change, accel: action.accel });
+        self.sim
+            .set_command(self.av, ExternalCommand { lane_change, accel });
         let outcome = self.sim.step();
         self.steps += 1;
 
@@ -226,6 +340,12 @@ impl HighwayEnv {
             .iter()
             .any(|c| c.vehicle == self.av || c.other == Some(self.av));
         let arrived = outcome.exited_external.contains(&self.av);
+        faults.extend(
+            outcome
+                .non_finite
+                .iter()
+                .map(|&vehicle| RobustnessEvent::NonFiniteVehicleState { vehicle }),
+        );
 
         // Perceive the new world (the AV still exists in every case).
         self.refresh_percepts();
@@ -246,14 +366,24 @@ impl HighwayEnv {
             front_v_rel: Some(front[2]),
             front_is_phantom: front_phantom,
             ego_vel_next,
-            accel: action.accel,
+            accel,
             prev_accel: self.prev_accel,
             rear_vel_now,
             rear_vel_next,
             rear_is_phantom,
         };
         let reward = self.cfg.reward.evaluate(&input);
-        self.prev_accel = action.accel;
+        self.prev_accel = accel;
+        if !reward.total.is_finite() {
+            faults.push(RobustnessEvent::NonFiniteReward { step: self.steps });
+        }
+        // A poisoned reward must not contaminate the episode accumulators
+        // (the episode ends with `Terminal::Fault` below anyway).
+        let reward_for_metrics = if reward.total.is_finite() {
+            reward.total
+        } else {
+            0.0
+        };
 
         // Metrics.
         let ttc = if !front_phantom && front[2] < 0.0 && front_gap > 0.0 {
@@ -265,7 +395,7 @@ impl HighwayEnv {
             (Some(now), Some(next)) if !rear_is_phantom => Some(now - next),
             _ => None,
         };
-        let jerk = action.accel - input.prev_accel;
+        let jerk = accel - input.prev_accel;
         let follower_mean_vel = self.follower_mean_velocity();
         self.collector.record_step(
             ego_vel_next,
@@ -273,23 +403,33 @@ impl HighwayEnv {
             ttc,
             rear_decel,
             follower_mean_vel,
-            reward.total,
+            reward_for_metrics,
             self.cfg.reward.v_thr,
         );
 
+        for event in &faults {
+            event.record(self.episode_index);
+        }
         let terminal = if collided {
             Terminal::Collision
         } else if arrived {
             Terminal::Destination
+        } else if !faults.is_empty() {
+            Terminal::Fault
         } else if self.steps >= self.cfg.max_steps {
             Terminal::Timeout
         } else {
             Terminal::None
         };
-        let episode = (terminal != Terminal::None)
-            .then(|| self.collector.finish(terminal, self.cfg.sim.dt));
+        let episode =
+            (terminal != Terminal::None).then(|| self.collector.finish(terminal, self.cfg.sim.dt));
 
-        StepResult { reward, terminal, next_state: self.percepts.state, episode }
+        StepResult {
+            reward,
+            terminal,
+            next_state: self.percepts.state,
+            episode,
+        }
     }
 
     /// Mean velocity of conventional vehicles within 100 m behind the AV
@@ -321,10 +461,13 @@ pub fn augmented_state(graph: &StGraph, prediction: &Prediction) -> AugmentedSta
     for i in 0..NUM_TARGETS.min(CURRENT_ROWS - 1) {
         s.current[i + 1] = latest[target_node(i)];
     }
-    for i in 0..NUM_TARGETS.min(FUTURE_ROWS) {
+    for (i, p) in prediction
+        .iter()
+        .enumerate()
+        .take(NUM_TARGETS.min(FUTURE_ROWS))
+    {
         let flag = if graph.target_is_phantom(i) { 1.0 } else { 0.0 };
-        s.future[i] =
-            [prediction[i].d_lat, prediction[i].d_lon, prediction[i].v_rel, flag];
+        s.future[i] = [p.d_lat, p.d_lon, p.v_rel, flag];
     }
     s
 }
@@ -338,7 +481,10 @@ mod tests {
     }
 
     fn keep(accel: f64) -> Action {
-        Action { behaviour: LaneBehaviour::Keep, accel }
+        Action {
+            behaviour: LaneBehaviour::Keep,
+            accel,
+        }
     }
 
     #[test]
@@ -383,10 +529,16 @@ mod tests {
         // Drive off the left edge by forcing left changes.
         let mut terminal = Terminal::None;
         for _ in 0..10 {
-            let r = env.step(Action { behaviour: LaneBehaviour::Left, accel: 0.0 });
+            let r = env.step(Action {
+                behaviour: LaneBehaviour::Left,
+                accel: 0.0,
+            });
             terminal = r.terminal;
             if terminal != Terminal::None {
-                assert!((r.reward.safety + 3.0).abs() < 1e-9, "collision safety = -3");
+                assert!(
+                    (r.reward.safety + 3.0).abs() < 1e-9,
+                    "collision safety = -3"
+                );
                 break;
             }
         }
@@ -422,6 +574,93 @@ mod tests {
             trace
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn faulted_runs_are_reproducible_by_seed() {
+        let run = |seed: u64| {
+            let mut cfg = EnvConfig::test_scale();
+            cfg.seed = seed;
+            cfg.faults = Some(sensor::FaultProfile::heavy());
+            let mut env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+            let mut trace = Vec::new();
+            for i in 0..40 {
+                let accel = ((i % 5) as f64) - 2.0;
+                let r = env.step(keep(accel));
+                trace.push((r.reward.total.to_bits(), r.terminal));
+                if r.terminal != Terminal::None {
+                    break;
+                }
+            }
+            let digest = env.injector().map(|i| i.digest());
+            (trace, digest)
+        };
+        assert_eq!(run(5), run(5), "same seed: same faults, same rewards");
+        assert_ne!(run(5).1, run(6).1, "different seed: different fault stream");
+    }
+
+    #[test]
+    fn blackouts_degrade_through_fallback_not_panic() {
+        let was = telemetry::set_enabled(true);
+        let fallback_total = || {
+            telemetry::counter_value("perception.fallback.last_prediction")
+                + telemetry::counter_value("perception.fallback.last_observation")
+                + telemetry::counter_value("perception.fallback.extrapolation")
+        };
+        let before_fallback = fallback_total();
+        let before_blackout = telemetry::counter_value("sensor.fault.blackout");
+        let mut cfg = EnvConfig::test_scale();
+        cfg.faults = Some(sensor::FaultProfile::blackout_heavy());
+        let mut env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+        for _ in 0..60 {
+            let r = env.step(keep(0.5));
+            assert!(r.reward.total.is_finite(), "degraded percepts stay usable");
+            if r.terminal != Terminal::None {
+                env.reset();
+            }
+        }
+        assert!(
+            telemetry::counter_value("sensor.fault.blackout") > before_blackout,
+            "blackout-heavy profile injected blackouts"
+        );
+        assert!(
+            fallback_total() > before_fallback,
+            "blackouts exercised the ladder"
+        );
+        telemetry::set_enabled(was);
+    }
+
+    #[test]
+    fn nan_action_ends_episode_recoverably() {
+        let mut env = test_env();
+        let r = env.step(keep(f64::NAN));
+        // The poisoned command coasts instead of executing; the episode
+        // ends with a recoverable Fault terminal and finite metrics.
+        assert_eq!(r.terminal, Terminal::Fault);
+        assert!(
+            r.reward.total.is_finite(),
+            "sanitised command keeps the reward finite"
+        );
+        assert!(r.episode.is_some());
+        assert_eq!(r.episode.map(|e| e.terminal), Some(Terminal::Fault));
+        // The process (and the env) keeps working afterwards.
+        env.reset();
+        let r2 = env.step(keep(1.0));
+        assert!(r2.reward.total.is_finite());
+        assert_eq!(r2.terminal, Terminal::None);
+    }
+
+    #[test]
+    fn injector_state_round_trips_through_env() {
+        let mut cfg = EnvConfig::test_scale();
+        cfg.faults = Some(sensor::FaultProfile::light());
+        let mut env = HighwayEnv::new(cfg, PerceptionMode::Persistence);
+        for _ in 0..10 {
+            let _ = env.step(keep(0.0));
+        }
+        let state = env.injector_state().expect("fault injection active");
+        env.restore_injector(state);
+        assert_eq!(env.injector_state(), Some(state));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! tests), bench scale (the recorded laptop run in EXPERIMENTS.md) and
 //! paper scale (3 km road, 4 000 training episodes).
 
-use crate::agents::{AccLc, DrivingAgent, DrlSc, IdmLc, PolicyAgent, RuleConfig, SafetyCheck, TpBts, TpBtsConfig};
+use crate::agents::{
+    AccLc, DrivingAgent, DrlSc, IdmLc, PolicyAgent, RuleConfig, SafetyCheck, TpBts, TpBtsConfig,
+};
 use crate::config::EnvConfig;
 use crate::env::{HighwayEnv, PerceptionMode};
 use crate::metrics::{aggregate, AggregateMetrics};
@@ -64,7 +66,12 @@ impl Scale {
             train_episodes: 10,
             eval_episodes: 3,
             eval_seed_base: 1_000_000,
-            corpus: CorpusConfig { windows: 10, egos_per_window: 3, warmup_steps: 40, ..CorpusConfig::default() },
+            corpus: CorpusConfig {
+                windows: 10,
+                egos_per_window: 3,
+                warmup_steps: 40,
+                ..CorpusConfig::default()
+            },
             predictor_epochs: 2,
             predictor_batch: 32,
             inference_reps: 1,
@@ -87,7 +94,11 @@ impl Scale {
             train_episodes: 1_600,
             eval_episodes: 40,
             eval_seed_base: 1_000_000,
-            corpus: CorpusConfig { windows: 150, egos_per_window: 4, ..CorpusConfig::default() },
+            corpus: CorpusConfig {
+                windows: 150,
+                egos_per_window: 4,
+                ..CorpusConfig::default()
+            },
             predictor_epochs: 8,
             predictor_batch: 64,
             inference_reps: 3,
@@ -104,7 +115,11 @@ impl Scale {
             train_episodes: 4_000,
             eval_episodes: 500,
             eval_seed_base: 1_000_000,
-            corpus: CorpusConfig { windows: 1_000, egos_per_window: 4, ..CorpusConfig::default() },
+            corpus: CorpusConfig {
+                windows: 1_000,
+                egos_per_window: 4,
+                ..CorpusConfig::default()
+            },
             predictor_epochs: 15,
             predictor_batch: 64,
             inference_reps: 5,
@@ -213,25 +228,38 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
     // Rule-based baselines need no training.
     {
         phase("table1", "rule_baselines");
-        let mut env =
-            HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
+        let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
         let mut agent = IdmLc::new(RuleConfig::default());
-        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            scale.eval_episodes,
+            scale.eval_seed_base,
+        );
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
         let mut agent = AccLc::new(RuleConfig::default());
-        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            scale.eval_episodes,
+            scale.eval_seed_base,
+        );
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
 
     // DRL-SC: discrete DQN + safety check, no prediction.
     {
         phase("table1", "drl_sc");
-        let mut env =
-            HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
+        let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
         let mut agent = DrlSc::new(DiscreteDqn::new(scale.agent), SafetyCheck::default());
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            scale.eval_episodes,
+            scale.eval_seed_base,
+        );
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
 
@@ -240,10 +268,19 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
         phase("table1", "tp_bts");
         let mut env = lstgat_env(scale, &weights);
         let mut agent = TpBts::new(
-            TpBtsConfig { dt: scale.env.sim.dt, v_max: scale.env.sim.v_max, ..TpBtsConfig::default() },
+            TpBtsConfig {
+                dt: scale.env.sim.dt,
+                v_max: scale.env.sim.v_max,
+                ..TpBtsConfig::default()
+            },
             scale.env.sim.lane_width,
         );
-        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            scale.eval_episodes,
+            scale.eval_seed_base,
+        );
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
 
@@ -254,11 +291,19 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
         let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            scale.eval_episodes,
+            scale.eval_seed_base,
+        );
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
 
-    EndToEndReport { title: "Table I: end-to-end performance".into(), rows }
+    EndToEndReport {
+        title: "Table I: end-to-end performance".into(),
+        rows,
+    }
 }
 
 /// **Table II** — ablation study over the HEAD variants.
@@ -273,10 +318,18 @@ pub fn run_table2(scale: &Scale) -> EndToEndReport {
         phase("table2", &agent.name());
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            scale.eval_episodes,
+            scale.eval_seed_base,
+        );
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
-    EndToEndReport { title: "Table II: ablation study".into(), rows }
+    EndToEndReport {
+        title: "Table II: ablation study".into(),
+        rows,
+    }
 }
 
 /// One row of the prediction break-down (Tables III + IV merged).
@@ -409,7 +462,8 @@ pub fn run_tables_5_6(scale: &Scale) -> DecisionReport {
     phase("table5_6", "train_lstgat");
     let (weights, _, _) = train_lstgat(scale);
     let mut rows = Vec::new();
-    let builders: Vec<(&str, Box<dyn Fn(AgentConfig) -> Box<dyn decision::PamdpAgent>>)> = vec![
+    type AgentBuilder = Box<dyn Fn(AgentConfig) -> Box<dyn decision::PamdpAgent>>;
+    let builders: Vec<(&str, AgentBuilder)> = vec![
         ("P-QP", Box::new(|c| Box::new(PQp::new(c)))),
         ("P-DDPG", Box::new(|c| Box::new(PDdpg::new(c)))),
         ("P-DQN", Box::new(|c| Box::new(PDqn::new(c)))),
@@ -421,7 +475,12 @@ pub fn run_tables_5_6(scale: &Scale) -> DecisionReport {
         let mut agent = PolicyAgent::new(name, build(scale.agent));
         seed_demos(scale, &mut env, &mut agent);
         let report = train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(&mut env, &mut agent, scale.eval_episodes, scale.eval_seed_base);
+        let eps = evaluate_agent(
+            &mut env,
+            &mut agent,
+            scale.eval_episodes,
+            scale.eval_seed_base,
+        );
         let agg = aggregate(scale.env.sim.road_len, &eps);
         let latency =
             crate::train::mean_decision_ms(&mut env, &mut agent, 60.min(scale.eval_episodes * 20));
@@ -464,7 +523,11 @@ pub struct RewardSearchReport {
 impl fmt::Display for RewardSearchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== Table VII: reward-coefficient grid search ==")?;
-        writeln!(f, "{:<6} {:>6} {:>6} {:>6} {:>6}", "Coef", "Min", "Max", "Step", "Best")?;
+        writeln!(
+            f,
+            "{:<6} {:>6} {:>6} {:>6} {:>6}",
+            "Coef", "Min", "Max", "Step", "Best"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -496,8 +559,12 @@ pub fn run_table7(scale: &Scale) -> RewardSearchReport {
     let (weights, _, _) = train_lstgat(scale);
     let norm = scale.normalizer();
     // (name, min, max, step) per the paper.
-    let ranges =
-        [("w1", 0.5, 1.0, 0.1), ("w2", 0.0, 1.0, 0.2), ("w3", 0.0, 1.0, 0.2), ("w4", 0.0, 0.5, 0.1)];
+    let ranges = [
+        ("w1", 0.5, 1.0, 0.1),
+        ("w2", 0.0, 1.0, 0.2),
+        ("w3", 0.0, 1.0, 0.2),
+        ("w4", 0.0, 0.5, 0.1),
+    ];
     let mut best = [0.9, 0.8, 0.6, 0.2]; // start from the paper's optimum
     let mut rows = Vec::new();
     let mut best_score = f64::NEG_INFINITY;

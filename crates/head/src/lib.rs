@@ -28,21 +28,25 @@
 //! ```
 
 mod agents;
+mod checkpoint;
 mod config;
 mod env;
 pub mod experiments;
 mod metrics;
+mod robustness;
 mod train;
 mod variants;
 
 pub use agents::{
     AccLc, DrivingAgent, DrlSc, IdmLc, PolicyAgent, RuleConfig, SafetyCheck, TpBts, TpBtsConfig,
 };
+pub use checkpoint::{Checkpoint, CHECKPOINT_FILE};
 pub use config::EnvConfig;
 pub use env::{augmented_state, HighwayEnv, PerceptionMode, Percepts, StepResult};
 pub use metrics::{aggregate, AggregateMetrics, EpisodeMetrics, MetricsCollector, Terminal};
+pub use robustness::RobustnessEvent;
 pub use train::{
-    evaluate_agent, mean_decision_ms, run_episode, seed_with_demonstrations, train_agent,
-    TrainingReport,
+    evaluate_agent, mean_decision_ms, run_episode, run_episode_guarded, seed_with_demonstrations,
+    train_agent, train_agent_resumable, ResumableOptions, TrainingReport, Watchdog,
 };
 pub use variants::{build_agent, Variant};

@@ -30,6 +30,10 @@ pub enum Terminal {
     Destination,
     /// The step cap was reached.
     Timeout,
+    /// The episode was aborted by the robustness machinery (non-finite
+    /// dynamics, watchdog) instead of crashing the process. Fault episodes
+    /// count as neither completed nor collided in aggregation.
+    Fault,
 }
 
 /// Everything measured about one finished episode.
@@ -175,18 +179,22 @@ pub fn aggregate(road_len: f64, episodes: &[EpisodeMetrics]) -> AggregateMetrics
         return AggregateMetrics::default();
     }
     let n = episodes.len() as f64;
-    let completed: Vec<&EpisodeMetrics> =
-        episodes.iter().filter(|e| e.terminal == Terminal::Destination).collect();
+    let completed: Vec<&EpisodeMetrics> = episodes
+        .iter()
+        .filter(|e| e.terminal == Terminal::Destination)
+        .collect();
     let avg_dt_a = if completed.is_empty() {
         // Fall back to expected transit time at observed mean speed.
         road_len / (episodes.iter().map(|e| e.avg_v).sum::<f64>() / n).max(0.1)
     } else {
         completed.iter().map(|e| e.driving_time).sum::<f64>() / completed.len() as f64
     };
-    let follower_v =
-        episodes.iter().map(|e| e.follower_mean_vel).sum::<f64>() / n;
-    let finite_ttcs: Vec<f64> =
-        episodes.iter().map(|e| e.min_ttc).filter(|t| t.is_finite()).collect();
+    let follower_v = episodes.iter().map(|e| e.follower_mean_vel).sum::<f64>() / n;
+    let finite_ttcs: Vec<f64> = episodes
+        .iter()
+        .map(|e| e.min_ttc)
+        .filter(|t| t.is_finite())
+        .collect();
     let min_ttc_a = if finite_ttcs.is_empty() {
         f64::INFINITY
     } else {
@@ -206,7 +214,10 @@ pub fn aggregate(road_len: f64, episodes: &[EpisodeMetrics]) -> AggregateMetrics
         avg_r: rewards.iter().sum::<f64>() / n,
         episodes: episodes.len(),
         completed: completed.len(),
-        collisions: episodes.iter().filter(|e| e.terminal == Terminal::Collision).count(),
+        collisions: episodes
+            .iter()
+            .filter(|e| e.terminal == Terminal::Collision)
+            .count(),
     }
 }
 
@@ -313,6 +324,15 @@ mod tests {
         assert!((agg.max_r - 0.6).abs() < 1e-12);
         assert!((agg.avg_r - 0.2).abs() < 1e-12);
         assert_eq!((agg.episodes, agg.completed, agg.collisions), (2, 1, 1));
+    }
+
+    #[test]
+    fn fault_episodes_count_as_neither_completed_nor_collided() {
+        let mut c = MetricsCollector::new();
+        c.record_step(12.0, 0.1, None, None, None, 0.2, 0.5);
+        let e = c.finish(Terminal::Fault, 0.5);
+        let agg = aggregate(300.0, &[e]);
+        assert_eq!((agg.episodes, agg.completed, agg.collisions), (1, 0, 0));
     }
 
     #[test]

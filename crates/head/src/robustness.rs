@@ -1,0 +1,117 @@
+//! Recoverable robustness events.
+//!
+//! Conditions that would previously have been hard `assert!`s deep in the
+//! loop (non-finite vehicle dynamics, non-finite rewards, runaway episodes)
+//! are surfaced as [`RobustnessEvent`]s instead: the episode ends with
+//! [`crate::Terminal::Fault`], telemetry records what happened, and the
+//! process — typically hours into a training run — keeps going.
+
+use telemetry::Json;
+use traffic_sim::VehicleId;
+
+/// A recoverable fault observed by the environment or the episode runner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RobustnessEvent {
+    /// The simulator froze a vehicle whose integrated state went
+    /// non-finite (reported via `StepOutcome::non_finite`).
+    NonFiniteVehicleState {
+        /// The frozen vehicle.
+        vehicle: VehicleId,
+    },
+    /// The hybrid reward evaluated to a non-finite value.
+    NonFiniteReward {
+        /// Step index within the episode.
+        step: usize,
+    },
+    /// The agent commanded a non-finite acceleration (a diverged policy
+    /// network); the environment coasts instead of executing it.
+    NonFiniteAction {
+        /// Step index within the episode.
+        step: usize,
+    },
+    /// The episode watchdog aborted a runaway episode.
+    WatchdogAbort {
+        /// Steps executed when the watchdog fired.
+        steps: usize,
+    },
+}
+
+impl RobustnessEvent {
+    /// Telemetry counter bumped when this event is recorded.
+    pub fn counter(&self) -> &'static str {
+        match self {
+            RobustnessEvent::NonFiniteVehicleState { .. } => "robustness.nonfinite_vehicle",
+            RobustnessEvent::NonFiniteReward { .. } => "robustness.nonfinite_reward",
+            RobustnessEvent::NonFiniteAction { .. } => "robustness.nonfinite_action",
+            RobustnessEvent::WatchdogAbort { .. } => "robustness.watchdog_abort",
+        }
+    }
+
+    /// Short event name for logs and JSONL events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RobustnessEvent::NonFiniteVehicleState { .. } => "nonfinite_vehicle",
+            RobustnessEvent::NonFiniteReward { .. } => "nonfinite_reward",
+            RobustnessEvent::NonFiniteAction { .. } => "nonfinite_action",
+            RobustnessEvent::WatchdogAbort { .. } => "watchdog_abort",
+        }
+    }
+
+    /// Records the event: bumps its `robustness.*` counter and emits a
+    /// structured JSONL event.
+    pub fn record(&self, episode: u64) {
+        telemetry::counter_add(self.counter(), 1);
+        let mut fields = vec![
+            ("kind", Json::from(self.name())),
+            ("episode", Json::from(episode)),
+        ];
+        match self {
+            RobustnessEvent::NonFiniteVehicleState { vehicle } => {
+                fields.push(("vehicle", Json::from(vehicle.0)));
+            }
+            RobustnessEvent::NonFiniteReward { step }
+            | RobustnessEvent::NonFiniteAction { step } => {
+                fields.push(("step", Json::from(*step)));
+            }
+            RobustnessEvent::WatchdogAbort { steps } => {
+                fields.push(("steps", Json::from(*steps)));
+            }
+        }
+        telemetry::emit_event("robustness", fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_bumps_the_matching_counter() {
+        let was = telemetry::set_enabled(true);
+        let before = telemetry::counter_value("robustness.nonfinite_reward");
+        RobustnessEvent::NonFiniteReward { step: 7 }.record(3);
+        assert_eq!(
+            telemetry::counter_value("robustness.nonfinite_reward"),
+            before + 1
+        );
+        telemetry::set_enabled(was);
+    }
+
+    #[test]
+    fn names_and_counters_are_distinct() {
+        let events = [
+            RobustnessEvent::NonFiniteVehicleState {
+                vehicle: VehicleId(1),
+            },
+            RobustnessEvent::NonFiniteReward { step: 0 },
+            RobustnessEvent::NonFiniteAction { step: 0 },
+            RobustnessEvent::WatchdogAbort { steps: 9 },
+        ];
+        for (i, a) in events.iter().enumerate() {
+            for b in &events[i + 1..] {
+                assert_ne!(a.name(), b.name());
+                assert_ne!(a.counter(), b.counter());
+            }
+        }
+    }
+}

@@ -1,16 +1,100 @@
 //! Episode runner, training loop and evaluation harness.
 
 use crate::agents::DrivingAgent;
+use crate::checkpoint::Checkpoint;
 use crate::env::HighwayEnv;
 use crate::metrics::{EpisodeMetrics, Terminal};
+use crate::robustness::RobustnessEvent;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Aborts runaway episodes: whichever of the step and wall-clock budgets
+/// is exhausted first ends the episode with [`Terminal::Fault`] instead of
+/// letting one stuck episode hang an entire training run.
+#[derive(Clone, Copy, Debug)]
+pub struct Watchdog {
+    /// Hard per-episode step budget.
+    pub max_steps: usize,
+    /// Hard per-episode wall-clock budget.
+    pub max_wall: Duration,
+}
+
+impl Watchdog {
+    /// A budget generous enough to never fire on a healthy episode with
+    /// the given step cap.
+    pub fn generous(max_steps: usize) -> Self {
+        Self {
+            max_steps: max_steps.saturating_mul(4),
+            max_wall: Duration::from_secs(600),
+        }
+    }
+}
+
+/// Emits the per-episode telemetry every finished episode shares.
+fn note_episode(
+    env: &HighwayEnv,
+    agent: &mut dyn DrivingAgent,
+    explore: bool,
+    metrics: &EpisodeMetrics,
+) {
+    telemetry::counter_add("head.episodes", 1);
+    telemetry::histogram_record("head.episode_steps", metrics.steps as f64);
+    telemetry::emit_event(
+        "episode",
+        vec![
+            ("episode", telemetry::Json::from(env.episode_index())),
+            ("explore", telemetry::Json::from(explore)),
+            ("agent", telemetry::Json::from(agent.name())),
+            ("steps", telemetry::Json::from(metrics.steps)),
+            (
+                "terminal",
+                telemetry::Json::from(format!("{:?}", metrics.terminal)),
+            ),
+            ("mean_reward", telemetry::Json::from(metrics.mean_reward)),
+            ("total_reward", telemetry::Json::from(metrics.total_reward)),
+            ("min_ttc", telemetry::Json::from(metrics.min_ttc)),
+            ("avg_v", telemetry::Json::from(metrics.avg_v)),
+            (
+                "impact_events",
+                telemetry::Json::from(metrics.impact_events),
+            ),
+        ],
+    );
+}
 
 /// Runs one episode. `explore` enables exploration and learning feedback.
-pub fn run_episode(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, explore: bool) -> EpisodeMetrics {
+pub fn run_episode(
+    env: &mut HighwayEnv,
+    agent: &mut dyn DrivingAgent,
+    explore: bool,
+) -> EpisodeMetrics {
+    run_episode_guarded(env, agent, explore, None)
+}
+
+/// [`run_episode`] under an optional [`Watchdog`]. A fired watchdog records
+/// a [`RobustnessEvent::WatchdogAbort`] and closes the episode with
+/// [`Terminal::Fault`]; the environment is left ready for the next `reset`.
+pub fn run_episode_guarded(
+    env: &mut HighwayEnv,
+    agent: &mut dyn DrivingAgent,
+    explore: bool,
+    watchdog: Option<&Watchdog>,
+) -> EpisodeMetrics {
     let _episode_span = telemetry::span!("head.episode");
+    let started = Instant::now();
     let mut state = env.percepts().state;
+    let mut steps_run = 0usize;
     loop {
+        if let Some(w) = watchdog {
+            if steps_run >= w.max_steps || started.elapsed() >= w.max_wall {
+                RobustnessEvent::WatchdogAbort { steps: steps_run }.record(env.episode_index());
+                let metrics = env.abort_episode();
+                note_episode(env, agent, explore, &metrics);
+                return metrics;
+            }
+        }
         let action = {
             let _decide_span = telemetry::span!("head.decide");
             agent.decide(env.percepts(), explore)
@@ -19,6 +103,7 @@ pub fn run_episode(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, explore: 
             let _env_span = telemetry::span!("env.step");
             env.step(action)
         };
+        steps_run += 1;
         if explore && agent.is_learning() {
             let _feedback_span = telemetry::span!("head.feedback");
             agent.feedback(
@@ -31,23 +116,7 @@ pub fn run_episode(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, explore: 
         }
         state = result.next_state;
         if let Some(metrics) = result.episode {
-            telemetry::counter_add("head.episodes", 1);
-            telemetry::histogram_record("head.episode_steps", metrics.steps as f64);
-            telemetry::emit_event(
-                "episode",
-                vec![
-                    ("episode", telemetry::Json::from(env.episode_index())),
-                    ("explore", telemetry::Json::from(explore)),
-                    ("agent", telemetry::Json::from(agent.name())),
-                    ("steps", telemetry::Json::from(metrics.steps)),
-                    ("terminal", telemetry::Json::from(format!("{:?}", metrics.terminal))),
-                    ("mean_reward", telemetry::Json::from(metrics.mean_reward)),
-                    ("total_reward", telemetry::Json::from(metrics.total_reward)),
-                    ("min_ttc", telemetry::Json::from(metrics.min_ttc)),
-                    ("avg_v", telemetry::Json::from(metrics.avg_v)),
-                    ("impact_events", telemetry::Json::from(metrics.impact_events)),
-                ],
-            );
+            note_episode(env, agent, explore, &metrics);
             return metrics;
         }
     }
@@ -116,6 +185,117 @@ pub fn train_agent(
     }
 }
 
+/// How [`train_agent_resumable`] checkpoints and guards a run.
+#[derive(Clone, Debug)]
+pub struct ResumableOptions {
+    /// Directory the checkpoint lives in (created if missing).
+    pub dir: PathBuf,
+    /// Checkpoint every `every` completed episodes (a final checkpoint is
+    /// always written; `0` keeps only that final one).
+    pub every: u64,
+    /// Optional per-episode watchdog.
+    pub watchdog: Option<Watchdog>,
+    /// Stop after this many episodes *this invocation* and checkpoint —
+    /// used to simulate a kill mid-run and by incremental training drivers.
+    pub halt_after: Option<u64>,
+}
+
+impl ResumableOptions {
+    /// Checkpoints into `dir` every 10 episodes, no watchdog, no halt.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every: 10,
+            watchdog: None,
+            halt_after: None,
+        }
+    }
+}
+
+fn save_checkpoint(
+    env: &HighwayEnv,
+    agent: &dyn DrivingAgent,
+    episodes: &[EpisodeMetrics],
+    dir: &Path,
+) -> io::Result<()> {
+    Checkpoint {
+        episode: env.episode_index(),
+        episodes: episodes.to_vec(),
+        agent_json: agent.save_state(),
+        exploration_steps: agent.exploration_steps(),
+        injector: env.injector_state(),
+    }
+    .save(dir)
+}
+
+/// [`train_agent`] with crash-safe checkpointing: the run saves every
+/// `opts.every` episodes and on completion, and a later invocation against
+/// the same directory continues where the last checkpoint left off (same
+/// episode seed sequence, same fault stream, same exploration-schedule
+/// position).
+///
+/// Resume is deterministic but not byte-identical to an uninterrupted run
+/// for learning agents: generator internals and the replay buffer are not
+/// serialisable, so the resumed run reseeds its exploration stream
+/// deterministically and refills its buffer from fresh experience.
+/// (`convergence_secs` is wall-clock of this invocation only.)
+pub fn train_agent_resumable(
+    env: &mut HighwayEnv,
+    agent: &mut dyn DrivingAgent,
+    episodes: usize,
+    opts: &ResumableOptions,
+) -> io::Result<TrainingReport> {
+    let _train_span = telemetry::span!("head.train_resumable");
+    let started = Instant::now();
+    let mut all = Vec::new();
+    if let Some(ckpt) = Checkpoint::load(&opts.dir)? {
+        if let Some(json) = &ckpt.agent_json {
+            agent
+                .load_state(json)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        }
+        agent.set_exploration_steps(ckpt.exploration_steps);
+        agent.reseed(
+            env.cfg()
+                .seed
+                .wrapping_add(ckpt.episode)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        env.set_episode_index(ckpt.episode);
+        if let Some(state) = ckpt.injector {
+            env.restore_injector(state);
+        }
+        all = ckpt.episodes;
+        telemetry::emit_event(
+            "resume",
+            vec![
+                ("episode", telemetry::Json::from(ckpt.episode)),
+                ("completed", telemetry::Json::from(all.len())),
+            ],
+        );
+    }
+    let mut ran = 0u64;
+    while all.len() < episodes {
+        env.reset();
+        let m = run_episode_guarded(env, agent, true, opts.watchdog.as_ref());
+        all.push(m);
+        ran += 1;
+        if opts.every > 0 && ran % opts.every == 0 {
+            save_checkpoint(env, agent, &all, &opts.dir)?;
+        }
+        if opts.halt_after.is_some_and(|n| ran >= n) {
+            break;
+        }
+    }
+    save_checkpoint(env, agent, &all, &opts.dir)?;
+    let total = started.elapsed().as_secs_f64();
+    Ok(TrainingReport {
+        episodes: all,
+        total_secs: total,
+        convergence_secs: total,
+    })
+}
+
 /// Seeds a learning agent's replay buffer with demonstration episodes
 /// driven by a teacher (typically IDM-LC). The student observes the
 /// teacher's states, actions and rewards but performs no gradient steps —
@@ -137,7 +317,13 @@ pub fn seed_with_demonstrations(
             let action = teacher.decide(env.percepts(), false);
             let result = env.step(action);
             let terminal = result.terminal != Terminal::None;
-            student.demonstrate(&state, action, result.reward.total, &result.next_state, terminal);
+            student.demonstrate(
+                &state,
+                action,
+                result.reward.total,
+                &result.next_state,
+                terminal,
+            );
             state = result.next_state;
             if terminal {
                 break;
@@ -171,11 +357,7 @@ pub fn evaluate_agent(
 /// spans every episode records — instead of a private stopwatch, so the
 /// table number and the timing tree can never disagree. Telemetry is
 /// force-enabled for the measurement and restored afterwards.
-pub fn mean_decision_ms(
-    env: &mut HighwayEnv,
-    agent: &mut dyn DrivingAgent,
-    steps: usize,
-) -> f64 {
+pub fn mean_decision_ms(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, steps: usize) -> f64 {
     env.reset_with_seed(424242);
     let was_enabled = telemetry::set_enabled(true);
     let before = telemetry::span_stats("head.decide");
@@ -207,7 +389,8 @@ mod tests {
 
     #[test]
     fn run_episode_terminates_and_reports() {
-        let mut env = crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
+        let mut env =
+            crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
         let mut agent = IdmLc::new(RuleConfig::default());
         let m = run_episode(&mut env, &mut agent, false);
         assert!(m.steps > 0);
@@ -229,8 +412,93 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_aborts_runaway_episode_recoverably() {
+        let mut env =
+            crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
+        let mut agent = IdmLc::new(RuleConfig::default());
+        let watchdog = Watchdog {
+            max_steps: 5,
+            max_wall: Duration::from_secs(600),
+        };
+        let m = run_episode_guarded(&mut env, &mut agent, false, Some(&watchdog));
+        assert_eq!(m.terminal, Terminal::Fault);
+        assert_eq!(m.steps, 5, "aborted exactly at the step budget");
+        // The environment stays usable afterwards.
+        env.reset();
+        let m2 = run_episode(&mut env, &mut agent, false);
+        assert_eq!(m2.terminal, Terminal::Destination);
+    }
+
+    fn resumable_cfg() -> EnvConfig {
+        let mut cfg = EnvConfig::test_scale();
+        cfg.seed = 11;
+        // A latency-free profile: the injector's delay buffer is the one
+        // piece of state a checkpoint drops, so this keeps the resumed
+        // fault stream byte-identical to the uninterrupted one.
+        cfg.faults = Some(sensor::FaultProfile::blackout_heavy());
+        cfg
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("head-train-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn kill_and_resume_continues_episode_sequence() {
+        let episodes = 4;
+        // Uninterrupted baseline.
+        let dir_a = temp_dir("baseline");
+        let mut env = crate::env::HighwayEnv::new(resumable_cfg(), PerceptionMode::Persistence);
+        let mut agent = IdmLc::new(RuleConfig::default());
+        let opts = ResumableOptions {
+            every: 1,
+            ..ResumableOptions::new(&dir_a)
+        };
+        let baseline =
+            train_agent_resumable(&mut env, &mut agent, episodes, &opts).expect("baseline run");
+        assert_eq!(baseline.episodes.len(), episodes);
+
+        // Same run, killed after 2 episodes and resumed by a fresh process
+        // (fresh env + agent, same checkpoint directory).
+        let dir_b = temp_dir("resume");
+        let mut env1 = crate::env::HighwayEnv::new(resumable_cfg(), PerceptionMode::Persistence);
+        let mut agent1 = IdmLc::new(RuleConfig::default());
+        let halted = ResumableOptions {
+            every: 1,
+            halt_after: Some(2),
+            ..ResumableOptions::new(&dir_b)
+        };
+        let first =
+            train_agent_resumable(&mut env1, &mut agent1, episodes, &halted).expect("first half");
+        assert_eq!(first.episodes.len(), 2, "halted mid-run");
+
+        let mut env2 = crate::env::HighwayEnv::new(resumable_cfg(), PerceptionMode::Persistence);
+        let mut agent2 = IdmLc::new(RuleConfig::default());
+        let resume = ResumableOptions {
+            every: 1,
+            ..ResumableOptions::new(&dir_b)
+        };
+        let resumed =
+            train_agent_resumable(&mut env2, &mut agent2, episodes, &resume).expect("resume");
+        assert_eq!(resumed.episodes.len(), episodes);
+
+        // The resumed run continued the metrics from the saved index and
+        // reproduced the uninterrupted episode sequence exactly.
+        for (a, b) in baseline.episodes.iter().zip(&resumed.episodes) {
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.terminal, b.terminal);
+            assert_eq!(a.total_reward.to_bits(), b.total_reward.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
     fn decision_latency_positive() {
-        let mut env = crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
+        let mut env =
+            crate::env::HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::Persistence);
         let mut agent = IdmLc::new(RuleConfig::default());
         let before = telemetry::span_stats("head.decide").count;
         let ms = mean_decision_ms(&mut env, &mut agent, 20);

@@ -68,7 +68,9 @@ pub fn build_agent(
     } else {
         let mut model = LstGat::new(LstGatConfig::default(), normalizer);
         if let Some(json) = lstgat_weights {
-            model.load_weights_json(json).expect("valid LST-GAT checkpoint");
+            model
+                .load_weights_json(json)
+                .expect("valid LST-GAT checkpoint");
         }
         PerceptionMode::LstGat(Box::new(model))
     };
@@ -101,7 +103,11 @@ mod tests {
     #[test]
     fn variants_assemble_and_decide() {
         let env_cfg = EnvConfig::test_scale();
-        let agent_cfg = AgentConfig { warmup: 16, batch_size: 8, ..AgentConfig::default() };
+        let agent_cfg = AgentConfig {
+            warmup: 16,
+            batch_size: 8,
+            ..AgentConfig::default()
+        };
         let norm = Normalizer::paper_default();
         for v in Variant::ALL {
             let (mut env, mut agent) = build_agent(v, &env_cfg, &agent_cfg, None, norm);
@@ -117,8 +123,7 @@ mod tests {
         let env_cfg = EnvConfig::test_scale();
         let agent_cfg = AgentConfig::default();
         let norm = Normalizer::paper_default();
-        let (env, _) =
-            build_agent(Variant::WithoutImp, &env_cfg, &agent_cfg, None, norm);
+        let (env, _) = build_agent(Variant::WithoutImp, &env_cfg, &agent_cfg, None, norm);
         assert_eq!(env.cfg().reward.w_impact, 0.0);
         let (env, _) = build_agent(Variant::Head, &env_cfg, &agent_cfg, None, norm);
         assert!(env.cfg().reward.w_impact > 0.0);

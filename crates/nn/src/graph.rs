@@ -119,9 +119,16 @@ impl Graph {
     /// whole lifetime iff telemetry is enabled now.
     pub fn new() -> Self {
         let timing = telemetry::enabled().then(|| {
-            Box::new(OpTimes { mark: Instant::now(), fwd: HashMap::new(), bwd: HashMap::new() })
+            Box::new(OpTimes {
+                mark: Instant::now(),
+                fwd: HashMap::new(),
+                bwd: HashMap::new(),
+            })
         });
-        Self { nodes: Vec::new(), timing }
+        Self {
+            nodes: Vec::new(),
+            timing,
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -170,7 +177,9 @@ impl Graph {
 
     /// Element-wise sum of two same-shape nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         self.push(Op::Add(a, b), v)
     }
 
@@ -191,13 +200,17 @@ impl Graph {
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         self.push(Op::Sub(a, b), v)
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         self.push(Op::MulElem(a, b), v)
     }
 
@@ -236,7 +249,9 @@ impl Graph {
 
     /// Leaky ReLU with the given negative-side slope.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
         self.push(Op::LeakyRelu(a, slope), v)
     }
 
@@ -287,7 +302,10 @@ impl Graph {
     /// sum of input rows `j*g .. (j+1)*g`.
     pub fn sum_groups(&mut self, a: Var, group_size: usize) -> Var {
         let m = &self.nodes[a.0].value;
-        assert!(group_size > 0 && m.rows() % group_size == 0, "rows must divide into groups");
+        assert!(
+            group_size > 0 && m.rows() % group_size == 0,
+            "rows must divide into groups"
+        );
         let groups = m.rows() / group_size;
         let mut out = Matrix::zeros(groups, m.cols());
         for j in 0..groups {
@@ -433,8 +451,12 @@ impl Graph {
                     }
                     let mut gb = Matrix::zeros(bm.rows(), 1);
                     for r in 0..g.rows() {
-                        let dot: f32 =
-                            g.row_slice(r).iter().zip(am.row_slice(r)).map(|(&x, &y)| x * y).sum();
+                        let dot: f32 = g
+                            .row_slice(r)
+                            .iter()
+                            .zip(am.row_slice(r))
+                            .map(|(&x, &y)| x * y)
+                            .sum();
                         gb.set(r, 0, dot);
                     }
                     accumulate(&mut grads, a.0, ga);
@@ -443,14 +465,20 @@ impl Graph {
                 Op::Scale(a, s) => accumulate(&mut grads, a.0, g.map(|x| x * s)),
                 Op::AddScalar(a) => accumulate(&mut grads, a.0, g),
                 Op::Relu(a) => {
-                    let ga = g.zip(&self.nodes[a.0].value, |gv, x| if x > 0.0 { gv } else { 0.0 });
+                    let ga = g.zip(
+                        &self.nodes[a.0].value,
+                        |gv, x| if x > 0.0 { gv } else { 0.0 },
+                    );
                     accumulate(&mut grads, a.0, ga);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let ga = g.zip(
-                        &self.nodes[a.0].value,
-                        |gv, x| if x > 0.0 { gv } else { gv * slope },
-                    );
+                    let ga = g.zip(&self.nodes[a.0].value, |gv, x| {
+                        if x > 0.0 {
+                            gv
+                        } else {
+                            gv * slope
+                        }
+                    });
                     accumulate(&mut grads, a.0, ga);
                 }
                 Op::Tanh(a) => {
@@ -465,8 +493,12 @@ impl Graph {
                     let y = &self.nodes[i].value;
                     let mut ga = Matrix::zeros(y.rows(), y.cols());
                     for r in 0..y.rows() {
-                        let dot: f32 =
-                            g.row_slice(r).iter().zip(y.row_slice(r)).map(|(&x, &p)| x * p).sum();
+                        let dot: f32 = g
+                            .row_slice(r)
+                            .iter()
+                            .zip(y.row_slice(r))
+                            .map(|(&x, &p)| x * p)
+                            .sum();
                         for c in 0..y.cols() {
                             ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
                         }
@@ -487,7 +519,8 @@ impl Graph {
                     let src = &self.nodes[a.0].value;
                     let mut ga = Matrix::zeros(src.rows(), src.cols());
                     for r in 0..src.rows() {
-                        ga.row_slice_mut(r).copy_from_slice(g.row_slice(r / group_size));
+                        ga.row_slice_mut(r)
+                            .copy_from_slice(g.row_slice(r / group_size));
                     }
                     accumulate(&mut grads, a.0, ga);
                 }
@@ -511,13 +544,8 @@ impl Graph {
                 Op::ConcatRows(a, b) => {
                     let ar = self.nodes[a.0].value.rows();
                     let cols = g.cols();
-                    let ga =
-                        Matrix::from_vec(ar, cols, g.data()[..ar * cols].to_vec());
-                    let gb = Matrix::from_vec(
-                        g.rows() - ar,
-                        cols,
-                        g.data()[ar * cols..].to_vec(),
-                    );
+                    let ga = Matrix::from_vec(ar, cols, g.data()[..ar * cols].to_vec());
+                    let gb = Matrix::from_vec(g.rows() - ar, cols, g.data()[ar * cols..].to_vec());
                     accumulate(&mut grads, a.0, ga);
                     accumulate(&mut grads, b.0, gb);
                 }
@@ -601,11 +629,17 @@ mod tests {
         let mut g = Graph::new();
         let pv = g.param(&store, p);
         let gathered = g.gather_rows(pv, Rc::new(vec![2, 0, 2]));
-        assert_eq!(g.value(gathered), &Matrix::from_rows(&[&[100.0], &[1.0], &[100.0]]));
+        assert_eq!(
+            g.value(gathered),
+            &Matrix::from_rows(&[&[100.0], &[1.0], &[100.0]])
+        );
         let loss = g.sum_all(gathered);
         g.backward(loss, &mut store);
         // Row 2 gathered twice -> grad 2; row 0 once; row 1 never.
-        assert_eq!(store.get(p).grad, Matrix::from_rows(&[&[1.0], &[0.0], &[2.0]]));
+        assert_eq!(
+            store.get(p).grad,
+            Matrix::from_rows(&[&[1.0], &[0.0], &[2.0]])
+        );
     }
 
     #[test]
@@ -618,7 +652,10 @@ mod tests {
         let mut g = Graph::new();
         let pv = g.param(&store, p);
         let summed = g.sum_groups(pv, 2);
-        assert_eq!(g.value(summed), &Matrix::from_rows(&[&[4.0, 6.0], &[12.0, 14.0]]));
+        assert_eq!(
+            g.value(summed),
+            &Matrix::from_rows(&[&[4.0, 6.0], &[12.0, 14.0]])
+        );
         let loss = g.sum_all(summed);
         g.backward(loss, &mut store);
         assert_eq!(store.get(p).grad, Matrix::full(4, 2, 1.0));
@@ -634,7 +671,7 @@ mod tests {
         let loss = g.mse(pred, target);
         let lv = g.backward(loss, &mut store);
         assert!((lv - 5.0).abs() < 1e-6); // (1 + 9) / 2
-        // d/dp mean((p - 0)^2) = 2p / n = p
+                                          // d/dp mean((p - 0)^2) = 2p / n = p
         assert_eq!(store.get(p).grad, Matrix::row(&[1.0, 3.0]));
     }
 

@@ -1,0 +1,189 @@
+//! Divergence protection for gradient-based training.
+//!
+//! Poisoned transitions (NaN rewards, corrupted observations) propagate
+//! through the Bellman target into the loss and, if stepped on, destroy
+//! every parameter in one update. The guard layer makes training loops
+//! skip such updates instead:
+//!
+//! * [`finite_guard`] — stateless per-step check: non-finite loss or
+//!   gradients discard the step (and bump `nn.nonfinite.*` counters),
+//!   finite ones are norm-clipped and admitted.
+//! * [`DivergenceGuard`] — adds a periodic known-good snapshot of the
+//!   [`ParamStore`]; after `patience` consecutive bad steps the parameter
+//!   values are rolled back to the snapshot, so a run poisoned *after* a
+//!   step (e.g. via `soft_update_from` of corrupted values) still recovers.
+
+use crate::params::ParamStore;
+
+/// Checks one training step for non-finite loss or gradients.
+///
+/// Returns `true` when the step is safe to apply; gradients have then been
+/// clipped to `max_grad_norm`. Returns `false` when the step must be
+/// skipped; gradients have then been zeroed so a later optimizer call is a
+/// no-op even if the caller forgets to branch.
+pub fn finite_guard(loss: f32, store: &mut ParamStore, max_grad_norm: f32) -> bool {
+    if !loss.is_finite() {
+        telemetry::counter_add("nn.nonfinite.loss", 1);
+        telemetry::counter_add("nn.nonfinite.skipped", 1);
+        store.zero_grad();
+        return false;
+    }
+    if !store.grads_are_finite() {
+        telemetry::counter_add("nn.nonfinite.grad", 1);
+        telemetry::counter_add("nn.nonfinite.skipped", 1);
+        store.zero_grad();
+        return false;
+    }
+    store.clip_grad_norm(max_grad_norm);
+    true
+}
+
+/// Stateful divergence guard: admits or rejects each update and restores
+/// the last known-good parameter snapshot after a run of rejections.
+#[derive(Clone, Debug)]
+pub struct DivergenceGuard {
+    max_grad_norm: f32,
+    patience: u32,
+    snapshot_every: u32,
+    streak: u32,
+    good_steps: u32,
+    snapshot: Option<ParamStore>,
+}
+
+impl DivergenceGuard {
+    /// How many admitted steps pass between snapshot refreshes.
+    const SNAPSHOT_EVERY: u32 = 32;
+
+    /// `max_grad_norm` clips admitted gradients; `patience` is the number
+    /// of consecutive rejected steps that triggers a rollback.
+    pub fn new(max_grad_norm: f32, patience: u32) -> Self {
+        Self {
+            max_grad_norm,
+            patience: patience.max(1),
+            snapshot_every: Self::SNAPSHOT_EVERY,
+            streak: 0,
+            good_steps: 0,
+            snapshot: None,
+        }
+    }
+
+    /// Judges one step. On `true` the caller should apply its optimizer
+    /// step (gradients are clipped); on `false` the step has been skipped,
+    /// gradients zeroed, and — after `patience` consecutive failures — the
+    /// parameter values rolled back to the last snapshot.
+    ///
+    /// Optimizer moments are never poisoned by skipped steps (the step is
+    /// not taken), so only parameter values are snapshotted.
+    pub fn admit(&mut self, loss: f32, store: &mut ParamStore) -> bool {
+        if finite_guard(loss, store, self.max_grad_norm) {
+            if self.snapshot.is_none() || self.good_steps % self.snapshot_every == 0 {
+                self.snapshot = Some(store.clone());
+            }
+            self.good_steps = self.good_steps.wrapping_add(1);
+            self.streak = 0;
+            return true;
+        }
+        self.streak += 1;
+        if self.streak >= self.patience {
+            if let Some(snapshot) = &self.snapshot {
+                store.copy_values_from(snapshot);
+                telemetry::counter_add("nn.nonfinite.restored", 1);
+            }
+            self.streak = 0;
+        }
+        false
+    }
+
+    /// Consecutive rejected steps since the last admitted one.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Whether a known-good snapshot is held.
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn store_with(value: f32) -> ParamStore {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::from_rows(&[&[value, value]]));
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[1.0, -1.0]]));
+        store
+    }
+
+    #[test]
+    fn finite_step_is_admitted_and_clipped() {
+        let mut store = store_with(0.5);
+        assert!(finite_guard(1.0, &mut store, 0.1));
+        assert!(store.grad_norm() <= 0.1 + 1e-6);
+    }
+
+    #[test]
+    fn nan_loss_is_rejected_and_grads_zeroed() {
+        let mut store = store_with(0.5);
+        assert!(!finite_guard(f32::NAN, &mut store, 10.0));
+        assert_eq!(store.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn nonfinite_grad_is_rejected() {
+        let mut store = ParamStore::new();
+        let id = store.register_zeros("w", 1, 2);
+        store.accumulate_grad(id, &Matrix::from_rows(&[&[f32::INFINITY, 0.0]]));
+        assert!(!finite_guard(1.0, &mut store, 10.0));
+        assert_eq!(store.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn rollback_after_patience_restores_snapshot() {
+        let mut guard = DivergenceGuard::new(10.0, 3);
+        let mut store = store_with(0.5);
+        assert!(guard.admit(1.0, &mut store), "good step seeds the snapshot");
+
+        // Poison the values (as a corrupted soft update would).
+        for p in store.iter_mut() {
+            for v in p.value.data_mut() {
+                *v = f32::NAN;
+            }
+        }
+        assert!(!store.values_are_finite());
+
+        for k in 0..3 {
+            assert!(!guard.admit(f32::NAN, &mut store), "bad step {k}");
+        }
+        assert!(
+            store.values_are_finite(),
+            "patience exhausted → snapshot restored"
+        );
+        assert_eq!(guard.streak(), 0, "streak resets after rollback");
+    }
+
+    #[test]
+    fn good_step_resets_streak() {
+        let mut guard = DivergenceGuard::new(10.0, 5);
+        let mut store = store_with(0.5);
+        assert!(guard.admit(1.0, &mut store));
+        let _ = guard.admit(f32::NAN, &mut store);
+        let _ = guard.admit(f32::NAN, &mut store);
+        assert_eq!(guard.streak(), 2);
+        store.zero_grad();
+        assert!(guard.admit(0.5, &mut store));
+        assert_eq!(guard.streak(), 0);
+    }
+
+    #[test]
+    fn counters_record_skips() {
+        let was = telemetry::set_enabled(true);
+        let before = telemetry::counter_value("nn.nonfinite.skipped");
+        let mut store = store_with(0.5);
+        let _ = finite_guard(f32::NAN, &mut store, 10.0);
+        assert!(telemetry::counter_value("nn.nonfinite.skipped") > before);
+        telemetry::set_enabled(was);
+    }
+}

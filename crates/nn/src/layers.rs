@@ -29,7 +29,12 @@ impl Linear {
     ) -> Self {
         let w = store.register_xavier(format!("{name}.w"), in_dim, out_dim, rng);
         let b = store.register_zeros(format!("{name}.b"), 1, out_dim);
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to a `(batch, in_dim)` node.
@@ -46,7 +51,11 @@ impl Linear {
     }
 
     fn forward_inner(&self, g: &mut Graph, store: &ParamStore, x: Var, trainable: bool) -> Var {
-        debug_assert_eq!(g.value(x).cols(), self.in_dim, "Linear input width mismatch");
+        debug_assert_eq!(
+            g.value(x).cols(),
+            self.in_dim,
+            "Linear input width mismatch"
+        );
         let (w, b) = if trainable {
             (g.param(store, self.w), g.param(store, self.b))
         } else {
@@ -119,7 +128,22 @@ impl LstmCell {
         let bf = store.register(format!("{name}.bf"), Matrix::full(1, hidden, 1.0));
         let bg = store.register_zeros(format!("{name}.bg"), 1, hidden);
         let bo = store.register_zeros(format!("{name}.bo"), 1, hidden);
-        Self { wxi, whi, bi, wxf, whf, bf, wxg, whg, bg, wxo, who, bo, in_dim, hidden }
+        Self {
+            wxi,
+            whi,
+            bi,
+            wxf,
+            whf,
+            bf,
+            wxg,
+            whg,
+            bg,
+            wxo,
+            who,
+            bo,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Zero initial state for a batch of `batch` rows.
@@ -130,6 +154,7 @@ impl LstmCell {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn gate(
         &self,
         g: &mut Graph,

@@ -41,12 +41,14 @@
 //! ```
 
 mod graph;
+mod guard;
 mod layers;
 mod matrix;
 mod optim;
 mod params;
 
 pub use graph::{Graph, Var};
+pub use guard::{finite_guard, DivergenceGuard};
 pub use layers::{Linear, LstmCell, LstmState, Mlp};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};

@@ -28,12 +28,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -59,7 +67,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a 1 x n row vector.
@@ -189,7 +201,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -228,8 +245,16 @@ impl Matrix {
     /// # Panics
     /// Panics if the element count changes.
     pub fn reshaped(&self, rows: usize, cols: usize) -> Matrix {
-        assert_eq!(rows * cols, self.data.len(), "reshape changes element count");
-        Matrix { rows, cols, data: self.data.clone() }
+        assert_eq!(
+            rows * cols,
+            self.data.len(),
+            "reshape changes element count"
+        );
+        Matrix {
+            rows,
+            cols,
+            data: self.data.clone(),
+        }
     }
 }
 

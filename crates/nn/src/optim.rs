@@ -24,7 +24,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with standard betas (0.9 / 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Number of steps taken so far.
@@ -34,7 +42,10 @@ impl Adam {
 
     fn ensure_state(&mut self, store: &ParamStore) {
         if self.m.len() != store.len() {
-            self.m = store.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.m = store
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
             self.v = self.m.clone();
         }
     }

@@ -40,7 +40,11 @@ impl ParamStore {
     /// Registers a parameter with an explicit initial value.
     pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        self.params.push(Param { name: name.into(), value, grad });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -53,7 +57,9 @@ impl ParamStore {
         rng: &mut impl Rng,
     ) -> ParamId {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols).map(|_| rng.random_range(-bound..bound)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
         self.register(name, Matrix::from_vec(rows, cols, data))
     }
 
@@ -154,9 +160,34 @@ impl ParamStore {
         }
     }
 
+    /// True when every parameter value is finite.
+    pub fn values_are_finite(&self) -> bool {
+        self.params
+            .iter()
+            .all(|p| p.value.data().iter().all(|v| v.is_finite()))
+    }
+
+    /// True when every accumulated gradient is finite.
+    pub fn grads_are_finite(&self) -> bool {
+        self.params
+            .iter()
+            .all(|p| p.grad.data().iter().all(|v| v.is_finite()))
+    }
+
     /// Serialises the store to JSON (model checkpoint).
+    ///
+    /// # Panics
+    /// Never in practice: the store is a plain tree of names and float
+    /// matrices, which always serialises. Fallible callers (file I/O
+    /// paths) should prefer [`ParamStore::try_to_json`].
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("ParamStore is always serialisable")
+        self.try_to_json()
+            .expect("ParamStore is always serialisable")
+    }
+
+    /// Serialises the store to JSON, surfacing encoder errors.
+    pub fn try_to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Restores a store from [`ParamStore::to_json`] output.

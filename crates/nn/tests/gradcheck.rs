@@ -9,11 +9,10 @@ use std::rc::Rc;
 ///
 /// `build` must construct the full forward graph from the current store
 /// values and return the loss node.
-fn gradcheck(
-    store: &mut ParamStore,
-    build: &dyn Fn(&mut Graph, &ParamStore) -> Var,
-    tol: f32,
-) {
+// The index loops interleave reads of `analytic` with mutation of `store`,
+// which an iterator over `analytic` would forbid.
+#[allow(clippy::needless_range_loop)]
+fn gradcheck(store: &mut ParamStore, build: &dyn Fn(&mut Graph, &ParamStore) -> Var, tol: f32) {
     // Analytic gradients.
     store.zero_grad();
     let mut g = Graph::new();

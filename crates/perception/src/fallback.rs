@@ -1,0 +1,301 @@
+//! Graceful degradation for the perception stack.
+//!
+//! When a sensor sweep is blacked out or the predictor emits non-finite
+//! state, the decision layer still needs *some* percepts every step. The
+//! [`FallbackGuard`] keeps the last known-good spatial-temporal graph and
+//! prediction and degrades tier by tier instead of panicking:
+//!
+//! 1. [`FallbackTier::LastPrediction`] — reuse the previous model output
+//!    verbatim (one stale step is within the model's own error band).
+//! 2. [`FallbackTier::LastObservation`] — fall back to a persistence
+//!    prediction over the last good observation.
+//! 3. [`FallbackTier::Extrapolation`] — constant-velocity extrapolate the
+//!    last good graph forward and predict by persistence over it.
+//!
+//! Every degraded step bumps a `perception.fallback.*` telemetry counter so
+//! robustness runs can report how often each tier was exercised.
+
+use crate::graph::{target_node, Prediction, StGraph};
+
+/// Which rung of the degradation ladder produced the current percepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackTier {
+    /// Fresh, finite model output — no degradation.
+    Model,
+    /// Previous model output reused verbatim (one stale step).
+    LastPrediction,
+    /// Persistence prediction over the last good observation.
+    LastObservation,
+    /// Constant-velocity extrapolation of the last good graph.
+    Extrapolation,
+}
+
+impl FallbackTier {
+    /// Telemetry counter bumped when this tier serves a step (`None` for
+    /// the healthy path).
+    pub fn counter(self) -> Option<&'static str> {
+        match self {
+            FallbackTier::Model => None,
+            FallbackTier::LastPrediction => Some("perception.fallback.last_prediction"),
+            FallbackTier::LastObservation => Some("perception.fallback.last_observation"),
+            FallbackTier::Extrapolation => Some("perception.fallback.extrapolation"),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackTier::Model => "model",
+            FallbackTier::LastPrediction => "last_prediction",
+            FallbackTier::LastObservation => "last_observation",
+            FallbackTier::Extrapolation => "extrapolation",
+        }
+    }
+}
+
+/// True when every predicted component is finite.
+pub fn prediction_is_finite(pred: &Prediction) -> bool {
+    pred.iter()
+        .all(|p| p.d_lat.is_finite() && p.d_lon.is_finite() && p.v_rel.is_finite())
+}
+
+/// True when every node feature (and the ego anchor state) is finite.
+pub fn graph_is_finite(graph: &StGraph) -> bool {
+    let ego = &graph.ego_latest;
+    ego.lat.is_finite()
+        && ego.lon.is_finite()
+        && ego.vel.is_finite()
+        && graph
+            .frames
+            .iter()
+            .all(|frame| frame.iter().all(|node| node.iter().all(|v| v.is_finite())))
+}
+
+/// Persistence prediction: each target is assumed to hold its latest
+/// relative state for one more step (mirrors `PerceptionMode::Persistence`).
+fn persistence(graph: &StGraph) -> Prediction {
+    let latest = &graph.frames[graph.depth() - 1];
+    let mut pred = Prediction::default();
+    for (i, p) in pred.iter_mut().enumerate() {
+        let h = latest[target_node(i)];
+        p.d_lat = h[0];
+        p.d_lon = h[1];
+        p.v_rel = h[2];
+    }
+    pred
+}
+
+/// Keeps the last known-good percepts and serves degraded substitutes while
+/// fresh perception is unavailable or non-finite.
+#[derive(Clone, Debug)]
+pub struct FallbackGuard {
+    dt: f64,
+    last_good: Option<(StGraph, Prediction)>,
+    staleness: u64,
+}
+
+impl FallbackGuard {
+    /// `dt` is the simulation step length used for extrapolation, s.
+    pub fn new(dt: f64) -> Self {
+        Self {
+            dt,
+            last_good: None,
+            staleness: 0,
+        }
+    }
+
+    /// Consecutive steps served from fallback (0 on the healthy path).
+    pub fn staleness(&self) -> u64 {
+        self.staleness
+    }
+
+    /// Resolves one step of percepts. `fresh` is the new graph/prediction
+    /// pair when the pipeline produced one (possibly non-finite), or `None`
+    /// on a sensor blackout. Returns `None` only before the first good
+    /// frame ever seen (cold start).
+    pub fn resolve(
+        &mut self,
+        fresh: Option<(StGraph, Prediction)>,
+    ) -> Option<(StGraph, Prediction, FallbackTier)> {
+        if let Some((graph, pred)) = fresh {
+            if graph_is_finite(&graph) && prediction_is_finite(&pred) {
+                self.last_good = Some((graph.clone(), pred));
+                self.staleness = 0;
+                return Some((graph, pred, FallbackTier::Model));
+            }
+        }
+
+        self.staleness += 1;
+        let (good_graph, good_pred) = self.last_good.as_ref()?;
+        let tier = match self.staleness {
+            1 => FallbackTier::LastPrediction,
+            2 => FallbackTier::LastObservation,
+            _ => FallbackTier::Extrapolation,
+        };
+        if let Some(counter) = tier.counter() {
+            telemetry::counter_add(counter, 1);
+        }
+
+        let out = match tier {
+            FallbackTier::Model => unreachable!("healthy path returns above"),
+            FallbackTier::LastPrediction => (good_graph.clone(), *good_pred),
+            FallbackTier::LastObservation => (good_graph.clone(), persistence(good_graph)),
+            FallbackTier::Extrapolation => {
+                let graph = extrapolate(good_graph, self.dt * (self.staleness - 1) as f64);
+                let pred = persistence(&graph);
+                (graph, pred)
+            }
+        };
+        Some((out.0, out.1, tier))
+    }
+}
+
+/// Constant-velocity extrapolation of the latest frame by `horizon`
+/// seconds. Relative nodes advance `d_lon` by `v_rel`, ego slots advance
+/// raw `lon` by `v`; lateral state and velocities are held.
+fn extrapolate(graph: &StGraph, horizon: f64) -> StGraph {
+    let mut out = graph.clone();
+    let last = out.depth() - 1;
+    // Both encodings put longitudinal position in slot 1 and its rate in
+    // slot 2 ([_, d_lon, v_rel, _] relative rows, [_, lon, v, _] ego rows),
+    // so one update covers every node.
+    for node in out.frames[last].iter_mut() {
+        node[1] += node[2] * horizon;
+    }
+    out.ego_latest.lon += out.ego_latest.vel * horizon;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{MissingKind, NodeSource, PredictedState, RawState, NUM_NODES};
+    use traffic_sim::VehicleId;
+
+    fn mk_graph(d_lon: f64) -> StGraph {
+        let mut frame = [[0.0; 4]; NUM_NODES];
+        frame[target_node(0)] = [1.0, d_lon, 2.0, 0.0];
+        let mut sources = [NodeSource::Phantom(MissingKind::ZeroPadded); NUM_NODES];
+        sources[target_node(0)] = NodeSource::Observed(VehicleId(1));
+        StGraph {
+            frames: vec![frame, frame],
+            sources,
+            ego_latest: RawState {
+                lat: 2.0,
+                lon: 300.0,
+                vel: 20.0,
+            },
+        }
+    }
+
+    fn mk_pred(d_lon: f64) -> Prediction {
+        let mut p = Prediction::default();
+        p[0] = PredictedState {
+            d_lat: 1.0,
+            d_lon,
+            v_rel: 2.0,
+        };
+        p
+    }
+
+    #[test]
+    fn healthy_path_is_tier_model() {
+        let mut guard = FallbackGuard::new(0.1);
+        let (_, pred, tier) = guard
+            .resolve(Some((mk_graph(50.0), mk_pred(50.2))))
+            .expect("good frame");
+        assert_eq!(tier, FallbackTier::Model);
+        assert_eq!(pred, mk_pred(50.2));
+        assert_eq!(guard.staleness(), 0);
+    }
+
+    #[test]
+    fn cold_start_without_history_yields_none() {
+        let mut guard = FallbackGuard::new(0.1);
+        assert!(guard.resolve(None).is_none());
+    }
+
+    #[test]
+    fn ladder_descends_by_staleness() {
+        let mut guard = FallbackGuard::new(0.1);
+        let _ = guard.resolve(Some((mk_graph(50.0), mk_pred(50.2))));
+
+        let (_, pred, tier) = guard.resolve(None).expect("tier 1");
+        assert_eq!(tier, FallbackTier::LastPrediction);
+        assert_eq!(
+            pred,
+            mk_pred(50.2),
+            "tier 1 reuses the model output verbatim"
+        );
+
+        let (_, pred, tier) = guard.resolve(None).expect("tier 2");
+        assert_eq!(tier, FallbackTier::LastObservation);
+        assert!(
+            (pred[0].d_lon - 50.0).abs() < 1e-12,
+            "tier 2 is persistence over the graph"
+        );
+
+        let (graph, pred, tier) = guard.resolve(None).expect("tier 3");
+        assert_eq!(tier, FallbackTier::Extrapolation);
+        // staleness 3 → horizon 2·dt; d_lon advances by v_rel · horizon.
+        assert!((pred[0].d_lon - (50.0 + 2.0 * 0.2)).abs() < 1e-12);
+        assert!((graph.ego_latest.lon - (300.0 + 20.0 * 0.2)).abs() < 1e-12);
+        assert_eq!(guard.staleness(), 3);
+    }
+
+    #[test]
+    fn non_finite_fresh_counts_as_outage() {
+        let mut guard = FallbackGuard::new(0.1);
+        let _ = guard.resolve(Some((mk_graph(50.0), mk_pred(50.2))));
+        let mut bad = mk_pred(f64::NAN);
+        bad[0].d_lon = f64::NAN;
+        let (_, pred, tier) = guard
+            .resolve(Some((mk_graph(51.0), bad)))
+            .expect("fallback");
+        assert_eq!(tier, FallbackTier::LastPrediction);
+        assert!(prediction_is_finite(&pred));
+    }
+
+    #[test]
+    fn good_frame_resets_the_ladder() {
+        let mut guard = FallbackGuard::new(0.1);
+        let _ = guard.resolve(Some((mk_graph(50.0), mk_pred(50.2))));
+        let _ = guard.resolve(None);
+        let _ = guard.resolve(None);
+        let (_, _, tier) = guard
+            .resolve(Some((mk_graph(52.0), mk_pred(52.2))))
+            .expect("recovered");
+        assert_eq!(tier, FallbackTier::Model);
+        assert_eq!(guard.staleness(), 0);
+        let (_, pred, tier) = guard.resolve(None).expect("tier 1 again");
+        assert_eq!(tier, FallbackTier::LastPrediction);
+        assert_eq!(
+            pred,
+            mk_pred(52.2),
+            "ladder restarts from the newest good output"
+        );
+    }
+
+    #[test]
+    fn fallback_counters_are_recorded() {
+        let was = telemetry::set_enabled(true);
+        let before = telemetry::counter_value("perception.fallback.last_prediction");
+        let mut guard = FallbackGuard::new(0.1);
+        let _ = guard.resolve(Some((mk_graph(50.0), mk_pred(50.2))));
+        let _ = guard.resolve(None);
+        assert!(telemetry::counter_value("perception.fallback.last_prediction") > before);
+        telemetry::set_enabled(was);
+    }
+
+    #[test]
+    fn graph_finiteness_detects_nan_nodes() {
+        let good = mk_graph(50.0);
+        assert!(graph_is_finite(&good));
+        let mut bad = mk_graph(50.0);
+        bad.frames[1][3][2] = f64::INFINITY;
+        assert!(!graph_is_finite(&bad));
+        let mut bad_ego = mk_graph(50.0);
+        bad_ego.ego_latest.vel = f64::NAN;
+        assert!(!graph_is_finite(&bad_ego));
+    }
+}

@@ -43,8 +43,14 @@ pub enum Area {
 }
 
 /// All areas in slot order `0..6`.
-pub const AREAS: [Area; 6] =
-    [Area::FrontLeft, Area::Front, Area::FrontRight, Area::RearLeft, Area::Rear, Area::RearRight];
+pub const AREAS: [Area; 6] = [
+    Area::FrontLeft,
+    Area::Front,
+    Area::FrontRight,
+    Area::RearLeft,
+    Area::Rear,
+    Area::RearRight,
+];
 
 impl Area {
     /// Lane offset of the area relative to the centre vehicle
@@ -64,7 +70,10 @@ impl Area {
 
     /// Slot index `0..6` in the paper's ordering.
     pub fn slot(self) -> usize {
-        AREAS.iter().position(|&a| a == self).expect("all areas listed")
+        AREAS
+            .iter()
+            .position(|&a| a == self)
+            .expect("all areas listed")
     }
 
     /// The reciprocal slot: if `B` sits in area `a` of `A`, then `A` sits in
@@ -229,7 +238,10 @@ mod tests {
                 seen[surrounding_node(i, j)] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "all 42 node slots used exactly once");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 42 node slots used exactly once"
+        );
     }
 
     #[test]

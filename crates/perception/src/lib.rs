@@ -16,12 +16,17 @@
 //! * **Harness** — [`train`], [`evaluate`], [`mean_inference_ms`] produce
 //!   the accuracy and efficiency numbers those tables report.
 
+// Tests may unwrap freely; the unwrap audit targets library paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod fallback;
 mod graph;
 mod models;
 mod normalize;
 mod phantom;
 mod trainer;
 
+pub use fallback::{graph_is_finite, prediction_is_finite, FallbackGuard, FallbackTier};
 pub use graph::{
     member_indices, surrounding_node, target_node, Area, MissingKind, NodeSource, PredictedState,
     Prediction, RawState, StGraph, AREAS, NODE_DIM, NUM_NODES, NUM_SURROUNDING, NUM_TARGETS,

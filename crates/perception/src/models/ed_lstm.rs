@@ -24,7 +24,11 @@ pub struct EdLstmConfig {
 
 impl Default for EdLstmConfig {
     fn default() -> Self {
-        Self { d_hidden: 64, lr: 1e-3, seed: 0 }
+        Self {
+            d_hidden: 64,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -43,22 +47,49 @@ impl EdLstm {
     pub fn new(cfg: EdLstmConfig, norm: Normalizer) -> Self {
         let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let encoder = LstmCell::new(&mut store, "enc", TARGET_HISTORY_DIM, cfg.d_hidden, &mut rng);
-        let decoder = LstmCell::new(&mut store, "dec", TARGET_HISTORY_DIM, cfg.d_hidden, &mut rng);
+        let encoder = LstmCell::new(
+            &mut store,
+            "enc",
+            TARGET_HISTORY_DIM,
+            cfg.d_hidden,
+            &mut rng,
+        );
+        let decoder = LstmCell::new(
+            &mut store,
+            "dec",
+            TARGET_HISTORY_DIM,
+            cfg.d_hidden,
+            &mut rng,
+        );
         let head = Linear::new(&mut store, "head", cfg.d_hidden, 3, &mut rng);
-        Self { store, encoder, decoder, head, adam: Adam::new(cfg.lr), norm }
+        Self {
+            store,
+            encoder,
+            decoder,
+            head,
+            adam: Adam::new(cfg.lr),
+            norm,
+        }
     }
 
     fn forward_one(&self, g: &mut Graph, history: &Matrix) -> Var {
         let z = history.rows();
         let mut state = self.encoder.zero_state(g, 1);
         for tau in 0..z {
-            let x = g.input(Matrix::from_vec(1, TARGET_HISTORY_DIM, history.row_slice(tau).to_vec()));
+            let x = g.input(Matrix::from_vec(
+                1,
+                TARGET_HISTORY_DIM,
+                history.row_slice(tau).to_vec(),
+            ));
             state = self.encoder.step(g, &self.store, x, state);
         }
         // Decoder: seeded with the encoder state, consumes the last input
         // token and emits one decoded step (our task is one-step).
-        let last = g.input(Matrix::from_vec(1, TARGET_HISTORY_DIM, history.row_slice(z - 1).to_vec()));
+        let last = g.input(Matrix::from_vec(
+            1,
+            TARGET_HISTORY_DIM,
+            history.row_slice(z - 1).to_vec(),
+        ));
         let dec = self.decoder.step(g, &self.store, last, state);
         self.head.forward(g, &self.store, dec.h)
     }
@@ -87,7 +118,11 @@ impl StatePredictor for EdLstm {
         self.store.zero_grad();
         let count: usize = samples
             .iter()
-            .map(|s| (0..NUM_TARGETS).filter(|&i| !s.graph.target_is_phantom(i)).count())
+            .map(|s| {
+                (0..NUM_TARGETS)
+                    .filter(|&i| !s.graph.target_is_phantom(i))
+                    .count()
+            })
             .sum();
         let denom = count.max(1) as f32;
         let mut total = 0.0;
@@ -107,8 +142,11 @@ impl StatePredictor for EdLstm {
                 total += g.backward(loss, &mut self.store) as f64;
             }
         }
-        self.store.clip_grad_norm(5.0);
-        self.adam.step(&mut self.store);
+        // Poisoned samples (NaN observations) must not destroy the weights:
+        // non-finite losses or gradients skip the step.
+        if nn::finite_guard(total as f32, &mut self.store, 5.0) {
+            self.adam.step(&mut self.store);
+        }
         total
     }
 
@@ -132,7 +170,10 @@ mod tests {
         for _ in 0..40 {
             last = model.train_batch(&samples);
         }
-        assert!(last < first * 0.5, "ED-LSTM failed to learn: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "ED-LSTM failed to learn: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub struct GasLedConfig {
 
 impl Default for GasLedConfig {
     fn default() -> Self {
-        Self { d_enc: 64, d_dec: 64, lr: 1e-3, seed: 0 }
+        Self {
+            d_enc: 64,
+            d_dec: 64,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -60,7 +65,16 @@ impl GasLed {
         let key = store.register_xavier("attn.key", cfg.d_enc, cfg.d_enc, &mut rng);
         let decoder = LstmCell::new(&mut store, "dec", cfg.d_enc, cfg.d_dec, &mut rng);
         let head = Linear::new(&mut store, "head", cfg.d_dec, 3, &mut rng);
-        Self { store, encoder, query, key, decoder, head, adam: Adam::new(cfg.lr), norm }
+        Self {
+            store,
+            encoder,
+            query,
+            key,
+            decoder,
+            head,
+            adam: Adam::new(cfg.lr),
+            norm,
+        }
     }
 
     /// Encodes all nodes (shared LSTM, batched over the 42 nodes), then for
@@ -132,8 +146,11 @@ impl StatePredictor for GasLed {
             let loss = g.masked_sse(pred, truth, mask, normaliser);
             total += g.backward(loss, &mut self.store) as f64;
         }
-        self.store.clip_grad_norm(5.0);
-        self.adam.step(&mut self.store);
+        // Poisoned samples (NaN observations) must not destroy the weights:
+        // non-finite losses or gradients skip the step.
+        if nn::finite_guard(total as f32, &mut self.store, 5.0) {
+            self.adam.step(&mut self.store);
+        }
         total
     }
 
@@ -157,7 +174,10 @@ mod tests {
         for _ in 0..40 {
             last = model.train_batch(&samples);
         }
-        assert!(last < first * 0.5, "GAS-LED failed to learn: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "GAS-LED failed to learn: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! the `z` history steps, and a linear head emits the one-step future state
 //! of all six targets **in parallel** (a single forward pass).
 
-use crate::graph::{member_indices, target_node, Prediction, StGraph, NUM_SURROUNDING, NUM_TARGETS};
+use crate::graph::{
+    member_indices, target_node, Prediction, StGraph, NUM_SURROUNDING, NUM_TARGETS,
+};
 use crate::models::{
     mask_matrix, node_matrix, real_output_count, to_prediction, truth_matrix, StatePredictor,
     TrainSample,
@@ -38,7 +40,14 @@ pub struct LstGatConfig {
 
 impl Default for LstGatConfig {
     fn default() -> Self {
-        Self { d_phi1: 64, d_phi3: 64, d_lstm: 64, lr: 1e-3, leaky_slope: 0.2, seed: 0 }
+        Self {
+            d_phi1: 64,
+            d_phi3: 64,
+            d_lstm: 64,
+            lr: 1e-3,
+            leaky_slope: 0.2,
+            seed: 0,
+        }
     }
 }
 
@@ -205,8 +214,11 @@ impl StatePredictor for LstGat {
             let loss = g.masked_sse(pred, truth, mask, normaliser);
             total += g.backward(loss, &mut self.store) as f64;
         }
-        self.store.clip_grad_norm(5.0);
-        self.adam.step(&mut self.store);
+        // Poisoned samples (NaN observations) must not destroy the weights:
+        // non-finite losses or gradients skip the step.
+        if nn::finite_guard(total as f32, &mut self.store, 5.0) {
+            self.adam.step(&mut self.store);
+        }
         total
     }
 
@@ -232,7 +244,10 @@ mod tests {
             let alpha = model.attention_of(&samples[0].graph, i);
             assert_eq!(alpha.len(), NUM_SURROUNDING + 1);
             let sum: f32 = alpha.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-5, "attention row must sum to 1, got {sum}");
+            assert!(
+                (sum - 1.0).abs() < 1e-5,
+                "attention row must sum to 1, got {sum}"
+            );
             assert!(alpha.iter().all(|&a| a >= 0.0));
         }
     }

@@ -26,7 +26,12 @@ pub struct LstmMlpConfig {
 
 impl Default for LstmMlpConfig {
     fn default() -> Self {
-        Self { d_lstm: 64, d_mlp: 64, lr: 1e-3, seed: 0 }
+        Self {
+            d_lstm: 64,
+            d_mlp: 64,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -46,7 +51,13 @@ impl LstmMlp {
         let mut store = ParamStore::new();
         let lstm = LstmCell::new(&mut store, "lstm", TARGET_HISTORY_DIM, cfg.d_lstm, &mut rng);
         let mlp = Mlp::new(&mut store, "mlp", &[cfg.d_lstm, cfg.d_mlp, 3], &mut rng);
-        Self { store, lstm, mlp, adam: Adam::new(cfg.lr), norm }
+        Self {
+            store,
+            lstm,
+            mlp,
+            adam: Adam::new(cfg.lr),
+            norm,
+        }
     }
 
     /// Forward pass for one target; `rows` is its `z x 4` history.
@@ -54,7 +65,11 @@ impl LstmMlp {
         let z = history.rows();
         let mut state = self.lstm.zero_state(g, 1);
         for tau in 0..z {
-            let x = g.input(Matrix::from_vec(1, TARGET_HISTORY_DIM, history.row_slice(tau).to_vec()));
+            let x = g.input(Matrix::from_vec(
+                1,
+                TARGET_HISTORY_DIM,
+                history.row_slice(tau).to_vec(),
+            ));
             state = self.lstm.step(g, &self.store, x, state);
         }
         self.mlp.forward(g, &self.store, state.h)
@@ -111,8 +126,11 @@ impl StatePredictor for LstmMlp {
                 total += g.backward(loss, &mut self.store) as f64;
             }
         }
-        self.store.clip_grad_norm(5.0);
-        self.adam.step(&mut self.store);
+        // Poisoned samples (NaN observations) must not destroy the weights:
+        // non-finite losses or gradients skip the step.
+        if nn::finite_guard(total as f32, &mut self.store, 5.0) {
+            self.adam.step(&mut self.store);
+        }
         total
     }
 
@@ -136,7 +154,10 @@ mod tests {
         for _ in 0..40 {
             last = model.train_batch(&samples);
         }
-        assert!(last < first * 0.5, "LSTM-MLP failed to learn: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "LSTM-MLP failed to learn: {first} -> {last}"
+        );
     }
 
     #[test]

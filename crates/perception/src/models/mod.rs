@@ -49,7 +49,7 @@ pub(crate) fn node_matrix(graph: &StGraph, tau: usize, norm: &Normalizer) -> Mat
         };
         data.extend_from_slice(&row);
     }
-    Matrix::from_vec(NUM_NODES, NODE_DIM, data.iter().map(|&v| v as f32).collect())
+    Matrix::from_vec(NUM_NODES, NODE_DIM, data)
 }
 
 /// Normalised `NUM_TARGETS x 3` ground-truth matrix.
@@ -139,8 +139,16 @@ pub(crate) mod test_support {
             let mut cars: Vec<(usize, f64, f64)> = Vec::new();
             for lane_off in -1i64..=1 {
                 let lane = (ego_lane as i64 + lane_off) as usize;
-                cars.push((lane, ego_pos + rng.random_range(15.0..60.0), rng.random_range(10.0..24.0)));
-                cars.push((lane, ego_pos - rng.random_range(15.0..60.0), rng.random_range(10.0..24.0)));
+                cars.push((
+                    lane,
+                    ego_pos + rng.random_range(15.0..60.0),
+                    rng.random_range(10.0..24.0),
+                ));
+                cars.push((
+                    lane,
+                    ego_pos - rng.random_range(15.0..60.0),
+                    rng.random_range(10.0..24.0),
+                ));
             }
             for tau in 0..=cfg.z {
                 let dtau = tau as f64 * cfg.dt;
@@ -161,7 +169,11 @@ pub(crate) mod test_support {
                     })
                     .collect();
                 if tau < cfg.z {
-                    history.push(SensorFrame { step: tau as u64, ego, observed });
+                    history.push(SensorFrame {
+                        step: tau as u64,
+                        ego,
+                        observed,
+                    });
                 } else {
                     // Final frame is the ground truth.
                     let graph = builder.build(&history);
@@ -211,7 +223,11 @@ mod tests {
         for s in &samples {
             let mask = mask_matrix(&s.graph);
             for i in 0..NUM_TARGETS {
-                let expect = if s.graph.target_is_phantom(i) { 0.0 } else { 1.0 };
+                let expect = if s.graph.target_is_phantom(i) {
+                    0.0
+                } else {
+                    1.0
+                };
                 assert_eq!(mask.get(i, 0), expect);
             }
         }

@@ -60,7 +60,11 @@ impl Normalizer {
 
     /// Normalises a ground-truth target `[d_lat, d_lon, v_rel]`.
     pub fn truth(&self, t: &[f64; 3]) -> [f32; 3] {
-        [(t[0] / self.d_lat) as f32, (t[1] / self.d_lon) as f32, (t[2] / self.vel) as f32]
+        [
+            (t[0] / self.d_lat) as f32,
+            (t[1] / self.d_lon) as f32,
+            (t[2] / self.vel) as f32,
+        ]
     }
 
     /// Denormalises a network output row back into a [`PredictedState`].
@@ -130,8 +134,16 @@ mod tests {
 
     #[test]
     fn relative_truth_geometry() {
-        let next = RawState { lat: 4.0, lon: 530.0, vel: 25.0 };
-        let ego = RawState { lat: 3.0, lon: 500.0, vel: 20.0 };
+        let next = RawState {
+            lat: 4.0,
+            lon: 530.0,
+            vel: 25.0,
+        };
+        let ego = RawState {
+            lat: 3.0,
+            lon: 500.0,
+            vel: 20.0,
+        };
         let t = relative_truth(&next, &ego, 3.2);
         assert_eq!(t, [3.2, 30.0, 5.0]);
     }

@@ -41,7 +41,14 @@ pub struct BuilderConfig {
 
 impl Default for BuilderConfig {
     fn default() -> Self {
-        Self { lanes: 6, lane_width: 3.2, range: 100.0, dt: 0.5, z: 5, phantoms_enabled: true }
+        Self {
+            lanes: 6,
+            lane_width: 3.2,
+            range: 100.0,
+            dt: 0.5,
+            z: 5,
+            phantoms_enabled: true,
+        }
     }
 }
 
@@ -73,10 +80,13 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if the history holds no frame yet.
     pub fn build(&self, history: &SensorHistory) -> StGraph {
-        assert!(!history.is_empty(), "sensor history must hold at least one frame");
+        assert!(
+            !history.is_empty(),
+            "sensor history must hold at least one frame"
+        );
         let z = self.cfg.z;
         let ego = history.ego_track(self.cfg.dt).expect("non-empty history");
-        let ego_states: Vec<RawState> = ego.states.iter().map(|s| raw_of(s)).collect();
+        let ego_states: Vec<RawState> = ego.states.iter().map(raw_of).collect();
         let latest = history.latest().expect("non-empty history");
         let observed = &latest.observed;
         let ego_latest = *ego_states.last().expect("z >= 1");
@@ -105,7 +115,10 @@ impl GraphBuilder {
             for (j, area) in AREAS.iter().enumerate() {
                 // The reciprocal slot is always the ego itself (footnote 1).
                 if j == NUM_SURROUNDING - 1 - i {
-                    row.push(NodeTrack { states: ego_states.clone(), source: NodeSource::Ego });
+                    row.push(NodeTrack {
+                        states: ego_states.clone(),
+                        source: NodeSource::Ego,
+                    });
                     continue;
                 }
                 if target.source.is_phantom() {
@@ -144,11 +157,17 @@ impl GraphBuilder {
             }
         }
 
-        StGraph { frames, sources, ego_latest }
+        StGraph {
+            frames,
+            sources,
+            ego_latest,
+        }
     }
 
     fn observed_track(&self, history: &SensorHistory, id: VehicleId) -> NodeTrack {
-        let t = history.track_of(id, self.cfg.dt).expect("id taken from latest frame");
+        let t = history
+            .track_of(id, self.cfg.dt)
+            .expect("id taken from latest frame");
         NodeTrack {
             states: t.states.iter().map(raw_of).collect(),
             source: NodeSource::Observed(id),
@@ -196,7 +215,10 @@ impl GraphBuilder {
                     vel: c.vel,
                 })
                 .collect();
-            return NodeTrack { states, source: NodeSource::Phantom(MissingKind::Occlusion) };
+            return NodeTrack {
+                states,
+                source: NodeSource::Phantom(MissingKind::Occlusion),
+            };
         }
         let kind = self.missing_kind_for(area, centre_lat);
         self.phantom_track(area, kind, &target.states, Some(target.source))
@@ -224,18 +246,30 @@ impl GraphBuilder {
             .iter()
             .map(|c| match kind {
                 MissingKind::Inherent => RawState {
-                    lat: if area.lane_offset() < 0 { 0.0 } else { self.cfg.lanes as f64 + 1.0 },
+                    lat: if area.lane_offset() < 0 {
+                        0.0
+                    } else {
+                        self.cfg.lanes as f64 + 1.0
+                    },
                     lon: c.lon,
                     vel: c.vel,
                 },
                 _ => RawState {
                     lat: c.lat + area.lane_offset() as f64,
-                    lon: c.lon + if area.is_front() { self.cfg.range } else { -self.cfg.range },
+                    lon: c.lon
+                        + if area.is_front() {
+                            self.cfg.range
+                        } else {
+                            -self.cfg.range
+                        },
                     vel: c.vel,
                 },
             })
             .collect();
-        NodeTrack { states, source: NodeSource::Phantom(kind) }
+        NodeTrack {
+            states,
+            source: NodeSource::Phantom(kind),
+        }
     }
 
     /// Eq. 7/8 encoding: relative states for conventional and phantom
@@ -267,13 +301,24 @@ pub fn de_relativise(p: &PredictedState, ego: &RawState, lane_width: f64) -> Raw
 /// All-zero track for zero-padded nodes.
 fn zero_track(z: usize) -> NodeTrack {
     NodeTrack {
-        states: vec![RawState { lat: 0.0, lon: 0.0, vel: 0.0 }; z],
+        states: vec![
+            RawState {
+                lat: 0.0,
+                lon: 0.0,
+                vel: 0.0
+            };
+            z
+        ],
         source: NodeSource::Phantom(MissingKind::ZeroPadded),
     }
 }
 
 fn raw_of(s: &ObservedState) -> RawState {
-    RawState { lat: s.lane as f64 + 1.0, lon: s.pos, vel: s.vel }
+    RawState {
+        lat: s.lane as f64 + 1.0,
+        lon: s.pos,
+        vel: s.vel,
+    }
 }
 
 fn observed_id(source: &NodeSource) -> VehicleId {
@@ -297,7 +342,13 @@ fn find_in_area(
         .iter()
         .filter(|o| !exclude.contains(&o.id))
         .filter(|o| (o.lane as f64 + 1.0 - want_lat).abs() < 0.5)
-        .filter(|o| if area.is_front() { o.pos > centre_lon } else { o.pos <= centre_lon })
+        .filter(|o| {
+            if area.is_front() {
+                o.pos > centre_lon
+            } else {
+                o.pos <= centre_lon
+            }
+        })
         .min_by(|a, b| {
             let da = (a.pos - centre_lon).abs();
             let db = (b.pos - centre_lon).abs();
@@ -314,18 +365,34 @@ mod tests {
     const Z: usize = 5;
 
     fn cfg() -> BuilderConfig {
-        BuilderConfig { lanes: 6, lane_width: 3.2, range: 100.0, dt: 0.5, z: Z, phantoms_enabled: true }
+        BuilderConfig {
+            lanes: 6,
+            lane_width: 3.2,
+            range: 100.0,
+            dt: 0.5,
+            z: Z,
+            phantoms_enabled: true,
+        }
     }
 
     fn obs(id: u64, lane: usize, pos: f64, vel: f64) -> ObservedState {
-        ObservedState { id: VehicleId(id), lane, pos, vel }
+        ObservedState {
+            id: VehicleId(id),
+            lane,
+            pos,
+            vel,
+        }
     }
 
     /// History of `Z` identical frames (static scene) for geometry tests.
     fn static_history(ego: ObservedState, observed: Vec<ObservedState>) -> SensorHistory {
         let mut h = SensorHistory::new(Z);
         for step in 0..Z {
-            h.push(SensorFrame { step: step as u64, ego, observed: observed.clone() });
+            h.push(SensorFrame {
+                step: step as u64,
+                ego,
+                observed: observed.clone(),
+            });
         }
         h
     }
@@ -359,7 +426,10 @@ mod tests {
         let ego = obs(0, 2, 500.0, 20.0);
         let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![]));
         // Front target: phantom at lon + R, same lane, ego speed (Eq. 4).
-        assert_eq!(g.sources[target_node(1)], NodeSource::Phantom(MissingKind::Range));
+        assert_eq!(
+            g.sources[target_node(1)],
+            NodeSource::Phantom(MissingKind::Range)
+        );
         let h = g.frames[Z - 1][target_node(1)];
         assert!((h[0] - 0.0).abs() < 1e-9, "front phantom d_lat");
         assert!((h[1] - 100.0).abs() < 1e-9, "front phantom d_lon = +R");
@@ -391,7 +461,10 @@ mod tests {
             assert!(h[2].abs() < 1e-9);
         }
         // Front (same lane) is range missing, not inherent.
-        assert_eq!(g.sources[target_node(1)], NodeSource::Phantom(MissingKind::Range));
+        assert_eq!(
+            g.sources[target_node(1)],
+            NodeSource::Phantom(MissingKind::Range)
+        );
     }
 
     #[test]
@@ -399,7 +472,10 @@ mod tests {
         let ego = obs(0, 5, 500.0, 20.0); // paper lane 6 of 6
         let g = GraphBuilder::new(cfg()).build(&static_history(ego, vec![]));
         for i in [2usize, 5] {
-            assert_eq!(g.sources[target_node(i)], NodeSource::Phantom(MissingKind::Inherent));
+            assert_eq!(
+                g.sources[target_node(i)],
+                NodeSource::Phantom(MissingKind::Inherent)
+            );
             let h = g.frames[Z - 1][target_node(i)];
             // lat = κ+1 = 7, ego lat 6 -> d_lat = +3.2.
             assert!((h[0] - 3.2).abs() < 1e-9);
@@ -418,9 +494,16 @@ mod tests {
         assert_eq!(g.sources[node], NodeSource::Phantom(MissingKind::Occlusion));
         let h = g.frames[Z - 1][node];
         // d_lon = (530 + 30) - 500 = 60; same lane; speed of the occluder.
-        assert!((h[1] - 60.0).abs() < 1e-9, "mirrored longitudinal offset, got {}", h[1]);
+        assert!(
+            (h[1] - 60.0).abs() < 1e-9,
+            "mirrored longitudinal offset, got {}",
+            h[1]
+        );
         assert!(h[0].abs() < 1e-9);
-        assert!((h[2] - (-2.0)).abs() < 1e-9, "phantom inherits occluder speed");
+        assert!(
+            (h[2] - (-2.0)).abs() < 1e-9,
+            "phantom inherits occluder speed"
+        );
     }
 
     #[test]
@@ -443,12 +526,19 @@ mod tests {
         for j in 0..NUM_SURROUNDING {
             let node = surrounding_node(1, j);
             if j == NUM_SURROUNDING - 1 - 1 {
-                assert_eq!(g.sources[node], NodeSource::Ego, "reciprocal slot is the ego");
+                assert_eq!(
+                    g.sources[node],
+                    NodeSource::Ego,
+                    "reciprocal slot is the ego"
+                );
                 let h = g.frames[Z - 1][node];
                 assert!((h[0] - 3.0).abs() < 1e-9, "ego raw lat (1-based lane 3)");
                 assert!((h[1] - 500.0).abs() < 1e-9);
             } else {
-                assert_eq!(g.sources[node], NodeSource::Phantom(MissingKind::ZeroPadded));
+                assert_eq!(
+                    g.sources[node],
+                    NodeSource::Phantom(MissingKind::ZeroPadded)
+                );
                 assert_eq!(g.frames[Z - 1][node], [0.0, 0.0, 0.0, 1.0]);
             }
         }
@@ -481,7 +571,10 @@ mod tests {
         let ego = obs(0, 2, 500.0, 20.0);
         let g = GraphBuilder::new(c).build(&static_history(ego, vec![]));
         for i in 0..NUM_TARGETS {
-            assert_eq!(g.sources[target_node(i)], NodeSource::Phantom(MissingKind::ZeroPadded));
+            assert_eq!(
+                g.sources[target_node(i)],
+                NodeSource::Phantom(MissingKind::ZeroPadded)
+            );
             assert_eq!(g.frames[Z - 1][target_node(i)], [0.0, 0.0, 0.0, 1.0]);
         }
     }
@@ -511,8 +604,16 @@ mod tests {
 
     #[test]
     fn de_relativise_roundtrip() {
-        let ego = RawState { lat: 3.0, lon: 500.0, vel: 20.0 };
-        let p = PredictedState { d_lat: 3.2, d_lon: 30.0, v_rel: 5.0 };
+        let ego = RawState {
+            lat: 3.0,
+            lon: 500.0,
+            vel: 20.0,
+        };
+        let p = PredictedState {
+            d_lat: 3.2,
+            d_lon: 30.0,
+            v_rel: 5.0,
+        };
         let abs = de_relativise(&p, &ego, 3.2);
         assert!((abs.lat - 4.0).abs() < 1e-9);
         assert!((abs.lon - 530.0).abs() < 1e-9);
@@ -526,13 +627,20 @@ mod tests {
         for k in 0..Z {
             let ego = obs(0, 2, 500.0 + 10.0 * k as f64, 20.0);
             let front = obs(2, 2, 540.0 + 12.0 * k as f64, 24.0);
-            h.push(SensorFrame { step: k as u64, ego, observed: vec![front] });
+            h.push(SensorFrame {
+                step: k as u64,
+                ego,
+                observed: vec![front],
+            });
         }
         let g = GraphBuilder::new(cfg()).build(&h);
         // d_lon grows by 2 m per step: 40, 42, 44, 46, 48.
         for (tau, frame) in g.frames.iter().enumerate() {
             let d = frame[target_node(1)][1];
-            assert!((d - (40.0 + 2.0 * tau as f64)).abs() < 1e-9, "tau {tau}: {d}");
+            assert!(
+                (d - (40.0 + 2.0 * tau as f64)).abs() < 1e-9,
+                "tau {tau}: {d}"
+            );
         }
     }
 }

@@ -26,7 +26,12 @@ pub struct TrainOptions {
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        Self { epochs: 15, batch_size: 64, seed: 0, convergence_tol: 0.01 }
+        Self {
+            epochs: 15,
+            batch_size: 64,
+            seed: 0,
+            convergence_tol: 0.01,
+        }
     }
 }
 
@@ -120,15 +125,15 @@ pub fn evaluate(
     let mut count = 0usize;
     for s in samples {
         let pred = model.predict(&s.graph);
-        for i in 0..NUM_TARGETS {
+        for (i, pred_i) in pred.iter().enumerate().take(NUM_TARGETS) {
             if s.graph.target_is_phantom(i) {
                 continue;
             }
             let t = norm.truth(&s.truth[i]);
             let p = [
-                (pred[i].d_lat / norm.d_lat) as f32,
-                (pred[i].d_lon / norm.d_lon) as f32,
-                (pred[i].v_rel / norm.vel) as f32,
+                (pred_i.d_lat / norm.d_lat) as f32,
+                (pred_i.d_lon / norm.d_lon) as f32,
+                (pred_i.v_rel / norm.vel) as f32,
             ];
             for (a, b) in p.iter().zip(t.iter()) {
                 let e = (a - b) as f64;
@@ -140,7 +145,12 @@ pub fn evaluate(
     }
     let n = count.max(1) as f64;
     let mse = sq_sum / n;
-    EvalMetrics { mae: abs_sum / n, mse, rmse: mse.sqrt(), count }
+    EvalMetrics {
+        mae: abs_sum / n,
+        mse,
+        rmse: mse.sqrt(),
+        count,
+    }
 }
 
 /// Measures average per-call inference latency in milliseconds.
@@ -175,11 +185,20 @@ mod tests {
         let report = train(
             &mut model,
             train_set,
-            &TrainOptions { epochs: 8, batch_size: 16, ..Default::default() },
+            &TrainOptions {
+                epochs: 8,
+                batch_size: 16,
+                ..Default::default()
+            },
         );
         let after = evaluate(&model, test_set, &norm);
         assert!(report.epoch_losses.first().unwrap() > report.epoch_losses.last().unwrap());
-        assert!(after.mae < before.mae, "MAE {} -> {}", before.mae, after.mae);
+        assert!(
+            after.mae < before.mae,
+            "MAE {} -> {}",
+            before.mae,
+            after.mae
+        );
         assert!(after.rmse <= after.mae * 10.0);
         assert!(report.convergence_secs <= report.total_secs);
     }

@@ -2,9 +2,12 @@
 //! sensor-consistent scene, the builder must produce a complete, bounded,
 //! well-formed spatial-temporal graph.
 
+// Tests may unwrap freely; the unwrap audit targets library paths only.
+#![allow(clippy::unwrap_used)]
+
 use perception::{
-    surrounding_node, target_node, BuilderConfig, GraphBuilder, MissingKind, NodeSource,
-    NUM_NODES, NUM_SURROUNDING, NUM_TARGETS,
+    surrounding_node, BuilderConfig, GraphBuilder, MissingKind, NodeSource, NUM_NODES,
+    NUM_SURROUNDING, NUM_TARGETS,
 };
 use proptest::prelude::*;
 use sensor::{ObservedState, SensorFrame, SensorHistory};
@@ -13,18 +16,26 @@ use traffic_sim::VehicleId;
 const Z: usize = 5;
 
 fn cfg() -> BuilderConfig {
-    BuilderConfig { lanes: 6, lane_width: 3.2, range: 100.0, dt: 0.5, z: Z, phantoms_enabled: true }
+    BuilderConfig {
+        lanes: 6,
+        lane_width: 3.2,
+        range: 100.0,
+        dt: 0.5,
+        z: Z,
+        phantoms_enabled: true,
+    }
 }
 
 /// Random scene: ego + up to 12 observed vehicles within sensor range.
 fn scene_strategy() -> impl Strategy<Value = (ObservedState, Vec<ObservedState>)> {
-    let ego = (0usize..6, 200.0f64..2000.0, 5.0f64..25.0).prop_map(|(lane, pos, vel)| {
-        ObservedState { id: VehicleId(0), lane, pos, vel }
-    });
-    let others = prop::collection::vec(
-        (0usize..6, -95.0f64..95.0, 5.0f64..25.0),
-        0..12,
-    );
+    let ego =
+        (0usize..6, 200.0f64..2000.0, 5.0f64..25.0).prop_map(|(lane, pos, vel)| ObservedState {
+            id: VehicleId(0),
+            lane,
+            pos,
+            vel,
+        });
+    let others = prop::collection::vec((0usize..6, -95.0f64..95.0, 5.0f64..25.0), 0..12);
     (ego, others).prop_map(|(ego, others)| {
         let observed = others
             .into_iter()
@@ -48,12 +59,22 @@ fn history_of(ego: ObservedState, observed: Vec<ObservedState>) -> SensorHistory
     let mut h = SensorHistory::new(Z);
     for step in 0..Z {
         let dt = step as f64 * 0.5;
-        let ego_t = ObservedState { pos: ego.pos + ego.vel * dt, ..ego };
+        let ego_t = ObservedState {
+            pos: ego.pos + ego.vel * dt,
+            ..ego
+        };
         let obs_t = observed
             .iter()
-            .map(|o| ObservedState { pos: o.pos + o.vel * dt, ..*o })
+            .map(|o| ObservedState {
+                pos: o.pos + o.vel * dt,
+                ..*o
+            })
             .collect();
-        h.push(SensorFrame { step: step as u64, ego: ego_t, observed: obs_t });
+        h.push(SensorFrame {
+            step: step as u64,
+            ego: ego_t,
+            observed: obs_t,
+        });
     }
     h
 }
@@ -140,11 +161,8 @@ proptest! {
         c.phantoms_enabled = false;
         let graph = GraphBuilder::new(c).build(&history_of(ego, observed));
         for node in 0..NUM_NODES {
-            match graph.sources[node] {
-                NodeSource::Phantom(kind) => {
-                    prop_assert_eq!(kind, MissingKind::ZeroPadded, "node {}", node);
-                }
-                _ => {}
+            if let NodeSource::Phantom(kind) = graph.sources[node] {
+                prop_assert_eq!(kind, MissingKind::ZeroPadded, "node {}", node);
             }
         }
     }

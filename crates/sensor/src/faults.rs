@@ -1,0 +1,753 @@
+//! Deterministic sensor fault injection.
+//!
+//! Wraps the sweep produced by [`sense`](crate::sense) with the perception
+//! failure modes the HEAD paper's enhanced perception module is built to
+//! tolerate: per-detection dropout (range/occlusion flicker), position and
+//! velocity noise bursts, frame latency (a stale sweep delivered late), and
+//! whole-sweep blackouts. A [`FaultInjector`] is seeded explicitly and owns
+//! its own generator, so the same [`FaultProfile`] and seed always produce
+//! the same fault trace regardless of what any other subsystem samples.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::SensorFrame;
+
+/// Upper bound on retained [`FaultRecord`]s; counters and the digest keep
+/// counting past it.
+const MAX_TRACE: usize = 4096;
+
+/// Rates and magnitudes for every injected fault class, plus an activation
+/// window so scenarios can stage faults mid-episode.
+///
+/// All rates are per-frame probabilities in `[0, 1]`; a rate of exactly
+/// `0.0` draws nothing from the generator, so disabled fault classes leave
+/// the random stream untouched (this is what makes a zero profile a
+/// bit-identical no-op).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability that each individual detection is dropped from a sweep.
+    pub dropout_rate: f64,
+    /// Probability per frame that a noise burst starts.
+    pub noise_rate: f64,
+    /// Length of a noise burst, frames.
+    pub noise_burst: u32,
+    /// Position noise standard deviation during a burst, m.
+    pub pos_sigma: f64,
+    /// Velocity noise standard deviation during a burst, m/s.
+    pub vel_sigma: f64,
+    /// Probability per frame that the sweep is replaced by a stale one.
+    pub latency_rate: f64,
+    /// Age of the stale sweep delivered on a latency fault, frames.
+    pub latency_steps: u32,
+    /// Probability per frame that a blackout starts.
+    pub blackout_rate: f64,
+    /// Length of a blackout, frames (every frame in it is swallowed).
+    pub blackout_len: u32,
+    /// Probability per frame that one detection field is corrupted to NaN.
+    pub nan_rate: f64,
+    /// First frame index at which faults are active.
+    pub active_from: u64,
+    /// Frame index at which faults deactivate (exclusive); `0` = never.
+    pub active_until: u64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultProfile {
+    /// All fault classes disabled; [`FaultInjector::apply`] is the identity.
+    pub fn none() -> Self {
+        Self {
+            dropout_rate: 0.0,
+            noise_rate: 0.0,
+            noise_burst: 0,
+            pos_sigma: 0.0,
+            vel_sigma: 0.0,
+            latency_rate: 0.0,
+            latency_steps: 0,
+            blackout_rate: 0.0,
+            blackout_len: 0,
+            nan_rate: 0.0,
+            active_from: 0,
+            active_until: 0,
+        }
+    }
+
+    /// Mild degradation: occasional dropout, short noise bursts.
+    pub fn light() -> Self {
+        Self {
+            dropout_rate: 0.05,
+            noise_rate: 0.05,
+            noise_burst: 3,
+            pos_sigma: 0.5,
+            vel_sigma: 0.25,
+            latency_rate: 0.02,
+            latency_steps: 2,
+            blackout_rate: 0.005,
+            blackout_len: 2,
+            nan_rate: 0.0,
+            active_from: 0,
+            active_until: 0,
+        }
+    }
+
+    /// Aggressive degradation across every fault class, including NaN
+    /// corruption of raw detections.
+    pub fn heavy() -> Self {
+        Self {
+            dropout_rate: 0.15,
+            noise_rate: 0.10,
+            noise_burst: 5,
+            pos_sigma: 1.5,
+            vel_sigma: 0.75,
+            latency_rate: 0.05,
+            latency_steps: 3,
+            blackout_rate: 0.02,
+            blackout_len: 3,
+            nan_rate: 0.01,
+            active_from: 0,
+            active_until: 0,
+        }
+    }
+
+    /// Frequent multi-frame blackouts with light secondary faults — the
+    /// profile the fallback ladder is primarily exercised against.
+    pub fn blackout_heavy() -> Self {
+        Self {
+            dropout_rate: 0.05,
+            noise_rate: 0.02,
+            noise_burst: 2,
+            pos_sigma: 0.5,
+            vel_sigma: 0.25,
+            latency_rate: 0.0,
+            latency_steps: 0,
+            blackout_rate: 0.15,
+            blackout_len: 4,
+            nan_rate: 0.0,
+            active_from: 0,
+            active_until: 0,
+        }
+    }
+
+    /// Looks up a named preset (CLI `--faults NAME`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "none" | "off" => Some(Self::none()),
+            "light" => Some(Self::light()),
+            "heavy" => Some(Self::heavy()),
+            "blackout" | "blackout_heavy" => Some(Self::blackout_heavy()),
+            _ => None,
+        }
+    }
+
+    /// True when every fault class is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.dropout_rate == 0.0
+            && self.noise_rate == 0.0
+            && self.latency_rate == 0.0
+            && self.blackout_rate == 0.0
+            && self.nan_rate == 0.0
+    }
+
+    /// Whether the activation window covers `frame`.
+    pub fn active_at(&self, frame: u64) -> bool {
+        frame >= self.active_from && (self.active_until == 0 || frame < self.active_until)
+    }
+}
+
+/// Self-contained generator for the fault stream (MMIX linear congruential
+/// core with an output mix). Deliberately independent of the `rand` crate so
+/// fault traces are stable across dependency upgrades and stub harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seeds the generator; distinct seeds give unrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        // Decorrelate small seeds.
+        let _ = rng.next_u64();
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let mut z = self.state;
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        z ^ (z >> 33)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The class of one injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A detection was removed from the sweep.
+    Dropout,
+    /// Detections were perturbed by Gaussian noise.
+    Noise,
+    /// The sweep's detections were replaced by a stale frame's.
+    Latency,
+    /// The whole sweep was swallowed.
+    Blackout,
+    /// One detection field was corrupted to NaN.
+    NanCorruption,
+}
+
+impl FaultKind {
+    /// Stable index into [`FaultInjector::counts`].
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::Dropout => 0,
+            FaultKind::Noise => 1,
+            FaultKind::Latency => 2,
+            FaultKind::Blackout => 3,
+            FaultKind::NanCorruption => 4,
+        }
+    }
+
+    /// Short name used in traces and telemetry counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Dropout => "dropout",
+            FaultKind::Noise => "noise",
+            FaultKind::Latency => "latency",
+            FaultKind::Blackout => "blackout",
+            FaultKind::NanCorruption => "nan",
+        }
+    }
+}
+
+/// One injected fault, recorded for reproducibility checks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRecord {
+    /// Injector frame index (frames seen since construction).
+    pub frame: u64,
+    /// Simulation step stamped on the affected sweep.
+    pub step: u64,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Class-specific magnitude (detections dropped, staleness, …).
+    pub value: f64,
+}
+
+/// Resumable generator state of a [`FaultInjector`] (the latency delay
+/// buffer is deliberately excluded: it refills within `latency_steps`
+/// frames, and checkpoints only need the random stream position).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectorState {
+    /// Raw LCG state.
+    pub rng_state: u64,
+    /// Remaining frames in the active noise burst.
+    pub noise_left: u32,
+    /// Remaining frames in the active blackout.
+    pub blackout_left: u32,
+    /// Frames seen since construction.
+    pub frames_seen: u64,
+}
+
+/// Applies a [`FaultProfile`] to successive sensor sweeps, deterministically
+/// under its seed. `apply` returns `None` for blacked-out frames.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: FaultRng,
+    delay: VecDeque<SensorFrame>,
+    noise_left: u32,
+    blackout_left: u32,
+    frames_seen: u64,
+    trace: Vec<FaultRecord>,
+    counts: [u64; 5],
+    digest: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `profile` seeded with `seed`.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: FaultRng::new(seed),
+            delay: VecDeque::new(),
+            noise_left: 0,
+            blackout_left: 0,
+            frames_seen: 0,
+            trace: Vec::new(),
+            counts: [0; 5],
+            digest: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// The profile this injector applies.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Runs one sweep through the fault pipeline. `None` means the frame
+    /// was swallowed by a blackout; callers degrade instead of observing.
+    pub fn apply(&mut self, frame: SensorFrame) -> Option<SensorFrame> {
+        let frame_idx = self.frames_seen;
+        self.frames_seen += 1;
+
+        // Feed the latency buffer unconditionally so a stale frame is
+        // available as soon as a latency fault first fires.
+        if self.profile.latency_rate > 0.0 && self.profile.latency_steps > 0 {
+            self.delay.push_back(frame.clone());
+            let cap = self.profile.latency_steps as usize + 1;
+            while self.delay.len() > cap {
+                self.delay.pop_front();
+            }
+        }
+
+        // Outside the activation window the injector is a pure pass-through
+        // and draws nothing, keeping the stream aligned with the schedule.
+        if !self.profile.active_at(frame_idx) {
+            return Some(frame);
+        }
+
+        // Blackout continuation, then a fresh blackout draw.
+        if self.blackout_left > 0 {
+            self.blackout_left -= 1;
+            self.record(frame_idx, frame.step, FaultKind::Blackout, 0.0);
+            return None;
+        }
+        if self.profile.blackout_rate > 0.0 && self.rng.uniform() < self.profile.blackout_rate {
+            self.blackout_left = self.profile.blackout_len.saturating_sub(1);
+            self.record(frame_idx, frame.step, FaultKind::Blackout, 1.0);
+            return None;
+        }
+
+        let mut out = frame;
+
+        // Latency: replace the detections with a stale sweep's, re-stamped
+        // to the current step so downstream history stays monotonic.
+        if self.profile.latency_rate > 0.0 && self.rng.uniform() < self.profile.latency_rate {
+            if let Some(stale) = self.delay.front() {
+                if stale.step < out.step {
+                    let staleness = (out.step - stale.step) as f64;
+                    out.observed = stale.observed.clone();
+                    self.record(frame_idx, out.step, FaultKind::Latency, staleness);
+                }
+            }
+        }
+
+        // Per-detection dropout.
+        if self.profile.dropout_rate > 0.0 {
+            let before = out.observed.len();
+            let candidates = std::mem::take(&mut out.observed);
+            for obs in candidates {
+                if self.rng.uniform() >= self.profile.dropout_rate {
+                    out.observed.push(obs);
+                }
+            }
+            let dropped = before - out.observed.len();
+            if dropped > 0 {
+                self.record(frame_idx, out.step, FaultKind::Dropout, dropped as f64);
+            }
+        }
+
+        // Noise bursts perturb every surviving detection; the ego state is
+        // always exact (proprioception, as the paper assumes).
+        if self.profile.noise_rate > 0.0 {
+            if self.noise_left == 0 && self.rng.uniform() < self.profile.noise_rate {
+                self.noise_left = self.profile.noise_burst.max(1);
+            }
+            if self.noise_left > 0 {
+                self.noise_left -= 1;
+                for obs in &mut out.observed {
+                    obs.pos += self.profile.pos_sigma * self.rng.gaussian();
+                    obs.vel += self.profile.vel_sigma * self.rng.gaussian();
+                }
+                self.record(
+                    frame_idx,
+                    out.step,
+                    FaultKind::Noise,
+                    out.observed.len() as f64,
+                );
+            }
+        }
+
+        // NaN corruption of a single detection field.
+        if self.profile.nan_rate > 0.0
+            && self.rng.uniform() < self.profile.nan_rate
+            && !out.observed.is_empty()
+        {
+            let idx = (self.rng.next_u64() % out.observed.len() as u64) as usize;
+            if self.rng.next_u64() & 1 == 0 {
+                out.observed[idx].pos = f64::NAN;
+            } else {
+                out.observed[idx].vel = f64::NAN;
+            }
+            self.record(frame_idx, out.step, FaultKind::NanCorruption, idx as f64);
+        }
+
+        Some(out)
+    }
+
+    fn record(&mut self, frame: u64, step: u64, kind: FaultKind, value: f64) {
+        self.counts[kind.index()] += 1;
+        // Rolling FNV-1a over the record so full-run equality is checkable
+        // even after the trace buffer saturates.
+        for word in [frame, step, kind.index() as u64, value.to_bits()] {
+            for byte in word.to_le_bytes() {
+                self.digest ^= byte as u64;
+                self.digest = self.digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        if self.trace.len() < MAX_TRACE {
+            self.trace.push(FaultRecord {
+                frame,
+                step,
+                kind,
+                value,
+            });
+        }
+    }
+
+    /// Fault counts by [`FaultKind::index`].
+    pub fn counts(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// Recorded faults (capped at an internal limit; see [`Self::digest`]).
+    pub fn trace(&self) -> &[FaultRecord] {
+        &self.trace
+    }
+
+    /// Rolling digest over every fault ever recorded.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Renders the trace one fault per line, for byte-comparison in tests
+    /// and reproducibility audits.
+    pub fn format_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for r in &self.trace {
+            let _ = writeln!(
+                s,
+                "frame={} step={} kind={} value={}",
+                r.frame,
+                r.step,
+                r.kind.name(),
+                r.value
+            );
+        }
+        s
+    }
+
+    /// Snapshot of the resumable state (random stream + burst progress).
+    pub fn state(&self) -> InjectorState {
+        InjectorState {
+            rng_state: self.rng.state,
+            noise_left: self.noise_left,
+            blackout_left: self.blackout_left,
+            frames_seen: self.frames_seen,
+        }
+    }
+
+    /// Restores a snapshot taken with [`Self::state`]. The latency delay
+    /// buffer restarts empty and refills within `latency_steps` frames.
+    pub fn restore(&mut self, state: InjectorState) {
+        self.rng.state = state.rng_state;
+        self.noise_left = state.noise_left;
+        self.blackout_left = state.blackout_left;
+        self.frames_seen = state.frames_seen;
+        self.delay.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ObservedState;
+    use proptest::prelude::*;
+    use traffic_sim::VehicleId;
+
+    fn mk_frame(step: u64, observed: Vec<ObservedState>) -> SensorFrame {
+        let ego = ObservedState {
+            id: VehicleId(0),
+            lane: 2,
+            pos: 100.0 + step as f64,
+            vel: 20.0,
+        };
+        SensorFrame {
+            step,
+            ego,
+            observed,
+        }
+    }
+
+    fn mk_obs(id: u64, lane: usize, pos: f64, vel: f64) -> ObservedState {
+        ObservedState {
+            id: VehicleId(id),
+            lane,
+            pos,
+            vel,
+        }
+    }
+
+    fn synthetic_frames(n: u64) -> Vec<SensorFrame> {
+        (0..n)
+            .map(|step| {
+                let obs = (1..4)
+                    .map(|k| {
+                        mk_obs(
+                            k,
+                            (k as usize) % 4,
+                            120.0 + step as f64 + 8.0 * k as f64,
+                            19.0,
+                        )
+                    })
+                    .collect();
+                mk_frame(step, obs)
+            })
+            .collect()
+    }
+
+    /// NaN-safe bit signature of a delivered frame.
+    fn signature(frame: &Option<SensorFrame>) -> Vec<(u64, usize, u64, u64)> {
+        match frame {
+            None => vec![(u64::MAX, 0, 0, 0)],
+            Some(f) => f
+                .observed
+                .iter()
+                .map(|o| (o.id.0, o.lane, o.pos.to_bits(), o.vel.to_bits()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_and_output() {
+        let frames = synthetic_frames(300);
+        let mut a = FaultInjector::new(FaultProfile::heavy(), 42);
+        let mut b = FaultInjector::new(FaultProfile::heavy(), 42);
+        for f in &frames {
+            let out_a = a.apply(f.clone());
+            let out_b = b.apply(f.clone());
+            assert_eq!(signature(&out_a), signature(&out_b));
+        }
+        assert_eq!(a.format_trace(), b.format_trace());
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.counts(), b.counts());
+        assert!(
+            a.counts().iter().sum::<u64>() > 0,
+            "heavy profile must fire"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let frames = synthetic_frames(300);
+        let mut a = FaultInjector::new(FaultProfile::heavy(), 1);
+        let mut b = FaultInjector::new(FaultProfile::heavy(), 2);
+        for f in &frames {
+            let _ = a.apply(f.clone());
+            let _ = b.apply(f.clone());
+        }
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn schedule_window_gates_faults() {
+        let profile = FaultProfile {
+            blackout_rate: 1.0,
+            blackout_len: 1,
+            active_from: 10,
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 7);
+        for f in synthetic_frames(20) {
+            let idx = f.step;
+            let out = inj.apply(f);
+            if idx < 10 {
+                assert!(out.is_some(), "inactive window must pass frames through");
+            } else {
+                assert!(out.is_none(), "active window with rate 1.0 must black out");
+            }
+        }
+    }
+
+    #[test]
+    fn blackout_swallows_following_frames() {
+        let profile = FaultProfile {
+            blackout_rate: 1.0,
+            blackout_len: 3,
+            active_until: 1, // only the first frame can *start* one
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 3);
+        let outs: Vec<bool> = synthetic_frames(6)
+            .into_iter()
+            .map(|f| inj.apply(f).is_none())
+            .collect();
+        // Frame 0 starts a 3-frame blackout; continuation frames fall outside
+        // the window, so only the start frame is swallowed.
+        assert_eq!(outs, vec![true, false, false, false, false, false]);
+
+        let profile = FaultProfile {
+            blackout_rate: 1.0,
+            blackout_len: 3,
+            active_until: 2, // frame 1 is a continuation inside the window
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 3);
+        let outs: Vec<bool> = synthetic_frames(6)
+            .into_iter()
+            .map(|f| inj.apply(f).is_none())
+            .collect();
+        assert_eq!(outs, vec![true, true, false, false, false, false]);
+    }
+
+    #[test]
+    fn full_dropout_empties_sweeps() {
+        let profile = FaultProfile {
+            dropout_rate: 1.0,
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 5);
+        for f in synthetic_frames(10) {
+            let out = inj.apply(f).expect("dropout never blacks out");
+            assert!(out.observed.is_empty());
+        }
+        assert_eq!(inj.counts()[FaultKind::Dropout.index()], 10);
+    }
+
+    #[test]
+    fn latency_delivers_stale_detections_restamped() {
+        let profile = FaultProfile {
+            latency_rate: 1.0,
+            latency_steps: 2,
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 11);
+        let frames = synthetic_frames(8);
+        for (i, f) in frames.iter().enumerate() {
+            let out = inj.apply(f.clone()).expect("latency never blacks out");
+            assert_eq!(
+                out.step, f.step,
+                "delivered frame keeps the current step stamp"
+            );
+            if i >= 2 {
+                assert_eq!(
+                    out.observed,
+                    frames[i - 2].observed,
+                    "warm buffer delivers the sweep from latency_steps ago"
+                );
+            }
+        }
+        assert!(inj.counts()[FaultKind::Latency.index()] >= 6);
+    }
+
+    #[test]
+    fn nan_corruption_poisons_one_field() {
+        let profile = FaultProfile {
+            nan_rate: 1.0,
+            ..FaultProfile::none()
+        };
+        let mut inj = FaultInjector::new(profile, 13);
+        let out = inj
+            .apply(synthetic_frames(1).remove(0))
+            .expect("nan never blacks out");
+        let poisoned = out
+            .observed
+            .iter()
+            .filter(|o| o.pos.is_nan() || o.vel.is_nan())
+            .count();
+        assert_eq!(poisoned, 1);
+    }
+
+    #[test]
+    fn state_restore_replays_identical_faults() {
+        // No latency in this profile: the delay buffer is intentionally not
+        // part of the snapshot.
+        let profile = FaultProfile {
+            dropout_rate: 0.3,
+            noise_rate: 0.2,
+            noise_burst: 3,
+            pos_sigma: 1.0,
+            vel_sigma: 0.5,
+            blackout_rate: 0.1,
+            blackout_len: 2,
+            ..FaultProfile::none()
+        };
+        let frames = synthetic_frames(200);
+        let mut a = FaultInjector::new(profile, 99);
+        for f in &frames[..100] {
+            let _ = a.apply(f.clone());
+        }
+        let snap = a.state();
+        let mark = a.trace().len();
+        for f in &frames[100..] {
+            let _ = a.apply(f.clone());
+        }
+        let tail_a: Vec<FaultRecord> = a.trace()[mark..].to_vec();
+
+        let mut b = FaultInjector::new(profile, 0);
+        b.restore(snap);
+        for f in &frames[100..] {
+            let _ = b.apply(f.clone());
+        }
+        assert_eq!(b.trace(), tail_a.as_slice());
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(FaultProfile::from_name("none").expect("preset").is_noop());
+        assert!(!FaultProfile::from_name("heavy").expect("preset").is_noop());
+        assert_eq!(
+            FaultProfile::from_name("blackout"),
+            Some(FaultProfile::blackout_heavy())
+        );
+        assert_eq!(FaultProfile::from_name("bogus"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn zero_profile_is_bitwise_noop(
+            raw in prop::collection::vec((0usize..6, 0.0f64..2000.0, 0.0f64..40.0), 1..20),
+        ) {
+            let observed: Vec<ObservedState> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(lane, pos, vel))| mk_obs(i as u64 + 1, lane, pos, vel))
+                .collect();
+            let frame = mk_frame(17, observed);
+            let mut inj = FaultInjector::new(FaultProfile::none(), 1234);
+            let before = inj.state();
+            let out = inj.apply(frame.clone()).expect("noop profile never blacks out");
+            prop_assert_eq!(out.step, frame.step);
+            prop_assert_eq!(signature(&Some(out)), signature(&Some(frame)));
+            // Zero rates draw nothing: the stream position is untouched.
+            prop_assert_eq!(inj.state().rng_state, before.rng_state);
+        }
+    }
+}

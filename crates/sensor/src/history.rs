@@ -34,7 +34,10 @@ impl SensorHistory {
     /// Creates a history that keeps the last `z` frames.
     pub fn new(z: usize) -> Self {
         assert!(z >= 1, "history needs at least one step");
-        Self { z, frames: VecDeque::with_capacity(z) }
+        Self {
+            z,
+            frames: VecDeque::with_capacity(z),
+        }
     }
 
     /// History depth `z`.
@@ -131,7 +134,11 @@ impl SensorHistory {
             }
         }
         debug_assert_eq!(states.len(), self.z);
-        Some(VehicleTrack { id, states, backfilled })
+        Some(VehicleTrack {
+            id,
+            states,
+            backfilled,
+        })
     }
 
     fn pad_track(states: Vec<ObservedState>, z: usize, dt: f64) -> Option<VehicleTrack> {
@@ -146,7 +153,11 @@ impl SensorHistory {
         }
         let id = first.id;
         padded.extend(states);
-        Some(VehicleTrack { id, states: padded, backfilled: missing })
+        Some(VehicleTrack {
+            id,
+            states: padded,
+            backfilled: missing,
+        })
     }
 }
 
@@ -155,11 +166,20 @@ mod tests {
     use super::*;
 
     fn obs(id: u64, pos: f64, vel: f64) -> ObservedState {
-        ObservedState { id: VehicleId(id), lane: 0, pos, vel }
+        ObservedState {
+            id: VehicleId(id),
+            lane: 0,
+            pos,
+            vel,
+        }
     }
 
     fn frame(step: u64, ego_pos: f64, observed: Vec<ObservedState>) -> SensorFrame {
-        SensorFrame { step, ego: obs(0, ego_pos, 10.0), observed }
+        SensorFrame {
+            step,
+            ego: obs(0, ego_pos, 10.0),
+            observed,
+        }
     }
 
     #[test]

@@ -14,8 +14,17 @@
 //! velocity backfill used when a vehicle has been visible for fewer than
 //! `z` steps.
 
+//! For robustness experiments, [`FaultInjector`] wraps the sweep with
+//! deterministic, seeded fault injection (dropout, noise bursts, latency,
+//! blackouts, NaN corruption) configured by a [`FaultProfile`].
+
+// Tests may unwrap freely; the unwrap audit targets library paths only.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod faults;
 mod history;
 mod model;
 
+pub use faults::{FaultInjector, FaultKind, FaultProfile, FaultRecord, FaultRng, InjectorState};
 pub use history::{SensorHistory, VehicleTrack};
 pub use model::{sense, ObservedState, SensorConfig, SensorFrame};

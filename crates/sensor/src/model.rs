@@ -17,7 +17,11 @@ pub struct SensorConfig {
 
 impl Default for SensorConfig {
     fn default() -> Self {
-        Self { range: 100.0, vehicle_width: 1.8, occlusion: true }
+        Self {
+            range: 100.0,
+            vehicle_width: 1.8,
+            occlusion: true,
+        }
     }
 }
 
@@ -36,7 +40,12 @@ pub struct ObservedState {
 
 impl ObservedState {
     fn from_vehicle(v: &Vehicle) -> Self {
-        Self { id: v.id, lane: v.lane, pos: v.pos, vel: v.vel }
+        Self {
+            id: v.id,
+            lane: v.lane,
+            pos: v.pos,
+            vel: v.vel,
+        }
     }
 }
 
@@ -67,7 +76,12 @@ fn centre(v: &Vehicle, lane_width: f64) -> (f64, f64) {
 /// Axis-aligned body rectangle `(x_min, x_max, y_min, y_max)`.
 fn body_rect(v: &Vehicle, lane_width: f64, width: f64) -> (f64, f64, f64, f64) {
     let (cx, cy) = centre(v, lane_width);
-    (cx - v.length * 0.5, cx + v.length * 0.5, cy - width * 0.5, cy + width * 0.5)
+    (
+        cx - v.length * 0.5,
+        cx + v.length * 0.5,
+        cy - width * 0.5,
+        cy + width * 0.5,
+    )
 }
 
 /// Segment/AABB intersection (slab method).
@@ -143,7 +157,11 @@ pub fn sense(sim: &Simulation, ego_id: VehicleId, cfg: &SensorConfig) -> SensorF
         .map(|v| ObservedState::from_vehicle(v))
         .collect();
 
-    SensorFrame { step: sim.step_count(), ego: ObservedState::from_vehicle(ego), observed }
+    SensorFrame {
+        step: sim.step_count(),
+        ego: ObservedState::from_vehicle(ego),
+        observed,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +171,12 @@ mod tests {
 
     fn sim_with(positions: &[(usize, f64, f64)]) -> (Simulation, VehicleId) {
         // First entry is the ego.
-        let cfg = SimConfig { road_len: 2000.0, lanes: 6, density_per_km: 0.0, ..Default::default() };
+        let cfg = SimConfig {
+            road_len: 2000.0,
+            lanes: 6,
+            density_per_km: 0.0,
+            ..Default::default()
+        };
         let mut sim = Simulation::new(cfg);
         let (lane, pos, vel) = positions[0];
         let ego = sim.spawn_external(lane, pos, vel);
@@ -177,7 +200,14 @@ mod tests {
     #[test]
     fn range_limit_filters_far_vehicles() {
         let (sim, ego) = sim_with(&[(2, 500.0, 20.0), (2, 590.0, 20.0), (2, 700.0, 20.0)]);
-        let frame = sense(&sim, ego, &SensorConfig { occlusion: false, ..Default::default() });
+        let frame = sense(
+            &sim,
+            ego,
+            &SensorConfig {
+                occlusion: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(frame.observed.len(), 1);
         assert!((frame.observed[0].pos - 590.0).abs() < 1e-9);
     }
@@ -210,7 +240,14 @@ mod tests {
     #[test]
     fn disabling_occlusion_reveals_all_in_range() {
         let (sim, ego) = sim_with(&[(2, 500.0, 20.0), (2, 530.0, 20.0), (2, 560.0, 20.0)]);
-        let frame = sense(&sim, ego, &SensorConfig { occlusion: false, ..Default::default() });
+        let frame = sense(
+            &sim,
+            ego,
+            &SensorConfig {
+                occlusion: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(frame.observed.len(), 2);
     }
 

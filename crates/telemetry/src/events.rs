@@ -173,9 +173,18 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         let manifest = Json::parse(lines[0]).expect("manifest parses");
-        assert_eq!(manifest.get("kind").and_then(Json::as_str), Some("manifest"));
+        assert_eq!(
+            manifest.get("kind").and_then(Json::as_str),
+            Some("manifest")
+        );
         assert_eq!(manifest.get("seed").and_then(Json::as_f64), Some(7.0));
-        assert!(manifest.get("unix_ms").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        assert!(
+            manifest
+                .get("unix_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                > 0.0
+        );
         let ev = Json::parse(lines[1]).expect("event parses");
         assert_eq!(ev.get("kind").and_then(Json::as_str), Some("phase"));
         assert_eq!(ev.get("name").and_then(Json::as_str), Some("warmup"));

@@ -54,7 +54,10 @@ impl Json {
 
     /// Parses a complete JSON document (trailing whitespace allowed).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -256,8 +259,7 @@ impl Parser<'_> {
                                         return Err("lone surrogate".into());
                                     }
                                     let lo = self.hex4()?;
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(combined)
                                 } else {
                                     None
@@ -375,7 +377,10 @@ mod tests {
         let v = Json::obj(vec![
             ("a", Json::from(-1.25)),
             ("b", Json::from("tab\there µ")),
-            ("c", Json::Arr(vec![Json::Bool(false), Json::Obj(Vec::new())])),
+            (
+                "c",
+                Json::Arr(vec![Json::Bool(false), Json::Obj(Vec::new())]),
+            ),
         ]);
         let text = v.to_string();
         assert_eq!(Json::parse(&text).unwrap(), v);
@@ -384,11 +389,10 @@ mod tests {
     #[test]
     fn parse_accepts_whitespace_and_unicode_escapes() {
         let v = Json::parse(" { \"k\" : [ 1 , \"\\u00b5s\" , null ] } ").unwrap();
-        assert_eq!(v.get("k").unwrap(), &Json::Arr(vec![
-            Json::Num(1.0),
-            Json::Str("µs".into()),
-            Json::Null,
-        ]));
+        assert_eq!(
+            v.get("k").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Str("µs".into()), Json::Null,])
+        );
         // Surrogate pair.
         let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(v, Json::Str("😀".into()));

@@ -20,7 +20,7 @@ const LO: f64 = 1e-9;
 const MAX_BUCKETS: usize = 1024;
 
 fn bucket_index(v: f64) -> usize {
-    if !(v > LO) {
+    if v.is_nan() || v <= LO {
         return 0;
     }
     let idx = 1 + ((v / LO).log2() * BUCKETS_PER_OCTAVE).floor() as usize;
@@ -115,7 +115,10 @@ struct Metrics {
 
 fn registry() -> MutexGuard<'static, Metrics> {
     static METRICS: OnceLock<Mutex<Metrics>> = OnceLock::new();
-    match METRICS.get_or_init(|| Mutex::new(Metrics::default())).lock() {
+    match METRICS
+        .get_or_init(|| Mutex::new(Metrics::default()))
+        .lock()
+    {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
@@ -153,7 +156,11 @@ pub fn histogram_record(name: &str, v: f64) {
     if !crate::enabled() {
         return;
     }
-    registry().histograms.entry(name.to_string()).or_default().record(v);
+    registry()
+        .histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(v);
 }
 
 /// Snapshot of the named histogram, if it has ever been written.
@@ -281,11 +288,19 @@ mod tests {
         assert_eq!(h.count, 1000);
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 1000.0);
-        assert!((h.mean() - 500.5).abs() < 1e-9, "mean is exact: {}", h.mean());
+        assert!(
+            (h.mean() - 500.5).abs() < 1e-9,
+            "mean is exact: {}",
+            h.mean()
+        );
         for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
             let got = h.quantile(q);
             let rel = (got - exact).abs() / exact;
-            assert!(rel < 0.05, "p{:.0} = {got}, want ~{exact} (rel err {rel:.3})", q * 100.0);
+            assert!(
+                rel < 0.05,
+                "p{:.0} = {got}, want ~{exact} (rel err {rel:.3})",
+                q * 100.0
+            );
         }
     }
 
@@ -311,7 +326,12 @@ mod tests {
         histogram_record("test.m.rep_hist", 3.0);
         crate::set_enabled(was);
         let rep = metrics_report();
-        for needle in ["test.m.rep_counter", "test.m.rep_gauge", "test.m.rep_hist", "p95"] {
+        for needle in [
+            "test.m.rep_counter",
+            "test.m.rep_gauge",
+            "test.m.rep_hist",
+            "p95",
+        ] {
             assert!(rep.contains(needle), "missing {needle} in:\n{rep}");
         }
     }

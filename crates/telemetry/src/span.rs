@@ -65,13 +65,17 @@ impl SpanGuard {
             return Self { start: None };
         }
         STACK.with(|s| s.borrow_mut().push(name));
-        Self { start: Some(Instant::now()) }
+        Self {
+            start: Some(Instant::now()),
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(start) = self.start.take() else { return };
+        let Some(start) = self.start.take() else {
+            return;
+        };
         let elapsed_ns = start.elapsed().as_nanos() as u64;
         let path = STACK.with(|s| {
             let mut stack = s.borrow_mut();
@@ -103,7 +107,8 @@ pub fn span_stats(name: &str) -> SpanStat {
 
 /// Snapshot of all recorded `(path, stats)` pairs, sorted by path.
 pub fn span_snapshot() -> Vec<(String, SpanStat)> {
-    let mut all: Vec<(String, SpanStat)> = registry().iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let mut all: Vec<(String, SpanStat)> =
+        registry().iter().map(|(k, v)| (k.clone(), *v)).collect();
     all.sort_by(|a, b| a.0.cmp(&b.0));
     all
 }
@@ -142,7 +147,10 @@ pub fn timing_report() -> String {
             Some(i) => (&path[..i], &path[i + 1..]),
             None => ("", path.as_str()),
         };
-        children.entry(parent).or_default().push((path.as_str(), leaf, *stat));
+        children
+            .entry(parent)
+            .or_default()
+            .push((path.as_str(), leaf, *stat));
     }
     for list in children.values_mut() {
         list.sort_by(|a, b| b.2.total_ns.cmp(&a.2.total_ns).then(a.1.cmp(b.1)));
@@ -154,7 +162,9 @@ pub fn timing_report() -> String {
         parent_total: Option<u64>,
         depth: usize,
     ) {
-        let Some(list) = children.get(parent_path) else { return };
+        let Some(list) = children.get(parent_path) else {
+            return;
+        };
         for (path, leaf, stat) in list {
             let label = format!("{}{}", "  ".repeat(depth), leaf);
             let share = match parent_total {
@@ -209,12 +219,18 @@ mod tests {
         crate::set_enabled(was);
 
         let paths: Vec<String> = span_snapshot().into_iter().map(|(p, _)| p).collect();
-        assert!(paths.iter().any(|p| p == "test.outer"), "missing root path in {paths:?}");
+        assert!(
+            paths.iter().any(|p| p == "test.outer"),
+            "missing root path in {paths:?}"
+        );
         assert!(
             paths.iter().any(|p| p == "test.outer/test.inner"),
             "missing nested path in {paths:?}"
         );
-        assert!(paths.iter().any(|p| p == "test.inner"), "missing top-level path in {paths:?}");
+        assert!(
+            paths.iter().any(|p| p == "test.inner"),
+            "missing top-level path in {paths:?}"
+        );
 
         let outer = span_stats("test.outer");
         assert_eq!(outer.count, 1);
@@ -222,7 +238,15 @@ mod tests {
         let inner = span_stats("test.inner");
         assert_eq!(inner.count, 4);
         // A parent's total covers its children's.
-        assert!(outer.total_ns >= span_snapshot().iter().find(|(p, _)| p == "test.outer/test.inner").unwrap().1.total_ns);
+        assert!(
+            outer.total_ns
+                >= span_snapshot()
+                    .iter()
+                    .find(|(p, _)| p == "test.outer/test.inner")
+                    .unwrap()
+                    .1
+                    .total_ns
+        );
     }
 
     #[test]
@@ -236,13 +260,22 @@ mod tests {
         crate::set_enabled(was);
         let report = timing_report();
         assert!(report.contains("test.report_root"));
-        assert!(report.contains("  test.report_leaf"), "child must be indented:\n{report}");
-        assert!(report.contains('%'), "child line carries a parent share:\n{report}");
+        assert!(
+            report.contains("  test.report_leaf"),
+            "child must be indented:\n{report}"
+        );
+        assert!(
+            report.contains('%'),
+            "child line carries a parent share:\n{report}"
+        );
     }
 
     #[test]
     fn mean_ns_is_total_over_count() {
-        let s = SpanStat { count: 4, total_ns: 1000 };
+        let s = SpanStat {
+            count: 4,
+            total_ns: 1000,
+        };
         assert_eq!(s.mean_ns(), 250.0);
         assert_eq!(SpanStat::default().mean_ns(), 0.0);
     }

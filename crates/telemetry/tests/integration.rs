@@ -53,7 +53,10 @@ fn episode_record_roundtrips_through_jsonl() {
     assert_eq!(lines.len(), 2);
 
     let manifest = &lines[0];
-    assert_eq!(manifest.get("kind").and_then(Json::as_str), Some("manifest"));
+    assert_eq!(
+        manifest.get("kind").and_then(Json::as_str),
+        Some("manifest")
+    );
     assert_eq!(manifest.get("seed").and_then(Json::as_f64), Some(42.0));
     let config = manifest.get("config").expect("config embedded");
     assert_eq!(config.get("episodes").and_then(Json::as_f64), Some(1200.0));
@@ -104,10 +107,19 @@ fn full_run_smoke() {
     assert_eq!(hist.count, 3);
 
     let timing = telemetry::timing_report();
-    assert!(timing.contains("sim.step"), "timing tree has the root:\n{timing}");
-    assert!(timing.contains("  car_following"), "nested child is indented:\n{timing}");
+    assert!(
+        timing.contains("sim.step"),
+        "timing tree has the root:\n{timing}"
+    );
+    assert!(
+        timing.contains("  car_following"),
+        "nested child is indented:\n{timing}"
+    );
     let metrics = telemetry::metrics_report();
-    assert!(metrics.contains("it.steps"), "metrics report has counters:\n{metrics}");
+    assert!(
+        metrics.contains("it.steps"),
+        "metrics report has counters:\n{metrics}"
+    );
 
     drop(telemetry::take_recorder());
     telemetry::set_enabled(was);

@@ -41,7 +41,13 @@ pub fn idm_accel(d: &DriverParams, v: f64, leader: Option<LeaderView>) -> f64 {
 
 /// Krauss safe-velocity acceleration with driver imperfection `dawdle` in
 /// `[0, 1)` (pass 0 for deterministic behaviour; the simulation samples it).
-pub fn krauss_accel(d: &DriverParams, v: f64, leader: Option<LeaderView>, dt: f64, dawdle: f64) -> f64 {
+pub fn krauss_accel(
+    d: &DriverParams,
+    v: f64,
+    leader: Option<LeaderView>,
+    dt: f64,
+    dawdle: f64,
+) -> f64 {
     let tau = d.headway;
     let b = d.decel;
     let v_safe = match leader {
@@ -78,11 +84,7 @@ pub fn acc_accel(d: &DriverParams, v: f64, leader: Option<LeaderView>) -> f64 {
 
 /// Deceleration `follower` must apply to keep a safe Krauss gap if
 /// `candidate` merges in front of it. Used as the MOBIL safety criterion.
-fn induced_accel(
-    follower: &DriverParams,
-    follower_vel: f64,
-    new_leader: LeaderView,
-) -> f64 {
+fn induced_accel(follower: &DriverParams, follower_vel: f64, new_leader: LeaderView) -> f64 {
     idm_accel(follower, follower_vel, Some(new_leader))
 }
 
@@ -145,7 +147,10 @@ pub fn mobil_decision(
             let induced = induced_accel(
                 &f.driver,
                 f.vel,
-                LeaderView { gap: f.gap, vel: vehicle.vel },
+                LeaderView {
+                    gap: f.gap,
+                    vel: vehicle.vel,
+                },
             );
             if induced < -f.decel {
                 return None;
@@ -163,18 +168,33 @@ pub fn mobil_decision(
                 let before = idm_accel(
                     &f.driver,
                     f.vel,
-                    current.follower.map(|cf| LeaderView { gap: cf.gap, vel: vehicle.vel }),
+                    current.follower.map(|cf| LeaderView {
+                        gap: cf.gap,
+                        vel: vehicle.vel,
+                    }),
                 );
-                let after =
-                    induced_accel(&f.driver, f.vel, LeaderView { gap: f.gap, vel: vehicle.vel });
+                let after = induced_accel(
+                    &f.driver,
+                    f.vel,
+                    LeaderView {
+                        gap: f.gap,
+                        vel: vehicle.vel,
+                    },
+                );
                 (before - after).max(0.0)
             })
             .unwrap_or(0.0);
         Some(a_new - a_now - d.politeness * follower_penalty)
     };
 
-    let left_gain = left.as_ref().and_then(|c| evaluate(c)).unwrap_or(f64::NEG_INFINITY);
-    let right_gain = right.as_ref().and_then(|c| evaluate(c)).unwrap_or(f64::NEG_INFINITY);
+    let left_gain = left
+        .as_ref()
+        .and_then(&evaluate)
+        .unwrap_or(f64::NEG_INFINITY);
+    let right_gain = right
+        .as_ref()
+        .and_then(evaluate)
+        .unwrap_or(f64::NEG_INFINITY);
 
     if left_gain > d.lc_threshold && left_gain >= right_gain {
         LaneChange::Left
@@ -236,7 +256,10 @@ mod tests {
         let d = DriverParams::nominal();
         let dt = 0.5;
         let v = 20.0;
-        let leader = LeaderView { gap: 10.0, vel: 5.0 };
+        let leader = LeaderView {
+            gap: 10.0,
+            vel: 5.0,
+        };
         let a = krauss_accel(&d, v, Some(leader), dt, 0.0);
         let v_next = v + a * dt;
         let b = d.decel;
@@ -263,11 +286,36 @@ mod tests {
         let v = 20.0;
         let desired_gap = d.min_gap + d.headway * v;
         // At exactly the desired gap and matched speed, accel ~ 0.
-        let a = acc_accel(&d, v, Some(LeaderView { gap: desired_gap, vel: v }));
+        let a = acc_accel(
+            &d,
+            v,
+            Some(LeaderView {
+                gap: desired_gap,
+                vel: v,
+            }),
+        );
         assert!(a.abs() < 1e-9);
         // Too close -> brake; too far (but not free-flow) -> accelerate.
-        assert!(acc_accel(&d, v, Some(LeaderView { gap: desired_gap - 5.0, vel: v })) < 0.0);
-        assert!(acc_accel(&d, v, Some(LeaderView { gap: desired_gap + 5.0, vel: v })) > 0.0);
+        assert!(
+            acc_accel(
+                &d,
+                v,
+                Some(LeaderView {
+                    gap: desired_gap - 5.0,
+                    vel: v
+                })
+            ) < 0.0
+        );
+        assert!(
+            acc_accel(
+                &d,
+                v,
+                Some(LeaderView {
+                    gap: desired_gap + 5.0,
+                    vel: v
+                })
+            ) > 0.0
+        );
     }
 
     #[test]
@@ -277,7 +325,10 @@ mod tests {
             leader: Some(LeaderView { gap: 6.0, vel: 5.0 }),
             follower: None,
         };
-        let free = LaneContext { leader: None, follower: None };
+        let free = LaneContext {
+            leader: None,
+            follower: None,
+        };
         let d = mobil_decision(&vehicle, blocked, Some(free), None);
         assert_eq!(d, LaneChange::Left);
     }
@@ -285,7 +336,10 @@ mod tests {
     #[test]
     fn mobil_keeps_lane_when_no_gain() {
         let vehicle = nominal_vehicle(15.0);
-        let ctx = LaneContext { leader: None, follower: None };
+        let ctx = LaneContext {
+            leader: None,
+            follower: None,
+        };
         let d = mobil_decision(&vehicle, ctx, Some(ctx), Some(ctx));
         assert_eq!(d, LaneChange::Keep);
     }

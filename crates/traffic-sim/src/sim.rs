@@ -82,7 +82,10 @@ pub struct ExternalCommand {
 
 impl Default for ExternalCommand {
     fn default() -> Self {
-        Self { lane_change: LaneChange::Keep, accel: 0.0 }
+        Self {
+            lane_change: LaneChange::Keep,
+            accel: 0.0,
+        }
     }
 }
 
@@ -104,6 +107,12 @@ pub struct StepOutcome {
     pub collisions: Vec<CollisionEvent>,
     /// Externally controlled vehicles that crossed the road end this step.
     pub exited_external: Vec<VehicleId>,
+    /// External commands whose acceleration was non-finite this step and
+    /// was replaced by 0 (coasting) instead of corrupting the integration.
+    pub sanitized_commands: u32,
+    /// Vehicles frozen this step because integrating them would have
+    /// produced a non-finite position or velocity.
+    pub non_finite: Vec<VehicleId>,
 }
 
 /// A microscopic multi-lane traffic simulation.
@@ -242,13 +251,17 @@ impl Simulation {
         let keep: Vec<Vehicle> = self
             .vehicles
             .drain(..)
-            .filter(|v| {
-                !(v.lane == lane && (v.pos - pos).abs() < pocket + v.length)
-            })
+            .filter(|v| !(v.lane == lane && (v.pos - pos).abs() < pocket + v.length))
             .collect();
         self.vehicles = keep;
         self.reindex();
-        self.insert_vehicle(lane, pos, vel, Controller::External, DriverParams::nominal())
+        self.insert_vehicle(
+            lane,
+            pos,
+            vel,
+            Controller::External,
+            DriverParams::nominal(),
+        )
     }
 
     /// Removes a vehicle (e.g. a finished external agent).
@@ -261,7 +274,12 @@ impl Simulation {
     }
 
     fn reindex(&mut self) {
-        self.index = self.vehicles.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+        self.index = self
+            .vehicles
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.id, i))
+            .collect();
     }
 
     /// Sets the maneuver an externally controlled vehicle performs on the
@@ -280,8 +298,7 @@ impl Simulation {
             lane.sort_by(|&a, &b| {
                 self.vehicles[a]
                     .pos
-                    .partial_cmp(&self.vehicles[b].pos)
-                    .expect("positions are finite")
+                    .total_cmp(&self.vehicles[b].pos)
                     .then(self.vehicles[a].id.cmp(&self.vehicles[b].id))
             });
         }
@@ -293,7 +310,7 @@ impl Simulation {
         self.vehicles
             .iter()
             .filter(|v| v.lane == lane && v.id != exclude && v.pos > pos)
-            .min_by(|a, b| a.pos.partial_cmp(&b.pos).expect("finite"))
+            .min_by(|a, b| a.pos.total_cmp(&b.pos))
     }
 
     /// Nearest vehicle behind `pos` in `lane` (excluding `exclude`).
@@ -301,15 +318,10 @@ impl Simulation {
         self.vehicles
             .iter()
             .filter(|v| v.lane == lane && v.id != exclude && v.pos <= pos)
-            .max_by(|a, b| a.pos.partial_cmp(&b.pos).expect("finite"))
+            .max_by(|a, b| a.pos.total_cmp(&b.pos))
     }
 
-    fn context_for(
-        &self,
-        lanes: &[Vec<usize>],
-        vi: usize,
-        lane: usize,
-    ) -> LaneContext {
+    fn context_for(&self, lanes: &[Vec<usize>], vi: usize, lane: usize) -> LaneContext {
         let v = &self.vehicles[vi];
         let order = &lanes[lane];
         // Position of the first vehicle in `order` strictly ahead of v.pos.
@@ -321,7 +333,10 @@ impl Simulation {
             .iter()
             .map(|&oi| &self.vehicles[oi])
             .find(|o| o.id != v.id)
-            .map(|o| LeaderView { gap: v.gap_to(o), vel: o.vel });
+            .map(|o| LeaderView {
+                gap: v.gap_to(o),
+                vel: o.vel,
+            });
         let follower = order[..split]
             .iter()
             .rev()
@@ -388,9 +403,7 @@ impl Simulation {
         // Apply changes in descending position order, re-validating gaps in
         // the target lane against the *live* state so two vehicles cannot
         // merge into the same pocket in one step.
-        changes.sort_by(|a, b| {
-            self.vehicles[b.0].pos.partial_cmp(&self.vehicles[a.0].pos).expect("finite")
-        });
+        changes.sort_by(|a, b| self.vehicles[b.0].pos.total_cmp(&self.vehicles[a.0].pos));
         for (vi, delta) in changes {
             let v = &self.vehicles[vi];
             let target = (v.lane as i32 + delta) as usize;
@@ -419,7 +432,7 @@ impl Simulation {
         let cf_span = telemetry::span!("car_following");
         let lanes = self.lane_order();
         let mut accels = vec![0.0_f64; self.vehicles.len()];
-        for vi in 0..self.vehicles.len() {
+        for (vi, slot) in accels.iter_mut().enumerate() {
             let v = &self.vehicles[vi];
             let ctx = self.context_for(&lanes, vi, v.lane);
             let a = match v.controller {
@@ -430,7 +443,15 @@ impl Simulation {
                 }
                 Controller::Acc => acc_accel(&v.driver, v.vel, ctx.leader),
                 Controller::External => {
-                    self.commands.get(&v.id).copied().unwrap_or_default().accel
+                    let a = self.commands.get(&v.id).copied().unwrap_or_default().accel;
+                    if a.is_finite() {
+                        a
+                    } else {
+                        // A corrupted command must not poison the physics;
+                        // coast instead and report it.
+                        outcome.sanitized_commands += 1;
+                        0.0
+                    }
                 }
             };
             let max_decel = if matches!(v.controller, Controller::External) {
@@ -438,7 +459,7 @@ impl Simulation {
             } else {
                 self.cfg.emergency_decel
             };
-            accels[vi] = a.clamp(-max_decel, self.cfg.a_max);
+            *slot = a.clamp(-max_decel, self.cfg.a_max);
         }
 
         drop(cf_span);
@@ -453,8 +474,19 @@ impl Simulation {
                 0.0
             };
             let v_next = (v.vel + accels[vi] * dt).clamp(v_floor, self.cfg.v_max);
+            let pos_next = v.pos + (v.vel + v_next) * 0.5 * dt;
+            if !v_next.is_finite() || !pos_next.is_finite() {
+                // Freeze rather than integrate a non-finite state: hold the
+                // position, stop the vehicle, and report it so the owner can
+                // terminate the episode.
+                v.vel = if v.vel.is_finite() { v.vel } else { 0.0 };
+                v.accel = 0.0;
+                v.lc_cooldown = v.lc_cooldown.saturating_sub(1);
+                outcome.non_finite.push(v.id);
+                continue;
+            }
             let eff_accel = (v_next - v.vel) / dt;
-            v.pos += (v.vel + v_next) * 0.5 * dt;
+            v.pos = pos_next;
             v.vel = v_next;
             v.accel = eff_accel;
             v.lc_cooldown = v.lc_cooldown.saturating_sub(1);
@@ -516,6 +548,12 @@ impl Simulation {
         if !outcome.collisions.is_empty() {
             telemetry::counter_add("sim.collisions", outcome.collisions.len() as u64);
         }
+        if outcome.sanitized_commands > 0 {
+            telemetry::counter_add("sim.sanitized_commands", outcome.sanitized_commands as u64);
+        }
+        if !outcome.non_finite.is_empty() {
+            telemetry::counter_add("sim.nonfinite_frozen", outcome.non_finite.len() as u64);
+        }
         telemetry::gauge_set("sim.vehicles", self.vehicles.len() as f64);
         self.step_count += 1;
         outcome
@@ -562,7 +600,13 @@ mod tests {
     use super::*;
 
     fn small_cfg(seed: u64) -> SimConfig {
-        SimConfig { road_len: 500.0, lanes: 3, density_per_km: 90.0, seed, ..SimConfig::default() }
+        SimConfig {
+            road_len: 500.0,
+            lanes: 3,
+            density_per_km: 90.0,
+            seed,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -583,7 +627,11 @@ mod tests {
         sim.populate();
         for _ in 0..400 {
             let out = sim.step();
-            assert!(out.collisions.is_empty(), "conventional traffic collided: {:?}", out.collisions);
+            assert!(
+                out.collisions.is_empty(),
+                "conventional traffic collided: {:?}",
+                out.collisions
+            );
         }
     }
 
@@ -605,7 +653,13 @@ mod tests {
     fn external_vehicle_obeys_commands() {
         let mut sim = Simulation::new(small_cfg(4));
         let id = sim.spawn_external(1, 50.0, 10.0);
-        sim.set_command(id, ExternalCommand { lane_change: LaneChange::Left, accel: 2.0 });
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Left,
+                accel: 2.0,
+            },
+        );
         sim.step();
         let v = sim.get(id).unwrap();
         assert_eq!(v.lane, 0);
@@ -618,10 +672,19 @@ mod tests {
     fn external_accel_is_clamped() {
         let mut sim = Simulation::new(small_cfg(5));
         let id = sim.spawn_external(0, 50.0, 10.0);
-        sim.set_command(id, ExternalCommand { lane_change: LaneChange::Keep, accel: 99.0 });
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Keep,
+                accel: 99.0,
+            },
+        );
         sim.step();
         let v = sim.get(id).unwrap();
-        assert!((v.vel - (10.0 + 3.0 * 0.5)).abs() < 1e-9, "accel must clamp to a_max");
+        assert!(
+            (v.vel - (10.0 + 3.0 * 0.5)).abs() < 1e-9,
+            "accel must clamp to a_max"
+        );
     }
 
     #[test]
@@ -629,7 +692,13 @@ mod tests {
         let mut sim = Simulation::new(small_cfg(6));
         let id = sim.spawn_external(0, 50.0, 2.0);
         for _ in 0..10 {
-            sim.set_command(id, ExternalCommand { lane_change: LaneChange::Keep, accel: -3.0 });
+            sim.set_command(
+                id,
+                ExternalCommand {
+                    lane_change: LaneChange::Keep,
+                    accel: -3.0,
+                },
+            );
             sim.step();
         }
         let v = sim.get(id).unwrap();
@@ -637,10 +706,86 @@ mod tests {
     }
 
     #[test]
+    fn nan_command_is_sanitized_to_coasting() {
+        let mut sim = Simulation::new(small_cfg(41));
+        let id = sim.spawn_external(0, 50.0, 10.0);
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Keep,
+                accel: f64::NAN,
+            },
+        );
+        let out = sim.step();
+        assert_eq!(out.sanitized_commands, 1);
+        assert!(out.non_finite.is_empty());
+        let v = sim.get(id).unwrap();
+        assert!(
+            (v.vel - 10.0).abs() < 1e-9,
+            "NaN accel must coast, not corrupt"
+        );
+        assert!(v.pos.is_finite());
+    }
+
+    #[test]
+    fn infinite_command_is_sanitized_to_coasting() {
+        let mut sim = Simulation::new(small_cfg(42));
+        let id = sim.spawn_external(0, 50.0, 10.0);
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Keep,
+                accel: f64::INFINITY,
+            },
+        );
+        let out = sim.step();
+        assert_eq!(out.sanitized_commands, 1);
+        assert!(sim.get(id).unwrap().vel.is_finite());
+    }
+
+    #[test]
+    fn non_finite_vehicle_is_frozen_and_reported() {
+        let mut sim = Simulation::new(small_cfg(43));
+        let id = sim.spawn_external(0, 50.0, f64::NAN);
+        let out = sim.step();
+        assert_eq!(out.non_finite, vec![id]);
+        let v = sim.get(id).unwrap();
+        assert!(
+            (v.pos - 50.0).abs() < 1e-9,
+            "frozen vehicle holds its position"
+        );
+        assert_eq!(v.vel, 0.0, "non-finite velocity is stopped");
+        // The next step integrates normally again.
+        let out = sim.step();
+        assert!(out.non_finite.is_empty());
+    }
+
+    #[test]
+    fn ordering_survives_non_finite_positions() {
+        // total_cmp ordering must not panic even with a NaN position in
+        // the lane (it sorts NaN to one end deterministically).
+        let mut sim = Simulation::new(small_cfg(44));
+        let a = sim.spawn_external(0, f64::NAN, 10.0);
+        let b = sim.spawn_external(0, 60.0, 10.0);
+        let _ = sim.step();
+        let leader = sim
+            .leader_in_lane(0, 10.0, a)
+            .expect("finite vehicle is ahead");
+        assert_eq!(leader.id, b);
+        let _ = sim.follower_in_lane(0, 1e9, a);
+    }
+
+    #[test]
     fn boundary_violation_is_a_collision() {
         let mut sim = Simulation::new(small_cfg(7));
         let id = sim.spawn_external(0, 50.0, 10.0);
-        sim.set_command(id, ExternalCommand { lane_change: LaneChange::Left, accel: 0.0 });
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Left,
+                accel: 0.0,
+            },
+        );
         let out = sim.step();
         assert_eq!(out.collisions.len(), 1);
         assert_eq!(out.collisions[0].vehicle, id);
@@ -653,17 +798,36 @@ mod tests {
         let id = sim.spawn_external(0, 50.0, 25.0);
         // A stationary conventional vehicle dead ahead.
         sim.insert_vehicle(0, 58.0, 0.0, Controller::Idm, DriverParams::nominal());
-        sim.set_command(id, ExternalCommand { lane_change: LaneChange::Keep, accel: 3.0 });
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Keep,
+                accel: 3.0,
+            },
+        );
         let mut collided = false;
         for _ in 0..4 {
-            sim.set_command(id, ExternalCommand { lane_change: LaneChange::Keep, accel: 3.0 });
+            sim.set_command(
+                id,
+                ExternalCommand {
+                    lane_change: LaneChange::Keep,
+                    accel: 3.0,
+                },
+            );
             let out = sim.step();
-            if out.collisions.iter().any(|c| c.vehicle == id || c.other == Some(id)) {
+            if out
+                .collisions
+                .iter()
+                .any(|c| c.vehicle == id || c.other == Some(id))
+            {
                 collided = true;
                 break;
             }
         }
-        assert!(collided, "driving full throttle into a parked car must collide");
+        assert!(
+            collided,
+            "driving full throttle into a parked car must collide"
+        );
     }
 
     #[test]
@@ -672,7 +836,13 @@ mod tests {
         let id = sim.spawn_external(0, 495.0, 25.0);
         let mut exited = false;
         for _ in 0..5 {
-            sim.set_command(id, ExternalCommand { lane_change: LaneChange::Keep, accel: 0.0 });
+            sim.set_command(
+                id,
+                ExternalCommand {
+                    lane_change: LaneChange::Keep,
+                    accel: 0.0,
+                },
+            );
             let out = sim.step();
             if out.exited_external.contains(&id) {
                 exited = true;
@@ -706,7 +876,10 @@ mod tests {
             for _ in 0..100 {
                 sim.step();
             }
-            sim.vehicles().iter().map(|v| (v.id, v.lane, v.pos.to_bits(), v.vel.to_bits())).collect::<Vec<_>>()
+            sim.vehicles()
+                .iter()
+                .map(|v| (v.id, v.lane, v.pos.to_bits(), v.vel.to_bits()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));

@@ -7,11 +7,11 @@
 //! cargo run -p head --example highway_impact --release
 //! ```
 
+use decision::{AgentConfig, BpDqn};
 use head::{
     aggregate, evaluate_agent, AccLc, DrivingAgent, EnvConfig, HighwayEnv, IdmLc, PerceptionMode,
     PolicyAgent, RuleConfig, TpBts, TpBtsConfig,
 };
-use decision::{AgentConfig, BpDqn};
 
 fn main() {
     let cfg = EnvConfig::bench_scale();
@@ -22,18 +22,45 @@ fn main() {
 
     let mut env = HighwayEnv::new(cfg.clone(), PerceptionMode::Persistence);
     let mut idm = IdmLc::new(RuleConfig::default());
-    rows.push((idm.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut idm, eval_episodes, seed_base))));
+    rows.push((
+        idm.name(),
+        aggregate(
+            cfg.sim.road_len,
+            &evaluate_agent(&mut env, &mut idm, eval_episodes, seed_base),
+        ),
+    ));
 
     let mut acc = AccLc::new(RuleConfig::default());
-    rows.push((acc.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut acc, eval_episodes, seed_base))));
+    rows.push((
+        acc.name(),
+        aggregate(
+            cfg.sim.road_len,
+            &evaluate_agent(&mut env, &mut acc, eval_episodes, seed_base),
+        ),
+    ));
 
     let mut bts = TpBts::new(TpBtsConfig::default(), cfg.sim.lane_width);
-    rows.push((bts.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut bts, eval_episodes, seed_base))));
+    rows.push((
+        bts.name(),
+        aggregate(
+            cfg.sim.road_len,
+            &evaluate_agent(&mut env, &mut bts, eval_episodes, seed_base),
+        ),
+    ));
 
     // An untrained policy for contrast: random-ish maneuvers disturb the
     // platoon far more (train it properly with examples/train_head.rs).
-    let mut raw = PolicyAgent::new("HEAD (untrained)", Box::new(BpDqn::new(AgentConfig::default())));
-    rows.push((raw.name(), aggregate(cfg.sim.road_len, &evaluate_agent(&mut env, &mut raw, eval_episodes, seed_base))));
+    let mut raw = PolicyAgent::new(
+        "HEAD (untrained)",
+        Box::new(BpDqn::new(AgentConfig::default())),
+    );
+    rows.push((
+        raw.name(),
+        aggregate(
+            cfg.sim.road_len,
+            &evaluate_agent(&mut env, &mut raw, eval_episodes, seed_base),
+        ),
+    ));
 
     println!(
         "{:<18} {:>8} {:>8} {:>9} {:>9} {:>10}",

@@ -19,12 +19,20 @@ use traffic_sim::{SimConfig, Simulation};
 fn main() {
     // A quiet road: the ego, a leader dead ahead, and a third vehicle
     // hidden straight behind that leader (the paper's Fig. 4 case (2,2)).
-    let cfg = SimConfig { road_len: 2000.0, lanes: 6, density_per_km: 0.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        road_len: 2000.0,
+        lanes: 6,
+        density_per_km: 0.0,
+        ..SimConfig::default()
+    };
     let mut sim = Simulation::new(cfg);
     let ego = sim.spawn_external(2, 500.0, 20.0);
     let leader = sim.spawn_external(2, 530.0, 18.0);
     let hidden = sim.spawn_external(2, 560.0, 16.0);
-    println!("scene: ego #{:?} @500 m, leader #{leader:?} @530 m, hidden #{hidden:?} @560 m\n", ego);
+    println!(
+        "scene: ego #{:?} @500 m, leader #{leader:?} @530 m, hidden #{hidden:?} @560 m\n",
+        ego
+    );
 
     // --- 1. The raw sensor view -----------------------------------------
     let sensor_cfg = SensorConfig::default();
@@ -33,9 +41,16 @@ fn main() {
         history.push(sense(&sim, ego, &sensor_cfg));
     }
     let latest = history.latest().unwrap();
-    println!("sensor reports {} vehicle(s) within {} m:", latest.observed.len(), sensor_cfg.range);
+    println!(
+        "sensor reports {} vehicle(s) within {} m:",
+        latest.observed.len(),
+        sensor_cfg.range
+    );
     for o in &latest.observed {
-        println!("  {:?} lane {} pos {:.1} vel {:.1}  <- the hidden car is NOT here", o.id, o.lane, o.pos, o.vel);
+        println!(
+            "  {:?} lane {} pos {:.1} vel {:.1}  <- the hidden car is NOT here",
+            o.id, o.lane, o.pos, o.vel
+        );
     }
 
     // --- 2. Phantom construction ----------------------------------------
@@ -49,11 +64,16 @@ fn main() {
             NodeSource::Observed(id) => format!("observed {id:?}"),
             NodeSource::Ego => "ego".into(),
             NodeSource::Phantom(MissingKind::Range) => "PHANTOM (range, at sensor horizon)".into(),
-            NodeSource::Phantom(MissingKind::Inherent) => "PHANTOM (inherent, road boundary)".into(),
+            NodeSource::Phantom(MissingKind::Inherent) => {
+                "PHANTOM (inherent, road boundary)".into()
+            }
             NodeSource::Phantom(MissingKind::Occlusion) => "PHANTOM (occlusion!)".into(),
             NodeSource::Phantom(MissingKind::ZeroPadded) => "zero padding".into(),
         };
-        println!("  {:?}: d_lat {:+6.1} m  d_lon {:+7.1} m  v_rel {:+5.1} m/s  [{kind}]", area, h[0], h[1], h[2]);
+        println!(
+            "  {:?}: d_lat {:+6.1} m  d_lon {:+7.1} m  v_rel {:+5.1} m/s  [{kind}]",
+            area, h[0], h[1], h[2]
+        );
     }
     // The occluded car shows up as an occlusion phantom *around the
     // leader*, mirrored through it (paper Eq. 6):
@@ -70,6 +90,9 @@ fn main() {
     let pred = model.predict(&graph);
     println!("\nLST-GAT one-step predictions (untrained weights, shown for API):");
     for (area, p) in AREAS.iter().zip(pred.iter()) {
-        println!("  {:?}: d_lat {:+.2} d_lon {:+.2} v_rel {:+.2}", area, p.d_lat, p.d_lon, p.v_rel);
+        println!(
+            "  {:?}: d_lat {:+.2} d_lon {:+.2} v_rel {:+.2}",
+            area, p.d_lat, p.d_lon, p.v_rel
+        );
     }
 }

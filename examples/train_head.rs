@@ -19,7 +19,10 @@ use head::{
 use perception::{LstGat, LstGatConfig};
 
 fn main() {
-    let episodes: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(200);
+    let episodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
     let mut scale = Scale::bench();
     scale.train_episodes = episodes;
 
@@ -32,7 +35,10 @@ fn main() {
         report.epoch_losses.last().unwrap()
     );
 
-    println!("[2/4] seeding replay with {} IDM-LC demonstration episodes ...", scale.demo_episodes);
+    println!(
+        "[2/4] seeding replay with {} IDM-LC demonstration episodes ...",
+        scale.demo_episodes
+    );
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
     model.load_weights_json(&weights).unwrap();
     let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::LstGat(Box::new(model)));
@@ -60,12 +66,17 @@ fn main() {
 
     let before = evaluate_agent(&mut env, &mut agent, 4, 7_500_000);
     let after = evaluate_agent(&mut env, &mut reloaded, 4, 7_500_000);
-    let (a, b) =
-        (aggregate(scale.env.sim.road_len, &before), aggregate(scale.env.sim.road_len, &after));
+    let (a, b) = (
+        aggregate(scale.env.sim.road_len, &before),
+        aggregate(scale.env.sim.road_len, &after),
+    );
     println!(
         "      original AvgV-A {:.2} m/s vs reloaded {:.2} m/s (must match)",
         a.avg_v_a, b.avg_v_a
     );
-    assert!((a.avg_v_a - b.avg_v_a).abs() < 1e-9, "checkpoint must reproduce the policy");
+    assert!(
+        (a.avg_v_a - b.avg_v_a).abs() < 1e-9,
+        "checkpoint must reproduce the policy"
+    );
     println!("done: checkpoints in {}", dir.display());
 }

@@ -13,4 +13,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== fault-injection smoke (blackout profile, kill + resume) =="
+CKPT_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR"' EXIT
+# First leg: halt after 3 of 6 episodes (simulated crash mid-run)...
+cargo run -q -p bench --bin robustness -- \
+    --scale smoke --episodes 6 --faults blackout \
+    --checkpoint "$CKPT_DIR" --every 1 --halt-after 3 > /dev/null
+test -f "$CKPT_DIR/checkpoint.json"
+# ...second leg resumes from the checkpoint and finishes the run.
+cargo run -q -p bench --bin robustness -- \
+    --scale smoke --episodes 6 --faults blackout \
+    --checkpoint "$CKPT_DIR" | grep -q "robustness run: 6 episodes"
+
 echo "CI OK"

@@ -21,7 +21,11 @@ fn table1_produces_all_five_methods() {
     assert_eq!(names, vec!["IDM-LC", "ACC-LC", "DRL-SC", "TP-BTS", "HEAD"]);
     for (name, m) in &report.rows {
         assert!(m.episodes > 0, "{name} evaluated no episodes");
-        assert!(m.avg_v_a > 0.0 && m.avg_v_a <= 25.0, "{name} AvgV-A {:.2}", m.avg_v_a);
+        assert!(
+            m.avg_v_a > 0.0 && m.avg_v_a <= 25.0,
+            "{name} AvgV-A {:.2}",
+            m.avg_v_a
+        );
         assert!(m.avg_dt_a.is_finite() && m.avg_dt_c.is_finite());
     }
     // The report renders as a table.
@@ -46,7 +50,11 @@ fn tables_3_4_rank_all_predictors() {
     assert_eq!(report.rows.len(), 4);
     for row in &report.rows {
         assert!(row.mae.is_finite() && row.mae >= 0.0, "{} MAE", row.name);
-        assert!((row.rmse * row.rmse - row.mse).abs() < 1e-9, "{} rmse^2 = mse", row.name);
+        assert!(
+            (row.rmse * row.rmse - row.mse).abs() < 1e-9,
+            "{} rmse^2 = mse",
+            row.name
+        );
         assert!(row.avg_it_ms > 0.0);
         assert!(row.tct_secs >= 0.0);
     }
@@ -58,7 +66,11 @@ fn tables_5_6_rank_all_learners() {
     let names: Vec<&str> = report.rows.iter().map(|r| r.name.as_str()).collect();
     assert_eq!(names, vec!["P-QP", "P-DDPG", "P-DQN", "BP-DQN"]);
     for row in &report.rows {
-        assert!(row.min_r <= row.avg_r && row.avg_r <= row.max_r, "{}", row.name);
+        assert!(
+            row.min_r <= row.avg_r && row.avg_r <= row.max_r,
+            "{}",
+            row.name
+        );
         assert!(row.avg_it_ms > 0.0);
     }
 }
@@ -66,7 +78,12 @@ fn tables_5_6_rank_all_learners() {
 #[test]
 fn shaping_objective_is_monotone_in_collisions() {
     let env = EnvConfig::test_scale();
-    let mut base = head::AggregateMetrics { avg_v_a: 20.0, min_ttc_a: 4.0, episodes: 10, ..Default::default() };
+    let mut base = head::AggregateMetrics {
+        avg_v_a: 20.0,
+        min_ttc_a: 4.0,
+        episodes: 10,
+        ..Default::default()
+    };
     let clean = shaping_objective(&env, &base);
     base.collisions = 5;
     let crashy = shaping_objective(&env, &base);

@@ -7,12 +7,16 @@ use head::{
     augmented_state, run_episode, EnvConfig, HighwayEnv, IdmLc, PerceptionMode, PolicyAgent,
     RuleConfig, Terminal,
 };
-use perception::{
-    train, LstGat, LstGatConfig, Normalizer, StatePredictor, TrainOptions, NUM_TARGETS,
-};
+use perception::{train, LstGat, LstGatConfig, Normalizer, TrainOptions, NUM_TARGETS};
 
 fn small_corpus(seed: u64) -> CorpusConfig {
-    CorpusConfig { windows: 15, egos_per_window: 3, warmup_steps: 50, seed, ..Default::default() }
+    CorpusConfig {
+        windows: 15,
+        egos_per_window: 3,
+        warmup_steps: 50,
+        seed,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -26,11 +30,18 @@ fn corpus_to_predictor_to_env_pipeline() {
     let report = train(
         &mut model,
         &samples,
-        &TrainOptions { epochs: 2, batch_size: 16, ..Default::default() },
+        &TrainOptions {
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        },
     );
     assert!(report.epoch_losses[1] <= report.epoch_losses[0] * 1.5);
 
-    let mut env = HighwayEnv::new(EnvConfig::test_scale(), PerceptionMode::LstGat(Box::new(model)));
+    let mut env = HighwayEnv::new(
+        EnvConfig::test_scale(),
+        PerceptionMode::LstGat(Box::new(model)),
+    );
     let mut agent = IdmLc::new(RuleConfig::default());
     let metrics = run_episode(&mut env, &mut agent, false);
     assert_eq!(metrics.terminal, Terminal::Destination);
@@ -42,7 +53,15 @@ fn trained_predictor_beats_untrained_in_the_loop() {
     let norm = Normalizer::paper_default();
     let untrained = LstGat::new(LstGatConfig::default(), norm);
     let mut trained = LstGat::new(LstGatConfig::default(), norm);
-    train(&mut trained, &samples, &TrainOptions { epochs: 4, batch_size: 16, ..Default::default() });
+    train(
+        &mut trained,
+        &samples,
+        &TrainOptions {
+            epochs: 4,
+            batch_size: 16,
+            ..Default::default()
+        },
+    );
     let acc_untrained = perception::evaluate(&untrained, &samples, &norm);
     let acc_trained = perception::evaluate(&trained, &samples, &norm);
     assert!(
@@ -106,7 +125,11 @@ fn whole_stack_is_deterministic() {
         train(
             &mut model,
             &samples,
-            &TrainOptions { epochs: 1, batch_size: 16, ..Default::default() },
+            &TrainOptions {
+                epochs: 1,
+                batch_size: 16,
+                ..Default::default()
+            },
         );
         let mut cfg = EnvConfig::test_scale();
         cfg.seed = 99;

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand` crate, used only by
+//! `scripts/offline_check.sh` when the crates-io registry is unreachable.
+//!
+//! Implements the subset of the rand 0.9 API this workspace uses — `Rng`
+//! (`random`, `random_range`), `SeedableRng::seed_from_u64`,
+//! `seq::{SliceRandom, IndexedRandom}` — with a real (SplitMix64-quality)
+//! generator so seeded tests are deterministic and statistically sane.
+//! Numeric streams intentionally do NOT match the real crate; tests must
+//! assert reproducibility properties, not exact values.
+
+use std::ops::Range;
+
+/// Core of every generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from the "standard" distribution (`Rng::random`).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform-in-range sampler. Mirrors real rand's shape so
+/// `Range<T>: SampleRange<T>` is a single blanket impl — that unification is
+/// what lets `rng.random_range(0.85..1.15)` infer `f64` from context.
+pub trait SampleUniform: Sized {
+    /// Uniform draw in `[start, end)`.
+    fn sample_half_open(start: Self, end: Self, rng: &mut dyn RngCore) -> Self;
+    /// Uniform draw in `[start, end]`.
+    fn sample_inclusive(start: Self, end: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(start < end, "empty range");
+                let u = <$t as StandardSample>::sample_standard(rng);
+                start + u * (end - start)
+            }
+            fn sample_inclusive(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+                Self::sample_half_open(start, end, rng)
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(start < end, "empty range");
+                let span = (end as i128 - start as i128) as u64;
+                (start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+            fn sample_inclusive(start: Self, end: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u64 + 1;
+                (start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Ranges samplable by `Rng::random_range`.
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    fn sample_in(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_in(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_in(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// User-facing generator methods (blanket-implemented for every core).
+pub trait Rng: RngCore {
+    /// Draws from the standard distribution of `T`.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction (the workspace only uses `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod seq {
+    //! Slice sampling helpers (`shuffle`, `choose_multiple`).
+
+    use super::RngCore;
+
+    /// In-place slice operations.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Random element selection from indexable sequences.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+
+        /// `amount` distinct elements in random order.
+        fn choose_multiple<R: RngCore>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Output>;
+
+        /// One random element (`None` when empty).
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose_multiple<R: RngCore>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            idx.shuffle(rng);
+            idx.truncate(amount.min(self.len()));
+            idx.into_iter().map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline stand-in for `rand_chacha`. Provides a deterministic
+//! `ChaCha12Rng` backed by SplitMix64 — the numeric stream differs from the
+//! real crate, but seeding and reproducibility semantics match, which is all
+//! the workspace's tests rely on.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seeded generator (SplitMix64 core).
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    state: u64,
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Pre-mix so nearby seeds diverge immediately.
+        let mut rng = ChaCha12Rng { state: state ^ 0xA076_1D64_78BD_642F };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// Alias so code written against either cipher width compiles.
+pub type ChaCha8Rng = ChaCha12Rng;
+/// Alias so code written against either cipher width compiles.
+pub type ChaCha20Rng = ChaCha12Rng;

@@ -1,0 +1,333 @@
+//! Offline functional stand-in for `serde`, modelled on miniserde: a single
+//! in-memory `Value` tree, `Serialize`/`Deserialize` traits that convert to
+//! and from it, and hand-rolled derive macros re-exported from
+//! `serde_stub_derive`. JSON text encoding lives in the `serde_json` stub.
+//!
+//! The stub is value-faithful for everything this workspace serialises:
+//! floats round-trip exactly (shortest-roundtrip `Display`), integers up to
+//! 2^53, strings with full escaping, and externally tagged enums.
+
+use std::fmt;
+
+pub use serde_stub_derive::{Deserialize, Serialize};
+
+/// In-memory JSON-like document tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an `Obj` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON. Non-finite numbers encode as `null`, matching both the
+    /// real serde_json and the telemetry `Json` encoder.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) if !n.is_finite() => f.write_str("null"),
+            Value::Num(n) => {
+                if *n == n.trunc() && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Str(s) => write_escaped(f, s),
+            Value::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Obj(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Deserialization failure with a context message.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the stub's `Value` tree.
+pub trait Serialize {
+    fn ser(&self) -> Value;
+}
+
+/// Conversion out of the stub's `Value` tree. The lifetime parameter exists
+/// only for signature compatibility with real serde bounds.
+pub trait Deserialize<'de>: Sized {
+    fn de(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn de(value: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::de(value)?))
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn de(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn de(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Num(n) if n.is_finite() => Ok(*n as $t),
+                    other => Err(DeError::new(format!(
+                        "expected {}, found {other}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn de(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    // Non-finite floats encode as null; decode them back as
+                    // +inf, which is the only non-finite value the workspace
+                    // serialises (e.g. `min_ttc` with no interaction).
+                    Value::Null => Ok(<$t>::INFINITY),
+                    other => Err(DeError::new(format!(
+                        "expected {}, found {other}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn de(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn de(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::de).collect(),
+            other => Err(DeError::new(format!("expected array, found {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Copy + Default, const N: usize> Deserialize<'de> for [T; N] {
+    fn de(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Arr(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::de(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(DeError::new(format!("expected array of {N}, found {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(v) => v.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn de(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::de(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.ser()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn de(value: &Value) -> Result<Self, DeError> {
+                let arr = __expect_arr(value, "tuple", $n)?;
+                Ok(($($t::de(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+/// Derive-support helper: expects an object value.
+pub fn __expect_obj<'v>(value: &'v Value, ctx: &str) -> Result<&'v [(String, Value)], DeError> {
+    match value {
+        Value::Obj(entries) => Ok(entries),
+        other => Err(DeError::new(format!("expected {ctx} object, found {other}"))),
+    }
+}
+
+/// Derive-support helper: expects an array of exactly `len` items.
+pub fn __expect_arr<'v>(value: &'v Value, ctx: &str, len: usize) -> Result<&'v [Value], DeError> {
+    match value {
+        Value::Arr(items) if items.len() == len => Ok(items),
+        other => Err(DeError::new(format!("expected {ctx} array of {len}, found {other}"))),
+    }
+}
+
+/// Derive-support helper: decodes a struct field, treating a missing key as
+/// `null` (lenient, so optional fields can be absent).
+pub fn __de_field<'de, T: Deserialize<'de>>(
+    obj: &[(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<T, DeError> {
+    let value = obj
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null);
+    T::de(value).map_err(|e| DeError::new(format!("{ctx}.{key}: {e}")))
+}

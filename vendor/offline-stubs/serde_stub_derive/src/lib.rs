@@ -1,0 +1,332 @@
+//! Derive macros for the offline serde stub. No `syn`/`quote` — the input is
+//! parsed by hand, which is enough because the workspace derives only on
+//! plain non-generic structs and enums with no `#[serde(...)]` attributes.
+//!
+//! Generated impls target the stub's data model: named structs map to
+//! `Value::Obj`, newtype structs are transparent, enums are externally
+//! tagged (unit variant -> `Value::Str(name)`, data variant ->
+//! one-entry `Value::Obj`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    NewtypeStruct,
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Splits a token stream on top-level commas, tracking `<...>` nesting
+/// (angle brackets are punctuation, not groups, so `Vec<f32>` style types
+/// would otherwise split mid-field).
+fn split_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for tt in ts {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Returns the leading identifier of a field/variant token list after
+/// skipping `#[...]` attributes and a `pub`/`pub(...)` visibility prefix.
+fn leading_ident(toks: &[TokenTree]) -> (String, usize) {
+    let mut i = 0;
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => (id.to_string(), i),
+        other => panic!("serde stub derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn named_field_names(body: TokenStream) -> Vec<String> {
+    split_commas(body)
+        .into_iter()
+        .filter(|f| !f.is_empty())
+        .map(|f| leading_ident(&f).0)
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic types are unsupported ({name})");
+        }
+    }
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) => break g,
+            Some(_) => continue,
+            None => panic!("serde stub derive: {name} has no body"),
+        }
+    };
+    let shape = match (kw.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::NamedStruct(named_field_names(body.stream())),
+        ("struct", Delimiter::Parenthesis) => {
+            let n = split_commas(body.stream()).into_iter().filter(|f| !f.is_empty()).count();
+            if n == 1 {
+                Shape::NewtypeStruct
+            } else {
+                Shape::TupleStruct(n)
+            }
+        }
+        ("enum", Delimiter::Brace) => {
+            let variants = split_commas(body.stream())
+                .into_iter()
+                .filter(|v| !v.is_empty())
+                .map(|v| {
+                    let (vname, at) = leading_ident(&v);
+                    let kind = match v.get(at + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let n = split_commas(g.stream())
+                                .into_iter()
+                                .filter(|f| !f.is_empty())
+                                .count();
+                            if n == 1 {
+                                VariantKind::Newtype
+                            } else {
+                                VariantKind::Tuple(n)
+                            }
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantKind::Struct(named_field_names(g.stream()))
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Variant { name: vname, kind }
+                })
+                .collect();
+            Shape::Enum(variants)
+        }
+        other => panic!("serde stub derive: unsupported item shape {other:?}"),
+    };
+    (name, shape)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::ser(&self.{f}))")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Obj(vec![{entries}])")
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::ser(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Arr(vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Serialize::ser(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n_fields) => {
+                            let binds = (0..*n_fields)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n_fields)
+                                .map(|i| format!("::serde::Serialize::ser(__f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Value::Arr(vec![{items}]))]),"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), ::serde::Serialize::ser({f}))")
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Value::Obj(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn ser(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__de_field(__obj, \"{f}\", \"{name}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let __obj = ::serde::__expect_obj(__v, \"{name}\")?;\nOk({name} {{\n{entries}\n}})"
+            )
+        }
+        Shape::NewtypeStruct => {
+            format!("Ok({name}(::serde::Deserialize::de(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::de(&__arr[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __arr = ::serde::__expect_arr(__v, \"{name}\", {n})?;\nOk({name}({items}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::de(__val)?)),"
+                        )),
+                        VariantKind::Tuple(n_fields) => {
+                            let items = (0..*n_fields)
+                                .map(|i| format!("::serde::Deserialize::de(&__arr[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vn}\" => {{ let __arr = ::serde::__expect_arr(__val, \"{name}::{vn}\", {n_fields})?; Ok({name}::{vn}({items})) }},"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__de_field(__obj, \"{f}\", \"{name}::{vn}\")?,"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join("\n");
+                            Some(format!(
+                                "\"{vn}\" => {{ let __obj = ::serde::__expect_obj(__val, \"{name}::{vn}\")?; Ok({name}::{vn} {{ {entries} }}) }},"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\n__other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{__other}}\"))),\n}},\n\
+                 ::serde::Value::Obj(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __val) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\n__other => Err(::serde::DeError::new(format!(\"unknown {name} variant {{__other}}\"))),\n}}\n\
+                 }},\n\
+                 __other => Err(::serde::DeError::new(format!(\"expected {name}, found {{__other}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n fn de(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Deserialize impl parses")
+}
