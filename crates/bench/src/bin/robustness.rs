@@ -19,6 +19,7 @@ use head::{
     train_agent, train_agent_resumable, HighwayEnv, PerceptionMode, PolicyAgent, ResumableOptions,
     TrainingReport, Watchdog,
 };
+use telemetry::keys;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -28,22 +29,22 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 const COUNTERS: [&str; 16] = [
-    "sensor.fault.dropout",
-    "sensor.fault.noise",
-    "sensor.fault.latency",
-    "sensor.fault.blackout",
-    "sensor.fault.nan",
-    "perception.fallback.last_prediction",
-    "perception.fallback.last_observation",
-    "perception.fallback.extrapolation",
-    "nn.nonfinite.loss",
-    "nn.nonfinite.grad",
-    "nn.nonfinite.skipped",
-    "nn.nonfinite.restored",
-    "robustness.nonfinite_vehicle",
-    "robustness.nonfinite_reward",
-    "robustness.nonfinite_action",
-    "robustness.watchdog_abort",
+    keys::SENSOR_FAULT_DROPOUT,
+    keys::SENSOR_FAULT_NOISE,
+    keys::SENSOR_FAULT_LATENCY,
+    keys::SENSOR_FAULT_BLACKOUT,
+    keys::SENSOR_FAULT_NAN,
+    keys::PERCEPTION_FALLBACK_LAST_PREDICTION,
+    keys::PERCEPTION_FALLBACK_LAST_OBSERVATION,
+    keys::PERCEPTION_FALLBACK_EXTRAPOLATION,
+    keys::NN_NONFINITE_LOSS,
+    keys::NN_NONFINITE_GRAD,
+    keys::NN_NONFINITE_SKIPPED,
+    keys::NN_NONFINITE_RESTORED,
+    keys::ROBUSTNESS_NONFINITE_VEHICLE,
+    keys::ROBUSTNESS_NONFINITE_REWARD,
+    keys::ROBUSTNESS_NONFINITE_ACTION,
+    keys::ROBUSTNESS_WATCHDOG_ABORT,
 ];
 
 fn main() {

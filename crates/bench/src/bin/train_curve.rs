@@ -14,7 +14,10 @@ fn main() {
     bench::init_telemetry("train_curve", &scale);
     let (weights, _, _) = train_lstgat(&scale);
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
-    model.load_weights_json(&weights).unwrap();
+    if let Err(e) = model.load_weights_json(&weights) {
+        eprintln!("train_curve: loading the just-trained LST-GAT weights failed: {e}");
+        std::process::exit(2);
+    }
     let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::LstGat(Box::new(model)));
     let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
     let mut teacher = head::IdmLc::new(head::RuleConfig::default());

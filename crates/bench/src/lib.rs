@@ -1,5 +1,11 @@
 //! Shared helpers for the table-regeneration binaries.
 
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use head::experiments::Scale;
 
 /// Parses the common CLI flags of the table binaries:
@@ -46,8 +52,12 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 pub fn maybe_write_json<T: serde::Serialize>(report: &T) {
     let args: Vec<String> = std::env::args().collect();
     if let Some(path) = flag_value(&args, "--json") {
+        // lint:allow(panic) report structs are plain data; serialisation cannot fail
         let json = serde_json::to_string_pretty(report).expect("serialisable report");
-        std::fs::write(&path, json).expect("writable json path");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        }
         eprintln!("wrote {path}");
     }
 }

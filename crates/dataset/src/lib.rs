@@ -12,6 +12,12 @@
 //! the observer) through the simulated sensor, including its range and
 //! occlusion limitations, and split 4:1 into train/test.
 
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use perception::{relative_truth, BuilderConfig, GraphBuilder, RawState, TrainSample, NUM_TARGETS};
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::SeedableRng;

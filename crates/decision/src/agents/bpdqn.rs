@@ -16,6 +16,7 @@ use crate::replay::{ReplayBuffer, Transition};
 use nn::{Adam, DivergenceGuard, Graph, Linear, Matrix, ParamStore, Var};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use telemetry::keys;
 
 /// The branched x-network (Eqs. 24–25): per-vehicle branch encodings are
 /// squeezed to one scalar per vehicle, concatenated (7 + 6 = 13) and mapped
@@ -246,7 +247,7 @@ impl PamdpAgent for BpDqn {
         let mut chosen = argmax(&q);
         if explore {
             let eps = self.cfg.epsilon.value(self.act_steps);
-            telemetry::gauge_set("decision.epsilon", eps);
+            telemetry::gauge_set(keys::DECISION_EPSILON, eps);
             if self.rng.random::<f64>() < eps {
                 chosen = crate::agents::random_behaviour(&mut self.rng, self.cfg.explore_keep_bias);
             }
@@ -277,13 +278,13 @@ impl PamdpAgent for BpDqn {
         {
             return None;
         }
-        let _learn_span = telemetry::span!("bpdqn.learn");
+        let _learn_span = telemetry::span!(keys::SPAN_BPDQN_LEARN);
         self.since_learn = 0;
         let batch = {
-            let _sample_span = telemetry::span!("replay_sample");
+            let _sample_span = telemetry::span!(keys::SPAN_REPLAY_SAMPLE);
             self.replay.sample(self.cfg.batch_size, &mut self.rng)
         };
-        telemetry::gauge_set("decision.replay_occupancy", self.replay.len() as f64);
+        telemetry::gauge_set(keys::DECISION_REPLAY_OCCUPANCY, self.replay.len() as f64);
         let n = batch.len();
         let a_max = self.cfg.a_max as f32;
 
@@ -384,8 +385,8 @@ impl PamdpAgent for BpDqn {
         self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
         self.x_target.soft_update_from(&self.x_store, self.cfg.tau);
 
-        telemetry::histogram_record("decision.q_loss", q_loss);
-        telemetry::histogram_record("decision.x_loss", x_loss);
+        telemetry::histogram_record(keys::DECISION_Q_LOSS, q_loss);
+        telemetry::histogram_record(keys::DECISION_X_LOSS, x_loss);
         Some(LearnStats { q_loss, x_loss })
     }
 
@@ -394,6 +395,7 @@ impl PamdpAgent for BpDqn {
     }
 
     fn save_json(&self) -> String {
+        // lint:allow(panic) serde_json::to_string on an in-memory store of names and floats cannot fail
         serde_json::to_string(&(&self.x_store, &self.q_store)).expect("serialisable")
     }
 

@@ -12,6 +12,7 @@ use crate::replay::{ReplayBuffer, Transition};
 use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use telemetry::keys;
 
 /// Width of the collapsed action vector: 3 activations + 3 accelerations.
 const ACTION_DIM: usize = 2 * NUM_BEHAVIOURS;
@@ -143,13 +144,13 @@ impl PamdpAgent for PDdpg {
         {
             return None;
         }
-        let _learn_span = telemetry::span!("pddpg.learn");
+        let _learn_span = telemetry::span!(keys::SPAN_PDDPG_LEARN);
         self.since_learn = 0;
         let batch = {
-            let _sample_span = telemetry::span!("replay_sample");
+            let _sample_span = telemetry::span!(keys::SPAN_REPLAY_SAMPLE);
             self.replay.sample(self.cfg.batch_size, &mut self.rng)
         };
-        telemetry::gauge_set("decision.replay_occupancy", self.replay.len() as f64);
+        telemetry::gauge_set(keys::DECISION_REPLAY_OCCUPANCY, self.replay.len() as f64);
         let n = batch.len();
 
         let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
@@ -226,8 +227,8 @@ impl PamdpAgent for PDdpg {
         self.actor_target
             .soft_update_from(&self.actor_store, self.cfg.tau);
 
-        telemetry::histogram_record("decision.q_loss", q_loss);
-        telemetry::histogram_record("decision.x_loss", x_loss);
+        telemetry::histogram_record(keys::DECISION_Q_LOSS, q_loss);
+        telemetry::histogram_record(keys::DECISION_X_LOSS, x_loss);
         Some(LearnStats { q_loss, x_loss })
     }
 
@@ -236,6 +237,7 @@ impl PamdpAgent for PDdpg {
     }
 
     fn save_json(&self) -> String {
+        // lint:allow(panic) serde_json::to_string on an in-memory store of names and floats cannot fail
         serde_json::to_string(&(&self.actor_store, &self.critic_store)).expect("serialisable")
     }
 

@@ -12,6 +12,7 @@ use crate::replay::{ReplayBuffer, Transition};
 use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use telemetry::keys;
 
 /// The P-DQN learner.
 pub struct PDqn {
@@ -125,13 +126,13 @@ impl PamdpAgent for PDqn {
         {
             return None;
         }
-        let _learn_span = telemetry::span!("pdqn.learn");
+        let _learn_span = telemetry::span!(keys::SPAN_PDQN_LEARN);
         self.since_learn = 0;
         let batch = {
-            let _sample_span = telemetry::span!("replay_sample");
+            let _sample_span = telemetry::span!(keys::SPAN_REPLAY_SAMPLE);
             self.replay.sample(self.cfg.batch_size, &mut self.rng)
         };
-        telemetry::gauge_set("decision.replay_occupancy", self.replay.len() as f64);
+        telemetry::gauge_set(keys::DECISION_REPLAY_OCCUPANCY, self.replay.len() as f64);
         let n = batch.len();
         let a_max = self.cfg.a_max as f32;
 
@@ -215,8 +216,8 @@ impl PamdpAgent for PDqn {
         self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
         self.x_target.soft_update_from(&self.x_store, self.cfg.tau);
 
-        telemetry::histogram_record("decision.q_loss", q_loss);
-        telemetry::histogram_record("decision.x_loss", x_loss);
+        telemetry::histogram_record(keys::DECISION_Q_LOSS, q_loss);
+        telemetry::histogram_record(keys::DECISION_X_LOSS, x_loss);
         Some(LearnStats { q_loss, x_loss })
     }
 
@@ -225,6 +226,7 @@ impl PamdpAgent for PDqn {
     }
 
     fn save_json(&self) -> String {
+        // lint:allow(panic) serde_json::to_string on an in-memory store of names and floats cannot fail
         serde_json::to_string(&(&self.x_store, &self.q_store)).expect("serialisable")
     }
 

@@ -247,6 +247,7 @@ impl PamdpAgent for PQp {
     }
 
     fn save_json(&self) -> String {
+        // lint:allow(panic) serde_json::to_string on an in-memory store of names and floats cannot fail
         serde_json::to_string(&(&self.param_store, &self.q_store)).expect("serialisable")
     }
 
@@ -306,9 +307,11 @@ mod tests {
         for _ in 0..(PHASE_LEN * 2 + 10) {
             agent.observe(dummy.clone());
             if let Some(stats) = agent.learn() {
+                // lint:allow(float-eq) exact zero means this phase's loss was never written
                 if stats.q_loss != 0.0 {
                     saw_q = true;
                 }
+                // lint:allow(float-eq) exact zero means this phase's loss was never written
                 if stats.x_loss != 0.0 {
                     saw_param = true;
                 }

@@ -16,7 +16,10 @@
 //!   [`PDdpg`], [`PQp`] and the discrete [`DiscreteDqn`] that powers the
 //!   DRL-SC end-to-end baseline.
 
-// Tests may unwrap freely; the unwrap audit targets library paths only.
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod agents;

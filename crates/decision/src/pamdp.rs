@@ -7,7 +7,7 @@
 //!   `b ∈ {ll, lr, lk}` paired with a continuous longitudinal acceleration
 //!   `a ∈ [-a', a']` (Eq. 17).
 
-use nn::Matrix;
+use nn::{narrow, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Number of vehicles in the current-state block (ego + 6 targets).
@@ -49,6 +49,7 @@ impl LaneBehaviour {
             0 => LaneBehaviour::Left,
             1 => LaneBehaviour::Right,
             2 => LaneBehaviour::Keep,
+            // lint:allow(panic) callers index with argmax over NUM_BEHAVIOURS network heads
             _ => panic!("behaviour index {i} out of range"),
         }
     }
@@ -124,18 +125,18 @@ impl StateScale {
 
     fn scale_rel(&self, row: &[f64; ROW_DIM]) -> [f32; ROW_DIM] {
         [
-            (row[0] / self.d_lat) as f32,
-            (row[1] / self.d_lon) as f32,
-            (row[2] / self.vel) as f32,
+            narrow(row[0] / self.d_lat),
+            narrow(row[1] / self.d_lon),
+            narrow(row[2] / self.vel),
             row[3] as f32,
         ]
     }
 
     fn scale_ego(&self, row: &[f64; ROW_DIM]) -> [f32; ROW_DIM] {
         [
-            (row[0] / self.lat) as f32,
-            (row[1] / self.lon) as f32,
-            (row[2] / self.vel) as f32,
+            narrow(row[0] / self.lat),
+            narrow(row[1] / self.lon),
+            narrow(row[2] / self.vel),
             row[3] as f32,
         ]
     }

@@ -45,6 +45,7 @@ impl SafetyCheck {
             let (front, rear) = match proposed.behaviour {
                 LaneBehaviour::Left => (Area::FrontLeft, Area::RearLeft),
                 LaneBehaviour::Right => (Area::FrontRight, Area::RearRight),
+                // lint:allow(panic) the enclosing branch excludes Keep
                 LaneBehaviour::Keep => unreachable!(),
             };
             let blocked = matches!(
@@ -217,6 +218,7 @@ mod tests {
             env.reset();
             tries += 1;
         }
+        // lint:allow(float-eq) reset writes the exact lane-centre constant
         if env.percepts().ego.lat == 1.0 {
             let check = SafetyCheck::default();
             let out = check.filter(

@@ -107,6 +107,7 @@ impl TpBts {
             let (front, rear) = match behaviour {
                 LaneBehaviour::Left => (Area::FrontLeft, Area::RearLeft),
                 LaneBehaviour::Right => (Area::FrontRight, Area::RearRight),
+                // lint:allow(panic) the enclosing branch excludes Keep
                 LaneBehaviour::Keep => unreachable!(),
             };
             for area in [front, rear] {

@@ -13,6 +13,7 @@ use perception::{
     RawState, StGraph, StatePredictor, NUM_TARGETS,
 };
 use sensor::{sense, FaultInjector, InjectorState, SensorHistory};
+use telemetry::keys;
 use traffic_sim::{ExternalCommand, LaneChange, Simulation, VehicleId};
 
 /// Salt xored into the environment seed for the fault injector, so the
@@ -21,11 +22,11 @@ const FAULT_SEED_SALT: u64 = 0x6661_756c_7421_5eed;
 
 /// Telemetry counter per [`sensor::FaultKind::index`] slot.
 const FAULT_COUNTERS: [&str; 5] = [
-    "sensor.fault.dropout",
-    "sensor.fault.noise",
-    "sensor.fault.latency",
-    "sensor.fault.blackout",
-    "sensor.fault.nan",
+    keys::SENSOR_FAULT_DROPOUT,
+    keys::SENSOR_FAULT_NOISE,
+    keys::SENSOR_FAULT_LATENCY,
+    keys::SENSOR_FAULT_BLACKOUT,
+    keys::SENSOR_FAULT_NAN,
 ];
 
 /// Which state predictor feeds the decision module.
@@ -670,9 +671,11 @@ mod tests {
         // Ego row flag is 0; target rows carry IF flags 0/1.
         assert_eq!(s.current[0][3], 0.0);
         for row in &s.current[1..] {
+            // lint:allow(float-eq) IF flags are exact 0.0/1.0 sentinels
             assert!(row[3] == 0.0 || row[3] == 1.0);
         }
         for row in &s.future {
+            // lint:allow(float-eq) IF flags are exact 0.0/1.0 sentinels
             assert!(row[3] == 0.0 || row[3] == 1.0);
         }
     }

@@ -23,6 +23,7 @@ use perception::{
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use telemetry::keys;
 
 /// Experiment sizing.
 #[derive(Clone, Debug)]
@@ -143,7 +144,7 @@ impl Scale {
 /// no-op when no recorder is installed).
 fn phase(table: &str, name: &str) {
     telemetry::emit_event(
-        "phase",
+        keys::EVENT_PHASE,
         vec![
             ("table", telemetry::Json::from(table)),
             ("name", telemetry::Json::from(name)),
@@ -154,7 +155,7 @@ fn phase(table: &str, name: &str) {
 /// Trains LST-GAT on the synthetic REAL corpus; returns the weight
 /// checkpoint, the corpus and the training report.
 pub fn train_lstgat(scale: &Scale) -> (String, RealCorpus, perception::TrainReport) {
-    let _span = telemetry::span!("head.train_lstgat");
+    let _span = telemetry::span!(keys::SPAN_HEAD_TRAIN_LSTGAT);
     let corpus = RealCorpus::generate(&scale.corpus);
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
     let report = train_predictor(
@@ -179,6 +180,7 @@ fn seed_demos(scale: &Scale, env: &mut HighwayEnv, student: &mut dyn DrivingAgen
 
 fn lstgat_env(scale: &Scale, weights: &str) -> HighwayEnv {
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
+    // lint:allow(panic) weights come from a checkpoint this process just wrote
     model.load_weights_json(weights).expect("own checkpoint");
     HighwayEnv::new(scale.env.clone(), PerceptionMode::LstGat(Box::new(model)))
 }
@@ -579,6 +581,7 @@ pub fn run_table7(scale: &Scale) -> RewardSearchReport {
             ..scale.env.reward
         };
         let mut model = LstGat::new(LstGatConfig::default(), norm);
+        // lint:allow(panic) weights come from a checkpoint this process just wrote
         model.load_weights_json(&weights).expect("own checkpoint");
         let mut env = HighwayEnv::new(env_cfg.clone(), PerceptionMode::LstGat(Box::new(model)));
         let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));

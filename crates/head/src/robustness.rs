@@ -6,7 +6,7 @@
 //! [`crate::Terminal::Fault`], telemetry records what happened, and the
 //! process — typically hours into a training run — keeps going.
 
-use telemetry::Json;
+use telemetry::{keys, Json};
 use traffic_sim::VehicleId;
 
 /// A recoverable fault observed by the environment or the episode runner.
@@ -40,10 +40,10 @@ impl RobustnessEvent {
     /// Telemetry counter bumped when this event is recorded.
     pub fn counter(&self) -> &'static str {
         match self {
-            RobustnessEvent::NonFiniteVehicleState { .. } => "robustness.nonfinite_vehicle",
-            RobustnessEvent::NonFiniteReward { .. } => "robustness.nonfinite_reward",
-            RobustnessEvent::NonFiniteAction { .. } => "robustness.nonfinite_action",
-            RobustnessEvent::WatchdogAbort { .. } => "robustness.watchdog_abort",
+            RobustnessEvent::NonFiniteVehicleState { .. } => keys::ROBUSTNESS_NONFINITE_VEHICLE,
+            RobustnessEvent::NonFiniteReward { .. } => keys::ROBUSTNESS_NONFINITE_REWARD,
+            RobustnessEvent::NonFiniteAction { .. } => keys::ROBUSTNESS_NONFINITE_ACTION,
+            RobustnessEvent::WatchdogAbort { .. } => keys::ROBUSTNESS_WATCHDOG_ABORT,
         }
     }
 
@@ -77,7 +77,7 @@ impl RobustnessEvent {
                 fields.push(("steps", Json::from(*steps)));
             }
         }
-        telemetry::emit_event("robustness", fields);
+        telemetry::emit_event(keys::EVENT_ROBUSTNESS, fields);
     }
 }
 

@@ -8,7 +8,8 @@ use crate::robustness::RobustnessEvent;
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use telemetry::{keys, Stopwatch};
 
 /// Aborts runaway episodes: whichever of the step and wall-clock budgets
 /// is exhausted first ends the episode with [`Terminal::Fault`] instead of
@@ -39,10 +40,10 @@ fn note_episode(
     explore: bool,
     metrics: &EpisodeMetrics,
 ) {
-    telemetry::counter_add("head.episodes", 1);
-    telemetry::histogram_record("head.episode_steps", metrics.steps as f64);
+    telemetry::counter_add(keys::HEAD_EPISODES, 1);
+    telemetry::histogram_record(keys::HEAD_EPISODE_STEPS, metrics.steps as f64);
     telemetry::emit_event(
-        "episode",
+        keys::EVENT_EPISODE,
         vec![
             ("episode", telemetry::Json::from(env.episode_index())),
             ("explore", telemetry::Json::from(explore)),
@@ -82,8 +83,8 @@ pub fn run_episode_guarded(
     explore: bool,
     watchdog: Option<&Watchdog>,
 ) -> EpisodeMetrics {
-    let _episode_span = telemetry::span!("head.episode");
-    let started = Instant::now();
+    let _episode_span = telemetry::span!(keys::SPAN_HEAD_EPISODE);
+    let started = Stopwatch::start();
     let mut state = env.percepts().state;
     let mut steps_run = 0usize;
     loop {
@@ -96,16 +97,16 @@ pub fn run_episode_guarded(
             }
         }
         let action = {
-            let _decide_span = telemetry::span!("head.decide");
+            let _decide_span = telemetry::span!(keys::SPAN_HEAD_DECIDE);
             agent.decide(env.percepts(), explore)
         };
         let result = {
-            let _env_span = telemetry::span!("env.step");
+            let _env_span = telemetry::span!(keys::SPAN_ENV_STEP);
             env.step(action)
         };
         steps_run += 1;
         if explore && agent.is_learning() {
-            let _feedback_span = telemetry::span!("head.feedback");
+            let _feedback_span = telemetry::span!(keys::SPAN_HEAD_FEEDBACK);
             agent.feedback(
                 &state,
                 action,
@@ -151,8 +152,8 @@ pub fn train_agent(
     agent: &mut dyn DrivingAgent,
     episodes: usize,
 ) -> TrainingReport {
-    let _train_span = telemetry::span!("head.train_agent");
-    let started = Instant::now();
+    let _train_span = telemetry::span!(keys::SPAN_HEAD_TRAIN_AGENT);
+    let started = Stopwatch::start();
     let mut all = Vec::with_capacity(episodes);
     let mut best_window = f64::NEG_INFINITY;
     let mut convergence_secs = None;
@@ -245,8 +246,8 @@ pub fn train_agent_resumable(
     episodes: usize,
     opts: &ResumableOptions,
 ) -> io::Result<TrainingReport> {
-    let _train_span = telemetry::span!("head.train_resumable");
-    let started = Instant::now();
+    let _train_span = telemetry::span!(keys::SPAN_HEAD_TRAIN_RESUMABLE);
+    let started = Stopwatch::start();
     let mut all = Vec::new();
     if let Some(ckpt) = Checkpoint::load(&opts.dir)? {
         if let Some(json) = &ckpt.agent_json {
@@ -267,7 +268,7 @@ pub fn train_agent_resumable(
         }
         all = ckpt.episodes;
         telemetry::emit_event(
-            "resume",
+            keys::EVENT_RESUME,
             vec![
                 ("episode", telemetry::Json::from(ckpt.episode)),
                 ("completed", telemetry::Json::from(all.len())),
@@ -309,7 +310,7 @@ pub fn seed_with_demonstrations(
     student: &mut dyn DrivingAgent,
     episodes: usize,
 ) {
-    let _seed_span = telemetry::span!("head.seed_demos");
+    let _seed_span = telemetry::span!(keys::SPAN_HEAD_SEED_DEMOS);
     for _ in 0..episodes {
         env.reset();
         let mut state = env.percepts().state;
@@ -342,7 +343,7 @@ pub fn evaluate_agent(
     episodes: usize,
     eval_seed_base: u64,
 ) -> Vec<EpisodeMetrics> {
-    let _eval_span = telemetry::span!("head.evaluate");
+    let _eval_span = telemetry::span!(keys::SPAN_HEAD_EVALUATE);
     (0..episodes)
         .map(|k| {
             env.reset_with_seed(eval_seed_base.wrapping_add(k as u64));
@@ -364,7 +365,7 @@ pub fn mean_decision_ms(env: &mut HighwayEnv, agent: &mut dyn DrivingAgent, step
     let mut calls = 0usize;
     for _ in 0..steps {
         let action = {
-            let _decide_span = telemetry::span!("head.decide");
+            let _decide_span = telemetry::span!(keys::SPAN_HEAD_DECIDE);
             agent.decide(env.percepts(), false)
         };
         calls += 1;

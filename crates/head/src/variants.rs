@@ -70,6 +70,7 @@ pub fn build_agent(
         if let Some(json) = lstgat_weights {
             model
                 .load_weights_json(json)
+                // lint:allow(panic) weights come from a checkpoint this process just wrote
                 .expect("valid LST-GAT checkpoint");
         }
         PerceptionMode::LstGat(Box::new(model))

@@ -1,0 +1,4 @@
+//! Fixture crate root WITHOUT the agreed panic-audit header attributes;
+//! the lint-header pass must report both missing attributes.
+
+pub mod seeded;

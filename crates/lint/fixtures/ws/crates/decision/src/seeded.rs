@@ -1,0 +1,36 @@
+//! Seeded violations for the headlint integration tests. This file is
+//! never compiled; it pins the engine's behaviour on a known-bad input.
+//! Expected findings are asserted in crates/lint/tests/fixtures.rs —
+//! keep the two in sync when editing.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn violations(v: &[f64], x: Option<u32>) -> f64 {
+    let _t = Instant::now();
+    let _m: HashMap<u32, f64> = HashMap::new();
+    let first = v[0];
+    if first == 0.25 {
+        return first;
+    }
+    let _frac = (first / 2.0) as f32;
+    telemetry::counter_add("sim.typo", 1);
+    telemetry::counter_add("sim.good", 1);
+    telemetry::counter_add(keys::GOOD_KEY, 1);
+    let _x = x.unwrap();
+    // lint:allow(panic)
+    let _y = x.expect("boom");
+    // lint:allow(wallclock) this directive suppresses nothing
+    let _z = first;
+    let ok = "strings containing unwrap() and panic! must never trip a pass";
+    let _ = ok;
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        super::violations(&[1.0], Some(1)).to_string().parse::<f64>().unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture key registry for the headlint integration tests.
+
+/// Referenced by the seeded fixture, so the unused-key check passes it.
+pub const GOOD_KEY: &str = "sim.good";
+/// Never referenced anywhere: must be reported as an unused key.
+pub const DEAD_KEY: &str = "sim.dead";

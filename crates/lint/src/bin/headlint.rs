@@ -1,0 +1,129 @@
+//! `headlint` — the workspace static-analysis driver.
+//!
+//! ```text
+//! headlint [--root DIR] [--json] [--json-out FILE] [--telemetry DIR]
+//!          [--deny RULE]... [--list-rules] [PATH...]
+//! ```
+//!
+//! With no PATHs, walks `crates/*/src` and `crates/*/tests` under the
+//! root (default: current directory). Exit codes: 0 clean, 1 violations,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::{run, Options, RULES};
+
+struct Cli {
+    opts: Options,
+    json_stdout: bool,
+    json_out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn usage() -> String {
+    "usage: headlint [--root DIR] [--json] [--json-out FILE] [--telemetry DIR] \
+     [--deny RULE]... [--list-rules] [PATH...]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        opts: Options {
+            root: PathBuf::from("."),
+            paths: Vec::new(),
+            deny: Vec::new(),
+        },
+        json_stdout: false,
+        json_out: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--root needs a value\n{}", usage()))?;
+                cli.opts.root = PathBuf::from(v);
+            }
+            "--json" => cli.json_stdout = true,
+            "--json-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--json-out needs a value\n{}", usage()))?;
+                cli.json_out = Some(PathBuf::from(v));
+            }
+            "--telemetry" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--telemetry needs a value\n{}", usage()))?;
+                cli.json_out = Some(PathBuf::from(v).join("lint_report.json"));
+            }
+            "--deny" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--deny needs a value\n{}", usage()))?;
+                if lint::rule(v).is_none() {
+                    return Err(format!("unknown rule `{v}`; see --list-rules"));
+                }
+                cli.opts.deny.push(v.clone());
+            }
+            "--list-rules" => cli.list_rules = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if a.starts_with('-') => {
+                return Err(format!("unknown flag `{a}`\n{}", usage()));
+            }
+            _ => cli.opts.paths.push(PathBuf::from(a)),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list_rules {
+        for r in RULES {
+            println!("{:<16} {:<8} {}", r.name, r.severity.label(), r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match run(&cli.opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("headlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = cli.opts.root.to_string_lossy().replace('\\', "/");
+    if let Some(path) = &cli.json_out {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("headlint: create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let text = format!("{}\n", report.to_json(&root));
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("headlint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if cli.json_stdout {
+        println!("{}", report.to_json(&root));
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,378 @@
+//! The lint driver: workspace walking, pass execution, allow-directive
+//! suppression and the final [`Report`].
+//!
+//! The filesystem layer ([`run`]) collects `.rs` files under
+//! `crates/*/src` and `crates/*/tests` (or an explicit path list),
+//! loads the `telemetry::keys` registry, and hands everything to the pure
+//! core [`lint_files`], which is what the unit tests exercise.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use telemetry::Json;
+
+use crate::passes::{check_unused_keys, run_file_passes, Context, Diagnostic, Severity};
+use crate::registry::KeyRegistry;
+use crate::source::SourceFile;
+
+/// What to lint and how strictly.
+pub struct Options {
+    /// Workspace root (the directory holding `crates/`).
+    pub root: PathBuf,
+    /// Explicit files or directories to lint instead of the whole
+    /// workspace. Empty means walk `crates/*/src` and `crates/*/tests`.
+    pub paths: Vec<PathBuf>,
+    /// Rules whose warnings are promoted to errors.
+    pub deny: Vec<String>,
+}
+
+/// The outcome of a lint run.
+pub struct Report {
+    /// Number of files analysed.
+    pub files: usize,
+    /// All diagnostics, sorted by file, line, column, rule.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Human-readable diagnostics, one per line, plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&format!(
+                "{}[{}] {}:{}:{}: {}\n",
+                d.severity.label(),
+                d.rule,
+                d.file,
+                d.line,
+                d.col,
+                d.message
+            ));
+        }
+        out.push_str(&format!(
+            "headlint: {} files, {} errors, {} warnings\n",
+            self.files,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// Machine report, serialised with telemetry's JSON writer.
+    pub fn to_json(&self, root: &str) -> Json {
+        let diags: Vec<Json> = self
+            .diags
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("rule", Json::from(d.rule)),
+                    ("severity", Json::from(d.severity.label())),
+                    ("file", Json::from(d.file.as_str())),
+                    ("line", Json::from(u64::from(d.line))),
+                    ("col", Json::from(u64::from(d.col))),
+                    ("message", Json::from(d.message.as_str())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("tool", Json::from("headlint")),
+            ("root", Json::from(root)),
+            ("files", Json::from(self.files)),
+            ("errors", Json::from(self.errors())),
+            ("warnings", Json::from(self.warnings())),
+            ("diagnostics", Json::Arr(diags)),
+        ])
+    }
+}
+
+/// Pure lint core: runs every pass over the analysed files, applies allow
+/// directives, emits directive hygiene diagnostics, promotes `deny` rules
+/// and sorts the result.
+pub fn lint_files(mut files: Vec<SourceFile>, ctx: &Context, deny: &[String]) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for f in &files {
+        run_file_passes(f, ctx, &mut raw);
+    }
+    check_unused_keys(&files, ctx, &mut raw);
+
+    // Allow-directive suppression: a diagnostic on a line covered by a
+    // directive naming its rule is dropped, and the directive is marked
+    // used. `allow-no-reason` itself cannot be allowed away.
+    let mut diags = Vec::new();
+    for d in raw {
+        let suppressed = files
+            .iter_mut()
+            .find(|f| f.path == d.file)
+            .and_then(|f| {
+                f.allows
+                    .iter_mut()
+                    .find(|a| a.applies_line == d.line && a.rules.iter().any(|r| r == d.rule))
+            })
+            .map(|a| {
+                a.used = true;
+            })
+            .is_some();
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+
+    // Directive hygiene: reasons are mandatory; stale directives are noise.
+    for f in &files {
+        for a in &f.allows {
+            if a.reason.is_empty() {
+                diags.push(Diagnostic {
+                    rule: "allow-no-reason",
+                    severity: Severity::Error,
+                    file: f.path.clone(),
+                    line: a.directive_line,
+                    col: 1,
+                    message: format!(
+                        "lint:allow({}) has no justification; append the reason after \
+                         the closing parenthesis",
+                        a.rules.join(", ")
+                    ),
+                });
+            } else if !a.used {
+                diags.push(Diagnostic {
+                    rule: "unused-allow",
+                    severity: Severity::Warn,
+                    file: f.path.clone(),
+                    line: a.directive_line,
+                    col: 1,
+                    message: format!(
+                        "lint:allow({}) suppressed nothing on line {}; remove it or fix \
+                         the rule list",
+                        a.rules.join(", "),
+                        a.applies_line
+                    ),
+                });
+            }
+        }
+    }
+
+    for d in &mut diags {
+        if deny.iter().any(|r| r == d.rule) {
+            d.severity = Severity::Error;
+        }
+    }
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    diags
+}
+
+/// Runs the linter per `opts`, reading sources from disk.
+pub fn run(opts: &Options) -> Result<Report, String> {
+    let mut paths = Vec::new();
+    if opts.paths.is_empty() {
+        collect_workspace(&opts.root, &mut paths)?;
+    } else {
+        for p in &opts.paths {
+            let p = if p.is_absolute() {
+                p.clone()
+            } else {
+                opts.root.join(p)
+            };
+            if p.is_dir() {
+                collect_rs(&p, &mut paths)?;
+            } else {
+                paths.push(p);
+            }
+        }
+        paths.sort();
+    }
+
+    let mut files = Vec::new();
+    for p in &paths {
+        let src = fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        let rel = rel_path(&opts.root, p);
+        let crate_name = crate_of(&rel);
+        files.push(SourceFile::analyse(rel, crate_name, &src));
+    }
+
+    let keys_path = opts.root.join("crates/telemetry/src/keys.rs");
+    let keys = match fs::read_to_string(&keys_path) {
+        Ok(src) => KeyRegistry::parse(&src),
+        Err(_) => KeyRegistry::default(),
+    };
+    let ctx = Context { keys };
+
+    let count = files.len();
+    let diags = lint_files(files, &ctx, &opts.deny);
+    Ok(Report {
+        files: count,
+        diags,
+    })
+}
+
+/// Collects `.rs` files under every `crates/*/src` and `crates/*/tests`,
+/// in sorted order.
+fn collect_workspace(root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let crates = root.join("crates");
+    let mut crate_dirs = Vec::new();
+    let entries = fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk {}: {e}", crates.display()))?;
+        if entry.path().is_dir() {
+            crate_dirs.push(entry.path());
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        for sub in ["src", "tests"] {
+            let d = dir.join(sub);
+            if d.is_dir() {
+                collect_rs(&d, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted per directory.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative display path with forward slashes.
+fn rel_path(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Crate directory name for a `crates/<name>/...` relative path.
+fn crate_of(rel: &str) -> String {
+    match rel.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or("").to_string(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context {
+            keys: KeyRegistry::default(),
+        }
+    }
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::analyse(path.into(), crate_of(path), src)
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_counts_as_used() {
+        let f = file(
+            "crates/nn/src/a.rs",
+            "fn f() {\n    // lint:allow(panic) cannot fail: invariant upheld by caller\n    x.expect(\"boom\");\n}\n",
+        );
+        let diags = lint_files(vec![f], &ctx(), &[]);
+        assert!(diags.is_empty(), "got: {diags:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_suppresses_but_errors() {
+        let f = file(
+            "crates/nn/src/a.rs",
+            "fn f() {\n    // lint:allow(panic)\n    x.expect(\"boom\");\n}\n",
+        );
+        let diags = lint_files(vec![f], &ctx(), &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "allow-no-reason");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let f = file(
+            "crates/nn/src/a.rs",
+            "fn f() {\n    // lint:allow(float-eq) wrong rule\n    x.expect(\"boom\");\n}\n",
+        );
+        let diags = lint_files(vec![f], &ctx(), &[]);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"panic"));
+        assert!(rules.contains(&"unused-allow"));
+    }
+
+    #[test]
+    fn deny_promotes_warnings_to_errors() {
+        let f = file("crates/nn/src/a.rs", "fn f() { let x = v[0]; }");
+        let diags = lint_files(vec![f], &ctx(), &["index-panic".to_string()]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_json_shape() {
+        let f = file("crates/nn/src/a.rs", "fn f() { x.unwrap(); let y = v[0]; }");
+        let diags = lint_files(vec![f], &ctx(), &[]);
+        let report = Report { files: 1, diags };
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.warnings(), 1);
+        let json = report.to_json("/ws");
+        assert_eq!(json.get("tool").and_then(|j| j.as_str()), Some("headlint"));
+        assert_eq!(json.get("errors").and_then(|j| j.as_f64()), Some(1.0));
+        let text = json.to_string();
+        let parsed = Json::parse(&text).expect("round-trip");
+        assert_eq!(parsed, json);
+        let human = report.render_human();
+        assert!(human.contains("error[panic]"));
+        assert!(human.contains("1 errors, 1 warnings"));
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_location() {
+        let a = file("crates/nn/src/b.rs", "fn f() { x.unwrap(); }");
+        let b = file("crates/nn/src/a.rs", "fn g() { y.unwrap(); z.unwrap(); }");
+        let diags = lint_files(vec![a, b], &ctx(), &[]);
+        let files: Vec<&str> = diags.iter().map(|d| d.file.as_str()).collect();
+        assert_eq!(
+            files,
+            vec![
+                "crates/nn/src/a.rs",
+                "crates/nn/src/a.rs",
+                "crates/nn/src/b.rs"
+            ]
+        );
+        assert!(diags[0].col < diags[1].col);
+    }
+
+    #[test]
+    fn crate_of_extracts_directory_name() {
+        assert_eq!(crate_of("crates/traffic-sim/src/sim.rs"), "traffic-sim");
+        assert_eq!(crate_of("scripts/x.rs"), "");
+    }
+}

@@ -1,0 +1,467 @@
+//! A hand-rolled Rust lexer.
+//!
+//! `headlint` runs where the cargo registry is unreachable, so it cannot
+//! lean on `syn`/`proc-macro2`; instead this module tokenises Rust source
+//! directly. It understands everything the passes need to be *sound
+//! about*: line and nested block comments, string/char literals (plain,
+//! byte, and raw with any `#` count), lifetimes vs char literals, float vs
+//! integer literals, and multi-character operators. Every token carries a
+//! 1-based line:column span so diagnostics are clickable.
+//!
+//! The lexer is intentionally forgiving: an unterminated literal consumes
+//! to end-of-file rather than failing, because a linter must keep walking
+//! the rest of the workspace.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `3f32`).
+    Float,
+    /// Plain or byte string literal, quotes included (`"x"`, `b"x"`).
+    Str,
+    /// Raw string literal, hashes and quotes included (`r#"x"#`).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `//` or `/* */` comment, markers included.
+    Comment,
+    /// Punctuation / operator, possibly multi-character (`==`, `::`).
+    Punct,
+}
+
+/// One token with its source span.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Kind of lexeme.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+impl Tok {
+    /// For string tokens: the literal's inner text, with quote characters,
+    /// `b`/`r` prefixes and raw-string hashes stripped (escape sequences
+    /// are left as written). `None` for non-string tokens.
+    pub fn str_value(&self) -> Option<&str> {
+        match self.kind {
+            TokKind::Str | TokKind::RawStr => {
+                let t = self.text.trim_start_matches(['b', 'r']);
+                let t = t.trim_matches('#');
+                t.strip_prefix('"').and_then(|t| t.strip_suffix('"'))
+            }
+            _ => None,
+        }
+    }
+
+    /// True for `Punct` tokens equal to `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// True for `Ident` tokens equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenises `src`, returning every token including comments.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while !cur.eof() {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        let b = cur.peek(0);
+        let kind = if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        } else if b == b'/' && cur.peek(1) == b'/' {
+            lex_line_comment(&mut cur)
+        } else if b == b'/' && cur.peek(1) == b'*' {
+            lex_block_comment(&mut cur)
+        } else if b == b'r' && is_raw_string_start(&cur, 1) {
+            cur.bump();
+            lex_raw_string(&mut cur)
+        } else if b == b'b' && cur.peek(1) == b'r' && is_raw_string_start(&cur, 2) {
+            cur.bump();
+            cur.bump();
+            lex_raw_string(&mut cur)
+        } else if b == b'b' && cur.peek(1) == b'"' {
+            cur.bump();
+            lex_string(&mut cur)
+        } else if b == b'b' && cur.peek(1) == b'\'' {
+            cur.bump();
+            lex_char(&mut cur)
+        } else if b == b'"' {
+            lex_string(&mut cur)
+        } else if b == b'\'' {
+            lex_quote(&mut cur)
+        } else if is_ident_start(b) {
+            lex_ident(&mut cur)
+        } else if b.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            lex_punct(&mut cur)
+        };
+        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+        toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> TokKind {
+    while !cur.eof() && cur.peek(0) != b'\n' {
+        cur.bump();
+    }
+    TokKind::Comment
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while !cur.eof() && depth > 0 {
+        if cur.peek(0) == b'/' && cur.peek(1) == b'*' {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+        } else if cur.peek(0) == b'*' && cur.peek(1) == b'/' {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+        } else {
+            cur.bump();
+        }
+    }
+    TokKind::Comment
+}
+
+/// True when the cursor, skipping `ahead` prefix bytes, sits on `#*"` —
+/// the body of a raw-string opener.
+fn is_raw_string_start(cur: &Cursor, mut ahead: usize) -> bool {
+    while cur.peek(ahead) == b'#' {
+        ahead += 1;
+    }
+    cur.peek(ahead) == b'"'
+}
+
+fn lex_raw_string(cur: &mut Cursor) -> TokKind {
+    let mut hashes = 0usize;
+    while cur.peek(0) == b'#' {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening quote
+    'body: while !cur.eof() {
+        if cur.bump() == b'"' {
+            for ahead in 0..hashes {
+                if cur.peek(ahead) != b'#' {
+                    continue 'body;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+    TokKind::RawStr
+}
+
+fn lex_string(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // opening quote
+    while !cur.eof() {
+        match cur.bump() {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+    TokKind::Str
+}
+
+fn lex_char(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // opening quote
+    while !cur.eof() {
+        match cur.bump() {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+    TokKind::Char
+}
+
+/// A bare `'`: either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor) -> TokKind {
+    // Escaped content ⇒ char literal ('\n', '\u{1F600}').
+    if cur.peek(1) == b'\\' {
+        return lex_char(cur);
+    }
+    // One codepoint then a closing quote ⇒ char literal ('x', '€').
+    // Otherwise it is a lifetime ('a, 'static, 'de>).
+    let mut ahead = 2;
+    while cur.peek(ahead) >= 0x80 {
+        ahead += 1; // skip UTF-8 continuation bytes of a multibyte char
+    }
+    if cur.peek(ahead) == b'\'' {
+        return lex_char(cur);
+    }
+    cur.bump(); // the quote
+    while is_ident_continue(cur.peek(0)) {
+        cur.bump();
+    }
+    TokKind::Lifetime
+}
+
+fn lex_ident(cur: &mut Cursor) -> TokKind {
+    while is_ident_continue(cur.peek(0)) {
+        cur.bump();
+    }
+    TokKind::Ident
+}
+
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    // Radix prefixes never contain '.', so consume and finish.
+    if cur.peek(0) == b'0' && matches!(cur.peek(1), b'x' | b'o' | b'b') {
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_ascii_alphanumeric() || cur.peek(0) == b'_' {
+            cur.bump();
+        }
+        return TokKind::Int;
+    }
+    while cur.peek(0).is_ascii_digit() || cur.peek(0) == b'_' {
+        cur.bump();
+    }
+    // A '.' continues the number only when NOT followed by another '.'
+    // (range `0..n`) or an identifier (method call / tuple-ish access).
+    if cur.peek(0) == b'.' && cur.peek(1) != b'.' && !is_ident_start(cur.peek(1)) {
+        float = true;
+        cur.bump();
+        while cur.peek(0).is_ascii_digit() || cur.peek(0) == b'_' {
+            cur.bump();
+        }
+    }
+    if matches!(cur.peek(0), b'e' | b'E')
+        && (cur.peek(1).is_ascii_digit()
+            || (matches!(cur.peek(1), b'+' | b'-') && cur.peek(2).is_ascii_digit()))
+    {
+        float = true;
+        cur.bump();
+        if matches!(cur.peek(0), b'+' | b'-') {
+            cur.bump();
+        }
+        while cur.peek(0).is_ascii_digit() || cur.peek(0) == b'_' {
+            cur.bump();
+        }
+    }
+    // Type suffix (1u64, 2.5f32, 1f64).
+    if is_ident_start(cur.peek(0)) {
+        let mut suffix = Vec::new();
+        while is_ident_continue(cur.peek(0)) {
+            suffix.push(cur.bump());
+        }
+        if matches!(suffix.as_slice(), b"f32" | b"f64") {
+            float = true;
+        }
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+fn lex_punct(cur: &mut Cursor) -> TokKind {
+    for op in OPERATORS {
+        if cur.src[cur.pos..].starts_with(op.as_bytes()) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return TokKind::Punct;
+        }
+    }
+    cur.bump();
+    TokKind::Punct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_operators() {
+        let toks = kinds("let x = a == 1.5e3 && b != 0x_ff;");
+        assert!(toks.contains(&(TokKind::Float, "1.5e3".into())));
+        assert!(toks.contains(&(TokKind::Int, "0x_ff".into())));
+        assert!(toks.contains(&(TokKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokKind::Punct, "!=".into())));
+        assert!(toks.contains(&(TokKind::Punct, "&&".into())));
+    }
+
+    #[test]
+    fn ranges_do_not_create_floats() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.contains(&(TokKind::Int, "0".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Int, "10".into())));
+    }
+
+    #[test]
+    fn float_suffixes_and_trailing_dot() {
+        assert_eq!(kinds("1f32")[0].0, TokKind::Float);
+        assert_eq!(kinds("2.")[0].0, TokKind::Float);
+        assert_eq!(kinds("3u64")[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_token_stream() {
+        // An `unwrap()` inside a string must lex as ONE string token, so
+        // the panic pass can never trip on it.
+        let toks = lex(r#"let s = "x.unwrap() and panic!";"#);
+        let strs: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].str_value(), Some("x.unwrap() and panic!"));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = "let s = r#\"say \"hi\" .unwrap()\"#; done";
+        let toks = lex(src);
+        let raw: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::RawStr).collect();
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].str_value(), Some("say \"hi\" .unwrap()"));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = lex(r##"let a = b"bytes"; let b = br#"raw"#;"##);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "byte string"
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::RawStr).count(),
+            1,
+            "raw byte string"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("a /* outer /* inner */ still comment */ b");
+        let comments: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("inner"));
+        assert!(toks.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let b = b'q'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let toks = lex(r"let q = '\''; let n = '\n'; after");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn comments_capture_their_text() {
+        let toks = lex("x // lint:allow(panic) reason here\ny");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Comment)
+            .map(|t| t.text.clone());
+        assert_eq!(c.as_deref(), Some("// lint:allow(panic) reason here"));
+    }
+}

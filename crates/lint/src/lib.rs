@@ -1,0 +1,47 @@
+//! # lint — the `headlint` static-analysis engine
+//!
+//! A zero-dependency workspace linter purpose-built for this repo's
+//! reproduction invariants. Clippy checks general Rust hygiene; `headlint`
+//! checks the things the paper's tables depend on and clippy cannot see:
+//!
+//! * **determinism** — no wall-clock or OS-entropy reads outside
+//!   `crates/telemetry` and bench binaries (`wallclock`), no hash
+//!   collections in simulator/decision/head state (`hash-collections`);
+//!   "same seed ⇒ byte-identical trace" is the invariant behind Table V
+//!   and the fault-injection subsystem.
+//! * **panic-safety** — non-test code must surface errors (`panic`,
+//!   advisory `index-panic`); the robustness harness can only recover
+//!   from `Terminal::Fault` if the stack doesn't abort first.
+//! * **float-safety** — no `==`/`!=` against float literals (`float-eq`),
+//!   no silently lossy casts in the numerical crates (`float-cast`).
+//! * **telemetry-key integrity** — every key literal resolves to the
+//!   central `telemetry::keys` registry and every registered key has a
+//!   call site (`telemetry-keys`).
+//! * **config drift** — every crate's `lib.rs` carries the agreed
+//!   panic-audit header (`lint-header`).
+//!
+//! Findings are suppressed line-by-line with `// lint:allow(rule) reason`;
+//! the reason is mandatory (`allow-no-reason`) and stale directives are
+//! flagged (`unused-allow`).
+//!
+//! The cargo registry is unreachable in the build container, so there is
+//! no `syn`/`proc-macro2`: [`lexer`] is a hand-rolled Rust tokenizer and
+//! the passes work on token patterns. The only dependency is the
+//! workspace's own `telemetry` crate, reused for the `--json` report.
+
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod engine;
+pub mod lexer;
+pub mod passes;
+pub mod registry;
+pub mod source;
+
+pub use engine::{lint_files, run, Options, Report};
+pub use passes::{rule, Context, Diagnostic, Rule, Severity, RULES};
+pub use registry::KeyRegistry;
+pub use source::{Allow, SourceFile};

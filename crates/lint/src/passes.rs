@@ -1,0 +1,817 @@
+//! The lint passes and the diagnostics they emit.
+//!
+//! Each pass is a pure function from a [`SourceFile`] (plus shared
+//! [`Context`]) to diagnostics; the engine handles allow-directive
+//! suppression, severity promotion and reporting. Passes work on the
+//! comment-free token stream, so nothing inside a string literal or
+//! comment can ever trip a rule. DESIGN.md §"Static analysis" maps each
+//! rule to the reproduction invariant it protects.
+
+use crate::lexer::TokKind;
+use crate::registry::KeyRegistry;
+use crate::source::SourceFile;
+
+/// Diagnostic severity. Only `Error` affects the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A violation; fails the run.
+    Error,
+    /// Advisory; reported but does not fail the run.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+        }
+    }
+}
+
+/// One finding at a source location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule name (see [`RULES`]).
+    pub rule: &'static str,
+    /// Severity after any `--deny` promotion.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Static description of a rule, for `--list-rules` and docs.
+pub struct Rule {
+    /// Stable rule name, also the `lint:allow(...)` key.
+    pub name: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule headlint knows about.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "wallclock",
+        severity: Severity::Error,
+        summary: "wall-clock reads (Instant::now / SystemTime::now / thread_rng) outside \
+                  crates/telemetry and bench binaries break seed-determinism; use \
+                  telemetry::Stopwatch for reporting-only timing",
+    },
+    Rule {
+        name: "hash-collections",
+        severity: Severity::Error,
+        summary: "HashMap/HashSet in traffic-sim, decision or head have nondeterministic \
+                  iteration order; use BTreeMap/BTreeSet/Vec",
+    },
+    Rule {
+        name: "panic",
+        severity: Severity::Error,
+        summary: "unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in non-test \
+                  code; surface an error instead or annotate with a reason",
+    },
+    Rule {
+        name: "index-panic",
+        severity: Severity::Warn,
+        summary: "direct slice/map indexing in non-test code can panic; prefer get()",
+    },
+    Rule {
+        name: "float-eq",
+        severity: Severity::Error,
+        summary: "==/!= against a float literal; use an epsilon or total_cmp, or annotate \
+                  intentional exact-bit checks",
+    },
+    Rule {
+        name: "float-cast",
+        severity: Severity::Error,
+        summary: "lossy `as` cast of a float-valued expression in nn/perception/decision; \
+                  round explicitly or justify with an allow",
+    },
+    Rule {
+        name: "telemetry-keys",
+        severity: Severity::Error,
+        summary: "string literal passed to a telemetry entry point that is not a \
+                  registered telemetry::keys constant, or a registered key with no \
+                  call site",
+    },
+    Rule {
+        name: "lint-header",
+        severity: Severity::Error,
+        summary: "crate lib.rs is missing the agreed panic-audit header \
+                  (#![deny(clippy::unwrap_used)] + test cfg_attr allow)",
+    },
+    Rule {
+        name: "allow-no-reason",
+        severity: Severity::Error,
+        summary: "lint:allow directive without a justification after the parentheses",
+    },
+    Rule {
+        name: "unused-allow",
+        severity: Severity::Warn,
+        summary: "lint:allow directive that suppressed nothing; remove it",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Workspace-level inputs shared by all per-file passes.
+pub struct Context {
+    /// Parsed `telemetry::keys` registry (empty when keys.rs is absent).
+    pub keys: KeyRegistry,
+}
+
+fn diag(rule_name: &'static str, f: &SourceFile, tok_idx: usize, message: String) -> Diagnostic {
+    let t = &f.toks[tok_idx];
+    let severity = match rule(rule_name) {
+        Some(r) => r.severity,
+        None => Severity::Error,
+    };
+    Diagnostic {
+        rule: rule_name,
+        severity,
+        file: f.path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// Runs every per-file pass.
+pub fn run_file_passes(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+    pass_wallclock(f, out);
+    pass_hash_collections(f, out);
+    pass_panic(f, out);
+    pass_index(f, out);
+    pass_float_eq(f, out);
+    pass_float_cast(f, out);
+    pass_telemetry_keys(f, ctx, out);
+    pass_lint_header(f, out);
+}
+
+/// Crates whose state types must iterate deterministically.
+const ORDERED_CRATES: [&str; 3] = ["traffic-sim", "decision", "head"];
+
+/// Crates under the float-cast rule (numerical kernels and training math).
+const FLOAT_CRATES: [&str; 3] = ["nn", "perception", "decision"];
+
+/// Determinism: no wall-clock or entropy sources outside telemetry/bench
+/// binaries. Reporting-only timing goes through `telemetry::Stopwatch`.
+fn pass_wallclock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.crate_name == "telemetry" || f.path.contains("/src/bin/") {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let now_call = (t.text == "Instant" || t.text == "SystemTime")
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+            && matches!(toks.get(i + 2), Some(n) if n.is_ident("now"));
+        if now_call {
+            out.push(diag(
+                "wallclock",
+                f,
+                i,
+                format!(
+                    "`{}::now()` breaks seed-determinism; time reporting must go \
+                     through telemetry::Stopwatch",
+                    t.text
+                ),
+            ));
+        }
+        if t.text == "thread_rng" || t.text == "from_entropy" {
+            out.push(diag(
+                "wallclock",
+                f,
+                i,
+                format!(
+                    "`{}` draws OS entropy; all randomness must come from the run's \
+                     seeded ChaCha streams",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Determinism: hash collections iterate in randomised order, which breaks
+/// the byte-identical fault-trace guarantee in sim/decision/head state.
+fn pass_hash_collections(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !ORDERED_CRATES.contains(&f.crate_name.as_str()) {
+        return;
+    }
+    for i in 0..f.toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let t = &f.toks[i];
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            let ordered = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            out.push(diag(
+                "hash-collections",
+                f,
+                i,
+                format!(
+                    "`{}` iteration order is nondeterministic and breaks byte-identical \
+                     traces; use `{ordered}` or a Vec",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Panic-safety: non-test library code must surface errors, not abort.
+fn pass_panic(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.text == name
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+        };
+        if method_call("unwrap") || method_call("expect") {
+            out.push(diag(
+                "panic",
+                f,
+                i,
+                format!(
+                    "`.{}()` panics on the error path; propagate the error or annotate \
+                     why it cannot fail",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        let is_macro = matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"));
+        if is_macro {
+            out.push(diag(
+                "panic",
+                f,
+                i,
+                format!("`{}!` aborts the process in non-test code", t.text),
+            ));
+        }
+    }
+}
+
+/// Panic-safety (advisory): direct indexing can panic; `get` is explicit.
+fn pass_index(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for i in 0..f.toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        if f.toks[i].is_punct("[") && f.bracket_is_index(i) {
+            out.push(diag(
+                "index-panic",
+                f,
+                i,
+                "direct indexing panics when out of bounds; consider get()".to_string(),
+            ));
+        }
+    }
+}
+
+/// Float-safety: `==`/`!=` adjacent to a float literal. Applies to test
+/// code too — intentional exact-bit determinism checks carry an allow.
+fn pass_float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let prev_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+        let next_float = match toks.get(i + 1) {
+            Some(n) if n.kind == TokKind::Float => true,
+            Some(n) if n.is_punct("-") => {
+                matches!(toks.get(i + 2), Some(m) if m.kind == TokKind::Float)
+            }
+            _ => false,
+        };
+        if prev_float || next_float {
+            out.push(diag(
+                "float-eq",
+                f,
+                i,
+                format!(
+                    "`{}` against a float literal; rounding error makes exact \
+                     comparison fragile — use an epsilon or total_cmp",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Integer target types for which a float-valued `as` cast is lossy.
+const LOSSY_TARGETS: [&str; 13] = [
+    "f32", "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Methods whose receiver must be a float, marking the cast source as
+/// float-valued.
+const FLOAT_METHODS: [&str; 11] = [
+    "sqrt", "powf", "powi", "round", "floor", "ceil", "exp", "ln", "log2", "log10", "abs_sub",
+];
+
+/// Float-safety: lossy `as` casts of float-valued expressions in the
+/// numerical crates. Without type inference the pass is heuristic: it
+/// walks the postfix expression feeding the cast and fires when that
+/// expression contains a float literal, a division, or a float-only
+/// method call.
+fn pass_float_cast(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !FLOAT_CRATES.contains(&f.crate_name.as_str()) {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        if !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if !(target.kind == TokKind::Ident && LOSSY_TARGETS.contains(&target.text.as_str())) {
+            continue;
+        }
+        if source_expr_is_floaty(f, i) {
+            out.push(diag(
+                "float-cast",
+                f,
+                i,
+                format!(
+                    "float-valued expression cast with `as {}` truncates silently; \
+                     round explicitly or annotate the intended loss",
+                    target.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks the postfix chain ending just before the `as` at `as_idx` and
+/// reports whether it contains a float marker.
+fn source_expr_is_floaty(f: &SourceFile, as_idx: usize) -> bool {
+    let toks = &f.toks;
+    let mut j = as_idx;
+    let mut floaty = false;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct if t.text == ")" || t.text == "]" => {
+                // Scan back to the matching opener, inspecting everything
+                // inside the group.
+                let (open, close) = if t.text == ")" {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 1i32;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    let u = &toks[j];
+                    if u.is_punct(close) {
+                        depth += 1;
+                    } else if u.is_punct(open) {
+                        depth -= 1;
+                    } else if u.kind == TokKind::Float
+                        || u.is_punct("/")
+                        || (u.kind == TokKind::Ident && FLOAT_METHODS.contains(&u.text.as_str()))
+                    {
+                        floaty = true;
+                    }
+                }
+            }
+            TokKind::Float => floaty = true,
+            TokKind::Int | TokKind::Ident => {
+                if FLOAT_METHODS.contains(&t.text.as_str()) {
+                    floaty = true;
+                }
+            }
+            TokKind::Punct if t.text == "." || t.text == "::" => {}
+            _ => break,
+        }
+        // Continue only while the previous token keeps the postfix chain
+        // going (`.`, `::`, or another primary).
+        if j > 0 {
+            let p = &toks[j - 1];
+            let chains = p.is_punct(".")
+                || p.is_punct("::")
+                || p.kind == TokKind::Ident
+                || p.kind == TokKind::Float
+                || p.kind == TokKind::Int
+                || p.is_punct(")")
+                || p.is_punct("]");
+            if !chains {
+                break;
+            }
+        }
+    }
+    floaty
+}
+
+/// Telemetry entry points whose first argument is a metric/event key.
+const KEYED_FNS: [&str; 7] = [
+    "counter_add",
+    "counter_value",
+    "gauge_set",
+    "gauge_value",
+    "histogram_record",
+    "histogram_snapshot",
+    "emit_event",
+];
+
+/// Telemetry-key integrity: any string literal handed to a telemetry entry
+/// point (or `span!`) must be a value registered in `telemetry::keys`.
+/// Non-literal arguments are the constants themselves and are checked at
+/// their definition site. Test code may use ad-hoc keys.
+fn pass_telemetry_keys(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+    if ctx.keys.is_empty() || f.path.ends_with("telemetry/src/keys.rs") {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let keyed_call = KEYED_FNS.contains(&t.text.as_str())
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
+        let span_macro = t.text == "span"
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+            && matches!(toks.get(i + 2), Some(n) if n.is_punct("("));
+        if !(keyed_call || span_macro) {
+            continue;
+        }
+        let mut a = if span_macro { i + 3 } else { i + 2 };
+        // Skip leading `&` borrows on the argument.
+        while matches!(toks.get(a), Some(n) if n.is_punct("&")) {
+            a += 1;
+        }
+        let Some(arg) = toks.get(a) else { continue };
+        let Some(value) = arg.str_value() else {
+            continue;
+        };
+        if !ctx.keys.contains_value(value) {
+            out.push(diag(
+                "telemetry-keys",
+                f,
+                a,
+                format!(
+                    "telemetry key \"{value}\" is not registered in telemetry::keys; \
+                     a typo here silently drops the metric — add a constant and \
+                     reference it"
+                ),
+            ));
+        } else {
+            out.push(diag(
+                "telemetry-keys",
+                f,
+                a,
+                format!(
+                    "telemetry key \"{value}\" is registered but passed as a literal; \
+                     reference the telemetry::keys constant instead"
+                ),
+            ));
+        }
+    }
+}
+
+/// Token spelling of the two mandatory inner attributes.
+const HEADER_DENY: [&str; 10] = [
+    "#",
+    "!",
+    "[",
+    "deny",
+    "(",
+    "clippy",
+    "::",
+    "unwrap_used",
+    ")",
+    "]",
+];
+const HEADER_CFG: [&str; 15] = [
+    "#",
+    "!",
+    "[",
+    "cfg_attr",
+    "(",
+    "test",
+    ",",
+    "allow",
+    "(",
+    "clippy",
+    "::",
+    "unwrap_used",
+    ")",
+    ")",
+    "]",
+];
+
+/// Lint-config drift: every crate's lib.rs must carry the agreed
+/// panic-audit header so clippy enforcement cannot silently regress.
+fn pass_lint_header(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let is_lib = f.path.starts_with("crates/") && f.path.ends_with("/src/lib.rs");
+    if !is_lib {
+        return;
+    }
+    let texts: Vec<&str> = f.toks.iter().map(|t| t.text.as_str()).collect();
+    for (needle, what) in [
+        (&HEADER_DENY[..], "#![deny(clippy::unwrap_used)]"),
+        (
+            &HEADER_CFG[..],
+            "#![cfg_attr(test, allow(clippy::unwrap_used))]",
+        ),
+    ] {
+        let found = texts
+            .windows(needle.len())
+            .any(|w| w.iter().zip(needle).all(|(a, b)| a == b));
+        if !found {
+            out.push(Diagnostic {
+                rule: "lint-header",
+                severity: Severity::Error,
+                file: f.path.clone(),
+                line: 1,
+                col: 1,
+                message: format!("lib.rs is missing the agreed header attribute `{what}`"),
+            });
+        }
+    }
+}
+
+/// Workspace-level check: every registered key constant must be referenced
+/// somewhere outside keys.rs. Runs only when keys.rs itself was walked.
+pub fn check_unused_keys(files: &[SourceFile], ctx: &Context, out: &mut Vec<Diagnostic>) {
+    let Some(keys_file) = files
+        .iter()
+        .find(|f| f.path.ends_with("telemetry/src/keys.rs"))
+    else {
+        return;
+    };
+    for k in ctx.keys.consts() {
+        let used = files.iter().any(|f| {
+            !f.path.ends_with("telemetry/src/keys.rs") && f.toks.iter().any(|t| t.is_ident(&k.name))
+        });
+        if !used {
+            out.push(Diagnostic {
+                rule: "telemetry-keys",
+                severity: Severity::Error,
+                file: keys_file.path.clone(),
+                line: k.line,
+                col: 1,
+                message: format!(
+                    "registered telemetry key `{}` (\"{}\") has no call site; remove it \
+                     or instrument the code path",
+                    k.name, k.value
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::KeyRegistry;
+
+    fn lint_src(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::analyse(path.into(), crate_name.into(), src);
+        let ctx = Context {
+            keys: KeyRegistry::parse(
+                "pub const GOOD: &str = \"sim.good\";\npub const OTHER: &str = \"sim.other\";\n",
+            ),
+        };
+        let mut out = Vec::new();
+        run_file_passes(&f, &ctx, &mut out);
+        out
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn wallclock_flags_instant_now_but_not_stopwatch() {
+        let d = lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            "fn f() { let t = Instant::now(); let s = Stopwatch::start(); }",
+        );
+        assert_eq!(rules_of(&d), vec!["wallclock"]);
+    }
+
+    #[test]
+    fn wallclock_exempts_telemetry_and_bins() {
+        assert!(lint_src(
+            "crates/telemetry/src/clock.rs",
+            "telemetry",
+            "fn f() { Instant::now(); }",
+        )
+        .is_empty());
+        assert!(lint_src(
+            "crates/bench/src/bin/b.rs",
+            "bench",
+            "fn f() { Instant::now(); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hash_collections_only_in_ordered_crates() {
+        let d = lint_src(
+            "crates/decision/src/a.rs",
+            "decision",
+            "use std::collections::HashMap;",
+        );
+        assert_eq!(rules_of(&d), vec!["hash-collections"]);
+        assert!(lint_src("crates/nn/src/a.rs", "nn", "use std::collections::HashMap;").is_empty());
+    }
+
+    #[test]
+    fn panic_pass_flags_calls_not_strings() {
+        let d = lint_src(
+            "crates/nn/src/a.rs",
+            "nn",
+            r#"fn f() { x.unwrap(); let s = "do not unwrap() here or panic!"; }"#,
+        );
+        assert_eq!(rules_of(&d), vec!["panic"]);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn panic_pass_skips_unwrap_or_variants() {
+        assert!(lint_src(
+            "crates/nn/src/a.rs",
+            "nn",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(g); z.unwrap_or_default(); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_pass_skips_test_code() {
+        assert!(lint_src(
+            "crates/nn/src/a.rs",
+            "nn",
+            "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(\"boom\"); } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn index_pass_is_a_warning() {
+        let d = lint_src("crates/nn/src/a.rs", "nn", "fn f() { let x = v[0]; }");
+        assert_eq!(rules_of(&d), vec!["index-panic"]);
+        assert_eq!(d[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn float_eq_fires_even_in_tests() {
+        let d = lint_src(
+            "crates/sensor/src/a.rs",
+            "sensor",
+            "#[test]\nfn t() { assert!(a == 0.5); }",
+        );
+        assert_eq!(rules_of(&d), vec!["float-eq"]);
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_comparison() {
+        assert!(lint_src(
+            "crates/sensor/src/a.rs",
+            "sensor",
+            "fn f() { if n == 0 {} }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn float_cast_heuristics() {
+        let d = lint_src(
+            "crates/nn/src/a.rs",
+            "nn",
+            "fn f() { let a = (x / y) as f32; let b = total as f32; let c = z.sqrt() as usize; }",
+        );
+        assert_eq!(rules_of(&d), vec!["float-cast", "float-cast"]);
+    }
+
+    #[test]
+    fn float_cast_only_in_numeric_crates() {
+        assert!(lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            "fn f() { let a = (x / y) as f32; }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn telemetry_keys_literal_policing() {
+        let d = lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            r#"fn f() { counter_add("sim.typo", 1); gauge_set("sim.good", 2.0); counter_add(keys::GOOD, 1); }"#,
+        );
+        assert_eq!(rules_of(&d), vec!["telemetry-keys", "telemetry-keys"]);
+        assert!(d[0].message.contains("not registered"));
+        assert!(d[1].message.contains("passed as a literal"));
+    }
+
+    #[test]
+    fn telemetry_keys_skips_definitions_and_tests() {
+        assert!(lint_src(
+            "crates/telemetry/src/metrics.rs",
+            "telemetry",
+            r#"pub fn counter_add(name: &str, v: u64) {}
+#[cfg(test)]
+mod tests { fn t() { counter_add("adhoc.key", 1); } }"#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn span_macro_argument_is_checked() {
+        let d = lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            r#"fn f() { let _g = span!("nope.span"); }"#,
+        );
+        assert_eq!(rules_of(&d), vec!["telemetry-keys"]);
+    }
+
+    #[test]
+    fn lint_header_flags_missing_attrs_only_in_lib_rs() {
+        let d = lint_src("crates/head/src/lib.rs", "head", "pub fn f() {}");
+        assert_eq!(rules_of(&d), vec!["lint-header", "lint-header"]);
+        assert!(lint_src("crates/head/src/train.rs", "head", "pub fn f() {}").is_empty());
+        let ok = lint_src(
+            "crates/head/src/lib.rs",
+            "head",
+            "#![deny(clippy::unwrap_used)]\n#![cfg_attr(test, allow(clippy::unwrap_used))]\npub fn f() {}",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn unused_keys_reported_at_their_definition() {
+        let keys_src = "pub const USED: &str = \"a.b\";\npub const DEAD: &str = \"c.d\";\n";
+        let keys_file = SourceFile::analyse(
+            "crates/telemetry/src/keys.rs".into(),
+            "telemetry".into(),
+            keys_src,
+        );
+        let user = SourceFile::analyse(
+            "crates/head/src/a.rs".into(),
+            "head".into(),
+            "fn f() { counter_add(keys::USED, 1); }",
+        );
+        let ctx = Context {
+            keys: KeyRegistry::parse(keys_src),
+        };
+        let mut out = Vec::new();
+        check_unused_keys(&[keys_file, user], &ctx, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("DEAD"));
+        assert_eq!(out[0].line, 2);
+    }
+}

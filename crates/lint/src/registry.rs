@@ -1,0 +1,111 @@
+//! Parser for the `telemetry::keys` registry.
+//!
+//! The telemetry-key pass needs the set of registered key *values* and the
+//! constant *names* that carry them. Rather than depend on the telemetry
+//! crate's compiled consts (which would miss line numbers for
+//! diagnostics), the registry is read straight from
+//! `crates/telemetry/src/keys.rs` with the same lexer the passes use,
+//! matching the `pub const NAME: &str = "value";` item shape.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, TokKind};
+
+/// One registered key constant.
+#[derive(Clone, Debug)]
+pub struct KeyConst {
+    /// Constant identifier (`SPAN_SIM_STEP`).
+    pub name: String,
+    /// Key string value (`"sim.step"`).
+    pub value: String,
+    /// 1-based line of the declaration in keys.rs.
+    pub line: u32,
+}
+
+/// The parsed registry.
+#[derive(Debug, Default)]
+pub struct KeyRegistry {
+    consts: Vec<KeyConst>,
+    values: BTreeSet<String>,
+}
+
+impl KeyRegistry {
+    /// Parses `pub const NAME: &str = "value";` items out of keys.rs
+    /// source text. Anything else (the `ALL` slice, doc comments, tests)
+    /// is ignored.
+    pub fn parse(src: &str) -> KeyRegistry {
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        let mut consts = Vec::new();
+        let mut i = 0;
+        while i + 7 < toks.len() {
+            let shape = toks[i].is_ident("const")
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 2].is_punct(":")
+                && toks[i + 3].is_punct("&")
+                && toks[i + 4].is_ident("str")
+                && toks[i + 5].is_punct("=")
+                && toks[i + 6].kind == TokKind::Str
+                && toks[i + 7].is_punct(";");
+            if shape {
+                if let Some(value) = toks[i + 6].str_value() {
+                    consts.push(KeyConst {
+                        name: toks[i + 1].text.clone(),
+                        value: value.to_string(),
+                        line: toks[i].line,
+                    });
+                }
+                i += 8;
+            } else {
+                i += 1;
+            }
+        }
+        let values = consts.iter().map(|k| k.value.clone()).collect();
+        KeyRegistry { consts, values }
+    }
+
+    /// True when no constants were parsed (keys.rs missing or empty).
+    pub fn is_empty(&self) -> bool {
+        self.consts.is_empty()
+    }
+
+    /// All registered constants.
+    pub fn consts(&self) -> &[KeyConst] {
+        &self.consts
+    }
+
+    /// True when `value` is a registered key string.
+    pub fn contains_value(&self, value: &str) -> bool {
+        self.values.contains(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_const_items_and_ignores_the_all_slice() {
+        let src = r#"
+//! Docs.
+pub const SPAN_A: &str = "a.one";
+/// Doc comment.
+pub const B: &str = "b.two";
+pub const ALL: &[&str] = &[SPAN_A, B];
+"#;
+        let reg = KeyRegistry::parse(src);
+        assert_eq!(reg.consts().len(), 2);
+        assert!(reg.contains_value("a.one"));
+        assert!(reg.contains_value("b.two"));
+        assert!(!reg.contains_value("ALL"));
+        assert_eq!(reg.consts()[0].name, "SPAN_A");
+        assert_eq!(reg.consts()[0].line, 3);
+    }
+
+    #[test]
+    fn empty_source_yields_empty_registry() {
+        assert!(KeyRegistry::parse("").is_empty());
+    }
+}

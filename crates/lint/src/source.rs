@@ -1,0 +1,360 @@
+//! Per-file analysis context shared by every pass.
+//!
+//! A [`SourceFile`] owns the token stream of one `.rs` file plus the two
+//! derived structures the passes need constantly: a *test mask* (which
+//! tokens live inside `#[cfg(test)]` / `#[test]` items, where panic- and
+//! determinism-rules do not apply) and the parsed `// lint:allow(...)`
+//! directives (the reason-bearing escape hatch).
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A parsed `// lint:allow(rule, ...) reason` directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing parenthesis. The
+    /// `allow-no-reason` rule fires when this is empty.
+    pub reason: String,
+    /// Line the directive comment is on.
+    pub directive_line: u32,
+    /// Line of code the directive suppresses: its own line when it trails
+    /// code, otherwise the next line holding any code token.
+    pub applies_line: u32,
+    /// Set by the engine when the directive suppressed a diagnostic.
+    pub used: bool,
+}
+
+/// One lexed and pre-analysed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate directory name under `crates/` (empty outside `crates/`).
+    pub crate_name: String,
+    /// True for files under a `tests/` directory (integration tests).
+    pub in_tests_dir: bool,
+    /// Comment-free token stream.
+    pub toks: Vec<Tok>,
+    /// Comment tokens, in source order.
+    pub comments: Vec<Tok>,
+    /// `test_mask[i]` — `toks[i]` sits inside test-only code.
+    pub test_mask: Vec<bool>,
+    /// Parsed allow directives.
+    pub allows: Vec<Allow>,
+}
+
+/// Keywords that can directly precede a `[` opening an array literal (so a
+/// `[` after one of these is NOT an indexing expression).
+const PRE_BRACKET_KEYWORDS: [&str; 10] = [
+    "return", "else", "in", "break", "mut", "ref", "as", "move", "let", "match",
+];
+
+impl SourceFile {
+    /// Lexes `src` and computes the test mask and allow directives.
+    pub fn analyse(path: String, crate_name: String, src: &str) -> SourceFile {
+        let in_tests_dir = path.contains("/tests/");
+        let all = lex(src);
+        let mut toks = Vec::new();
+        let mut comments = Vec::new();
+        for t in all {
+            if t.kind == TokKind::Comment {
+                comments.push(t);
+            } else {
+                toks.push(t);
+            }
+        }
+        let test_mask = if in_tests_dir {
+            vec![true; toks.len()]
+        } else {
+            test_mask(&toks)
+        };
+        let allows = parse_allows(&comments, &toks);
+        SourceFile {
+            path,
+            crate_name,
+            in_tests_dir,
+            toks,
+            comments,
+            test_mask,
+            allows,
+        }
+    }
+
+    /// True when `toks[i]` is inside test-only code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// True when a `[` at token index `i` reads as slice/map indexing:
+    /// it must directly follow a value expression (identifier, closing
+    /// bracket, or literal) rather than a keyword, operator or attribute.
+    pub fn bracket_is_index(&self, i: usize) -> bool {
+        if i == 0 {
+            return false;
+        }
+        let prev = &self.toks[i - 1];
+        match prev.kind {
+            TokKind::Ident => !PRE_BRACKET_KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        }
+    }
+}
+
+/// Marks tokens belonging to `#[cfg(test)]` / `#[test]` items.
+///
+/// Strategy: find an outer attribute spelling exactly `#[test]` or
+/// `#[cfg(test)]`, skip any further attributes, then extend the region to
+/// the end of the annotated item — the matching `}` of the first
+/// brace-block at bracket depth zero, or a terminating `;` for bodiless
+/// items. Inner attributes (`#![...]`) and `cfg(not(test))` never match.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && matches!(toks.get(i + 1), Some(t) if t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = match_bracket(toks, i + 1, "[", "]") else {
+            break;
+        };
+        let inner = &toks[i + 2..close];
+        let is_test_attr = matches!(inner, [t] if t.is_ident("test"))
+            || matches!(
+                inner,
+                [c, o, t, p] if c.is_ident("cfg") && o.is_punct("(") && t.is_ident("test") && p.is_punct(")")
+            );
+        if !is_test_attr {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further outer attributes between this one and the item.
+        let mut k = close + 1;
+        while k < toks.len()
+            && toks[k].is_punct("#")
+            && matches!(toks.get(k + 1), Some(t) if t.is_punct("["))
+        {
+            match match_bracket(toks, k + 1, "[", "]") {
+                Some(c) => k = c + 1,
+                None => break,
+            }
+        }
+        // Find the item extent: first `{` at paren/bracket depth 0 opens
+        // the body (match to its `}`); a `;` at depth 0 first ends it.
+        let mut depth = 0i32;
+        let mut end = toks.len().saturating_sub(1);
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => {
+                        end = k;
+                        break;
+                    }
+                    "{" if depth == 0 => {
+                        end = match_bracket(toks, k, "{", "}").unwrap_or(toks.len() - 1);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Index of the bracket matching the opener at `open_idx`, tracking only
+/// the given pair.
+fn match_bracket(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts `// lint:allow(rule, ...) reason` directives from comments and
+/// resolves the line each one applies to.
+fn parse_allows(comments: &[Tok], toks: &[Tok]) -> Vec<Allow> {
+    let mut code_lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+    code_lines.sort_unstable();
+    code_lines.dedup();
+    let mut allows = Vec::new();
+    for c in comments {
+        if !c.text.starts_with("//") {
+            continue;
+        }
+        let body = c.text.trim_start_matches('/').trim_start();
+        let Some(rest) = body.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = rest[close + 1..].trim().to_string();
+        // Trailing directive: code on the same line precedes the comment.
+        // Standalone directive: applies to the next line holding code.
+        let applies_line = if code_lines.binary_search(&c.line).is_ok() {
+            c.line
+        } else {
+            match code_lines.iter().find(|&&l| l > c.line) {
+                Some(&l) => l,
+                None => c.line,
+            }
+        };
+        allows.push(Allow {
+            rules,
+            reason,
+            directive_line: c.line,
+            applies_line,
+            used: false,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::analyse("crates/x/src/lib.rs".into(), "x".into(), src)
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let f = file(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\nfn after() {}\n",
+        );
+        let unwrap_idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(f.is_test(unwrap_idx));
+        let prod_idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("prod"))
+            .expect("prod");
+        let after_idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .expect("after");
+        assert!(!f.is_test(prod_idx));
+        assert!(!f.is_test(after_idx), "mask must end at the module brace");
+    }
+
+    #[test]
+    fn test_attribute_masks_single_fn() {
+        let f = file("#[test]\nfn t() { x.unwrap(); }\nfn prod() { }\n");
+        let unwrap_idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(f.is_test(unwrap_idx));
+        let prod_idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("prod"))
+            .expect("prod");
+        assert!(!f.is_test(prod_idx));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let f = file("#[cfg(not(test))]\nfn prod() { risky(); }\n");
+        let idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("risky"))
+            .expect("risky");
+        assert!(!f.is_test(idx));
+    }
+
+    #[test]
+    fn inner_cfg_attr_is_not_a_test_marker() {
+        let f = file("#![cfg_attr(test, allow(clippy::unwrap_used))]\nfn prod() { risky(); }\n");
+        let idx = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("risky"))
+            .expect("risky");
+        assert!(!f.is_test(idx));
+    }
+
+    #[test]
+    fn files_under_tests_dir_are_fully_masked() {
+        let f = SourceFile::analyse(
+            "crates/x/tests/it.rs".into(),
+            "x".into(),
+            "fn anything() { v.unwrap(); }",
+        );
+        assert!(f.test_mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn trailing_allow_applies_to_its_own_line() {
+        let f = file("fn f() {\n    x.expect(\"boom\"); // lint:allow(panic) checked above\n}\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].applies_line, 2);
+        assert_eq!(f.allows[0].rules, vec!["panic".to_string()]);
+        assert_eq!(f.allows[0].reason, "checked above");
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let f = file(
+            "fn f() {\n    // lint:allow(panic, float-eq) both intentional\n\n    x.expect(\"boom\");\n}\n",
+        );
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].applies_line, 4);
+        assert_eq!(
+            f.allows[0].rules,
+            vec!["panic".to_string(), "float-eq".to_string()]
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_recorded_empty() {
+        let f = file("fn f() {\n    // lint:allow(panic)\n    x.expect(\"boom\");\n}\n");
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn bracket_classification() {
+        let f = file("fn f() { let a = v[i]; let b = [0; 4]; g()[0]; &[1, 2]; }");
+        let idx: Vec<bool> = f
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_punct("["))
+            .map(|(i, _)| f.bracket_is_index(i))
+            .collect();
+        assert_eq!(idx, vec![true, false, true, false]);
+    }
+}

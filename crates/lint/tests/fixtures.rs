@@ -1,0 +1,158 @@
+//! End-to-end engine behaviour on the seeded fixture workspace
+//! (`crates/lint/fixtures/ws`), which holds one file of every violation
+//! kind plus a registry with a dead key. Keep the expected counts in sync
+//! with `fixtures/ws/crates/decision/src/seeded.rs`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use lint::{run, Options, Severity};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn fixture_report() -> lint::Report {
+    run(&Options {
+        root: fixture_root(),
+        paths: Vec::new(),
+        deny: Vec::new(),
+    })
+    .expect("lint run on fixture workspace")
+}
+
+#[test]
+fn seeded_fixture_produces_the_expected_findings() {
+    let report = fixture_report();
+    let count = |rule: &str| report.diags.iter().filter(|d| d.rule == rule).count();
+    let listing = report.render_human();
+    assert_eq!(count("hash-collections"), 3, "{listing}");
+    assert_eq!(count("wallclock"), 1, "{listing}");
+    assert_eq!(count("index-panic"), 1, "{listing}");
+    assert_eq!(count("float-eq"), 1, "{listing}");
+    assert_eq!(count("float-cast"), 1, "{listing}");
+    assert_eq!(count("telemetry-keys"), 3, "{listing}");
+    assert_eq!(
+        count("panic"),
+        1,
+        "only the unwrap; the expect is allowed: {listing}"
+    );
+    assert_eq!(count("allow-no-reason"), 1, "{listing}");
+    assert_eq!(count("unused-allow"), 1, "{listing}");
+    assert_eq!(count("lint-header"), 2, "{listing}");
+    assert_eq!(report.errors(), 13, "{listing}");
+    assert_eq!(report.warnings(), 2, "{listing}");
+}
+
+#[test]
+fn dead_key_is_reported_at_its_declaration() {
+    let report = fixture_report();
+    let dead = report
+        .diags
+        .iter()
+        .find(|d| d.message.contains("DEAD_KEY"))
+        .expect("dead-key diagnostic");
+    assert!(dead.file.ends_with("telemetry/src/keys.rs"));
+    assert_eq!(dead.severity, Severity::Error);
+}
+
+#[test]
+fn explicit_path_limits_the_walk() {
+    let report = run(&Options {
+        root: fixture_root(),
+        paths: vec![PathBuf::from("crates/decision/src/lib.rs")],
+        deny: Vec::new(),
+    })
+    .expect("lint run on one file");
+    assert_eq!(report.files, 1);
+    assert!(report.diags.iter().all(|d| d.rule == "lint-header"));
+}
+
+#[test]
+fn deny_flag_promotes_warnings() {
+    let report = run(&Options {
+        root: fixture_root(),
+        paths: Vec::new(),
+        deny: vec!["index-panic".to_string(), "unused-allow".to_string()],
+    })
+    .expect("lint run with deny");
+    assert_eq!(report.warnings(), 0);
+    assert_eq!(report.errors(), 15);
+}
+
+#[test]
+fn headlint_binary_exits_one_on_the_seeded_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--root"])
+        .arg(fixture_root())
+        .output()
+        .expect("spawn headlint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[panic]"), "{stdout}");
+    assert!(stdout.contains("13 errors"), "{stdout}");
+}
+
+#[test]
+fn headlint_binary_json_report_is_parseable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--json", "--root"])
+        .arg(fixture_root())
+        .output()
+        .expect("spawn headlint --json");
+    assert_eq!(out.status.code(), Some(1));
+    let json =
+        telemetry::Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report");
+    assert_eq!(json.get("tool").and_then(|j| j.as_str()), Some("headlint"));
+    assert_eq!(json.get("errors").and_then(|j| j.as_f64()), Some(13.0));
+    let diags = match json.get("diagnostics") {
+        Some(telemetry::Json::Arr(items)) => items.len(),
+        other => panic!("diagnostics not an array: {other:?}"),
+    };
+    assert_eq!(diags, 15);
+}
+
+#[test]
+fn headlint_binary_telemetry_dir_layout() {
+    let dir = std::env::temp_dir().join(format!("headlint-test-{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--telemetry"])
+        .arg(&dir)
+        .args(["--root"])
+        .arg(fixture_root())
+        .output()
+        .expect("spawn headlint --telemetry");
+    assert_eq!(out.status.code(), Some(1));
+    let report_path = dir.join("lint_report.json");
+    let text = std::fs::read_to_string(&report_path).expect("lint_report.json written");
+    let json = telemetry::Json::parse(text.trim()).expect("valid JSON file");
+    assert_eq!(json.get("warnings").and_then(|j| j.as_f64()), Some(2.0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn headlint_binary_rejects_unknown_flags_and_rules() {
+    let bad_flag = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--bogus"])
+        .output()
+        .expect("spawn headlint --bogus");
+    assert_eq!(bad_flag.status.code(), Some(2));
+    let bad_rule = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--deny", "not-a-rule"])
+        .output()
+        .expect("spawn headlint --deny not-a-rule");
+    assert_eq!(bad_rule.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_covers_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--list-rules"])
+        .output()
+        .expect("spawn headlint --list-rules");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in lint::RULES {
+        assert!(stdout.contains(rule.name), "missing {}", rule.name);
+    }
+}

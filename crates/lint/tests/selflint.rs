@@ -1,0 +1,77 @@
+//! The workspace must stay clean under its own linter — this is the
+//! enforcement test behind the CI `headlint` step: every error-severity
+//! finding in `crates/*/src` or `crates/*/tests` is either fixed or
+//! carries a reason-bearing `// lint:allow(...)` directive.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use lint::{run, Options, Severity};
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run(&Options {
+        root: workspace_root(),
+        paths: Vec::new(),
+        deny: Vec::new(),
+    })
+    .expect("lint run over the workspace");
+    assert!(
+        report.files >= 50,
+        "walk looks truncated: only {} files",
+        report.files
+    );
+    let errors: Vec<String> = report
+        .diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{}:{}:{} [{}] {}", d.file, d.line, d.col, d.rule, d.message))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "workspace has lint errors:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn workspace_has_no_stale_allow_directives() {
+    let report = run(&Options {
+        root: workspace_root(),
+        paths: Vec::new(),
+        deny: Vec::new(),
+    })
+    .expect("lint run over the workspace");
+    let stale: Vec<String> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == "unused-allow")
+        .map(|d| format!("{}:{}", d.file, d.line))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale lint:allow directives:\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn headlint_binary_exits_zero_on_the_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn headlint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 errors"), "{stdout}");
+}

@@ -13,7 +13,7 @@ use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::time::Instant;
+use telemetry::{keys, Stopwatch};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,7 +88,7 @@ struct OpTimes {
     /// is attributed to the op being pushed (each builder computes its
     /// value immediately before pushing, so the delta is dominated by that
     /// op's own compute).
-    mark: Instant,
+    mark: Stopwatch,
     fwd: HashMap<&'static str, (u64, u64)>,
     bwd: HashMap<&'static str, (u64, u64)>,
 }
@@ -105,7 +105,7 @@ impl Drop for Graph {
         // Flush per-op aggregates into global telemetry counters. Formatting
         // ~20 names per tape is noise next to the matrix work the tape did.
         let Some(t) = self.timing.take() else { return };
-        for (prefix, map) in [("nn.fwd", &t.fwd), ("nn.bwd", &t.bwd)] {
+        for (prefix, map) in [(keys::NN_FWD_PREFIX, &t.fwd), (keys::NN_BWD_PREFIX, &t.bwd)] {
             for (kind, &(calls, ns)) in map {
                 telemetry::counter_add(&format!("{prefix}.{kind}.calls"), calls);
                 telemetry::counter_add(&format!("{prefix}.{kind}.ns"), ns);
@@ -120,7 +120,7 @@ impl Graph {
     pub fn new() -> Self {
         let timing = telemetry::enabled().then(|| {
             Box::new(OpTimes {
-                mark: Instant::now(),
+                mark: Stopwatch::start(),
                 fwd: HashMap::new(),
                 bwd: HashMap::new(),
             })
@@ -143,12 +143,10 @@ impl Graph {
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
         if let Some(t) = &mut self.timing {
-            let now = Instant::now();
-            let ns = now.duration_since(t.mark).as_nanos() as u64;
+            let ns = t.mark.lap_ns();
             let e = t.fwd.entry(op_kind(&op)).or_insert((0, 0));
             e.0 += 1;
             e.1 += ns;
-            t.mark = now;
         }
         self.nodes.push(Node { op, value });
         Var(self.nodes.len() - 1)
@@ -402,7 +400,7 @@ impl Graph {
             // this ever becomes useful; cheap because matrices are small.
             let op = self.nodes[i].op.clone();
             let kind = op_kind(&op);
-            let t0 = self.timing.as_ref().map(|_| Instant::now());
+            let t0 = self.timing.as_ref().map(|_| Stopwatch::start());
             match op {
                 Op::Input => {}
                 Op::Param(id) => store.accumulate_grad(id, &g),
@@ -563,7 +561,7 @@ impl Graph {
             if let (Some(t0), Some(t)) = (t0, &mut self.timing) {
                 let e = t.bwd.entry(kind).or_insert((0, 0));
                 e.0 += 1;
-                e.1 += t0.elapsed().as_nanos() as u64;
+                e.1 += t0.elapsed_ns();
             }
         }
         loss_value

@@ -14,6 +14,7 @@
 //!   step (e.g. via `soft_update_from` of corrupted values) still recovers.
 
 use crate::params::ParamStore;
+use telemetry::keys;
 
 /// Checks one training step for non-finite loss or gradients.
 ///
@@ -23,14 +24,14 @@ use crate::params::ParamStore;
 /// no-op even if the caller forgets to branch.
 pub fn finite_guard(loss: f32, store: &mut ParamStore, max_grad_norm: f32) -> bool {
     if !loss.is_finite() {
-        telemetry::counter_add("nn.nonfinite.loss", 1);
-        telemetry::counter_add("nn.nonfinite.skipped", 1);
+        telemetry::counter_add(keys::NN_NONFINITE_LOSS, 1);
+        telemetry::counter_add(keys::NN_NONFINITE_SKIPPED, 1);
         store.zero_grad();
         return false;
     }
     if !store.grads_are_finite() {
-        telemetry::counter_add("nn.nonfinite.grad", 1);
-        telemetry::counter_add("nn.nonfinite.skipped", 1);
+        telemetry::counter_add(keys::NN_NONFINITE_GRAD, 1);
+        telemetry::counter_add(keys::NN_NONFINITE_SKIPPED, 1);
         store.zero_grad();
         return false;
     }
@@ -87,7 +88,7 @@ impl DivergenceGuard {
         if self.streak >= self.patience {
             if let Some(snapshot) = &self.snapshot {
                 store.copy_values_from(snapshot);
-                telemetry::counter_add("nn.nonfinite.restored", 1);
+                telemetry::counter_add(keys::NN_NONFINITE_RESTORED, 1);
             }
             self.streak = 0;
         }

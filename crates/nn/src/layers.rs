@@ -249,11 +249,13 @@ impl Mlp {
 
     /// Output width of the final layer.
     pub fn out_dim(&self) -> usize {
+        // lint:allow(panic) constructors reject empty layer stacks, so last() always exists
         self.layers.last().expect("non-empty").out_dim()
     }
 
     /// Input width of the first layer.
     pub fn in_dim(&self) -> usize {
+        // lint:allow(panic) constructors reject empty layer stacks, so first() always exists
         self.layers.first().expect("non-empty").in_dim()
     }
 }

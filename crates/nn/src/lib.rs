@@ -40,6 +40,12 @@
 //! adam.step(&mut store);
 //! ```
 
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod graph;
 mod guard;
 mod layers;
@@ -50,6 +56,6 @@ mod params;
 pub use graph::{Graph, Var};
 pub use guard::{finite_guard, DivergenceGuard};
 pub use layers::{Linear, LstmCell, LstmState, Mlp};
-pub use matrix::Matrix;
+pub use matrix::{narrow, Matrix};
 pub use optim::{Adam, Sgd};
 pub use params::{Param, ParamId, ParamStore};

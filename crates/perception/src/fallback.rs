@@ -16,6 +16,7 @@
 //! robustness runs can report how often each tier was exercised.
 
 use crate::graph::{target_node, Prediction, StGraph};
+use telemetry::keys;
 
 /// Which rung of the degradation ladder produced the current percepts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,9 +37,9 @@ impl FallbackTier {
     pub fn counter(self) -> Option<&'static str> {
         match self {
             FallbackTier::Model => None,
-            FallbackTier::LastPrediction => Some("perception.fallback.last_prediction"),
-            FallbackTier::LastObservation => Some("perception.fallback.last_observation"),
-            FallbackTier::Extrapolation => Some("perception.fallback.extrapolation"),
+            FallbackTier::LastPrediction => Some(keys::PERCEPTION_FALLBACK_LAST_PREDICTION),
+            FallbackTier::LastObservation => Some(keys::PERCEPTION_FALLBACK_LAST_OBSERVATION),
+            FallbackTier::Extrapolation => Some(keys::PERCEPTION_FALLBACK_EXTRAPOLATION),
         }
     }
 
@@ -137,6 +138,7 @@ impl FallbackGuard {
         }
 
         let out = match tier {
+            // lint:allow(panic) the healthy tier returned earlier in this function
             FallbackTier::Model => unreachable!("healthy path returns above"),
             FallbackTier::LastPrediction => (good_graph.clone(), *good_pred),
             FallbackTier::LastObservation => (good_graph.clone(), persistence(good_graph)),

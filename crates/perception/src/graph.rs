@@ -73,6 +73,7 @@ impl Area {
         AREAS
             .iter()
             .position(|&a| a == self)
+            // lint:allow(panic) the match above enumerates every GraphArea variant
             .expect("all areas listed")
     }
 

@@ -13,7 +13,7 @@ pub use lstm_mlp::{LstmMlp, LstmMlpConfig};
 
 use crate::graph::{NodeSource, Prediction, StGraph, NODE_DIM, NUM_NODES, NUM_TARGETS};
 use crate::normalize::Normalizer;
-use nn::Matrix;
+use nn::{narrow, Matrix};
 
 /// One supervised example: a graph at step `t` and the relative ground
 /// truth of the six targets at `t + 1` (phantom targets are masked).
@@ -75,7 +75,7 @@ pub(crate) fn mask_matrix(graph: &StGraph) -> Matrix {
 /// Number of unmasked scalar outputs in a sample (≥ 1 to avoid 0-division).
 pub(crate) fn real_output_count(graph: &StGraph) -> f32 {
     let n: f64 = graph.target_mask().iter().sum();
-    ((n * 3.0) as f32).max(1.0)
+    narrow(n * 3.0).max(1.0)
 }
 
 /// The normalised `z x (7 * NODE_DIM)` history of a single target: its own

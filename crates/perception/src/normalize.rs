@@ -9,6 +9,7 @@
 //! is the standard practice its PyTorch implementation would rely on.)
 
 use crate::graph::{PredictedState, RawState};
+use nn::narrow;
 use serde::{Deserialize, Serialize};
 
 /// Fixed normalisation constants.
@@ -41,9 +42,9 @@ impl Normalizer {
     /// Normalises one *relative* node feature vector `[d_lat, d_lon, v_rel, IF]`.
     pub fn relative(&self, h: &[f64; 4]) -> [f32; 4] {
         [
-            (h[0] / self.d_lat) as f32,
-            (h[1] / self.d_lon) as f32,
-            (h[2] / self.vel) as f32,
+            narrow(h[0] / self.d_lat),
+            narrow(h[1] / self.d_lon),
+            narrow(h[2] / self.vel),
             h[3] as f32,
         ]
     }
@@ -51,9 +52,9 @@ impl Normalizer {
     /// Normalises one *raw ego* node feature vector `[lat, lon, v, 0]`.
     pub fn raw(&self, h: &[f64; 4]) -> [f32; 4] {
         [
-            (h[0] / self.lat) as f32,
-            (h[1] / self.lon) as f32,
-            (h[2] / self.vel) as f32,
+            narrow(h[0] / self.lat),
+            narrow(h[1] / self.lon),
+            narrow(h[2] / self.vel),
             h[3] as f32,
         ]
     }
@@ -61,9 +62,9 @@ impl Normalizer {
     /// Normalises a ground-truth target `[d_lat, d_lon, v_rel]`.
     pub fn truth(&self, t: &[f64; 3]) -> [f32; 3] {
         [
-            (t[0] / self.d_lat) as f32,
-            (t[1] / self.d_lon) as f32,
-            (t[2] / self.vel) as f32,
+            narrow(t[0] / self.d_lat),
+            narrow(t[1] / self.d_lon),
+            narrow(t[2] / self.vel),
         ]
     }
 

@@ -85,10 +85,13 @@ impl GraphBuilder {
             "sensor history must hold at least one frame"
         );
         let z = self.cfg.z;
+        // lint:allow(panic) caller checked the history is non-empty before building phantoms
         let ego = history.ego_track(self.cfg.dt).expect("non-empty history");
         let ego_states: Vec<RawState> = ego.states.iter().map(raw_of).collect();
+        // lint:allow(panic) caller checked the history is non-empty before building phantoms
         let latest = history.latest().expect("non-empty history");
         let observed = &latest.observed;
+        // lint:allow(panic) SensorConfig requires z >= 1, so tracks hold at least one state
         let ego_latest = *ego_states.last().expect("z >= 1");
 
         // --- Step 1: select targets --------------------------------------
@@ -126,6 +129,7 @@ impl GraphBuilder {
                     row.push(zero_track(z));
                     continue;
                 }
+                // lint:allow(panic) SensorConfig requires z >= 1, so tracks hold at least one state
                 let t_latest = target.states.last().expect("z >= 1");
                 let exclude = [latest.ego.id, observed_id(&target.source)];
                 let found = find_in_area(observed, t_latest.lat, t_latest.lon, *area, &exclude);
@@ -167,6 +171,7 @@ impl GraphBuilder {
     fn observed_track(&self, history: &SensorHistory, id: VehicleId) -> NodeTrack {
         let t = history
             .track_of(id, self.cfg.dt)
+            // lint:allow(panic) the id was read from this very frame two lines up
             .expect("id taken from latest frame");
         NodeTrack {
             states: t.states.iter().map(raw_of).collect(),
@@ -179,6 +184,7 @@ impl GraphBuilder {
         if !self.cfg.phantoms_enabled {
             return zero_track(ego.len());
         }
+        // lint:allow(panic) SensorConfig requires z >= 1, so tracks hold at least one state
         let ego_lat = ego.last().expect("z >= 1").lat;
         let kind = self.missing_kind_for(area, ego_lat);
         self.phantom_track(area, kind, ego, None)
@@ -200,6 +206,7 @@ impl GraphBuilder {
         if !self.cfg.phantoms_enabled {
             return zero_track(ego.len());
         }
+        // lint:allow(panic) SensorConfig requires z >= 1, so tracks hold at least one state
         let centre_lat = target.states.last().expect("z >= 1").lat;
         let occludable = j == i
             && centre_lat + area.lane_offset() as f64 >= 1.0
@@ -352,6 +359,7 @@ fn find_in_area(
         .min_by(|a, b| {
             let da = (a.pos - centre_lon).abs();
             let db = (b.pos - centre_lon).abs();
+            // lint:allow(panic) distances were filtered finite before ranking
             da.partial_cmp(&db).expect("finite").then(a.id.cmp(&b.id))
         })
         .map(|o| o.id)

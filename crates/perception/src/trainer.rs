@@ -4,11 +4,12 @@
 
 use crate::graph::NUM_TARGETS;
 use crate::models::{StatePredictor, TrainSample};
+use nn::narrow;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use telemetry::{keys, Stopwatch};
 
 /// Training options.
 #[derive(Clone, Copy, Debug)]
@@ -53,22 +54,22 @@ pub fn train(
     samples: &[TrainSample],
     opts: &TrainOptions,
 ) -> TrainReport {
-    let _train_span = telemetry::span!("perception.train");
+    let _train_span = telemetry::span!(keys::SPAN_PERCEPTION_TRAIN);
     let mut rng = ChaCha12Rng::seed_from_u64(opts.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut epoch_losses = Vec::with_capacity(opts.epochs);
     let mut convergence_secs = None;
     for epoch in 0..opts.epochs {
-        let _epoch_span = telemetry::span!("epoch");
+        let _epoch_span = telemetry::span!(keys::SPAN_EPOCH);
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(opts.batch_size) {
-            let _batch_span = telemetry::span!("train_batch");
+            let _batch_span = telemetry::span!(keys::SPAN_TRAIN_BATCH);
             let batch: Vec<TrainSample> = chunk.iter().map(|&i| samples[i].clone()).collect();
             let batch_loss = model.train_batch(&batch);
-            telemetry::histogram_record("perception.batch_loss", batch_loss);
+            telemetry::histogram_record(keys::PERCEPTION_BATCH_LOSS, batch_loss);
             epoch_loss += batch_loss;
             batches += 1;
         }
@@ -80,9 +81,9 @@ pub fn train(
                 }
             }
         }
-        telemetry::gauge_set("perception.epoch_loss", mean);
+        telemetry::gauge_set(keys::PERCEPTION_EPOCH_LOSS, mean);
         telemetry::emit_event(
-            "perception_epoch",
+            keys::EVENT_PERCEPTION_EPOCH,
             vec![
                 ("epoch", telemetry::Json::from(epoch)),
                 ("mean_loss", telemetry::Json::from(mean)),
@@ -119,7 +120,7 @@ pub fn evaluate(
     samples: &[TrainSample],
     norm: &crate::normalize::Normalizer,
 ) -> EvalMetrics {
-    let _eval_span = telemetry::span!("perception.evaluate");
+    let _eval_span = telemetry::span!(keys::SPAN_PERCEPTION_EVALUATE);
     let mut abs_sum = 0.0;
     let mut sq_sum = 0.0;
     let mut count = 0usize;
@@ -131,9 +132,9 @@ pub fn evaluate(
             }
             let t = norm.truth(&s.truth[i]);
             let p = [
-                (pred_i.d_lat / norm.d_lat) as f32,
-                (pred_i.d_lon / norm.d_lon) as f32,
-                (pred_i.v_rel / norm.vel) as f32,
+                narrow(pred_i.d_lat / norm.d_lat),
+                narrow(pred_i.d_lon / norm.d_lon),
+                narrow(pred_i.v_rel / norm.vel),
             ];
             for (a, b) in p.iter().zip(t.iter()) {
                 let e = (a - b) as f64;
@@ -155,7 +156,7 @@ pub fn evaluate(
 
 /// Measures average per-call inference latency in milliseconds.
 pub fn mean_inference_ms(model: &dyn StatePredictor, samples: &[TrainSample], reps: usize) -> f64 {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut calls = 0usize;
     for _ in 0..reps.max(1) {
         for s in samples {

@@ -93,6 +93,7 @@ proptest! {
                     prop_assert!(v.is_finite(), "node {node} has non-finite feature");
                 }
                 // IF flag is binary.
+                // lint:allow(float-eq) IF flags are exact 0.0/1.0 sentinels
                 prop_assert!(h[3] == 0.0 || h[3] == 1.0);
                 match graph.sources[node] {
                     NodeSource::Phantom(MissingKind::ZeroPadded) => {

@@ -147,11 +147,15 @@ impl FaultProfile {
 
     /// True when every fault class is disabled.
     pub fn is_noop(&self) -> bool {
-        self.dropout_rate == 0.0
-            && self.noise_rate == 0.0
-            && self.latency_rate == 0.0
-            && self.blackout_rate == 0.0
-            && self.nan_rate == 0.0
+        let rates = [
+            self.dropout_rate,
+            self.noise_rate,
+            self.latency_rate,
+            self.blackout_rate,
+            self.nan_rate,
+        ];
+        // lint:allow(float-eq) rates are exact 0.0 sentinels written by the profile constructors
+        rates.iter().all(|&r| r == 0.0)
     }
 
     /// Whether the activation window covers `frame`.

@@ -106,6 +106,7 @@ impl SensorHistory {
         let first_idx = observed.iter().position(Option::is_some)?;
         let mut states = Vec::with_capacity(self.z);
         let mut backfilled = 0;
+        // lint:allow(panic) first_idx was produced by position(|o| o.is_some()) just above
         let first = observed[first_idx].expect("present by construction");
         // Leading backfill (also covers frames not yet recorded).
         let missing_lead = first_idx + (self.z - observed.len());

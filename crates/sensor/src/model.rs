@@ -120,6 +120,7 @@ fn segment_hits_rect(
 /// # Panics
 /// Panics if `ego_id` is not on the road.
 pub fn sense(sim: &Simulation, ego_id: VehicleId, cfg: &SensorConfig) -> SensorFrame {
+    // lint:allow(panic) sensing a removed vehicle is a caller bug worth failing fast on
     let ego = sim.get(ego_id).expect("ego vehicle must exist");
     let lane_width = sim.cfg().lane_width;
     let ego_centre = centre(ego, lane_width);

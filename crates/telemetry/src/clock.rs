@@ -1,0 +1,68 @@
+//! The workspace's only sanctioned wall-clock access.
+//!
+//! Reproducibility of the paper's tables rests on "same seed ⇒ identical
+//! trace", so wall-clock reads are confined to this crate and audited by
+//! the `headlint` `wallclock` pass: everything outside `telemetry` (and the
+//! bench binaries) must measure time through [`Stopwatch`] instead of
+//! calling `Instant::now` directly. Stopwatch values are for *reporting
+//! only* — they must never feed simulation, training or decision math.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic timer for timing reports.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    mark: Instant,
+}
+
+impl Stopwatch {
+    /// Starts (and marks) a new stopwatch.
+    pub fn start() -> Self {
+        Self {
+            mark: Instant::now(),
+        }
+    }
+
+    /// Time since the last mark.
+    pub fn elapsed(&self) -> Duration {
+        self.mark.elapsed()
+    }
+
+    /// Time since the last mark, seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.mark.elapsed().as_secs_f64()
+    }
+
+    /// Time since the last mark, nanoseconds (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.mark.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Returns the nanoseconds since the last mark and re-marks, so
+    /// consecutive laps partition the elapsed time without gaps.
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = u64::try_from(now.duration_since(self.mark).as_nanos()).unwrap_or(u64::MAX);
+        self.mark = now;
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_and_laps_partition() {
+        let mut sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        let lap = sw.lap_ns();
+        assert!(lap >= b);
+        // After a lap the mark moved forward, so the next reading restarts
+        // near zero relative to the pre-lap total.
+        assert!(sw.elapsed() <= Duration::from_secs(1));
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+}

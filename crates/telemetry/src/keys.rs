@@ -1,0 +1,234 @@
+//! The central telemetry-key registry.
+//!
+//! Every span name, counter, gauge, histogram and JSONL event kind used
+//! anywhere in the workspace is declared here as a `pub const`, and call
+//! sites reference the constant instead of repeating the string. A typo in
+//! a scattered literal silently drops a metric (the registry is keyed by
+//! exact name); centralising the names makes that a compile error, and the
+//! `headlint` `telemetry-keys` pass statically verifies that (a) any string
+//! literal handed to a telemetry entry point is registered here and (b)
+//! every registered key has at least one call site.
+//!
+//! Naming scheme: `<subsystem>.<metric>` with `_` inside segments. Span
+//! names nested under an instrumented parent may be bare segment names
+//! (e.g. [`SPAN_EPOCH`]) because span paths are reported as
+//! `outer/inner/...`.
+
+// --- Span names ---------------------------------------------------------
+
+/// One simulator step (`traffic-sim`), parent of the per-phase spans.
+pub const SPAN_SIM_STEP: &str = "sim.step";
+/// Simulator phase 1: lane-change decisions.
+pub const SPAN_LANE_CHANGE: &str = "lane_change";
+/// Simulator phase 2: longitudinal control.
+pub const SPAN_CAR_FOLLOWING: &str = "car_following";
+/// Simulator phase 3: state integration.
+pub const SPAN_INTEGRATE: &str = "integrate";
+/// Simulator phase 4: collision detection.
+pub const SPAN_COLLISION: &str = "collision";
+/// Simulator phase 5: exit recycling and respawn.
+pub const SPAN_RECYCLE: &str = "recycle";
+/// One closed-loop episode (`head`).
+pub const SPAN_HEAD_EPISODE: &str = "head.episode";
+/// One agent decision inside an episode.
+pub const SPAN_HEAD_DECIDE: &str = "head.decide";
+/// One environment transition inside an episode.
+pub const SPAN_ENV_STEP: &str = "env.step";
+/// One learning feedback call inside an episode.
+pub const SPAN_HEAD_FEEDBACK: &str = "head.feedback";
+/// A whole `train_agent` invocation.
+pub const SPAN_HEAD_TRAIN_AGENT: &str = "head.train_agent";
+/// A whole `train_agent_resumable` invocation.
+pub const SPAN_HEAD_TRAIN_RESUMABLE: &str = "head.train_resumable";
+/// Seeding the replay buffer with demonstration transitions.
+pub const SPAN_HEAD_SEED_DEMOS: &str = "head.seed_demos";
+/// A whole greedy-evaluation sweep.
+pub const SPAN_HEAD_EVALUATE: &str = "head.evaluate";
+/// Training the LST-GAT predictor inside an experiment driver.
+pub const SPAN_HEAD_TRAIN_LSTGAT: &str = "head.train_lstgat";
+/// A whole predictor-training invocation (`perception`).
+pub const SPAN_PERCEPTION_TRAIN: &str = "perception.train";
+/// One training epoch (nested under [`SPAN_PERCEPTION_TRAIN`]).
+pub const SPAN_EPOCH: &str = "epoch";
+/// One minibatch step (nested under [`SPAN_EPOCH`]).
+pub const SPAN_TRAIN_BATCH: &str = "train_batch";
+/// A whole predictor-evaluation invocation.
+pub const SPAN_PERCEPTION_EVALUATE: &str = "perception.evaluate";
+/// One BP-DQN learn step.
+pub const SPAN_BPDQN_LEARN: &str = "bpdqn.learn";
+/// One P-DQN learn step.
+pub const SPAN_PDQN_LEARN: &str = "pdqn.learn";
+/// One P-DDPG learn step.
+pub const SPAN_PDDPG_LEARN: &str = "pddpg.learn";
+/// Drawing a minibatch from the replay buffer (nested under a learn span).
+pub const SPAN_REPLAY_SAMPLE: &str = "replay_sample";
+
+// --- Counters -----------------------------------------------------------
+
+/// Collisions detected by the simulator.
+pub const SIM_COLLISIONS: &str = "sim.collisions";
+/// Non-finite external commands replaced by coasting.
+pub const SIM_SANITIZED_COMMANDS: &str = "sim.sanitized_commands";
+/// Vehicles frozen because integration would go non-finite.
+pub const SIM_NONFINITE_FROZEN: &str = "sim.nonfinite_frozen";
+/// Episodes completed (any terminal).
+pub const HEAD_EPISODES: &str = "head.episodes";
+/// Non-finite training losses caught by the divergence guard.
+pub const NN_NONFINITE_LOSS: &str = "nn.nonfinite.loss";
+/// Non-finite gradients caught by the divergence guard.
+pub const NN_NONFINITE_GRAD: &str = "nn.nonfinite.grad";
+/// Optimiser steps skipped by the divergence guard.
+pub const NN_NONFINITE_SKIPPED: &str = "nn.nonfinite.skipped";
+/// Parameter-store restores performed by the divergence guard.
+pub const NN_NONFINITE_RESTORED: &str = "nn.nonfinite.restored";
+/// Episodes ended by a non-finite vehicle state.
+pub const ROBUSTNESS_NONFINITE_VEHICLE: &str = "robustness.nonfinite_vehicle";
+/// Episodes ended by a non-finite reward.
+pub const ROBUSTNESS_NONFINITE_REWARD: &str = "robustness.nonfinite_reward";
+/// Episodes ended by a non-finite commanded action.
+pub const ROBUSTNESS_NONFINITE_ACTION: &str = "robustness.nonfinite_action";
+/// Episodes aborted by the watchdog.
+pub const ROBUSTNESS_WATCHDOG_ABORT: &str = "robustness.watchdog_abort";
+/// Injected sensor faults: dropped detections.
+pub const SENSOR_FAULT_DROPOUT: &str = "sensor.fault.dropout";
+/// Injected sensor faults: noisy detections.
+pub const SENSOR_FAULT_NOISE: &str = "sensor.fault.noise";
+/// Injected sensor faults: stale (latent) frames.
+pub const SENSOR_FAULT_LATENCY: &str = "sensor.fault.latency";
+/// Injected sensor faults: whole-frame blackouts.
+pub const SENSOR_FAULT_BLACKOUT: &str = "sensor.fault.blackout";
+/// Injected sensor faults: NaN-corrupted detections.
+pub const SENSOR_FAULT_NAN: &str = "sensor.fault.nan";
+/// Fallback steps served from the last prediction.
+pub const PERCEPTION_FALLBACK_LAST_PREDICTION: &str = "perception.fallback.last_prediction";
+/// Fallback steps served from the last observation.
+pub const PERCEPTION_FALLBACK_LAST_OBSERVATION: &str = "perception.fallback.last_observation";
+/// Fallback steps served by constant-velocity extrapolation.
+pub const PERCEPTION_FALLBACK_EXTRAPOLATION: &str = "perception.fallback.extrapolation";
+
+// --- Dynamic counter prefixes -------------------------------------------
+
+/// Prefix of the per-op forward-pass aggregates flushed by `nn::Graph`
+/// (`nn.fwd.<op>.calls` / `nn.fwd.<op>.ns`).
+pub const NN_FWD_PREFIX: &str = "nn.fwd";
+/// Prefix of the per-op backward-pass aggregates flushed by `nn::Graph`
+/// (`nn.bwd.<op>.calls` / `nn.bwd.<op>.ns`).
+pub const NN_BWD_PREFIX: &str = "nn.bwd";
+
+// --- Gauges -------------------------------------------------------------
+
+/// Vehicles currently on the road.
+pub const SIM_VEHICLES: &str = "sim.vehicles";
+/// Current ε of the ε-greedy exploration schedule.
+pub const DECISION_EPSILON: &str = "decision.epsilon";
+/// Transitions currently held by the replay buffer.
+pub const DECISION_REPLAY_OCCUPANCY: &str = "decision.replay_occupancy";
+/// Mean training loss of the last completed perception epoch.
+pub const PERCEPTION_EPOCH_LOSS: &str = "perception.epoch_loss";
+
+// --- Histograms ---------------------------------------------------------
+
+/// Steps per completed episode.
+pub const HEAD_EPISODE_STEPS: &str = "head.episode_steps";
+/// Per-minibatch Q-network loss.
+pub const DECISION_Q_LOSS: &str = "decision.q_loss";
+/// Per-minibatch parameter-network loss.
+pub const DECISION_X_LOSS: &str = "decision.x_loss";
+/// Per-minibatch perception training loss.
+pub const PERCEPTION_BATCH_LOSS: &str = "perception.batch_loss";
+
+// --- JSONL event kinds --------------------------------------------------
+
+/// One completed episode record.
+pub const EVENT_EPISODE: &str = "episode";
+/// A training run resumed from a checkpoint.
+pub const EVENT_RESUME: &str = "resume";
+/// An experiment-driver phase transition.
+pub const EVENT_PHASE: &str = "phase";
+/// A recoverable robustness fault.
+pub const EVENT_ROBUSTNESS: &str = "robustness";
+/// One completed perception-training epoch.
+pub const EVENT_PERCEPTION_EPOCH: &str = "perception_epoch";
+
+/// Every registered key, for runtime validation and report tooling.
+/// (The `headlint` unused-key check works from the `pub const` items
+/// themselves, not from this list.)
+pub const ALL: &[&str] = &[
+    SPAN_SIM_STEP,
+    SPAN_LANE_CHANGE,
+    SPAN_CAR_FOLLOWING,
+    SPAN_INTEGRATE,
+    SPAN_COLLISION,
+    SPAN_RECYCLE,
+    SPAN_HEAD_EPISODE,
+    SPAN_HEAD_DECIDE,
+    SPAN_ENV_STEP,
+    SPAN_HEAD_FEEDBACK,
+    SPAN_HEAD_TRAIN_AGENT,
+    SPAN_HEAD_TRAIN_RESUMABLE,
+    SPAN_HEAD_SEED_DEMOS,
+    SPAN_HEAD_EVALUATE,
+    SPAN_HEAD_TRAIN_LSTGAT,
+    SPAN_PERCEPTION_TRAIN,
+    SPAN_EPOCH,
+    SPAN_TRAIN_BATCH,
+    SPAN_PERCEPTION_EVALUATE,
+    SPAN_BPDQN_LEARN,
+    SPAN_PDQN_LEARN,
+    SPAN_PDDPG_LEARN,
+    SPAN_REPLAY_SAMPLE,
+    SIM_COLLISIONS,
+    SIM_SANITIZED_COMMANDS,
+    SIM_NONFINITE_FROZEN,
+    HEAD_EPISODES,
+    NN_NONFINITE_LOSS,
+    NN_NONFINITE_GRAD,
+    NN_NONFINITE_SKIPPED,
+    NN_NONFINITE_RESTORED,
+    ROBUSTNESS_NONFINITE_VEHICLE,
+    ROBUSTNESS_NONFINITE_REWARD,
+    ROBUSTNESS_NONFINITE_ACTION,
+    ROBUSTNESS_WATCHDOG_ABORT,
+    SENSOR_FAULT_DROPOUT,
+    SENSOR_FAULT_NOISE,
+    SENSOR_FAULT_LATENCY,
+    SENSOR_FAULT_BLACKOUT,
+    SENSOR_FAULT_NAN,
+    PERCEPTION_FALLBACK_LAST_PREDICTION,
+    PERCEPTION_FALLBACK_LAST_OBSERVATION,
+    PERCEPTION_FALLBACK_EXTRAPOLATION,
+    NN_FWD_PREFIX,
+    NN_BWD_PREFIX,
+    SIM_VEHICLES,
+    DECISION_EPSILON,
+    DECISION_REPLAY_OCCUPANCY,
+    PERCEPTION_EPOCH_LOSS,
+    HEAD_EPISODE_STEPS,
+    DECISION_Q_LOSS,
+    DECISION_X_LOSS,
+    PERCEPTION_BATCH_LOSS,
+    EVENT_EPISODE,
+    EVENT_RESUME,
+    EVENT_PHASE,
+    EVENT_ROBUSTNESS,
+    EVENT_PERCEPTION_EPOCH,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn registry_is_duplicate_free() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &k in ALL {
+            assert!(seen.insert(k), "duplicate telemetry key: {k}");
+            assert!(!k.is_empty());
+            assert!(
+                k.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "key {k} violates the naming scheme"
+            );
+        }
+    }
+}

@@ -31,11 +31,20 @@
 //! println!("{}", telemetry::timing_report());
 //! ```
 
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod clock;
 mod events;
 mod json;
+pub mod keys;
 mod metrics;
 mod span;
 
+pub use clock::Stopwatch;
 pub use events::{
     emit_event, git_rev, install_recorder, recorder_path, take_recorder, RunRecorder,
 };

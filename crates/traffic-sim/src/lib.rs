@@ -28,6 +28,12 @@
 //! assert!(outcome.collisions.is_empty());
 //! ```
 
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod models;
 mod sim;
 mod vehicle;

@@ -10,7 +10,8 @@ use crate::vehicle::{Controller, DriverParams, Vehicle, VehicleId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use telemetry::keys;
 
 /// Static configuration of a simulation run.
 ///
@@ -119,8 +120,8 @@ pub struct StepOutcome {
 pub struct Simulation {
     cfg: SimConfig,
     vehicles: Vec<Vehicle>,
-    index: HashMap<VehicleId, usize>,
-    commands: HashMap<VehicleId, ExternalCommand>,
+    index: BTreeMap<VehicleId, usize>,
+    commands: BTreeMap<VehicleId, ExternalCommand>,
     next_id: u64,
     step_count: u64,
     pending_respawns: usize,
@@ -134,8 +135,8 @@ impl Simulation {
         Self {
             cfg,
             vehicles: Vec::new(),
-            index: HashMap::new(),
-            commands: HashMap::new(),
+            index: BTreeMap::new(),
+            commands: BTreeMap::new(),
             next_id: 0,
             step_count: 0,
             pending_respawns: 0,
@@ -353,12 +354,12 @@ impl Simulation {
 
     /// Advances the simulation by one Δt step.
     pub fn step(&mut self) -> StepOutcome {
-        let _step_span = telemetry::span!("sim.step");
+        let _step_span = telemetry::span!(keys::SPAN_SIM_STEP);
         let mut outcome = StepOutcome::default();
         let lanes = self.lane_order();
 
         // --- Phase 1: lane-change decisions -----------------------------
-        let lc_span = telemetry::span!("lane_change");
+        let lc_span = telemetry::span!(keys::SPAN_LANE_CHANGE);
         let mut changes: Vec<(usize, i32)> = Vec::new();
         for vi in 0..self.vehicles.len() {
             let v = &self.vehicles[vi];
@@ -429,7 +430,7 @@ impl Simulation {
         drop(lc_span);
 
         // --- Phase 2: longitudinal control -------------------------------
-        let cf_span = telemetry::span!("car_following");
+        let cf_span = telemetry::span!(keys::SPAN_CAR_FOLLOWING);
         let lanes = self.lane_order();
         let mut accels = vec![0.0_f64; self.vehicles.len()];
         for (vi, slot) in accels.iter_mut().enumerate() {
@@ -465,7 +466,7 @@ impl Simulation {
         drop(cf_span);
 
         // --- Phase 3: integration ----------------------------------------
-        let int_span = telemetry::span!("integrate");
+        let int_span = telemetry::span!(keys::SPAN_INTEGRATE);
         let dt = self.cfg.dt;
         for (vi, v) in self.vehicles.iter_mut().enumerate() {
             let v_floor = if matches!(v.controller, Controller::External) {
@@ -495,7 +496,7 @@ impl Simulation {
         drop(int_span);
 
         // --- Phase 4: collision detection ---------------------------------
-        let col_span = telemetry::span!("collision");
+        let col_span = telemetry::span!(keys::SPAN_COLLISION);
         let lanes = self.lane_order();
         for order in &lanes {
             for pair in order.windows(2) {
@@ -522,7 +523,7 @@ impl Simulation {
         drop(col_span);
 
         // --- Phase 5: recycle exits ----------------------------------------
-        let rc_span = telemetry::span!("recycle");
+        let rc_span = telemetry::span!(keys::SPAN_RECYCLE);
         let road_len = self.cfg.road_len;
         let mut exited_external = Vec::new();
         let mut removed = 0usize;
@@ -546,15 +547,18 @@ impl Simulation {
         drop(rc_span);
 
         if !outcome.collisions.is_empty() {
-            telemetry::counter_add("sim.collisions", outcome.collisions.len() as u64);
+            telemetry::counter_add(keys::SIM_COLLISIONS, outcome.collisions.len() as u64);
         }
         if outcome.sanitized_commands > 0 {
-            telemetry::counter_add("sim.sanitized_commands", outcome.sanitized_commands as u64);
+            telemetry::counter_add(
+                keys::SIM_SANITIZED_COMMANDS,
+                outcome.sanitized_commands as u64,
+            );
         }
         if !outcome.non_finite.is_empty() {
-            telemetry::counter_add("sim.nonfinite_frozen", outcome.non_finite.len() as u64);
+            telemetry::counter_add(keys::SIM_NONFINITE_FROZEN, outcome.non_finite.len() as u64);
         }
-        telemetry::gauge_set("sim.vehicles", self.vehicles.len() as f64);
+        telemetry::gauge_set(keys::SIM_VEHICLES, self.vehicles.len() as f64);
         self.step_count += 1;
         outcome
     }

@@ -10,6 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== headlint (workspace static analysis) =="
+# Errors (determinism, panic-safety, float-safety, telemetry keys, header
+# drift) fail the gate; the seeded fixture must keep failing or the engine
+# itself has regressed.
+cargo run -q -p lint --bin headlint
+if cargo run -q -p lint --bin headlint -- --root crates/lint/fixtures/ws > /dev/null; then
+    echo "FAIL: headlint exited 0 on the seeded fixture workspace" >&2
+    exit 1
+fi
+
 echo "== cargo test =="
 cargo test --workspace -q
 

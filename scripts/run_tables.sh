@@ -19,6 +19,11 @@ run_table() {
     echo "   telemetry: results/$name.telemetry.jsonl"
 }
 
+# Capture the static-analysis report alongside the run artifacts so every
+# regenerated table set records the lint state of the tree that produced it.
+echo "== headlint =="
+./target/release/headlint --telemetry results > results/headlint.txt
+
 run_table table3_4
 run_table table1 --episodes 1200
 run_table table5_6 --episodes 800
