@@ -1,0 +1,250 @@
+//! Perf harness for the deterministic worker pool: times serial vs
+//! parallel execution of the three parallelised layers and writes
+//! `BENCH_parallel.json` (via telemetry's dependency-free Json writer).
+//!
+//! Ops measured:
+//! * `matmul` — the cache-blocked kernel, one big product per rep;
+//! * `inference` — one LST-GAT per-step prediction (six heads);
+//! * `episodes` — greedy evaluation episode throughput (episodes/sec).
+//!
+//! The serial and parallel checksums of every op must be equal — the pool
+//! contract is *byte-identical* output — and the run exits 1 when any
+//! pair diverges, so CI catches a determinism regression as a hard
+//! failure, not a slow drift. Speedups are reported, not asserted: they
+//! depend on the host's core count (a 4-core host reaches ≥1.5× on the
+//! episode op; a single-core container reports ≈1× or below).
+//!
+//! Usage: `cargo run -p bench --bin perf --release -- \
+//!     [--scale smoke|bench|paper] [--threads N] [--reps N] [--json PATH]`
+
+use head::{
+    evaluate_agent_par, DrivingAgent, EnvConfig, HighwayEnv, IdmLc, PerceptionMode, RuleConfig,
+};
+use nn::Matrix;
+use perception::{LstGat, LstGatConfig, StatePredictor};
+use std::time::Instant;
+use telemetry::Json;
+
+/// One serial-vs-parallel comparison.
+struct OpResult {
+    op: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    serial_checksum: u64,
+    parallel_checksum: u64,
+    /// Extra op-specific fields (e.g. episodes/sec).
+    extra: Vec<(&'static str, Json)>,
+}
+
+impl OpResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn equal(&self) -> bool {
+        self.serial_checksum == self.parallel_checksum
+    }
+
+    fn to_json(&self, n_threads: usize) -> Json {
+        let mut pairs = vec![
+            ("op", Json::from(self.op)),
+            ("n_threads", Json::from(n_threads)),
+            ("serial_wall_ms", Json::Num(self.serial_ms)),
+            ("parallel_wall_ms", Json::Num(self.parallel_ms)),
+            ("speedup", Json::Num(self.speedup())),
+            (
+                "checksum",
+                Json::from(format!("{:016x}", self.serial_checksum)),
+            ),
+            (
+                "parallel_checksum",
+                Json::from(format!("{:016x}", self.parallel_checksum)),
+            ),
+            ("checksums_equal", Json::Bool(self.equal())),
+        ];
+        pairs.extend(self.extra.iter().cloned());
+        Json::obj(pairs)
+    }
+}
+
+/// Deterministic matrix fill from the shared seed-stream deriver.
+fn seeded_matrix(rows: usize, cols: usize, stream: u64) -> Matrix {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let bits = par::stream_seed(stream, i as u64);
+            ((bits >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut out = f();
+    let started = Instant::now();
+    for _ in 1..reps {
+        out = f();
+    }
+    let total = started.elapsed().as_secs_f64() * 1e3;
+    (total / (reps.saturating_sub(1).max(1)) as f64, out)
+}
+
+fn bench_matmul(dims: (usize, usize, usize), reps: usize, pool: &par::Pool) -> OpResult {
+    let (m, k, n) = dims;
+    let a = seeded_matrix(m, k, 0xA11CE);
+    let b = seeded_matrix(k, n, 0xB0B);
+    let (serial_ms, serial) = time_ms(reps, || a.matmul(&b));
+    let (parallel_ms, parallel) = time_ms(reps, || a.matmul_par(&b, pool));
+    OpResult {
+        op: "matmul",
+        serial_ms,
+        parallel_ms,
+        serial_checksum: serial.checksum(),
+        parallel_checksum: parallel.checksum(),
+        extra: vec![("dims", Json::from(format!("{m}x{k}x{n}")))],
+    }
+}
+
+fn prediction_checksum(pred: &perception::Prediction) -> u64 {
+    let mut h = par::Checksum::new();
+    for p in pred {
+        h.push_f64(p.d_lat);
+        h.push_f64(p.d_lon);
+        h.push_f64(p.v_rel);
+    }
+    h.finish()
+}
+
+fn bench_inference(scale: &head::experiments::Scale, reps: usize, pool: &par::Pool) -> OpResult {
+    // An untrained (seed-initialised) model over a live percept graph: the
+    // weights do not matter for timing or for the determinism contract.
+    let model = LstGat::new(LstGatConfig::default(), scale.normalizer());
+    let env = HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
+    let graph = env.percepts().graph.clone();
+    let (serial_ms, serial) = time_ms(reps, || model.predict(&graph));
+    let (parallel_ms, parallel) = time_ms(reps, || model.predict_par(&graph, pool));
+    OpResult {
+        op: "inference",
+        serial_ms,
+        parallel_ms,
+        serial_checksum: prediction_checksum(&serial),
+        parallel_checksum: prediction_checksum(&parallel),
+        extra: Vec::new(),
+    }
+}
+
+fn episodes_checksum(eps: &[head::EpisodeMetrics]) -> u64 {
+    let mut h = par::Checksum::new();
+    for e in eps {
+        h.push_u64(e.steps as u64);
+        h.push_u64(e.impact_events as u64);
+        h.push_f64(e.total_reward);
+        h.push_f64(e.mean_reward);
+        h.push_f64(e.min_ttc);
+        h.push_f64(e.avg_v);
+        h.push_f64(e.avg_jerk);
+        h.push_f64(e.driving_time);
+    }
+    h.finish()
+}
+
+fn bench_episodes(cfg: &EnvConfig, episodes: usize, pool: &par::Pool) -> OpResult {
+    let factory = || {
+        (
+            HighwayEnv::new(cfg.clone(), PerceptionMode::Persistence),
+            Box::new(IdmLc::new(RuleConfig::default())) as Box<dyn DrivingAgent>,
+        )
+    };
+    let serial_pool = par::Pool::new(1);
+    let started = Instant::now();
+    let serial = evaluate_agent_par(&factory, episodes, 9_000_000, &serial_pool);
+    let serial_ms = started.elapsed().as_secs_f64() * 1e3;
+    let started = Instant::now();
+    let parallel = evaluate_agent_par(&factory, episodes, 9_000_000, pool);
+    let parallel_ms = started.elapsed().as_secs_f64() * 1e3;
+    OpResult {
+        op: "episodes",
+        serial_ms,
+        parallel_ms,
+        serial_checksum: episodes_checksum(&serial),
+        parallel_checksum: episodes_checksum(&parallel),
+        extra: vec![
+            ("episodes", Json::from(episodes)),
+            (
+                "serial_eps_per_sec",
+                Json::Num(episodes as f64 / (serial_ms / 1e3)),
+            ),
+            (
+                "parallel_eps_per_sec",
+                Json::Num(episodes as f64 / (parallel_ms / 1e3)),
+            ),
+        ],
+    }
+}
+
+fn main() {
+    let cli = bench::Cli::parse("perf", &["--reps"]);
+    let scale = cli.scale();
+    let n_threads = cli.apply_threads().max(2);
+    par::set_threads(n_threads);
+    let pool = par::pool();
+
+    let (matmul_dims, episodes, default_reps) = match cli.value("--scale") {
+        Some("paper") => ((512, 512, 512), 64, 10),
+        None | Some("bench") => ((256, 256, 256), 24, 5),
+        _ => ((96, 128, 96), 6, 3),
+    };
+    let reps = cli.parsed("--reps").unwrap_or(default_reps);
+
+    eprintln!("perf: {n_threads} threads, {reps} reps");
+    let ops = vec![
+        bench_matmul(matmul_dims, reps, &pool),
+        bench_inference(&scale, reps, &pool),
+        bench_episodes(&scale.env, episodes, &pool),
+    ];
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}  {:<16} equal",
+        "op", "serial(ms)", "parallel(ms)", "speedup", "checksum"
+    );
+    for op in &ops {
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>8.2}  {:016x} {}",
+            op.op,
+            op.serial_ms,
+            op.parallel_ms,
+            op.speedup(),
+            op.serial_checksum,
+            op.equal()
+        );
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::from("parallel")),
+        ("n_threads", Json::from(n_threads)),
+        ("scale", Json::from(cli.value("--scale").unwrap_or("bench"))),
+        ("reps", Json::from(reps)),
+        (
+            "ops",
+            Json::Arr(ops.iter().map(|o| o.to_json(n_threads)).collect()),
+        ),
+    ]);
+    let path = cli.value("--json").unwrap_or("BENCH_parallel.json");
+    if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
+
+    if let Some(bad) = ops.iter().find(|o| !o.equal()) {
+        eprintln!(
+            "DETERMINISM VIOLATION: op '{}' serial {:016x} != parallel {:016x}",
+            bad.op, bad.serial_checksum, bad.parallel_checksum
+        );
+        std::process::exit(1);
+    }
+    println!("all serial/parallel checksums equal");
+}

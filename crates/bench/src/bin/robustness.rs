@@ -21,13 +21,6 @@ use head::{
 };
 use telemetry::keys;
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 const COUNTERS: [&str; 16] = [
     keys::SENSOR_FAULT_DROPOUT,
     keys::SENSOR_FAULT_NOISE,
@@ -48,18 +41,23 @@ const COUNTERS: [&str; 16] = [
 ];
 
 fn main() {
-    let scale = bench::scale_from_args();
-    bench::init_telemetry("robustness", &scale);
+    let cli = bench::Cli::parse(
+        "robustness",
+        &["--checkpoint", "--resume", "--every", "--halt-after"],
+    );
+    let scale = cli.scale();
+    cli.init_telemetry("robustness", &scale);
+    cli.apply_threads();
     // The whole point of this run is the robustness counters — record them
     // even without a `--telemetry` sink.
     telemetry::set_enabled(true);
 
-    let args: Vec<String> = std::env::args().collect();
-    let dir = flag_value(&args, "--checkpoint").or_else(|| flag_value(&args, "--resume"));
-    let every = flag_value(&args, "--every")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5);
-    let halt_after = flag_value(&args, "--halt-after").and_then(|v| v.parse().ok());
+    let dir = cli
+        .value("--checkpoint")
+        .or_else(|| cli.value("--resume"))
+        .map(str::to_string);
+    let every = cli.parsed("--every").unwrap_or(5);
+    let halt_after = cli.parsed("--halt-after");
 
     let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
     let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
@@ -106,6 +104,6 @@ fn main() {
     for name in COUNTERS {
         println!("  {name} = {}", telemetry::counter_value(name));
     }
-    bench::maybe_write_json(&report);
+    cli.write_json(&report);
     bench::finish_telemetry();
 }

@@ -2,10 +2,12 @@
 //! Usage: `cargo run -p bench --bin table3_4 --release -- [--scale ...]`
 
 fn main() {
-    let scale = bench::scale_from_args();
-    bench::init_telemetry("table3_4", &scale);
+    let cli = bench::Cli::parse("table3_4", &[]);
+    let scale = cli.scale();
+    cli.init_telemetry("table3_4", &scale);
+    cli.apply_threads();
     let report = head::experiments::run_tables_3_4(&scale);
     println!("{report}");
-    bench::maybe_write_json(&report);
+    cli.write_json(&report);
     bench::finish_telemetry();
 }

@@ -1,11 +1,13 @@
 //! Regenerates Table 7 of the paper. Usage:
-//! `cargo run -p bench --bin table7 --release -- [--scale smoke|bench|paper]`
+//! `cargo run -p bench --bin table7 --release -- [--scale smoke|bench|paper] [--threads N]`
 
 fn main() {
-    let scale = bench::scale_from_args();
-    bench::init_telemetry("table7", &scale);
+    let cli = bench::Cli::parse("table7", &[]);
+    let scale = cli.scale();
+    cli.init_telemetry("table7", &scale);
+    cli.apply_threads();
     let report = head::experiments::run_table7(&scale);
     println!("{report}");
-    bench::maybe_write_json(&report);
+    cli.write_json(&report);
     bench::finish_telemetry();
 }

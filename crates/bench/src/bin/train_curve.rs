@@ -10,8 +10,10 @@ use head::{aggregate, evaluate_agent, train_agent, HighwayEnv, PerceptionMode, P
 use perception::{LstGat, LstGatConfig};
 
 fn main() {
-    let scale = bench::scale_from_args();
-    bench::init_telemetry("train_curve", &scale);
+    let cli = bench::Cli::parse("train_curve", &[]);
+    let scale = cli.scale();
+    cli.init_telemetry("train_curve", &scale);
+    cli.apply_threads();
     let (weights, _, _) = train_lstgat(&scale);
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
     if let Err(e) = model.load_weights_json(&weights) {

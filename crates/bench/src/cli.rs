@@ -1,0 +1,256 @@
+//! Shared command-line parsing for the bench binaries.
+//!
+//! Every binary accepts the same flag vocabulary ([`COMMON_FLAGS`]), plus
+//! an optional per-binary extension list. Each flag takes exactly one
+//! value. Anything outside the vocabulary — an unknown flag, a positional
+//! argument, a flag without its value — exits with status 2 *before* any
+//! work starts, so scripts and CI fail fast on typos instead of silently
+//! running a default configuration.
+
+use head::experiments::Scale;
+
+/// Flags every bench binary accepts (each takes one value):
+///
+/// * `--scale smoke|bench|paper` — experiment sizing (default `bench`)
+/// * `--episodes N` / `--eval N` / `--seed N` — sizing overrides
+/// * `--faults none|light|heavy|blackout` — fault-injection profile
+/// * `--json PATH` — write the report JSON to `PATH`
+/// * `--telemetry DIR` — record a JSONL telemetry run into `DIR`
+/// * `--threads N` — worker count for the deterministic pool
+pub const COMMON_FLAGS: &[&str] = &[
+    "--scale",
+    "--episodes",
+    "--eval",
+    "--seed",
+    "--faults",
+    "--json",
+    "--telemetry",
+    "--threads",
+];
+
+/// The parsed command line of a bench binary.
+#[derive(Debug)]
+pub struct Cli {
+    bin: String,
+    pairs: Vec<(String, String)>,
+}
+
+impl Cli {
+    /// Parses the process arguments against [`COMMON_FLAGS`] plus `extra`;
+    /// any violation prints the accepted vocabulary and exits 2.
+    pub fn parse(bin: &str, extra: &[&str]) -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(bin, extra, raw) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("{bin}: {e}");
+                let mut vocab: Vec<&str> = COMMON_FLAGS.to_vec();
+                vocab.extend_from_slice(extra);
+                eprintln!("accepted flags (each takes one value): {}", vocab.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The fallible core of [`Cli::parse`], separated for unit testing.
+    pub fn try_parse(bin: &str, extra: &[&str], raw: Vec<String>) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let flag = &raw[i];
+            if !flag.starts_with("--") {
+                return Err(format!(
+                    "unexpected argument '{flag}' (flags start with --)"
+                ));
+            }
+            if !COMMON_FLAGS.contains(&flag.as_str()) && !extra.contains(&flag.as_str()) {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            match raw.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    pairs.push((flag.clone(), value.clone()));
+                }
+                _ => return Err(format!("flag '{flag}' needs a value")),
+            }
+            i += 2;
+        }
+        Ok(Self {
+            bin: bin.to_string(),
+            pairs,
+        })
+    }
+
+    /// The raw value of a flag, when it was given.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A parsed flag value. A present-but-malformed value exits 2 — a typo
+    /// must not silently run the default.
+    pub fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Option<T> {
+        self.value(flag).map(|v| match v.parse() {
+            Ok(x) => x,
+            Err(_) => {
+                eprintln!("{}: flag '{flag}' has malformed value '{v}'", self.bin);
+                std::process::exit(2);
+            }
+        })
+    }
+
+    /// Resolves the experiment sizing from `--scale` and the override
+    /// flags. An unknown scale or fault-profile name exits 2.
+    pub fn scale(&self) -> Scale {
+        let mut scale = match self.value("--scale") {
+            None | Some("bench") => Scale::bench(),
+            Some("smoke") => Scale::smoke(),
+            Some("paper") => Scale::paper(),
+            Some(other) => {
+                eprintln!(
+                    "{}: unknown scale '{other}' (expected smoke|bench|paper)",
+                    self.bin
+                );
+                std::process::exit(2);
+            }
+        };
+        if let Some(n) = self.parsed("--episodes") {
+            scale.train_episodes = n;
+        }
+        if let Some(n) = self.parsed("--eval") {
+            scale.eval_episodes = n;
+        }
+        if let Some(n) = self.parsed("--seed") {
+            scale.env.seed = n;
+        }
+        if let Some(name) = self.value("--faults") {
+            match sensor::FaultProfile::from_name(name) {
+                Some(profile) => scale.env.faults = Some(profile),
+                None => {
+                    eprintln!(
+                        "{}: unknown fault profile '{name}' (expected none|light|heavy|blackout)",
+                        self.bin
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        scale
+    }
+
+    /// Applies `--threads N` to the process-wide deterministic worker pool
+    /// and returns the resulting worker count (1 when the flag is absent
+    /// and no earlier call changed it).
+    pub fn apply_threads(&self) -> usize {
+        if let Some(n) = self.parsed::<usize>("--threads") {
+            par::set_threads(n);
+        }
+        par::threads()
+    }
+
+    /// Writes the report JSON when `--json PATH` was given.
+    pub fn write_json<T: serde::Serialize>(&self, report: &T) {
+        if let Some(path) = self.value("--json") {
+            // lint:allow(panic) report structs are plain data; serialisation cannot fail
+            let json = serde_json::to_string_pretty(report).expect("serialisable report");
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+
+    /// Enables telemetry and installs a JSONL run recorder when requested
+    /// via `--telemetry DIR` or the `TELEMETRY_DIR` environment variable.
+    /// The sink is `DIR/<table>.telemetry.jsonl`; its first line is a run
+    /// manifest embedding the resolved environment config, seed and
+    /// episode budgets. Spans/metrics alone (no sink) can be switched on
+    /// with `TELEMETRY=1`. Returns `true` when a recorder was installed.
+    pub fn init_telemetry(&self, table: &str, scale: &Scale) -> bool {
+        telemetry::init_from_env();
+        let dir = self
+            .value("--telemetry")
+            .map(str::to_string)
+            .or_else(|| std::env::var("TELEMETRY_DIR").ok());
+        let Some(dir) = dir else { return false };
+        telemetry::set_enabled(true);
+        let path = std::path::Path::new(&dir).join(format!("{table}.telemetry.jsonl"));
+        match telemetry::RunRecorder::create(&path) {
+            Ok(rec) => {
+                // Re-encode the serde config through the telemetry Json type
+                // so the manifest embeds it structurally, not as a string.
+                let config = serde_json::to_string(&scale.env)
+                    .ok()
+                    .and_then(|s| telemetry::Json::parse(&s).ok())
+                    .unwrap_or(telemetry::Json::Null);
+                rec.write_manifest(vec![
+                    ("table", telemetry::Json::from(table)),
+                    ("seed", telemetry::Json::from(scale.env.seed)),
+                    (
+                        "train_episodes",
+                        telemetry::Json::from(scale.train_episodes),
+                    ),
+                    ("eval_episodes", telemetry::Json::from(scale.eval_episodes)),
+                    ("config", config),
+                ]);
+                telemetry::install_recorder(rec);
+                eprintln!("telemetry: recording to {}", path.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("telemetry: cannot create {}: {e}", path.display());
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn common_flags_parse() {
+        let cli = Cli::try_parse("t", &[], args(&["--scale", "smoke", "--eval", "7"]))
+            .expect("valid args");
+        assert_eq!(cli.value("--scale"), Some("smoke"));
+        assert_eq!(cli.parsed::<usize>("--eval"), Some(7));
+        assert_eq!(cli.value("--seed"), None);
+        let scale = cli.scale();
+        assert_eq!(scale.eval_episodes, 7);
+        assert!(scale.train_episodes <= 20, "smoke sizing");
+    }
+
+    #[test]
+    fn extra_flags_are_per_binary() {
+        assert!(Cli::try_parse("t", &["--reps"], args(&["--reps", "3"])).is_ok());
+        let err = Cli::try_parse("t", &[], args(&["--reps", "3"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = Cli::try_parse("t", &[], args(&["--bogus", "1"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn positional_argument_rejected() {
+        let err = Cli::try_parse("t", &[], args(&["smoke"])).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Cli::try_parse("t", &[], args(&["--scale"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = Cli::try_parse("t", &[], args(&["--scale", "--eval"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+}

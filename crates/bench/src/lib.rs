@@ -6,103 +6,9 @@
 #![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
-use head::experiments::Scale;
+pub mod cli;
 
-/// Parses the common CLI flags of the table binaries:
-/// `--scale smoke|bench|paper` (default `bench`),
-/// `--episodes N` / `--eval N` / `--seed N` overrides, and
-/// `--faults none|light|heavy|blackout` for fault-injection runs
-/// (an unknown profile name exits with status 2).
-pub fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    let mut scale = match flag_value(&args, "--scale").as_deref() {
-        Some("smoke") => Scale::smoke(),
-        Some("paper") => Scale::paper(),
-        _ => Scale::bench(),
-    };
-    if let Some(n) = flag_value(&args, "--episodes").and_then(|v| v.parse().ok()) {
-        scale.train_episodes = n;
-    }
-    if let Some(n) = flag_value(&args, "--eval").and_then(|v| v.parse().ok()) {
-        scale.eval_episodes = n;
-    }
-    if let Some(n) = flag_value(&args, "--seed").and_then(|v| v.parse().ok()) {
-        scale.env.seed = n;
-    }
-    if let Some(name) = flag_value(&args, "--faults") {
-        match sensor::FaultProfile::from_name(&name) {
-            Some(profile) => scale.env.faults = Some(profile),
-            None => {
-                eprintln!("unknown fault profile '{name}' (expected none|light|heavy|blackout)");
-                std::process::exit(2);
-            }
-        }
-    }
-    scale
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-/// Writes a report JSON next to stdout output when `--json PATH` is given.
-pub fn maybe_write_json<T: serde::Serialize>(report: &T) {
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(path) = flag_value(&args, "--json") {
-        // lint:allow(panic) report structs are plain data; serialisation cannot fail
-        let json = serde_json::to_string_pretty(report).expect("serialisable report");
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(2);
-        }
-        eprintln!("wrote {path}");
-    }
-}
-
-/// Enables telemetry and installs a JSONL run recorder when requested via
-/// `--telemetry DIR` or the `TELEMETRY_DIR` environment variable. The sink
-/// is `DIR/<table>.telemetry.jsonl`; its first line is a run manifest
-/// embedding the resolved environment config, seed and episode budgets.
-/// Spans/metrics alone (no sink) can be switched on with `TELEMETRY=1`.
-/// Returns `true` when a recorder was installed.
-pub fn init_telemetry(table: &str, scale: &Scale) -> bool {
-    telemetry::init_from_env();
-    let args: Vec<String> = std::env::args().collect();
-    let dir = flag_value(&args, "--telemetry").or_else(|| std::env::var("TELEMETRY_DIR").ok());
-    let Some(dir) = dir else { return false };
-    telemetry::set_enabled(true);
-    let path = std::path::Path::new(&dir).join(format!("{table}.telemetry.jsonl"));
-    match telemetry::RunRecorder::create(&path) {
-        Ok(rec) => {
-            // Re-encode the serde config through the telemetry Json type so
-            // the manifest embeds it structurally rather than as a string.
-            let config = serde_json::to_string(&scale.env)
-                .ok()
-                .and_then(|s| telemetry::Json::parse(&s).ok())
-                .unwrap_or(telemetry::Json::Null);
-            rec.write_manifest(vec![
-                ("table", telemetry::Json::from(table)),
-                ("seed", telemetry::Json::from(scale.env.seed)),
-                (
-                    "train_episodes",
-                    telemetry::Json::from(scale.train_episodes),
-                ),
-                ("eval_episodes", telemetry::Json::from(scale.eval_episodes)),
-                ("config", config),
-            ]);
-            telemetry::install_recorder(rec);
-            eprintln!("telemetry: recording to {}", path.display());
-            true
-        }
-        Err(e) => {
-            eprintln!("telemetry: cannot create {}: {e}", path.display());
-            false
-        }
-    }
-}
+pub use cli::{Cli, COMMON_FLAGS};
 
 /// Prints the hierarchical timing tree and the metrics report when
 /// telemetry is enabled, then drops the recorder so its file is flushed

@@ -1,0 +1,90 @@
+//! Integration tests for the shared `bench::cli` parser: every binary
+//! must reject malformed command lines with exit code 2 *before* doing
+//! any work (no partial table runs, no stray output files).
+
+use std::process::Command;
+
+/// Every bench binary, resolved at compile time by Cargo.
+const BINS: [(&str, &str); 8] = [
+    ("table1", env!("CARGO_BIN_EXE_table1")),
+    ("table2", env!("CARGO_BIN_EXE_table2")),
+    ("table3_4", env!("CARGO_BIN_EXE_table3_4")),
+    ("table5_6", env!("CARGO_BIN_EXE_table5_6")),
+    ("table7", env!("CARGO_BIN_EXE_table7")),
+    ("robustness", env!("CARGO_BIN_EXE_robustness")),
+    ("train_curve", env!("CARGO_BIN_EXE_train_curve")),
+    ("perf", env!("CARGO_BIN_EXE_perf")),
+];
+
+fn run(exe: &str, args: &[&str]) -> std::process::Output {
+    match Command::new(exe).args(args).output() {
+        Ok(out) => out,
+        Err(e) => panic!("failed to spawn {exe}: {e}"),
+    }
+}
+
+#[test]
+fn every_bin_rejects_unknown_flags_with_exit_2() {
+    for (name, exe) in BINS {
+        let out = run(exe, &["--definitely-not-a-flag", "x"]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: unknown flag must exit 2, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--definitely-not-a-flag"),
+            "{name}: stderr should name the offending flag, got: {stderr}"
+        );
+        assert!(
+            stderr.contains("--scale"),
+            "{name}: stderr should list the accepted vocabulary, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn every_bin_rejects_positional_arguments_with_exit_2() {
+    for (name, exe) in BINS {
+        let out = run(exe, &["smoke"]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: positional argument must exit 2"
+        );
+    }
+}
+
+#[test]
+fn every_bin_rejects_missing_values_with_exit_2() {
+    for (name, exe) in BINS {
+        let out = run(exe, &["--scale"]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: flag without a value must exit 2"
+        );
+    }
+}
+
+#[test]
+fn unknown_scale_name_exits_2() {
+    let (_, exe) = BINS[0];
+    let out = run(exe, &["--scale", "warp"]);
+    assert_eq!(out.status.code(), Some(2), "unknown scale must exit 2");
+}
+
+#[test]
+fn per_binary_extra_flags_stay_per_binary() {
+    // robustness accepts --checkpoint; table1 must not.
+    let (_, table1) = BINS[0];
+    let out = run(table1, &["--checkpoint", "/tmp/nope"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "table1 must reject robustness-only flags"
+    );
+}

@@ -124,12 +124,13 @@ impl PamdpAgent for DiscreteDqn {
             return None;
         }
         self.since_learn = 0;
-        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let batch = self
+            .replay
+            .sample_batch(self.cfg.batch_size, &mut self.rng, &self.cfg.scale);
         let n = batch.len();
-        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
-        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
-        let s_m = self.cfg.scale.flat_batch(&states);
-        let sn_m = self.cfg.scale.flat_batch(&next_states);
+        let s_m = batch.states;
+        let sn_m = batch.next_states;
+        let batch = batch.items;
 
         let targets: Vec<f32> = {
             let mut g = Graph::new();

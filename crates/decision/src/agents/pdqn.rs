@@ -130,16 +130,16 @@ impl PamdpAgent for PDqn {
         self.since_learn = 0;
         let batch = {
             let _sample_span = telemetry::span!(keys::SPAN_REPLAY_SAMPLE);
-            self.replay.sample(self.cfg.batch_size, &mut self.rng)
+            self.replay
+                .sample_batch(self.cfg.batch_size, &mut self.rng, &self.cfg.scale)
         };
         telemetry::gauge_set(keys::DECISION_REPLAY_OCCUPANCY, self.replay.len() as f64);
         let n = batch.len();
         let a_max = self.cfg.a_max as f32;
 
-        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
-        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
-        let s_m = self.cfg.scale.flat_batch(&states);
-        let sn_m = self.cfg.scale.flat_batch(&next_states);
+        let s_m = batch.states;
+        let sn_m = batch.next_states;
+        let batch = batch.items;
 
         let targets: Vec<f32> = {
             let mut g = Graph::new();

@@ -135,13 +135,14 @@ impl PamdpAgent for PQp {
         self.since_learn = 0;
         self.learn_steps += 1;
         let q_phase = (self.learn_steps / PHASE_LEN) % 2 == 0;
-        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let batch = self
+            .replay
+            .sample_batch(self.cfg.batch_size, &mut self.rng, &self.cfg.scale);
         let n = batch.len();
 
-        let states: Vec<&AugmentedState> = batch.iter().map(|t| &t.state).collect();
-        let next_states: Vec<&AugmentedState> = batch.iter().map(|t| &t.next_state).collect();
-        let s_m = self.cfg.scale.flat_batch(&states);
-        let sn_m = self.cfg.scale.flat_batch(&next_states);
+        let s_m = batch.states;
+        let sn_m = batch.next_states;
+        let batch = batch.items;
 
         // Bellman targets (Q has no parameter input in Q-PAMDP: it values
         // the discrete behaviours under the *current* parameter policy).

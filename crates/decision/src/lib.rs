@@ -36,5 +36,5 @@ pub use pamdp::{
     Action, AugmentedState, LaneBehaviour, StateScale, CURRENT_ROWS, FUTURE_ROWS, NUM_BEHAVIOURS,
     ROW_DIM, STATE_DIM,
 };
-pub use replay::{ReplayBuffer, Transition};
+pub use replay::{Batch, ReplayBuffer, Transition};
 pub use reward::{RewardConfig, RewardInput, RewardParts};

@@ -1,7 +1,8 @@
 //! Experience replay buffer (fixed-capacity ring, uniform sampling) — the
 //! replay memory `B` of the paper's P-DQN-style optimisation (Eq. 22).
 
-use crate::pamdp::{Action, AugmentedState};
+use crate::pamdp::{Action, AugmentedState, StateScale};
+use nn::Matrix;
 use rand::Rng;
 
 /// One stored experience.
@@ -82,10 +83,54 @@ impl ReplayBuffer {
             .collect()
     }
 
+    /// Samples `n` transitions and assembles their flat state matrices in
+    /// one pass — the batched forward input every flat-state learner
+    /// needs, built once here instead of re-collected in each `learn`.
+    pub fn sample_batch<'a>(
+        &'a self,
+        n: usize,
+        rng: &mut impl Rng,
+        scale: &StateScale,
+    ) -> Batch<'a> {
+        let items = self.sample(n, rng);
+        let states: Vec<&AugmentedState> = items.iter().map(|t| &t.state).collect();
+        let next_states: Vec<&AugmentedState> = items.iter().map(|t| &t.next_state).collect();
+        Batch {
+            states: scale.flat_batch(&states),
+            next_states: scale.flat_batch(&next_states),
+            items,
+        }
+    }
+
     /// Clears all stored transitions.
     pub fn clear(&mut self) {
         self.items.clear();
         self.head = 0;
+    }
+}
+
+/// A sampled minibatch with its batched forward inputs pre-assembled:
+/// one `n x STATE_DIM`-flavoured matrix per side of the Bellman update.
+/// Row `i` of [`Batch::states`] / [`Batch::next_states`] corresponds to
+/// [`Batch::items`]`[i]`.
+pub struct Batch<'a> {
+    /// The sampled transitions (rewards, actions, terminals, params).
+    pub items: Vec<&'a Transition>,
+    /// Scaled flat encoding of every sampled state, one row each.
+    pub states: Matrix,
+    /// Scaled flat encoding of every successor state, one row each.
+    pub next_states: Matrix,
+}
+
+impl Batch<'_> {
+    /// Number of transitions in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the buffer was empty at sampling time.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
     }
 }
 
@@ -138,6 +183,32 @@ mod tests {
             seen.iter().all(|&s| s),
             "uniform sampling should cover all slots"
         );
+    }
+
+    #[test]
+    fn sample_batch_assembles_matching_rows() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(transition(i as f64));
+        }
+        let scale = StateScale::paper_default();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let batch = buf.sample_batch(16, &mut rng, &scale);
+        assert_eq!(batch.len(), 16);
+        assert_eq!(batch.states.rows(), 16);
+        assert_eq!(batch.next_states.rows(), 16);
+        // Row i of the matrices is the flat encoding of item i.
+        for (i, t) in batch.items.iter().enumerate() {
+            let expect = scale.flat_batch(&[&t.state]);
+            assert_eq!(batch.states.row_slice(i), expect.row_slice(0));
+        }
+        // Sampling draws the same items as the unbatched path under the
+        // same RNG stream.
+        let mut rng2 = ChaCha12Rng::seed_from_u64(3);
+        let plain = buf.sample(16, &mut rng2);
+        for (a, b) in batch.items.iter().zip(plain) {
+            assert_eq!(a.reward, b.reward);
+        }
     }
 
     #[test]

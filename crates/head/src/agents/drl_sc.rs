@@ -172,6 +172,26 @@ impl DrivingAgent for DrlSc {
     fn is_learning(&self) -> bool {
         true
     }
+
+    fn save_state(&self) -> Option<String> {
+        Some(self.dqn.save_json())
+    }
+
+    fn load_state(&mut self, state: &str) -> Result<(), String> {
+        self.dqn.load_json(state).map_err(|e| e.to_string())
+    }
+
+    fn exploration_steps(&self) -> u64 {
+        self.dqn.exploration_steps()
+    }
+
+    fn set_exploration_steps(&mut self, steps: u64) {
+        self.dqn.set_exploration_steps(steps);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.dqn.reseed(seed);
+    }
 }
 
 #[cfg(test)]

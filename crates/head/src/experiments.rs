@@ -11,8 +11,8 @@ use crate::agents::{
 };
 use crate::config::EnvConfig;
 use crate::env::{HighwayEnv, PerceptionMode};
-use crate::metrics::{aggregate, AggregateMetrics};
-use crate::train::{evaluate_agent, train_agent};
+use crate::metrics::{aggregate, AggregateMetrics, EpisodeMetrics};
+use crate::train::{evaluate_agent_par, train_agent};
 use crate::variants::{build_agent, Variant};
 use dataset::{CorpusConfig, RealCorpus};
 use decision::{AgentConfig, BpDqn, DiscreteDqn, PDdpg, PDqn, PQp, RewardConfig};
@@ -185,6 +185,30 @@ fn lstgat_env(scale: &Scale, weights: &str) -> HighwayEnv {
     HighwayEnv::new(scale.env.clone(), PerceptionMode::LstGat(Box::new(model)))
 }
 
+/// Runs the paired evaluation episodes through the process-wide worker
+/// pool ([`evaluate_agent_par`]); single-threaded configurations take the
+/// serial path inside. The factory rebuilds the environment and (snapshot-
+/// restored) agent inside each worker thread.
+fn eval_factory<F>(scale: &Scale, factory: F) -> Vec<EpisodeMetrics>
+where
+    F: Fn() -> (HighwayEnv, Box<dyn DrivingAgent>) + Sync,
+{
+    evaluate_agent_par(
+        &factory,
+        scale.eval_episodes,
+        scale.eval_seed_base,
+        &par::pool(),
+    )
+}
+
+/// Restores a trained agent snapshot into a freshly built agent.
+fn restore(agent: &mut dyn DrivingAgent, snapshot: &Option<String>) {
+    if let Some(json) = snapshot {
+        // lint:allow(panic) the snapshot was produced by save_state in this run
+        agent.load_state(json).expect("own snapshot");
+    }
+}
+
 /// A Table I / Table II style report.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EndToEndReport {
@@ -230,23 +254,22 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
     // Rule-based baselines need no training.
     {
         phase("table1", "rule_baselines");
-        let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
-        let mut agent = IdmLc::new(RuleConfig::default());
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
-            scale.eval_episodes,
-            scale.eval_seed_base,
-        );
-        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
-        let mut agent = AccLc::new(RuleConfig::default());
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
-            scale.eval_episodes,
-            scale.eval_seed_base,
-        );
-        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+        let eps = eval_factory(scale, || {
+            (
+                HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence),
+                Box::new(IdmLc::new(RuleConfig::default())) as Box<dyn DrivingAgent>,
+            )
+        });
+        let name = IdmLc::new(RuleConfig::default()).name();
+        rows.push((name, aggregate(scale.env.sim.road_len, &eps)));
+        let eps = eval_factory(scale, || {
+            (
+                HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence),
+                Box::new(AccLc::new(RuleConfig::default())) as Box<dyn DrivingAgent>,
+            )
+        });
+        let name = AccLc::new(RuleConfig::default()).name();
+        rows.push((name, aggregate(scale.env.sim.road_len, &eps)));
     }
 
     // DRL-SC: discrete DQN + safety check, no prediction.
@@ -256,34 +279,38 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
         let mut agent = DrlSc::new(DiscreteDqn::new(scale.agent), SafetyCheck::default());
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
-            scale.eval_episodes,
-            scale.eval_seed_base,
-        );
+        let snapshot = agent.save_state();
+        let eps = eval_factory(scale, || {
+            let mut fresh = DrlSc::new(DiscreteDqn::new(scale.agent), SafetyCheck::default());
+            restore(&mut fresh, &snapshot);
+            (
+                HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence),
+                Box::new(fresh) as Box<dyn DrivingAgent>,
+            )
+        });
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
 
     // TP-BTS: prediction + search, no training.
     {
         phase("table1", "tp_bts");
-        let mut env = lstgat_env(scale, &weights);
-        let mut agent = TpBts::new(
-            TpBtsConfig {
-                dt: scale.env.sim.dt,
-                v_max: scale.env.sim.v_max,
-                ..TpBtsConfig::default()
-            },
-            scale.env.sim.lane_width,
-        );
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
-            scale.eval_episodes,
-            scale.eval_seed_base,
-        );
-        rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
+        let make_agent = || {
+            TpBts::new(
+                TpBtsConfig {
+                    dt: scale.env.sim.dt,
+                    v_max: scale.env.sim.v_max,
+                    ..TpBtsConfig::default()
+                },
+                scale.env.sim.lane_width,
+            )
+        };
+        let eps = eval_factory(scale, || {
+            (
+                lstgat_env(scale, &weights),
+                Box::new(make_agent()) as Box<dyn DrivingAgent>,
+            )
+        });
+        rows.push((make_agent().name(), aggregate(scale.env.sim.road_len, &eps)));
     }
 
     // HEAD: full framework.
@@ -293,12 +320,15 @@ pub fn run_table1(scale: &Scale) -> EndToEndReport {
         let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
-            scale.eval_episodes,
-            scale.eval_seed_base,
-        );
+        let snapshot = agent.save_state();
+        let eps = eval_factory(scale, || {
+            let mut fresh = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
+            restore(&mut fresh, &snapshot);
+            (
+                lstgat_env(scale, &weights),
+                Box::new(fresh) as Box<dyn DrivingAgent>,
+            )
+        });
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
 
@@ -320,12 +350,13 @@ pub fn run_table2(scale: &Scale) -> EndToEndReport {
         phase("table2", &agent.name());
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
-            scale.eval_episodes,
-            scale.eval_seed_base,
-        );
+        let snapshot = agent.save_state();
+        let eps = eval_factory(scale, || {
+            let (env, mut fresh) =
+                build_agent(variant, &scale.env, &scale.agent, Some(&weights), norm);
+            restore(&mut fresh, &snapshot);
+            (env, Box::new(fresh) as Box<dyn DrivingAgent>)
+        });
         rows.push((agent.name(), aggregate(scale.env.sim.road_len, &eps)));
     }
     EndToEndReport {
@@ -464,7 +495,7 @@ pub fn run_tables_5_6(scale: &Scale) -> DecisionReport {
     phase("table5_6", "train_lstgat");
     let (weights, _, _) = train_lstgat(scale);
     let mut rows = Vec::new();
-    type AgentBuilder = Box<dyn Fn(AgentConfig) -> Box<dyn decision::PamdpAgent>>;
+    type AgentBuilder = Box<dyn Fn(AgentConfig) -> Box<dyn decision::PamdpAgent> + Sync>;
     let builders: Vec<(&str, AgentBuilder)> = vec![
         ("P-QP", Box::new(|c| Box::new(PQp::new(c)))),
         ("P-DDPG", Box::new(|c| Box::new(PDdpg::new(c)))),
@@ -477,12 +508,15 @@ pub fn run_tables_5_6(scale: &Scale) -> DecisionReport {
         let mut agent = PolicyAgent::new(name, build(scale.agent));
         seed_demos(scale, &mut env, &mut agent);
         let report = train_agent(&mut env, &mut agent, scale.train_episodes);
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
-            scale.eval_episodes,
-            scale.eval_seed_base,
-        );
+        let snapshot = agent.save_state();
+        let eps = eval_factory(scale, || {
+            let mut fresh = PolicyAgent::new(name, build(scale.agent));
+            restore(&mut fresh, &snapshot);
+            (
+                lstgat_env(scale, &weights),
+                Box::new(fresh) as Box<dyn DrivingAgent>,
+            )
+        });
         let agg = aggregate(scale.env.sim.road_len, &eps);
         let latency =
             crate::train::mean_decision_ms(&mut env, &mut agent, 60.min(scale.eval_episodes * 20));
@@ -580,18 +614,27 @@ pub fn run_table7(scale: &Scale) -> RewardSearchReport {
             w_impact: w[3],
             ..scale.env.reward
         };
-        let mut model = LstGat::new(LstGatConfig::default(), norm);
-        // lint:allow(panic) weights come from a checkpoint this process just wrote
-        model.load_weights_json(&weights).expect("own checkpoint");
-        let mut env = HighwayEnv::new(env_cfg.clone(), PerceptionMode::LstGat(Box::new(model)));
+        let make_env = || {
+            let mut model = LstGat::new(LstGatConfig::default(), norm);
+            // lint:allow(panic) weights come from a checkpoint this process just wrote
+            model.load_weights_json(&weights).expect("own checkpoint");
+            HighwayEnv::new(env_cfg.clone(), PerceptionMode::LstGat(Box::new(model)))
+        };
+        let mut env = make_env();
         let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
         seed_demos(scale, &mut env, &mut agent);
         train_agent(&mut env, &mut agent, (scale.train_episodes / 4).max(2));
-        let eps = evaluate_agent(
-            &mut env,
-            &mut agent,
+        let snapshot = agent.save_state();
+        let factory = || {
+            let mut fresh = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
+            restore(&mut fresh, &snapshot);
+            (make_env(), Box::new(fresh) as Box<dyn DrivingAgent>)
+        };
+        let eps = evaluate_agent_par(
+            &factory,
             (scale.eval_episodes / 4).max(2),
             scale.eval_seed_base,
+            &par::pool(),
         );
         shaping_objective(&env_cfg, &aggregate(env_cfg.sim.road_len, &eps))
     };

@@ -52,7 +52,8 @@ pub use env::{augmented_state, HighwayEnv, PerceptionMode, Percepts, StepResult}
 pub use metrics::{aggregate, AggregateMetrics, EpisodeMetrics, MetricsCollector, Terminal};
 pub use robustness::RobustnessEvent;
 pub use train::{
-    evaluate_agent, mean_decision_ms, run_episode, run_episode_guarded, seed_with_demonstrations,
-    train_agent, train_agent_resumable, ResumableOptions, TrainingReport, Watchdog,
+    evaluate_agent, evaluate_agent_par, mean_decision_ms, run_episode, run_episode_guarded,
+    seed_with_demonstrations, train_agent, train_agent_resumable, ResumableOptions, TrainingReport,
+    Watchdog,
 };
 pub use variants::{build_agent, Variant};

@@ -352,6 +352,65 @@ pub fn evaluate_agent(
         .collect()
 }
 
+/// Parallel counterpart of [`evaluate_agent`]: fans the paired evaluation
+/// episodes across the pool's workers. Each worker constructs its own
+/// environment and agent by calling `factory` *inside* the worker thread
+/// (so neither type needs to be `Send`) and replays a contiguous slice of
+/// the shared seed schedule `eval_seed_base + k`; slices are merged back
+/// in episode order.
+///
+/// Determinism contract: [`HighwayEnv::reset_with_seed`] rebuilds the
+/// simulation wholesale from the seed and greedy evaluation
+/// (`explore = false`) never mutates learned or random state, so every
+/// episode's metrics depend only on its seed and the merged vector is
+/// byte-identical to [`evaluate_agent`] on a factory-built environment at
+/// any worker count. The one exception is fault injection: the injector
+/// is a single continuous stream across episodes, so fault-configured
+/// environments are evaluated serially on one factory instance instead of
+/// being split.
+pub fn evaluate_agent_par<F>(
+    factory: &F,
+    episodes: usize,
+    eval_seed_base: u64,
+    pool: &par::Pool,
+) -> Vec<EpisodeMetrics>
+where
+    F: Fn() -> (HighwayEnv, Box<dyn DrivingAgent>) + Sync,
+{
+    let _eval_span = telemetry::span!(keys::SPAN_HEAD_EVALUATE);
+    let (mut env, mut agent) = factory();
+    if pool.threads() <= 1 || episodes <= 1 || env.cfg().faults.is_some() {
+        return (0..episodes)
+            .map(|k| {
+                env.reset_with_seed(eval_seed_base.wrapping_add(k as u64));
+                run_episode(&mut env, agent.as_mut(), false)
+            })
+            .collect();
+    }
+    drop(env);
+    drop(agent);
+    let workers = pool.threads().min(episodes);
+    let chunk = episodes.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(episodes)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let blocks = pool.try_map(ranges, |_, (lo, hi)| {
+        let (mut env, mut agent) = factory();
+        (lo..hi)
+            .map(|k| {
+                env.reset_with_seed(eval_seed_base.wrapping_add(k as u64));
+                run_episode(&mut env, agent.as_mut(), false)
+            })
+            .collect::<Vec<EpisodeMetrics>>()
+    });
+    match blocks {
+        Ok(blocks) => blocks.into_iter().flatten().collect(),
+        // lint:allow(panic) a worker panic is an episode bug; re-raise with context
+        Err(e) => panic!("parallel evaluation failed: {e}"),
+    }
+}
+
 /// Measures the agent's mean decision latency (ms per `decide` call).
 ///
 /// Timing goes through the telemetry span registry — the same `head.decide`
@@ -409,6 +468,55 @@ mod tests {
         let m2 = evaluate_agent(&mut env2, &mut a2, 3, 777);
         for (x, y) in m1.iter().zip(&m2) {
             assert_eq!(x.steps, y.steps, "same agent + same seeds = same episodes");
+        }
+    }
+
+    fn idm_factory(cfg: EnvConfig) -> impl Fn() -> (HighwayEnv, Box<dyn DrivingAgent>) + Sync {
+        move || {
+            (
+                HighwayEnv::new(cfg.clone(), PerceptionMode::Persistence),
+                Box::new(IdmLc::new(RuleConfig::default())) as Box<dyn DrivingAgent>,
+            )
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        let factory = idm_factory(EnvConfig::test_scale());
+        let serial = evaluate_agent_par(&factory, 5, 777, &par::Pool::new(1));
+        for threads in [2, 4] {
+            let parallel = evaluate_agent_par(&factory, 5, 777, &par::Pool::new(threads));
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.steps, b.steps, "{threads} workers");
+                assert_eq!(a.terminal, b.terminal);
+                assert_eq!(a.total_reward.to_bits(), b.total_reward.to_bits());
+                assert_eq!(a.mean_reward.to_bits(), b.mean_reward.to_bits());
+                assert_eq!(a.min_ttc.to_bits(), b.min_ttc.to_bits());
+            }
+        }
+        // The single-worker path agrees with the plain serial evaluator on
+        // a factory-built environment.
+        let (mut env, mut agent) = factory();
+        let reference = evaluate_agent(&mut env, agent.as_mut(), 5, 777);
+        for (a, b) in serial.iter().zip(&reference) {
+            assert_eq!(a.total_reward.to_bits(), b.total_reward.to_bits());
+        }
+    }
+
+    #[test]
+    fn fault_runs_fall_back_to_one_continuous_stream() {
+        // With fault injection configured the injector is one stream across
+        // episodes, so the parallel evaluator must refuse to split and match
+        // the serial evaluator exactly.
+        let factory = idm_factory(resumable_cfg());
+        let par4 = evaluate_agent_par(&factory, 3, 555, &par::Pool::new(4));
+        let (mut env, mut agent) = factory();
+        let reference = evaluate_agent(&mut env, agent.as_mut(), 3, 555);
+        assert_eq!(par4.len(), reference.len());
+        for (a, b) in par4.iter().zip(&reference) {
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.total_reward.to_bits(), b.total_reward.to_bits());
         }
     }
 

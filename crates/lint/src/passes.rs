@@ -67,6 +67,12 @@ pub const RULES: &[Rule] = &[
                   telemetry::Stopwatch for reporting-only timing",
     },
     Rule {
+        name: "thread-spawn",
+        severity: Severity::Error,
+        summary: "raw std::thread::spawn / thread::scope outside crates/par bypasses the \
+                  deterministic worker pool's ordered reduction; go through par::Pool",
+    },
+    Rule {
         name: "hash-collections",
         severity: Severity::Error,
         summary: "HashMap/HashSet in traffic-sim, decision or head have nondeterministic \
@@ -150,6 +156,7 @@ fn diag(rule_name: &'static str, f: &SourceFile, tok_idx: usize, message: String
 /// Runs every per-file pass.
 pub fn run_file_passes(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
     pass_wallclock(f, out);
+    pass_thread_spawn(f, out);
     pass_hash_collections(f, out);
     pass_panic(f, out);
     pass_index(f, out);
@@ -204,6 +211,40 @@ fn pass_wallclock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                     "`{}` draws OS entropy; all randomness must come from the run's \
                      seeded ChaCha streams",
                     t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Determinism: all parallelism goes through `par::Pool`, whose ordered
+/// reduction keeps parallel output byte-identical to serial. Raw thread
+/// primitives anywhere else reintroduce scheduling-dependent merge order,
+/// so they are confined to the pool's own implementation.
+fn pass_thread_spawn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.crate_name == "par" {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if !t.is_ident("thread") {
+            continue;
+        }
+        let path_call = matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+            && matches!(toks.get(i + 2), Some(n) if n.is_ident("spawn") || n.is_ident("scope"));
+        if path_call {
+            let what = &toks[i + 2].text;
+            out.push(diag(
+                "thread-spawn",
+                f,
+                i,
+                format!(
+                    "`thread::{what}` outside crates/par bypasses the deterministic \
+                     worker pool; submit the work through par::Pool::try_map instead"
                 ),
             ));
         }
@@ -652,6 +693,44 @@ mod tests {
             "crates/bench/src/bin/b.rs",
             "bench",
             "fn f() { Instant::now(); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_confined_to_par() {
+        let d = lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            "fn f() { std::thread::spawn(|| 0); }",
+        );
+        assert_eq!(rules_of(&d), vec!["thread-spawn"]);
+        let d = lint_src(
+            "crates/decision/src/a.rs",
+            "decision",
+            "fn f() { thread::scope(|s| {}); }",
+        );
+        assert_eq!(rules_of(&d), vec!["thread-spawn"]);
+        assert!(lint_src(
+            "crates/par/src/pool.rs",
+            "par",
+            "fn f() { thread::scope(|s| { s.spawn(|| 0); }); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_skips_tests_and_non_thread_paths() {
+        assert!(lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| 0); } }",
+        )
+        .is_empty());
+        assert!(lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            "fn f() { pool.spawn(job); thread::sleep(d); }",
         )
         .is_empty());
     }

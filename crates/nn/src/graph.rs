@@ -12,7 +12,7 @@
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use telemetry::{keys, Stopwatch};
 
 /// Handle to a node in a [`Graph`].
@@ -36,7 +36,7 @@ enum Op {
     Tanh(Var),
     Sigmoid(Var),
     SoftmaxRows(Var),
-    GatherRows(Var, Rc<Vec<usize>>),
+    GatherRows(Var, Arc<Vec<usize>>),
     SumGroups(Var, usize),
     Reshape(Var),
     Transpose(Var),
@@ -167,9 +167,11 @@ impl Graph {
         self.push(Op::Param(id), store.value(id))
     }
 
-    /// Matrix product.
+    /// Matrix product. Dispatches to the row-partitioned parallel kernel
+    /// when [`par::threads`] and the product size warrant it; either path
+    /// is bit-identical (see `Matrix::matmul_auto`).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let v = self.nodes[a.0].value.matmul_auto(&self.nodes[b.0].value);
         self.push(Op::MatMul(a, b), v)
     }
 
@@ -285,7 +287,7 @@ impl Graph {
     }
 
     /// Builds a new matrix whose row `i` is row `indices[i]` of `a`.
-    pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<usize>>) -> Var {
+    pub fn gather_rows(&mut self, a: Var, indices: Arc<Vec<usize>>) -> Var {
         let m = &self.nodes[a.0].value;
         let mut out = Matrix::zeros(indices.len(), m.cols());
         for (i, &src) in indices.iter().enumerate() {
@@ -406,9 +408,16 @@ impl Graph {
                 Op::Param(id) => store.accumulate_grad(id, &g),
                 Op::MatMul(a, b) => {
                     let bt = self.nodes[b.0].value.transpose();
-                    let ga = g.matmul(&bt);
-                    let at = self.nodes[a.0].value.transpose();
-                    let gb = at.matmul(&g);
+                    let ga = g.matmul_auto(&bt);
+                    let av = &self.nodes[a.0].value;
+                    // Batch-1 weight gradient is an outer product aᵀ·g;
+                    // the dedicated kernel skips the transpose copy and is
+                    // bit-identical to the matmul it replaces.
+                    let gb = if av.rows() == 1 && g.rows() == 1 {
+                        Matrix::outer_auto(av.data(), g.data())
+                    } else {
+                        av.transpose().matmul_auto(&g)
+                    };
                     accumulate(&mut grads, a.0, ga);
                     accumulate(&mut grads, b.0, gb);
                 }
@@ -626,7 +635,7 @@ mod tests {
         let p = store.register("p", Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]));
         let mut g = Graph::new();
         let pv = g.param(&store, p);
-        let gathered = g.gather_rows(pv, Rc::new(vec![2, 0, 2]));
+        let gathered = g.gather_rows(pv, Arc::new(vec![2, 0, 2]));
         assert_eq!(
             g.value(gathered),
             &Matrix::from_rows(&[&[100.0], &[1.0], &[100.0]])

@@ -56,6 +56,6 @@ mod params;
 pub use graph::{Graph, Var};
 pub use guard::{finite_guard, DivergenceGuard};
 pub use layers::{Linear, LstmCell, LstmState, Mlp};
-pub use matrix::{narrow, Matrix};
+pub use matrix::{narrow, Matrix, PAR_MIN_MACS};
 pub use optim::{Adam, Sgd};
 pub use params::{Param, ParamId, ParamStore};

@@ -19,6 +19,17 @@ pub fn narrow(v: f64) -> f32 {
     v as f32
 }
 
+/// Output-row tile of the blocked matmul kernel.
+const MM_ROW_TILE: usize = 16;
+/// `k`-band tile: one `MM_K_TILE`-row band of `rhs` stays cache-hot while
+/// a row tile of output sweeps it.
+const MM_K_TILE: usize = 64;
+/// Auto-dispatch threshold in multiply-adds: below this, scoped-thread
+/// spawn overhead exceeds the whole kernel, so [`Matrix::matmul_auto`]
+/// stays serial. The workspace's policy nets (hidden ≤ 64) sit far below
+/// it — parallelism pays at the episode/head level there, not per-GEMM.
+pub const PAR_MIN_MACS: usize = 1 << 20;
+
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -164,28 +175,197 @@ impl Matrix {
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.assert_matmul_shapes(rhs);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_rows_into(rhs, 0, self.rows, &mut out.data);
+        out
+    }
+
+    /// `self * rhs` computed on `pool`'s workers by partitioning output
+    /// rows into contiguous chunks.
+    ///
+    /// Bit-for-bit identical to [`Matrix::matmul`]: every output element
+    /// is produced by the same kernel with the same `k` accumulation
+    /// order; the partition only decides *who* computes a row, never how.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch, or if a worker panics
+    /// (which would mean a kernel bug, not a caller error).
+    pub fn matmul_par(&self, rhs: &Matrix, pool: &par::Pool) -> Matrix {
+        self.assert_matmul_shapes(rhs);
+        let workers = pool.threads().min(self.rows);
+        if workers <= 1 {
+            return self.matmul(rhs);
+        }
+        let chunk = self.rows.div_ceil(workers);
+        let ranges: Vec<(usize, usize)> = (0..self.rows)
+            .step_by(chunk.max(1))
+            .map(|r0| (r0, (r0 + chunk).min(self.rows)))
+            .collect();
+        let blocks = match pool.try_map(ranges, |_, (r0, r1)| {
+            let mut block = vec![0.0f32; (r1 - r0) * rhs.cols];
+            self.matmul_rows_into(rhs, r0, r1, &mut block);
+            block
+        }) {
+            Ok(blocks) => blocks,
+            // lint:allow(panic) a worker panic here is a kernel bug; re-raise with context
+            Err(e) => panic!("parallel matmul failed: {e}"),
+        };
+        let mut data = Vec::with_capacity(self.rows * rhs.cols);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        }
+    }
+
+    /// `self * rhs` with automatic serial/parallel dispatch.
+    ///
+    /// Routes to [`Matrix::matmul_par`] when the process-global
+    /// [`par::threads`] setting is above 1 **and** the product is big
+    /// enough ([`PAR_MIN_MACS`] multiply-adds) that scoped-thread spawn
+    /// overhead is amortised; otherwise runs the serial kernel. Because
+    /// both paths are bit-identical the dispatch decision is invisible in
+    /// the output — only in wall-clock.
+    pub fn matmul_auto(&self, rhs: &Matrix) -> Matrix {
+        let threads = par::threads();
+        let macs = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
+        if threads > 1 && self.rows > 1 && macs >= PAR_MIN_MACS {
+            self.matmul_par(rhs, &par::Pool::new(threads))
+        } else {
+            self.matmul(rhs)
+        }
+    }
+
+    /// The shared row-range matmul kernel: computes output rows
+    /// `r0..r1` into `out` (a `(r1-r0) x rhs.cols` row-major block).
+    ///
+    /// i-k-j loop order with row/k cache tiles: a `MM_K_TILE`-row band of
+    /// `rhs` stays hot while a `MM_ROW_TILE` tile of output rows sweeps
+    /// it. Tiles are visited in increasing `k`, so for any fixed output
+    /// element the floating-point accumulation order is exactly the
+    /// untiled loop's — tiling (and row partitioning above) never changes
+    /// a single bit of the result.
+    fn matmul_rows_into(&self, rhs: &Matrix, r0: usize, r1: usize, out: &mut [f32]) {
+        debug_assert!(r1 <= self.rows && out.len() == (r1 - r0) * rhs.cols);
+        for ib in (r0..r1).step_by(MM_ROW_TILE) {
+            let ie = (ib + MM_ROW_TILE).min(r1);
+            for kb in (0..self.cols).step_by(MM_K_TILE) {
+                let ke = (kb + MM_K_TILE).min(self.cols);
+                for i in ib..ie {
+                    let base = (i - r0) * rhs.cols;
+                    let out_row = &mut out[base..base + rhs.cols];
+                    for k in kb..ke {
+                        let a = self.data[i * self.cols + k];
+                        // lint:allow(float-eq) sparsity fast path: only an exact-zero row skips work
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn assert_matmul_shapes(&self, rhs: &Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams through `rhs` rows, good locality.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                // lint:allow(float-eq) sparsity fast path: only an exact-zero row skips work
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
+    }
+
+    /// Outer product `u vᵀ` (a `u.len() x v.len()` matrix).
+    ///
+    /// Mirrors the matmul kernel's arithmetic exactly — zero-initialised
+    /// accumulate with the same exact-zero skip — so `outer(u, v)` is
+    /// bit-identical to `col(u).matmul(&row(v))` and the graph backward
+    /// pass can take this cheaper path for batch-1 gradients without
+    /// perturbing any checksum.
+    pub fn outer(u: &[f32], v: &[f32]) -> Matrix {
+        let mut out = Matrix::zeros(u.len(), v.len());
+        Self::outer_rows_into(u, v, 0, u.len(), &mut out.data);
+        out
+    }
+
+    /// [`Matrix::outer`] on `pool`'s workers, row-partitioned; bit-identical.
+    ///
+    /// # Panics
+    /// Panics if a worker panics (a kernel bug, not a caller error).
+    pub fn outer_par(u: &[f32], v: &[f32], pool: &par::Pool) -> Matrix {
+        let workers = pool.threads().min(u.len());
+        if workers <= 1 {
+            return Self::outer(u, v);
+        }
+        let chunk = u.len().div_ceil(workers);
+        let ranges: Vec<(usize, usize)> = (0..u.len())
+            .step_by(chunk.max(1))
+            .map(|r0| (r0, (r0 + chunk).min(u.len())))
+            .collect();
+        let blocks = match pool.try_map(ranges, |_, (r0, r1)| {
+            let mut block = vec![0.0f32; (r1 - r0) * v.len()];
+            Self::outer_rows_into(u, v, r0, r1, &mut block);
+            block
+        }) {
+            Ok(blocks) => blocks,
+            // lint:allow(panic) a worker panic here is a kernel bug; re-raise with context
+            Err(e) => panic!("parallel outer product failed: {e}"),
+        };
+        let mut data = Vec::with_capacity(u.len() * v.len());
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        Matrix {
+            rows: u.len(),
+            cols: v.len(),
+            data,
+        }
+    }
+
+    /// Outer product with the same auto-dispatch policy as
+    /// [`Matrix::matmul_auto`].
+    pub fn outer_auto(u: &[f32], v: &[f32]) -> Matrix {
+        let threads = par::threads();
+        if threads > 1 && u.len() > 1 && u.len().saturating_mul(v.len()) >= PAR_MIN_MACS {
+            Self::outer_par(u, v, &par::Pool::new(threads))
+        } else {
+            Self::outer(u, v)
+        }
+    }
+
+    fn outer_rows_into(u: &[f32], v: &[f32], r0: usize, r1: usize, out: &mut [f32]) {
+        debug_assert!(r1 <= u.len() && out.len() == (r1 - r0) * v.len());
+        for (off, &a) in u[r0..r1].iter().enumerate() {
+            // lint:allow(float-eq) sparsity fast path mirroring the matmul kernel
+            if a == 0.0 {
+                continue;
+            }
+            let base = off * v.len();
+            let out_row = &mut out[base..base + v.len()];
+            for (o, &b) in out_row.iter_mut().zip(v) {
+                *o += a * b;
             }
         }
-        out
+    }
+
+    /// Bit-exact FNV-1a digest of the shape and every element's bit
+    /// pattern — the currency of the serial-vs-parallel equality checks
+    /// in `bench --bin perf` and CI's perf-smoke stage.
+    pub fn checksum(&self) -> u64 {
+        let mut c = par::Checksum::new();
+        c.push_u64(self.rows as u64);
+        c.push_u64(self.cols as u64);
+        for &v in &self.data {
+            c.push_f32(v);
+        }
+        c.finish()
     }
 
     /// Transposed copy.
@@ -326,5 +506,72 @@ mod tests {
         let a = Matrix::from_rows(&[&[3.0, 4.0]]);
         assert_eq!(a.frobenius_norm(), 5.0);
         assert_eq!(a.sum(), 7.0);
+    }
+
+    /// Deterministic pseudo-random fill (no rand dependency needed here).
+    fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut z = seed;
+        let data = (0..rows * cols)
+            .map(|i| {
+                z = par::stream_seed(z, i as u64);
+                // Spread across [-1, 1) with a sprinkling of exact zeros
+                // so the sparsity fast path is exercised too.
+                if z % 17 == 0 {
+                    0.0
+                } else {
+                    (z % 10_000) as f32 / 5_000.0 - 1.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial() {
+        // Odd, tile-straddling sizes: rows not divisible by workers or
+        // tiles, inner dim crossing MM_K_TILE.
+        for (m, k, n) in [(37, 129, 23), (5, 3, 7), (64, 64, 64), (1, 80, 9)] {
+            let a = seeded(m, k, 11);
+            let b = seeded(k, n, 13);
+            let serial = a.matmul(&b);
+            for threads in [2, 3, 8] {
+                let parallel = a.matmul_par(&b, &par::Pool::new(threads));
+                assert_eq!(
+                    serial.checksum(),
+                    parallel.checksum(),
+                    "{m}x{k}x{n} @ {threads}"
+                );
+                assert_eq!(serial, parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn outer_matches_matmul_bitwise() {
+        let u = seeded(41, 1, 3);
+        let v = seeded(1, 29, 5);
+        let via_matmul = u.matmul(&v);
+        let direct = Matrix::outer(u.data(), v.data());
+        assert_eq!(via_matmul.checksum(), direct.checksum());
+        let parallel = Matrix::outer_par(u.data(), v.data(), &par::Pool::new(4));
+        assert_eq!(direct, parallel);
+    }
+
+    #[test]
+    fn auto_dispatch_is_invisible_in_the_output() {
+        let a = seeded(48, 32, 7);
+        let b = seeded(32, 24, 9);
+        let serial = a.matmul(&b);
+        let prev = par::set_threads(4);
+        let auto = a.matmul_auto(&b);
+        par::set_threads(prev);
+        assert_eq!(serial, auto);
+    }
+
+    #[test]
+    fn checksum_is_shape_sensitive() {
+        let a = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let b = Matrix::from_vec(3, 2, vec![1.0; 6]);
+        assert_ne!(a.checksum(), b.checksum());
     }
 }

@@ -3,7 +3,7 @@
 
 use nn::{Graph, LstmCell, Matrix, ParamStore, Var};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Analytic-vs-numeric gradient check for a scalar loss built by `build`.
 ///
@@ -111,7 +111,7 @@ proptest! {
         let xid = store.register("x", Matrix::from_vec(4, 2, x));
         gradcheck(&mut store, &move |g, s| {
             let xv = g.param(s, xid);
-            let gathered = g.gather_rows(xv, Rc::new(vec![3, 1, 1, 0, 2, 3]));
+            let gathered = g.gather_rows(xv, Arc::new(vec![3, 1, 1, 0, 2, 3]));
             let grouped = g.sum_groups(gathered, 3);
             let sq = g.mul_elem(grouped, grouped);
             g.mean_all(sq)

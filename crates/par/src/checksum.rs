@@ -1,0 +1,109 @@
+//! Bit-exact checksums for verifying the determinism contract.
+//!
+//! The perf harness and the CI perf-smoke stage prove "parallel ==
+//! serial" by hashing the *bit patterns* of result buffers: two runs that
+//! differ in even one ULP of one element produce different checksums.
+//! FNV-1a over little-endian bytes — no dependency, stable across
+//! platforms of the same float format.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a checksum over raw bit patterns.
+#[derive(Clone, Copy, Debug)]
+pub struct Checksum(u64);
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checksum {
+    /// A fresh checksum at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes into the checksum.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds an `f32` by bit pattern (NaN-safe: the exact payload hashes).
+    pub fn push_f32(&mut self, v: f32) {
+        self.push_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Folds an `f64` by bit pattern.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Folds a `u64` (e.g. a count that must also agree across runs).
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Checksums an `f32` slice by bit pattern.
+#[must_use]
+pub fn checksum_f32(data: &[f32]) -> u64 {
+    let mut c = Checksum::new();
+    for &v in data {
+        c.push_f32(v);
+    }
+    c.finish()
+}
+
+/// Checksums an `f64` slice by bit pattern.
+#[must_use]
+pub fn checksum_f64(data: &[f64]) -> u64 {
+    let mut c = Checksum::new();
+    for &v in data {
+        c.push_f64(v);
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_ulp_changes_the_digest() {
+        let a = [1.0f32, 2.0, 3.0];
+        let mut b = a;
+        b[2] = f32::from_bits(b[2].to_bits() + 1);
+        assert_ne!(checksum_f32(&a), checksum_f32(&b));
+    }
+
+    #[test]
+    fn order_sensitive_and_nan_payload_sensitive() {
+        assert_ne!(checksum_f32(&[1.0, 2.0]), checksum_f32(&[2.0, 1.0]));
+        let q = f32::from_bits(0x7fc0_0001);
+        let r = f32::from_bits(0x7fc0_0002);
+        assert!(q.is_nan() && r.is_nan());
+        assert_ne!(checksum_f32(&[q]), checksum_f32(&[r]));
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let xs = [0.5f64, -0.25, 1e-300];
+        let mut c = Checksum::new();
+        for &x in &xs {
+            c.push_f64(x);
+        }
+        assert_eq!(c.finish(), checksum_f64(&xs));
+    }
+}

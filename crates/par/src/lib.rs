@@ -1,0 +1,65 @@
+//! # par — deterministic parallel execution for the HEAD stack
+//!
+//! A zero-dependency scoped worker pool built on `std::thread` and
+//! channels, designed around one contract: **parallel output is
+//! byte-identical to serial output**. Three mechanisms enforce it:
+//!
+//! * **Ordered reduction** — [`Pool::try_map`] hands each item an index at
+//!   submission time and merges results by that index, so the caller sees
+//!   results in submission order no matter which worker finished first.
+//! * **Per-item seed streams** — [`stream_seed`] derives an independent
+//!   RNG seed from `(base, item_index)`, never from the worker id, so the
+//!   schedule cannot leak into any random draw.
+//! * **Unchanged arithmetic** — the pool only partitions *whole items*;
+//!   callers keep their serial per-item code path, so floating-point
+//!   accumulation order inside an item is untouched. Cross-item folds must
+//!   run over the ordered result vector (see `DESIGN.md` §Determinism).
+//!
+//! Worker panics are caught and surfaced as [`PoolError`] instead of
+//! aborting the process, and the pool is a cheap reusable policy object:
+//! threads are scoped per [`Pool::try_map`] call (`std::thread::scope`),
+//! which keeps the crate free of `unsafe` under the workspace-wide
+//! `unsafe_code = "forbid"`.
+//!
+//! The process-global thread count ([`set_threads`] / [`threads`]) is what
+//! `nn`'s auto-dispatching kernels and the episode fan-out consult; bench
+//! binaries set it from `--threads`.
+
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod checksum;
+mod pool;
+mod seed;
+
+pub use checksum::{checksum_f32, checksum_f64, Checksum};
+pub use pool::{Pool, PoolError};
+pub use seed::stream_seed;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-global worker count consulted by [`pool`] and by the
+/// auto-dispatching kernels in `nn`. Values below 1 are clamped to 1
+/// (serial). Returns the previous setting.
+pub fn set_threads(n: usize) -> usize {
+    let n = n.max(1);
+    telemetry::gauge_set(telemetry::keys::PAR_THREADS, n as f64);
+    THREADS.swap(n, Ordering::Relaxed)
+}
+
+/// The process-global worker count (1 = serial, the default).
+#[inline]
+pub fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// A [`Pool`] sized by the process-global [`threads`] setting.
+#[inline]
+pub fn pool() -> Pool {
+    Pool::new(threads())
+}

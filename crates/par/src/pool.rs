@@ -1,0 +1,273 @@
+//! The scoped worker pool.
+//!
+//! [`Pool`] is a reusable *policy* object (just a thread count): each
+//! [`Pool::try_map`] call spawns scoped workers (`std::thread::scope`),
+//! drains a shared work queue, and merges results **by submission index**.
+//! Scoped threads let workers borrow the caller's closure and data without
+//! `'static` bounds or `unsafe`, and guarantee every worker has joined
+//! before the call returns — no detached threads, no leaked state.
+//!
+//! Workers claim items dynamically (an index-stamped queue behind a
+//! mutex), so load imbalance costs idle time, never correctness: the
+//! index assigned at submission decides where a result lands and which
+//! seed stream ([`crate::stream_seed`]) the item may draw from.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use telemetry::keys;
+
+/// A worker panicked while processing an item.
+///
+/// The pool catches worker panics (`catch_unwind`) and reports the one
+/// with the **lowest item index** — deterministic even when several items
+/// panic in the same call — instead of aborting the process. The
+/// remaining workers finish draining the queue before this is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Submission index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A deterministic map-over-items worker pool. See the crate docs for the
+/// byte-identity contract.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool running `threads` workers per call (clamped to at least 1;
+    /// 1 means the serial in-line path, no threads spawned).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in **submission order**.
+    ///
+    /// `f` receives `(index, item)`; the index is the item's position in
+    /// `items` and is the only scheduling-independent identity a job has —
+    /// derive any per-item seed from it, never from the worker.
+    ///
+    /// A panic inside `f` (on any path, serial included) is caught and
+    /// surfaced as `Err(`[`PoolError`]`)`; already-claimed items still run
+    /// to completion first.
+    pub fn try_map<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        telemetry::counter_add(keys::PAR_RUNS, 1);
+        telemetry::counter_add(keys::PAR_JOBS, n as u64);
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.into_iter().enumerate() {
+                out.push(run_item(&f, i, item)?);
+            }
+            return Ok(out);
+        }
+
+        let queue = Mutex::new(items.into_iter().enumerate());
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, PoolError>)>();
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(n, || None);
+        let mut failures: Vec<PoolError> = Vec::new();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // The lock only guards the claim; `f` runs outside it.
+                    let claimed = match queue.lock() {
+                        Ok(mut q) => q.next(),
+                        Err(poisoned) => poisoned.into_inner().next(),
+                    };
+                    let Some((i, item)) = claimed else { break };
+                    if tx.send((i, run_item(f, i, item))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Ordered reduction: completion order is scheduling noise; the
+            // submission index decides where a result lands.
+            for (i, res) in rx {
+                match res {
+                    Ok(r) => {
+                        if let Some(slot) = slots.get_mut(i) {
+                            *slot = Some(r);
+                        }
+                    }
+                    Err(e) => failures.push(e),
+                }
+            }
+        });
+        if let Some(first) = failures.into_iter().min_by_key(|e| e.index) {
+            return Err(first);
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(r) => out.push(r),
+                None => {
+                    return Err(PoolError {
+                        index: i,
+                        message: "worker delivered no result".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn run_item<T, R, F>(f: &F, index: usize, item: T) -> Result<R, PoolError>
+where
+    F: Fn(usize, T) -> R,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            telemetry::counter_add(keys::PAR_WORKER_PANICS, 1);
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(PoolError { index, message })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream_seed;
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = Pool::new(4);
+        let a = pool.try_map((0..32).collect(), |_, x: u32| x * 2).unwrap();
+        let b = pool.try_map((0..8).collect(), |_, x: u32| x + 1).unwrap();
+        assert_eq!(a, (0..32).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(b, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduction_is_in_submission_order_despite_skewed_finish_times() {
+        // Early items sleep longest, so completion order is roughly the
+        // reverse of submission order — the merge must undo that.
+        let pool = Pool::new(4);
+        let out = pool
+            .try_map((0..24u64).collect(), |i, x| {
+                std::thread::sleep(std::time::Duration::from_millis(24 - i as u64));
+                (i, x * x)
+            })
+            .unwrap();
+        let expected: Vec<(usize, u64)> = (0..24u64).map(|x| (x as usize, x * x)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panic_in_worker_surfaces_as_err_not_abort() {
+        let pool = Pool::new(3);
+        let err = pool
+            .try_map((0..16).collect(), |_, x: u32| {
+                assert!(x != 11, "boom at {x}");
+                x
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 11);
+        assert!(err.message.contains("boom at 11"), "{}", err.message);
+        // The pool (and the process) survive; the next call succeeds.
+        let ok = pool.try_map(vec![1, 2, 3], |_, x: u32| x).unwrap();
+        assert_eq!(ok, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn earliest_panic_index_wins_deterministically() {
+        let pool = Pool::new(4);
+        for _ in 0..8 {
+            let err = pool
+                .try_map((0..16).collect(), |_, x: u32| {
+                    assert!(x % 5 != 2, "multi-panic");
+                    x
+                })
+                .unwrap_err();
+            assert_eq!(err.index, 2, "lowest panicking index must be reported");
+        }
+    }
+
+    #[test]
+    fn serial_path_catches_panics_with_same_semantics() {
+        let pool = Pool::new(1);
+        let err = pool
+            .try_map(vec![0u32, 1, 2], |_, x| {
+                assert!(x != 1, "serial boom");
+                x
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 1);
+    }
+
+    #[test]
+    fn per_item_seed_streams_are_schedule_independent() {
+        // The same seeded computation must produce bit-identical output on
+        // 1 worker and on 4 — per-item streams derive from the submission
+        // index, never the worker.
+        let job = |i: usize, base: u64| {
+            let mut z = stream_seed(base, i as u64);
+            let mut acc = 0u64;
+            for _ in 0..100 {
+                z = z
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                acc ^= z;
+            }
+            acc
+        };
+        let items: Vec<u64> = vec![9; 64];
+        let serial = Pool::new(1).try_map(items.clone(), job).unwrap();
+        let parallel = Pool::new(4).try_map(items, job).unwrap();
+        assert_eq!(serial, parallel);
+        // And the streams really are independent: all distinct.
+        let uniq: std::collections::BTreeSet<u64> = serial.iter().copied().collect();
+        assert_eq!(uniq.len(), serial.len());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(8);
+        let empty: Vec<u32> = pool.try_map(Vec::new(), |_, x: u32| x).unwrap();
+        assert!(empty.is_empty());
+        let one = pool.try_map(vec![5u32], |i, x| (i, x)).unwrap();
+        assert_eq!(one, vec![(0, 5)]);
+    }
+}

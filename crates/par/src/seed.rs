@@ -1,0 +1,55 @@
+//! Per-item seed derivation.
+//!
+//! Every parallel job that needs randomness derives its seed from the run
+//! base seed and the **item index** — never from the worker id or any
+//! scheduling artifact — so the same items produce the same draws whether
+//! they run serially, on 2 workers or on 16.
+
+/// Derives the RNG seed for item `index` of a run seeded with `base`.
+///
+/// Two rounds of the SplitMix64 finalizer over `base + golden-ratio *
+/// (index + 1)`: cheap, stateless, and avalanching, so neighbouring
+/// indices yield statistically independent streams and `(base, index)`
+/// pairs never collide in practice. `index` participates before the first
+/// mix so `stream_seed(b, 0) != b` (the derived stream is distinct from
+/// the base stream even for item 0).
+#[must_use]
+pub fn stream_seed(base: u64, index: u64) -> u64 {
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut z = base.wrapping_add(GOLDEN.wrapping_mul(index.wrapping_add(1)));
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stream_seed;
+
+    #[test]
+    fn streams_are_distinct_and_stable() {
+        let a = stream_seed(7, 0);
+        let b = stream_seed(7, 1);
+        let c = stream_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, 7, "derived stream must differ from the base seed");
+        assert_eq!(a, stream_seed(7, 0), "derivation is a pure function");
+    }
+
+    #[test]
+    fn no_collisions_over_a_wide_index_range() {
+        let mut seen = std::collections::BTreeSet::new();
+        for base in [0u64, 1, 42, u64::MAX] {
+            for idx in 0..512u64 {
+                assert!(
+                    seen.insert(stream_seed(base, idx)),
+                    "collision at base={base} idx={idx}"
+                );
+            }
+        }
+    }
+}

@@ -40,4 +40,6 @@ pub use models::{
 };
 pub use normalize::{relative_truth, Normalizer};
 pub use phantom::{de_relativise, BuilderConfig, GraphBuilder};
-pub use trainer::{evaluate, mean_inference_ms, train, EvalMetrics, TrainOptions, TrainReport};
+pub use trainer::{
+    evaluate, evaluate_par, mean_inference_ms, train, EvalMetrics, TrainOptions, TrainReport,
+};

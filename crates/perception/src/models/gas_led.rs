@@ -17,7 +17,7 @@ use crate::normalize::Normalizer;
 use nn::{Adam, Graph, Linear, LstmCell, LstmState, Matrix, ParamId, ParamStore, Var};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Hyper-parameters of [`GasLed`].
 #[derive(Clone, Copy, Debug)]
@@ -96,7 +96,7 @@ impl GasLed {
         // original method's per-vehicle decoder).
         let mut rows: Option<Var> = None;
         for i in 0..NUM_TARGETS {
-            let q_sel = g.gather_rows(enc, Rc::new(vec![target_node(i)])); // 1 x d_enc
+            let q_sel = g.gather_rows(enc, Arc::new(vec![target_node(i)])); // 1 x d_enc
             let query_w = g.param(&self.store, self.query);
             let q = g.matmul(q_sel, query_w);
             let scores = g.matmul(q, keys_t); // 1 x NUM_NODES
@@ -105,7 +105,7 @@ impl GasLed {
             let attn = g.softmax_rows(scores);
             let context = g.matmul(attn, enc); // 1 x d_enc
             let dec0 = LstmState {
-                h: g.gather_rows(enc, Rc::new(vec![target_node(i)])),
+                h: g.gather_rows(enc, Arc::new(vec![target_node(i)])),
                 c: g.input(Matrix::zeros(1, self.decoder.hidden())),
             };
             let dec = self.decoder.step(g, &self.store, context, dec0);

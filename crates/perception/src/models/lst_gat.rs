@@ -18,7 +18,7 @@ use crate::normalize::Normalizer;
 use nn::{Adam, Graph, Linear, LstmCell, ParamId, ParamStore, Var};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Hyper-parameters of [`LstGat`]. Defaults follow the paper (§V-A):
 /// `D_φ1 = D_φ3 = D_l = 64`, Adam with learning rate 0.001.
@@ -62,8 +62,8 @@ pub struct LstGat {
     head: Linear,
     adam: Adam,
     norm: Normalizer,
-    target_flat: Rc<Vec<usize>>,
-    member_flat: Rc<Vec<usize>>,
+    target_flat: Arc<Vec<usize>>,
+    member_flat: Arc<Vec<usize>>,
     leaky_slope: f32,
 }
 
@@ -99,16 +99,50 @@ impl LstGat {
             head,
             adam: Adam::new(cfg.lr),
             norm,
-            target_flat: Rc::new(target_flat),
-            member_flat: Rc::new(member_flat),
+            target_flat: Arc::new(target_flat),
+            member_flat: Arc::new(member_flat),
             leaky_slope: cfg.leaky_slope,
         }
     }
 
     /// Shared forward pass: returns the normalised `6 x 3` output node.
     fn forward(&self, g: &mut Graph, graph: &StGraph) -> Var {
+        let all: Vec<usize> = (0..NUM_TARGETS).collect();
+        self.forward_targets(g, graph, &all)
+    }
+
+    /// Gather-index buffers restricted to `targets` (identity Arcs when
+    /// the full set is requested, freshly built otherwise).
+    fn flat_subset(&self, targets: &[usize]) -> (Arc<Vec<usize>>, Arc<Vec<usize>>) {
+        if targets.len() == NUM_TARGETS && targets.iter().enumerate().all(|(i, &t)| i == t) {
+            return (Arc::clone(&self.target_flat), Arc::clone(&self.member_flat));
+        }
         let group = NUM_SURROUNDING + 1;
-        let mut state = self.lstm.zero_state(g, NUM_TARGETS);
+        let mut tf = Vec::with_capacity(targets.len() * group);
+        let mut mf = Vec::with_capacity(targets.len() * group);
+        for &t in targets {
+            debug_assert!(t < NUM_TARGETS);
+            let base = t * group;
+            tf.extend_from_slice(&self.target_flat[base..base + group]);
+            mf.extend_from_slice(&self.member_flat[base..base + group]);
+        }
+        (Arc::new(tf), Arc::new(mf))
+    }
+
+    /// Forward pass over a subset of targets: returns the normalised
+    /// `targets.len() x 3` output node, row `r` belonging to
+    /// `targets[r]`.
+    ///
+    /// Every op in the pass — matmul, gather, row-softmax, per-group sum,
+    /// the batched LSTM step and the linear head — treats target rows
+    /// independently, so row `r` here is **bit-identical** to row
+    /// `targets[r]` of the full six-target pass. That is what lets
+    /// [`LstGat::predict_par`] split the six heads across workers without
+    /// perturbing a single output bit.
+    fn forward_targets(&self, g: &mut Graph, graph: &StGraph, targets: &[usize]) -> Var {
+        let group = NUM_SURROUNDING + 1;
+        let (target_flat, member_flat) = self.flat_subset(targets);
+        let mut state = self.lstm.zero_state(g, targets.len());
         for tau in 0..graph.depth() {
             let h = g.input(node_matrix(graph, tau, &self.norm));
             let w1 = g.param(&self.store, self.w1);
@@ -119,20 +153,21 @@ impl LstGat {
             let s_neigh = g.matmul(u, a2);
             // Attention logits e_{i,x} = LeakyReLU(a1·U_i + a2·U_x) — the
             // standard GAT factorisation of φ2 [φ1 h_i || φ1 h_x].
-            let e_self = g.gather_rows(s_self, Rc::clone(&self.target_flat));
-            let e_neigh = g.gather_rows(s_neigh, Rc::clone(&self.member_flat));
+            let e_self = g.gather_rows(s_self, Arc::clone(&target_flat));
+            let e_neigh = g.gather_rows(s_neigh, Arc::clone(&member_flat));
             let e = g.add(e_self, e_neigh);
             let e = g.leaky_relu(e, self.leaky_slope);
-            let e = g.reshape(e, NUM_TARGETS, group);
+            let e = g.reshape(e, targets.len(), group);
             let alpha = g.softmax_rows(e);
-            let alpha_flat = g.reshape(alpha, NUM_TARGETS * group, 1);
+            let alpha_flat = g.reshape(alpha, targets.len() * group, 1);
             // Weighted aggregation of value embeddings (Eq. 11).
             let w3 = g.param(&self.store, self.w3);
             let v = g.matmul(h, w3);
-            let v_gathered = g.gather_rows(v, Rc::clone(&self.member_flat));
+            let v_gathered = g.gather_rows(v, Arc::clone(&member_flat));
             let weighted = g.mul_broadcast_col(v_gathered, alpha_flat);
             let updated = g.sum_groups(weighted, group);
-            // Temporal aggregation (Eq. 12): all six targets as one batch.
+            // Temporal aggregation (Eq. 12): the requested targets as one
+            // batch.
             state = self.lstm.step(g, &self.store, updated, state);
         }
         // Output head (Eq. 13) with a residual connection to the targets'
@@ -142,14 +177,45 @@ impl LstGat {
         // refinement; documented in DESIGN.md §6.)
         let delta = self.head.forward(g, &self.store, state.h);
         let latest = node_matrix(graph, graph.depth() - 1, &self.norm);
-        let mut current = nn::Matrix::zeros(NUM_TARGETS, 3);
-        for i in 0..NUM_TARGETS {
+        let mut current = nn::Matrix::zeros(targets.len(), 3);
+        for (r, &t) in targets.iter().enumerate() {
             for c in 0..3 {
-                current.set(i, c, latest.get(target_node(i), c));
+                current.set(r, c, latest.get(target_node(t), c));
             }
         }
         let current = g.input(current);
         g.add(delta, current)
+    }
+
+    /// [`StatePredictor::predict`] with the six per-target heads spread
+    /// across `pool`'s workers, one target per job, merged in target
+    /// order. Bit-identical to the serial batched pass (see
+    /// [`LstGat::forward_targets`]).
+    ///
+    /// Worth it only when a worker's share of the pass (a full node
+    /// embedding plus a one-row head) beats thread-spawn overhead — the
+    /// perf harness measures exactly that trade; the per-step env hot
+    /// path keeps the serial batched pass.
+    ///
+    /// # Panics
+    /// Panics if a worker panics (a model bug, not a caller error).
+    pub fn predict_par(&self, graph: &StGraph, pool: &par::Pool) -> Prediction {
+        let targets: Vec<usize> = (0..NUM_TARGETS).collect();
+        let rows = match pool.try_map(targets, |_, t| {
+            let mut g = Graph::new();
+            let out = self.forward_targets(&mut g, graph, &[t]);
+            g.value(out).row_slice(0).to_vec()
+        }) {
+            Ok(rows) => rows,
+            // lint:allow(panic) a worker panic here is a model bug; re-raise with context
+            Err(e) => panic!("parallel LST-GAT inference failed: {e}"),
+        };
+        let mut data = Vec::with_capacity(NUM_TARGETS * 3);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        let merged = nn::Matrix::from_vec(NUM_TARGETS, 3, data);
+        to_prediction(&merged, &self.norm)
     }
 
     /// Serialises the weights (checkpoint).
@@ -177,8 +243,8 @@ impl LstGat {
         let a2 = g.param(&self.store, self.a2);
         let s_self = g.matmul(u, a1);
         let s_neigh = g.matmul(u, a2);
-        let e_self = g.gather_rows(s_self, Rc::clone(&self.target_flat));
-        let e_neigh = g.gather_rows(s_neigh, Rc::clone(&self.member_flat));
+        let e_self = g.gather_rows(s_self, Arc::clone(&self.target_flat));
+        let e_neigh = g.gather_rows(s_neigh, Arc::clone(&self.member_flat));
         let e = g.add(e_self, e_neigh);
         let e = g.leaky_relu(e, self.leaky_slope);
         let e = g.reshape(e, NUM_TARGETS, group);
@@ -285,6 +351,26 @@ mod tests {
             assert!((b.d_lon - a.d_lon).abs() < 1e-6);
             assert!((b.d_lat - a.d_lat).abs() < 1e-6);
             assert!((b.v_rel - a.v_rel).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_heads_are_bit_identical_to_the_batched_pass() {
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let samples = synthetic_samples(3, &mut rng);
+        let mut model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+        for _ in 0..3 {
+            model.train_batch(&samples);
+        }
+        let pool = par::Pool::new(3);
+        for s in &samples {
+            let serial = model.predict(&s.graph);
+            let parallel = model.predict_par(&s.graph, &pool);
+            for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.d_lat.to_bits(), b.d_lat.to_bits());
+                assert_eq!(a.d_lon.to_bits(), b.d_lon.to_bits());
+                assert_eq!(a.v_rel.to_bits(), b.v_rel.to_bits());
+            }
         }
     }
 

@@ -114,35 +114,52 @@ pub struct EvalMetrics {
     pub count: usize,
 }
 
-/// Evaluates a predictor on a held-out set.
-pub fn evaluate(
-    model: &dyn StatePredictor,
-    samples: &[TrainSample],
+/// One sample's error contribution: `(abs_sum, sq_sum, count)` over its
+/// real (non-phantom) targets.
+///
+/// Both [`evaluate`] and [`evaluate_par`] fold these per-sample partials
+/// **in sample order**, so the two entry points produce bit-identical
+/// metrics: parallelism decides who computes a partial, never the
+/// floating-point fold order.
+fn sample_partials<M: StatePredictor + ?Sized>(
+    model: &M,
+    s: &TrainSample,
     norm: &crate::normalize::Normalizer,
-) -> EvalMetrics {
-    let _eval_span = telemetry::span!(keys::SPAN_PERCEPTION_EVALUATE);
+) -> (f64, f64, usize) {
+    let pred = model.predict(&s.graph);
     let mut abs_sum = 0.0;
     let mut sq_sum = 0.0;
     let mut count = 0usize;
-    for s in samples {
-        let pred = model.predict(&s.graph);
-        for (i, pred_i) in pred.iter().enumerate().take(NUM_TARGETS) {
-            if s.graph.target_is_phantom(i) {
-                continue;
-            }
-            let t = norm.truth(&s.truth[i]);
-            let p = [
-                narrow(pred_i.d_lat / norm.d_lat),
-                narrow(pred_i.d_lon / norm.d_lon),
-                narrow(pred_i.v_rel / norm.vel),
-            ];
-            for (a, b) in p.iter().zip(t.iter()) {
-                let e = (a - b) as f64;
-                abs_sum += e.abs();
-                sq_sum += e * e;
-                count += 1;
-            }
+    for (i, pred_i) in pred.iter().enumerate().take(NUM_TARGETS) {
+        if s.graph.target_is_phantom(i) {
+            continue;
         }
+        let t = norm.truth(&s.truth[i]);
+        let p = [
+            narrow(pred_i.d_lat / norm.d_lat),
+            narrow(pred_i.d_lon / norm.d_lon),
+            narrow(pred_i.v_rel / norm.vel),
+        ];
+        for (a, b) in p.iter().zip(t.iter()) {
+            let e = (a - b) as f64;
+            abs_sum += e.abs();
+            sq_sum += e * e;
+            count += 1;
+        }
+    }
+    (abs_sum, sq_sum, count)
+}
+
+/// Ordered fold of per-sample partials into the final metrics — the one
+/// accumulation both evaluation paths share.
+fn fold_partials(partials: impl IntoIterator<Item = (f64, f64, usize)>) -> EvalMetrics {
+    let mut abs_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut count = 0usize;
+    for (pa, pq, pc) in partials {
+        abs_sum += pa;
+        sq_sum += pq;
+        count += pc;
     }
     let n = count.max(1) as f64;
     let mse = sq_sum / n;
@@ -151,6 +168,40 @@ pub fn evaluate(
         mse,
         rmse: mse.sqrt(),
         count,
+    }
+}
+
+/// Evaluates a predictor on a held-out set.
+pub fn evaluate(
+    model: &dyn StatePredictor,
+    samples: &[TrainSample],
+    norm: &crate::normalize::Normalizer,
+) -> EvalMetrics {
+    let _eval_span = telemetry::span!(keys::SPAN_PERCEPTION_EVALUATE);
+    fold_partials(samples.iter().map(|s| sample_partials(model, s, norm)))
+}
+
+/// [`evaluate`] with samples fanned across `pool`'s workers.
+///
+/// Bit-identical to the serial path: each worker computes whole-sample
+/// partials with the serial per-sample code, and the pool returns them in
+/// submission order for the same fold. On a pool of one thread this *is*
+/// the serial path.
+///
+/// # Panics
+/// Panics if a worker panics (a predictor bug, not a caller error).
+pub fn evaluate_par<M: StatePredictor + Sync>(
+    model: &M,
+    samples: &[TrainSample],
+    norm: &crate::normalize::Normalizer,
+    pool: &par::Pool,
+) -> EvalMetrics {
+    let _eval_span = telemetry::span!(keys::SPAN_PERCEPTION_EVALUATE);
+    let items: Vec<&TrainSample> = samples.iter().collect();
+    match pool.try_map(items, |_, s| sample_partials(model, s, norm)) {
+        Ok(partials) => fold_partials(partials),
+        // lint:allow(panic) a worker panic here is a predictor bug; re-raise with context
+        Err(e) => panic!("parallel perception evaluation failed: {e}"),
     }
 }
 
@@ -214,6 +265,26 @@ mod tests {
         assert!(m.count > 0);
         assert!((m.rmse * m.rmse - m.mse).abs() < 1e-9);
         assert!(m.mae >= 0.0 && m.mse >= 0.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        let mut rng = ChaCha12Rng::seed_from_u64(24);
+        let samples = synthetic_samples(12, &mut rng);
+        let norm = Normalizer::paper_default();
+        let model = LstGat::new(LstGatConfig::default(), norm);
+        let serial = evaluate(&model, &samples, &norm);
+        for threads in [1, 2, 4] {
+            let parallel = evaluate_par(&model, &samples, &norm, &par::Pool::new(threads));
+            assert_eq!(
+                serial.mae.to_bits(),
+                parallel.mae.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(serial.mse.to_bits(), parallel.mse.to_bits());
+            assert_eq!(serial.rmse.to_bits(), parallel.rmse.to_bits());
+            assert_eq!(serial.count, parallel.count);
+        }
     }
 
     #[test]

@@ -105,6 +105,12 @@ pub const PERCEPTION_FALLBACK_LAST_PREDICTION: &str = "perception.fallback.last_
 pub const PERCEPTION_FALLBACK_LAST_OBSERVATION: &str = "perception.fallback.last_observation";
 /// Fallback steps served by constant-velocity extrapolation.
 pub const PERCEPTION_FALLBACK_EXTRAPOLATION: &str = "perception.fallback.extrapolation";
+/// Parallel map calls executed by `par::Pool`.
+pub const PAR_RUNS: &str = "par.runs";
+/// Items processed by `par::Pool` (serial and parallel paths alike).
+pub const PAR_JOBS: &str = "par.jobs";
+/// Worker panics caught by `par::Pool` and surfaced as errors.
+pub const PAR_WORKER_PANICS: &str = "par.worker_panics";
 
 // --- Dynamic counter prefixes -------------------------------------------
 
@@ -125,6 +131,8 @@ pub const DECISION_EPSILON: &str = "decision.epsilon";
 pub const DECISION_REPLAY_OCCUPANCY: &str = "decision.replay_occupancy";
 /// Mean training loss of the last completed perception epoch.
 pub const PERCEPTION_EPOCH_LOSS: &str = "perception.epoch_loss";
+/// Process-global worker count configured via `par::set_threads`.
+pub const PAR_THREADS: &str = "par.threads";
 
 // --- Histograms ---------------------------------------------------------
 
@@ -197,12 +205,16 @@ pub const ALL: &[&str] = &[
     PERCEPTION_FALLBACK_LAST_PREDICTION,
     PERCEPTION_FALLBACK_LAST_OBSERVATION,
     PERCEPTION_FALLBACK_EXTRAPOLATION,
+    PAR_RUNS,
+    PAR_JOBS,
+    PAR_WORKER_PANICS,
     NN_FWD_PREFIX,
     NN_BWD_PREFIX,
     SIM_VEHICLES,
     DECISION_EPSILON,
     DECISION_REPLAY_OCCUPANCY,
     PERCEPTION_EPOCH_LOSS,
+    PAR_THREADS,
     HEAD_EPISODE_STEPS,
     DECISION_Q_LOSS,
     DECISION_X_LOSS,

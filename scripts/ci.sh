@@ -1,39 +1,60 @@
 #!/bin/sh
-# Local CI gate: formatting, lints (warnings are errors), full test suite.
+# Local CI gate: formatting, lints (warnings are errors), full test suite,
+# fault-injection smoke, and the parallel-determinism perf smoke.
 # Run from anywhere; operates on the workspace root.
+#
+# With network access (e.g. the GitHub workflow) plain cargo resolves the
+# real crates. On an air-gapped machine set CI_OFFLINE=1 to route every
+# cargo call through scripts/offline_check.sh and the vendored stubs.
 set -eu
 cd "$(dirname "$0")/.."
 
+if [ "${CI_OFFLINE:-0}" = "1" ]; then
+    run_cargo() { sh scripts/offline_check.sh "$@"; }
+else
+    run_cargo() { cargo "$@"; }
+fi
+
 echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+run_cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+run_cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== headlint (workspace static analysis) =="
 # Errors (determinism, panic-safety, float-safety, telemetry keys, header
 # drift) fail the gate; the seeded fixture must keep failing or the engine
 # itself has regressed.
-cargo run -q -p lint --bin headlint
-if cargo run -q -p lint --bin headlint -- --root crates/lint/fixtures/ws > /dev/null; then
+run_cargo run -q -p lint --bin headlint
+if run_cargo run -q -p lint --bin headlint -- --root crates/lint/fixtures/ws > /dev/null; then
     echo "FAIL: headlint exited 0 on the seeded fixture workspace" >&2
     exit 1
 fi
 
 echo "== cargo test =="
-cargo test --workspace -q
+run_cargo test --workspace -q
 
 echo "== fault-injection smoke (blackout profile, kill + resume) =="
 CKPT_DIR=$(mktemp -d)
 trap 'rm -rf "$CKPT_DIR"' EXIT
 # First leg: halt after 3 of 6 episodes (simulated crash mid-run)...
-cargo run -q -p bench --bin robustness -- \
+run_cargo run -q -p bench --bin robustness -- \
     --scale smoke --episodes 6 --faults blackout \
     --checkpoint "$CKPT_DIR" --every 1 --halt-after 3 > /dev/null
 test -f "$CKPT_DIR/checkpoint.json"
 # ...second leg resumes from the checkpoint and finishes the run.
-cargo run -q -p bench --bin robustness -- \
+run_cargo run -q -p bench --bin robustness -- \
     --scale smoke --episodes 6 --faults blackout \
     --checkpoint "$CKPT_DIR" | grep -q "robustness run: 6 episodes"
+
+echo "== parallel perf smoke (2 threads; serial/parallel checksums must match) =="
+mkdir -p results
+# The perf binary itself exits 1 on a checksum mismatch; the grep also
+# requires the explicit all-equal line so a silent early exit cannot pass.
+run_cargo run -q -p bench --bin perf -- \
+    --scale smoke --threads 2 --json results/BENCH_parallel.json \
+    | grep -q "all serial/parallel checksums equal"
+test -f results/BENCH_parallel.json
+echo "   archived: results/BENCH_parallel.json"
 
 echo "CI OK"

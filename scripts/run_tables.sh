@@ -24,6 +24,13 @@ run_table() {
 echo "== headlint =="
 ./target/release/headlint --telemetry results > results/headlint.txt
 
+# Parallel-determinism benchmark: BENCH_parallel.json lands next to
+# lint_report.json so each table set also records the pool's serial-vs-
+# parallel checksums (the binary exits non-zero if they diverge).
+echo "== perf (parallel determinism) =="
+./target/release/perf --scale smoke --threads 2 \
+    --json results/BENCH_parallel.json > results/perf.txt 2>&1
+
 run_table table3_4
 run_table table1 --episodes 1200
 run_table table5_6 --episodes 800

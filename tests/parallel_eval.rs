@@ -1,0 +1,44 @@
+//! Proves the parallel evaluation path is invisible in the results: a
+//! Table I smoke run under a 2-thread worker pool is byte-identical to
+//! the serial run.
+//!
+//! This lives in its own integration-test binary because the worker count
+//! (`par::set_threads`) is process-global state; sharing a process with
+//! other tests would race on it.
+
+use head::experiments::{run_table1, Scale};
+
+/// Serialises a report row-by-row; serde_json prints every f64 with a
+/// shortest round-trip representation, so equal strings mean equal bits
+/// (and -0.0 vs 0.0 still differ).
+fn fingerprint(report: &head::experiments::EndToEndReport) -> Vec<(String, String)> {
+    report
+        .rows
+        .iter()
+        .map(|(name, m)| {
+            (
+                name.clone(),
+                serde_json::to_string(m).expect("serialisable metrics"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn two_thread_table1_smoke_is_byte_identical_to_serial() {
+    let scale = Scale::smoke();
+    assert_eq!(par::threads(), 1, "test binary must own the thread count");
+    let serial = run_table1(&scale);
+
+    let prev = par::set_threads(2);
+    let parallel = run_table1(&scale);
+    par::set_threads(prev);
+
+    let a = fingerprint(&serial);
+    let b = fingerprint(&parallel);
+    assert_eq!(a.len(), b.len(), "same number of table rows");
+    for ((name_s, row_s), (name_p, row_p)) in a.iter().zip(&b) {
+        assert_eq!(name_s, name_p, "row order is deterministic");
+        assert_eq!(row_s, row_p, "{name_s}: parallel run diverged from serial");
+    }
+}
