@@ -14,14 +14,25 @@
 //! depend on the host's core count (a 4-core host reaches ≥1.5× on the
 //! episode op; a single-core container reports ≈1× or below).
 //!
+//! A second section profiles the nn memory model — the same learn step run
+//! with a fresh `Graph` per step vs a persistent reset tape (latency,
+//! fresh/reused buffer counts, final-weight bit-identity) plus per-call
+//! LST-GAT inference latency — and writes it to `BENCH_core.json`. The
+//! run exits 1 when the two learn loops' weights diverge, when the
+//! steady-state tape allocates more than it reuses, or when the
+//! allocation reduction falls under 10x.
+//!
 //! Usage: `cargo run -p bench --bin perf --release -- \
-//!     [--scale smoke|bench|paper] [--threads N] [--reps N] [--json PATH]`
+//!     [--scale smoke|bench|paper] [--threads N] [--reps N] [--json PATH] \
+//!     [--json-core PATH]`
 
 use head::{
     evaluate_agent_par, DrivingAgent, EnvConfig, HighwayEnv, IdmLc, PerceptionMode, RuleConfig,
 };
-use nn::Matrix;
+use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
 use perception::{LstGat, LstGatConfig, StatePredictor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use std::time::Instant;
 use telemetry::Json;
 
@@ -185,8 +196,213 @@ fn bench_episodes(cfg: &EnvConfig, episodes: usize, pool: &par::Pool) -> OpResul
     }
 }
 
+/// Learn-step and inference memory-model profile, written to
+/// `BENCH_core.json`.
+///
+/// The learn-step comparison trains the same seeded MLP regression twice:
+/// the pre-arena model (one fresh `Graph` per optimisation step, so every
+/// intermediate buffer hits the heap) against the refactored model (one
+/// persistent tape, `reset()` per step, buffers recycled through the
+/// tape's `BufferPool`). Both runs must end with bit-identical weights —
+/// tape reuse is not allowed to change a single ULP — and after warmup
+/// the persistent tape must serve (almost) everything from the free
+/// lists: `steady_fresh` stays at zero while `reused` grows each step.
+struct CoreResult {
+    /// Mean wall-clock per learn step, fresh-graph baseline.
+    churn_ms: f64,
+    /// Mean wall-clock per learn step, persistent tape.
+    persistent_ms: f64,
+    /// Heap buffer allocations per step in the baseline.
+    churn_fresh_per_step: f64,
+    /// Heap buffer allocations per step at steady state (post-warmup).
+    steady_fresh_per_step: f64,
+    /// Arena-served buffers per step at steady state.
+    steady_reused_per_step: f64,
+    /// `churn_fresh / max(steady_fresh, 1)` over the measured window.
+    alloc_reduction: f64,
+    /// Cumulative tape counters after the persistent run.
+    tape_fresh: u64,
+    tape_reused: u64,
+    /// Final parameter checksums of the two runs.
+    churn_checksum: u64,
+    persistent_checksum: u64,
+    /// Mean per-call LST-GAT prediction latency (six heads, one graph).
+    inference_ms: f64,
+    steps: usize,
+    warmup: usize,
+}
+
+impl CoreResult {
+    fn identical(&self) -> bool {
+        self.churn_checksum == self.persistent_checksum
+    }
+
+    /// Steady state must reuse more than it allocates fresh.
+    fn reuse_ok(&self) -> bool {
+        self.tape_reused > self.tape_fresh
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "learn_step",
+                Json::obj(vec![
+                    ("steps", Json::from(self.steps)),
+                    ("warmup", Json::from(self.warmup)),
+                    ("churn_ms_per_step", Json::Num(self.churn_ms)),
+                    ("persistent_ms_per_step", Json::Num(self.persistent_ms)),
+                    (
+                        "latency_speedup",
+                        Json::Num(if self.persistent_ms > 0.0 {
+                            self.churn_ms / self.persistent_ms
+                        } else {
+                            f64::NAN
+                        }),
+                    ),
+                    ("churn_fresh_per_step", Json::Num(self.churn_fresh_per_step)),
+                    (
+                        "steady_fresh_per_step",
+                        Json::Num(self.steady_fresh_per_step),
+                    ),
+                    (
+                        "steady_reused_per_step",
+                        Json::Num(self.steady_reused_per_step),
+                    ),
+                    ("alloc_reduction", Json::Num(self.alloc_reduction)),
+                    ("tape_fresh", Json::from(self.tape_fresh)),
+                    ("tape_reused", Json::from(self.tape_reused)),
+                    (
+                        "checksum",
+                        Json::from(format!("{:016x}", self.persistent_checksum)),
+                    ),
+                    ("checksums_equal", Json::Bool(self.identical())),
+                    ("reuse_ok", Json::Bool(self.reuse_ok())),
+                ]),
+            ),
+            (
+                "inference",
+                Json::obj(vec![
+                    ("model", Json::from("LST-GAT")),
+                    ("mean_ms_per_call", Json::Num(self.inference_ms)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Layer widths of the probe network — sized like a decision agent's
+/// Q-network so the allocation profile is representative.
+const CORE_DIMS: [usize; 4] = [8, 128, 128, 5];
+const CORE_BATCH: usize = 32;
+
+/// Builds the identically-seeded model and data both learn loops start
+/// from.
+fn core_setup(seed: u64) -> (ParamStore, Mlp, Matrix, Matrix) {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "probe", &CORE_DIMS, &mut rng);
+    let x = seeded_matrix(CORE_BATCH, CORE_DIMS[0], 0xC0FFEE);
+    let y = seeded_matrix(CORE_BATCH, CORE_DIMS[3], 0xFACADE);
+    (store, mlp, x, y)
+}
+
+/// One optimisation step on whatever graph the caller hands in.
+fn core_step(
+    g: &mut Graph,
+    store: &mut ParamStore,
+    mlp: &Mlp,
+    adam: &mut Adam,
+    x: &Matrix,
+    y: &Matrix,
+) {
+    let xv = g.input_copy(x);
+    let yv = g.input_copy(y);
+    let pred = mlp.forward(g, store, xv);
+    let loss = g.mse(pred, yv);
+    store.zero_grad();
+    g.backward(loss, store);
+    adam.step(store);
+}
+
+fn params_checksum(store: &ParamStore) -> u64 {
+    let mut h = par::Checksum::new();
+    for p in store.iter() {
+        for &v in p.value.data() {
+            h.push_f64(f64::from(v));
+        }
+    }
+    h.finish()
+}
+
+fn bench_core(scale: &head::experiments::Scale, reps: usize) -> CoreResult {
+    let warmup = 5usize;
+    let steps = (reps * 10).max(50);
+
+    // Baseline: a fresh graph (cold arena) for every step.
+    let (mut store, mlp, x, y) = core_setup(7);
+    let mut adam = Adam::new(1e-3);
+    let mut churn_fresh = 0u64;
+    let started = Instant::now();
+    for _ in 0..steps {
+        let mut g = Graph::new();
+        core_step(&mut g, &mut store, &mlp, &mut adam, &x, &y);
+        churn_fresh += g.pool_stats().fresh;
+    }
+    let churn_ms = started.elapsed().as_secs_f64() * 1e3 / steps as f64;
+    let churn_checksum = params_checksum(&store);
+
+    // Refactored: one persistent tape, reset per step.
+    let (mut store, mlp, x, y) = core_setup(7);
+    let mut adam = Adam::new(1e-3);
+    let mut tape = Graph::new();
+    for _ in 0..warmup {
+        tape.reset();
+        core_step(&mut tape, &mut store, &mlp, &mut adam, &x, &y);
+    }
+    let at_warmup = tape.pool_stats();
+    let started = Instant::now();
+    for _ in 0..steps.saturating_sub(warmup) {
+        tape.reset();
+        core_step(&mut tape, &mut store, &mlp, &mut adam, &x, &y);
+    }
+    let persistent_ms =
+        started.elapsed().as_secs_f64() * 1e3 / steps.saturating_sub(warmup).max(1) as f64;
+    let after = tape.pool_stats();
+    let persistent_checksum = params_checksum(&store);
+
+    let steady_steps = steps.saturating_sub(warmup).max(1) as f64;
+    let steady_fresh = after.fresh - at_warmup.fresh;
+    let steady_reused = after.reused - at_warmup.reused;
+    let churn_fresh_per_step = churn_fresh as f64 / steps as f64;
+    // Compare equal step counts: baseline fresh over the steady window vs
+    // the tape's fresh over the same window.
+    let alloc_reduction = churn_fresh_per_step * steady_steps / steady_fresh.max(1) as f64;
+
+    // Inference latency: one LST-GAT per-step prediction on a live graph.
+    let model = LstGat::new(LstGatConfig::default(), scale.normalizer());
+    let env = HighwayEnv::new(scale.env.clone(), PerceptionMode::Persistence);
+    let graph = env.percepts().graph.clone();
+    let (inference_ms, _) = time_ms(reps.max(2), || model.predict(&graph));
+
+    CoreResult {
+        churn_ms,
+        persistent_ms,
+        churn_fresh_per_step,
+        steady_fresh_per_step: steady_fresh as f64 / steady_steps,
+        steady_reused_per_step: steady_reused as f64 / steady_steps,
+        alloc_reduction,
+        tape_fresh: after.fresh,
+        tape_reused: after.reused,
+        churn_checksum,
+        persistent_checksum,
+        inference_ms,
+        steps,
+        warmup,
+    }
+}
+
 fn main() {
-    let cli = bench::Cli::parse("perf", &["--reps"]);
+    let cli = bench::Cli::parse("perf", &["--reps", "--json-core"]);
     let scale = cli.scale();
     let n_threads = cli.apply_threads().max(2);
     par::set_threads(n_threads);
@@ -247,4 +463,54 @@ fn main() {
         std::process::exit(1);
     }
     println!("all serial/parallel checksums equal");
+
+    // Memory-model profile: learn-step allocation churn vs the persistent
+    // tape, plus per-call inference latency.
+    let core = bench_core(&scale, reps);
+    println!(
+        "learn-step  {:>10.4} ms churn  {:>10.4} ms persistent  fresh/step {:>7.1} -> {:>5.2}  reduction {:>8.1}x",
+        core.churn_ms,
+        core.persistent_ms,
+        core.churn_fresh_per_step,
+        core.steady_fresh_per_step,
+        core.alloc_reduction
+    );
+    println!("inference   {:>10.4} ms/call (LST-GAT)", core.inference_ms);
+    let core_doc = Json::obj(vec![
+        ("bench", Json::from("core")),
+        ("scale", Json::from(cli.value("--scale").unwrap_or("bench"))),
+        ("probe_dims", Json::from(format!("{CORE_DIMS:?}"))),
+        ("batch", Json::from(CORE_BATCH)),
+        ("profile", core.to_json()),
+    ]);
+    let core_path = cli.value("--json-core").unwrap_or("BENCH_core.json");
+    if let Err(e) = std::fs::write(core_path, format!("{core_doc}\n")) {
+        eprintln!("failed to write {core_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {core_path}");
+
+    if !core.identical() {
+        eprintln!(
+            "DETERMINISM VIOLATION: tape reuse changed the trained weights \
+             ({:016x} != {:016x})",
+            core.churn_checksum, core.persistent_checksum
+        );
+        std::process::exit(1);
+    }
+    if !core.reuse_ok() {
+        eprintln!(
+            "ALLOCATION REGRESSION: steady-state tape reused {} <= fresh {}",
+            core.tape_reused, core.tape_fresh
+        );
+        std::process::exit(1);
+    }
+    if core.alloc_reduction < 10.0 {
+        eprintln!(
+            "ALLOCATION REGRESSION: learn-step reduction {:.1}x < 10x",
+            core.alloc_reduction
+        );
+        std::process::exit(1);
+    }
+    println!("steady-state allocation reuse ok");
 }

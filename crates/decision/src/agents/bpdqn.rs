@@ -8,7 +8,7 @@
 //! vanilla P-DQN trunk suffers from. Optimisation follows the P-DQN
 //! paradigm (Eqs. 21–23) with target networks and Polyak soft updates.
 
-use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::agents::{AgentConfig, AgentTapes, LearnStats, PamdpAgent};
 use crate::pamdp::{
     Action, AugmentedState, LaneBehaviour, CURRENT_ROWS, FUTURE_ROWS, NUM_BEHAVIOURS,
 };
@@ -173,6 +173,7 @@ pub struct BpDqn {
     guard_x: DivergenceGuard,
     guard_q: DivergenceGuard,
     replay: ReplayBuffer,
+    tapes: AgentTapes,
     rng: ChaCha12Rng,
     act_steps: usize,
     observed: usize,
@@ -200,6 +201,7 @@ impl BpDqn {
             guard_x: DivergenceGuard::new(MAX_GRAD_NORM, DIVERGENCE_PATIENCE),
             guard_q: DivergenceGuard::new(MAX_GRAD_NORM, DIVERGENCE_PATIENCE),
             replay: ReplayBuffer::new(cfg.replay_capacity),
+            tapes: AgentTapes::new(),
             rng,
             act_steps: 0,
             observed: 0,
@@ -215,8 +217,9 @@ impl BpDqn {
     }
 
     /// Greedy parameters and Q-values for one state.
-    fn evaluate_state(&self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
-        let mut g = Graph::new();
+    fn evaluate_state(&mut self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
+        let mut g = std::mem::take(&mut self.tapes.act);
+        g.reset();
         let cur = g.input(self.cfg.scale.current_batch(&[state]));
         let fut = g.input(self.cfg.scale.future_batch(&[state]));
         let x = self.x_net.forward(
@@ -233,7 +236,9 @@ impl BpDqn {
             .forward(&mut g, &self.q_store, cur, fut, x, 1, false);
         let xr = g.value(x).row_slice(0);
         let qr = g.value(q).row_slice(0);
-        ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]])
+        let out = ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]]);
+        self.tapes.act = g;
+        out
     }
 }
 
@@ -297,7 +302,8 @@ impl PamdpAgent for BpDqn {
 
         // --- Bellman targets via the target networks (Eq. 22) -----------
         let targets: Vec<f32> = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.target);
+            g.reset();
             let cur_n = g.input(cur_next_m);
             let fut_n = g.input(fut_next_m);
             let xp = self
@@ -307,7 +313,7 @@ impl PamdpAgent for BpDqn {
                 .q_net
                 .forward(&mut g, &self.q_target, cur_n, fut_n, xp, n, false);
             let qn = g.value(qn);
-            batch
+            let targets = batch
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
@@ -323,12 +329,15 @@ impl PamdpAgent for BpDqn {
                             self.cfg.gamma * max_q
                         }
                 })
-                .collect()
+                .collect();
+            self.tapes.target = g;
+            targets
         };
 
         // --- Q update (mean-squared Bellman error on the chosen action) ---
         let q_loss = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.learn);
+            g.reset();
             let cur = g.input(cur_m.clone());
             let fut = g.input(fut_m.clone());
             let mut params = Matrix::zeros(n, NUM_BEHAVIOURS);
@@ -351,6 +360,7 @@ impl PamdpAgent for BpDqn {
             let loss = g.mse(q_sel, y);
             self.q_store.zero_grad();
             let lv = g.backward(loss, &mut self.q_store);
+            self.tapes.learn = g;
             // Poisoned transitions (NaN rewards / observations) surface as
             // non-finite losses here; the guard skips the update and rolls
             // back to the last good snapshot if the poisoning persists.
@@ -362,7 +372,8 @@ impl PamdpAgent for BpDqn {
 
         // --- x update: maximise Σ_b Q(s, x(s)) with θ_Q frozen (Eq. 23) ---
         let x_loss = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.actor);
+            g.reset();
             let cur = g.input(cur_m);
             let fut = g.input(fut_m);
             let xo = self
@@ -375,6 +386,7 @@ impl PamdpAgent for BpDqn {
             let loss = g.scale(total, -1.0 / n as f32);
             self.x_store.zero_grad();
             let lv = g.backward(loss, &mut self.x_store);
+            self.tapes.actor = g;
             if self.guard_x.admit(lv, &mut self.x_store) {
                 self.adam_x.step(&mut self.x_store);
             }

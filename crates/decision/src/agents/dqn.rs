@@ -4,10 +4,10 @@
 //! *discrete* actions; the safety-check wrapper lives in the `head` crate.
 
 use crate::agents::bpdqn::argmax;
-use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::agents::{AgentConfig, AgentTapes, LearnStats, PamdpAgent};
 use crate::pamdp::{Action, AugmentedState, LaneBehaviour, STATE_DIM};
 use crate::replay::{ReplayBuffer, Transition};
-use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use nn::{Adam, Matrix, Mlp, ParamStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -33,6 +33,7 @@ pub struct DiscreteDqn {
     target: ParamStore,
     adam: Adam,
     replay: ReplayBuffer,
+    tapes: AgentTapes,
     rng: ChaCha12Rng,
     act_steps: usize,
     since_learn: usize,
@@ -53,6 +54,7 @@ impl DiscreteDqn {
         Self {
             adam: Adam::new(cfg.lr),
             replay: ReplayBuffer::new(cfg.replay_capacity),
+            tapes: AgentTapes::new(),
             rng,
             act_steps: 0,
             since_learn: 0,
@@ -64,11 +66,14 @@ impl DiscreteDqn {
     }
 
     /// Q-values of every discrete action for one state.
-    pub fn q_values(&self, state: &AugmentedState) -> Vec<f32> {
-        let mut g = Graph::new();
+    pub fn q_values(&mut self, state: &AugmentedState) -> Vec<f32> {
+        let mut g = std::mem::take(&mut self.tapes.act);
+        g.reset();
         let s = g.input(self.cfg.scale.flat_batch(&[state]));
         let q = self.net.forward_frozen(&mut g, &self.store, s);
-        g.value(q).row_slice(0).to_vec()
+        let out = g.value(q).row_slice(0).to_vec();
+        self.tapes.act = g;
+        out
     }
 
     /// Action corresponding to a discrete index.
@@ -133,11 +138,12 @@ impl PamdpAgent for DiscreteDqn {
         let batch = batch.items;
 
         let targets: Vec<f32> = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.target);
+            g.reset();
             let sn = g.input(sn_m);
             let qn = self.net.forward_frozen(&mut g, &self.target, sn);
             let qn = g.value(qn);
-            batch
+            let targets = batch
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
@@ -153,10 +159,13 @@ impl PamdpAgent for DiscreteDqn {
                             self.cfg.gamma * max_q
                         }
                 })
-                .collect()
+                .collect();
+            self.tapes.target = g;
+            targets
         };
 
-        let mut g = Graph::new();
+        let mut g = std::mem::take(&mut self.tapes.learn);
+        g.reset();
         let s = g.input(s_m);
         let q = self.net.forward(&mut g, &self.store, s);
         let mut onehot = Matrix::zeros(n, DISCRETE_ACTIONS.len());
@@ -171,6 +180,7 @@ impl PamdpAgent for DiscreteDqn {
         let loss = g.mse(q_sel, y);
         self.store.zero_grad();
         let lv = g.backward(loss, &mut self.store);
+        self.tapes.learn = g;
         self.store.clip_grad_norm(10.0);
         self.adam.step(&mut self.store);
         self.target.soft_update_from(&self.store, self.cfg.tau);

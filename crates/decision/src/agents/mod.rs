@@ -18,7 +18,43 @@ pub use pqp::PQp;
 use crate::explore::LinearSchedule;
 use crate::pamdp::{Action, AugmentedState, StateScale};
 use crate::replay::Transition;
+use nn::Graph;
 use serde::{Deserialize, Serialize};
+
+/// Persistent autodiff tapes a learner reuses across steps.
+///
+/// Constructing a fresh [`Graph`] per forward pass was the decision layer's
+/// dominant allocation source: every act / target / learn pass re-allocated
+/// each node value and gradient buffer from the heap. Each agent instead
+/// checks a tape out of this set (`std::mem::take`), calls [`Graph::reset`]
+/// — which recycles every buffer through the tape's arena — runs the pass,
+/// and puts the tape back. At steady state the passes allocate nothing.
+///
+/// The headlint `graph-churn` pass keeps `Graph::new()` confined to
+/// constructors, so [`AgentTapes::new`] is the one sanctioned construction
+/// site of decision-layer graphs.
+pub(crate) struct AgentTapes {
+    /// Batch-1 inference pass(es) during action selection.
+    pub act: Graph,
+    /// Frozen-target forward passes (TD targets, advantages).
+    pub target: Graph,
+    /// Critic / Q training pass.
+    pub learn: Graph,
+    /// Actor / parameter-policy training pass.
+    pub actor: Graph,
+}
+
+impl AgentTapes {
+    /// Builds the tape set for one learner.
+    pub fn new() -> Self {
+        Self {
+            act: Graph::new(),
+            target: Graph::new(),
+            learn: Graph::new(),
+            actor: Graph::new(),
+        }
+    }
+}
 
 /// Hyper-parameters shared by every learner. Defaults follow the paper
 /// (§V-A): γ = 0.9, Adam lr = 0.001, batch 64, replay 20 000, soft-update

@@ -6,7 +6,7 @@
 //! underperforms P-DQN/BP-DQN in Table V.
 
 use crate::agents::bpdqn::argmax;
-use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::agents::{AgentConfig, AgentTapes, LearnStats, PamdpAgent};
 use crate::pamdp::{Action, AugmentedState, LaneBehaviour, NUM_BEHAVIOURS, STATE_DIM};
 use crate::replay::{ReplayBuffer, Transition};
 use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
@@ -29,6 +29,7 @@ pub struct PDdpg {
     adam_actor: Adam,
     adam_critic: Adam,
     replay: ReplayBuffer,
+    tapes: AgentTapes,
     rng: ChaCha12Rng,
     act_steps: usize,
     since_learn: usize,
@@ -58,6 +59,7 @@ impl PDdpg {
             adam_actor: Adam::new(cfg.lr),
             adam_critic: Adam::new(cfg.lr),
             replay: ReplayBuffer::new(cfg.replay_capacity),
+            tapes: AgentTapes::new(),
             rng,
             act_steps: 0,
             since_learn: 0,
@@ -73,14 +75,17 @@ impl PDdpg {
 
     /// Actor output for one state: `[act0, act1, act2, a0, a1, a2]` with
     /// activations in (-1, 1) and accelerations in (-a', a').
-    fn actor_output(&self, state: &AugmentedState) -> [f32; ACTION_DIM] {
-        let mut g = Graph::new();
+    fn actor_output(&mut self, state: &AugmentedState) -> [f32; ACTION_DIM] {
+        let mut g = std::mem::take(&mut self.tapes.act);
+        g.reset();
         let s = g.input(self.cfg.scale.flat_batch(&[state]));
         let raw = self.actor.forward_frozen(&mut g, &self.actor_store, s);
         let out = g.tanh(raw);
         let row = g.value(out).row_slice(0);
         let a = self.cfg.a_max as f32;
-        [row[0], row[1], row[2], row[3] * a, row[4] * a, row[5] * a]
+        let out = [row[0], row[1], row[2], row[3] * a, row[4] * a, row[5] * a];
+        self.tapes.act = g;
+        out
     }
 
     /// Scales a raw tanh actor output node into the collapsed action
@@ -160,14 +165,15 @@ impl PamdpAgent for PDdpg {
 
         // Critic targets.
         let targets: Vec<f32> = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.target);
+            g.reset();
             let sn = g.input(sn_m);
             let raw = self.actor.forward_frozen(&mut g, &self.actor_target, sn);
             let an = self.scale_action(&mut g, raw);
             let sa = g.concat_cols(sn, an);
             let qn = self.critic.forward_frozen(&mut g, &self.critic_target, sa);
             let qn = g.value(qn);
-            batch
+            let targets = batch
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
@@ -178,12 +184,15 @@ impl PamdpAgent for PDdpg {
                             self.cfg.gamma * qn.get(i, 0)
                         }
                 })
-                .collect()
+                .collect();
+            self.tapes.target = g;
+            targets
         };
 
         // Critic update against the executed action vector.
         let q_loss = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.learn);
+            g.reset();
             let s = g.input(s_m.clone());
             let mut act = Matrix::zeros(n, ACTION_DIM);
             for (i, t) in batch.iter().enumerate() {
@@ -200,6 +209,7 @@ impl PamdpAgent for PDdpg {
             let loss = g.mse(q, y);
             self.critic_store.zero_grad();
             let lv = g.backward(loss, &mut self.critic_store);
+            self.tapes.learn = g;
             self.critic_store.clip_grad_norm(10.0);
             self.adam_critic.step(&mut self.critic_store);
             lv as f64
@@ -207,7 +217,8 @@ impl PamdpAgent for PDdpg {
 
         // Actor update: ascend Q(s, actor(s)) with the critic frozen.
         let x_loss = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.actor);
+            g.reset();
             let s = g.input(s_m);
             let raw = self.actor.forward(&mut g, &self.actor_store, s);
             let a = self.scale_action(&mut g, raw);
@@ -217,6 +228,7 @@ impl PamdpAgent for PDdpg {
             let loss = g.scale(total, -1.0 / n as f32);
             self.actor_store.zero_grad();
             let lv = g.backward(loss, &mut self.actor_store);
+            self.tapes.actor = g;
             self.actor_store.clip_grad_norm(10.0);
             self.adam_actor.step(&mut self.actor_store);
             lv as f64

@@ -6,10 +6,10 @@
 //! the paper's branched variant removes.
 
 use crate::agents::bpdqn::argmax;
-use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::agents::{AgentConfig, AgentTapes, LearnStats, PamdpAgent};
 use crate::pamdp::{Action, AugmentedState, LaneBehaviour, NUM_BEHAVIOURS, STATE_DIM};
 use crate::replay::{ReplayBuffer, Transition};
-use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use nn::{Adam, Matrix, Mlp, ParamStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use telemetry::keys;
@@ -26,6 +26,7 @@ pub struct PDqn {
     adam_x: Adam,
     adam_q: Adam,
     replay: ReplayBuffer,
+    tapes: AgentTapes,
     rng: ChaCha12Rng,
     act_steps: usize,
     since_learn: usize,
@@ -60,6 +61,7 @@ impl PDqn {
             adam_x: Adam::new(cfg.lr),
             adam_q: Adam::new(cfg.lr),
             replay: ReplayBuffer::new(cfg.replay_capacity),
+            tapes: AgentTapes::new(),
             rng,
             act_steps: 0,
             since_learn: 0,
@@ -73,8 +75,9 @@ impl PDqn {
         }
     }
 
-    fn evaluate_state(&self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
-        let mut g = Graph::new();
+    fn evaluate_state(&mut self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
+        let mut g = std::mem::take(&mut self.tapes.act);
+        g.reset();
         let s = g.input(self.cfg.scale.flat_batch(&[state]));
         let x = self.x_net.forward_frozen(&mut g, &self.x_store, s);
         let x = g.tanh(x);
@@ -83,7 +86,9 @@ impl PDqn {
         let q = self.q_net.forward_frozen(&mut g, &self.q_store, sq);
         let xr = g.value(x).row_slice(0);
         let qr = g.value(q).row_slice(0);
-        ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]])
+        let out = ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]]);
+        self.tapes.act = g;
+        out
     }
 }
 
@@ -142,7 +147,8 @@ impl PamdpAgent for PDqn {
         let batch = batch.items;
 
         let targets: Vec<f32> = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.target);
+            g.reset();
             let sn = g.input(sn_m);
             let xp = self.x_net.forward_frozen(&mut g, &self.x_target, sn);
             let xp = g.tanh(xp);
@@ -150,7 +156,7 @@ impl PamdpAgent for PDqn {
             let snq = g.concat_cols(sn, xp);
             let qn = self.q_net.forward_frozen(&mut g, &self.q_target, snq);
             let qn = g.value(qn);
-            batch
+            let targets = batch
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
@@ -166,11 +172,14 @@ impl PamdpAgent for PDqn {
                             self.cfg.gamma * max_q
                         }
                 })
-                .collect()
+                .collect();
+            self.tapes.target = g;
+            targets
         };
 
         let q_loss = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.learn);
+            g.reset();
             let s = g.input(s_m.clone());
             let mut params = Matrix::zeros(n, NUM_BEHAVIOURS);
             let mut onehot = Matrix::zeros(n, NUM_BEHAVIOURS);
@@ -191,13 +200,15 @@ impl PamdpAgent for PDqn {
             let loss = g.mse(q_sel, y);
             self.q_store.zero_grad();
             let lv = g.backward(loss, &mut self.q_store);
+            self.tapes.learn = g;
             self.q_store.clip_grad_norm(10.0);
             self.adam_q.step(&mut self.q_store);
             lv as f64
         };
 
         let x_loss = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.actor);
+            g.reset();
             let s = g.input(s_m);
             let xo = self.x_net.forward(&mut g, &self.x_store, s);
             let xo = g.tanh(xo);
@@ -208,6 +219,7 @@ impl PamdpAgent for PDqn {
             let loss = g.scale(total, -1.0 / n as f32);
             self.x_store.zero_grad();
             let lv = g.backward(loss, &mut self.x_store);
+            self.tapes.actor = g;
             self.x_store.clip_grad_norm(10.0);
             self.adam_x.step(&mut self.x_store);
             lv as f64

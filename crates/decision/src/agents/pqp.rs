@@ -10,10 +10,10 @@
 //! form of the stochastic policy search used in the original.
 
 use crate::agents::bpdqn::argmax;
-use crate::agents::{AgentConfig, LearnStats, PamdpAgent};
+use crate::agents::{AgentConfig, AgentTapes, LearnStats, PamdpAgent};
 use crate::pamdp::{Action, AugmentedState, LaneBehaviour, NUM_BEHAVIOURS, STATE_DIM};
 use crate::replay::{ReplayBuffer, Transition};
-use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use nn::{Adam, Matrix, Mlp, ParamStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -31,6 +31,7 @@ pub struct PQp {
     adam_q: Adam,
     adam_param: Adam,
     replay: ReplayBuffer,
+    tapes: AgentTapes,
     rng: ChaCha12Rng,
     act_steps: usize,
     learn_steps: usize,
@@ -60,6 +61,7 @@ impl PQp {
             adam_q: Adam::new(cfg.lr),
             adam_param: Adam::new(cfg.lr),
             replay: ReplayBuffer::new(cfg.replay_capacity),
+            tapes: AgentTapes::new(),
             rng,
             act_steps: 0,
             learn_steps: 0,
@@ -73,22 +75,28 @@ impl PQp {
         }
     }
 
-    fn params_of(&self, state: &AugmentedState) -> [f32; 3] {
-        let mut g = Graph::new();
+    fn params_of(&mut self, state: &AugmentedState) -> [f32; 3] {
+        let mut g = std::mem::take(&mut self.tapes.act);
+        g.reset();
         let s = g.input(self.cfg.scale.flat_batch(&[state]));
         let raw = self.param_net.forward_frozen(&mut g, &self.param_store, s);
         let t = g.tanh(raw);
         let out = g.scale(t, self.cfg.a_max as f32);
         let row = g.value(out).row_slice(0);
-        [row[0], row[1], row[2]]
+        let out = [row[0], row[1], row[2]];
+        self.tapes.act = g;
+        out
     }
 
-    fn q_of(&self, state: &AugmentedState) -> [f32; 3] {
-        let mut g = Graph::new();
+    fn q_of(&mut self, state: &AugmentedState) -> [f32; 3] {
+        let mut g = std::mem::take(&mut self.tapes.act);
+        g.reset();
         let s = g.input(self.cfg.scale.flat_batch(&[state]));
         let q = self.q_net.forward_frozen(&mut g, &self.q_store, s);
         let row = g.value(q).row_slice(0);
-        [row[0], row[1], row[2]]
+        let out = [row[0], row[1], row[2]];
+        self.tapes.act = g;
+        out
     }
 }
 
@@ -147,11 +155,12 @@ impl PamdpAgent for PQp {
         // Bellman targets (Q has no parameter input in Q-PAMDP: it values
         // the discrete behaviours under the *current* parameter policy).
         let targets: Vec<f32> = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.target);
+            g.reset();
             let sn = g.input(sn_m);
             let qn = self.q_net.forward_frozen(&mut g, &self.q_target, sn);
             let qn = g.value(qn);
-            batch
+            let targets = batch
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
@@ -167,7 +176,9 @@ impl PamdpAgent for PQp {
                             self.cfg.gamma * max_q
                         }
                 })
-                .collect()
+                .collect();
+            self.tapes.target = g;
+            targets
         };
 
         let mut onehot = Matrix::zeros(n, NUM_BEHAVIOURS);
@@ -177,7 +188,8 @@ impl PamdpAgent for PQp {
 
         if q_phase {
             // --- Q phase: standard TD regression on the chosen behaviour ---
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.learn);
+            g.reset();
             let s = g.input(s_m);
             let onehot_v = g.input(onehot);
             let q = self.q_net.forward(&mut g, &self.q_store, s);
@@ -188,6 +200,7 @@ impl PamdpAgent for PQp {
             let loss = g.mse(q_sel, y);
             self.q_store.zero_grad();
             let lv = g.backward(loss, &mut self.q_store);
+            self.tapes.learn = g;
             self.q_store.clip_grad_norm(10.0);
             self.adam_q.step(&mut self.q_store);
             self.q_target.soft_update_from(&self.q_store, self.cfg.tau);
@@ -199,19 +212,23 @@ impl PamdpAgent for PQp {
             // --- parameter phase: advantage-weighted regression ------------
             // advantage_i = y_i - Q(s_i)[b_i]  (Q frozen)
             let advantages: Vec<f32> = {
-                let mut g = Graph::new();
+                let mut g = std::mem::take(&mut self.tapes.target);
+                g.reset();
                 let s = g.input(s_m.clone());
                 let q = self.q_net.forward_frozen(&mut g, &self.q_store, s);
                 let q = g.value(q);
-                batch
+                let advantages = batch
                     .iter()
                     .enumerate()
                     .map(|(i, t)| {
                         (targets[i] - q.get(i, t.action.behaviour.index())).clamp(-1.0, 1.0)
                     })
-                    .collect()
+                    .collect();
+                self.tapes.target = g;
+                advantages
             };
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.tapes.actor);
+            g.reset();
             let s = g.input(s_m);
             let raw = self.param_net.forward(&mut g, &self.param_store, s);
             let t = g.tanh(raw);
@@ -234,6 +251,7 @@ impl PamdpAgent for PQp {
             let loss = g.scale(total, 1.0 / n as f32);
             self.param_store.zero_grad();
             let lv = g.backward(loss, &mut self.param_store);
+            self.tapes.actor = g;
             self.param_store.clip_grad_norm(10.0);
             self.adam_param.step(&mut self.param_store);
             Some(LearnStats {

@@ -61,6 +61,16 @@ fn note_episode(
                 "impact_events",
                 telemetry::Json::from(metrics.impact_events),
             ),
+            // Cumulative nn arena counters: fresh stays flat once the
+            // agents' tapes reach steady state, while reused keeps growing.
+            (
+                "alloc_fresh",
+                telemetry::Json::from(telemetry::counter_value(keys::NN_ALLOC_FRESH)),
+            ),
+            (
+                "alloc_reused",
+                telemetry::Json::from(telemetry::counter_value(keys::NN_ALLOC_REUSED)),
+            ),
         ],
     );
 }

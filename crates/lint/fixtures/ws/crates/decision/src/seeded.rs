@@ -28,6 +28,11 @@ pub fn violations(v: &[f64], x: Option<u32>) -> f64 {
     first
 }
 
+pub fn churns_the_tape() {
+    let mut g = Graph::new();
+    let _ = &mut g;
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

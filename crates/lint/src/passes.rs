@@ -102,6 +102,13 @@ pub const RULES: &[Rule] = &[
                   round explicitly or justify with an allow",
     },
     Rule {
+        name: "graph-churn",
+        severity: Severity::Error,
+        summary: "Graph::new() outside a constructor rebuilds the tape's buffer arena \
+                  every call; hold a persistent nn::Graph and reset() it, or annotate \
+                  why no tape can be borrowed",
+    },
+    Rule {
         name: "telemetry-keys",
         severity: Severity::Error,
         summary: "string literal passed to a telemetry entry point that is not a \
@@ -162,6 +169,7 @@ pub fn run_file_passes(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>)
     pass_index(f, out);
     pass_float_eq(f, out);
     pass_float_cast(f, out);
+    pass_graph_churn(f, out);
     pass_telemetry_keys(f, ctx, out);
     pass_lint_header(f, out);
 }
@@ -485,6 +493,50 @@ fn source_expr_is_floaty(f: &SourceFile, as_idx: usize) -> bool {
         }
     }
     floaty
+}
+
+/// Memory-model: steady-state code must reuse a persistent `nn::Graph`
+/// tape via `Graph::reset()` instead of constructing a fresh one per call
+/// — a fresh graph starts with a cold `BufferPool`, so every intermediate
+/// buffer is re-allocated and the arena's steady-state reuse guarantee
+/// evaporates. Constructors (`fn new`) are the sanctioned place to build
+/// the persistent tapes; bench binaries measure the churn deliberately.
+/// The enclosing-function check is a lexical heuristic (last `fn <name>`
+/// seen before the call), which is exact for this workspace's flat item
+/// layout.
+fn pass_graph_churn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.path.contains("/src/bin/") {
+        return;
+    }
+    let toks = &f.toks;
+    let mut enclosing_fn = String::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("fn") {
+            if let Some(n) = toks.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    enclosing_fn = n.text.clone();
+                }
+            }
+            continue;
+        }
+        if f.is_test(i) {
+            continue;
+        }
+        let churn = t.is_ident("Graph")
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+            && matches!(toks.get(i + 2), Some(n) if n.is_ident("new"));
+        if churn && enclosing_fn != "new" {
+            out.push(diag(
+                "graph-churn",
+                f,
+                i,
+                "`Graph::new()` outside a constructor discards the tape's warm buffer \
+                 arena; hold a persistent tape and `reset()` it per pass instead"
+                    .to_string(),
+            ));
+        }
+    }
 }
 
 /// Telemetry entry points whose first argument is a metric/event key.
@@ -822,6 +874,50 @@ mod tests {
             "fn f() { let a = (x / y) as f32; }",
         )
         .is_empty());
+    }
+
+    #[test]
+    fn graph_churn_flags_non_constructor_construction() {
+        let d = lint_src(
+            "crates/decision/src/a.rs",
+            "decision",
+            "fn act(&mut self) { let mut g = Graph::new(); }",
+        );
+        assert_eq!(rules_of(&d), vec!["graph-churn"]);
+    }
+
+    #[test]
+    fn graph_churn_allows_constructors_tests_and_bins() {
+        assert!(lint_src(
+            "crates/decision/src/a.rs",
+            "decision",
+            "impl T { fn new() -> Self { Self { tape: Graph::new() } } }",
+        )
+        .is_empty());
+        assert!(lint_src(
+            "crates/nn/src/a.rs",
+            "nn",
+            "#[cfg(test)]\nmod tests { fn t() { let mut g = Graph::new(); } }",
+        )
+        .is_empty());
+        assert!(lint_src(
+            "crates/bench/src/bin/perf.rs",
+            "bench",
+            "fn bench() { let mut g = Graph::new(); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn graph_churn_resets_at_the_next_function() {
+        // A `fn new` earlier in the file must not shield later functions.
+        let d = lint_src(
+            "crates/decision/src/a.rs",
+            "decision",
+            "fn new() -> Graph { Graph::new() }\nfn step() { let g = Graph::new(); }",
+        );
+        assert_eq!(rules_of(&d), vec!["graph-churn"]);
+        assert_eq!(d[0].line, 2);
     }
 
     #[test]

@@ -1,16 +1,27 @@
 //! Define-by-run reverse-mode automatic differentiation.
 //!
-//! A [`Graph`] is a tape of operations built for a single forward pass. Each
-//! op builder immediately computes the forward value and records how to
+//! A [`Graph`] is a tape of operations built for one forward pass. Each op
+//! builder immediately computes the forward value and records how to
 //! propagate gradients. [`Graph::backward`] walks the tape in reverse and
 //! accumulates parameter gradients into the [`ParamStore`].
 //!
+//! The tape is **reusable**: every tape-local matrix (node values, the
+//! gradient scratch, backward temporaries) is checked out of a per-graph
+//! [`BufferPool`] arena, and [`Graph::reset`] returns them all to the
+//! arena while keeping node and scratch capacity. A long-lived tape that
+//! is reset between training steps therefore reaches a steady state where
+//! a full forward/backward pass performs (almost) no heap allocation —
+//! see the pool-level invariants in [`crate::pool`].
+//!
 //! The op set is exactly what the HEAD networks need: dense algebra,
-//! broadcasts, activations, row-softmax, and the gather/segment-sum pair that
-//! expresses graph attention over a fixed neighbour structure.
+//! broadcasts, activations, row-softmax, the gather/segment-sum pair that
+//! expresses graph attention over a fixed neighbour structure, and a fused
+//! [`Graph::linear`] (matmul + broadcast bias + optional ReLU) collapsing
+//! the three-node chain that dominates every dense forward.
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
+use crate::pool::{BufferPool, PoolStats};
 use std::collections::HashMap;
 use std::sync::Arc;
 use telemetry::{keys, Stopwatch};
@@ -44,6 +55,8 @@ enum Op {
     ConcatRows(Var, Var),
     SumAll(Var),
     MeanAll(Var),
+    /// Fused `x·w + b` (+ optional ReLU) — see [`Graph::linear`].
+    Linear(Var, Var, Var, bool),
 }
 
 struct Node {
@@ -77,12 +90,13 @@ fn op_kind(op: &Op) -> &'static str {
         Op::ConcatRows(..) => "concat_rows",
         Op::SumAll(_) => "sum_all",
         Op::MeanAll(_) => "mean_all",
+        Op::Linear(..) => "linear",
     }
 }
 
 /// Per-op-kind `(calls, ns)` aggregates for one tape's lifetime, only
-/// allocated when telemetry is enabled at [`Graph::new`] time so the
-/// disabled path stays a `None` check per op.
+/// allocated when telemetry is enabled at [`Graph::new`] (or
+/// [`Graph::reset`]) time so the disabled path stays a `None` check per op.
 struct OpTimes {
     /// Rolling timestamp: forward time between consecutive `push()` calls
     /// is attributed to the op being pushed (each builder computes its
@@ -93,17 +107,71 @@ struct OpTimes {
     bwd: HashMap<&'static str, (u64, u64)>,
 }
 
-/// A single-use computation tape.
+fn new_op_times() -> Box<OpTimes> {
+    Box::new(OpTimes {
+        mark: Stopwatch::start(),
+        fwd: HashMap::new(),
+        bwd: HashMap::new(),
+    })
+}
+
+/// A reusable computation tape backed by a [`BufferPool`] arena.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Persistent backward scratch, indexed like `nodes`. Every entry is
+    /// `None` between passes; `backward` seeds and drains it in place.
+    grads: Vec<Option<Matrix>>,
+    pool: BufferPool,
     timing: Option<Box<OpTimes>>,
 }
 
 impl Drop for Graph {
     fn drop(&mut self) {
-        // Flush per-op aggregates into global telemetry counters. Formatting
-        // ~20 names per tape is noise next to the matrix work the tape did.
+        self.flush_timing();
+        self.pool.flush_telemetry();
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph. Per-op timing is captured for this tape's
+    /// whole lifetime iff telemetry is enabled now.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            pool: BufferPool::new(),
+            timing: telemetry::enabled().then(new_op_times),
+        }
+    }
+
+    /// Clears the tape for reuse: every node value and any leftover
+    /// gradient buffer goes back to the arena, while node capacity,
+    /// gradient-scratch capacity and the pooled backing stores survive.
+    /// At steady state the next pass re-serves every buffer it needs from
+    /// the free lists instead of the heap.
+    ///
+    /// Telemetry bookkeeping matches a drop-and-recreate cycle: per-op
+    /// timing aggregates are flushed to the global counters, pool counter
+    /// deltas are flushed, and timing is re-armed iff telemetry is
+    /// enabled now (the [`Graph::new`] rule).
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.give(node.value);
+        }
+        for slot in &mut self.grads {
+            if let Some(stale) = slot.take() {
+                self.pool.give(stale);
+            }
+        }
+        self.flush_timing();
+        self.pool.flush_telemetry();
+        self.timing = telemetry::enabled().then(new_op_times);
+    }
+
+    /// Flush per-op aggregates into global telemetry counters. Formatting
+    /// ~20 names per tape is noise next to the matrix work the tape did.
+    fn flush_timing(&mut self) {
         let Some(t) = self.timing.take() else { return };
         for (prefix, map) in [(keys::NN_FWD_PREFIX, &t.fwd), (keys::NN_BWD_PREFIX, &t.bwd)] {
             for (kind, &(calls, ns)) in map {
@@ -112,23 +180,11 @@ impl Drop for Graph {
             }
         }
     }
-}
 
-impl Graph {
-    /// Creates an empty graph. Per-op timing is captured for this tape's
-    /// whole lifetime iff telemetry is enabled now.
-    pub fn new() -> Self {
-        let timing = telemetry::enabled().then(|| {
-            Box::new(OpTimes {
-                mark: Stopwatch::start(),
-                fwd: HashMap::new(),
-                bwd: HashMap::new(),
-            })
-        });
-        Self {
-            nodes: Vec::new(),
-            timing,
-        }
+    /// Allocation counters of this tape's arena (cumulative over the
+    /// tape's lifetime, across resets).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Number of nodes recorded so far.
@@ -162,115 +218,175 @@ impl Graph {
         self.push(Op::Input, m)
     }
 
+    /// Adds a constant leaf copied from `m` into a pooled buffer — the
+    /// hot-path form of `input(m.clone())`.
+    pub fn input_copy(&mut self, m: &Matrix) -> Var {
+        let v = self.pool.copy_of(m);
+        self.push(Op::Input, v)
+    }
+
+    /// Adds an all-zero constant leaf served from the arena.
+    pub fn input_zeros(&mut self, rows: usize, cols: usize) -> Var {
+        let v = self.pool.take_zeroed(rows, cols);
+        self.push(Op::Input, v)
+    }
+
     /// Adds a parameter leaf; its gradient is routed to `id` on backward.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(Op::Param(id), store.value(id))
+        let v = self.pool.copy_of(&store.get(id).value);
+        self.push(Op::Param(id), v)
     }
 
     /// Matrix product. Dispatches to the row-partitioned parallel kernel
     /// when [`par::threads`] and the product size warrant it; either path
     /// is bit-identical (see `Matrix::matmul_auto`).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul_auto(&self.nodes[b.0].value);
-        self.push(Op::MatMul(a, b), v)
+        let out = {
+            let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            let mut out = self.pool.take(am.rows(), bm.cols());
+            am.matmul_auto_into(bm, &mut out);
+            out
+        };
+        self.push(Op::MatMul(a, b), out)
     }
 
     /// Element-wise sum of two same-shape nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self
+            .pool
+            .zip_from(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x + y);
         self.push(Op::Add(a, b), v)
     }
 
     /// `(r, c) + (1, c)` broadcast sum — the bias add.
     pub fn add_broadcast_row(&mut self, a: Var, b: Var) -> Var {
-        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
-        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
-        let mut out = am.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = out.get(r, c) + bm.get(0, c);
-                out.set(r, c, v);
+        let out = {
+            let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+            assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+            let mut out = self.pool.take(am.rows(), am.cols());
+            for r in 0..am.rows() {
+                let dst = out.row_slice_mut(r);
+                dst.copy_from_slice(am.row_slice(r));
+                for (o, &bv) in dst.iter_mut().zip(bm.row_slice(0)) {
+                    *o += bv;
+                }
             }
-        }
+            out
+        };
         self.push(Op::AddBroadcastRow(a, b), out)
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self
+            .pool
+            .zip_from(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x - y);
         self.push(Op::Sub(a, b), v)
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self
+            .pool
+            .zip_from(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x * y);
         self.push(Op::MulElem(a, b), v)
     }
 
     /// `(r, c) * (r, 1)` broadcast product — per-row scaling.
     pub fn mul_broadcast_col(&mut self, a: Var, b: Var) -> Var {
-        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(bm.cols(), 1, "broadcast operand must be a column vector");
-        assert_eq!(am.rows(), bm.rows(), "broadcast height mismatch");
-        let mut out = am.clone();
-        for r in 0..out.rows() {
-            let s = bm.get(r, 0);
-            for v in out.row_slice_mut(r) {
-                *v *= s;
+        let out = {
+            let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            assert_eq!(bm.cols(), 1, "broadcast operand must be a column vector");
+            assert_eq!(am.rows(), bm.rows(), "broadcast height mismatch");
+            let mut out = self.pool.copy_of(am);
+            for r in 0..out.rows() {
+                let s = bm.get(r, 0);
+                for v in out.row_slice_mut(r) {
+                    *v *= s;
+                }
             }
-        }
+            out
+        };
         self.push(Op::MulBroadcastCol(a, b), out)
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x * s);
+        let v = self.pool.map_from(&self.nodes[a.0].value, |x| x * s);
         self.push(Op::Scale(a, s), v)
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x + s);
+        let v = self.pool.map_from(&self.nodes[a.0].value, |x| x + s);
         self.push(Op::AddScalar(a), v)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let v = self.pool.map_from(&self.nodes[a.0].value, |x| x.max(0.0));
         self.push(Op::Relu(a), v)
     }
 
     /// Leaky ReLU with the given negative-side slope.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.pool.map_from(
+            &self.nodes[a.0].value,
+            |x| if x > 0.0 { x } else { slope * x },
+        );
         self.push(Op::LeakyRelu(a, slope), v)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f32::tanh);
+        let v = self.pool.map_from(&self.nodes[a.0].value, f32::tanh);
         self.push(Op::Tanh(a), v)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self
+            .pool
+            .map_from(&self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Fused dense layer: `x·w` plus a row-broadcast bias, with an
+    /// optional ReLU — one tape node where the unfused spelling records
+    /// three (`matmul` / `add_broadcast_row` / `relu`).
+    ///
+    /// Bit-identical to the unfused chain: the same matmul kernel runs on
+    /// the same operands, the bias add and ReLU apply element-wise in the
+    /// same order, and the backward pass reuses the exact kernels of the
+    /// three unfused branches (see `Op::Linear` in `backward`).
+    pub fn linear(&mut self, x: Var, w: Var, b: Var, relu: bool) -> Var {
+        let out = {
+            let xm = &self.nodes[x.0].value;
+            let wm = &self.nodes[w.0].value;
+            let bm = &self.nodes[b.0].value;
+            assert_eq!(bm.rows(), 1, "bias must be a row vector");
+            assert_eq!(wm.cols(), bm.cols(), "bias width mismatch");
+            let mut out = self.pool.take(xm.rows(), wm.cols());
+            xm.matmul_auto_into(wm, &mut out);
+            for r in 0..xm.rows() {
+                for (o, &bv) in out.row_slice_mut(r).iter_mut().zip(bm.row_slice(0)) {
+                    *o += bv;
+                }
+            }
+            if relu {
+                for o in out.data_mut() {
+                    *o = o.max(0.0);
+                }
+            }
+            out
+        };
+        self.push(Op::Linear(x, w, b, relu), out)
     }
 
     /// Row-wise softmax (numerically stabilised).
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let m = &self.nodes[a.0].value;
-        let mut out = m.clone();
+        let mut out = self.pool.copy_of(&self.nodes[a.0].value);
         for r in 0..out.rows() {
             let row = out.row_slice_mut(r);
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -288,11 +404,16 @@ impl Graph {
 
     /// Builds a new matrix whose row `i` is row `indices[i]` of `a`.
     pub fn gather_rows(&mut self, a: Var, indices: Arc<Vec<usize>>) -> Var {
-        let m = &self.nodes[a.0].value;
-        let mut out = Matrix::zeros(indices.len(), m.cols());
-        for (i, &src) in indices.iter().enumerate() {
-            out.row_slice_mut(i).copy_from_slice(m.row_slice(src));
-        }
+        let out = {
+            let m = &self.nodes[a.0].value;
+            // Every row is fully overwritten below, so a raw (unzeroed)
+            // pooled buffer is safe.
+            let mut out = self.pool.take(indices.len(), m.cols());
+            for (i, &src) in indices.iter().enumerate() {
+                out.row_slice_mut(i).copy_from_slice(m.row_slice(src));
+            }
+            out
+        };
         self.push(Op::GatherRows(a, indices), out)
     }
 
@@ -301,71 +422,91 @@ impl Graph {
     /// Input `(k * g, c)` becomes output `(k, c)` with row `j` equal to the
     /// sum of input rows `j*g .. (j+1)*g`.
     pub fn sum_groups(&mut self, a: Var, group_size: usize) -> Var {
-        let m = &self.nodes[a.0].value;
-        assert!(
-            group_size > 0 && m.rows() % group_size == 0,
-            "rows must divide into groups"
-        );
-        let groups = m.rows() / group_size;
-        let mut out = Matrix::zeros(groups, m.cols());
-        for j in 0..groups {
-            for i in 0..group_size {
-                let src = m.row_slice(j * group_size + i);
-                for (o, &s) in out.row_slice_mut(j).iter_mut().zip(src) {
-                    *o += s;
+        let out = {
+            let m = &self.nodes[a.0].value;
+            assert!(
+                group_size > 0 && m.rows() % group_size == 0,
+                "rows must divide into groups"
+            );
+            let groups = m.rows() / group_size;
+            let mut out = self.pool.take_zeroed(groups, m.cols());
+            for j in 0..groups {
+                for i in 0..group_size {
+                    let src = m.row_slice(j * group_size + i);
+                    for (o, &s) in out.row_slice_mut(j).iter_mut().zip(src) {
+                        *o += s;
+                    }
                 }
             }
-        }
+            out
+        };
         self.push(Op::SumGroups(a, group_size), out)
     }
 
     /// Reshapes without reordering data.
     pub fn reshape(&mut self, a: Var, rows: usize, cols: usize) -> Var {
-        let v = self.nodes[a.0].value.reshaped(rows, cols);
-        self.push(Op::Reshape(a), v)
+        let out = {
+            let m = &self.nodes[a.0].value;
+            assert_eq!(m.len(), rows * cols, "reshape must preserve length");
+            let mut out = self.pool.take(rows, cols);
+            out.data_mut().copy_from_slice(m.data());
+            out
+        };
+        self.push(Op::Reshape(a), out)
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.transpose();
+        let v = self.pool.transpose_of(&self.nodes[a.0].value);
         self.push(Op::Transpose(a), v)
     }
 
     /// Horizontal concatenation `[a || b]`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(am.rows(), bm.rows(), "concat_cols row mismatch");
-        let mut out = Matrix::zeros(am.rows(), am.cols() + bm.cols());
-        for r in 0..am.rows() {
-            let dst = out.row_slice_mut(r);
-            dst[..am.cols()].copy_from_slice(am.row_slice(r));
-            dst[am.cols()..].copy_from_slice(bm.row_slice(r));
-        }
+        let out = {
+            let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            assert_eq!(am.rows(), bm.rows(), "concat_cols row mismatch");
+            let mut out = self.pool.take(am.rows(), am.cols() + bm.cols());
+            for r in 0..am.rows() {
+                let dst = out.row_slice_mut(r);
+                dst[..am.cols()].copy_from_slice(am.row_slice(r));
+                dst[am.cols()..].copy_from_slice(bm.row_slice(r));
+            }
+            out
+        };
         self.push(Op::ConcatCols(a, b), out)
     }
 
     /// Vertical concatenation (stack `b` below `a`).
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(am.cols(), bm.cols(), "concat_rows col mismatch");
-        let mut data = Vec::with_capacity((am.rows() + bm.rows()) * am.cols());
-        data.extend_from_slice(am.data());
-        data.extend_from_slice(bm.data());
-        let out = Matrix::from_vec(am.rows() + bm.rows(), am.cols(), data);
+        let out = {
+            let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            assert_eq!(am.cols(), bm.cols(), "concat_rows col mismatch");
+            let mut out = self.pool.take(am.rows() + bm.rows(), am.cols());
+            out.data_mut()[..am.len()].copy_from_slice(am.data());
+            out.data_mut()[am.len()..].copy_from_slice(bm.data());
+            out
+        };
         self.push(Op::ConcatRows(a, b), out)
     }
 
     /// Sum of all elements, as a `1x1` matrix.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
-        self.push(Op::SumAll(a), v)
+        let s = self.nodes[a.0].value.sum();
+        let mut out = self.pool.take(1, 1);
+        out.set(0, 0, s);
+        self.push(Op::SumAll(a), out)
     }
 
     /// Mean of all elements, as a `1x1` matrix.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let m = &self.nodes[a.0].value;
-        let v = Matrix::from_vec(1, 1, vec![m.sum() / m.len() as f32]);
-        self.push(Op::MeanAll(a), v)
+        let (s, n) = {
+            let m = &self.nodes[a.0].value;
+            (m.sum(), m.len())
+        };
+        let mut out = self.pool.take(1, 1);
+        out.set(0, 0, s / n as f32);
+        self.push(Op::MeanAll(a), out)
     }
 
     /// Convenience: mean-squared-error between `pred` and `target`.
@@ -387,19 +528,39 @@ impl Graph {
 
     /// Runs the backward pass from `loss` (must be `1x1`) and accumulates
     /// parameter gradients into `store`. Returns the scalar loss value.
+    ///
+    /// Gradients flow through a persistent per-tape scratch (`self.grads`)
+    /// and pooled temporaries; each visited gradient buffer returns to the
+    /// arena as soon as its contributions are propagated, so the pass
+    /// allocates nothing at steady state.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) -> f32 {
         let loss_value = {
             let m = &self.nodes[loss.0].value;
             assert_eq!(m.shape(), (1, 1), "backward seed must be a scalar");
             m.get(0, 0)
         };
-        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        if self.grads.len() < self.nodes.len() {
+            self.grads.resize_with(self.nodes.len(), || None);
+        }
+        // Normally a no-op: the reverse walk below drains every slot it
+        // seeds. Clearing defensively keeps a panicked pass from leaking
+        // stale gradients into the next one.
+        for slot in &mut self.grads {
+            if let Some(stale) = slot.take() {
+                self.pool.give(stale);
+            }
+        }
+        let seed = {
+            let mut m = self.pool.take(1, 1);
+            m.set(0, 0, 1.0);
+            m
+        };
+        self.grads[loss.0] = Some(seed);
 
         for i in (0..=loss.0).rev() {
-            let Some(g) = grads[i].take() else { continue };
-            // Re-insert so callers can inspect grads of intermediate nodes if
-            // this ever becomes useful; cheap because matrices are small.
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
             let op = self.nodes[i].op.clone();
             let kind = op_kind(&op);
             let t0 = self.timing.as_ref().map(|_| Stopwatch::start());
@@ -407,164 +568,268 @@ impl Graph {
                 Op::Input => {}
                 Op::Param(id) => store.accumulate_grad(id, &g),
                 Op::MatMul(a, b) => {
-                    let bt = self.nodes[b.0].value.transpose();
-                    let ga = g.matmul_auto(&bt);
-                    let av = &self.nodes[a.0].value;
-                    // Batch-1 weight gradient is an outer product aᵀ·g;
-                    // the dedicated kernel skips the transpose copy and is
-                    // bit-identical to the matmul it replaces.
-                    let gb = if av.rows() == 1 && g.rows() == 1 {
-                        Matrix::outer_auto(av.data(), g.data())
-                    } else {
-                        av.transpose().matmul_auto(&g)
+                    let bt = self.pool.transpose_of(&self.nodes[b.0].value);
+                    let mut ga = self.pool.take(g.rows(), bt.cols());
+                    g.matmul_auto_into(&bt, &mut ga);
+                    self.pool.give(bt);
+                    let gb = {
+                        let av = &self.nodes[a.0].value;
+                        // Batch-1 weight gradient is an outer product aᵀ·g;
+                        // the dedicated kernel skips the transpose copy and
+                        // is bit-identical to the matmul it replaces.
+                        if av.rows() == 1 && g.rows() == 1 {
+                            let mut gb = self.pool.take(av.cols(), g.cols());
+                            Matrix::outer_auto_into(av.data(), g.data(), &mut gb);
+                            gb
+                        } else {
+                            let at = self.pool.transpose_of(av);
+                            let mut gb = self.pool.take(at.rows(), g.cols());
+                            at.matmul_auto_into(&g, &mut gb);
+                            self.pool.give(at);
+                            gb
+                        }
                     };
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gb);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    accumulate(&mut grads, b.0, g);
+                    accumulate_ref(&mut self.grads, &mut self.pool, a.0, &g);
+                    accumulate_ref(&mut self.grads, &mut self.pool, b.0, &g);
                 }
                 Op::AddBroadcastRow(a, b) => {
-                    let mut gb = Matrix::zeros(1, g.cols());
-                    for r in 0..g.rows() {
-                        for c in 0..g.cols() {
-                            let v = gb.get(0, c) + g.get(r, c);
-                            gb.set(0, c, v);
+                    let mut gb = self.pool.take_zeroed(1, g.cols());
+                    {
+                        let dst = gb.data_mut();
+                        for r in 0..g.rows() {
+                            for (o, &gv) in dst.iter_mut().zip(g.row_slice(r)) {
+                                *o += gv;
+                            }
                         }
                     }
-                    accumulate(&mut grads, a.0, g);
-                    accumulate(&mut grads, b.0, gb);
+                    accumulate_ref(&mut self.grads, &mut self.pool, a.0, &g);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gb);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    accumulate(&mut grads, b.0, g.map(|x| -x));
+                    accumulate_ref(&mut self.grads, &mut self.pool, a.0, &g);
+                    let gneg = self.pool.map_from(&g, |x| -x);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gneg);
                 }
                 Op::MulElem(a, b) => {
-                    let ga = g.zip(&self.nodes[b.0].value, |x, y| x * y);
-                    let gb = g.zip(&self.nodes[a.0].value, |x, y| x * y);
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    let ga = self.pool.zip_from(&g, &self.nodes[b.0].value, |x, y| x * y);
+                    let gb = self.pool.zip_from(&g, &self.nodes[a.0].value, |x, y| x * y);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gb);
                 }
                 Op::MulBroadcastCol(a, b) => {
-                    let am = &self.nodes[a.0].value;
-                    let bm = &self.nodes[b.0].value;
-                    let mut ga = g.clone();
-                    for r in 0..ga.rows() {
-                        let s = bm.get(r, 0);
-                        for v in ga.row_slice_mut(r) {
-                            *v *= s;
+                    let mut ga = self.pool.copy_of(&g);
+                    {
+                        let bm = &self.nodes[b.0].value;
+                        for r in 0..ga.rows() {
+                            let s = bm.get(r, 0);
+                            for v in ga.row_slice_mut(r) {
+                                *v *= s;
+                            }
                         }
                     }
-                    let mut gb = Matrix::zeros(bm.rows(), 1);
-                    for r in 0..g.rows() {
-                        let dot: f32 = g
-                            .row_slice(r)
-                            .iter()
-                            .zip(am.row_slice(r))
-                            .map(|(&x, &y)| x * y)
-                            .sum();
-                        gb.set(r, 0, dot);
-                    }
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    let gb = {
+                        let am = &self.nodes[a.0].value;
+                        let rows = self.nodes[b.0].value.rows();
+                        // Full overwrite: one `set` per row of the (rows, 1)
+                        // buffer, so a raw pooled take is safe.
+                        let mut gb = self.pool.take(rows, 1);
+                        for r in 0..g.rows() {
+                            let dot: f32 = g
+                                .row_slice(r)
+                                .iter()
+                                .zip(am.row_slice(r))
+                                .map(|(&x, &y)| x * y)
+                                .sum();
+                            gb.set(r, 0, dot);
+                        }
+                        gb
+                    };
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gb);
                 }
-                Op::Scale(a, s) => accumulate(&mut grads, a.0, g.map(|x| x * s)),
-                Op::AddScalar(a) => accumulate(&mut grads, a.0, g),
+                Op::Scale(a, s) => {
+                    let ga = self.pool.map_from(&g, |x| x * s);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                }
+                Op::AddScalar(a) => accumulate_ref(&mut self.grads, &mut self.pool, a.0, &g),
                 Op::Relu(a) => {
-                    let ga = g.zip(
-                        &self.nodes[a.0].value,
-                        |gv, x| if x > 0.0 { gv } else { 0.0 },
-                    );
-                    accumulate(&mut grads, a.0, ga);
+                    let ga = self.pool.zip_from(&g, &self.nodes[a.0].value, |gv, x| {
+                        if x > 0.0 {
+                            gv
+                        } else {
+                            0.0
+                        }
+                    });
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::LeakyRelu(a, slope) => {
-                    let ga = g.zip(&self.nodes[a.0].value, |gv, x| {
+                    let ga = self.pool.zip_from(&g, &self.nodes[a.0].value, |gv, x| {
                         if x > 0.0 {
                             gv
                         } else {
                             gv * slope
                         }
                     });
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::Tanh(a) => {
-                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
-                    accumulate(&mut grads, a.0, ga);
+                    let ga = self
+                        .pool
+                        .zip_from(&g, &self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::Sigmoid(a) => {
-                    let ga = g.zip(&self.nodes[i].value, |gv, y| gv * y * (1.0 - y));
-                    accumulate(&mut grads, a.0, ga);
+                    let ga = self
+                        .pool
+                        .zip_from(&g, &self.nodes[i].value, |gv, y| gv * y * (1.0 - y));
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::SoftmaxRows(a) => {
-                    let y = &self.nodes[i].value;
-                    let mut ga = Matrix::zeros(y.rows(), y.cols());
-                    for r in 0..y.rows() {
-                        let dot: f32 = g
-                            .row_slice(r)
-                            .iter()
-                            .zip(y.row_slice(r))
-                            .map(|(&x, &p)| x * p)
-                            .sum();
-                        for c in 0..y.cols() {
-                            ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                    let ga = {
+                        let y = &self.nodes[i].value;
+                        // Full overwrite: every (r, c) is set below.
+                        let mut ga = self.pool.take(y.rows(), y.cols());
+                        for r in 0..y.rows() {
+                            let dot: f32 = g
+                                .row_slice(r)
+                                .iter()
+                                .zip(y.row_slice(r))
+                                .map(|(&x, &p)| x * p)
+                                .sum();
+                            for c in 0..y.cols() {
+                                ga.set(r, c, y.get(r, c) * (g.get(r, c) - dot));
+                            }
                         }
-                    }
-                    accumulate(&mut grads, a.0, ga);
+                        ga
+                    };
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::GatherRows(a, indices) => {
-                    let src = &self.nodes[a.0].value;
-                    let mut ga = Matrix::zeros(src.rows(), src.cols());
-                    for (r, &idx) in indices.iter().enumerate() {
-                        for (o, &gv) in ga.row_slice_mut(idx).iter_mut().zip(g.row_slice(r)) {
-                            *o += gv;
+                    let ga = {
+                        let src = &self.nodes[a.0].value;
+                        let mut ga = self.pool.take_zeroed(src.rows(), src.cols());
+                        for (r, &idx) in indices.iter().enumerate() {
+                            for (o, &gv) in ga.row_slice_mut(idx).iter_mut().zip(g.row_slice(r)) {
+                                *o += gv;
+                            }
                         }
-                    }
-                    accumulate(&mut grads, a.0, ga);
+                        ga
+                    };
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::SumGroups(a, group_size) => {
-                    let src = &self.nodes[a.0].value;
-                    let mut ga = Matrix::zeros(src.rows(), src.cols());
-                    for r in 0..src.rows() {
-                        ga.row_slice_mut(r)
-                            .copy_from_slice(g.row_slice(r / group_size));
-                    }
-                    accumulate(&mut grads, a.0, ga);
+                    let ga = {
+                        let src = &self.nodes[a.0].value;
+                        // Full overwrite: every row is copied from g.
+                        let mut ga = self.pool.take(src.rows(), src.cols());
+                        for r in 0..src.rows() {
+                            ga.row_slice_mut(r)
+                                .copy_from_slice(g.row_slice(r / group_size));
+                        }
+                        ga
+                    };
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::Reshape(a) => {
                     let (r, c) = self.nodes[a.0].value.shape();
-                    accumulate(&mut grads, a.0, g.reshaped(r, c));
+                    let mut ga = self.pool.take(r, c);
+                    ga.data_mut().copy_from_slice(g.data());
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
-                Op::Transpose(a) => accumulate(&mut grads, a.0, g.transpose()),
+                Op::Transpose(a) => {
+                    let ga = self.pool.transpose_of(&g);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                }
                 Op::ConcatCols(a, b) => {
                     let ac = self.nodes[a.0].value.cols();
-                    let mut ga = Matrix::zeros(g.rows(), ac);
-                    let mut gb = Matrix::zeros(g.rows(), g.cols() - ac);
+                    let mut ga = self.pool.take(g.rows(), ac);
+                    let mut gb = self.pool.take(g.rows(), g.cols() - ac);
                     for r in 0..g.rows() {
                         let src = g.row_slice(r);
                         ga.row_slice_mut(r).copy_from_slice(&src[..ac]);
                         gb.row_slice_mut(r).copy_from_slice(&src[ac..]);
                     }
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gb);
                 }
                 Op::ConcatRows(a, b) => {
                     let ar = self.nodes[a.0].value.rows();
                     let cols = g.cols();
-                    let ga = Matrix::from_vec(ar, cols, g.data()[..ar * cols].to_vec());
-                    let gb = Matrix::from_vec(g.rows() - ar, cols, g.data()[ar * cols..].to_vec());
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    let mut ga = self.pool.take(ar, cols);
+                    ga.data_mut().copy_from_slice(&g.data()[..ar * cols]);
+                    let mut gb = self.pool.take(g.rows() - ar, cols);
+                    gb.data_mut().copy_from_slice(&g.data()[ar * cols..]);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gb);
                 }
                 Op::SumAll(a) => {
                     let s = g.get(0, 0);
                     let (r, c) = self.nodes[a.0].value.shape();
-                    accumulate(&mut grads, a.0, Matrix::full(r, c, s));
+                    let mut ga = self.pool.take(r, c);
+                    ga.data_mut().fill(s);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
                 }
                 Op::MeanAll(a) => {
                     let (r, c) = self.nodes[a.0].value.shape();
                     let s = g.get(0, 0) / (r * c) as f32;
-                    accumulate(&mut grads, a.0, Matrix::full(r, c, s));
+                    let mut ga = self.pool.take(r, c);
+                    ga.data_mut().fill(s);
+                    accumulate_owned(&mut self.grads, &mut self.pool, a.0, ga);
+                }
+                Op::Linear(x, w, b, relu) => {
+                    // With the fused ReLU, masking by the node's own output
+                    // is bit-identical to the unfused relu backward's mask
+                    // by pre-activation: for ReLU, out > 0 exactly when the
+                    // pre-activation is > 0, and the passed-through
+                    // gradient value is unchanged either way.
+                    let gm = if relu {
+                        self.pool.zip_from(
+                            &g,
+                            &self.nodes[i].value,
+                            |gv, y| if y > 0.0 { gv } else { 0.0 },
+                        )
+                    } else {
+                        self.pool.copy_of(&g)
+                    };
+                    // Bias gradient: column sums of gm, exactly the
+                    // AddBroadcastRow backward.
+                    let mut gb = self.pool.take_zeroed(1, gm.cols());
+                    {
+                        let dst = gb.data_mut();
+                        for r in 0..gm.rows() {
+                            for (o, &gv) in dst.iter_mut().zip(gm.row_slice(r)) {
+                                *o += gv;
+                            }
+                        }
+                    }
+                    // Input and weight gradients: exactly the MatMul
+                    // backward, with gm in place of g.
+                    let wt = self.pool.transpose_of(&self.nodes[w.0].value);
+                    let mut gx = self.pool.take(gm.rows(), wt.cols());
+                    gm.matmul_auto_into(&wt, &mut gx);
+                    self.pool.give(wt);
+                    let gw = {
+                        let xm = &self.nodes[x.0].value;
+                        if xm.rows() == 1 && gm.rows() == 1 {
+                            let mut gw = self.pool.take(xm.cols(), gm.cols());
+                            Matrix::outer_auto_into(xm.data(), gm.data(), &mut gw);
+                            gw
+                        } else {
+                            let xt = self.pool.transpose_of(xm);
+                            let mut gw = self.pool.take(xt.rows(), gm.cols());
+                            xt.matmul_auto_into(&gm, &mut gw);
+                            self.pool.give(xt);
+                            gw
+                        }
+                    };
+                    self.pool.give(gm);
+                    accumulate_owned(&mut self.grads, &mut self.pool, x.0, gx);
+                    accumulate_owned(&mut self.grads, &mut self.pool, w.0, gw);
+                    accumulate_owned(&mut self.grads, &mut self.pool, b.0, gb);
                 }
             }
             if let (Some(t0), Some(t)) = (t0, &mut self.timing) {
@@ -572,15 +837,36 @@ impl Graph {
                 e.0 += 1;
                 e.1 += t0.elapsed_ns();
             }
+            self.pool.give(g);
         }
         loss_value
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, delta: Matrix) {
+/// Accumulates an owned, pool-backed `delta` into `grads[idx]`; when the
+/// slot is already populated the delta's buffer returns to the arena.
+fn accumulate_owned(
+    grads: &mut [Option<Matrix>],
+    pool: &mut BufferPool,
+    idx: usize,
+    delta: Matrix,
+) {
     match &mut grads[idx] {
-        Some(existing) => existing.add_assign(&delta),
+        Some(existing) => {
+            existing.add_assign(&delta);
+            pool.give(delta);
+        }
         slot @ None => *slot = Some(delta),
+    }
+}
+
+/// Accumulates a borrowed `delta` into `grads[idx]`, copying into a pooled
+/// buffer only when the slot is empty — the clone-free path for ops whose
+/// upstream gradient passes through unchanged.
+fn accumulate_ref(grads: &mut [Option<Matrix>], pool: &mut BufferPool, idx: usize, delta: &Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(delta),
+        slot @ None => *slot = Some(pool.copy_of(delta)),
     }
 }
 
@@ -758,5 +1044,52 @@ mod tests {
         let lv = g.backward(loss, &mut store);
         assert_eq!(lv, 13.0);
         assert_eq!(store.get(p).grad, Matrix::from_rows(&[&[3.0, 5.0]]));
+    }
+
+    #[test]
+    fn reset_reuses_buffers_instead_of_allocating() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_rows(&[&[2.0], &[3.0]]));
+        let mut g = Graph::new();
+        for _ in 0..3 {
+            g.reset();
+            let x = g.input_copy(&Matrix::row(&[5.0, 7.0]));
+            let wv = g.param(&store, w);
+            let y = g.matmul(x, wv);
+            let loss = g.sum_all(y);
+            let lv = g.backward(loss, &mut store);
+            assert_eq!(lv, 31.0);
+        }
+        let stats = g.pool_stats();
+        // Steps 2 and 3 are served entirely from the free lists, so
+        // reuses strictly dominate fresh allocations.
+        assert!(
+            stats.reused > stats.fresh,
+            "expected steady-state reuse, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn fused_linear_forward_matches_unfused_chain() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]));
+        let b = store.register("b", Matrix::row(&[0.1, -0.2]));
+        let x = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+
+        let mut g1 = Graph::new();
+        let (xv, wv, bv) = (
+            g1.input(x.clone()),
+            g1.param(&store, w),
+            g1.param(&store, b),
+        );
+        let mm = g1.matmul(xv, wv);
+        let biased = g1.add_broadcast_row(mm, bv);
+        let unfused = g1.relu(biased);
+
+        let mut g2 = Graph::new();
+        let (xv, wv, bv) = (g2.input(x), g2.param(&store, w), g2.param(&store, b));
+        let fused = g2.linear(xv, wv, bv, true);
+
+        assert_eq!(g1.value(unfused), g2.value(fused));
     }
 }

@@ -39,7 +39,13 @@ impl Linear {
 
     /// Applies the layer to a `(batch, in_dim)` node.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
-        self.forward_inner(g, store, x, true)
+        self.forward_inner(g, store, x, true, false)
+    }
+
+    /// Applies the layer followed by a ReLU, as one fused tape node
+    /// (bit-identical to `forward` + `Graph::relu`).
+    pub fn forward_relu(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        self.forward_inner(g, store, x, true, true)
     }
 
     /// Applies the layer with its weights treated as constants: gradients
@@ -47,10 +53,22 @@ impl Linear {
     /// Used when optimising one network through another that must stay
     /// fixed (e.g. the P-DQN actor loss with θ_Q frozen).
     pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
-        self.forward_inner(g, store, x, false)
+        self.forward_inner(g, store, x, false, false)
     }
 
-    fn forward_inner(&self, g: &mut Graph, store: &ParamStore, x: Var, trainable: bool) -> Var {
+    /// [`Linear::forward_frozen`] with a fused ReLU.
+    pub fn forward_frozen_relu(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        self.forward_inner(g, store, x, false, true)
+    }
+
+    fn forward_inner(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        trainable: bool,
+        relu: bool,
+    ) -> Var {
         debug_assert_eq!(
             g.value(x).cols(),
             self.in_dim,
@@ -59,10 +77,12 @@ impl Linear {
         let (w, b) = if trainable {
             (g.param(store, self.w), g.param(store, self.b))
         } else {
-            (g.input(store.value(self.w)), g.input(store.value(self.b)))
+            (
+                g.input_copy(&store.get(self.w).value),
+                g.input_copy(&store.get(self.b).value),
+            )
         };
-        let xw = g.matmul(x, w);
-        g.add_broadcast_row(xw, b)
+        g.linear(x, w, b, relu)
     }
 
     /// Input width.
@@ -146,11 +166,12 @@ impl LstmCell {
         }
     }
 
-    /// Zero initial state for a batch of `batch` rows.
+    /// Zero initial state for a batch of `batch` rows, served from the
+    /// tape's arena.
     pub fn zero_state(&self, g: &mut Graph, batch: usize) -> LstmState {
         LstmState {
-            h: g.input(Matrix::zeros(batch, self.hidden)),
-            c: g.input(Matrix::zeros(batch, self.hidden)),
+            h: g.input_zeros(batch, self.hidden),
+            c: g.input_zeros(batch, self.hidden),
         }
     }
 
@@ -223,14 +244,16 @@ impl Mlp {
         Self { layers }
     }
 
-    /// Forward pass; ReLU after every layer except the last.
+    /// Forward pass; ReLU after every layer except the last. Hidden
+    /// layers use the fused linear+ReLU node.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, store, h);
-            if i + 1 < self.layers.len() {
-                h = g.relu(h);
-            }
+            h = if i + 1 < self.layers.len() {
+                layer.forward_relu(g, store, h)
+            } else {
+                layer.forward(g, store, h)
+            };
         }
         h
     }
@@ -239,10 +262,11 @@ impl Mlp {
     pub fn forward_frozen(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward_frozen(g, store, h);
-            if i + 1 < self.layers.len() {
-                h = g.relu(h);
-            }
+            h = if i + 1 < self.layers.len() {
+                layer.forward_frozen_relu(g, store, h)
+            } else {
+                layer.forward_frozen(g, store, h)
+            };
         }
         h
     }

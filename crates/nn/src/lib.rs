@@ -10,6 +10,9 @@
 //! * **Define-by-run tape** — a [`Graph`] is built per forward pass; ops
 //!   compute eagerly and record a backward rule. This mirrors how the paper's
 //!   models (LST-GAT, BP-DQN, the baselines) would be written in PyTorch.
+//!   Tapes are reusable: [`Graph::reset`] returns every buffer to a
+//!   per-graph [`BufferPool`] arena, so a long-lived tape reaches a steady
+//!   state with (almost) no per-step heap allocation.
 //! * **External parameter store** — layer structs hold [`ParamId`] handles
 //!   into a [`ParamStore`]; gradients are accumulated back into the store by
 //!   [`Graph::backward`]. Target networks for DQN-style learners are just a
@@ -52,6 +55,7 @@ mod layers;
 mod matrix;
 mod optim;
 mod params;
+mod pool;
 
 pub use graph::{Graph, Var};
 pub use guard::{finite_guard, DivergenceGuard};
@@ -59,3 +63,4 @@ pub use layers::{Linear, LstmCell, LstmState, Mlp};
 pub use matrix::{narrow, Matrix, PAR_MIN_MACS};
 pub use optim::{Adam, Sgd};
 pub use params::{Param, ParamId, ParamStore};
+pub use pool::{BufferPool, PoolStats};

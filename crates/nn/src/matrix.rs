@@ -144,6 +144,14 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consumes the matrix and returns its backing vector — the hand-off
+    /// point for the `BufferPool` arena, which recycles backing stores
+    /// across tape resets instead of freeing them.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -237,6 +245,35 @@ impl Matrix {
             self.matmul_par(rhs, &par::Pool::new(threads))
         } else {
             self.matmul(rhs)
+        }
+    }
+
+    /// [`Matrix::matmul_auto`] computing into a caller-provided output
+    /// buffer, so a pooled tape can reuse allocations across steps.
+    ///
+    /// Bit-identical to [`Matrix::matmul_auto`]: the serial branch zeroes
+    /// `out` and runs the same kernel; the parallel branch (only reached
+    /// on [`PAR_MIN_MACS`]-sized products, where a copy is noise) computes
+    /// with [`Matrix::matmul_par`] and copies the result in.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch or if `out` is not
+    /// `self.rows x rhs.cols`.
+    pub fn matmul_auto_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.assert_matmul_shapes(rhs);
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch"
+        );
+        let threads = par::threads();
+        let macs = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
+        if threads > 1 && self.rows > 1 && macs >= PAR_MIN_MACS {
+            let m = self.matmul_par(rhs, &par::Pool::new(threads));
+            out.data.copy_from_slice(&m.data);
+        } else {
+            out.zero_out();
+            self.matmul_rows_into(rhs, 0, self.rows, &mut out.data);
         }
     }
 
@@ -337,6 +374,28 @@ impl Matrix {
             Self::outer_par(u, v, &par::Pool::new(threads))
         } else {
             Self::outer(u, v)
+        }
+    }
+
+    /// [`Matrix::outer_auto`] computing into a caller-provided output
+    /// buffer — the pooled-tape counterpart, bit-identical to the
+    /// allocating form (see [`Matrix::matmul_auto_into`] for the policy).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `u.len() x v.len()`.
+    pub fn outer_auto_into(u: &[f32], v: &[f32], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (u.len(), v.len()),
+            "outer output shape mismatch"
+        );
+        let threads = par::threads();
+        if threads > 1 && u.len() > 1 && u.len().saturating_mul(v.len()) >= PAR_MIN_MACS {
+            let m = Self::outer_par(u, v, &par::Pool::new(threads));
+            out.data.copy_from_slice(&m.data);
+        } else {
+            out.zero_out();
+            Self::outer_rows_into(u, v, 0, u.len(), &mut out.data);
         }
     }
 

@@ -1,0 +1,228 @@
+//! Size-class-keyed arena for [`Matrix`] backing stores.
+//!
+//! Every tape-local matrix a [`crate::Graph`] produces — node values,
+//! gradient scratch, backward temporaries — is checked out of a
+//! [`BufferPool`] and returned on [`crate::Graph::reset`]. At steady state
+//! a reused tape therefore performs (almost) no heap allocation per
+//! training step: every `take` is served from a free list populated by the
+//! previous step's buffers.
+//!
+//! Size classes are exact element counts. HEAD's networks have a small,
+//! fixed set of shapes per tape (layer widths never change between steps),
+//! so exact keying gives a 100% hit rate after the first step without the
+//! internal fragmentation of power-of-two classes.
+//!
+//! Determinism: a reused buffer carries the previous step's bits, so every
+//! op writing into a pooled buffer must either fully overwrite it or start
+//! from [`BufferPool::take_zeroed`]. Under that discipline pooling is
+//! invisible in the output — only in the allocator profile — and the PR-4
+//! serial/parallel checksum gates are unaffected.
+//!
+//! Accounting: the pool keeps local `fresh` / `reused` / `bytes` counters
+//! (readable any time via [`BufferPool::stats`]) and flushes deltas to the
+//! global telemetry counters `nn.alloc.fresh` / `nn.alloc.reused` /
+//! `nn.alloc.bytes` when telemetry is enabled. The counters double as the
+//! repo's allocation metric: the workspace forbids `unsafe`, so a counting
+//! global allocator is off the table, but every pooled `take` is exactly
+//! one heap allocation in the pre-arena design, making `fresh` vs `reused`
+//! an honest per-step allocation profile.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+use telemetry::keys;
+
+/// Allocation counters of one [`BufferPool`], cumulative since creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers allocated fresh from the heap.
+    pub fresh: u64,
+    /// Buffers served from a free list.
+    pub reused: u64,
+    /// Bytes freshly allocated.
+    pub bytes: u64,
+}
+
+/// A free-list arena of `Vec<f32>` backing stores keyed by element count.
+#[derive(Default)]
+pub struct BufferPool {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    stats: PoolStats,
+    flushed: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a `rows x cols` matrix. A fresh buffer is zeroed; a
+    /// reused one carries stale bits — callers must fully overwrite it
+    /// (use [`BufferPool::take_zeroed`] when accumulating).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        match self.free.get_mut(&len).and_then(Vec::pop) {
+            Some(data) => {
+                self.stats.reused += 1;
+                Matrix::from_vec(rows, cols, data)
+            }
+            None => {
+                self.stats.fresh += 1;
+                self.stats.bytes += (len as u64) * 4;
+                Matrix::from_vec(rows, cols, vec![0.0; len])
+            }
+        }
+    }
+
+    /// Checks out a `rows x cols` matrix with every element zeroed.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.take(rows, cols);
+        m.zero_out();
+        m
+    }
+
+    /// Checks out a copy of `src`.
+    pub fn copy_of(&mut self, src: &Matrix) -> Matrix {
+        let mut out = self.take(src.rows(), src.cols());
+        out.data_mut().copy_from_slice(src.data());
+        out
+    }
+
+    /// Checks out the element-wise map of `src` under `f`.
+    pub fn map_from(&mut self, src: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut out = self.take(src.rows(), src.cols());
+        for (o, &x) in out.data_mut().iter_mut().zip(src.data()) {
+            *o = f(x);
+        }
+        out
+    }
+
+    /// Checks out the element-wise combination of `a` and `b` under `f`.
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch.
+    pub fn zip_from(&mut self, a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(a.shape(), b.shape(), "zip shape mismatch");
+        let mut out = self.take(a.rows(), a.cols());
+        for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+            *o = f(x, y);
+        }
+        out
+    }
+
+    /// Checks out the transpose of `src`.
+    pub fn transpose_of(&mut self, src: &Matrix) -> Matrix {
+        let mut out = self.take(src.cols(), src.rows());
+        for r in 0..src.rows() {
+            for (c, &v) in src.row_slice(r).iter().enumerate() {
+                out.set(c, r, v);
+            }
+        }
+        out
+    }
+
+    /// Returns a matrix's backing store to the free lists.
+    pub fn give(&mut self, m: Matrix) {
+        let data = m.into_vec();
+        if data.capacity() == 0 {
+            return;
+        }
+        self.free.entry(data.len()).or_default().push(data);
+    }
+
+    /// Cumulative allocation counters since the pool was created.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Flushes the since-last-flush counter deltas into the global
+    /// telemetry counters. No-op (and no watermark advance, so nothing is
+    /// lost) while telemetry is disabled.
+    pub fn flush_telemetry(&mut self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let d_fresh = self.stats.fresh - self.flushed.fresh;
+        let d_reused = self.stats.reused - self.flushed.reused;
+        let d_bytes = self.stats.bytes - self.flushed.bytes;
+        if d_fresh > 0 {
+            telemetry::counter_add(keys::NN_ALLOC_FRESH, d_fresh);
+        }
+        if d_reused > 0 {
+            telemetry::counter_add(keys::NN_ALLOC_REUSED, d_reused);
+        }
+        if d_bytes > 0 {
+            telemetry::counter_add(keys::NN_ALLOC_BYTES, d_bytes);
+        }
+        self.flushed = self.stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_then_give_then_take_reuses() {
+        let mut pool = BufferPool::new();
+        let m = pool.take(3, 4);
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                fresh: 1,
+                reused: 0,
+                bytes: 48
+            }
+        );
+        pool.give(m);
+        let m2 = pool.take(4, 3); // same element count, different shape
+        assert_eq!(m2.shape(), (4, 3));
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(pool.stats().fresh, 1, "no second heap allocation");
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_bits() {
+        let mut pool = BufferPool::new();
+        let mut m = pool.take(2, 2);
+        m.data_mut().fill(7.5);
+        pool.give(m);
+        let z = pool.take_zeroed(2, 2);
+        // lint:allow(float-eq) intentional exact-bit check: the buffer must be all-zero bits
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn helpers_match_matrix_equivalents() {
+        let mut pool = BufferPool::new();
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.5], &[1.0, -1.0]]);
+        assert_eq!(pool.copy_of(&a), a);
+        assert_eq!(pool.map_from(&a, |x| x * 2.0), a.map(|x| x * 2.0));
+        assert_eq!(pool.zip_from(&a, &b, |x, y| x * y), a.zip(&b, |x, y| x * y));
+        assert_eq!(pool.transpose_of(&a), a.transpose());
+    }
+
+    #[test]
+    fn flush_emits_counter_deltas_once() {
+        let was = telemetry::set_enabled(true);
+        let before_fresh = telemetry::counter_value(keys::NN_ALLOC_FRESH);
+        let before_reused = telemetry::counter_value(keys::NN_ALLOC_REUSED);
+        let mut pool = BufferPool::new();
+        let m = pool.take(2, 2);
+        pool.give(m);
+        let m = pool.take(2, 2);
+        pool.give(m);
+        pool.flush_telemetry();
+        pool.flush_telemetry(); // second flush has no new deltas
+        telemetry::set_enabled(was);
+        assert_eq!(
+            telemetry::counter_value(keys::NN_ALLOC_FRESH),
+            before_fresh + 1
+        );
+        assert_eq!(
+            telemetry::counter_value(keys::NN_ALLOC_REUSED),
+            before_reused + 1
+        );
+    }
+}

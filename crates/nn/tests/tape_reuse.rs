@@ -1,0 +1,157 @@
+//! Bit-identity contracts of the arena-backed tape:
+//!
+//! * a `reset()`-reused tape produces the exact losses, gradients and
+//!   optimiser trajectories of a fresh `Graph` per step, over 100
+//!   randomized training steps;
+//! * the fused `linear` op matches the unfused matmul / broadcast-bias /
+//!   relu chain bit for bit, forward and backward.
+
+use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn rand_matrix(rng: &mut ChaCha12Rng, rows: usize, cols: usize) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn build_net(seed: u64) -> (ParamStore, Mlp) {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "net", &[6, 16, 16, 4], &mut rng);
+    (store, mlp)
+}
+
+fn assert_bits_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} != {y}");
+    }
+}
+
+#[test]
+fn reused_tape_matches_fresh_graphs_over_100_steps() {
+    let (mut store_tape, mlp_tape) = build_net(77);
+    let (mut store_fresh, mlp_fresh) = build_net(77);
+    let mut adam_tape = Adam::new(1e-3);
+    let mut adam_fresh = Adam::new(1e-3);
+    let mut data_rng = ChaCha12Rng::seed_from_u64(99);
+    let mut tape = Graph::new();
+
+    for step in 0..100 {
+        // Vary the batch size so the arena sees more than one size class.
+        let batch = 1 + step % 3;
+        let x = rand_matrix(&mut data_rng, batch, 6);
+        let t = rand_matrix(&mut data_rng, batch, 4);
+
+        tape.reset();
+        let xv = tape.input_copy(&x);
+        let tv = tape.input_copy(&t);
+        let y = mlp_tape.forward(&mut tape, &store_tape, xv);
+        let loss = tape.mse(y, tv);
+        store_tape.zero_grad();
+        let loss_tape = tape.backward(loss, &mut store_tape);
+
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let tv = g.input(t);
+        let y = mlp_fresh.forward(&mut g, &store_fresh, xv);
+        let loss = g.mse(y, tv);
+        store_fresh.zero_grad();
+        let loss_fresh = g.backward(loss, &mut store_fresh);
+
+        assert_eq!(
+            loss_tape.to_bits(),
+            loss_fresh.to_bits(),
+            "loss diverged at step {step}: {loss_tape} vs {loss_fresh}"
+        );
+        for (pa, pb) in store_tape.iter().zip(store_fresh.iter()) {
+            assert_bits_equal(
+                &pa.grad,
+                &pb.grad,
+                &format!("grad of {} at step {step}", pa.name),
+            );
+        }
+        adam_tape.step(&mut store_tape);
+        adam_fresh.step(&mut store_fresh);
+    }
+
+    for (pa, pb) in store_tape.iter().zip(store_fresh.iter()) {
+        assert_bits_equal(&pa.value, &pb.value, &format!("final value of {}", pa.name));
+    }
+
+    // The tentpole's whole point: steady-state steps allocate nothing
+    // fresh, so reuses dominate fresh allocations by well over 10x.
+    let stats = tape.pool_stats();
+    assert!(
+        stats.reused > 10 * stats.fresh,
+        "expected >10x steady-state buffer reuse, got {stats:?}"
+    );
+}
+
+#[test]
+fn fused_linear_matches_unfused_chain_exactly() {
+    for seed in 0..20u64 {
+        let relu = seed % 2 == 0;
+        // Odd seeds exercise the batch-1 outer-product gradient path.
+        let batch = if seed % 4 < 2 { 4 } else { 1 };
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let x = rand_matrix(&mut rng, batch, 5);
+        let w = rand_matrix(&mut rng, 5, 3);
+        let b = rand_matrix(&mut rng, 1, 3);
+        let t = rand_matrix(&mut rng, batch, 3);
+
+        let mut store_u = ParamStore::new();
+        let (xu, wu, bu) = (
+            store_u.register("x", x.clone()),
+            store_u.register("w", w.clone()),
+            store_u.register("b", b.clone()),
+        );
+        let mut gu = Graph::new();
+        let (xv, wv, bv) = (
+            gu.param(&store_u, xu),
+            gu.param(&store_u, wu),
+            gu.param(&store_u, bu),
+        );
+        let mm = gu.matmul(xv, wv);
+        let biased = gu.add_broadcast_row(mm, bv);
+        let out_u = if relu { gu.relu(biased) } else { biased };
+        let tv = gu.input(t.clone());
+        let loss_u = gu.mse(out_u, tv);
+        let lu = gu.backward(loss_u, &mut store_u);
+
+        let mut store_f = ParamStore::new();
+        let (xf, wf, bf) = (
+            store_f.register("x", x),
+            store_f.register("w", w),
+            store_f.register("b", b),
+        );
+        let mut gf = Graph::new();
+        let (xv, wv, bv) = (
+            gf.param(&store_f, xf),
+            gf.param(&store_f, wf),
+            gf.param(&store_f, bf),
+        );
+        let out_f = gf.linear(xv, wv, bv, relu);
+        let tv = gf.input(t);
+        let loss_f = gf.mse(out_f, tv);
+        let lf = gf.backward(loss_f, &mut store_f);
+
+        assert_bits_equal(
+            gu.value(out_u),
+            gf.value(out_f),
+            &format!("forward, seed {seed}"),
+        );
+        assert_eq!(lu.to_bits(), lf.to_bits(), "loss bits, seed {seed}");
+        for (pu, pf) in store_u.iter().zip(store_f.iter()) {
+            assert_bits_equal(
+                &pu.grad,
+                &pf.grad,
+                &format!("grad of {}, seed {seed}", pu.name),
+            );
+        }
+    }
+}

@@ -40,6 +40,9 @@ pub struct EdLstm {
     head: Linear,
     adam: Adam,
     norm: Normalizer,
+    /// Persistent training tape; reset per target pass so steady-state
+    /// batches recycle every buffer through the tape's arena.
+    tape: Graph,
 }
 
 impl EdLstm {
@@ -69,6 +72,7 @@ impl EdLstm {
             head,
             adam: Adam::new(cfg.lr),
             norm,
+            tape: Graph::new(),
         }
     }
 
@@ -104,6 +108,7 @@ impl StatePredictor for EdLstm {
         let mut pred = Prediction::default();
         for (i, p) in pred.iter_mut().enumerate() {
             let history = target_history(graph, i, &self.norm);
+            // lint:allow(graph-churn) inference on `&self` (shared across evaluation workers); no tape to borrow
             let mut g = Graph::new();
             let out = self.forward_one(&mut g, &history);
             *p = self.norm.denorm_prediction(g.value(out).row_slice(0));
@@ -111,7 +116,7 @@ impl StatePredictor for EdLstm {
         pred
     }
 
-    fn train_batch(&mut self, samples: &[TrainSample]) -> f64 {
+    fn train_batch(&mut self, samples: &[&TrainSample]) -> f64 {
         if samples.is_empty() {
             return 0.0;
         }
@@ -126,13 +131,14 @@ impl StatePredictor for EdLstm {
             .sum();
         let denom = count.max(1) as f32;
         let mut total = 0.0;
+        let mut g = std::mem::take(&mut self.tape);
         for s in samples {
             for i in 0..NUM_TARGETS {
                 if s.graph.target_is_phantom(i) {
                     continue;
                 }
                 let history = target_history(&s.graph, i, &self.norm);
-                let mut g = Graph::new();
+                g.reset();
                 let out = self.forward_one(&mut g, &history);
                 let truth = g.input(Matrix::row(&self.norm.truth(&s.truth[i])));
                 let d = g.sub(out, truth);
@@ -142,6 +148,7 @@ impl StatePredictor for EdLstm {
                 total += g.backward(loss, &mut self.store) as f64;
             }
         }
+        self.tape = g;
         // Poisoned samples (NaN observations) must not destroy the weights:
         // non-finite losses or gradients skip the step.
         if nn::finite_guard(total as f32, &mut self.store, 5.0) {
@@ -164,11 +171,12 @@ mod tests {
     fn learns_constant_velocity_pattern() {
         let mut rng = ChaCha12Rng::seed_from_u64(7);
         let samples = synthetic_samples(24, &mut rng);
+        let refs: Vec<&TrainSample> = samples.iter().collect();
         let mut model = EdLstm::new(EdLstmConfig::default(), Normalizer::paper_default());
-        let first = model.train_batch(&samples);
+        let first = model.train_batch(&refs);
         let mut last = first;
         for _ in 0..40 {
-            last = model.train_batch(&samples);
+            last = model.train_batch(&refs);
         }
         assert!(
             last < first * 0.5,

@@ -53,6 +53,9 @@ pub struct GasLed {
     head: Linear,
     adam: Adam,
     norm: Normalizer,
+    /// Persistent training tape; reset per sample so steady-state batches
+    /// recycle every buffer through the tape's arena.
+    tape: Graph,
 }
 
 impl GasLed {
@@ -74,6 +77,7 @@ impl GasLed {
             head,
             adam: Adam::new(cfg.lr),
             norm,
+            tape: Graph::new(),
         }
     }
 
@@ -126,20 +130,22 @@ impl StatePredictor for GasLed {
     }
 
     fn predict(&self, graph: &StGraph) -> Prediction {
+        // lint:allow(graph-churn) inference on `&self` (shared across evaluation workers); no tape to borrow
         let mut g = Graph::new();
         let out = self.forward(&mut g, graph);
         to_prediction(g.value(out), &self.norm)
     }
 
-    fn train_batch(&mut self, samples: &[TrainSample]) -> f64 {
+    fn train_batch(&mut self, samples: &[&TrainSample]) -> f64 {
         if samples.is_empty() {
             return 0.0;
         }
         self.store.zero_grad();
         let mut total = 0.0;
         let n = samples.len() as f32;
+        let mut g = std::mem::take(&mut self.tape);
         for s in samples {
-            let mut g = Graph::new();
+            g.reset();
             let pred = self.forward(&mut g, &s.graph);
             let truth = g.input(truth_matrix(&s.truth, &self.norm));
             let mask = g.input(mask_matrix(&s.graph));
@@ -147,6 +153,7 @@ impl StatePredictor for GasLed {
             let loss = g.masked_sse(pred, truth, mask, normaliser);
             total += g.backward(loss, &mut self.store) as f64;
         }
+        self.tape = g;
         // Poisoned samples (NaN observations) must not destroy the weights:
         // non-finite losses or gradients skip the step.
         if nn::finite_guard(total as f32, &mut self.store, 5.0) {
@@ -169,11 +176,12 @@ mod tests {
     fn learns_constant_velocity_pattern() {
         let mut rng = ChaCha12Rng::seed_from_u64(8);
         let samples = synthetic_samples(24, &mut rng);
+        let refs: Vec<&TrainSample> = samples.iter().collect();
         let mut model = GasLed::new(GasLedConfig::default(), Normalizer::paper_default());
-        let first = model.train_batch(&samples);
+        let first = model.train_batch(&refs);
         let mut last = first;
         for _ in 0..40 {
-            last = model.train_batch(&samples);
+            last = model.train_batch(&refs);
         }
         assert!(
             last < first * 0.5,

@@ -62,6 +62,9 @@ pub struct LstGat {
     head: Linear,
     adam: Adam,
     norm: Normalizer,
+    /// Persistent training tape; reset per sample so steady-state batches
+    /// recycle every buffer through the tape's arena.
+    tape: Graph,
     target_flat: Arc<Vec<usize>>,
     member_flat: Arc<Vec<usize>>,
     leaky_slope: f32,
@@ -99,6 +102,7 @@ impl LstGat {
             head,
             adam: Adam::new(cfg.lr),
             norm,
+            tape: Graph::new(),
             target_flat: Arc::new(target_flat),
             member_flat: Arc::new(member_flat),
             leaky_slope: cfg.leaky_slope,
@@ -202,6 +206,7 @@ impl LstGat {
     pub fn predict_par(&self, graph: &StGraph, pool: &par::Pool) -> Prediction {
         let targets: Vec<usize> = (0..NUM_TARGETS).collect();
         let rows = match pool.try_map(targets, |_, t| {
+            // lint:allow(graph-churn) worker-local graph: `&self` closure shared across threads cannot borrow the training tape
             let mut g = Graph::new();
             let out = self.forward_targets(&mut g, graph, &[t]);
             g.value(out).row_slice(0).to_vec()
@@ -234,6 +239,7 @@ impl LstGat {
     /// each row sums to 1).
     pub fn attention_of(&self, graph: &StGraph, i: usize) -> Vec<f32> {
         let group = NUM_SURROUNDING + 1;
+        // lint:allow(graph-churn) cold diagnostics path on `&self`; no tape to borrow
         let mut g = Graph::new();
         let tau = graph.depth() - 1;
         let h = g.input(node_matrix(graph, tau, &self.norm));
@@ -259,20 +265,22 @@ impl StatePredictor for LstGat {
     }
 
     fn predict(&self, graph: &StGraph) -> Prediction {
+        // lint:allow(graph-churn) inference on `&self` (shared across evaluation workers); no tape to borrow
         let mut g = Graph::new();
         let out = self.forward(&mut g, graph);
         to_prediction(g.value(out), &self.norm)
     }
 
-    fn train_batch(&mut self, samples: &[TrainSample]) -> f64 {
+    fn train_batch(&mut self, samples: &[&TrainSample]) -> f64 {
         if samples.is_empty() {
             return 0.0;
         }
         self.store.zero_grad();
         let mut total = 0.0;
         let n = samples.len() as f32;
+        let mut g = std::mem::take(&mut self.tape);
         for s in samples {
-            let mut g = Graph::new();
+            g.reset();
             let pred = self.forward(&mut g, &s.graph);
             let truth = g.input(truth_matrix(&s.truth, &self.norm));
             let mask = g.input(mask_matrix(&s.graph));
@@ -280,6 +288,7 @@ impl StatePredictor for LstGat {
             let loss = g.masked_sse(pred, truth, mask, normaliser);
             total += g.backward(loss, &mut self.store) as f64;
         }
+        self.tape = g;
         // Poisoned samples (NaN observations) must not destroy the weights:
         // non-finite losses or gradients skip the step.
         if nn::finite_guard(total as f32, &mut self.store, 5.0) {
@@ -322,11 +331,12 @@ mod tests {
     fn loss_decreases_on_synthetic_corpus() {
         let mut rng = ChaCha12Rng::seed_from_u64(2);
         let samples = synthetic_samples(32, &mut rng);
+        let refs: Vec<&TrainSample> = samples.iter().collect();
         let mut model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
-        let first = model.train_batch(&samples);
+        let first = model.train_batch(&refs);
         let mut last = first;
         for _ in 0..40 {
-            last = model.train_batch(&samples);
+            last = model.train_batch(&refs);
         }
         assert!(
             last < first * 0.5,
@@ -338,9 +348,10 @@ mod tests {
     fn checkpoint_roundtrip_preserves_predictions() {
         let mut rng = ChaCha12Rng::seed_from_u64(3);
         let samples = synthetic_samples(4, &mut rng);
+        let refs: Vec<&TrainSample> = samples.iter().collect();
         let mut model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
         for _ in 0..5 {
-            model.train_batch(&samples);
+            model.train_batch(&refs);
         }
         let json = model.weights_json();
         let before = model.predict(&samples[0].graph);
@@ -358,9 +369,10 @@ mod tests {
     fn parallel_heads_are_bit_identical_to_the_batched_pass() {
         let mut rng = ChaCha12Rng::seed_from_u64(9);
         let samples = synthetic_samples(3, &mut rng);
+        let refs: Vec<&TrainSample> = samples.iter().collect();
         let mut model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
         for _ in 0..3 {
-            model.train_batch(&samples);
+            model.train_batch(&refs);
         }
         let pool = par::Pool::new(3);
         for s in &samples {

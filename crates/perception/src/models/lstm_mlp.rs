@@ -42,6 +42,9 @@ pub struct LstmMlp {
     mlp: Mlp,
     adam: Adam,
     norm: Normalizer,
+    /// Persistent training tape; reset per target pass so steady-state
+    /// batches recycle every buffer through the tape's arena.
+    tape: Graph,
 }
 
 impl LstmMlp {
@@ -57,6 +60,7 @@ impl LstmMlp {
             mlp,
             adam: Adam::new(cfg.lr),
             norm,
+            tape: Graph::new(),
         }
     }
 
@@ -87,6 +91,7 @@ impl StatePredictor for LstmMlp {
         // baseline does not support parallel prediction.
         for (i, p) in pred.iter_mut().enumerate() {
             let history = target_history(graph, i, &self.norm);
+            // lint:allow(graph-churn) inference on `&self` (shared across evaluation workers); no tape to borrow
             let mut g = Graph::new();
             let out = self.forward_one(&mut g, &history);
             *p = self.norm.denorm_prediction(g.value(out).row_slice(0));
@@ -94,7 +99,7 @@ impl StatePredictor for LstmMlp {
         pred
     }
 
-    fn train_batch(&mut self, samples: &[TrainSample]) -> f64 {
+    fn train_batch(&mut self, samples: &[&TrainSample]) -> f64 {
         if samples.is_empty() {
             return 0.0;
         }
@@ -110,13 +115,14 @@ impl StatePredictor for LstmMlp {
             }
         }
         let denom = count.max(1) as f32;
+        let mut g = std::mem::take(&mut self.tape);
         for s in samples {
             for i in 0..NUM_TARGETS {
                 if s.graph.target_is_phantom(i) {
                     continue;
                 }
                 let history = target_history(&s.graph, i, &self.norm);
-                let mut g = Graph::new();
+                g.reset();
                 let out = self.forward_one(&mut g, &history);
                 let truth = g.input(Matrix::row(&self.norm.truth(&s.truth[i])));
                 let d = g.sub(out, truth);
@@ -126,6 +132,7 @@ impl StatePredictor for LstmMlp {
                 total += g.backward(loss, &mut self.store) as f64;
             }
         }
+        self.tape = g;
         // Poisoned samples (NaN observations) must not destroy the weights:
         // non-finite losses or gradients skip the step.
         if nn::finite_guard(total as f32, &mut self.store, 5.0) {
@@ -148,11 +155,12 @@ mod tests {
     fn learns_constant_velocity_pattern() {
         let mut rng = ChaCha12Rng::seed_from_u64(5);
         let samples = synthetic_samples(24, &mut rng);
+        let refs: Vec<&TrainSample> = samples.iter().collect();
         let mut model = LstmMlp::new(LstmMlpConfig::default(), Normalizer::paper_default());
-        let first = model.train_batch(&samples);
+        let first = model.train_batch(&refs);
         let mut last = first;
         for _ in 0..40 {
-            last = model.train_batch(&samples);
+            last = model.train_batch(&refs);
         }
         assert!(
             last < first * 0.5,

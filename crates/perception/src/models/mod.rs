@@ -31,9 +31,11 @@ pub trait StatePredictor {
     fn name(&self) -> &'static str;
     /// Predicts the six targets' next states for one graph.
     fn predict(&self, graph: &StGraph) -> Prediction;
-    /// Runs one optimisation step over a mini-batch; returns the mean
+    /// Runs one optimisation step over a mini-batch of borrowed samples
+    /// (callers pass references — an `StGraph` is several KiB, so cloning
+    /// per batch would dwarf the actual training work); returns the mean
     /// masked loss (normalised units).
-    fn train_batch(&mut self, samples: &[TrainSample]) -> f64;
+    fn train_batch(&mut self, samples: &[&TrainSample]) -> f64;
     /// Number of scalar parameters (for reports).
     fn param_count(&self) -> usize;
 }

@@ -67,7 +67,9 @@ pub fn train(
         let mut batches = 0usize;
         for chunk in order.chunks(opts.batch_size) {
             let _batch_span = telemetry::span!(keys::SPAN_TRAIN_BATCH);
-            let batch: Vec<TrainSample> = chunk.iter().map(|&i| samples[i].clone()).collect();
+            // Borrow the shuffled batch — an `StGraph` is several KiB, so
+            // cloning one per sample per batch would dwarf the training work.
+            let batch: Vec<&TrainSample> = chunk.iter().map(|&i| &samples[i]).collect();
             let batch_loss = model.train_batch(&batch);
             telemetry::histogram_record(keys::PERCEPTION_BATCH_LOSS, batch_loss);
             epoch_loss += batch_loss;

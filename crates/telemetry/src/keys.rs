@@ -105,6 +105,12 @@ pub const PERCEPTION_FALLBACK_LAST_PREDICTION: &str = "perception.fallback.last_
 pub const PERCEPTION_FALLBACK_LAST_OBSERVATION: &str = "perception.fallback.last_observation";
 /// Fallback steps served by constant-velocity extrapolation.
 pub const PERCEPTION_FALLBACK_EXTRAPOLATION: &str = "perception.fallback.extrapolation";
+/// Fresh `Matrix` backing-store allocations made by the nn `BufferPool`.
+pub const NN_ALLOC_FRESH: &str = "nn.alloc.fresh";
+/// `Matrix` backing stores served from the nn `BufferPool` free lists.
+pub const NN_ALLOC_REUSED: &str = "nn.alloc.reused";
+/// Bytes freshly allocated by the nn `BufferPool`.
+pub const NN_ALLOC_BYTES: &str = "nn.alloc.bytes";
 /// Parallel map calls executed by `par::Pool`.
 pub const PAR_RUNS: &str = "par.runs";
 /// Items processed by `par::Pool` (serial and parallel paths alike).
@@ -205,6 +211,9 @@ pub const ALL: &[&str] = &[
     PERCEPTION_FALLBACK_LAST_PREDICTION,
     PERCEPTION_FALLBACK_LAST_OBSERVATION,
     PERCEPTION_FALLBACK_EXTRAPOLATION,
+    NN_ALLOC_FRESH,
+    NN_ALLOC_REUSED,
+    NN_ALLOC_BYTES,
     PAR_RUNS,
     PAR_JOBS,
     PAR_WORKER_PANICS,

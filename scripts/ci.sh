@@ -49,12 +49,17 @@ run_cargo run -q -p bench --bin robustness -- \
 
 echo "== parallel perf smoke (2 threads; serial/parallel checksums must match) =="
 mkdir -p results
-# The perf binary itself exits 1 on a checksum mismatch; the grep also
-# requires the explicit all-equal line so a silent early exit cannot pass.
-run_cargo run -q -p bench --bin perf -- \
+# The perf binary itself exits 1 on a checksum mismatch, on a learn-step
+# weight divergence between the fresh-graph and persistent-tape loops, or
+# when the steady-state tape allocates more than it reuses. The greps also
+# require both explicit all-clear lines so a silent early exit cannot pass.
+PERF_OUT=$(run_cargo run -q -p bench --bin perf -- \
     --scale smoke --threads 2 --json results/BENCH_parallel.json \
-    | grep -q "all serial/parallel checksums equal"
+    --json-core results/BENCH_core.json)
+echo "$PERF_OUT" | grep -q "all serial/parallel checksums equal"
+echo "$PERF_OUT" | grep -q "steady-state allocation reuse ok"
 test -f results/BENCH_parallel.json
-echo "   archived: results/BENCH_parallel.json"
+test -f results/BENCH_core.json
+echo "   archived: results/BENCH_parallel.json results/BENCH_core.json"
 
 echo "CI OK"
