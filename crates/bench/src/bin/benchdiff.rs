@@ -1,0 +1,114 @@
+//! Regression gate over BENCH/table JSONs and the trend database.
+//!
+//! Two modes:
+//!
+//! * `benchdiff --base OLD.json --cand NEW.json` — flattens both report
+//!   files into dotted metrics and compares them with per-metric
+//!   tolerance bands (see `bench::diff` for the classification rules);
+//! * `benchdiff --trend results/trends.jsonl --bin-name perf` — compares
+//!   the latest trend entry for a binary against the previous one, i.e.
+//!   this run against the measured baseline.
+//!
+//! Exits 0 when every metric is within tolerance (improvements and new
+//! metrics are reported but never fail), 1 when any metric regressed
+//! beyond its band or vanished from the candidate, 2 on usage errors.
+//! `--tol F` / `--time-tol F` override the symmetric and time bands;
+//! `--json PATH` archives the comparison as JSON.
+
+use bench::diff::{diff, flatten, DiffReport, Tolerances, Value};
+use telemetry::Json;
+
+fn load_flat(path: &str) -> Result<Vec<(String, Value)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Ok(flatten(&doc))
+}
+
+fn trend_metrics(entry: &telemetry::TrendEntry) -> Vec<(String, Value)> {
+    entry
+        .metrics
+        .iter()
+        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+        .collect()
+}
+
+fn run() -> Result<DiffReport, String> {
+    let cli = bench::Cli::parse(
+        "benchdiff",
+        &[
+            "--base",
+            "--cand",
+            "--trend",
+            "--bin-name",
+            "--tol",
+            "--time-tol",
+        ],
+    );
+    let mut tol = Tolerances::default();
+    if let Some(t) = cli.parsed::<f64>("--tol") {
+        tol.rel = t;
+    }
+    if let Some(t) = cli.parsed::<f64>("--time-tol") {
+        tol.time_rel = t;
+    }
+
+    let report = match (
+        cli.value("--base"),
+        cli.value("--cand"),
+        cli.value("--trend"),
+    ) {
+        (Some(base), Some(cand), None) => {
+            eprintln!("benchdiff: {base} (baseline) vs {cand} (candidate)");
+            diff(&load_flat(base)?, &load_flat(cand)?, &tol)
+        }
+        (None, None, Some(trend)) => {
+            let bin = cli
+                .value("--bin-name")
+                .ok_or("--trend mode needs --bin-name")?;
+            let entries: Vec<telemetry::TrendEntry> = telemetry::read_trends(trend)
+                .into_iter()
+                .filter(|e| e.bin == bin)
+                .collect();
+            if entries.len() < 2 {
+                return Err(format!(
+                    "trend database {trend} has {} '{bin}' entries (need 2 to compare)",
+                    entries.len()
+                ));
+            }
+            let cand = &entries[entries.len() - 1];
+            let base = &entries[entries.len() - 2];
+            eprintln!(
+                "benchdiff: {bin} trend {} (baseline) vs {} (candidate)",
+                base.git_rev, cand.git_rev
+            );
+            diff(&trend_metrics(base), &trend_metrics(cand), &tol)
+        }
+        _ => {
+            return Err(
+                "expected either --base OLD --cand NEW, or --trend PATH --bin-name BIN".to_string(),
+            )
+        }
+    };
+
+    if let Some(path) = cli.value("--json") {
+        std::fs::write(path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(report)
+}
+
+fn main() {
+    match run() {
+        Ok(report) => {
+            print!("{}", report.render(false));
+            if report.failures() > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("benchdiff: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -406,6 +406,7 @@ fn main() {
     let scale = cli.scale();
     let n_threads = cli.apply_threads().max(2);
     par::set_threads(n_threads);
+    cli.init_telemetry("perf", &scale);
     let pool = par::pool();
 
     let (matmul_dims, episodes, default_reps) = match cli.value("--scale") {
@@ -460,6 +461,11 @@ fn main() {
             "DETERMINISM VIOLATION: op '{}' serial {:016x} != parallel {:016x}",
             bad.op, bad.serial_checksum, bad.parallel_checksum
         );
+        telemetry::flight_record(
+            telemetry::keys::FLIGHT_CHECKSUM_DIVERGENCE,
+            bad.parallel_checksum as f64,
+        );
+        telemetry::flight_dump(telemetry::keys::FLIGHT_CHECKSUM_DIVERGENCE);
         std::process::exit(1);
     }
     println!("all serial/parallel checksums equal");
@@ -496,6 +502,11 @@ fn main() {
              ({:016x} != {:016x})",
             core.churn_checksum, core.persistent_checksum
         );
+        telemetry::flight_record(
+            telemetry::keys::FLIGHT_CHECKSUM_DIVERGENCE,
+            core.persistent_checksum as f64,
+        );
+        telemetry::flight_dump(telemetry::keys::FLIGHT_CHECKSUM_DIVERGENCE);
         std::process::exit(1);
     }
     if !core.reuse_ok() {
@@ -513,4 +524,9 @@ fn main() {
         std::process::exit(1);
     }
     println!("steady-state allocation reuse ok");
+
+    // One trend entry per successful run: both report documents flattened
+    // under distinct prefixes (see `bench --bin benchdiff --trend`).
+    cli.append_trend_json(&[("parallel", &doc), ("core", &core_doc)]);
+    bench::finish_telemetry();
 }

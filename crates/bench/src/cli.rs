@@ -17,6 +17,7 @@ use head::experiments::Scale;
 /// * `--json PATH` — write the report JSON to `PATH`
 /// * `--telemetry DIR` — record a JSONL telemetry run into `DIR`
 /// * `--threads N` — worker count for the deterministic pool
+/// * `--trends PATH` — append this run's metrics to the trend database
 pub const COMMON_FLAGS: &[&str] = &[
     "--scale",
     "--episodes",
@@ -26,7 +27,13 @@ pub const COMMON_FLAGS: &[&str] = &[
     "--json",
     "--telemetry",
     "--threads",
+    "--trends",
 ];
+
+/// Capacity of the per-run flight-recorder ring installed by
+/// [`Cli::init_telemetry`]: enough to hold the event window of several
+/// episodes leading up to a fault without measurable recording cost.
+pub const FLIGHT_CAPACITY: usize = 256;
 
 /// The parsed command line of a bench binary.
 #[derive(Debug)]
@@ -149,25 +156,86 @@ impl Cli {
         par::threads()
     }
 
-    /// Writes the report JSON when `--json PATH` was given.
+    /// Writes the report JSON when `--json PATH` was given, and appends
+    /// the report's numeric metrics to the trend database when `--trends`
+    /// was also given.
     pub fn write_json<T: serde::Serialize>(&self, report: &T) {
+        // lint:allow(panic) report structs are plain data; serialisation cannot fail
+        let json = serde_json::to_string_pretty(report).expect("serialisable report");
         if let Some(path) = self.value("--json") {
-            // lint:allow(panic) report structs are plain data; serialisation cannot fail
-            let json = serde_json::to_string_pretty(report).expect("serialisable report");
-            if let Err(e) = std::fs::write(path, json) {
+            if let Err(e) = std::fs::write(path, &json) {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(2);
             }
             eprintln!("wrote {path}");
         }
+        if let Ok(doc) = telemetry::Json::parse(&json) {
+            self.append_trend_json(&[("", &doc)]);
+        }
+    }
+
+    /// Appends one [`telemetry::TrendEntry`] for this run to the database
+    /// named by `--trends PATH` (a no-op without the flag). Each `(prefix,
+    /// doc)` pair contributes its flattened numeric metrics, prefixed so
+    /// multiple report documents (e.g. perf's parallel + core JSONs) can
+    /// share one entry without name collisions.
+    pub fn append_trend_json(&self, docs: &[(&str, &telemetry::Json)]) {
+        let Some(path) = self.value("--trends") else {
+            return;
+        };
+        let mut metrics: Vec<(String, f64)> = Vec::new();
+        for (prefix, doc) in docs {
+            for (name, value) in crate::diff::flatten(doc) {
+                if let crate::diff::Value::Num(n) = value {
+                    let full = if prefix.is_empty() {
+                        name
+                    } else {
+                        format!("{prefix}.{name}")
+                    };
+                    metrics.push((full, n));
+                }
+            }
+        }
+        let context = vec![
+            (
+                "scale".to_string(),
+                telemetry::Json::from(self.value("--scale").unwrap_or("bench")),
+            ),
+            (
+                "threads".to_string(),
+                telemetry::Json::from(self.resolved_threads()),
+            ),
+            (
+                "faults".to_string(),
+                telemetry::Json::from(self.value("--faults").unwrap_or("none")),
+            ),
+        ];
+        let entry = telemetry::TrendEntry::now(&self.bin, context, metrics);
+        match telemetry::append_trend(path, &entry) {
+            Ok(()) => eprintln!("trend: appended {} entry to {path}", self.bin),
+            Err(e) => eprintln!("trend: cannot append to {path}: {e}"),
+        }
+    }
+
+    /// The worker count this run uses: the `--threads` flag when given
+    /// (whether or not [`Cli::apply_threads`] has run yet), else the
+    /// pool's current setting.
+    fn resolved_threads(&self) -> usize {
+        self.parsed::<usize>("--threads")
+            .unwrap_or_else(par::threads)
     }
 
     /// Enables telemetry and installs a JSONL run recorder when requested
     /// via `--telemetry DIR` or the `TELEMETRY_DIR` environment variable.
     /// The sink is `DIR/<table>.telemetry.jsonl`; its first line is a run
-    /// manifest embedding the resolved environment config, seed and
-    /// episode budgets. Spans/metrics alone (no sink) can be switched on
-    /// with `TELEMETRY=1`. Returns `true` when a recorder was installed.
+    /// manifest embedding the resolved environment config, seed, episode
+    /// budgets, worker count and fault profile (git revision is stamped by
+    /// the manifest writer itself), so trend entries and flight dumps can
+    /// be traced back to exactly what produced them. A flight recorder
+    /// dumping into `DIR/flight/` and a panic hook that flushes it are
+    /// installed alongside. Spans/metrics alone (no sink) can be switched
+    /// on with `TELEMETRY=1`. Returns `true` when a recorder was
+    /// installed.
     pub fn init_telemetry(&self, table: &str, scale: &Scale) -> bool {
         telemetry::init_from_env();
         let dir = self
@@ -176,6 +244,16 @@ impl Cli {
             .or_else(|| std::env::var("TELEMETRY_DIR").ok());
         let Some(dir) = dir else { return false };
         telemetry::set_enabled(true);
+        let threads = self.resolved_threads();
+        // The profile name only exists at the CLI boundary; a profile set
+        // programmatically (no flag) is recorded as "custom".
+        let faults = self
+            .value("--faults")
+            .unwrap_or(if scale.env.faults.is_some() {
+                "custom"
+            } else {
+                "none"
+            });
         let path = std::path::Path::new(&dir).join(format!("{table}.telemetry.jsonl"));
         match telemetry::RunRecorder::create(&path) {
             Ok(rec) => {
@@ -193,17 +271,32 @@ impl Cli {
                         telemetry::Json::from(scale.train_episodes),
                     ),
                     ("eval_episodes", telemetry::Json::from(scale.eval_episodes)),
+                    ("threads", telemetry::Json::from(threads)),
+                    ("faults", telemetry::Json::from(faults)),
                     ("config", config),
                 ]);
                 telemetry::install_recorder(rec);
                 eprintln!("telemetry: recording to {}", path.display());
-                true
             }
             Err(e) => {
                 eprintln!("telemetry: cannot create {}: {e}", path.display());
-                false
+                return false;
             }
         }
+        let mut flight = telemetry::FlightRecorder::new(FLIGHT_CAPACITY);
+        flight.configure_dumps(
+            std::path::Path::new(&dir).join("flight"),
+            table,
+            vec![
+                ("bin".to_string(), telemetry::Json::from(table)),
+                ("seed".to_string(), telemetry::Json::from(scale.env.seed)),
+                ("threads".to_string(), telemetry::Json::from(threads)),
+                ("faults".to_string(), telemetry::Json::from(faults)),
+            ],
+        );
+        telemetry::flight_install(flight);
+        telemetry::flight_install_panic_hook();
+        true
     }
 }
 

@@ -1,0 +1,568 @@
+//! Metric diffing with per-metric tolerance bands — the core of the
+//! `benchdiff` regression gate.
+//!
+//! A BENCH/table JSON is flattened into dotted metric names
+//! (`ops.matmul.serial_wall_ms`, `profile.learn_step.alloc_reduction`,
+//! ...), each name is classified into a direction-aware tolerance class,
+//! and a candidate run is compared against a baseline metric-by-metric:
+//!
+//! * **time metrics** (`*_ms*`, `*wall*`, `*_ns`, `*_s`) — lower is
+//!   better, generous relative band (wall clocks vary across hosts);
+//! * **throughput metrics** (`*per_sec*`, `*speedup*`, `*reduction*`) —
+//!   higher is better, same band;
+//! * **bools and strings** (checksums, `checksums_equal`, op names) —
+//!   exact match, no band: the determinism contract makes them stable, so
+//!   any drift is a real regression;
+//! * **everything else numeric** (counts, losses, rates) — symmetric
+//!   relative band.
+//!
+//! A metric present in the baseline but missing from the candidate is a
+//! regression (a silently dropped measurement must not pass the gate);
+//! a metric new in the candidate is reported but never fails. A zero
+//! baseline makes relative bands meaningless, so those fall back to an
+//! absolute floor.
+
+use std::fmt::Write as _;
+
+use telemetry::Json;
+
+/// How a metric's delta maps to better/worse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Time-like: regression when the candidate is *higher*.
+    LowerBetter,
+    /// Throughput-like: regression when the candidate is *lower*.
+    HigherBetter,
+    /// Counts/losses: regression when the candidate *moves* either way.
+    Symmetric,
+    /// Checksums, flags, labels: regression on any mismatch.
+    Exact,
+}
+
+/// Relative tolerance bands, as fractions of the baseline value.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Band for symmetric numeric metrics.
+    pub rel: f64,
+    /// Band for direction-aware perf metrics (times, throughputs) —
+    /// wider by default because wall clocks vary across hosts.
+    pub time_rel: f64,
+    /// Absolute band used when the baseline is exactly zero, where a
+    /// relative band would either always or never trip.
+    pub abs_floor: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            rel: 0.10,
+            time_rel: 0.35,
+            abs_floor: 1e-9,
+        }
+    }
+}
+
+/// A flattened metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    fn render(&self) -> String {
+        match self {
+            Value::Num(n) => format!("{n:.6}"),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// Classifies a dotted metric name by its leaf segment.
+pub fn classify(name: &str) -> Direction {
+    let leaf = name.rsplit('.').next().unwrap_or(name);
+    if leaf.contains("per_sec") || leaf.contains("speedup") || leaf.contains("reduction") {
+        Direction::HigherBetter
+    } else if leaf.contains("_ms")
+        || leaf.contains("wall")
+        || leaf.ends_with("_ns")
+        || leaf.ends_with("_s")
+    {
+        Direction::LowerBetter
+    } else {
+        Direction::Symmetric
+    }
+}
+
+/// Flattens a parsed BENCH/table JSON into dotted `(name, value)` pairs.
+///
+/// Objects contribute their key as a path segment; array elements use
+/// their `op` or `name` field when present (so `ops.matmul.speedup`
+/// instead of `ops.0.speedup`), falling back to the index. Non-finite
+/// numbers are dropped — a NaN cannot be banded and must not poison the
+/// diff. Null values are skipped.
+pub fn flatten(doc: &Json) -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn join(prefix: &str, key: &str) -> String {
+    if prefix.is_empty() {
+        key.to_string()
+    } else {
+        format!("{prefix}.{key}")
+    }
+}
+
+fn walk(v: &Json, prefix: String, out: &mut Vec<(String, Value)>) {
+    match v {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                walk(v, join(&prefix, k), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = item
+                    .get("op")
+                    .or_else(|| item.get("name"))
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| i.to_string());
+                walk(item, join(&prefix, &label), out);
+            }
+        }
+        Json::Num(n) => {
+            if n.is_finite() {
+                out.push((prefix, Value::Num(*n)));
+            }
+        }
+        Json::Bool(b) => out.push((prefix, Value::Bool(*b))),
+        Json::Str(s) => out.push((prefix, Value::Str(s.clone()))),
+        Json::Null => {}
+    }
+}
+
+/// Verdict for one metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Within tolerance.
+    Ok,
+    /// Beyond tolerance in the good direction (reported, never fails).
+    Improved,
+    /// Beyond tolerance in the bad direction, or an exact-class mismatch.
+    Regressed,
+    /// Present in the baseline, absent from the candidate — fails.
+    Missing,
+    /// Absent from the baseline — informational only.
+    New,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Regressed => "REGRESSED",
+            Status::Missing => "MISSING",
+            Status::New => "new",
+        }
+    }
+
+    /// True for the statuses that make `benchdiff` exit 1.
+    pub fn fails(self) -> bool {
+        matches!(self, Status::Regressed | Status::Missing)
+    }
+}
+
+/// One metric's comparison.
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    pub name: String,
+    pub base: Option<Value>,
+    pub cand: Option<Value>,
+    pub status: Status,
+    /// Human-readable delta (relative change, mismatch note, ...).
+    pub detail: String,
+}
+
+/// The full metric-by-metric comparison of two runs.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    pub lines: Vec<DiffLine>,
+}
+
+impl DiffReport {
+    /// Number of failing metrics (regressed or missing).
+    pub fn failures(&self) -> usize {
+        self.lines.iter().filter(|l| l.status.fails()).count()
+    }
+
+    /// Renders the comparison table; `verbose` includes in-band metrics,
+    /// otherwise only deviations (and a summary line) are shown.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<46} {:>14} {:>14}  {:<9} note",
+            "metric", "baseline", "candidate", "status"
+        );
+        for l in &self.lines {
+            if !verbose && l.status == Status::Ok {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<46} {:>14} {:>14}  {:<9} {}",
+                l.name,
+                l.base.as_ref().map(Value::render).unwrap_or_default(),
+                l.cand.as_ref().map(Value::render).unwrap_or_default(),
+                l.status.label(),
+                l.detail,
+            );
+        }
+        let fails = self.failures();
+        let _ = writeln!(
+            out,
+            "benchdiff: {} metrics, {} failing{}",
+            self.lines.len(),
+            fails,
+            if fails == 0 {
+                " (within tolerance)"
+            } else {
+                ""
+            },
+        );
+        out
+    }
+
+    /// JSON form of the comparison, for archiving alongside the run.
+    pub fn to_json(&self) -> Json {
+        let lines: Vec<Json> = self
+            .lines
+            .iter()
+            .map(|l| {
+                let val = |v: &Option<Value>| match v {
+                    Some(Value::Num(n)) => Json::Num(*n),
+                    Some(Value::Bool(b)) => Json::Bool(*b),
+                    Some(Value::Str(s)) => Json::from(s.as_str()),
+                    None => Json::Null,
+                };
+                Json::obj(vec![
+                    ("metric", Json::from(l.name.as_str())),
+                    ("base", val(&l.base)),
+                    ("cand", val(&l.cand)),
+                    ("status", Json::from(l.status.label())),
+                    ("note", Json::from(l.detail.as_str())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("kind", Json::from("benchdiff")),
+            ("failing", Json::from(self.failures())),
+            ("lines", Json::Arr(lines)),
+        ])
+    }
+}
+
+fn compare_numeric(name: &str, base: f64, cand: f64, tol: &Tolerances) -> (Status, String) {
+    let dir = classify(name);
+    let band = match dir {
+        Direction::LowerBetter | Direction::HigherBetter => tol.time_rel,
+        _ => tol.rel,
+    };
+    // lint:allow(float-eq) exact-zero baseline is the sentinel for "relative
+    // band undefined"; any nonzero baseline takes the relative path
+    if base == 0.0 {
+        // Relative bands are meaningless at a zero baseline: fall back to
+        // an absolute floor (direction-aware, like the relative path).
+        let delta = cand - base;
+        let beyond = delta.abs() > tol.abs_floor;
+        let status = match dir {
+            _ if !beyond => Status::Ok,
+            Direction::LowerBetter => {
+                if delta > 0.0 {
+                    Status::Regressed
+                } else {
+                    Status::Improved
+                }
+            }
+            Direction::HigherBetter => {
+                if delta < 0.0 {
+                    Status::Regressed
+                } else {
+                    Status::Improved
+                }
+            }
+            _ => Status::Regressed,
+        };
+        return (
+            status,
+            format!("zero baseline, |Δ| vs floor {:e}", tol.abs_floor),
+        );
+    }
+    let rel = (cand - base) / base.abs();
+    let detail = format!("{:+.1}% (band ±{:.0}%)", rel * 100.0, band * 100.0);
+    let status = match dir {
+        Direction::LowerBetter => {
+            if rel > band {
+                Status::Regressed
+            } else if rel < -band {
+                Status::Improved
+            } else {
+                Status::Ok
+            }
+        }
+        Direction::HigherBetter => {
+            if rel < -band {
+                Status::Regressed
+            } else if rel > band {
+                Status::Improved
+            } else {
+                Status::Ok
+            }
+        }
+        Direction::Symmetric | Direction::Exact => {
+            if rel.abs() > band {
+                Status::Regressed
+            } else {
+                Status::Ok
+            }
+        }
+    };
+    (status, detail)
+}
+
+/// Compares candidate metrics against a baseline. Every baseline metric
+/// must appear in the candidate (else [`Status::Missing`]); candidate
+/// metrics without a baseline counterpart are [`Status::New`].
+pub fn diff(base: &[(String, Value)], cand: &[(String, Value)], tol: &Tolerances) -> DiffReport {
+    let mut lines = Vec::new();
+    for (name, bval) in base {
+        let Some((_, cval)) = cand.iter().find(|(n, _)| n == name) else {
+            lines.push(DiffLine {
+                name: name.clone(),
+                base: Some(bval.clone()),
+                cand: None,
+                status: Status::Missing,
+                detail: "metric absent from candidate".to_string(),
+            });
+            continue;
+        };
+        let (status, detail) = match (bval, cval) {
+            (Value::Num(b), Value::Num(c)) => compare_numeric(name, *b, *c, tol),
+            (b, c) if b == c => (Status::Ok, "exact match".to_string()),
+            _ => (Status::Regressed, "exact-class mismatch".to_string()),
+        };
+        lines.push(DiffLine {
+            name: name.clone(),
+            base: Some(bval.clone()),
+            cand: Some(cval.clone()),
+            status,
+            detail,
+        });
+    }
+    for (name, cval) in cand {
+        if !base.iter().any(|(n, _)| n == name) {
+            lines.push(DiffLine {
+                name: name.clone(),
+                base: None,
+                cand: Some(cval.clone()),
+                status: Status::New,
+                detail: "no baseline".to_string(),
+            });
+        }
+    }
+    DiffReport { lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums(pairs: &[(&str, f64)]) -> Vec<(String, Value)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Num(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn classification_by_leaf_segment() {
+        assert_eq!(
+            classify("ops.matmul.serial_wall_ms"),
+            Direction::LowerBetter
+        );
+        assert_eq!(classify("mean_ms_per_call"), Direction::LowerBetter);
+        assert_eq!(
+            classify("ops.episodes.parallel_eps_per_sec"),
+            Direction::HigherBetter
+        );
+        assert_eq!(
+            classify("profile.learn_step.latency_speedup"),
+            Direction::HigherBetter
+        );
+        assert_eq!(
+            classify("profile.learn_step.alloc_reduction"),
+            Direction::HigherBetter
+        );
+        assert_eq!(classify("ops.episodes.episodes"), Direction::Symmetric);
+        assert_eq!(
+            classify("profile.learn_step.tape_fresh"),
+            Direction::Symmetric
+        );
+    }
+
+    #[test]
+    fn identical_runs_pass_clean() {
+        let base = nums(&[("a.wall_ms", 10.0), ("b.count", 5.0)]);
+        let report = diff(&base, &base, &Tolerances::default());
+        assert_eq!(report.failures(), 0);
+        assert!(report.lines.iter().all(|l| l.status == Status::Ok));
+    }
+
+    #[test]
+    fn time_regression_beyond_band_fails() {
+        let tol = Tolerances::default();
+        let base = nums(&[("op.wall_ms", 100.0)]);
+        // +30% is inside the ±35% band; +50% is out.
+        let ok = diff(&base, &nums(&[("op.wall_ms", 130.0)]), &tol);
+        assert_eq!(ok.failures(), 0);
+        let bad = diff(&base, &nums(&[("op.wall_ms", 150.0)]), &tol);
+        assert_eq!(bad.failures(), 1);
+        assert_eq!(bad.lines[0].status, Status::Regressed);
+        // Faster is an improvement, never a failure.
+        let fast = diff(&base, &nums(&[("op.wall_ms", 20.0)]), &tol);
+        assert_eq!(fast.failures(), 0);
+        assert_eq!(fast.lines[0].status, Status::Improved);
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        let tol = Tolerances::default();
+        let base = nums(&[("op.eps_per_sec", 100.0)]);
+        let slow = diff(&base, &nums(&[("op.eps_per_sec", 50.0)]), &tol);
+        assert_eq!(slow.lines[0].status, Status::Regressed);
+        let fast = diff(&base, &nums(&[("op.eps_per_sec", 200.0)]), &tol);
+        assert_eq!(fast.lines[0].status, Status::Improved);
+        assert_eq!(fast.failures(), 0);
+    }
+
+    #[test]
+    fn symmetric_band_flags_both_directions() {
+        let tol = Tolerances::default();
+        let base = nums(&[("run.success_rate", 0.90)]);
+        assert_eq!(
+            diff(&base, &nums(&[("run.success_rate", 0.88)]), &tol).failures(),
+            0
+        );
+        assert_eq!(
+            diff(&base, &nums(&[("run.success_rate", 0.70)]), &tol).failures(),
+            1
+        );
+        assert_eq!(
+            diff(&base, &nums(&[("run.success_rate", 1.20)]), &tol).failures(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_metric_fails_and_new_metric_does_not() {
+        let tol = Tolerances::default();
+        let base = nums(&[("a.wall_ms", 1.0), ("b.wall_ms", 2.0)]);
+        let cand = nums(&[("a.wall_ms", 1.0), ("c.wall_ms", 3.0)]);
+        let report = diff(&base, &cand, &tol);
+        assert_eq!(report.failures(), 1, "only the dropped metric fails");
+        let missing = report.lines.iter().find(|l| l.name == "b.wall_ms").unwrap();
+        assert_eq!(missing.status, Status::Missing);
+        let fresh = report.lines.iter().find(|l| l.name == "c.wall_ms").unwrap();
+        assert_eq!(fresh.status, Status::New);
+    }
+
+    #[test]
+    fn zero_baseline_uses_absolute_floor() {
+        let tol = Tolerances::default();
+        let base = nums(&[("op.wall_ms", 0.0), ("run.count", 0.0)]);
+        // Exact zero candidate passes both.
+        assert_eq!(diff(&base, &base, &tol).failures(), 0);
+        // Any real movement off a zero time baseline is a regression, not
+        // a division-by-zero artifact.
+        let worse = diff(
+            &base,
+            &nums(&[("op.wall_ms", 0.5), ("run.count", 0.0)]),
+            &tol,
+        );
+        assert_eq!(worse.failures(), 1);
+        assert_eq!(worse.lines[0].status, Status::Regressed);
+        let moved = diff(
+            &base,
+            &nums(&[("op.wall_ms", 0.0), ("run.count", 3.0)]),
+            &tol,
+        );
+        assert_eq!(
+            moved.failures(),
+            1,
+            "symmetric zero baseline flags movement"
+        );
+    }
+
+    #[test]
+    fn exact_class_requires_equality() {
+        let tol = Tolerances::default();
+        let base = vec![
+            ("checksum".to_string(), Value::Str("abcd".to_string())),
+            ("checksums_equal".to_string(), Value::Bool(true)),
+        ];
+        assert_eq!(diff(&base, &base, &tol).failures(), 0);
+        let cand = vec![
+            ("checksum".to_string(), Value::Str("ffff".to_string())),
+            ("checksums_equal".to_string(), Value::Bool(false)),
+        ];
+        let report = diff(&base, &cand, &tol);
+        assert_eq!(report.failures(), 2);
+    }
+
+    #[test]
+    fn flatten_uses_op_labels_and_drops_nan() {
+        let doc = Json::parse(
+            r#"{"bench":"parallel","ops":[{"op":"matmul","speedup":2.5},{"op":"episodes","bad":null}],"nested":{"x":1.5},"plain":[7,8]}"#,
+        )
+        .unwrap();
+        let mut flat = flatten(&doc);
+        flat.sort_by(|a, b| a.0.cmp(&b.0));
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "bench",
+                "nested.x",
+                "ops.episodes.op",
+                "ops.matmul.op",
+                "ops.matmul.speedup",
+                "plain.0",
+                "plain.1",
+            ]
+        );
+        let nan_doc = Json::Obj(vec![("speedup".to_string(), Json::Num(f64::NAN))]);
+        assert!(flatten(&nan_doc).is_empty(), "non-finite values dropped");
+    }
+
+    #[test]
+    fn report_renders_summary_and_failures() {
+        let tol = Tolerances::default();
+        let base = nums(&[("a.wall_ms", 100.0), ("b.wall_ms", 1.0)]);
+        let cand = nums(&[("a.wall_ms", 300.0), ("b.wall_ms", 1.0)]);
+        let report = diff(&base, &cand, &tol);
+        let text = report.render(false);
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("1 failing"), "{text}");
+        assert!(!text.contains("b.wall_ms"), "in-band rows hidden:\n{text}");
+        let verbose = report.render(true);
+        assert!(verbose.contains("b.wall_ms"));
+        let json = report.to_json();
+        assert_eq!(json.get("failing").and_then(Json::as_f64), Some(1.0));
+    }
+}

@@ -7,16 +7,72 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cli;
+pub mod diff;
 
 pub use cli::{Cli, COMMON_FLAGS};
 
-/// Prints the hierarchical timing tree and the metrics report when
-/// telemetry is enabled, then drops the recorder so its file is flushed
-/// and closed before the process exits.
+/// Number of hot paths shown in every bin's self-time profile table.
+pub const PROFILE_TOP_N: usize = 12;
+
+/// Prints the hierarchical timing tree, the self-time profile table and
+/// the metrics report when telemetry is enabled, exports the span tree as
+/// folded stacks next to the JSONL sink, then drops the run and flight
+/// recorders so their files are flushed and closed before the process
+/// exits.
 pub fn finish_telemetry() {
+    let snapshot = telemetry::span_snapshot();
     if telemetry::enabled() {
         println!("{}", telemetry::timing_report());
+        println!("{}", telemetry::profile_report(&snapshot, PROFILE_TOP_N));
         println!("{}", telemetry::metrics_report());
     }
+    // Folded-stack export (`flamegraph.pl < x.folded > x.svg`) lands next
+    // to the telemetry sink: results/<table>.telemetry.jsonl -> <table>.folded.
+    if let Some(path) = telemetry::recorder_path() {
+        let folded = telemetry::folded_stacks(&snapshot);
+        if !folded.is_empty() {
+            let folded_path = folded_sibling(&path);
+            match std::fs::write(&folded_path, folded) {
+                Ok(()) => eprintln!("telemetry: folded stacks at {}", folded_path.display()),
+                Err(e) => eprintln!("telemetry: cannot write {}: {e}", folded_path.display()),
+            }
+        }
+    }
+    if let Some((_, recorded, dumps, suppressed)) = telemetry::flight_status() {
+        if dumps > 0 || suppressed > 0 {
+            eprintln!(
+                "flight recorder: {recorded} events, {dumps} dumps written, {suppressed} suppressed"
+            );
+        }
+    }
     drop(telemetry::take_recorder());
+    drop(telemetry::flight_take());
+}
+
+/// `results/table1.telemetry.jsonl` → `results/table1.folded`.
+fn folded_sibling(sink: &std::path::Path) -> std::path::PathBuf {
+    let stem = sink
+        .file_name()
+        .and_then(|n| n.to_str())
+        .map(|n| n.trim_end_matches(".telemetry.jsonl"))
+        .unwrap_or("run");
+    sink.with_file_name(format!("{stem}.folded"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::folded_sibling;
+    use std::path::Path;
+
+    #[test]
+    fn folded_path_replaces_sink_suffix() {
+        assert_eq!(
+            folded_sibling(Path::new("results/table1.telemetry.jsonl")),
+            Path::new("results/table1.folded")
+        );
+        assert_eq!(
+            folded_sibling(Path::new("other.jsonl")),
+            Path::new("other.jsonl.folded")
+        );
+    }
 }

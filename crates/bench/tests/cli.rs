@@ -5,7 +5,7 @@
 use std::process::Command;
 
 /// Every bench binary, resolved at compile time by Cargo.
-const BINS: [(&str, &str); 8] = [
+const BINS: [(&str, &str); 9] = [
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table2", env!("CARGO_BIN_EXE_table2")),
     ("table3_4", env!("CARGO_BIN_EXE_table3_4")),
@@ -14,6 +14,7 @@ const BINS: [(&str, &str); 8] = [
     ("robustness", env!("CARGO_BIN_EXE_robustness")),
     ("train_curve", env!("CARGO_BIN_EXE_train_curve")),
     ("perf", env!("CARGO_BIN_EXE_perf")),
+    ("benchdiff", env!("CARGO_BIN_EXE_benchdiff")),
 ];
 
 fn run(exe: &str, args: &[&str]) -> std::process::Output {
@@ -87,4 +88,71 @@ fn per_binary_extra_flags_stay_per_binary() {
         Some(2),
         "table1 must reject robustness-only flags"
     );
+}
+
+fn benchdiff_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_benchdiff")
+}
+
+fn temp_json(tag: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "benchdiff_{tag}_{}_{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, content).expect("write temp json");
+    path
+}
+
+#[test]
+fn benchdiff_exits_0_on_identical_rerun_and_1_on_regression() {
+    let base = temp_json(
+        "base",
+        r#"{"ops":[{"op":"matmul","serial_wall_ms":10.0,"checksums_equal":true}]}"#,
+    );
+    // Identical candidate: within tolerance, exit 0.
+    let out = run(
+        benchdiff_exe(),
+        &[
+            "--base",
+            base.to_str().expect("utf8 path"),
+            "--cand",
+            base.to_str().expect("utf8 path"),
+        ],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "identical re-run must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Synthetic regression: 3x the wall time plus a determinism break.
+    let cand = temp_json(
+        "cand",
+        r#"{"ops":[{"op":"matmul","serial_wall_ms":30.0,"checksums_equal":false}]}"#,
+    );
+    let out = run(
+        benchdiff_exe(),
+        &[
+            "--base",
+            base.to_str().expect("utf8 path"),
+            "--cand",
+            cand.to_str().expect("utf8 path"),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&cand);
+}
+
+#[test]
+fn benchdiff_without_a_mode_exits_2() {
+    let out = run(benchdiff_exe(), &[]);
+    assert_eq!(out.status.code(), Some(2), "no mode selected");
+    let out = run(benchdiff_exe(), &["--trend", "/nonexistent/trends.jsonl"]);
+    assert_eq!(out.status.code(), Some(2), "--trend without --bin-name");
 }

@@ -399,6 +399,10 @@ impl PamdpAgent for BpDqn {
 
         telemetry::histogram_record(keys::DECISION_Q_LOSS, q_loss);
         telemetry::histogram_record(keys::DECISION_X_LOSS, x_loss);
+        // The loss trajectory is the most useful lead-up context in a
+        // divergence post-mortem: keep the last window in the flight ring.
+        telemetry::flight_record(keys::DECISION_Q_LOSS, q_loss);
+        telemetry::flight_record(keys::DECISION_X_LOSS, x_loss);
         Some(LearnStats { q_loss, x_loss })
     }
 

@@ -242,6 +242,8 @@ impl HighwayEnv {
     /// Closes the running episode early with [`Terminal::Fault`] (episode
     /// watchdog). The caller is expected to `reset` before stepping again.
     pub fn abort_episode(&mut self) -> EpisodeMetrics {
+        telemetry::flight_record(keys::FLIGHT_TERMINAL_FAULT, self.episode_index as f64);
+        telemetry::flight_dump(keys::FLIGHT_TERMINAL_FAULT);
         self.collector.finish(Terminal::Fault, self.cfg.sim.dt)
     }
 
@@ -416,6 +418,10 @@ impl HighwayEnv {
         } else if arrived {
             Terminal::Destination
         } else if !faults.is_empty() {
+            // Post-mortem: flush the flight ring so the dump shows what led
+            // up to this fault (the events above are already in the ring).
+            telemetry::flight_record(keys::FLIGHT_TERMINAL_FAULT, self.episode_index as f64);
+            telemetry::flight_dump(keys::FLIGHT_TERMINAL_FAULT);
             Terminal::Fault
         } else if self.steps >= self.cfg.max_steps {
             Terminal::Timeout

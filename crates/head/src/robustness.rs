@@ -57,10 +57,12 @@ impl RobustnessEvent {
         }
     }
 
-    /// Records the event: bumps its `robustness.*` counter and emits a
-    /// structured JSONL event.
+    /// Records the event: bumps its `robustness.*` counter, pushes it into
+    /// the flight-recorder ring (so a later fault dump shows the lead-up),
+    /// and emits a structured JSONL event.
     pub fn record(&self, episode: u64) {
         telemetry::counter_add(self.counter(), 1);
+        telemetry::flight_record(self.counter(), episode as f64);
         let mut fields = vec![
             ("kind", Json::from(self.name())),
             ("episode", Json::from(episode)),

@@ -1,0 +1,112 @@
+//! End-to-end flight-recorder coverage: a forced `Terminal::Fault`
+//! episode must leave a JSONL post-mortem dump containing the events that
+//! led up to the fault.
+
+use decision::{Action, LaneBehaviour};
+use head::{EnvConfig, HighwayEnv, PerceptionMode, Terminal};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "head_flight_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn forced_fault_episode_dumps_the_flight_ring() {
+    let dir = temp_dir("fault");
+    let mut rec = telemetry::FlightRecorder::new(64);
+    rec.configure_dumps(
+        &dir,
+        "probe",
+        vec![("bin".to_string(), telemetry::Json::from("probe"))],
+    );
+    // The global slot is shared across the test binary's threads; take
+    // whatever a previous test left behind before installing ours.
+    let _ = telemetry::flight_take();
+    telemetry::flight_install(rec);
+
+    let mut env = HighwayEnv::new(EnvConfig::default(), PerceptionMode::Persistence);
+    env.reset();
+    // A few healthy steps, then a diverged policy commanding NaN: the env
+    // must record the robustness event and end the episode with Fault.
+    for _ in 0..3 {
+        let result = env.step(Action {
+            behaviour: LaneBehaviour::Keep,
+            accel: 0.1,
+        });
+        if result.episode.is_some() {
+            break;
+        }
+    }
+    let result = env.step(Action {
+        behaviour: LaneBehaviour::Keep,
+        accel: f64::NAN,
+    });
+    let episode = result.episode.expect("non-finite action ends the episode");
+    assert_eq!(episode.terminal, Terminal::Fault);
+
+    let rec = telemetry::flight_take().expect("recorder still installed");
+    let (written, _) = rec.dump_counts();
+    assert_eq!(written, 1, "exactly one dump for the fault");
+
+    let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    assert_eq!(entries.len(), 1, "one dump file: {entries:?}");
+    let name = entries[0]
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("name");
+    assert!(
+        name.starts_with("probe.flight.") && name.ends_with("terminal_fault.jsonl"),
+        "dump name carries prefix and reason: {name}"
+    );
+
+    let text = std::fs::read_to_string(&entries[0]).expect("read dump");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "header plus at least one event:\n{text}");
+    let header = telemetry::Json::parse(lines[0]).expect("header parses");
+    assert_eq!(
+        header.get("kind").and_then(telemetry::Json::as_str),
+        Some("flight_dump")
+    );
+    assert_eq!(
+        header.get("reason").and_then(telemetry::Json::as_str),
+        Some("flight.terminal_fault")
+    );
+    assert_eq!(
+        header.get("bin").and_then(telemetry::Json::as_str),
+        Some("probe")
+    );
+
+    // The ring must hold the lead-up: the robustness event for the NaN
+    // action and the terminal-fault marker itself, in order.
+    let names: Vec<String> = lines[1..]
+        .iter()
+        .map(|l| {
+            telemetry::Json::parse(l)
+                .expect("event parses")
+                .get("name")
+                .and_then(telemetry::Json::as_str)
+                .expect("event has a name")
+                .to_string()
+        })
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "robustness.nonfinite_action"),
+        "lead-up event present: {names:?}"
+    );
+    assert_eq!(
+        names.last().map(String::as_str),
+        Some("flight.terminal_fault"),
+        "fault marker is the newest event: {names:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

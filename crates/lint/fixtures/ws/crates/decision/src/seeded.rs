@@ -17,6 +17,7 @@ pub fn violations(v: &[f64], x: Option<u32>) -> f64 {
     telemetry::counter_add("sim.typo", 1);
     telemetry::counter_add("sim.good", 1);
     telemetry::counter_add(keys::GOOD_KEY, 1);
+    telemetry::flight_record("flight.bogus", first);
     let _h = std::thread::spawn(|| 0);
     let _x = x.unwrap();
     // lint:allow(panic)

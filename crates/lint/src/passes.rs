@@ -116,6 +116,13 @@ pub const RULES: &[Rule] = &[
                   call site",
     },
     Rule {
+        name: "recorder-keys",
+        severity: Severity::Error,
+        summary: "string literal passed to a flight-recorder entry point \
+                  (flight_record / flight_dump) that is not a registered \
+                  telemetry::keys constant",
+    },
+    Rule {
         name: "lint-header",
         severity: Severity::Error,
         summary: "crate lib.rs is missing the agreed panic-audit header \
@@ -171,6 +178,7 @@ pub fn run_file_passes(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>)
     pass_float_cast(f, out);
     pass_graph_churn(f, out);
     pass_telemetry_keys(f, ctx, out);
+    pass_recorder_keys(f, ctx, out);
     pass_lint_header(f, out);
 }
 
@@ -610,6 +618,67 @@ fn pass_telemetry_keys(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>)
     }
 }
 
+/// Flight-recorder entry points whose first argument is an event name or
+/// dump reason.
+const RECORDER_FNS: [&str; 2] = ["flight_record", "flight_dump"];
+
+/// Flight-recorder integrity: event names and dump reasons handed to
+/// `flight_record`/`flight_dump` must be registered `telemetry::keys`
+/// constants, just like the metric entry points — a typo'd name makes a
+/// post-mortem dump invisible to tooling that greps for registered keys.
+/// Test code may use ad-hoc names.
+fn pass_recorder_keys(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+    if ctx.keys.is_empty() || f.path.ends_with("telemetry/src/keys.rs") {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !RECORDER_FNS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let is_call = matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
+        if !is_call {
+            continue;
+        }
+        let mut a = i + 2;
+        // Skip leading `&` borrows on the argument.
+        while matches!(toks.get(a), Some(n) if n.is_punct("&")) {
+            a += 1;
+        }
+        let Some(arg) = toks.get(a) else { continue };
+        let Some(value) = arg.str_value() else {
+            continue;
+        };
+        if !ctx.keys.contains_value(value) {
+            out.push(diag(
+                "recorder-keys",
+                f,
+                a,
+                format!(
+                    "flight-recorder key \"{value}\" is not registered in \
+                     telemetry::keys; a typo here makes the post-mortem dump \
+                     unsearchable — add a constant and reference it"
+                ),
+            ));
+        } else {
+            out.push(diag(
+                "recorder-keys",
+                f,
+                a,
+                format!(
+                    "flight-recorder key \"{value}\" is registered but passed as a \
+                     literal; reference the telemetry::keys constant instead"
+                ),
+            ));
+        }
+    }
+}
+
 /// Token spelling of the two mandatory inner attributes.
 const HEADER_DENY: [&str; 10] = [
     "#",
@@ -940,6 +1009,30 @@ mod tests {
             r#"pub fn counter_add(name: &str, v: u64) {}
 #[cfg(test)]
 mod tests { fn t() { counter_add("adhoc.key", 1); } }"#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn recorder_keys_literal_policing() {
+        let d = lint_src(
+            "crates/head/src/a.rs",
+            "head",
+            r#"fn f() { telemetry::flight_record("flight.typo", 1.0); telemetry::flight_dump("sim.good"); flight_record(keys::GOOD, 0.0); }"#,
+        );
+        assert_eq!(rules_of(&d), vec!["recorder-keys", "recorder-keys"]);
+        assert!(d[0].message.contains("not registered"));
+        assert!(d[1].message.contains("passed as a literal"));
+    }
+
+    #[test]
+    fn recorder_keys_skips_definitions_and_tests() {
+        assert!(lint_src(
+            "crates/telemetry/src/flight.rs",
+            "telemetry",
+            r#"pub fn flight_record(name: &'static str, value: f64) {}
+#[cfg(test)]
+mod tests { fn t() { flight_record("adhoc.key", 1.0); } }"#,
         )
         .is_empty());
     }

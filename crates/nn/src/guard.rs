@@ -26,12 +26,14 @@ pub fn finite_guard(loss: f32, store: &mut ParamStore, max_grad_norm: f32) -> bo
     if !loss.is_finite() {
         telemetry::counter_add(keys::NN_NONFINITE_LOSS, 1);
         telemetry::counter_add(keys::NN_NONFINITE_SKIPPED, 1);
+        telemetry::flight_record(keys::NN_NONFINITE_LOSS, f64::from(loss));
         store.zero_grad();
         return false;
     }
     if !store.grads_are_finite() {
         telemetry::counter_add(keys::NN_NONFINITE_GRAD, 1);
         telemetry::counter_add(keys::NN_NONFINITE_SKIPPED, 1);
+        telemetry::flight_record(keys::NN_NONFINITE_GRAD, f64::from(loss));
         store.zero_grad();
         return false;
     }
@@ -89,6 +91,10 @@ impl DivergenceGuard {
             if let Some(snapshot) = &self.snapshot {
                 store.copy_values_from(snapshot);
                 telemetry::counter_add(keys::NN_NONFINITE_RESTORED, 1);
+                // A rollback is the divergence post-mortem moment: dump the
+                // ring of rejected-step events that led here.
+                telemetry::flight_record(keys::FLIGHT_NONFINITE_RESTORE, f64::from(self.patience));
+                telemetry::flight_dump(keys::FLIGHT_NONFINITE_RESTORE);
             }
             self.streak = 0;
         }

@@ -135,6 +135,9 @@ impl FallbackGuard {
         };
         if let Some(counter) = tier.counter() {
             telemetry::counter_add(counter, 1);
+            // The staleness value makes a later fault dump show how deep
+            // into the degradation ladder the run was.
+            telemetry::flight_record(counter, self.staleness as f64);
         }
 
         let out = match tier {

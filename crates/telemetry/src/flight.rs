@@ -1,0 +1,445 @@
+//! The flight recorder: a fixed-capacity ring buffer of recent telemetry
+//! events, dumped as JSONL when something goes wrong.
+//!
+//! Robustness events (PR-2's `Terminal::Fault`, divergence-guard restores,
+//! checksum mismatches, panics) end an episode or a run, but by the time a
+//! counter says *how often* something fired, the context of *what led up
+//! to it* is gone. The flight recorder keeps that context: instrumented
+//! sites push fixed-size [`FlightEvent`]s into a preallocated ring
+//! ([`flight_record`] — no allocation per event, old events overwritten),
+//! and fault sites trigger [`flight_dump`], which writes the surviving
+//! window as a JSONL post-mortem with a self-describing header (reason,
+//! run context, git revision, overflow accounting).
+//!
+//! Event names must be constants from [`crate::keys`] — enforced by the
+//! `headlint` `recorder-keys` rule — so dumps stay greppable against the
+//! same registry the live metrics use.
+//!
+//! Dumps are capped at [`MAX_DUMPS`] per process: a long fault-injection
+//! run can end thousands of episodes with `Terminal::Fault`, and the
+//! first few post-mortems carry all the signal. Suppressed dumps are
+//! counted and reported by [`flight_status`].
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::events::git_rev;
+use crate::json::Json;
+
+/// Hard per-process cap on written dumps (per recorder install).
+pub const MAX_DUMPS: u32 = 8;
+
+/// One recorded event. Fixed size: the name is a `&'static str` from the
+/// key registry, so pushing an event never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (0 for the first event ever recorded).
+    pub seq: u64,
+    /// Milliseconds since the recorder was installed.
+    pub t_ms: f64,
+    /// Registered event name (a `telemetry::keys` constant).
+    pub name: &'static str,
+    /// Event payload (a count, a loss, a staleness — site-defined).
+    pub value: f64,
+}
+
+/// The ring buffer plus its dump bookkeeping.
+pub struct FlightRecorder {
+    slots: Vec<FlightEvent>,
+    capacity: usize,
+    /// Total events ever recorded; `recorded - len` is the overwrite count.
+    recorded: u64,
+    started: Instant,
+    /// Directory dumps are written into (`None` disables dumping).
+    dump_dir: Option<PathBuf>,
+    /// File-name prefix for dumps (typically the binary name).
+    prefix: String,
+    /// Context fields echoed into every dump header.
+    context: Vec<(String, Json)>,
+    dumps_written: u32,
+    dumps_suppressed: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the last `capacity` events (clamped to at
+    /// least 1). The ring is preallocated here; recording never allocates.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+            started: Instant::now(),
+            dump_dir: None,
+            prefix: "flight".to_string(),
+            context: Vec::new(),
+            dumps_written: 0,
+            dumps_suppressed: 0,
+        }
+    }
+
+    /// Sets where dumps go and how their files are named, and attaches
+    /// context fields (bin, seed, threads, fault profile, ...) echoed into
+    /// every dump header.
+    pub fn configure_dumps(
+        &mut self,
+        dir: impl Into<PathBuf>,
+        prefix: &str,
+        context: Vec<(String, Json)>,
+    ) {
+        self.dump_dir = Some(dir.into());
+        self.prefix = prefix.to_string();
+        self.context = context;
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to overwriting since install.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.slots.len() as u64
+    }
+
+    /// Pushes one event, overwriting the oldest once the ring is full.
+    pub fn record(&mut self, name: &'static str, value: f64) {
+        let ev = FlightEvent {
+            seq: self.recorded,
+            t_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            name,
+            value,
+        };
+        if self.slots.len() < self.capacity {
+            self.slots.push(ev);
+        } else {
+            // lint:allow(index-panic) capacity ≥ 1 and the modulus is the ring length
+            self.slots[(self.recorded % self.capacity as u64) as usize] = ev;
+        }
+        self.recorded += 1;
+    }
+
+    /// The surviving window, oldest event first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        if self.slots.len() < self.capacity {
+            return self.slots.clone();
+        }
+        let split = (self.recorded % self.capacity as u64) as usize;
+        let mut out = Vec::with_capacity(self.capacity);
+        out.extend_from_slice(&self.slots[split..]);
+        out.extend_from_slice(&self.slots[..split]);
+        out
+    }
+
+    /// Writes the ring as a JSONL post-mortem named
+    /// `<prefix>.flight.<index>.<reason-leaf>.jsonl` under the configured
+    /// dump directory. The first line is a header object; every later line
+    /// is one event, oldest first. Returns the path, or `None` when no
+    /// dump directory is configured or the per-process cap is exhausted
+    /// (suppressions are counted either way).
+    pub fn dump(&mut self, reason: &str) -> Option<PathBuf> {
+        let Some(dir) = self.dump_dir.clone() else {
+            self.dumps_suppressed += 1;
+            return None;
+        };
+        if self.dumps_written >= MAX_DUMPS {
+            self.dumps_suppressed += 1;
+            return None;
+        }
+        // Dump reasons are registered dotted keys ("flight.terminal_fault");
+        // only the leaf goes into the file name.
+        let leaf = reason.rsplit('.').next().unwrap_or(reason);
+        let path = dir.join(format!(
+            "{}.flight.{:03}.{leaf}.jsonl",
+            self.prefix, self.dumps_written
+        ));
+        match self.write_dump(&path, reason) {
+            Ok(()) => {
+                self.dumps_written += 1;
+                Some(path)
+            }
+            Err(_) => {
+                // Telemetry must never take the run down.
+                self.dumps_suppressed += 1;
+                None
+            }
+        }
+    }
+
+    fn write_dump(&self, path: &Path, reason: &str) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut w = BufWriter::new(File::create(path)?);
+        let mut header: Vec<(String, Json)> = vec![
+            ("kind".to_string(), Json::from("flight_dump")),
+            ("reason".to_string(), Json::from(reason)),
+            ("capacity".to_string(), Json::from(self.capacity)),
+            ("recorded".to_string(), Json::from(self.recorded)),
+            ("dropped".to_string(), Json::from(self.dropped())),
+            (
+                "git_rev".to_string(),
+                git_rev().map(Json::from).unwrap_or(Json::Null),
+            ),
+        ];
+        header.extend(self.context.iter().cloned());
+        writeln!(w, "{}", Json::Obj(header))?;
+        for ev in self.snapshot() {
+            let line = Json::obj(vec![
+                ("seq", Json::from(ev.seq)),
+                ("t_ms", Json::Num(ev.t_ms)),
+                ("name", Json::from(ev.name)),
+                ("value", Json::Num(ev.value)),
+            ]);
+            writeln!(w, "{line}")?;
+        }
+        w.flush()
+    }
+
+    /// `(dumps written, dumps suppressed)` so far.
+    pub fn dump_counts(&self) -> (u32, u64) {
+        (self.dumps_written, self.dumps_suppressed)
+    }
+}
+
+fn global() -> MutexGuard<'static, Option<FlightRecorder>> {
+    static FLIGHT: OnceLock<Mutex<Option<FlightRecorder>>> = OnceLock::new();
+    match FLIGHT.get_or_init(|| Mutex::new(None)).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Installs `rec` as the process-wide flight recorder used by
+/// [`flight_record`] / [`flight_dump`], returning the previous one.
+pub fn flight_install(rec: FlightRecorder) -> Option<FlightRecorder> {
+    global().replace(rec)
+}
+
+/// Removes and returns the process-wide flight recorder.
+pub fn flight_take() -> Option<FlightRecorder> {
+    global().take()
+}
+
+/// True when a flight recorder is installed.
+pub fn flight_installed() -> bool {
+    global().is_some()
+}
+
+/// Records one event through the process-wide recorder; a no-op when none
+/// is installed, so library crates can record unconditionally. The name
+/// must be a `telemetry::keys` constant (`recorder-keys` lint rule).
+pub fn flight_record(name: &'static str, value: f64) {
+    if let Some(rec) = global().as_mut() {
+        rec.record(name, value);
+    }
+}
+
+/// Dumps the process-wide ring with `reason` (a registered
+/// `flight.*` key). Returns the written path, if any.
+pub fn flight_dump(reason: &str) -> Option<PathBuf> {
+    global().as_mut().and_then(|rec| rec.dump(reason))
+}
+
+/// `(events held, total recorded, dumps written, dumps suppressed)` of the
+/// installed recorder, for end-of-run reports.
+pub fn flight_status() -> Option<(usize, u64, u32, u64)> {
+    global().as_ref().map(|r| {
+        let (written, suppressed) = r.dump_counts();
+        (r.len(), r.recorded(), written, suppressed)
+    })
+}
+
+/// Chains a panic hook that dumps the flight ring (reason
+/// `keys::FLIGHT_PANIC`) before the previous hook runs, so a crashed run
+/// still leaves its post-mortem window on disk. Install once per process.
+pub fn flight_install_panic_hook() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = flight_dump(crate::keys::FLIGHT_PANIC);
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "flight_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fills_without_wrapping_below_capacity() {
+        let mut rec = FlightRecorder::new(4);
+        rec.record("a.one", 1.0);
+        rec.record("a.two", 2.0);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.recorded(), 2);
+        assert_eq!(rec.dropped(), 0);
+        let snap = rec.snapshot();
+        assert_eq!(snap[0].name, "a.one");
+        assert_eq!(snap[1].name, "a.two");
+        assert_eq!(snap[0].seq, 0);
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_accounts_drops() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..10 {
+            rec.record("a.one", i as f64);
+        }
+        assert_eq!(rec.len(), 4, "ring never exceeds capacity");
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 6);
+        let snap = rec.snapshot();
+        // Oldest-first window over the last four events (6, 7, 8, 9).
+        let values: Vec<f64> = snap.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![6.0, 7.0, 8.0, 9.0]);
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(snap.windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+    }
+
+    #[test]
+    fn wraparound_is_exact_at_capacity_multiples() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..6 {
+            rec.record("a.one", i as f64);
+        }
+        let values: Vec<f64> = rec.snapshot().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![3.0, 4.0, 5.0]);
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut rec = FlightRecorder::new(0);
+        rec.record("a.one", 1.0);
+        rec.record("a.two", 2.0);
+        assert_eq!(rec.capacity(), 1);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.snapshot()[0].name, "a.two");
+        assert_eq!(rec.dropped(), 1);
+    }
+
+    #[test]
+    fn dump_writes_header_then_events_oldest_first() {
+        let dir = temp_dir("dump");
+        let mut rec = FlightRecorder::new(3);
+        rec.configure_dumps(
+            &dir,
+            "probe",
+            vec![("bin".to_string(), Json::from("probe"))],
+        );
+        for i in 0..5 {
+            rec.record("a.one", i as f64);
+        }
+        let path = rec.dump("flight.terminal_fault").expect("dump written");
+        assert!(path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("file name")
+            .ends_with("terminal_fault.jsonl"));
+
+        let text = fs::read_to_string(&path).expect("read dump");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3, "header + capacity events");
+        let header = Json::parse(lines[0]).expect("header parses");
+        assert_eq!(
+            header.get("kind").and_then(Json::as_str),
+            Some("flight_dump")
+        );
+        assert_eq!(
+            header.get("reason").and_then(Json::as_str),
+            Some("flight.terminal_fault")
+        );
+        assert_eq!(header.get("capacity").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(header.get("recorded").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(header.get("dropped").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(header.get("bin").and_then(Json::as_str), Some("probe"));
+        let first = Json::parse(lines[1]).expect("event parses");
+        assert_eq!(first.get("value").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(first.get("name").and_then(Json::as_str), Some("a.one"));
+        let last = Json::parse(lines[3]).expect("event parses");
+        assert_eq!(last.get("value").and_then(Json::as_f64), Some(4.0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_cap_suppresses_later_dumps() {
+        let dir = temp_dir("cap");
+        let mut rec = FlightRecorder::new(2);
+        rec.configure_dumps(&dir, "probe", Vec::new());
+        rec.record("a.one", 0.0);
+        for _ in 0..MAX_DUMPS {
+            assert!(rec.dump("flight.panic").is_some());
+        }
+        assert!(rec.dump("flight.panic").is_none(), "cap reached");
+        let (written, suppressed) = rec.dump_counts();
+        assert_eq!(written, MAX_DUMPS);
+        assert_eq!(suppressed, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_without_directory_is_suppressed() {
+        let mut rec = FlightRecorder::new(2);
+        rec.record("a.one", 0.0);
+        assert!(rec.dump("flight.panic").is_none());
+        assert_eq!(rec.dump_counts(), (0, 1));
+    }
+
+    #[test]
+    fn global_install_record_dump_roundtrip() {
+        let _l = crate::test_lock::hold();
+        let dir = temp_dir("global");
+        let _ = flight_take();
+        // No recorder: record and dump are no-ops.
+        flight_record("a.one", 1.0);
+        assert!(flight_dump("flight.panic").is_none());
+        assert!(flight_status().is_none());
+
+        let mut rec = FlightRecorder::new(8);
+        rec.configure_dumps(&dir, "t", Vec::new());
+        assert!(flight_install(rec).is_none());
+        flight_record("a.one", 1.0);
+        flight_record("a.two", 2.0);
+        assert_eq!(flight_status().map(|s| (s.0, s.1)), Some((2, 2)));
+        let path = flight_dump("flight.terminal_fault").expect("dump path");
+        assert!(path.exists());
+        let rec = flight_take().expect("still installed");
+        assert_eq!(rec.dump_counts().0, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

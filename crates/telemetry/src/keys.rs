@@ -164,6 +164,17 @@ pub const EVENT_ROBUSTNESS: &str = "robustness";
 /// One completed perception-training epoch.
 pub const EVENT_PERCEPTION_EPOCH: &str = "perception_epoch";
 
+// --- Flight-recorder dump reasons ---------------------------------------
+
+/// An episode ended with `Terminal::Fault`.
+pub const FLIGHT_TERMINAL_FAULT: &str = "flight.terminal_fault";
+/// The nn divergence guard restored a parameter snapshot.
+pub const FLIGHT_NONFINITE_RESTORE: &str = "flight.nonfinite_restore";
+/// Serial and parallel checksums diverged in the perf harness.
+pub const FLIGHT_CHECKSUM_DIVERGENCE: &str = "flight.checksum_divergence";
+/// The process panicked with a flight recorder installed.
+pub const FLIGHT_PANIC: &str = "flight.panic";
+
 /// Every registered key, for runtime validation and report tooling.
 /// (The `headlint` unused-key check works from the `pub const` items
 /// themselves, not from this list.)
@@ -233,6 +244,10 @@ pub const ALL: &[&str] = &[
     EVENT_PHASE,
     EVENT_ROBUSTNESS,
     EVENT_PERCEPTION_EPOCH,
+    FLIGHT_TERMINAL_FAULT,
+    FLIGHT_NONFINITE_RESTORE,
+    FLIGHT_CHECKSUM_DIVERGENCE,
+    FLIGHT_PANIC,
 ];
 
 #[cfg(test)]

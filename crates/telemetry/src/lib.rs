@@ -14,6 +14,14 @@
 //!   git revision), written under `results/` by the table binaries so every
 //!   run is a replayable artifact instead of a flat log.
 //!
+//! The second-generation layer builds on those: a **flight recorder**
+//! ([`FlightRecorder`]) keeps a fixed ring of recent events and dumps them
+//! as a JSONL post-mortem on faults and panics; a **span profiler**
+//! ([`profile_report`], [`folded_stacks`]) attributes self-time over the
+//! span tree and exports flamegraph-compatible folded stacks; and a
+//! **trend database** ([`append_trend`]) accumulates per-run metric
+//! entries keyed by git revision for regression tracking.
+//!
 //! The crate is deliberately dependency-free (hand-rolled [`Json`]
 //! encoder/parser included) so it builds even when the crates-io registry
 //! is unreachable — see README §Reproducibility.
@@ -39,21 +47,30 @@
 
 mod clock;
 mod events;
+mod flight;
 mod json;
 pub mod keys;
 mod metrics;
+mod profile;
 mod span;
+mod trend;
 
 pub use clock::Stopwatch;
 pub use events::{
     emit_event, git_rev, install_recorder, recorder_path, take_recorder, RunRecorder,
+};
+pub use flight::{
+    flight_dump, flight_install, flight_install_panic_hook, flight_installed, flight_record,
+    flight_status, flight_take, FlightEvent, FlightRecorder, MAX_DUMPS,
 };
 pub use json::Json;
 pub use metrics::{
     counter_add, counter_value, gauge_set, gauge_value, histogram_record, histogram_snapshot,
     metrics_report, reset_metrics, HistogramSnapshot,
 };
+pub use profile::{folded_stacks, profile, profile_report, ProfileEntry};
 pub use span::{reset_spans, span_snapshot, span_stats, timing_report, SpanGuard, SpanStat};
+pub use trend::{append_trend, read_trends, trend_baseline, TrendEntry};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -1,0 +1,315 @@
+//! Deterministic span profiler: self-time attribution over the span tree.
+//!
+//! [`timing_report`](crate::timing_report) answers "how long did this span
+//! take, children included" — good for structure, useless for finding the
+//! hot path, because a parent's total double-counts everything beneath it.
+//! This module derives **self time** (total minus the sum of direct
+//! children) for every recorded span path, renders a top-N hot-path table
+//! for bench reports, and exports `flamegraph.pl`-compatible folded stacks
+//! so any run's span tree can be turned into an SVG offline
+//! (`flamegraph.pl < x.folded > x.svg`).
+//!
+//! Everything here is a pure function over `&[(String, SpanStat)]` — the
+//! shape returned by [`span_snapshot`](crate::span_snapshot) — so the
+//! attribution logic is unit-testable on hand-built trees without touching
+//! the global registry.
+
+use std::fmt::Write as _;
+
+use crate::span::SpanStat;
+
+/// One span path with its derived self-time attribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileEntry {
+    /// Full `outer/inner/...` span path.
+    pub path: String,
+    /// Completions of this exact path.
+    pub count: u64,
+    /// Total wall-clock including children, nanoseconds.
+    pub total_ns: u64,
+    /// Wall-clock spent in this span itself: total minus the sum of its
+    /// direct children's totals (saturating — a child finishing after its
+    /// parent's clock read can nominally exceed the parent).
+    pub self_ns: u64,
+}
+
+impl ProfileEntry {
+    /// Mean self time per completion, nanoseconds.
+    pub fn mean_self_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.self_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Derives self-time attribution for every path in `snapshot`, sorted by
+/// self time descending (ties broken by path for determinism).
+///
+/// A direct child of path `P` is any path `P/leaf` with no further `/`.
+pub fn profile(snapshot: &[(String, SpanStat)]) -> Vec<ProfileEntry> {
+    let mut entries: Vec<ProfileEntry> = snapshot
+        .iter()
+        .map(|(path, stat)| {
+            let child_ns: u64 = snapshot
+                .iter()
+                .filter(|(p, _)| {
+                    p.strip_prefix(path.as_str())
+                        .and_then(|rest| rest.strip_prefix('/'))
+                        .is_some_and(|leaf| !leaf.is_empty() && !leaf.contains('/'))
+                })
+                .map(|(_, s)| s.total_ns)
+                .sum();
+            ProfileEntry {
+                path: path.clone(),
+                count: stat.count,
+                total_ns: stat.total_ns,
+                self_ns: stat.total_ns.saturating_sub(child_ns),
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+    entries
+}
+
+fn fmt_duration(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Renders the top-`n` hot paths by self time as a fixed-width table:
+/// rank, path, calls, self total, self mean, and share of the run's total
+/// self time (which equals the sum of root totals, so shares add to 100%).
+pub fn profile_report(snapshot: &[(String, SpanStat)], n: usize) -> String {
+    let entries = profile(snapshot);
+    let mut out = String::from("=== telemetry: self-time profile ===\n");
+    if entries.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    let grand_total: u64 = entries.iter().map(|e| e.self_ns).sum();
+    for (rank, e) in entries.iter().take(n.max(1)).enumerate() {
+        let share = if grand_total > 0 {
+            100.0 * e.self_ns as f64 / grand_total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>2}. {:<44} {:>10} calls  self {:>10}  mean {:>10}  {share:5.1}%",
+            rank + 1,
+            e.path,
+            e.count,
+            fmt_duration(e.self_ns as f64),
+            fmt_duration(e.mean_self_ns()),
+        );
+    }
+    if entries.len() > n {
+        let _ = writeln!(out, "    ... {} more paths", entries.len() - n);
+    }
+    out
+}
+
+/// Exports the snapshot as folded stacks — one `a;b;c <self_ns>` line per
+/// path, semicolon-separated frames, self time (nanoseconds) as the sample
+/// count — the input format of Brendan Gregg's `flamegraph.pl`. Lines are
+/// sorted by stack for deterministic output; zero-self-time paths are kept
+/// so the frame hierarchy stays complete.
+pub fn folded_stacks(snapshot: &[(String, SpanStat)]) -> String {
+    let mut lines: Vec<String> = profile(snapshot)
+        .iter()
+        .map(|e| format!("{} {}", e.path.replace('/', ";"), e.self_ns))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root (100µs) → {a (60µs) → {a1 (20µs)}, b (25µs)}, plus an
+    /// unrelated top-level path `other` (7µs).
+    fn tree() -> Vec<(String, SpanStat)> {
+        vec![
+            (
+                "root".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 100_000,
+                },
+            ),
+            (
+                "root/a".to_string(),
+                SpanStat {
+                    count: 2,
+                    total_ns: 60_000,
+                },
+            ),
+            (
+                "root/a/a1".to_string(),
+                SpanStat {
+                    count: 4,
+                    total_ns: 20_000,
+                },
+            ),
+            (
+                "root/b".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 25_000,
+                },
+            ),
+            (
+                "other".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 7_000,
+                },
+            ),
+        ]
+    }
+
+    fn self_of(entries: &[ProfileEntry], path: &str) -> u64 {
+        entries
+            .iter()
+            .find(|e| e.path == path)
+            .unwrap_or_else(|| panic!("missing {path}"))
+            .self_ns
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let entries = profile(&tree());
+        // root: 100 − (60 + 25) = 15; a1 is a grandchild and must NOT be
+        // subtracted from root again.
+        assert_eq!(self_of(&entries, "root"), 15_000);
+        assert_eq!(self_of(&entries, "root/a"), 40_000);
+        assert_eq!(self_of(&entries, "root/a/a1"), 20_000);
+        assert_eq!(self_of(&entries, "root/b"), 25_000);
+        assert_eq!(self_of(&entries, "other"), 7_000);
+        // Self times partition the root totals exactly.
+        let total: u64 = entries.iter().map(|e| e.self_ns).sum();
+        assert_eq!(total, 107_000);
+    }
+
+    #[test]
+    fn entries_sorted_by_self_time_descending() {
+        let entries = profile(&tree());
+        let self_times: Vec<u64> = entries.iter().map(|e| e.self_ns).collect();
+        let mut sorted = self_times.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(self_times, sorted);
+        assert_eq!(entries[0].path, "root/a");
+    }
+
+    #[test]
+    fn sibling_prefix_is_not_a_child() {
+        // `root/ab` shares a string prefix with `root/a` but is a sibling,
+        // and `root/a/a1/deep` is a grandchild — neither may be subtracted
+        // from `root/a`.
+        let snap = vec![
+            (
+                "root/a".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 50_000,
+                },
+            ),
+            (
+                "root/ab".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 30_000,
+                },
+            ),
+            (
+                "root/a/a1".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 10_000,
+                },
+            ),
+            (
+                "root/a/a1/deep".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 4_000,
+                },
+            ),
+        ];
+        let entries = profile(&snap);
+        assert_eq!(self_of(&entries, "root/a"), 40_000);
+        assert_eq!(self_of(&entries, "root/ab"), 30_000);
+        assert_eq!(self_of(&entries, "root/a/a1"), 6_000);
+    }
+
+    #[test]
+    fn child_exceeding_parent_saturates_to_zero() {
+        let snap = vec![
+            (
+                "p".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 10,
+                },
+            ),
+            (
+                "p/c".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 25,
+                },
+            ),
+        ];
+        assert_eq!(self_of(&profile(&snap), "p"), 0);
+    }
+
+    #[test]
+    fn report_ranks_and_truncates() {
+        let report = profile_report(&tree(), 2);
+        assert!(report.contains(" 1. root/a"), "hot path first:\n{report}");
+        assert!(report.contains(" 2. root/b"), "runner-up second:\n{report}");
+        assert!(!report.contains("other"), "beyond top-N cut:\n{report}");
+        assert!(report.contains("... 3 more paths"), "{report}");
+        assert!(report.contains('%'));
+        let empty = profile_report(&[], 5);
+        assert!(empty.contains("(no spans recorded)"));
+    }
+
+    #[test]
+    fn folded_stacks_match_flamegraph_format() {
+        let folded = folded_stacks(&tree());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "other 7000",
+                "root 15000",
+                "root;a 40000",
+                "root;a;a1 20000",
+                "root;b 25000",
+            ]
+        );
+        // Exactly "frames space count" per line, nothing else.
+        for line in lines {
+            let (stack, count) = line.rsplit_once(' ').expect("space-separated");
+            assert!(!stack.is_empty());
+            assert!(count.parse::<u64>().is_ok(), "bad count in {line}");
+        }
+        assert!(folded.ends_with('\n'));
+        assert_eq!(folded_stacks(&[]), "");
+    }
+}

@@ -1,0 +1,206 @@
+//! The bench trend database: an append-only JSONL history of run metrics.
+//!
+//! Every CI perf-smoke run (and any bench bin invoked with a trend path)
+//! appends one [`TrendEntry`] line to `results/trends.jsonl`, keyed by git
+//! revision + binary name + unix timestamp and carrying a flat metric map.
+//! The file is append-only on purpose: the regression tracker
+//! (`bench --bin benchdiff --trend ...`) reads the *latest* entry for a
+//! binary as its baseline, and the full history stays greppable per metric
+//! across revisions — the measured trajectory ROADMAP items 1 and 5 ask
+//! for.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::events::git_rev;
+use crate::json::Json;
+
+/// One run's worth of trend metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendEntry {
+    /// Short git revision the run was built from (empty when unavailable).
+    pub git_rev: String,
+    /// Bench binary that produced the metrics (`perf`, `table7`, ...).
+    pub bin: String,
+    /// Wall-clock unix timestamp of the append, milliseconds.
+    pub unix_ms: u64,
+    /// Run context echoed from the manifest (scale, threads, faults, ...).
+    pub context: Vec<(String, Json)>,
+    /// Flat `metric name → value` map; dotted names mirror benchdiff's
+    /// flattening of the BENCH/table JSONs.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl TrendEntry {
+    /// Builds an entry for `bin`, stamping the current git revision and
+    /// wall-clock time.
+    pub fn now(bin: &str, context: Vec<(String, Json)>, metrics: Vec<(String, f64)>) -> TrendEntry {
+        TrendEntry {
+            git_rev: git_rev().unwrap_or_default(),
+            bin: bin.to_string(),
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            context,
+            metrics,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("git_rev".to_string(), Json::from(self.git_rev.as_str())),
+            ("bin".to_string(), Json::from(self.bin.as_str())),
+            ("unix_ms".to_string(), Json::from(self.unix_ms)),
+            ("context".to_string(), Json::Obj(self.context.clone())),
+            (
+                "metrics".to_string(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<TrendEntry> {
+        let metrics = match v.get("metrics") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let context = match v.get("context") {
+            Some(Json::Obj(pairs)) => pairs.clone(),
+            _ => Vec::new(),
+        };
+        Some(TrendEntry {
+            git_rev: v.get("git_rev").and_then(Json::as_str)?.to_string(),
+            bin: v.get("bin").and_then(Json::as_str)?.to_string(),
+            unix_ms: v.get("unix_ms").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            context,
+            metrics,
+        })
+    }
+
+    /// Looks up one metric by exact name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Appends `entry` as one JSONL line to `path`, creating the file and its
+/// parent directories on first use.
+pub fn append_trend(path: impl AsRef<Path>, entry: &TrendEntry) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", entry.to_json())
+}
+
+/// Reads every parseable entry from `path`, in file (append) order.
+/// A missing file reads as an empty history; malformed lines are skipped
+/// so one bad append cannot poison the whole database.
+pub fn read_trends(path: impl AsRef<Path>) -> Vec<TrendEntry> {
+    let Ok(text) = fs::read_to_string(path.as_ref()) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| Json::parse(line).ok())
+        .filter_map(|v| TrendEntry::from_json(&v))
+        .collect()
+}
+
+/// The latest (last-appended) entry for `bin`, used as the regression
+/// baseline by `benchdiff --trend`.
+pub fn trend_baseline(path: impl AsRef<Path>, bin: &str) -> Option<TrendEntry> {
+    read_trends(path).into_iter().rev().find(|e| e.bin == bin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "trends_{tag}_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn entry(bin: &str, rev: &str, ms: u64, v: f64) -> TrendEntry {
+        TrendEntry {
+            git_rev: rev.to_string(),
+            bin: bin.to_string(),
+            unix_ms: ms,
+            context: vec![("scale".to_string(), Json::from("smoke"))],
+            metrics: vec![("matmul.wall_s".to_string(), v)],
+        }
+    }
+
+    #[test]
+    fn append_then_read_roundtrips() {
+        let path = temp_path("roundtrip");
+        let _ = fs::remove_file(&path);
+        append_trend(&path, &entry("perf", "abc", 1, 0.5)).expect("append");
+        append_trend(&path, &entry("table7", "abc", 2, 1.5)).expect("append");
+        let back = read_trends(&path);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].bin, "perf");
+        assert_eq!(back[0].metric("matmul.wall_s"), Some(0.5));
+        assert_eq!(back[0].metric("missing"), None);
+        assert_eq!(
+            back[1].context,
+            vec![("scale".to_string(), Json::from("smoke"))]
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn baseline_is_latest_entry_for_bin() {
+        let path = temp_path("baseline");
+        let _ = fs::remove_file(&path);
+        append_trend(&path, &entry("perf", "rev1", 1, 0.5)).expect("append");
+        append_trend(&path, &entry("table7", "rev1", 2, 9.0)).expect("append");
+        append_trend(&path, &entry("perf", "rev2", 3, 0.4)).expect("append");
+        let base = trend_baseline(&path, "perf").expect("baseline");
+        assert_eq!(base.git_rev, "rev2");
+        assert_eq!(base.metric("matmul.wall_s"), Some(0.4));
+        assert!(trend_baseline(&path, "nope").is_none());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_and_bad_lines_are_tolerated() {
+        let path = temp_path("tolerant");
+        let _ = fs::remove_file(&path);
+        assert!(read_trends(&path).is_empty());
+        fs::write(&path, "not json\n{\"bin\": 3}\n").expect("write");
+        append_trend(&path, &entry("perf", "rev1", 1, 0.5)).expect("append");
+        let back = read_trends(&path);
+        assert_eq!(back.len(), 1, "malformed lines skipped");
+        assert_eq!(back[0].git_rev, "rev1");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn now_stamps_bin_and_time() {
+        let e = TrendEntry::now("perf", Vec::new(), vec![("m".to_string(), 1.0)]);
+        assert_eq!(e.bin, "perf");
+        assert!(e.unix_ms > 0);
+    }
+}

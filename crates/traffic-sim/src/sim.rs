@@ -554,9 +554,14 @@ impl Simulation {
                 keys::SIM_SANITIZED_COMMANDS,
                 outcome.sanitized_commands as u64,
             );
+            telemetry::flight_record(
+                keys::SIM_SANITIZED_COMMANDS,
+                outcome.sanitized_commands as f64,
+            );
         }
         if !outcome.non_finite.is_empty() {
             telemetry::counter_add(keys::SIM_NONFINITE_FROZEN, outcome.non_finite.len() as u64);
+            telemetry::flight_record(keys::SIM_NONFINITE_FROZEN, outcome.non_finite.len() as f64);
         }
         telemetry::gauge_set(keys::SIM_VEHICLES, self.vehicles.len() as f64);
         self.step_count += 1;

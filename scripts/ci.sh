@@ -36,7 +36,8 @@ run_cargo test --workspace -q
 
 echo "== fault-injection smoke (blackout profile, kill + resume) =="
 CKPT_DIR=$(mktemp -d)
-trap 'rm -rf "$CKPT_DIR"' EXIT
+DIFF_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR" "$DIFF_DIR"' EXIT
 # First leg: halt after 3 of 6 episodes (simulated crash mid-run)...
 run_cargo run -q -p bench --bin robustness -- \
     --scale smoke --episodes 6 --faults blackout \
@@ -55,11 +56,40 @@ mkdir -p results
 # require both explicit all-clear lines so a silent early exit cannot pass.
 PERF_OUT=$(run_cargo run -q -p bench --bin perf -- \
     --scale smoke --threads 2 --json results/BENCH_parallel.json \
-    --json-core results/BENCH_core.json)
+    --json-core results/BENCH_core.json \
+    --telemetry results --trends results/trends.jsonl)
 echo "$PERF_OUT" | grep -q "all serial/parallel checksums equal"
 echo "$PERF_OUT" | grep -q "steady-state allocation reuse ok"
 test -f results/BENCH_parallel.json
 test -f results/BENCH_core.json
-echo "   archived: results/BENCH_parallel.json results/BENCH_core.json"
+# Every perf smoke appends one entry to the trend database.
+grep -q '"perf"' results/trends.jsonl
+echo "   archived: results/BENCH_parallel.json results/BENCH_core.json results/trends.jsonl"
+
+echo "== benchdiff regression gate =="
+# Sanity first: identical inputs must diff clean, and a synthetic 4x
+# wall-time + checksum regression must trip the gate — otherwise the gate
+# itself is broken and the baseline comparison below proves nothing.
+run_cargo run -q -p bench --bin benchdiff -- \
+    --base results/BENCH_parallel.json --cand results/BENCH_parallel.json > /dev/null
+printf '{"wall_ms": 100.0, "checksums_equal": true}\n' > "$DIFF_DIR/base.json"
+printf '{"wall_ms": 400.0, "checksums_equal": false}\n' > "$DIFF_DIR/cand.json"
+if run_cargo run -q -p bench --bin benchdiff -- \
+    --base "$DIFF_DIR/base.json" --cand "$DIFF_DIR/cand.json" > /dev/null; then
+    echo "FAIL: benchdiff exited 0 on a synthetic regression" >&2
+    exit 1
+fi
+# The real gate: this run against the committed baseline. Exact metrics
+# (checksums, reuse counts, flags) are gated tightly; wall-clock bands are
+# wide (10x) because CI hardware differs from the baseline machine — the
+# gate catches determinism drift and catastrophic slowdowns, the trend
+# database tracks the rest.
+run_cargo run -q -p bench --bin benchdiff -- \
+    --base results/baseline/BENCH_parallel.json --cand results/BENCH_parallel.json \
+    --time-tol 9.0 --json results/benchdiff_parallel.json
+run_cargo run -q -p bench --bin benchdiff -- \
+    --base results/baseline/BENCH_core.json --cand results/BENCH_core.json \
+    --time-tol 9.0 --json results/benchdiff_core.json
+echo "   archived: results/benchdiff_parallel.json results/benchdiff_core.json"
 
 echo "CI OK"

@@ -11,6 +11,7 @@ run_table() {
     shift
     echo "== $name =="
     "./target/release/$name" "$@" --telemetry results \
+        --trends results/trends.jsonl \
         --json "results/$name.json" > "results/$name.txt" 2>&1 || {
         status=$?
         echo "FAIL: $name exited $status (see results/$name.txt)" >&2
@@ -29,6 +30,7 @@ echo "== headlint =="
 # parallel checksums (the binary exits non-zero if they diverge).
 echo "== perf (parallel determinism) =="
 ./target/release/perf --scale smoke --threads 2 \
+    --telemetry results --trends results/trends.jsonl \
     --json results/BENCH_parallel.json > results/perf.txt 2>&1
 
 run_table table3_4
@@ -37,4 +39,10 @@ run_table table5_6 --episodes 800
 run_table table2 --episodes 800
 run_table table7 --episodes 400 --eval 16
 touch results/ALL_DONE
+# Archive pointers for the observability artifacts this run produced: the
+# append-only trend database and any flight-recorder post-mortem dumps.
+echo "   trend database: results/trends.jsonl"
+if [ -d results/flight ] && [ -n "$(ls results/flight 2>/dev/null)" ]; then
+    echo "   flight dumps: $(ls results/flight | wc -l) file(s) in results/flight/"
+fi
 echo "all tables regenerated"
