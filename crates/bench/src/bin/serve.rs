@@ -1,0 +1,528 @@
+//! Chaos soak for the `headd` serving daemon.
+//!
+//! Drives a deterministic observation stream — corrupted by the selected
+//! fault profile — through a real `headd` child process over the framed
+//! stdio transport, and asserts the three robustness properties the serve
+//! crate promises:
+//!
+//! 1. **Every request is answered** (degraded tiers allowed and counted),
+//!    even under heavy faults, admission bursts and zero deadlines.
+//! 2. **Crash-only restart is byte-identical**: the run performs a mid-run
+//!    hot-reload, SIGKILLs the daemon mid-stream, restarts it from the
+//!    last reloaded checkpoint, and requires the remaining responses to
+//!    match an uninterrupted reference run byte for byte.
+//! 3. **Zero panics**: both daemons must exit cleanly on `shutdown`.
+//!
+//! Client-side latencies (p50/p99 over the reference run) and the
+//! deterministic degradation counters land in `BENCH_serve.json` for the
+//! benchdiff gate; timing-dependent daemon counters (`serve.deadline_miss`)
+//! are printed but deliberately kept out of the gated report.
+
+use decision::{AgentConfig, AugmentedState, BpDqn, PamdpAgent};
+use head::Checkpoint;
+use sensor::{FaultProfile, FaultRng};
+use serve::Request;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use telemetry::Json;
+
+/// Exits the soak with a diagnostic; any violated property lands here.
+fn fail(msg: &str) -> ! {
+    eprintln!("serve soak FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write_checkpoint(dir: &Path, seed: u64) {
+    let agent = BpDqn::new(AgentConfig {
+        seed,
+        ..AgentConfig::default()
+    });
+    let ckpt = Checkpoint {
+        episode: 0,
+        episodes: vec![],
+        agent_json: Some(agent.save_json()),
+        exploration_steps: 0,
+        injector: None,
+    };
+    if let Err(e) = ckpt.save(dir) {
+        fail(&format!(
+            "cannot write checkpoint to {}: {e}",
+            dir.display()
+        ));
+    }
+}
+
+/// The daemon binary lives next to this one in the cargo target directory.
+fn headd_path() -> PathBuf {
+    let me = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => fail(&format!("cannot locate current executable: {e}")),
+    };
+    let Some(dir) = me.parent() else {
+        fail("current executable has no parent directory");
+    };
+    let headd = dir.join("headd");
+    if !headd.exists() {
+        fail(&format!(
+            "{} not found — build it first: cargo build -p serve --bin headd",
+            headd.display()
+        ));
+    }
+    headd
+}
+
+fn spawn_headd(args: &[String]) -> Child {
+    match Command::new(headd_path())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => fail(&format!("cannot spawn headd: {e}")),
+    }
+}
+
+/// Lockstep request/response over the child's stdio.
+fn roundtrip(child: &mut Child, req: &Request) -> String {
+    let Some(stdin) = child.stdin.as_mut() else {
+        fail("child stdin not piped");
+    };
+    if let Err(e) = serve::write_frame(stdin, &req.encode()) {
+        fail(&format!("write to daemon failed (crash?): {e}"));
+    }
+    let Some(stdout) = child.stdout.as_mut() else {
+        fail("child stdout not piped");
+    };
+    read_one(stdout)
+}
+
+fn read_one(r: &mut impl Read) -> String {
+    match serve::read_frame(r) {
+        Ok(Some(text)) => text,
+        Ok(None) => fail("daemon closed the stream instead of answering"),
+        Err(e) => fail(&format!("read from daemon failed: {e}")),
+    }
+}
+
+fn shutdown(mut child: Child, id: u64) {
+    let resp = roundtrip(&mut child, &Request::Shutdown { id });
+    if !resp.contains("\"bye\":true") {
+        fail(&format!("shutdown not acknowledged: {resp}"));
+    }
+    match child.wait() {
+        Ok(status) if status.success() => {}
+        Ok(status) => fail(&format!("daemon exited uncleanly (panic?): {status:?}")),
+        Err(e) => fail(&format!("wait for daemon failed: {e}")),
+    }
+}
+
+/// Deterministic base observation for request `k` (no RNG: same bytes on
+/// every run and host).
+fn base_state(k: usize) -> AugmentedState {
+    let mut s = AugmentedState::zeros();
+    for (i, row) in s.current.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = ((k * 31 + i * 7 + j * 3) % 97) as f64 / 9.7 - 5.0;
+        }
+    }
+    for (i, row) in s.future.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = ((k * 17 + i * 11 + j * 5) % 89) as f64 / 8.9 - 5.0;
+        }
+    }
+    s
+}
+
+/// One soak observation: the base state pushed through the fault profile.
+struct SoakState {
+    state: AugmentedState,
+    finite: bool,
+}
+
+/// Corrupts the deterministic base stream with the fault profile's rates,
+/// using the sensor crate's own [`FaultRng`] so the schedule is seeded and
+/// reproducible: blackouts wipe the whole sweep to NaN, NaN faults corrupt
+/// one slot, dropouts zero a row, noise bursts perturb every slot.
+fn build_stream(n: usize, seed: u64, profile: &FaultProfile) -> Vec<SoakState> {
+    let mut rng = FaultRng::new(seed ^ 0x5EEDED);
+    let mut stream = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut state = base_state(k);
+        let mut finite = true;
+        if profile.active_at(k as u64) {
+            if rng.uniform() < profile.blackout_rate {
+                for row in state.current.iter_mut().chain(state.future.iter_mut()) {
+                    row.fill(f64::NAN);
+                }
+                finite = false;
+            } else if rng.uniform() < profile.nan_rate * 4.0 {
+                let slot = (rng.next_u64() % 4) as usize;
+                state.current[k % decision::CURRENT_ROWS][slot] = f64::NAN;
+                finite = false;
+            } else if rng.uniform() < profile.dropout_rate {
+                state.current[k % decision::CURRENT_ROWS].fill(0.0);
+            } else if rng.uniform() < profile.noise_rate {
+                for row in state.current.iter_mut() {
+                    for v in row.iter_mut() {
+                        *v += profile.pos_sigma * rng.gaussian();
+                    }
+                }
+            }
+        }
+        stream.push(SoakState { state, finite });
+    }
+    stream
+}
+
+fn decide_req(k: usize, state: &AugmentedState) -> Request {
+    Request::Decide {
+        id: k as u64,
+        deadline_ms: f64::INFINITY,
+        state: Box::new(*state),
+    }
+}
+
+fn tier_of(resp: &str) -> String {
+    Json::parse(resp)
+        .ok()
+        .and_then(|v| v.get("tier").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| fail(&format!("response without tier: {resp}")))
+}
+
+/// Nearest-rank percentile of a sorted sample.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[derive(serde::Serialize)]
+struct ServeReport {
+    /// Byte-compared soak requests per daemon run.
+    soak_requests: u64,
+    /// Additional chaos-phase requests (bursts, NaNs, zero deadlines).
+    chaos_requests: u64,
+    /// Client-side round-trip latency over the reference run, ms.
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Every request (soak + chaos) got exactly one framed answer.
+    all_responded: bool,
+    /// Post-restart responses matched the uninterrupted run byte-for-byte.
+    restart_byte_identical: bool,
+    /// Both daemons exited cleanly on shutdown.
+    zero_panics: bool,
+    /// Deterministic degradation accounting, derived from typed responses.
+    nonfinite_inputs: u64,
+    tier_full: u64,
+    tier_replay: u64,
+    tier_safe: u64,
+    shed: u64,
+    reload_ok: u64,
+    reload_rejected: u64,
+}
+
+fn main() {
+    let cli = bench::Cli::parse("serve", &["--requests", "--capacity"]);
+    let scale = cli.scale();
+    cli.init_telemetry("serve", &scale);
+    telemetry::set_enabled(true);
+
+    let n: usize = cli.parsed("--requests").unwrap_or(1000);
+    let capacity: usize = cli.parsed("--capacity").unwrap_or(8);
+    let profile = scale.env.faults.unwrap_or_else(FaultProfile::heavy);
+    let stream = build_stream(n, scale.env.seed, &profile);
+    let nonfinite_inputs = stream.iter().filter(|s| !s.finite).count() as u64;
+
+    // Boot weights and the hot-reload target (a differently seeded agent,
+    // so the reload observably changes the decision function). The restart
+    // resumes from the *reloaded* checkpoint — the daemon's last good set.
+    let ckpt_boot = temp_dir("boot");
+    let ckpt_next = temp_dir("next");
+    write_checkpoint(&ckpt_boot, scale.env.seed);
+    write_checkpoint(&ckpt_next, scale.env.seed + 1);
+    let reload_at = n / 4;
+    // The first post-restart request must be a finite observation so the
+    // restarted ladder re-syncs on a full-tier answer before any fault.
+    let mut cut = n / 2;
+    while cut < n && !stream[cut].finite {
+        cut += 1;
+    }
+    if !(reload_at < cut && cut < n) {
+        fail("stream too short or too faulty to place reload/cut points");
+    }
+
+    let boot_args = vec![
+        "--checkpoint".to_string(),
+        ckpt_boot.display().to_string(),
+        "--capacity".to_string(),
+        capacity.to_string(),
+    ];
+    let resume_args = vec![
+        "--checkpoint".to_string(),
+        ckpt_next.display().to_string(),
+        "--capacity".to_string(),
+        capacity.to_string(),
+    ];
+    let reload_req = Request::Reload {
+        id: 900_000,
+        dir: ckpt_next.clone(),
+    };
+
+    // Phase A — reference: one daemon answers the whole stream, with the
+    // hot reload applied mid-run. Round-trip latency is measured here.
+    eprintln!("serve soak: {n} requests, reload at {reload_at}, kill at {cut}");
+    let mut reference: Vec<String> = Vec::with_capacity(n);
+    let mut reload_reference = String::new();
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut reload_ok = 0u64;
+    let mut child = spawn_headd(&boot_args);
+    for (k, s) in stream.iter().enumerate() {
+        if k == reload_at {
+            reload_reference = roundtrip(&mut child, &reload_req);
+            if !reload_reference.contains("\"reloaded\":true") {
+                fail(&format!("mid-run reload rejected: {reload_reference}"));
+            }
+            reload_ok += 1;
+        }
+        let sw = telemetry::Stopwatch::start();
+        reference.push(roundtrip(&mut child, &decide_req(k, &s.state)));
+        latencies.push(sw.elapsed().as_secs_f64() * 1e3);
+    }
+    let stats = roundtrip(&mut child, &Request::Stats { id: 900_001 });
+    eprintln!("reference daemon counters: {stats}");
+    shutdown(child, 900_002);
+
+    let mut tier_full = 0u64;
+    let mut tier_replay = 0u64;
+    let mut tier_safe = 0u64;
+    for resp in &reference {
+        match tier_of(resp).as_str() {
+            "full" => tier_full += 1,
+            "replay" => tier_replay += 1,
+            "safe" => tier_safe += 1,
+            other => fail(&format!("unknown tier '{other}'")),
+        }
+    }
+    if tier_replay + tier_safe != nonfinite_inputs {
+        fail(&format!(
+            "degraded responses ({}) != non-finite inputs ({nonfinite_inputs})",
+            tier_replay + tier_safe
+        ));
+    }
+
+    // Phase B — chaos: same stream, same reload, but the daemon is
+    // SIGKILLed mid-stream and a restart from the reloaded checkpoint must
+    // finish the stream byte-identically.
+    let mut restart_byte_identical = true;
+    let mut child = spawn_headd(&boot_args);
+    for (k, s) in stream.iter().enumerate().take(cut) {
+        if k == reload_at {
+            let got = roundtrip(&mut child, &reload_req);
+            if got != reload_reference {
+                fail(&format!("reload response diverged: {got}"));
+            }
+            reload_ok += 1;
+        }
+        let got = roundtrip(&mut child, &decide_req(k, &s.state));
+        if got != reference[k] {
+            eprintln!(
+                "pre-kill divergence at {k}:\n  ref {}\n  got {got}",
+                reference[k]
+            );
+            restart_byte_identical = false;
+        }
+    }
+    if let Err(e) = child.kill() {
+        fail(&format!("SIGKILL failed: {e}"));
+    }
+    let _ = child.wait();
+
+    let mut child = spawn_headd(&resume_args);
+    for (k, s) in stream.iter().enumerate().skip(cut) {
+        let got = roundtrip(&mut child, &decide_req(k, &s.state));
+        if got != reference[k] {
+            eprintln!(
+                "post-restart divergence at {k}:\n  ref {}\n  got {got}",
+                reference[k]
+            );
+            restart_byte_identical = false;
+        }
+    }
+
+    // Phase C — chaos ops on the restarted daemon (excluded from the
+    // byte comparison; their outcomes are deterministic and counted from
+    // the typed responses).
+    let mut chaos_requests = 0u64;
+    let mut shed = 0u64;
+    let mut reload_rejected = 0u64;
+
+    // Admission burst at twice the capacity: the tail must be typed shed.
+    let burst = capacity * 2;
+    let resp = roundtrip(
+        &mut child,
+        &Request::Batch {
+            id: 910_000,
+            deadline_ms: f64::INFINITY,
+            states: vec![AugmentedState::zeros(); burst],
+        },
+    );
+    chaos_requests += burst as u64;
+    let parsed = Json::parse(&resp).unwrap_or(Json::Null);
+    let Some(Json::Arr(results)) = parsed.get("results") else {
+        fail(&format!("burst answer without results: {resp}"));
+    };
+    if results.len() != burst {
+        fail(&format!("burst answered {}/{burst} slots", results.len()));
+    }
+    shed += results
+        .iter()
+        .filter(|r| r.get("shed") == Some(&Json::Bool(true)))
+        .count() as u64;
+    if shed != (burst - capacity) as u64 {
+        fail(&format!(
+            "expected {} shed responses, got {shed}",
+            burst - capacity
+        ));
+    }
+
+    // A NaN streak must walk replay → safe, then recover to full.
+    let mut nan = AugmentedState::zeros();
+    nan.current[0][0] = f64::NAN;
+    for i in 0..(serve::REPLAY_LIMIT + 2) {
+        let resp = roundtrip(
+            &mut child,
+            &Request::Decide {
+                id: 920_000 + i,
+                deadline_ms: f64::INFINITY,
+                state: Box::new(nan),
+            },
+        );
+        chaos_requests += 1;
+        let tier = tier_of(&resp);
+        let expect = if i < serve::REPLAY_LIMIT {
+            "replay"
+        } else {
+            "safe"
+        };
+        if tier != expect {
+            fail(&format!(
+                "NaN streak step {i}: tier {tier}, expected {expect}"
+            ));
+        }
+        match tier.as_str() {
+            "replay" => tier_replay += 1,
+            _ => tier_safe += 1,
+        }
+    }
+
+    // Recovery: the next healthy request is full-tier again.
+    let resp = roundtrip(&mut child, &decide_req(940_000, &base_state(1)));
+    chaos_requests += 1;
+    if tier_of(&resp) != "full" {
+        fail(&format!("no recovery after chaos: {resp}"));
+    }
+    tier_full += 1;
+
+    // A zero budget must degrade deterministically, never stall. With a
+    // full-tier answer just banked, one stale step lands on replay.
+    let resp = roundtrip(
+        &mut child,
+        &Request::Decide {
+            id: 930_000,
+            deadline_ms: 0.0,
+            state: Box::new(base_state(0)),
+        },
+    );
+    chaos_requests += 1;
+    if tier_of(&resp) != "replay" {
+        fail(&format!("zero-deadline request not replayed: {resp}"));
+    }
+    tier_replay += 1;
+
+    // A corrupt checkpoint directory must be rejected without dropping the
+    // running weights.
+    let corrupt = temp_dir("corrupt");
+    if let Err(e) = std::fs::create_dir_all(&corrupt) {
+        fail(&format!("mkdir corrupt: {e}"));
+    }
+    if let Err(e) = std::fs::write(corrupt.join(head::CHECKPOINT_FILE), "{trunc") {
+        fail(&format!("write corrupt checkpoint: {e}"));
+    }
+    let resp = roundtrip(
+        &mut child,
+        &Request::Reload {
+            id: 950_000,
+            dir: corrupt.clone(),
+        },
+    );
+    if !resp.contains("\"ok\":false") {
+        fail(&format!("corrupt reload not rejected: {resp}"));
+    }
+    reload_rejected += 1;
+    let resp = roundtrip(&mut child, &decide_req(960_000, &base_state(1)));
+    chaos_requests += 1;
+    if tier_of(&resp) != "full" {
+        fail("rejected reload degraded the running weights");
+    }
+    tier_full += 1;
+
+    let stats = roundtrip(&mut child, &Request::Stats { id: 970_000 });
+    eprintln!("restarted daemon counters: {stats}");
+    shutdown(child, 970_001);
+
+    for dir in [&ckpt_boot, &ckpt_next, &corrupt] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let report = ServeReport {
+        soak_requests: n as u64,
+        chaos_requests,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        // Reaching this point means every frame got an answer — any
+        // missing or malformed response aborts through fail() above.
+        all_responded: true,
+        restart_byte_identical,
+        zero_panics: true,
+        nonfinite_inputs,
+        tier_full,
+        tier_replay,
+        tier_safe,
+        shed,
+        reload_ok,
+        reload_rejected,
+    };
+
+    println!(
+        "serve soak: {} soak + {} chaos requests, p50 {:.3} ms, p99 {:.3} ms",
+        report.soak_requests, report.chaos_requests, report.p50_ms, report.p99_ms
+    );
+    println!(
+        "degradation: {} full / {} replay / {} safe, {} shed, reloads {} ok / {} rejected",
+        report.tier_full,
+        report.tier_replay,
+        report.tier_safe,
+        report.shed,
+        report.reload_ok,
+        report.reload_rejected
+    );
+    println!("all requests answered: {}", report.all_responded);
+    println!("restart byte-identical: {}", report.restart_byte_identical);
+    cli.write_json(&report);
+    bench::finish_telemetry();
+    if !report.restart_byte_identical {
+        fail("post-restart responses diverged from the uninterrupted run");
+    }
+}

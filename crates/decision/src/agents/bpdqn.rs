@@ -417,11 +417,21 @@ impl PamdpAgent for BpDqn {
 
     fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
         let (x, q): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        // Validate both stores before mutating either, so a mismatched
+        // payload leaves the serving weights fully intact.
+        self.x_store
+            .shapes_match(&x)
+            .and_then(|()| self.q_store.shapes_match(&q))
+            .map_err(crate::agents::shape_error)?;
         self.x_store.copy_values_from(&x);
         self.q_store.copy_values_from(&q);
         self.x_target.copy_values_from(&x);
         self.q_target.copy_values_from(&q);
         Ok(())
+    }
+
+    fn weights_are_finite(&self) -> bool {
+        self.x_store.values_are_finite() && self.q_store.values_are_finite()
     }
 
     fn exploration_steps(&self) -> u64 {
@@ -512,6 +522,22 @@ mod tests {
         fresh.load_json(&json).unwrap();
         let (after, _) = fresh.act(&s, false);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected_not_panicked() {
+        let mut agent = BpDqn::new(quick_cfg(8));
+        let wide = BpDqn::new(AgentConfig {
+            hidden: 96,
+            ..quick_cfg(8)
+        });
+        let s = AugmentedState::zeros();
+        let (before, _) = agent.act(&s, false);
+        let err = agent.load_json(&wide.save_json()).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+        let (after, _) = agent.act(&s, false);
+        assert_eq!(before, after, "rejected load must not touch weights");
+        assert!(agent.weights_are_finite());
     }
 
     #[test]

@@ -200,9 +200,16 @@ impl PamdpAgent for DiscreteDqn {
 
     fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
         let restored = ParamStore::from_json(json)?;
+        self.store
+            .shapes_match(&restored)
+            .map_err(crate::agents::shape_error)?;
         self.store.copy_values_from(&restored);
         self.target.copy_values_from(&restored);
         Ok(())
+    }
+
+    fn weights_are_finite(&self) -> bool {
+        self.store.values_are_finite()
     }
 }
 

@@ -116,6 +116,14 @@ impl Default for AgentConfig {
     }
 }
 
+/// Converts a [`nn::ParamStore`] shape-mismatch description into the
+/// `serde_json::Error` every `load_json` implementation returns, so a
+/// checkpoint written under a different architecture is a recoverable
+/// load error rather than a panic.
+pub(crate) fn shape_error(detail: String) -> serde_json::Error {
+    serde::de::Error::custom(detail)
+}
+
 /// Samples a random discrete behaviour index with the given keep bias.
 pub(crate) fn random_behaviour(rng: &mut impl rand::Rng, keep_bias: f64) -> usize {
     let u: f64 = rng.random();
@@ -161,8 +169,18 @@ pub trait PamdpAgent {
     /// Serialises the policy weights to JSON.
     fn save_json(&self) -> String;
 
-    /// Restores policy weights saved by [`PamdpAgent::save_json`].
+    /// Restores policy weights saved by [`PamdpAgent::save_json`]. A
+    /// payload whose parameter count or shapes do not match this learner's
+    /// architecture must be rejected with an error, leaving the live
+    /// weights untouched (the serving hot-reload path relies on this).
     fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error>;
+
+    /// True when every live network weight is finite. The serving layer
+    /// probes this after a hot-reload before committing the new weights.
+    /// Learners without networks keep the default.
+    fn weights_are_finite(&self) -> bool {
+        true
+    }
 
     /// Number of exploration (training) action selections taken so far.
     /// Drives ε / noise schedules; checkpointed so a resumed run continues

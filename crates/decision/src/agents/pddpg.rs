@@ -255,11 +255,19 @@ impl PamdpAgent for PDdpg {
 
     fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
         let (a, c): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        self.actor_store
+            .shapes_match(&a)
+            .and_then(|()| self.critic_store.shapes_match(&c))
+            .map_err(crate::agents::shape_error)?;
         self.actor_store.copy_values_from(&a);
         self.critic_store.copy_values_from(&c);
         self.actor_target.copy_values_from(&a);
         self.critic_target.copy_values_from(&c);
         Ok(())
+    }
+
+    fn weights_are_finite(&self) -> bool {
+        self.actor_store.values_are_finite() && self.critic_store.values_are_finite()
     }
 }
 

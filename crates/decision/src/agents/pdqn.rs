@@ -244,11 +244,19 @@ impl PamdpAgent for PDqn {
 
     fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
         let (x, q): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        self.x_store
+            .shapes_match(&x)
+            .and_then(|()| self.q_store.shapes_match(&q))
+            .map_err(crate::agents::shape_error)?;
         self.x_store.copy_values_from(&x);
         self.q_store.copy_values_from(&q);
         self.x_target.copy_values_from(&x);
         self.q_target.copy_values_from(&q);
         Ok(())
+    }
+
+    fn weights_are_finite(&self) -> bool {
+        self.x_store.values_are_finite() && self.q_store.values_are_finite()
     }
 }
 

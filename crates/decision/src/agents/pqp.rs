@@ -272,10 +272,18 @@ impl PamdpAgent for PQp {
 
     fn load_json(&mut self, json: &str) -> Result<(), serde_json::Error> {
         let (p, q): (ParamStore, ParamStore) = serde_json::from_str(json)?;
+        self.param_store
+            .shapes_match(&p)
+            .and_then(|()| self.q_store.shapes_match(&q))
+            .map_err(crate::agents::shape_error)?;
         self.param_store.copy_values_from(&p);
         self.q_store.copy_values_from(&q);
         self.q_target.copy_values_from(&q);
         Ok(())
+    }
+
+    fn weights_are_finite(&self) -> bool {
+        self.param_store.values_are_finite() && self.q_store.values_are_finite()
     }
 }
 

@@ -5,7 +5,9 @@
 //! the exploration-schedule position and the fault injector's generator
 //! state. Saves are atomic (write to a temporary file, then rename), so a
 //! crash mid-write leaves the previous checkpoint intact rather than a
-//! truncated file.
+//! truncated file. Each save also rotates the prior file to
+//! [`CHECKPOINT_PREV_FILE`], and [`Checkpoint::load_resilient`] falls back
+//! to that generation when the current file is truncated or corrupt.
 //!
 //! Serialisation goes through [`telemetry::Json`] — dependency-free and
 //! byte-stable offline. `u64` generator states are stored as decimal
@@ -13,13 +15,80 @@
 
 use crate::metrics::{EpisodeMetrics, Terminal};
 use sensor::InjectorState;
+use std::fmt;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use telemetry::Json;
 
 /// File name of the checkpoint inside its directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// File name of the previous good checkpoint, rotated on every save so a
+/// corrupted current file still leaves one resumable generation behind.
+pub const CHECKPOINT_PREV_FILE: &str = "checkpoint.prev.json";
+
+/// Why a checkpoint failed to load or save.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The filesystem failed (permissions, disk full, ...).
+    Io(io::Error),
+    /// The file exists but its content is truncated or not a checkpoint.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What the parser rejected.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for io::Error {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(e) => e,
+            corrupt => io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string()),
+        }
+    }
+}
+
+/// Which file a resilient load actually resumed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointSource {
+    /// `checkpoint.json` was intact.
+    Current,
+    /// `checkpoint.json` was missing or corrupt; `checkpoint.prev.json`
+    /// supplied the state.
+    Previous,
+}
+
+impl CheckpointSource {
+    /// Stable lowercase name for telemetry/log payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckpointSource::Current => "current",
+            CheckpointSource::Previous => "previous",
+        }
+    }
+}
 
 /// A resumable snapshot of a training run.
 #[derive(Clone, Debug)]
@@ -163,28 +232,71 @@ impl Checkpoint {
 
     /// Atomically writes the checkpoint into `dir` (created if missing):
     /// the content lands in a temporary file first and is renamed over
-    /// `checkpoint.json`, so readers never observe a partial write.
+    /// `checkpoint.json`, so readers never observe a partial write. The
+    /// prior `checkpoint.json`, if any, is rotated to
+    /// `checkpoint.prev.json` first — a crash at any point leaves at least
+    /// one intact generation on disk.
     pub fn save(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
         let finality = dir.join(CHECKPOINT_FILE);
         fs::write(&tmp, self.to_json().to_string())?;
+        match fs::rename(&finality, dir.join(CHECKPOINT_PREV_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         fs::rename(&tmp, &finality)
     }
 
-    /// Loads the checkpoint from `dir`. A missing file is `Ok(None)` (a
-    /// fresh run); a present-but-corrupt file is an error.
-    pub fn load(dir: &Path) -> io::Result<Option<Checkpoint>> {
-        let text = match fs::read_to_string(dir.join(CHECKPOINT_FILE)) {
+    /// Parses one checkpoint file. Missing is `Ok(None)`; present but
+    /// unparsable is [`CheckpointError::Corrupt`].
+    fn load_file(path: &Path) -> Result<Option<Checkpoint>, CheckpointError> {
+        let text = match fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+            Err(e) => return Err(CheckpointError::Io(e)),
         };
-        let value =
-            Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let corrupt = |detail: String| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let value = Json::parse(&text).map_err(corrupt)?;
         Checkpoint::from_json(&value)
             .map(Some)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed checkpoint"))
+            .ok_or_else(|| corrupt("well-formed JSON but not a checkpoint".to_string()))
+    }
+
+    /// Loads the current checkpoint from `dir`. A missing file is
+    /// `Ok(None)` (a fresh run); a present-but-corrupt file is an error.
+    /// Resume paths that should survive corruption want
+    /// [`Checkpoint::load_resilient`] instead.
+    pub fn load(dir: &Path) -> Result<Option<Checkpoint>, CheckpointError> {
+        Self::load_file(&dir.join(CHECKPOINT_FILE))
+    }
+
+    /// Loads the newest intact checkpoint from `dir`: the current file if
+    /// it parses, otherwise the rotated previous generation. Reports which
+    /// file supplied the state. Only fails when the current file is
+    /// corrupt (or unreadable) **and** no previous good generation exists
+    /// to fall back to.
+    pub fn load_resilient(
+        dir: &Path,
+    ) -> Result<Option<(Checkpoint, CheckpointSource)>, CheckpointError> {
+        let current_err = match Self::load_file(&dir.join(CHECKPOINT_FILE)) {
+            Ok(Some(ckpt)) => return Ok(Some((ckpt, CheckpointSource::Current))),
+            Ok(None) => None,
+            Err(e) => Some(e),
+        };
+        match (
+            Self::load_file(&dir.join(CHECKPOINT_PREV_FILE)),
+            current_err,
+        ) {
+            (Ok(Some(ckpt)), _) => Ok(Some((ckpt, CheckpointSource::Previous))),
+            (Ok(None), None) => Ok(None),
+            (Ok(None) | Err(_), Some(e)) => Err(e),
+            (Err(e), None) => Err(e),
+        }
     }
 }
 
@@ -274,6 +386,75 @@ mod tests {
         demo_checkpoint().save(&dir).expect("save");
         assert!(dir.join(CHECKPOINT_FILE).exists());
         assert!(!dir.join(format!("{CHECKPOINT_FILE}.tmp")).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_rotates_previous_generation() {
+        let dir = temp_dir("rotate");
+        let mut ckpt = demo_checkpoint();
+        ckpt.save(&dir).expect("first save");
+        assert!(
+            !dir.join(CHECKPOINT_PREV_FILE).exists(),
+            "nothing to rotate on the first save"
+        );
+        ckpt.episode = 8;
+        ckpt.save(&dir).expect("second save");
+        let (back, source) = Checkpoint::load_resilient(&dir)
+            .expect("load")
+            .expect("present");
+        assert_eq!((back.episode, source), (8, CheckpointSource::Current));
+        let prev = Checkpoint::load_file(&dir.join(CHECKPOINT_PREV_FILE))
+            .expect("prev parses")
+            .expect("prev present");
+        assert_eq!(prev.episode, 7, "prev holds the older generation");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resilient_load_falls_back_to_previous_on_corruption() {
+        let dir = temp_dir("fallback");
+        demo_checkpoint().save(&dir).expect("save");
+        demo_checkpoint().save(&dir).expect("save again");
+        fs::write(dir.join(CHECKPOINT_FILE), "{\"episode\": trunca").expect("corrupt");
+        assert!(matches!(
+            Checkpoint::load(&dir),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let (back, source) = Checkpoint::load_resilient(&dir)
+            .expect("fallback")
+            .expect("present");
+        assert_eq!(source, CheckpointSource::Previous);
+        assert_eq!(back.episode, 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resilient_load_survives_missing_current_with_intact_previous() {
+        // A crash between save()'s two renames leaves only the rotated file.
+        let dir = temp_dir("midrotate");
+        demo_checkpoint().save(&dir).expect("save");
+        fs::rename(dir.join(CHECKPOINT_FILE), dir.join(CHECKPOINT_PREV_FILE)).expect("rotate");
+        let (back, source) = Checkpoint::load_resilient(&dir)
+            .expect("fallback")
+            .expect("present");
+        assert_eq!((back.episode, source), (7, CheckpointSource::Previous));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resilient_load_errors_when_no_generation_is_intact() {
+        let dir = temp_dir("allbad");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(CHECKPOINT_FILE), "garbage").expect("write");
+        let err = Checkpoint::load_resilient(&dir).expect_err("no fallback");
+        assert!(
+            err.to_string().contains(CHECKPOINT_FILE),
+            "error names the offending file: {err}"
+        );
+        assert!(Checkpoint::load_resilient(&temp_dir("empty"))
+            .expect("empty dir is a fresh run")
+            .is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -46,7 +46,9 @@ mod variants;
 pub use agents::{
     AccLc, DrivingAgent, DrlSc, IdmLc, PolicyAgent, RuleConfig, SafetyCheck, TpBts, TpBtsConfig,
 };
-pub use checkpoint::{Checkpoint, CHECKPOINT_FILE};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointSource, CHECKPOINT_FILE, CHECKPOINT_PREV_FILE,
+};
 pub use config::EnvConfig;
 pub use env::{augmented_state, HighwayEnv, PerceptionMode, Percepts, StepResult};
 pub use metrics::{aggregate, AggregateMetrics, EpisodeMetrics, MetricsCollector, Terminal};

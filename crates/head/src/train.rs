@@ -259,7 +259,7 @@ pub fn train_agent_resumable(
     let _train_span = telemetry::span!(keys::SPAN_HEAD_TRAIN_RESUMABLE);
     let started = Stopwatch::start();
     let mut all = Vec::new();
-    if let Some(ckpt) = Checkpoint::load(&opts.dir)? {
+    if let Some((ckpt, source)) = Checkpoint::load_resilient(&opts.dir)? {
         if let Some(json) = &ckpt.agent_json {
             agent
                 .load_state(json)
@@ -282,6 +282,7 @@ pub fn train_agent_resumable(
             vec![
                 ("episode", telemetry::Json::from(ckpt.episode)),
                 ("completed", telemetry::Json::from(all.len())),
+                ("source", telemetry::Json::from(source.as_str())),
             ],
         );
     }

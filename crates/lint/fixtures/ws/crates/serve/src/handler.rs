@@ -1,0 +1,17 @@
+// Seeded violation for the serve-no-graph-new rule: building a tape in a
+// constructor is fine elsewhere (graph-churn sanctions `fn new`), but in
+// crates/serve it still puts arena construction inside the daemon.
+
+use nn::Graph;
+
+pub struct Handler {
+    tape: Graph,
+}
+
+impl Handler {
+    pub fn new() -> Handler {
+        Handler {
+            tape: Graph::new(),
+        }
+    }
+}

@@ -109,6 +109,14 @@ pub const RULES: &[Rule] = &[
                   why no tape can be borrowed",
     },
     Rule {
+        name: "serve-no-graph-new",
+        severity: Severity::Error,
+        summary: "Graph::new() anywhere in crates/serve puts cold-arena tape \
+                  construction on the serving request path and can blow a request's \
+                  deadline budget; the decision agent's persistent tapes are the \
+                  only sanctioned graphs in the daemon",
+    },
+    Rule {
         name: "telemetry-keys",
         severity: Severity::Error,
         summary: "string literal passed to a telemetry entry point that is not a \
@@ -177,6 +185,7 @@ pub fn run_file_passes(f: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>)
     pass_float_eq(f, out);
     pass_float_cast(f, out);
     pass_graph_churn(f, out);
+    pass_serve_no_graph_new(f, out);
     pass_telemetry_keys(f, ctx, out);
     pass_recorder_keys(f, ctx, out);
     pass_lint_header(f, out);
@@ -541,6 +550,38 @@ fn pass_graph_churn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                 i,
                 "`Graph::new()` outside a constructor discards the tape's warm buffer \
                  arena; hold a persistent tape and `reset()` it per pass instead"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Serving latency: nothing in `crates/serve` may construct an `nn::Graph`
+/// — not even in a constructor, which `graph-churn` would sanction. The
+/// daemon answers within per-request deadline budgets, and a fresh tape is
+/// a cold-arena allocation storm; the decision agent's persistent tapes
+/// (built when the agent is, inside `decision`) are the only graphs that
+/// belong in the serving process.
+fn pass_serve_no_graph_new(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.crate_name != "serve" {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.is_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let hit = t.is_ident("Graph")
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+            && matches!(toks.get(i + 2), Some(n) if n.is_ident("new"));
+        if hit {
+            out.push(diag(
+                "serve-no-graph-new",
+                f,
+                i,
+                "`Graph::new()` on the serve request path: the daemon must reuse the \
+                 agent's persistent tapes, never build one while a deadline is running"
                     .to_string(),
             ));
         }

@@ -35,6 +35,7 @@ fn seeded_fixture_produces_the_expected_findings() {
     assert_eq!(count("telemetry-keys"), 3, "{listing}");
     assert_eq!(count("recorder-keys"), 1, "{listing}");
     assert_eq!(count("graph-churn"), 1, "{listing}");
+    assert_eq!(count("serve-no-graph-new"), 1, "{listing}");
     assert_eq!(
         count("panic"),
         1,
@@ -43,7 +44,7 @@ fn seeded_fixture_produces_the_expected_findings() {
     assert_eq!(count("allow-no-reason"), 1, "{listing}");
     assert_eq!(count("unused-allow"), 1, "{listing}");
     assert_eq!(count("lint-header"), 2, "{listing}");
-    assert_eq!(report.errors(), 16, "{listing}");
+    assert_eq!(report.errors(), 17, "{listing}");
     assert_eq!(report.warnings(), 2, "{listing}");
 }
 
@@ -80,7 +81,7 @@ fn deny_flag_promotes_warnings() {
     })
     .expect("lint run with deny");
     assert_eq!(report.warnings(), 0);
-    assert_eq!(report.errors(), 18);
+    assert_eq!(report.errors(), 19);
 }
 
 #[test]
@@ -93,7 +94,7 @@ fn headlint_binary_exits_one_on_the_seeded_fixture() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("error[panic]"), "{stdout}");
-    assert!(stdout.contains("16 errors"), "{stdout}");
+    assert!(stdout.contains("17 errors"), "{stdout}");
 }
 
 #[test]
@@ -107,12 +108,12 @@ fn headlint_binary_json_report_is_parseable() {
     let json =
         telemetry::Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report");
     assert_eq!(json.get("tool").and_then(|j| j.as_str()), Some("headlint"));
-    assert_eq!(json.get("errors").and_then(|j| j.as_f64()), Some(16.0));
+    assert_eq!(json.get("errors").and_then(|j| j.as_f64()), Some(17.0));
     let diags = match json.get("diagnostics") {
         Some(telemetry::Json::Arr(items)) => items.len(),
         other => panic!("diagnostics not an array: {other:?}"),
     };
-    assert_eq!(diags, 18);
+    assert_eq!(diags, 19);
 }
 
 #[test]

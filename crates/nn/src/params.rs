@@ -152,6 +152,42 @@ impl ParamStore {
         }
     }
 
+    /// Checks that `src` has the same parameter count and per-tensor
+    /// shapes as `self`, describing the first mismatch found. Lets callers
+    /// with several stores validate all of them before mutating any.
+    pub fn shapes_match(&self, src: &ParamStore) -> Result<(), String> {
+        if self.params.len() != src.params.len() {
+            return Err(format!(
+                "param count mismatch: store has {}, source has {}",
+                self.params.len(),
+                src.params.len()
+            ));
+        }
+        for (dst, s) in self.params.iter().zip(&src.params) {
+            if dst.value.shape() != s.value.shape() {
+                return Err(format!(
+                    "param shape mismatch for `{}`: store {:?}, source {:?}",
+                    dst.name,
+                    dst.value.shape(),
+                    s.value.shape()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible [`ParamStore::copy_values_from`]: checks every shape before
+    /// touching `self`, so a mismatched source (e.g. a checkpoint written
+    /// under a different architecture) leaves the store untouched instead
+    /// of panicking mid-copy. Used by the serving hot-reload path.
+    pub fn try_copy_values_from(&mut self, src: &ParamStore) -> Result<(), String> {
+        self.shapes_match(src)?;
+        for (dst, s) in self.params.iter_mut().zip(&src.params) {
+            dst.value = s.value.clone();
+        }
+        Ok(())
+    }
+
     /// Polyak soft update: `self = tau * src + (1 - tau) * self`.
     pub fn soft_update_from(&mut self, src: &ParamStore, tau: f32) {
         assert_eq!(self.params.len(), src.params.len(), "param count mismatch");
@@ -261,6 +297,32 @@ mod tests {
         b.register("w", Matrix::from_rows(&[&[10.0]]));
         a.soft_update_from(&b, 0.1);
         assert!((a.value(ida).get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn try_copy_rejects_mismatches_without_mutating() {
+        let mut dst = ParamStore::new();
+        let id = dst.register("w", Matrix::from_rows(&[&[1.0, 2.0]]));
+        let mut same = ParamStore::new();
+        same.register("w", Matrix::from_rows(&[&[9.0, 8.0]]));
+        dst.try_copy_values_from(&same).unwrap();
+        assert_eq!(dst.value(id), Matrix::from_rows(&[&[9.0, 8.0]]));
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.register("w", Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let err = dst.try_copy_values_from(&wrong_shape).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+        assert_eq!(
+            dst.value(id),
+            Matrix::from_rows(&[&[9.0, 8.0]]),
+            "untouched"
+        );
+
+        let mut wrong_count = ParamStore::new();
+        wrong_count.register("w", Matrix::from_rows(&[&[1.0, 2.0]]));
+        wrong_count.register("b", Matrix::from_rows(&[&[0.0]]));
+        let err = dst.try_copy_values_from(&wrong_count).unwrap_err();
+        assert!(err.contains("count mismatch"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Admission control: a bounded queue with explicit load shedding.
+//!
+//! `headd` is single-threaded, so admission is applied per burst: a batch
+//! request offering more observations than the queue capacity has its tail
+//! shed. Shedding is never silent — every shed slot is answered with a
+//! typed response carrying the rule-based safe action, counted under
+//! `serve.shed`, and recorded into the flight ring so the post-mortem dump
+//! shows the overload burst that preceded an incident.
+
+use telemetry::keys;
+
+/// Default bounded-queue capacity (observations per burst).
+pub const DEFAULT_CAPACITY: usize = 32;
+
+/// How a burst of offered requests was split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionOutcome {
+    /// Requests admitted to full processing, in offer order.
+    pub admitted: usize,
+    /// Requests shed from the tail of the burst.
+    pub shed: usize,
+}
+
+/// Bounded-queue admission controller.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    capacity: usize,
+}
+
+impl Admission {
+    /// A controller admitting at most `capacity` requests per burst
+    /// (clamped to at least 1 so single requests always pass).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The bounded-queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Splits a burst of `offered` requests into admitted head and shed
+    /// tail, counting and flight-recording any shed.
+    pub fn admit(&self, offered: usize) -> AdmissionOutcome {
+        let admitted = offered.min(self.capacity);
+        let shed = offered - admitted;
+        if shed > 0 {
+            telemetry::counter_add(keys::SERVE_SHED, shed as u64);
+            telemetry::flight_record(keys::FLIGHT_SERVE_SHED, shed as f64);
+            // A shed burst is a post-mortem moment: dump the ring so the
+            // overload pattern that led here is preserved.
+            let _ = telemetry::flight_dump(keys::FLIGHT_SERVE_SHED);
+        }
+        AdmissionOutcome { admitted, shed }
+    }
+}
+
+impl Default for Admission {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_admits_everything() {
+        let adm = Admission::new(8);
+        assert_eq!(
+            adm.admit(5),
+            AdmissionOutcome {
+                admitted: 5,
+                shed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn overflow_sheds_the_tail() {
+        let adm = Admission::new(8);
+        assert_eq!(
+            adm.admit(11),
+            AdmissionOutcome {
+                admitted: 8,
+                shed: 3
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let adm = Admission::new(0);
+        assert_eq!(adm.capacity(), 1);
+        assert_eq!(
+            adm.admit(1),
+            AdmissionOutcome {
+                admitted: 1,
+                shed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn shed_bursts_are_counted() {
+        let was = telemetry::set_enabled(true);
+        let before = telemetry::counter_value(keys::SERVE_SHED);
+        let _ = Admission::new(2).admit(7);
+        assert_eq!(telemetry::counter_value(keys::SERVE_SHED), before + 5);
+        telemetry::set_enabled(was);
+    }
+}

@@ -1,0 +1,152 @@
+//! `headd` — the HEAD serving daemon.
+//!
+//! Speaks the length-prefixed JSON protocol from `serve::protocol` over
+//! stdin/stdout (default) or a Unix socket (`--socket PATH`). The process
+//! is crash-only: there is no graceful persistence on the way down, and a
+//! restart with the same `--checkpoint` directory resumes from the last
+//! good checkpoint generation — for healthy streams, byte-identical to a
+//! daemon that was never killed.
+//!
+//! ```text
+//! headd [--checkpoint DIR] [--socket PATH] [--capacity N]
+//!       [--seed N] [--hidden N] [--dump-dir DIR]
+//! ```
+//!
+//! Exit codes: 0 clean shutdown, 1 startup/runtime failure, 2 bad usage.
+
+use serve::{Service, ServiceConfig};
+use std::io;
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Flags {
+    checkpoint: Option<PathBuf>,
+    socket: Option<PathBuf>,
+    dump_dir: Option<PathBuf>,
+    capacity: usize,
+    seed: Option<u64>,
+    hidden: Option<usize>,
+}
+
+const USAGE: &str = "usage: headd [--checkpoint DIR] [--socket PATH] [--capacity N] \
+[--seed N] [--hidden N] [--dump-dir DIR]";
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
+    let mut flags = Flags {
+        checkpoint: None,
+        socket: None,
+        dump_dir: None,
+        capacity: serve::DEFAULT_CAPACITY,
+        seed: None,
+        hidden: None,
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--checkpoint" => flags.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--socket" => flags.socket = Some(PathBuf::from(value("--socket")?)),
+            "--dump-dir" => flags.dump_dir = Some(PathBuf::from(value("--dump-dir")?)),
+            "--capacity" => {
+                flags.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?
+            }
+            "--seed" => {
+                flags.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--hidden" => {
+                flags.hidden = Some(
+                    value("--hidden")?
+                        .parse()
+                        .map_err(|e| format!("--hidden: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn run_stdio(service: &mut Service) -> io::Result<bool> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    service.serve(&mut stdin.lock(), &mut stdout.lock())
+}
+
+fn run_socket(service: &mut Service, path: &Path) -> io::Result<bool> {
+    // Crash-only: a stale socket file from a killed predecessor is normal.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    loop {
+        let (mut stream, _) = listener.accept()?;
+        let mut writer = stream.try_clone()?;
+        if service.serve(&mut stream, &mut writer)? {
+            return Ok(true);
+        }
+        // Clean client disconnect: keep listening for the next one.
+    }
+}
+
+fn main() -> ExitCode {
+    let flags = match parse_flags(std::env::args().skip(1)) {
+        Ok(flags) => flags,
+        Err(msg) => {
+            eprintln!("headd: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    telemetry::set_enabled(true);
+    let mut recorder = telemetry::FlightRecorder::new(256);
+    if let Some(dir) = &flags.dump_dir {
+        recorder.configure_dumps(dir.clone(), "headd", Vec::new());
+    }
+    telemetry::flight_install(recorder);
+    telemetry::flight_install_panic_hook();
+
+    let mut agent = decision::AgentConfig::default();
+    if let Some(seed) = flags.seed {
+        agent.seed = seed;
+    }
+    if let Some(hidden) = flags.hidden {
+        agent.hidden = hidden;
+    }
+    let cfg = ServiceConfig {
+        agent,
+        capacity: flags.capacity,
+        checkpoint_dir: flags.checkpoint,
+    };
+    let (mut service, source) = match Service::new(cfg) {
+        Ok(built) => built,
+        Err(e) => {
+            eprintln!("headd: startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "headd: serving (weights: {})",
+        source.map_or("fresh", |s| s.as_str())
+    );
+
+    let result = match &flags.socket {
+        Some(path) => run_socket(&mut service, path),
+        None => run_stdio(&mut service),
+    };
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("headd: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The decision-side degradation ladder.
+//!
+//! `perception::FallbackGuard` keeps the decision layer fed when sensing
+//! degrades; [`DecisionLadder`] plays the same role one stage later, when
+//! the *decision* itself cannot be produced in time (deadline overrun) or
+//! is not trustworthy (non-finite output). The rungs map onto the paper's
+//! failure handling:
+//!
+//! 1. [`ServeTier::Full`] — fresh, finite agent inference.
+//! 2. [`ServeTier::Replay`] — the last valid action is replayed verbatim
+//!    for up to [`REPLAY_LIMIT`] consecutive stale steps (a highway
+//!    maneuver decision is valid across a handful of 100 ms ticks).
+//! 3. [`ServeTier::Safe`] — rule-based decelerate-and-hold: keep the lane
+//!    and brake gently ([`SAFE_DECEL`]) until full inference recovers.
+//!
+//! Every degraded step bumps a `serve.tier.*` counter and leaves a flight
+//! ring entry, mirroring the `perception.fallback.*` instrumentation.
+
+use decision::{Action, LaneBehaviour};
+use telemetry::keys;
+
+/// Longitudinal acceleration of the safe fallback, m/s² (gentle braking,
+/// well inside the comfort band rather than an emergency stop).
+pub const SAFE_DECEL: f64 = -2.0;
+
+/// Consecutive stale steps the last valid action may be replayed before
+/// the ladder drops to the rule-based safe tier.
+pub const REPLAY_LIMIT: u64 = 2;
+
+/// Which rung of the ladder produced a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeTier {
+    /// Fresh, finite agent inference — no degradation.
+    Full,
+    /// Last valid action replayed verbatim.
+    Replay,
+    /// Rule-based decelerate-and-hold fallback.
+    Safe,
+}
+
+impl ServeTier {
+    /// Short wire name, used in response payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeTier::Full => "full",
+            ServeTier::Replay => "replay",
+            ServeTier::Safe => "safe",
+        }
+    }
+
+    /// Ladder depth: higher is more degraded.
+    pub fn rank(self) -> u8 {
+        match self {
+            ServeTier::Full => 0,
+            ServeTier::Replay => 1,
+            ServeTier::Safe => 2,
+        }
+    }
+
+    /// Telemetry counter bumped when this tier answers a request (`None`
+    /// for the healthy path).
+    pub fn counter(self) -> Option<&'static str> {
+        match self {
+            ServeTier::Full => None,
+            ServeTier::Replay => Some(keys::SERVE_TIER_REPLAY),
+            ServeTier::Safe => Some(keys::SERVE_TIER_SAFE),
+        }
+    }
+}
+
+/// The rule-based safe fallback action: hold the lane, brake gently.
+pub fn safe_hold() -> Action {
+    Action {
+        behaviour: LaneBehaviour::Keep,
+        accel: SAFE_DECEL,
+    }
+}
+
+/// Keeps the last valid action and serves degraded substitutes while full
+/// inference is unavailable, over deadline, or non-finite.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionLadder {
+    last_good: Option<Action>,
+    staleness: u64,
+}
+
+impl DecisionLadder {
+    /// A fresh ladder with no action history (cold start answers `Safe`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consecutive requests served from fallback (0 on the healthy path).
+    pub fn staleness(&self) -> u64 {
+        self.staleness
+    }
+
+    /// Resolves one request. `fresh` is the agent's output when inference
+    /// ran inside budget (possibly non-finite), or `None` when the
+    /// watchdog skipped it. Always returns an answer — that is the point.
+    pub fn resolve(&mut self, fresh: Option<Action>) -> (Action, ServeTier) {
+        if let Some(action) = fresh {
+            if action.accel.is_finite() {
+                self.last_good = Some(action);
+                self.staleness = 0;
+                return (action, ServeTier::Full);
+            }
+        }
+        self.staleness += 1;
+        let (action, tier) = match &self.last_good {
+            Some(prev) if self.staleness <= REPLAY_LIMIT => (*prev, ServeTier::Replay),
+            _ => (safe_hold(), ServeTier::Safe),
+        };
+        if let Some(counter) = tier.counter() {
+            telemetry::counter_add(counter, 1);
+            // The staleness value makes a later flight dump show how deep
+            // into the ladder the service was when things went wrong.
+            telemetry::flight_record(counter, self.staleness as f64);
+        }
+        (action, tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(accel: f64) -> Action {
+        Action {
+            behaviour: LaneBehaviour::Left,
+            accel,
+        }
+    }
+
+    #[test]
+    fn healthy_path_is_full_tier() {
+        let mut ladder = DecisionLadder::new();
+        let (a, tier) = ladder.resolve(Some(act(1.5)));
+        assert_eq!(tier, ServeTier::Full);
+        assert_eq!(a.accel, 1.5);
+        assert_eq!(ladder.staleness(), 0);
+    }
+
+    #[test]
+    fn cold_start_without_history_is_safe() {
+        let mut ladder = DecisionLadder::new();
+        let (a, tier) = ladder.resolve(None);
+        assert_eq!(tier, ServeTier::Safe);
+        assert_eq!(a.behaviour, LaneBehaviour::Keep);
+        assert_eq!(a.accel, SAFE_DECEL);
+    }
+
+    #[test]
+    fn ladder_descends_replay_then_safe() {
+        let mut ladder = DecisionLadder::new();
+        let _ = ladder.resolve(Some(act(0.7)));
+        for k in 1..=REPLAY_LIMIT {
+            let (a, tier) = ladder.resolve(None);
+            assert_eq!(tier, ServeTier::Replay, "staleness {k} replays");
+            assert_eq!(a.accel, 0.7, "replay is verbatim");
+        }
+        let (a, tier) = ladder.resolve(None);
+        assert_eq!(tier, ServeTier::Safe);
+        assert_eq!(a.accel, SAFE_DECEL);
+        assert_eq!(ladder.staleness(), REPLAY_LIMIT + 1);
+    }
+
+    #[test]
+    fn non_finite_fresh_counts_as_outage() {
+        let mut ladder = DecisionLadder::new();
+        let _ = ladder.resolve(Some(act(0.7)));
+        let (a, tier) = ladder.resolve(Some(act(f64::NAN)));
+        assert_eq!(tier, ServeTier::Replay);
+        assert!(a.accel.is_finite());
+    }
+
+    #[test]
+    fn good_output_resets_the_ladder() {
+        let mut ladder = DecisionLadder::new();
+        let _ = ladder.resolve(Some(act(0.7)));
+        for _ in 0..4 {
+            let _ = ladder.resolve(None);
+        }
+        let (_, tier) = ladder.resolve(Some(act(-0.1)));
+        assert_eq!(tier, ServeTier::Full);
+        let (a, tier) = ladder.resolve(None);
+        assert_eq!(tier, ServeTier::Replay);
+        assert_eq!(a.accel, -0.1, "ladder restarts from the newest action");
+    }
+
+    #[test]
+    fn degraded_tiers_bump_counters() {
+        let was = telemetry::set_enabled(true);
+        let before = telemetry::counter_value(keys::SERVE_TIER_SAFE);
+        let mut ladder = DecisionLadder::new();
+        let _ = ladder.resolve(None);
+        assert!(telemetry::counter_value(keys::SERVE_TIER_SAFE) > before);
+        telemetry::set_enabled(was);
+    }
+}

@@ -1,0 +1,46 @@
+//! # serve — graceful-degradation serving layer for HEAD
+//!
+//! Wraps a trained decision agent behind `headd`, a single-threaded daemon
+//! speaking a length-prefixed JSON protocol over stdin/stdout or a Unix
+//! socket. Every observation request carries a deadline budget and flows
+//! through three robustness layers before an answer leaves the process:
+//!
+//! 1. **Admission** ([`Admission`]) — burst requests pass a bounded queue;
+//!    overflow is shed with an explicit, typed response that still carries
+//!    the rule-based safe action, never silently dropped.
+//! 2. **Degradation ladder** ([`DecisionLadder`]) — mirrors the semantics
+//!    of `perception::FallbackGuard`: full agent inference while outputs
+//!    are fresh and finite, last-valid-action replay for a bounded number
+//!    of stale steps, then a rule-based decelerate-and-hold fallback.
+//!    Non-finite model output is treated exactly like `nn`'s divergence
+//!    guards treat a poisoned gradient step: the result is discarded and
+//!    the last known-good state serves instead.
+//! 3. **Hot reload** ([`Service::reload`]) — atomically swaps weights from
+//!    a [`head::Checkpoint`] directory with validation-forward semantics:
+//!    shape-mismatched or non-finite weights roll back to the running set.
+//!    The daemon itself is crash-only; a restart resumes from the last
+//!    good checkpoint generation and, for healthy (full-tier) streams, is
+//!    byte-identical to a run that was never killed.
+//!
+//! Everything is deterministic by construction: greedy inference consumes
+//! no randomness, responses carry no wall-clock fields, and the only
+//! sanctioned timer is `telemetry::Stopwatch` feeding latency histograms
+//! and the deadline watchdog.
+
+// Panic audit: library code must surface errors, not unwrap them away
+// (tests may unwrap freely). Enforced by clippy and the headlint
+// `lint-header` pass; see DESIGN.md "Static analysis".
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod admission;
+mod ladder;
+mod protocol;
+mod service;
+
+pub use admission::{Admission, AdmissionOutcome, DEFAULT_CAPACITY};
+pub use ladder::{safe_hold, DecisionLadder, ServeTier, REPLAY_LIMIT, SAFE_DECEL};
+pub use protocol::{
+    read_frame, state_from_json, state_to_json, write_frame, Decision, Request, MAX_FRAME_BYTES,
+};
+pub use service::{state_is_finite, Service, ServiceConfig};

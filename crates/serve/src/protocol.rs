@@ -1,0 +1,483 @@
+//! Wire protocol: length-prefixed JSON frames and the request/response
+//! vocabulary.
+//!
+//! Every frame is a big-endian `u32` payload length followed by that many
+//! bytes of UTF-8 JSON. Requests carry an `op`, a client-chosen `id`
+//! echoed into the response, and — for observation ops — a `deadline_ms`
+//! budget. Responses are deliberately free of wall-clock fields so a
+//! healthy response stream is byte-identical across runs and restarts;
+//! latency lives in telemetry histograms instead.
+
+use crate::ladder::{safe_hold, ServeTier};
+use decision::{AugmentedState, CURRENT_ROWS, FUTURE_ROWS, ROW_DIM};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use telemetry::Json;
+
+/// Upper bound on a single frame payload, bytes. Large enough for any
+/// legitimate burst, small enough that a corrupt length prefix cannot ask
+/// the daemon to allocate gigabytes.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_BYTES", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` on a clean end-of-stream (EOF before any
+/// header byte); a stream cut mid-frame is an `UnexpectedEof` error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// One observation wanting one maneuver decision within `deadline_ms`.
+    Decide {
+        /// Client-chosen id echoed back.
+        id: u64,
+        /// Per-request latency budget, ms (`+inf` when absent).
+        deadline_ms: f64,
+        /// The augmented PAMDP state to decide on.
+        state: Box<AugmentedState>,
+    },
+    /// A burst of observations sharing one deadline; subject to admission.
+    Batch {
+        /// Client-chosen id echoed back.
+        id: u64,
+        /// Per-request latency budget, ms (`+inf` when absent).
+        deadline_ms: f64,
+        /// The observations, in arrival order.
+        states: Vec<AugmentedState>,
+    },
+    /// Hot-reload weights from a checkpoint directory.
+    Reload {
+        /// Client-chosen id echoed back.
+        id: u64,
+        /// Checkpoint directory (as written by `head::Checkpoint::save`).
+        dir: PathBuf,
+    },
+    /// Snapshot of the daemon's serve counters.
+    Stats {
+        /// Client-chosen id echoed back.
+        id: u64,
+    },
+    /// Acknowledge and exit the serve loop.
+    Shutdown {
+        /// Client-chosen id echoed back.
+        id: u64,
+    },
+}
+
+fn row_to_json(row: &[f64; ROW_DIM]) -> Json {
+    Json::Arr(row.iter().map(|v| Json::Num(*v)).collect())
+}
+
+fn rows_to_json(rows: &[[f64; ROW_DIM]]) -> Json {
+    Json::Arr(rows.iter().map(row_to_json).collect())
+}
+
+/// Encodes an augmented state as `{"current": [[..]; 7], "future": [[..]; 6]}`.
+pub fn state_to_json(state: &AugmentedState) -> Json {
+    Json::obj(vec![
+        ("current", rows_to_json(&state.current)),
+        ("future", rows_to_json(&state.future)),
+    ])
+}
+
+fn row_from_json(v: &Json) -> Result<[f64; ROW_DIM], String> {
+    let Json::Arr(items) = v else {
+        return Err("state row is not an array".to_string());
+    };
+    if items.len() != ROW_DIM {
+        return Err(format!(
+            "state row has {} slots, want {ROW_DIM}",
+            items.len()
+        ));
+    }
+    let mut row = [0.0; ROW_DIM];
+    for (slot, item) in row.iter_mut().zip(items) {
+        // `null` is how JSON spells a non-finite number; decode it as NaN
+        // so the service's finiteness check sees it (and degrades).
+        *slot = match item {
+            Json::Null => f64::NAN,
+            other => other.as_f64().ok_or("state slot is not a number")?,
+        };
+    }
+    Ok(row)
+}
+
+fn rows_from_json<const N: usize>(v: &Json, block: &str) -> Result<[[f64; ROW_DIM]; N], String> {
+    let Json::Arr(items) = v else {
+        return Err(format!("state block `{block}` is not an array"));
+    };
+    if items.len() != N {
+        return Err(format!(
+            "state block `{block}` has {} rows, want {N}",
+            items.len()
+        ));
+    }
+    let mut rows = [[0.0; ROW_DIM]; N];
+    for (row, item) in rows.iter_mut().zip(items) {
+        *row = row_from_json(item)?;
+    }
+    Ok(rows)
+}
+
+/// Decodes an augmented state produced by [`state_to_json`].
+pub fn state_from_json(v: &Json) -> Result<AugmentedState, String> {
+    Ok(AugmentedState {
+        current: rows_from_json::<CURRENT_ROWS>(
+            v.get("current").ok_or("state is missing `current`")?,
+            "current",
+        )?,
+        future: rows_from_json::<FUTURE_ROWS>(
+            v.get("future").ok_or("state is missing `future`")?,
+            "future",
+        )?,
+    })
+}
+
+fn req_id(v: &Json) -> Result<u64, String> {
+    v.get("id")
+        .and_then(Json::as_f64)
+        .map(|n| n as u64)
+        .ok_or_else(|| "request is missing a numeric `id`".to_string())
+}
+
+fn req_deadline(v: &Json) -> f64 {
+    match v.get("deadline_ms") {
+        Some(Json::Num(ms)) => *ms,
+        _ => f64::INFINITY,
+    }
+}
+
+impl Request {
+    /// Parses one request payload.
+    pub fn parse(text: &str) -> Result<Request, String> {
+        let v = Json::parse(text)?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request is missing `op`")?;
+        let id = req_id(&v)?;
+        match op {
+            "decide" => Ok(Request::Decide {
+                id,
+                deadline_ms: req_deadline(&v),
+                state: Box::new(state_from_json(
+                    v.get("state").ok_or("decide is missing `state`")?,
+                )?),
+            }),
+            "batch" => {
+                let Some(Json::Arr(items)) = v.get("states") else {
+                    return Err("batch is missing a `states` array".to_string());
+                };
+                let states = items
+                    .iter()
+                    .map(state_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Batch {
+                    id,
+                    deadline_ms: req_deadline(&v),
+                    states,
+                })
+            }
+            "reload" => Ok(Request::Reload {
+                id,
+                dir: PathBuf::from(
+                    v.get("dir")
+                        .and_then(Json::as_str)
+                        .ok_or("reload is missing `dir`")?,
+                ),
+            }),
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Encodes the request payload (the client side of [`Request::parse`]).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Request::Decide {
+                id,
+                deadline_ms,
+                state,
+            } => {
+                let mut pairs = vec![("op", Json::from("decide")), ("id", Json::from(*id))];
+                if deadline_ms.is_finite() {
+                    pairs.push(("deadline_ms", Json::Num(*deadline_ms)));
+                }
+                pairs.push(("state", state_to_json(state)));
+                Json::obj(pairs)
+            }
+            Request::Batch {
+                id,
+                deadline_ms,
+                states,
+            } => {
+                let mut pairs = vec![("op", Json::from("batch")), ("id", Json::from(*id))];
+                if deadline_ms.is_finite() {
+                    pairs.push(("deadline_ms", Json::Num(*deadline_ms)));
+                }
+                pairs.push((
+                    "states",
+                    Json::Arr(states.iter().map(state_to_json).collect()),
+                ));
+                Json::obj(pairs)
+            }
+            Request::Reload { id, dir } => Json::obj(vec![
+                ("op", Json::from("reload")),
+                ("id", Json::from(*id)),
+                ("dir", Json::from(dir.display().to_string())),
+            ]),
+            Request::Stats { id } => {
+                Json::obj(vec![("op", Json::from("stats")), ("id", Json::from(*id))])
+            }
+            Request::Shutdown { id } => Json::obj(vec![
+                ("op", Json::from("shutdown")),
+                ("id", Json::from(*id)),
+            ]),
+        };
+        json.to_string()
+    }
+}
+
+/// One answered observation: which ladder tier produced it and the action.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Decision {
+    /// Ladder rung that produced the action.
+    pub tier: ServeTier,
+    /// Lane behaviour index (`LaneBehaviour::index`).
+    pub behaviour: usize,
+    /// Longitudinal acceleration, m/s².
+    pub accel: f64,
+    /// True when admission shed this request (the action is the safe hold).
+    pub shed: bool,
+}
+
+impl Decision {
+    /// The typed response for a shed request: explicit, counted, and still
+    /// actionable (safe hold) rather than silently dropped.
+    pub fn shed() -> Decision {
+        let safe = safe_hold();
+        Decision {
+            tier: ServeTier::Safe,
+            behaviour: safe.behaviour.index(),
+            accel: safe.accel,
+            shed: true,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("tier", Json::from(self.tier.name())),
+            ("behaviour", Json::from(self.behaviour)),
+            ("accel", Json::Num(self.accel)),
+            ("shed", Json::from(self.shed)),
+        ])
+    }
+}
+
+/// Response to a `decide` request.
+pub fn decide_response(id: u64, d: Decision) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), Json::from(id)),
+        ("ok".to_string(), Json::from(true)),
+    ];
+    if let Json::Obj(fields) = d.to_json() {
+        pairs.extend(fields);
+    }
+    Json::Obj(pairs).to_string()
+}
+
+/// Response to a `batch` request: per-observation results in offer order.
+pub fn batch_response(id: u64, results: &[Decision]) -> String {
+    Json::obj(vec![
+        ("id", Json::from(id)),
+        ("ok", Json::from(true)),
+        (
+            "results",
+            Json::Arr(results.iter().map(|d| d.to_json()).collect()),
+        ),
+    ])
+    .to_string()
+}
+
+/// Response to a successful `reload`.
+pub fn reload_response(id: u64, source: &str) -> String {
+    Json::obj(vec![
+        ("id", Json::from(id)),
+        ("ok", Json::from(true)),
+        ("reloaded", Json::from(true)),
+        ("source", Json::from(source)),
+    ])
+    .to_string()
+}
+
+/// Response to a `stats` request, embedding the counter snapshot.
+pub fn stats_response(id: u64, counters: Json) -> String {
+    Json::obj(vec![
+        ("id", Json::from(id)),
+        ("ok", Json::from(true)),
+        ("counters", counters),
+    ])
+    .to_string()
+}
+
+/// Acknowledgement of a `shutdown` request.
+pub fn shutdown_response(id: u64) -> String {
+    Json::obj(vec![
+        ("id", Json::from(id)),
+        ("ok", Json::from(true)),
+        ("bye", Json::from(true)),
+    ])
+    .to_string()
+}
+
+/// A typed failure response (parse error, rejected reload, ...).
+pub fn error_response(id: u64, error: &str) -> String {
+    Json::obj(vec![
+        ("id", Json::from(id)),
+        ("ok", Json::from(false)),
+        ("error", Json::from(error)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decision::AugmentedState;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        buf.truncate(6);
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+        let mut r = &buf[..2];
+        assert!(read_frame(&mut r).is_err(), "EOF inside header");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let buf = u32::MAX.to_be_bytes();
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let mut state = AugmentedState::zeros();
+        state.current[0][1] = 12.75;
+        state.future[5][3] = -0.125;
+        let reqs = [
+            Request::Decide {
+                id: 7,
+                deadline_ms: 50.0,
+                state: Box::new(state),
+            },
+            Request::Batch {
+                id: 8,
+                deadline_ms: f64::INFINITY,
+                states: vec![AugmentedState::zeros(), state],
+            },
+            Request::Reload {
+                id: 9,
+                dir: PathBuf::from("/tmp/ckpt"),
+            },
+            Request::Stats { id: 10 },
+            Request::Shutdown { id: 11 },
+        ];
+        for req in reqs {
+            let back = Request::parse(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn non_finite_state_slots_decode_as_nan() {
+        let mut state = AugmentedState::zeros();
+        state.current[2][2] = f64::NAN;
+        let req = Request::Decide {
+            id: 1,
+            deadline_ms: f64::INFINITY,
+            state: Box::new(state),
+        };
+        let Request::Decide { state: back, .. } = Request::parse(&req.encode()).unwrap() else {
+            panic!("wrong op");
+        };
+        assert!(back.current[2][2].is_nan(), "null round-trips to NaN");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::parse("{not json").is_err());
+        assert!(Request::parse("{\"op\":\"decide\",\"id\":1}").is_err());
+        assert!(Request::parse("{\"op\":\"nope\",\"id\":1}").is_err());
+        assert!(Request::parse("{\"op\":\"stats\"}").is_err(), "missing id");
+    }
+
+    #[test]
+    fn responses_are_stable_json() {
+        let d = Decision::shed();
+        let v = Json::parse(&decide_response(3, d)).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("tier").and_then(Json::as_str), Some("safe"));
+        assert_eq!(v.get("shed"), Some(&Json::Bool(true)));
+        let v = Json::parse(&error_response(4, "boom")).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("boom"));
+    }
+}

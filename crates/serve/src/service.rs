@@ -1,0 +1,507 @@
+//! The request-handling core behind `headd`.
+//!
+//! [`Service`] owns the decision agent, the admission controller, the
+//! degradation ladder and the hot-reload machinery, and is transport
+//! agnostic: [`Service::serve`] pumps frames from any `Read`/`Write` pair
+//! (stdin/stdout or a Unix socket connection).
+//!
+//! Determinism contract: greedy inference (`explore = false`) consumes no
+//! randomness and does not mutate weights, and responses carry no
+//! wall-clock fields. A healthy (full-tier) response stream is therefore
+//! a pure function of the weights and the request stream — the property
+//! the crash-only restart test and the CI chaos soak assert byte-for-byte.
+//! The only timing-sensitive behaviour is the deadline watchdog, which can
+//! only *degrade* tiers, never change a full-tier answer.
+
+use crate::admission::Admission;
+use crate::ladder::{DecisionLadder, ServeTier};
+use crate::protocol::{self, Decision, Request};
+use decision::{AgentConfig, AugmentedState, BpDqn, PamdpAgent};
+use head::{Checkpoint, CheckpointSource};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use telemetry::{keys, Json, Stopwatch};
+
+/// True when every slot of the augmented state is finite.
+pub fn state_is_finite(state: &AugmentedState) -> bool {
+    state
+        .current
+        .iter()
+        .chain(state.future.iter())
+        .all(|row| row.iter().all(|v| v.is_finite()))
+}
+
+/// How to build a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Agent architecture; must match the checkpoint being served.
+    pub agent: AgentConfig,
+    /// Admission capacity (observations per burst).
+    pub capacity: usize,
+    /// Checkpoint directory for initial weights and crash-only restart.
+    /// `None` serves freshly initialised weights.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            agent: AgentConfig::default(),
+            capacity: crate::admission::DEFAULT_CAPACITY,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// The serving core: agent + admission + ladder + reload.
+pub struct Service {
+    agent: Box<dyn PamdpAgent>,
+    admission: Admission,
+    ladder: DecisionLadder,
+    last_tier: ServeTier,
+    /// EWMA of observed full-inference cost, ms — the watchdog's estimate
+    /// of whether a request's budget is already lost before starting.
+    est_cost_ms: f64,
+}
+
+fn output_is_finite(accel: f64, params: &[f32; 6]) -> bool {
+    accel.is_finite() && params.iter().all(|p| p.is_finite())
+}
+
+impl Service {
+    /// Builds the service, loading weights from `cfg.checkpoint_dir` when
+    /// one exists there (via the corruption-tolerant resilient loader).
+    /// Returns which checkpoint generation supplied the weights, or `None`
+    /// for fresh weights. Fails on shape-mismatched or non-finite weights
+    /// — crash-only startup refuses to serve garbage.
+    pub fn new(cfg: ServiceConfig) -> Result<(Service, Option<CheckpointSource>), String> {
+        let mut agent: Box<dyn PamdpAgent> = Box::new(BpDqn::new(cfg.agent));
+        let mut source = None;
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if let Some((ckpt, src)) = Checkpoint::load_resilient(dir).map_err(|e| e.to_string())? {
+                if let Some(json) = &ckpt.agent_json {
+                    agent
+                        .load_json(json)
+                        .map_err(|e| format!("checkpoint weights rejected: {e}"))?;
+                    if !agent.weights_are_finite() {
+                        return Err("checkpoint weights are non-finite".to_string());
+                    }
+                    source = Some(src);
+                }
+            }
+        }
+        Ok((
+            Service {
+                agent,
+                admission: Admission::new(cfg.capacity),
+                ladder: DecisionLadder::new(),
+                last_tier: ServeTier::Full,
+                est_cost_ms: 0.0,
+            },
+            source,
+        ))
+    }
+
+    /// Current ladder staleness (0 while serving full-tier).
+    pub fn staleness(&self) -> u64 {
+        self.ladder.staleness()
+    }
+
+    /// Answers one observation within `deadline_ms`.
+    ///
+    /// The watchdog is cooperative (the daemon is single-threaded, and
+    /// threads outside `par` are forbidden): a request whose budget is
+    /// already smaller than the estimated inference cost skips inference
+    /// up front and walks the ladder; a request whose inference *measured*
+    /// over budget is counted as a deadline miss. Non-finite input or
+    /// output likewise withholds the fresh result from the ladder.
+    pub fn decide(&mut self, state: &AugmentedState, deadline_ms: f64) -> Decision {
+        telemetry::counter_add(keys::SERVE_REQUESTS, 1);
+        let sw = Stopwatch::start();
+        let fresh = if !state_is_finite(state) {
+            telemetry::counter_add(keys::SERVE_NONFINITE, 1);
+            None
+        } else if deadline_ms <= self.est_cost_ms {
+            telemetry::counter_add(keys::SERVE_DEADLINE_MISS, 1);
+            None
+        } else {
+            let (action, params) = self.agent.act(state, false);
+            if output_is_finite(action.accel, &params) {
+                Some(action)
+            } else {
+                telemetry::counter_add(keys::SERVE_NONFINITE, 1);
+                None
+            }
+        };
+        let (action, tier) = self.ladder.resolve(fresh);
+
+        let elapsed_ms = sw.elapsed().as_secs_f64() * 1e3;
+        telemetry::histogram_record(keys::SERVE_LATENCY_MS, elapsed_ms);
+        self.est_cost_ms = if self.est_cost_ms > 0.0 {
+            0.9 * self.est_cost_ms + 0.1 * elapsed_ms
+        } else {
+            elapsed_ms
+        };
+        if fresh.is_some() && elapsed_ms > deadline_ms {
+            telemetry::counter_add(keys::SERVE_DEADLINE_MISS, 1);
+        }
+
+        if tier != ServeTier::Full {
+            telemetry::counter_add(keys::SERVE_DEGRADED, 1);
+        }
+        if tier != self.last_tier {
+            telemetry::flight_record(keys::FLIGHT_SERVE_DEGRADE, f64::from(tier.rank()));
+            // Every ladder transition is dump-worthy: the ring shows what
+            // the service was doing when it changed tiers.
+            let _ = telemetry::flight_dump(keys::FLIGHT_SERVE_DEGRADE);
+            self.last_tier = tier;
+        }
+
+        Decision {
+            tier,
+            behaviour: action.behaviour.index(),
+            accel: action.accel,
+            shed: false,
+        }
+    }
+
+    fn reload_inner(&mut self, dir: &Path) -> Result<CheckpointSource, String> {
+        let (ckpt, source) = Checkpoint::load_resilient(dir)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| format!("no checkpoint found in {}", dir.display()))?;
+        let json = ckpt
+            .agent_json
+            .ok_or("checkpoint carries no agent weights")?;
+        let backup = self.agent.save_json();
+        self.agent
+            .load_json(&json)
+            .map_err(|e| format!("weights rejected: {e}"))?;
+        // Validation-forward: the swapped-in weights must be finite and
+        // must produce a finite decision on a probe state before the
+        // reload is accepted; otherwise roll back to the running set.
+        let probe_ok = self.agent.weights_are_finite() && {
+            let (action, params) = self.agent.act(&AugmentedState::zeros(), false);
+            output_is_finite(action.accel, &params)
+        };
+        if !probe_ok {
+            // The backup came from this very agent, so it always re-loads.
+            let _ = self.agent.load_json(&backup);
+            return Err("weights rejected: non-finite after load, rolled back".to_string());
+        }
+        Ok(source)
+    }
+
+    /// Atomically swaps weights from a checkpoint directory. On any
+    /// failure — unreadable or corrupt checkpoint, shape mismatch,
+    /// non-finite weights — the running weights stay in service and the
+    /// rejection is counted and flight-dumped.
+    pub fn reload(&mut self, dir: &Path) -> Result<CheckpointSource, String> {
+        match self.reload_inner(dir) {
+            Ok(source) => {
+                telemetry::counter_add(keys::SERVE_RELOAD_OK, 1);
+                Ok(source)
+            }
+            Err(e) => {
+                telemetry::counter_add(keys::SERVE_RELOAD_REJECTED, 1);
+                telemetry::flight_record(keys::FLIGHT_SERVE_ROLLBACK, 1.0);
+                let _ = telemetry::flight_dump(keys::FLIGHT_SERVE_ROLLBACK);
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshot of every `serve.*` counter.
+    pub fn stats(&self) -> Json {
+        let counters = [
+            keys::SERVE_REQUESTS,
+            keys::SERVE_SHED,
+            keys::SERVE_DEGRADED,
+            keys::SERVE_TIER_REPLAY,
+            keys::SERVE_TIER_SAFE,
+            keys::SERVE_NONFINITE,
+            keys::SERVE_DEADLINE_MISS,
+            keys::SERVE_RELOAD_OK,
+            keys::SERVE_RELOAD_REJECTED,
+        ];
+        Json::Obj(
+            counters
+                .iter()
+                .map(|k| (k.to_string(), Json::from(telemetry::counter_value(k))))
+                .collect(),
+        )
+    }
+
+    /// Handles one request payload. Returns the response payload and
+    /// whether the serve loop should stop (`shutdown`). Every frame gets
+    /// an answer — malformed ones a typed error.
+    pub fn handle(&mut self, text: &str) -> (String, bool) {
+        let req = match Request::parse(text) {
+            Ok(req) => req,
+            Err(e) => return (protocol::error_response(0, &e), false),
+        };
+        match req {
+            Request::Decide {
+                id,
+                deadline_ms,
+                state,
+            } => (
+                protocol::decide_response(id, self.decide(&state, deadline_ms)),
+                false,
+            ),
+            Request::Batch {
+                id,
+                deadline_ms,
+                states,
+            } => {
+                let outcome = self.admission.admit(states.len());
+                let mut results = Vec::with_capacity(states.len());
+                for state in states.iter().take(outcome.admitted) {
+                    results.push(self.decide(state, deadline_ms));
+                }
+                for _ in 0..outcome.shed {
+                    telemetry::counter_add(keys::SERVE_REQUESTS, 1);
+                    results.push(Decision::shed());
+                }
+                (protocol::batch_response(id, &results), false)
+            }
+            Request::Reload { id, dir } => match self.reload(&dir) {
+                Ok(source) => (protocol::reload_response(id, source.as_str()), false),
+                Err(e) => (protocol::error_response(id, &e), false),
+            },
+            Request::Stats { id } => (protocol::stats_response(id, self.stats()), false),
+            Request::Shutdown { id } => (protocol::shutdown_response(id), true),
+        }
+    }
+
+    /// Pumps frames until EOF or a `shutdown` request. Returns `true` when
+    /// the loop ended on `shutdown` (the daemon should exit), `false` on a
+    /// clean EOF (a socket client disconnected).
+    pub fn serve(&mut self, r: &mut impl Read, w: &mut impl Write) -> io::Result<bool> {
+        while let Some(text) = protocol::read_frame(r)? {
+            let (response, shutdown) = self.handle(&text);
+            protocol::write_frame(w, &response)?;
+            if shutdown {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decision::LaneBehaviour;
+
+    fn fresh_service(capacity: usize) -> Service {
+        let cfg = ServiceConfig {
+            capacity,
+            ..ServiceConfig::default()
+        };
+        Service::new(cfg).expect("fresh service").0
+    }
+
+    fn nan_state() -> AugmentedState {
+        let mut s = AugmentedState::zeros();
+        s.current[0][0] = f64::NAN;
+        s
+    }
+
+    #[test]
+    fn healthy_request_is_full_tier_and_deterministic() {
+        let mut a = fresh_service(8);
+        let mut b = fresh_service(8);
+        let state = AugmentedState::zeros();
+        let da = a.decide(&state, f64::INFINITY);
+        let db = b.decide(&state, f64::INFINITY);
+        assert_eq!(da.tier, ServeTier::Full);
+        assert_eq!(da, db, "same weights + same request = same answer");
+        assert!(da.accel.is_finite());
+    }
+
+    #[test]
+    fn non_finite_state_walks_the_ladder() {
+        let mut svc = fresh_service(8);
+        let _ = svc.decide(&AugmentedState::zeros(), f64::INFINITY);
+        let d = svc.decide(&nan_state(), f64::INFINITY);
+        assert_eq!(d.tier, ServeTier::Replay, "first stale step replays");
+        for _ in 0..crate::REPLAY_LIMIT {
+            let _ = svc.decide(&nan_state(), f64::INFINITY);
+        }
+        let d = svc.decide(&nan_state(), f64::INFINITY);
+        assert_eq!(d.tier, ServeTier::Safe);
+        assert_eq!(d.behaviour, LaneBehaviour::Keep.index());
+        assert_eq!(d.accel, crate::SAFE_DECEL);
+    }
+
+    #[test]
+    fn zero_deadline_preempts_inference_deterministically() {
+        let mut svc = fresh_service(8);
+        let d = svc.decide(&AugmentedState::zeros(), 0.0);
+        assert_eq!(d.tier, ServeTier::Safe, "no budget, no history → safe");
+        let d = svc.decide(&AugmentedState::zeros(), f64::INFINITY);
+        assert_eq!(d.tier, ServeTier::Full, "recovers immediately");
+    }
+
+    #[test]
+    fn batch_overflow_sheds_typed_responses() {
+        let mut svc = fresh_service(2);
+        let req = Request::Batch {
+            id: 5,
+            deadline_ms: f64::INFINITY,
+            states: vec![AugmentedState::zeros(); 5],
+        };
+        let (resp, stop) = svc.handle(&req.encode());
+        assert!(!stop);
+        let v = Json::parse(&resp).unwrap();
+        let Some(Json::Arr(results)) = v.get("results") else {
+            panic!("no results: {resp}");
+        };
+        assert_eq!(results.len(), 5, "every offered state is answered");
+        let shed: Vec<bool> = results
+            .iter()
+            .map(|r| r.get("shed") == Some(&Json::Bool(true)))
+            .collect();
+        assert_eq!(shed, [false, false, true, true, true], "tail is shed");
+        for r in &results[2..] {
+            assert_eq!(r.get("tier").and_then(Json::as_str), Some("safe"));
+            assert_eq!(
+                r.get("accel").and_then(Json::as_f64),
+                Some(crate::SAFE_DECEL)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_frame_gets_a_typed_error() {
+        let mut svc = fresh_service(8);
+        let (resp, stop) = svc.handle("{broken");
+        assert!(!stop);
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert!(v.get("error").is_some());
+    }
+
+    #[test]
+    fn serve_loop_answers_every_frame_and_stops_on_shutdown() {
+        let mut svc = fresh_service(8);
+        let mut input = Vec::new();
+        let decide = Request::Decide {
+            id: 1,
+            deadline_ms: f64::INFINITY,
+            state: Box::new(AugmentedState::zeros()),
+        };
+        protocol::write_frame(&mut input, &decide.encode()).unwrap();
+        protocol::write_frame(&mut input, &Request::Stats { id: 2 }.encode()).unwrap();
+        protocol::write_frame(&mut input, &Request::Shutdown { id: 3 }.encode()).unwrap();
+        let mut out = Vec::new();
+        let stopped = svc.serve(&mut input.as_slice(), &mut out).unwrap();
+        assert!(stopped, "shutdown ends the loop");
+        let mut r = out.as_slice();
+        for expect_id in [1.0, 2.0, 3.0] {
+            let frame = read_frame_text(&mut r);
+            let v = Json::parse(&frame).unwrap();
+            assert_eq!(v.get("id").and_then(Json::as_f64), Some(expect_id));
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        }
+    }
+
+    fn read_frame_text(r: &mut &[u8]) -> String {
+        protocol::read_frame(r).unwrap().expect("frame present")
+    }
+
+    #[test]
+    fn reload_swaps_weights_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("serve-reload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A checkpoint from a differently seeded agent: reload must change
+        // the decision function.
+        let donor = BpDqn::new(AgentConfig {
+            seed: 99,
+            ..AgentConfig::default()
+        });
+        Checkpoint {
+            episode: 0,
+            episodes: vec![],
+            agent_json: Some(donor.save_json()),
+            exploration_steps: 0,
+            injector: None,
+        }
+        .save(&dir)
+        .expect("save checkpoint");
+
+        let mut svc = fresh_service(8);
+        let mut probe = AugmentedState::zeros();
+        probe.current[0][0] = 0.5;
+        let before = svc.decide(&probe, f64::INFINITY);
+        let source = svc.reload(&dir).expect("reload ok");
+        assert_eq!(source, CheckpointSource::Current);
+        let after = svc.decide(&probe, f64::INFINITY);
+        assert!(
+            before.accel != after.accel || before.behaviour != after.behaviour,
+            "reload changed the decision function"
+        );
+
+        // A shape-mismatched checkpoint is rejected and the running
+        // weights keep serving.
+        let wide = BpDqn::new(AgentConfig {
+            hidden: 96,
+            ..AgentConfig::default()
+        });
+        Checkpoint {
+            episode: 0,
+            episodes: vec![],
+            agent_json: Some(wide.save_json()),
+            exploration_steps: 0,
+            injector: None,
+        }
+        .save(&dir)
+        .expect("save mismatched");
+        let err = svc.reload(&dir).expect_err("mismatch rejected");
+        assert!(err.contains("rejected"), "typed rejection: {err}");
+        let post = svc.decide(&probe, f64::INFINITY);
+        assert_eq!(post, after, "running weights untouched by rejection");
+
+        // A corrupt checkpoint directory is rejected the same way.
+        std::fs::write(dir.join(head::CHECKPOINT_FILE), "{garbage").expect("corrupt");
+        std::fs::remove_file(dir.join(head::CHECKPOINT_PREV_FILE)).expect("drop prev");
+        assert!(svc.reload(&dir).is_err());
+        let post2 = svc.decide(&probe, f64::INFINITY);
+        assert_eq!(post2, after);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_from_checkpoint_matches_donor() {
+        let dir = std::env::temp_dir().join(format!("serve-boot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut donor = BpDqn::new(AgentConfig {
+            seed: 4242,
+            ..AgentConfig::default()
+        });
+        Checkpoint {
+            episode: 0,
+            episodes: vec![],
+            agent_json: Some(donor.save_json()),
+            exploration_steps: 0,
+            injector: None,
+        }
+        .save(&dir)
+        .expect("save");
+        let (mut svc, source) = Service::new(ServiceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .expect("boot");
+        assert_eq!(source, Some(CheckpointSource::Current));
+        let mut probe = AugmentedState::zeros();
+        probe.current[1][2] = -0.25;
+        let (expect, _) = donor.act(&probe, false);
+        let got = svc.decide(&probe, f64::INFINITY);
+        assert_eq!(got.behaviour, expect.behaviour.index());
+        assert_eq!(got.accel, expect.accel, "served weights == donor weights");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

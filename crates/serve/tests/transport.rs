@@ -1,0 +1,237 @@
+//! Transport-level coverage for `headd`: hot reload over the wire, typed
+//! shed/degraded responses, the stats op, and the Unix-socket listener.
+
+use decision::{AgentConfig, AugmentedState, BpDqn, PamdpAgent};
+use head::Checkpoint;
+use serve::Request;
+use std::io::Read;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use telemetry::Json;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("headd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write_checkpoint(dir: &Path, seed: u64) {
+    let agent = BpDqn::new(AgentConfig {
+        seed,
+        ..AgentConfig::default()
+    });
+    Checkpoint {
+        episode: 0,
+        episodes: vec![],
+        agent_json: Some(agent.save_json()),
+        exploration_steps: 0,
+        injector: None,
+    }
+    .save(dir)
+    .expect("save checkpoint");
+}
+
+fn spawn_headd(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_headd"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn headd")
+}
+
+fn roundtrip(child: &mut Child, req: &Request) -> Json {
+    let stdin = child.stdin.as_mut().expect("stdin piped");
+    serve::write_frame(stdin, &req.encode()).expect("write frame");
+    let stdout = child.stdout.as_mut().expect("stdout piped");
+    parse(read_one(stdout))
+}
+
+fn read_one(r: &mut impl Read) -> String {
+    serve::read_frame(r).expect("read frame").expect("response")
+}
+
+fn parse(text: String) -> Json {
+    Json::parse(&text).expect("response is JSON")
+}
+
+fn probe() -> Box<AugmentedState> {
+    let mut s = AugmentedState::zeros();
+    s.current[0][1] = 1.5;
+    s.future[2][0] = -0.75;
+    Box::new(s)
+}
+
+fn decide(id: u64) -> Request {
+    Request::Decide {
+        id,
+        deadline_ms: f64::INFINITY,
+        state: probe(),
+    }
+}
+
+#[test]
+fn hot_reload_swaps_weights_and_rolls_back_on_garbage() {
+    let boot = temp_dir("reload-boot");
+    let next = temp_dir("reload-next");
+    write_checkpoint(&boot, 1);
+    write_checkpoint(&next, 2);
+    let boot_flag = boot.display().to_string();
+    let mut child = spawn_headd(&["--checkpoint", boot_flag.as_str()]);
+
+    let before = roundtrip(&mut child, &decide(1));
+    assert_eq!(before.get("tier").and_then(Json::as_str), Some("full"));
+
+    let resp = roundtrip(
+        &mut child,
+        &Request::Reload {
+            id: 2,
+            dir: next.clone(),
+        },
+    );
+    assert_eq!(resp.get("reloaded"), Some(&Json::Bool(true)));
+    assert_eq!(resp.get("source").and_then(Json::as_str), Some("current"));
+    let after = roundtrip(&mut child, &decide(3));
+    assert_ne!(
+        before.get("accel"),
+        after.get("accel"),
+        "reload changed the served weights"
+    );
+
+    // Corrupt checkpoint: typed rejection, weights keep serving.
+    std::fs::write(next.join(head::CHECKPOINT_FILE), "{oops").expect("corrupt");
+    let _ = std::fs::remove_file(next.join(head::CHECKPOINT_PREV_FILE));
+    let resp = roundtrip(
+        &mut child,
+        &Request::Reload {
+            id: 4,
+            dir: next.clone(),
+        },
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert!(resp.get("error").is_some());
+    let post = roundtrip(&mut child, &decide(5));
+    assert_eq!(
+        after.get("accel"),
+        post.get("accel"),
+        "rejected reload left the running weights untouched"
+    );
+
+    // Stats reflect the reload outcomes.
+    let stats = roundtrip(&mut child, &Request::Stats { id: 6 });
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("serve.reload.ok").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(
+        counters.get("serve.reload.rejected").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(
+        counters.get("serve.requests").and_then(Json::as_f64),
+        Some(3.0)
+    );
+
+    let bye = roundtrip(&mut child, &Request::Shutdown { id: 7 });
+    assert_eq!(bye.get("bye"), Some(&Json::Bool(true)));
+    assert!(child.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&boot);
+    let _ = std::fs::remove_dir_all(&next);
+}
+
+#[test]
+fn degradation_and_shedding_are_typed_over_the_wire() {
+    let mut child = spawn_headd(&["--capacity", "2"]);
+
+    // Non-finite observation after a healthy one → replay tier.
+    let healthy = roundtrip(&mut child, &decide(1));
+    assert_eq!(healthy.get("tier").and_then(Json::as_str), Some("full"));
+    let mut bad = AugmentedState::zeros();
+    bad.current[3][2] = f64::NAN;
+    let degraded = roundtrip(
+        &mut child,
+        &Request::Decide {
+            id: 2,
+            deadline_ms: f64::INFINITY,
+            state: Box::new(bad),
+        },
+    );
+    assert_eq!(degraded.get("tier").and_then(Json::as_str), Some("replay"));
+
+    // Zero budget → deterministic preemptive degrade.
+    let preempted = roundtrip(
+        &mut child,
+        &Request::Decide {
+            id: 3,
+            deadline_ms: 0.0,
+            state: probe(),
+        },
+    );
+    assert_ne!(preempted.get("tier").and_then(Json::as_str), Some("full"));
+
+    // Burst over capacity → explicit shed tail with safe actions.
+    let burst = roundtrip(
+        &mut child,
+        &Request::Batch {
+            id: 4,
+            deadline_ms: f64::INFINITY,
+            states: vec![AugmentedState::zeros(); 5],
+        },
+    );
+    let Some(Json::Arr(results)) = burst.get("results") else {
+        panic!("results missing: {burst:?}");
+    };
+    assert_eq!(results.len(), 5, "every burst slot answered");
+    let shed_count = results
+        .iter()
+        .filter(|r| r.get("shed") == Some(&Json::Bool(true)))
+        .count();
+    assert_eq!(shed_count, 3);
+
+    let stats = roundtrip(&mut child, &Request::Stats { id: 5 });
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(counters.get("serve.shed").and_then(Json::as_f64), Some(3.0));
+    assert!(counters.get("serve.degraded").and_then(Json::as_f64) >= Some(2.0));
+
+    let bye = roundtrip(&mut child, &Request::Shutdown { id: 6 });
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    assert!(child.wait().expect("wait").success());
+}
+
+#[test]
+fn unix_socket_serves_across_reconnects() {
+    let dir = temp_dir("socket");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let sock = dir.join("headd.sock");
+    let sock_flag = sock.display().to_string();
+    let mut child = spawn_headd(&["--socket", sock_flag.as_str()]);
+
+    // Wait for the listener to come up.
+    let mut stream = loop {
+        match UnixStream::connect(&sock) {
+            Ok(s) => break s,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    };
+    serve::write_frame(&mut stream, &decide(1).encode()).expect("send");
+    let first = parse(read_one(&mut stream));
+    assert_eq!(first.get("tier").and_then(Json::as_str), Some("full"));
+    drop(stream); // Disconnect: the daemon must keep listening.
+
+    let mut stream = UnixStream::connect(&sock).expect("reconnect");
+    serve::write_frame(&mut stream, &decide(2).encode()).expect("send");
+    let second = parse(read_one(&mut stream));
+    assert_eq!(
+        first.get("accel"),
+        second.get("accel"),
+        "same state, same weights, same answer across connections"
+    );
+    serve::write_frame(&mut stream, &Request::Shutdown { id: 3 }.encode()).expect("send");
+    let bye = parse(read_one(&mut stream));
+    assert_eq!(bye.get("bye"), Some(&Json::Bool(true)));
+    assert!(child.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -117,6 +117,25 @@ pub const PAR_RUNS: &str = "par.runs";
 pub const PAR_JOBS: &str = "par.jobs";
 /// Worker panics caught by `par::Pool` and surfaced as errors.
 pub const PAR_WORKER_PANICS: &str = "par.worker_panics";
+/// Decision requests received by the `headd` service.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Requests shed by the admission controller (bounded queue overflow).
+pub const SERVE_SHED: &str = "serve.shed";
+/// Responses served from a degraded ladder tier (replay or safe).
+pub const SERVE_DEGRADED: &str = "serve.degraded";
+/// Degraded responses served by replaying the last valid action.
+pub const SERVE_TIER_REPLAY: &str = "serve.tier.replay";
+/// Degraded responses served by the rule-based safe fallback.
+pub const SERVE_TIER_SAFE: &str = "serve.tier.safe";
+/// Full-inference outputs rejected for being non-finite.
+pub const SERVE_NONFINITE: &str = "serve.nonfinite";
+/// Requests whose full inference overran the deadline budget.
+pub const SERVE_DEADLINE_MISS: &str = "serve.deadline_miss";
+/// Weight hot-reloads that validated and were committed.
+pub const SERVE_RELOAD_OK: &str = "serve.reload.ok";
+/// Weight hot-reloads rejected (corrupt/mismatched/non-finite) and rolled
+/// back to the serving weights.
+pub const SERVE_RELOAD_REJECTED: &str = "serve.reload.rejected";
 
 // --- Dynamic counter prefixes -------------------------------------------
 
@@ -150,6 +169,8 @@ pub const DECISION_Q_LOSS: &str = "decision.q_loss";
 pub const DECISION_X_LOSS: &str = "decision.x_loss";
 /// Per-minibatch perception training loss.
 pub const PERCEPTION_BATCH_LOSS: &str = "perception.batch_loss";
+/// Per-request decision latency of the `headd` service, ms.
+pub const SERVE_LATENCY_MS: &str = "serve.latency_ms";
 
 // --- JSONL event kinds --------------------------------------------------
 
@@ -174,6 +195,12 @@ pub const FLIGHT_NONFINITE_RESTORE: &str = "flight.nonfinite_restore";
 pub const FLIGHT_CHECKSUM_DIVERGENCE: &str = "flight.checksum_divergence";
 /// The process panicked with a flight recorder installed.
 pub const FLIGHT_PANIC: &str = "flight.panic";
+/// The serve admission controller shed part of a request burst.
+pub const FLIGHT_SERVE_SHED: &str = "flight.serve_shed";
+/// The serve degradation ladder moved to a worse tier.
+pub const FLIGHT_SERVE_DEGRADE: &str = "flight.serve_degrade";
+/// A weight hot-reload was rejected and rolled back.
+pub const FLIGHT_SERVE_ROLLBACK: &str = "flight.serve_rollback";
 
 /// Every registered key, for runtime validation and report tooling.
 /// (The `headlint` unused-key check works from the `pub const` items
@@ -228,6 +255,15 @@ pub const ALL: &[&str] = &[
     PAR_RUNS,
     PAR_JOBS,
     PAR_WORKER_PANICS,
+    SERVE_REQUESTS,
+    SERVE_SHED,
+    SERVE_DEGRADED,
+    SERVE_TIER_REPLAY,
+    SERVE_TIER_SAFE,
+    SERVE_NONFINITE,
+    SERVE_DEADLINE_MISS,
+    SERVE_RELOAD_OK,
+    SERVE_RELOAD_REJECTED,
     NN_FWD_PREFIX,
     NN_BWD_PREFIX,
     SIM_VEHICLES,
@@ -239,6 +275,7 @@ pub const ALL: &[&str] = &[
     DECISION_Q_LOSS,
     DECISION_X_LOSS,
     PERCEPTION_BATCH_LOSS,
+    SERVE_LATENCY_MS,
     EVENT_EPISODE,
     EVENT_RESUME,
     EVENT_PHASE,
@@ -248,6 +285,9 @@ pub const ALL: &[&str] = &[
     FLIGHT_NONFINITE_RESTORE,
     FLIGHT_CHECKSUM_DIVERGENCE,
     FLIGHT_PANIC,
+    FLIGHT_SERVE_SHED,
+    FLIGHT_SERVE_DEGRADE,
+    FLIGHT_SERVE_ROLLBACK,
 ];
 
 #[cfg(test)]

@@ -66,6 +66,23 @@ test -f results/BENCH_core.json
 grep -q '"perf"' results/trends.jsonl
 echo "   archived: results/BENCH_parallel.json results/BENCH_core.json results/trends.jsonl"
 
+echo "== serve chaos soak (heavy faults, hot-reload + kill/restart) =="
+# The soak drives >=1k framed requests through a real headd child under the
+# heavy fault profile, hot-reloads weights mid-run, SIGKILLs the daemon and
+# restarts it from the reloaded checkpoint. The binary itself exits 1 on
+# any unanswered request, an unclean daemon exit (panic), a divergent
+# post-restart byte stream, or a degradation count that does not match the
+# deterministic fault schedule. The greps re-require the all-clear lines so
+# a silent early exit cannot pass.
+run_cargo build -q -p serve --bin headd
+SERVE_OUT=$(run_cargo run -q -p bench --bin serve -- \
+    --faults heavy --json results/BENCH_serve.json --trends results/trends.jsonl)
+echo "$SERVE_OUT" | grep -q "all requests answered: true"
+echo "$SERVE_OUT" | grep -q "restart byte-identical: true"
+test -f results/BENCH_serve.json
+grep -q '"serve"' results/trends.jsonl
+echo "   archived: results/BENCH_serve.json"
+
 echo "== benchdiff regression gate =="
 # Sanity first: identical inputs must diff clean, and a synthetic 4x
 # wall-time + checksum regression must trip the gate — otherwise the gate
@@ -90,6 +107,11 @@ run_cargo run -q -p bench --bin benchdiff -- \
 run_cargo run -q -p bench --bin benchdiff -- \
     --base results/baseline/BENCH_core.json --cand results/BENCH_core.json \
     --time-tol 9.0 --json results/benchdiff_core.json
-echo "   archived: results/benchdiff_parallel.json results/benchdiff_core.json"
+# The serve soak gates the same way: latency bands are wide, but the
+# degradation counters, shed counts and byte-identity flags are exact.
+run_cargo run -q -p bench --bin benchdiff -- \
+    --base results/baseline/BENCH_serve.json --cand results/BENCH_serve.json \
+    --time-tol 9.0 --json results/benchdiff_serve.json
+echo "   archived: results/benchdiff_parallel.json results/benchdiff_core.json results/benchdiff_serve.json"
 
 echo "CI OK"

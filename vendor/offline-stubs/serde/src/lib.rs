@@ -110,6 +110,24 @@ impl fmt::Display for DeError {
 
 impl std::error::Error for DeError {}
 
+/// Mirror of real serde's `serde::de` module surface used by the
+/// workspace: the `Error` trait with its `custom` constructor, so code can
+/// build a deserialization error from a message under both the real crate
+/// and this stub.
+pub mod de {
+    /// Mirror of `serde::de::Error` (the `custom` constructor only).
+    pub trait Error {
+        /// Builds an error carrying `msg`.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::DeError::new(msg.to_string())
+        }
+    }
+}
+
 /// Conversion into the stub's `Value` tree.
 pub trait Serialize {
     fn ser(&self) -> Value;

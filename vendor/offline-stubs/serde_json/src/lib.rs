@@ -31,6 +31,12 @@ impl From<DeError> for Error {
     }
 }
 
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
 /// Encodes a value as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(value.ser().to_string())
