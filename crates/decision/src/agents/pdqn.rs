@@ -238,7 +238,7 @@ impl PamdpAgent for PDqn {
     }
 
     fn save_json(&self) -> String {
-        // lint:allow(panic) serde_json::to_string on an in-memory store of names and floats cannot fail
+        // lint:allow(panic, serve-reachability) serde_json::to_string on an in-memory store of names and floats cannot fail, even when reload snapshots it
         serde_json::to_string(&(&self.x_store, &self.q_store)).expect("serialisable")
     }
 

@@ -49,7 +49,7 @@ impl LaneBehaviour {
             0 => LaneBehaviour::Left,
             1 => LaneBehaviour::Right,
             2 => LaneBehaviour::Keep,
-            // lint:allow(panic) callers index with argmax over NUM_BEHAVIOURS network heads
+            // lint:allow(panic, serve-reachability) callers index with argmax over NUM_BEHAVIOURS network heads
             _ => panic!("behaviour index {i} out of range"),
         }
     }

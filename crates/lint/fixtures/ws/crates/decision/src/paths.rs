@@ -1,0 +1,19 @@
+// Seeded workspace-rule violations, callee side. `jitter` is the
+// nondeterminism source reached from traffic_sim::Simulation::step
+// (determinism-taint), and `risky_answer` is the panic/indexing payload
+// reached from serve::Handler::handle (serve-reachability). `zombie` is
+// the only reference to ZOMBIE_KEY and nothing calls it, so the key is
+// registered-but-dead (telemetry-liveness).
+
+pub fn jitter() -> bool {
+    std::env::var("HEAD_JITTER").is_ok()
+}
+
+pub fn risky_answer(v: &[f64]) -> f64 {
+    let first = v.first().copied().unwrap();
+    first + v[0]
+}
+
+pub fn zombie() {
+    telemetry::counter_add(keys::ZOMBIE_KEY, 1);
+}

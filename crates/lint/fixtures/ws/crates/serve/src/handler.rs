@@ -1,7 +1,10 @@
-// Seeded violation for the serve-no-graph-new rule: building a tape in a
-// constructor is fine elsewhere (graph-churn sanctions `fn new`), but in
-// crates/serve it still puts arena construction inside the daemon.
+// Seeded violations in the serve crate: building a tape in a constructor
+// is fine elsewhere (graph-churn sanctions `fn new`), but in crates/serve
+// it still puts arena construction inside the daemon
+// (serve-no-graph-new), and `handle` reaches decision::risky_answer's
+// unwrap across the crate boundary (serve-reachability).
 
+use decision::risky_answer;
 use nn::Graph;
 
 pub struct Handler {
@@ -13,5 +16,9 @@ impl Handler {
         Handler {
             tape: Graph::new(),
         }
+    }
+
+    pub fn handle(&self, v: &[f64]) -> f64 {
+        risky_answer(v)
     }
 }

@@ -4,3 +4,6 @@
 pub const GOOD_KEY: &str = "sim.good";
 /// Never referenced anywhere: must be reported as an unused key.
 pub const DEAD_KEY: &str = "sim.dead";
+/// Referenced only from decision::zombie, which no live root reaches:
+/// must be reported as registered-but-dead (telemetry-liveness).
+pub const ZOMBIE_KEY: &str = "sim.zombie";

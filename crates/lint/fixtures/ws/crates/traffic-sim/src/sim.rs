@@ -1,0 +1,17 @@
+// Seeded determinism-taint violation, sink side: `Simulation::step` is a
+// checksum-gated sink, and it calls across the crate boundary into
+// decision::jitter, which reads an environment variable. The taint pass
+// must report the env read with the two-crate call chain.
+
+use decision::jitter;
+
+pub struct Simulation {
+    pub tick: u64,
+}
+
+impl Simulation {
+    pub fn step(&mut self) {
+        self.tick += 1;
+        jitter();
+    }
+}

@@ -2,27 +2,34 @@
 //!
 //! ```text
 //! headlint [--root DIR] [--json] [--json-out FILE] [--telemetry DIR]
+//!          [--threads N] [--cache FILE] [--sarif-out FILE] [--github]
 //!          [--deny RULE]... [--list-rules] [PATH...]
 //! ```
 //!
-//! With no PATHs, walks `crates/*/src` and `crates/*/tests` under the
-//! root (default: current directory). Exit codes: 0 clean, 1 violations,
-//! 2 usage or I/O error.
+//! With no PATHs, walks `crates/*/{src,tests,benches}`, `examples/` and
+//! the root `tests/` under the root (default: current directory).
+//! `--threads N` fans per-file analysis across a `par::Pool` (output is
+//! byte-identical at any thread count); `--cache FILE` keeps a
+//! content-hash incremental cache between runs. Exit codes: 0 clean,
+//! 1 violations, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lint::{run, Options, RULES};
+use lint::{github_annotations, run, to_sarif, Options, RULES};
 
 struct Cli {
     opts: Options,
     json_stdout: bool,
     json_out: Option<PathBuf>,
+    sarif_out: Option<PathBuf>,
+    github: bool,
     list_rules: bool,
 }
 
 fn usage() -> String {
     "usage: headlint [--root DIR] [--json] [--json-out FILE] [--telemetry DIR] \
+     [--threads N] [--cache FILE] [--sarif-out FILE] [--github] \
      [--deny RULE]... [--list-rules] [PATH...]"
         .to_string()
 }
@@ -33,9 +40,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             root: PathBuf::from("."),
             paths: Vec::new(),
             deny: Vec::new(),
+            threads: 1,
+            cache: None,
         },
         json_stdout: false,
         json_out: None,
+        sarif_out: None,
+        github: false,
         list_rules: false,
     };
     let mut it = args.iter();
@@ -60,6 +71,27 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .ok_or_else(|| format!("--telemetry needs a value\n{}", usage()))?;
                 cli.json_out = Some(PathBuf::from(v).join("lint_report.json"));
             }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--threads needs a value\n{}", usage()))?;
+                cli.opts.threads = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--threads needs an integer, got `{v}`"))?;
+            }
+            "--cache" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--cache needs a value\n{}", usage()))?;
+                cli.opts.cache = Some(PathBuf::from(v));
+            }
+            "--sarif-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--sarif-out needs a value\n{}", usage()))?;
+                cli.sarif_out = Some(PathBuf::from(v));
+            }
+            "--github" => cli.github = true,
             "--deny" => {
                 let v = it
                     .next()
@@ -115,6 +147,22 @@ fn main() -> ExitCode {
             eprintln!("headlint: write {}: {e}", path.display());
             return ExitCode::from(2);
         }
+    }
+    if let Some(path) = &cli.sarif_out {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("headlint: create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let text = format!("{}\n", to_sarif(&report));
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("headlint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if cli.github {
+        print!("{}", github_annotations(&report));
     }
     if cli.json_stdout {
         println!("{}", report.to_json(&root));

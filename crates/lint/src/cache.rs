@@ -1,0 +1,463 @@
+//! Content-hash incremental cache for per-file analysis.
+//!
+//! Per-file work (lexing, the per-file passes, item extraction) dominates
+//! a lint run, and its result depends only on the file's bytes plus a
+//! small amount of global state: the rule set and the `telemetry::keys`
+//! registry (key references are resolved against it at extraction time).
+//! So the cache maps `path → (content hash, FileFacts)` and carries one
+//! global *salt* — a hash of the cache format version, every rule name,
+//! and the keys.rs source. Any salt mismatch discards the whole cache;
+//! any per-file hash mismatch re-analyses that file only.
+//!
+//! Workspace passes (suppression, the call-graph rules) are replayed on
+//! every run from the cached facts, so cross-file effects — an
+//! `unused-allow` that appears because *another* file changed, a taint
+//! path that grew a new hop — can never go stale. Cached and fresh facts
+//! are byte-identical by construction, which keeps warm-cache lint output
+//! identical to cold-cache output.
+//!
+//! Serialisation rides on `telemetry::Json`. Hashes are hex strings
+//! (JSON numbers are f64 and would silently round u64 hashes); lines and
+//! columns are plain numbers (far below 2^53).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use telemetry::Json;
+
+use crate::engine::FileFacts;
+use crate::items::{CallKind, CallRef, FileItems, FnItem, Site};
+use crate::passes::{rule, Diagnostic, Severity, RULES};
+use crate::source::Allow;
+
+/// Bumped whenever FileFacts serialisation or pass semantics change.
+pub const CACHE_VERSION: u64 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice — the same family the `par` checksum gates
+/// use; collisions only cost a spurious re-analysis.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The global cache salt: format version + rule list + keys.rs source.
+pub fn salt(keys_src: &str) -> u64 {
+    let mut acc = String::new();
+    acc.push_str(&CACHE_VERSION.to_string());
+    for r in RULES {
+        acc.push('\n');
+        acc.push_str(r.name);
+    }
+    acc.push('\n');
+    acc.push_str(keys_src);
+    fnv64(acc.as_bytes())
+}
+
+/// A loaded cache: path → facts (each carrying its content hash).
+#[derive(Default)]
+pub struct Cache {
+    entries: BTreeMap<String, FileFacts>,
+}
+
+impl Cache {
+    /// Loads the cache at `path`. Any error — missing file, parse
+    /// failure, salt mismatch — yields an empty cache: the cache is an
+    /// accelerator, never a correctness input.
+    pub fn load(path: &Path, expected_salt: u64) -> Cache {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let Ok(json) = Json::parse(&text) else {
+            return Cache::default();
+        };
+        if json.get("salt").and_then(Json::as_str) != Some(hex(expected_salt).as_str()) {
+            return Cache::default();
+        }
+        let mut entries = BTreeMap::new();
+        if let Some(Json::Arr(files)) = json.get("files") {
+            for f in files {
+                if let Some(facts) = facts_from_json(f) {
+                    entries.insert(facts.path.clone(), facts);
+                }
+            }
+        }
+        Cache { entries }
+    }
+
+    /// The cached facts for `path` when its content hash still matches.
+    pub fn lookup(&self, path: &str, hash: u64) -> Option<FileFacts> {
+        self.entries.get(path).filter(|f| f.hash == hash).cloned()
+    }
+
+    /// Writes a fresh cache holding `facts` under the given salt.
+    pub fn save(path: &Path, cache_salt: u64, facts: &[FileFacts]) -> Result<(), String> {
+        let files: Vec<Json> = facts.iter().map(facts_to_json).collect();
+        let doc = Json::obj(vec![
+            ("version", Json::from(CACHE_VERSION)),
+            ("salt", Json::from(hex(cache_salt))),
+            ("files", Json::Arr(files)),
+        ]);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+            }
+        }
+        fs::write(path, doc.to_string()).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+}
+
+fn hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn from_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn u32_of(j: Option<&Json>) -> Option<u32> {
+    let v = j?.as_f64()?;
+    if !(0.0..=f64::from(u32::MAX)).contains(&v) {
+        return None;
+    }
+    // An exact integer survives the u32 round-trip; anything fractional
+    // (or NaN, rejected by the range check) does not.
+    let n = v as u32;
+    if f64::from(n) == v {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+fn str_of(j: Option<&Json>) -> Option<String> {
+    j?.as_str().map(str::to_string)
+}
+
+fn bool_of(j: Option<&Json>) -> Option<bool> {
+    match j? {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn str_arr(j: Option<&Json>) -> Option<Vec<String>> {
+    match j? {
+        Json::Arr(items) => items.iter().map(|i| str_of(Some(i))).collect(),
+        _ => None,
+    }
+}
+
+fn site_to_json(s: &Site) -> Json {
+    Json::Arr(vec![
+        Json::from(u64::from(s.line)),
+        Json::from(u64::from(s.col)),
+        Json::from(s.what.as_str()),
+    ])
+}
+
+fn site_from_json(j: &Json) -> Option<Site> {
+    let Json::Arr(parts) = j else { return None };
+    Some(Site {
+        line: u32_of(parts.first())?,
+        col: u32_of(parts.get(1))?,
+        what: str_of(parts.get(2))?,
+    })
+}
+
+fn facts_to_json(f: &FileFacts) -> Json {
+    let diags: Vec<Json> = f
+        .diags
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("r", Json::from(d.rule)),
+                ("s", Json::from(d.severity.label())),
+                ("l", Json::from(u64::from(d.line))),
+                ("c", Json::from(u64::from(d.col))),
+                ("m", Json::from(d.message.as_str())),
+            ])
+        })
+        .collect();
+    let allows: Vec<Json> = f
+        .allows
+        .iter()
+        .map(|a| {
+            Json::obj(vec![
+                (
+                    "rules",
+                    Json::Arr(a.rules.iter().map(|r| Json::from(r.as_str())).collect()),
+                ),
+                ("reason", Json::from(a.reason.as_str())),
+                ("dline", Json::from(u64::from(a.directive_line))),
+                ("aline", Json::from(u64::from(a.applies_line))),
+            ])
+        })
+        .collect();
+    let fns: Vec<Json> = f
+        .items
+        .fns
+        .iter()
+        .map(|fun| {
+            let calls: Vec<Json> = fun
+                .calls
+                .iter()
+                .map(|c| {
+                    Json::Arr(vec![
+                        Json::from(c.kind.tag()),
+                        Json::from(c.name.as_str()),
+                        Json::from(c.qual.as_str()),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("name", Json::from(fun.name.as_str())),
+                ("qual", Json::from(fun.qual.as_str())),
+                ("line", Json::from(u64::from(fun.line))),
+                ("test", Json::Bool(fun.is_test)),
+                ("calls", Json::Arr(calls)),
+                (
+                    "panic",
+                    Json::Arr(fun.panic_sites.iter().map(site_to_json).collect()),
+                ),
+                (
+                    "index",
+                    Json::Arr(fun.index_sites.iter().map(site_to_json).collect()),
+                ),
+                (
+                    "src",
+                    Json::Arr(fun.source_sites.iter().map(site_to_json).collect()),
+                ),
+                (
+                    "keys",
+                    Json::Arr(
+                        fun.key_refs
+                            .iter()
+                            .map(|k| Json::from(k.as_str()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("path", Json::from(f.path.as_str())),
+        ("crate", Json::from(f.crate_name.as_str())),
+        ("hash", Json::from(hex(f.hash))),
+        ("diags", Json::Arr(diags)),
+        ("allows", Json::Arr(allows)),
+        ("fns", Json::Arr(fns)),
+        (
+            "fsrc",
+            Json::Arr(f.items.file_sources.iter().map(site_to_json).collect()),
+        ),
+        (
+            "topkeys",
+            Json::Arr(
+                f.items
+                    .top_key_refs
+                    .iter()
+                    .map(|k| Json::from(k.as_str()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn facts_from_json(j: &Json) -> Option<FileFacts> {
+    let path = str_of(j.get("path"))?;
+    let crate_name = str_of(j.get("crate"))?;
+    let hash = from_hex(&str_of(j.get("hash"))?)?;
+
+    let Some(Json::Arr(raw_diags)) = j.get("diags") else {
+        return None;
+    };
+    let mut diags = Vec::with_capacity(raw_diags.len());
+    for d in raw_diags {
+        let name = str_of(d.get("r"))?;
+        // Diagnostic.rule is &'static str: resolve through the rule table;
+        // an unknown name means a stale/foreign cache — reject the entry.
+        let rule_name = rule(&name)?.name;
+        let severity = match str_of(d.get("s"))?.as_str() {
+            "error" => Severity::Error,
+            "warning" => Severity::Warn,
+            _ => return None,
+        };
+        diags.push(Diagnostic {
+            rule: rule_name,
+            severity,
+            file: path.clone(),
+            line: u32_of(d.get("l"))?,
+            col: u32_of(d.get("c"))?,
+            message: str_of(d.get("m"))?,
+        });
+    }
+
+    let Some(Json::Arr(raw_allows)) = j.get("allows") else {
+        return None;
+    };
+    let mut allows = Vec::with_capacity(raw_allows.len());
+    for a in raw_allows {
+        allows.push(Allow {
+            rules: str_arr(a.get("rules"))?,
+            reason: str_of(a.get("reason"))?,
+            directive_line: u32_of(a.get("dline"))?,
+            applies_line: u32_of(a.get("aline"))?,
+            used: false,
+        });
+    }
+
+    let Some(Json::Arr(raw_fns)) = j.get("fns") else {
+        return None;
+    };
+    let mut fns = Vec::with_capacity(raw_fns.len());
+    for f in raw_fns {
+        let Some(Json::Arr(raw_calls)) = f.get("calls") else {
+            return None;
+        };
+        let mut calls = Vec::with_capacity(raw_calls.len());
+        for c in raw_calls {
+            let Json::Arr(parts) = c else { return None };
+            calls.push(CallRef {
+                kind: CallKind::from_tag(&str_of(parts.first())?)?,
+                name: str_of(parts.get(1))?,
+                qual: str_of(parts.get(2))?,
+            });
+        }
+        let sites = |key: &str| -> Option<Vec<Site>> {
+            match f.get(key) {
+                Some(Json::Arr(items)) => items.iter().map(site_from_json).collect(),
+                _ => None,
+            }
+        };
+        fns.push(FnItem {
+            name: str_of(f.get("name"))?,
+            qual: str_of(f.get("qual"))?,
+            line: u32_of(f.get("line"))?,
+            is_test: bool_of(f.get("test"))?,
+            calls,
+            panic_sites: sites("panic")?,
+            index_sites: sites("index")?,
+            source_sites: sites("src")?,
+            key_refs: str_arr(f.get("keys"))?,
+        });
+    }
+
+    let file_sources = match j.get("fsrc") {
+        Some(Json::Arr(items)) => items.iter().map(site_from_json).collect::<Option<_>>()?,
+        _ => return None,
+    };
+
+    Some(FileFacts {
+        path,
+        crate_name,
+        hash,
+        diags,
+        allows,
+        items: FileItems {
+            fns,
+            file_sources,
+            top_key_refs: str_arr(j.get("topkeys"))?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyse_source;
+    use crate::passes::Context;
+    use crate::registry::KeyRegistry;
+
+    fn sample_facts() -> FileFacts {
+        let ctx = Context::new(KeyRegistry::parse("pub const GOOD: &str = \"sim.good\";\n"));
+        analyse_source(
+            "crates/decision/src/a.rs".to_string(),
+            "decision".to_string(),
+            "use std::collections::HashMap;\nimpl W {\n    // lint:allow(panic) demo\n    pub fn go(&self) {\n        helper().unwrap();\n        let x = v[0];\n        counter_add(GOOD, 1);\n        decision::pick();\n    }\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { go(); }\n}\n",
+            &ctx,
+        )
+    }
+
+    fn assert_facts_eq(a: &FileFacts, b: &FileFacts) {
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.crate_name, b.crate_name);
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(a.diags.len(), b.diags.len());
+        for (x, y) in a.diags.iter().zip(&b.diags) {
+            assert_eq!(
+                (x.rule, x.severity, &x.file, x.line, x.col, &x.message),
+                (y.rule, y.severity, &y.file, y.line, y.col, &y.message)
+            );
+        }
+        assert_eq!(a.allows.len(), b.allows.len());
+        for (x, y) in a.allows.iter().zip(&b.allows) {
+            assert_eq!(x.rules, y.rules);
+            assert_eq!(x.reason, y.reason);
+            assert_eq!(x.directive_line, y.directive_line);
+            assert_eq!(x.applies_line, y.applies_line);
+        }
+        assert_eq!(a.items.fns.len(), b.items.fns.len());
+        for (x, y) in a.items.fns.iter().zip(&b.items.fns) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.items.file_sources, b.items.file_sources);
+        assert_eq!(a.items.top_key_refs, b.items.top_key_refs);
+    }
+
+    #[test]
+    fn facts_round_trip_through_json() {
+        let facts = sample_facts();
+        let json = facts_to_json(&facts);
+        let parsed = Json::parse(&json.to_string()).expect("valid json");
+        let back = facts_from_json(&parsed).expect("deserialises");
+        assert_facts_eq(&facts, &back);
+    }
+
+    #[test]
+    fn cache_survives_save_and_load() {
+        let facts = sample_facts();
+        let dir = std::env::temp_dir().join(format!("headlint-cache-test-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let s = salt("pub const GOOD: &str = \"sim.good\";\n");
+        Cache::save(&path, s, std::slice::from_ref(&facts)).expect("save");
+        let cache = Cache::load(&path, s);
+        let hit = cache.lookup(&facts.path, facts.hash).expect("hit");
+        assert_facts_eq(&facts, &hit);
+        assert!(
+            cache.lookup(&facts.path, facts.hash ^ 1).is_none(),
+            "content change misses"
+        );
+        let stale = Cache::load(&path, s ^ 1);
+        assert!(
+            stale.lookup(&facts.path, facts.hash).is_none(),
+            "salt change discards everything"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_loads_empty() {
+        let dir = std::env::temp_dir().join(format!("headlint-cache-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cache.json");
+        std::fs::write(&path, "{ not json").expect("write");
+        let cache = Cache::load(&path, 1);
+        assert!(cache.lookup("x", 1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_spread() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_ne!(salt("x"), salt("y"));
+    }
+}

@@ -1,0 +1,525 @@
+//! Workspace symbol table and over-approximate call graph.
+//!
+//! Built from the per-file [`FileItems`] summaries, the graph has one
+//! node per `fn` item and a directed edge for every call reference that
+//! *might* target that item. Resolution is name-based (see `items.rs` for
+//! the spelling classification) and then narrowed two ways:
+//!
+//! 1. **Impl scoping** — `Type::f(..)`, `self.f(..)` and `Self::f(..)`
+//!    only link to fns inside `impl Type` blocks.
+//! 2. **Crate-dependency scoping** — an edge from crate A to crate B only
+//!    exists when B appears in A's (transitive) Cargo.toml dependencies,
+//!    parsed by [`dep_map_from_manifests`]. With an empty dependency map
+//!    (unit tests, the seeded fixture workspace) every crate is in scope.
+//!
+//! Reachability queries return a BFS parent forest so diagnostics can
+//! print the actual call chain that connects a finding to its root.
+
+use crate::items::{CallKind, FileItems, FnItem};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Transitive dependency map: crate name → crates it may call into
+/// (underscore-normalised, includes dev-dependencies).
+pub type DepMap = BTreeMap<String, BTreeSet<String>>;
+
+/// One file's contribution to the graph.
+pub struct FileUnit<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Crate directory name (empty for root `examples/` and `tests/`).
+    pub crate_name: &'a str,
+    /// Extracted items.
+    pub items: &'a FileItems,
+}
+
+/// One `fn` node.
+pub struct Node<'a> {
+    /// Path of the defining file.
+    pub path: &'a str,
+    /// Crate of the defining file.
+    pub crate_name: &'a str,
+    /// The extracted item.
+    pub item: &'a FnItem,
+    /// Index of the defining file in the build input.
+    pub file_idx: usize,
+    /// True for binary-like code: `src/bin/` tools and `examples/`.
+    /// These are roots for liveness but never callees of library code.
+    pub bin_like: bool,
+}
+
+/// The workspace call graph.
+pub struct Graph<'a> {
+    /// All fn nodes, in file order then source order (deterministic).
+    pub nodes: Vec<Node<'a>>,
+    /// `callees[i]` — sorted, deduplicated node indices `i` may call.
+    pub callees: Vec<Vec<usize>>,
+}
+
+/// Replaces `-` with `_` so `traffic-sim` (package name) matches
+/// `traffic_sim` (the name spelled in `use` paths).
+pub fn normalise(name: &str) -> String {
+    name.replace('-', "_")
+}
+
+/// True when `path` holds binary-like code (CLI tools and examples):
+/// allowed to read the environment and print, never a library callee.
+pub fn is_bin_like(path: &str) -> bool {
+    path.contains("/src/bin/") || path.starts_with("examples/") || path.contains("/examples/")
+}
+
+/// The module a file defines, for `module::f(..)` resolution: the file
+/// stem, with `mod.rs` taking its directory name and `lib.rs`/`main.rs`
+/// taking the crate name.
+fn module_of<'a>(path: &'a str, crate_name: &'a str) -> &'a str {
+    let stem = path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("");
+    match stem {
+        "mod" => {
+            let dir_end = path.len().saturating_sub("/mod.rs".len());
+            path[..dir_end].rsplit('/').next().unwrap_or(crate_name)
+        }
+        "lib" | "main" => crate_name,
+        s => s,
+    }
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph from per-file item summaries.
+    pub fn build(files: &[FileUnit<'a>], deps: &DepMap) -> Graph<'a> {
+        let mut nodes = Vec::new();
+        for (file_idx, fu) in files.iter().enumerate() {
+            let bin_like = is_bin_like(fu.path);
+            for item in &fu.items.fns {
+                nodes.push(Node {
+                    path: fu.path,
+                    crate_name: fu.crate_name,
+                    item,
+                    file_idx,
+                    bin_like,
+                });
+            }
+        }
+
+        // Name indexes. Keyed by owned strings to sidestep borrow checker
+        // gymnastics; the graph is built once per lint run.
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_module: BTreeMap<(String, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_crate: BTreeMap<(String, &str), Vec<usize>> = BTreeMap::new();
+        let mut crate_names: BTreeSet<String> = BTreeSet::new();
+        for (i, n) in nodes.iter().enumerate() {
+            crate_names.insert(normalise(n.crate_name));
+            let name = n.item.name.as_str();
+            if n.item.qual.is_empty() {
+                free_by_name.entry(name).or_default().push(i);
+                let module = module_of(n.path, n.crate_name);
+                free_by_module
+                    .entry((normalise(module), name))
+                    .or_default()
+                    .push(i);
+                free_by_crate
+                    .entry((normalise(n.crate_name), name))
+                    .or_default()
+                    .push(i);
+            } else {
+                methods_by_name.entry(name).or_default().push(i);
+                by_qual
+                    .entry((n.item.qual.as_str(), name))
+                    .or_default()
+                    .push(i);
+            }
+        }
+
+        let in_scope = |caller: &Node, callee: &Node| -> bool {
+            if callee.bin_like && caller.file_idx != callee.file_idx {
+                return false; // binaries and examples are never callees
+            }
+            if caller.crate_name == callee.crate_name {
+                return true;
+            }
+            if caller.crate_name.is_empty() {
+                return true; // root examples/tests may use every crate
+            }
+            if callee.crate_name.is_empty() {
+                return false;
+            }
+            if deps.is_empty() {
+                return true; // no manifest info: stay over-approximate
+            }
+            deps.get(&normalise(caller.crate_name))
+                .is_some_and(|d| d.contains(&normalise(callee.crate_name)))
+        };
+
+        let mut callees: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+        for caller in &nodes {
+            let mut out: Vec<usize> = Vec::new();
+            for call in &caller.item.calls {
+                let name = call.name.as_str();
+                let candidates: Vec<usize> = match call.kind {
+                    CallKind::Method if !call.qual.is_empty() => by_qual
+                        .get(&(call.qual.as_str(), name))
+                        .cloned()
+                        .unwrap_or_default(),
+                    CallKind::Method => methods_by_name.get(name).cloned().unwrap_or_default(),
+                    CallKind::Qualified => {
+                        // `Type::f` / `Self::f` — assoc fns of that impl.
+                        let typed = by_qual.get(&(call.qual.as_str(), name));
+                        if let Some(v) = typed {
+                            v.clone()
+                        } else if call.qual.is_empty() {
+                            // `crate::f` / `self::f` / `super::f`: free fns
+                            // of the same crate.
+                            free_by_crate
+                                .get(&(normalise(caller.crate_name), name))
+                                .cloned()
+                                .unwrap_or_default()
+                        } else if crate_names.contains(&normalise(&call.qual)) {
+                            // `other_crate::f`.
+                            free_by_crate
+                                .get(&(normalise(&call.qual), name))
+                                .cloned()
+                                .unwrap_or_default()
+                        } else {
+                            // `module::f` — free fns of that module, any
+                            // crate in scope; `std::fs::f` style paths fall
+                            // out here and simply match nothing.
+                            free_by_module
+                                .get(&(normalise(&call.qual), name))
+                                .cloned()
+                                .unwrap_or_default()
+                        }
+                    }
+                    CallKind::Bare => free_by_name.get(name).cloned().unwrap_or_default(),
+                };
+                for c in candidates {
+                    if in_scope(caller, &nodes[c]) {
+                        out.push(c);
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            callees.push(out);
+        }
+
+        Graph { nodes, callees }
+    }
+
+    /// Human-readable symbol name for node `i`: `crate::Type::fn` with the
+    /// file stem standing in for the crate outside `crates/`.
+    pub fn symbol(&self, i: usize) -> String {
+        let n = &self.nodes[i];
+        let owner = if n.crate_name.is_empty() {
+            module_of(n.path, n.crate_name)
+        } else {
+            n.crate_name
+        };
+        if n.item.qual.is_empty() {
+            format!("{}::{}", normalise(owner), n.item.name)
+        } else {
+            format!("{}::{}::{}", normalise(owner), n.item.qual, n.item.name)
+        }
+    }
+
+    /// BFS over callee edges from `roots`. Returns the parent forest:
+    /// `parent[i] = Some(p)` when `i` was reached via `p` (roots point at
+    /// themselves), `None` when unreached. Nodes rejected by `skip` are
+    /// neither visited nor traversed through. Deterministic: roots are
+    /// processed in index order and edge lists are sorted.
+    pub fn reach(&self, roots: &[usize], skip: &dyn Fn(&Node) -> bool) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for &r in &sorted_roots {
+            if !skip(&self.nodes[r]) && parent[r].is_none() {
+                parent[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.callees[u] {
+                if parent[v].is_none() && !skip(&self.nodes[v]) {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the call chain root → ... → `i` from a parent forest, as
+    /// `a::f -> b::g -> c::h`, eliding middles beyond five hops.
+    pub fn chain(&self, parent: &[Option<usize>], i: usize) -> String {
+        let mut rev = vec![i];
+        let mut cur = i;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            rev.push(p);
+            cur = p;
+            if rev.len() > 64 {
+                break; // defensive: parent forests have no cycles
+            }
+        }
+        rev.reverse();
+        let names: Vec<String> = rev.iter().map(|&n| self.symbol(n)).collect();
+        if names.len() > 5 {
+            format!(
+                "{} -> {} -> ... -> {}",
+                names[0],
+                names[1],
+                names[names.len() - 1]
+            )
+        } else {
+            names.join(" -> ")
+        }
+    }
+}
+
+/// Parses `[dependencies]` / `[dev-dependencies]` sections of workspace
+/// crate manifests into a transitively-closed [`DepMap`]. `manifests` maps
+/// crate directory name → Cargo.toml text; only dependencies naming other
+/// entries of `manifests` are kept (external crates have no graph nodes).
+pub fn dep_map_from_manifests(manifests: &[(String, String)]) -> DepMap {
+    let members: BTreeSet<String> = manifests.iter().map(|(n, _)| normalise(n)).collect();
+    let mut direct: DepMap = DepMap::new();
+    for (crate_name, toml) in manifests {
+        let mut deps: BTreeSet<String> = BTreeSet::new();
+        let mut in_deps = false;
+        for raw in toml.lines() {
+            let line = raw.trim();
+            if line.starts_with('[') {
+                in_deps = matches!(line, "[dependencies]" | "[dev-dependencies]");
+                continue;
+            }
+            if !in_deps || line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // `name = { workspace = true }`, `name.workspace = true`,
+            // `name = "1.0"` all start with the dependency name.
+            let name: String = line
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            let name = normalise(&name);
+            if members.contains(&name) {
+                deps.insert(name);
+            }
+        }
+        direct.insert(normalise(crate_name), deps);
+    }
+    // Transitive closure: a fn in crate A may (over hops) end up calling
+    // anything A's dependencies can call.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot = direct.clone();
+        for deps in direct.values_mut() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for d in deps.iter() {
+                if let Some(dd) = snapshot.get(d) {
+                    add.extend(dd.iter().cloned());
+                }
+            }
+            let before = deps.len();
+            deps.extend(add);
+            changed |= deps.len() != before;
+        }
+    }
+    direct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::extract;
+    use crate::registry::KeyRegistry;
+    use crate::source::SourceFile;
+
+    fn items_for(path: &str, src: &str) -> FileItems {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        let f = SourceFile::analyse(path.into(), crate_name, src);
+        extract(&f, &KeyRegistry::parse(""))
+    }
+
+    fn graph_of<'a>(files: &'a [(String, String, FileItems)], deps: &DepMap) -> Graph<'a> {
+        let units: Vec<FileUnit<'a>> = files
+            .iter()
+            .map(|(p, c, items)| FileUnit {
+                path: p,
+                crate_name: c,
+                items,
+            })
+            .collect();
+        Graph::build(&units, deps)
+    }
+
+    fn file(path: &str, src: &str) -> (String, String, FileItems) {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        (path.to_string(), crate_name, items_for(path, src))
+    }
+
+    fn idx(g: &Graph, name: &str) -> usize {
+        (0..g.nodes.len())
+            .find(|&i| g.nodes[i].item.name == name)
+            .unwrap_or_else(|| panic!("no node named {name}"))
+    }
+
+    #[test]
+    fn bare_calls_link_to_free_fns_across_crates() {
+        let files = vec![
+            file("crates/a/src/lib.rs", "pub fn top() { helper(); }\n"),
+            file("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ];
+        let g = graph_of(&files, &DepMap::new());
+        assert_eq!(g.callees[idx(&g, "top")], vec![idx(&g, "helper")]);
+    }
+
+    #[test]
+    fn dep_scoping_cuts_edges_to_non_dependencies() {
+        let files = vec![
+            file("crates/a/src/lib.rs", "pub fn top() { helper(); }\n"),
+            file("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ];
+        let manifests = vec![
+            ("a".to_string(), "[dependencies]\nc = \"1\"\n".to_string()),
+            ("b".to_string(), String::new()),
+            ("c".to_string(), String::new()),
+        ];
+        let deps = dep_map_from_manifests(&manifests);
+        let g = graph_of(&files, &deps);
+        assert!(g.callees[idx(&g, "top")].is_empty(), "b is not a dep of a");
+    }
+
+    #[test]
+    fn typed_calls_restrict_to_the_impl() {
+        let files = vec![file(
+            "crates/a/src/lib.rs",
+            "pub struct P;\nimpl P {\n    pub fn new() -> P { P }\n}\npub struct Q;\nimpl Q {\n    pub fn new() -> Q { Q }\n}\npub fn go() { P::new(); }\n",
+        )];
+        let g = graph_of(&files, &DepMap::new());
+        let go = idx(&g, "go");
+        assert_eq!(g.callees[go].len(), 1);
+        assert_eq!(g.nodes[g.callees[go][0]].item.qual, "P");
+    }
+
+    #[test]
+    fn unqualified_method_calls_fan_out_to_all_impls() {
+        let files = vec![
+            file(
+                "crates/a/src/lib.rs",
+                "pub fn go(x: &X) { x.act(); }\npub struct A;\nimpl A { pub fn act(&self) {} }\n",
+            ),
+            file(
+                "crates/b/src/lib.rs",
+                "pub struct B;\nimpl B { pub fn act(&self) {} }\n",
+            ),
+        ];
+        let g = graph_of(&files, &DepMap::new());
+        assert_eq!(g.callees[idx(&g, "go")].len(), 2, "over-approximate");
+    }
+
+    #[test]
+    fn module_qualified_calls_scope_to_the_file() {
+        let files = vec![
+            file("crates/a/src/lib.rs", "pub fn go() { util::run(); }\n"),
+            file("crates/a/src/util.rs", "pub fn run() {}\n"),
+            file("crates/a/src/other.rs", "pub fn run() {}\n"),
+        ];
+        let g = graph_of(&files, &DepMap::new());
+        let go = idx(&g, "go");
+        assert_eq!(g.callees[go].len(), 1);
+        assert_eq!(g.nodes[g.callees[go][0]].path, "crates/a/src/util.rs");
+    }
+
+    #[test]
+    fn hyphened_crate_names_match_underscored_paths() {
+        let files = vec![
+            file(
+                "crates/a/src/lib.rs",
+                "pub fn go() { traffic_sim::step_world(); }\n",
+            ),
+            file("crates/traffic-sim/src/lib.rs", "pub fn step_world() {}\n"),
+        ];
+        let g = graph_of(&files, &DepMap::new());
+        assert_eq!(g.callees[idx(&g, "go")], vec![idx(&g, "step_world")]);
+    }
+
+    #[test]
+    fn bin_like_files_are_roots_not_callees() {
+        let files = vec![
+            file(
+                "crates/a/src/lib.rs",
+                "pub fn helper() {}\npub fn go() { main(); }\n",
+            ),
+            file("crates/a/src/bin/tool.rs", "pub fn main() { helper(); }\n"),
+        ];
+        let g = graph_of(&files, &DepMap::new());
+        let main_i = idx(&g, "main");
+        assert!(g.nodes[main_i].bin_like);
+        assert_eq!(g.callees[main_i], vec![idx(&g, "helper")]);
+        assert!(g.callees[idx(&g, "go")].is_empty(), "no edges INTO bins");
+    }
+
+    #[test]
+    fn reach_skips_and_reports_parents() {
+        let files = vec![file(
+            "crates/a/src/lib.rs",
+            "pub fn root() { mid(); }\npub fn mid() { leaf(); }\npub fn leaf() {}\npub fn island() {}\n",
+        )];
+        let g = graph_of(&files, &DepMap::new());
+        let (r, m, l, i) = (
+            idx(&g, "root"),
+            idx(&g, "mid"),
+            idx(&g, "leaf"),
+            idx(&g, "island"),
+        );
+        let parent = g.reach(&[r], &|_| false);
+        assert_eq!(parent[r], Some(r));
+        assert_eq!(parent[m], Some(r));
+        assert_eq!(parent[l], Some(m));
+        assert_eq!(parent[i], None);
+        assert_eq!(g.chain(&parent, l), "a::root -> a::mid -> a::leaf");
+        let cut = g.reach(&[r], &|n| n.item.name == "mid");
+        assert_eq!(cut[l], None, "skip() prunes traversal");
+    }
+
+    #[test]
+    fn dep_map_parses_workspace_syntax_and_closes_transitively() {
+        let manifests = vec![
+            (
+                "serve".to_string(),
+                "[package]\nname = \"serve\"\n[dependencies]\ntelemetry = { workspace = true }\nhead.workspace = true\n[dev-dependencies]\npar = { workspace = true }\n".to_string(),
+            ),
+            (
+                "head".to_string(),
+                "[dependencies]\nnn = { workspace = true }\ntraffic-sim = { workspace = true }\n".to_string(),
+            ),
+            ("nn".to_string(), "[dependencies]\ntelemetry = { workspace = true }\n".to_string()),
+            ("telemetry".to_string(), String::new()),
+            ("traffic-sim".to_string(), String::new()),
+            ("par".to_string(), String::new()),
+        ];
+        let deps = dep_map_from_manifests(&manifests);
+        let serve = deps.get("serve").expect("serve entry");
+        for d in ["telemetry", "head", "par", "nn", "traffic_sim"] {
+            assert!(serve.contains(d), "serve should transitively reach {d}");
+        }
+        assert!(!deps.get("nn").expect("nn").contains("head"));
+    }
+}

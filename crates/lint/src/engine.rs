@@ -1,35 +1,74 @@
-//! The lint driver: workspace walking, pass execution, allow-directive
-//! suppression and the final [`Report`].
+//! The lint driver: workspace walking, per-file analysis (parallel,
+//! cached), workspace passes, allow-directive suppression and the final
+//! [`Report`].
 //!
 //! The filesystem layer ([`run`]) collects `.rs` files under
-//! `crates/*/src` and `crates/*/tests` (or an explicit path list),
-//! loads the `telemetry::keys` registry, and hands everything to the pure
-//! core [`lint_files`], which is what the unit tests exercise.
+//! `crates/*/{benches,src,tests}` plus the root `examples/` and `tests/`
+//! directories (or an explicit path list), loads the `telemetry::keys`
+//! registry and the crate manifests (for call-graph dependency scoping),
+//! then maps [`analyse_source`] over the files — through `par::Pool`, so
+//! a multi-threaded lint run is byte-identical to a serial one, and
+//! through the content-hash [`crate::cache::Cache`] when enabled. The
+//! pure core [`lint_facts`] (and its [`lint_files`] convenience wrapper)
+//! is what the unit tests exercise.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use telemetry::Json;
 
-use crate::passes::{check_unused_keys, run_file_passes, Context, Diagnostic, Severity};
+use crate::cache::{fnv64, salt, Cache};
+use crate::callgraph::dep_map_from_manifests;
+use crate::items::{extract, FileItems};
+use crate::passes::{run_file_passes, Context, Diagnostic, Severity};
 use crate::registry::KeyRegistry;
-use crate::source::SourceFile;
+use crate::source::{Allow, SourceFile};
+use crate::taint::run_workspace_passes;
 
 /// What to lint and how strictly.
 pub struct Options {
     /// Workspace root (the directory holding `crates/`).
     pub root: PathBuf,
     /// Explicit files or directories to lint instead of the whole
-    /// workspace. Empty means walk `crates/*/src` and `crates/*/tests`.
+    /// workspace. Empty means the default walk (see module docs).
     pub paths: Vec<PathBuf>,
     /// Rules whose warnings are promoted to errors.
     pub deny: Vec<String>,
+    /// Worker threads for per-file analysis. Any value produces
+    /// byte-identical output (ordered reduction); 0/1 run serially.
+    pub threads: usize,
+    /// Incremental cache file; `None` disables caching.
+    pub cache: Option<PathBuf>,
+}
+
+/// Everything the workspace passes need to know about one analysed file:
+/// its raw (pre-suppression) per-file diagnostics, its allow directives,
+/// and its extracted items. This — not [`SourceFile`] — is the unit the
+/// incremental cache stores, so it deliberately holds no token stream.
+#[derive(Clone, Debug)]
+pub struct FileFacts {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate directory name under `crates/` (empty outside `crates/`).
+    pub crate_name: String,
+    /// FNV-1a hash of the source bytes (cache key).
+    pub hash: u64,
+    /// Raw per-file diagnostics, before allow suppression.
+    pub diags: Vec<Diagnostic>,
+    /// Parsed allow directives (suppression is replayed every run).
+    pub allows: Vec<Allow>,
+    /// Extracted items for the call-graph passes.
+    pub items: FileItems,
 }
 
 /// The outcome of a lint run.
 pub struct Report {
     /// Number of files analysed.
     pub files: usize,
+    /// Files served from the incremental cache (0 when caching is off).
+    pub cache_hits: usize,
+    /// Files analysed from scratch.
+    pub cache_misses: usize,
     /// All diagnostics, sorted by file, line, column, rule.
     pub diags: Vec<Diagnostic>,
 }
@@ -101,22 +140,51 @@ impl Report {
     }
 }
 
-/// Pure lint core: runs every pass over the analysed files, applies allow
-/// directives, emits directive hygiene diagnostics, promotes `deny` rules
-/// and sorts the result.
-pub fn lint_files(mut files: Vec<SourceFile>, ctx: &Context, deny: &[String]) -> Vec<Diagnostic> {
-    let mut raw = Vec::new();
-    for f in &files {
-        run_file_passes(f, ctx, &mut raw);
+/// Analyses one source file into its cacheable facts: per-file pass
+/// diagnostics, allow directives, extracted items, content hash.
+pub fn analyse_source(path: String, crate_name: String, src: &str, ctx: &Context) -> FileFacts {
+    let hash = fnv64(src.as_bytes());
+    facts_of(SourceFile::analyse(path, crate_name, src), ctx, hash)
+}
+
+fn facts_of(f: SourceFile, ctx: &Context, hash: u64) -> FileFacts {
+    let mut diags = Vec::new();
+    run_file_passes(&f, ctx, &mut diags);
+    let items = extract(&f, &ctx.keys);
+    FileFacts {
+        path: f.path,
+        crate_name: f.crate_name,
+        hash,
+        diags,
+        allows: f.allows,
+        items,
     }
-    check_unused_keys(&files, ctx, &mut raw);
+}
+
+/// Convenience wrapper over [`lint_facts`] for callers holding analysed
+/// [`SourceFile`]s (the unit tests, mostly).
+pub fn lint_files(files: Vec<SourceFile>, ctx: &Context, deny: &[String]) -> Vec<Diagnostic> {
+    let facts = files.into_iter().map(|f| facts_of(f, ctx, 0)).collect();
+    lint_facts(facts, ctx, deny)
+}
+
+/// Pure lint core: takes per-file facts (fresh or cached — they are
+/// identical by construction), runs the workspace passes, applies allow
+/// directives, emits directive hygiene diagnostics, promotes `deny`
+/// rules and sorts the result.
+pub fn lint_facts(mut facts: Vec<FileFacts>, ctx: &Context, deny: &[String]) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for f in &facts {
+        raw.extend(f.diags.iter().cloned());
+    }
+    run_workspace_passes(&facts, ctx, &mut raw);
 
     // Allow-directive suppression: a diagnostic on a line covered by a
     // directive naming its rule is dropped, and the directive is marked
     // used. `allow-no-reason` itself cannot be allowed away.
     let mut diags = Vec::new();
     for d in raw {
-        let suppressed = files
+        let suppressed = facts
             .iter_mut()
             .find(|f| f.path == d.file)
             .and_then(|f| {
@@ -134,7 +202,7 @@ pub fn lint_files(mut files: Vec<SourceFile>, ctx: &Context, deny: &[String]) ->
     }
 
     // Directive hygiene: reasons are mandatory; stale directives are noise.
-    for f in &files {
+    for f in &facts {
         for a in &f.allows {
             if a.reason.is_empty() {
                 diags.push(Diagnostic {
@@ -199,31 +267,68 @@ pub fn run(opts: &Options) -> Result<Report, String> {
         paths.sort();
     }
 
-    let mut files = Vec::new();
+    let keys_path = opts.root.join("crates/telemetry/src/keys.rs");
+    let keys_src = fs::read_to_string(&keys_path).unwrap_or_default();
+    let ctx = Context {
+        keys: KeyRegistry::parse(&keys_src),
+        deps: dep_map_from_manifests(&read_manifests(&opts.root)?),
+    };
+
+    // Per-file analysis, in parallel behind the incremental cache. The
+    // cache key is (path, content hash) under a salt covering the rule
+    // set and keys.rs — anything else that could change a file's facts.
+    let cache_salt = salt(&keys_src);
+    let cache = match &opts.cache {
+        Some(p) => Cache::load(p, cache_salt),
+        None => Cache::default(),
+    };
+    let mut inputs = Vec::with_capacity(paths.len());
     for p in &paths {
         let src = fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
         let rel = rel_path(&opts.root, p);
         let crate_name = crate_of(&rel);
-        files.push(SourceFile::analyse(rel, crate_name, &src));
+        inputs.push((rel, crate_name, src));
+    }
+    let pool = par::Pool::new(opts.threads.max(1));
+    let results: Vec<(FileFacts, bool)> = pool
+        .try_map(inputs, |_, (rel, crate_name, src)| {
+            let hash = fnv64(src.as_bytes());
+            match cache.lookup(&rel, hash) {
+                Some(facts) => (facts, true),
+                None => (analyse_source(rel, crate_name, &src, &ctx), false),
+            }
+        })
+        .map_err(|e| format!("lint worker pool: {e}"))?;
+    let cache_hits = results.iter().filter(|(_, hit)| *hit).count();
+    let cache_misses = results.len() - cache_hits;
+    let facts: Vec<FileFacts> = results.into_iter().map(|(f, _)| f).collect();
+    if let Some(p) = &opts.cache {
+        Cache::save(p, cache_salt, &facts)?;
     }
 
-    let keys_path = opts.root.join("crates/telemetry/src/keys.rs");
-    let keys = match fs::read_to_string(&keys_path) {
-        Ok(src) => KeyRegistry::parse(&src),
-        Err(_) => KeyRegistry::default(),
-    };
-    let ctx = Context { keys };
-
-    let count = files.len();
-    let diags = lint_files(files, &ctx, &opts.deny);
+    let count = facts.len();
+    telemetry::counter_add(telemetry::keys::LINT_FILES, count as u64);
+    telemetry::counter_add(telemetry::keys::LINT_CACHE_HITS, cache_hits as u64);
+    telemetry::counter_add(telemetry::keys::LINT_CACHE_MISSES, cache_misses as u64);
+    let diags = lint_facts(facts, &ctx, &opts.deny);
     Ok(Report {
         files: count,
+        cache_hits,
+        cache_misses,
         diags,
     })
 }
 
-/// Collects `.rs` files under every `crates/*/src` and `crates/*/tests`,
-/// in sorted order.
+/// The default workspace walk, exposed so the coverage test can assert it
+/// visits every `.rs` file the repo holds.
+pub fn workspace_paths(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    collect_workspace(root, &mut out)?;
+    Ok(out)
+}
+
+/// Collects `.rs` files under every `crates/*/{benches,src,tests}` plus
+/// the root `examples/` and `tests/` directories, in sorted order.
 fn collect_workspace(root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let crates = root.join("crates");
     let mut crate_dirs = Vec::new();
@@ -236,14 +341,46 @@ fn collect_workspace(root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> 
     }
     crate_dirs.sort();
     for dir in crate_dirs {
-        for sub in ["src", "tests"] {
+        for sub in ["benches", "src", "tests"] {
             let d = dir.join(sub);
             if d.is_dir() {
                 collect_rs(&d, out)?;
             }
         }
     }
+    for sub in ["examples", "tests"] {
+        let d = root.join(sub);
+        if d.is_dir() {
+            collect_rs(&d, out)?;
+        }
+    }
     Ok(())
+}
+
+/// Reads every `crates/*/Cargo.toml` as (crate directory name, contents),
+/// for call-graph dependency scoping.
+fn read_manifests(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let crates = root.join("crates");
+    let mut manifests = Vec::new();
+    let Ok(entries) = fs::read_dir(&crates) else {
+        return Ok(manifests); // no crates/ at all: explicit-path lint runs
+    };
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            manifests.push((name, text));
+        }
+    }
+    Ok(manifests)
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted per directory.
@@ -284,9 +421,7 @@ mod tests {
     use super::*;
 
     fn ctx() -> Context {
-        Context {
-            keys: KeyRegistry::default(),
-        }
+        Context::new(KeyRegistry::default())
     }
 
     fn file(path: &str, src: &str) -> SourceFile {
@@ -339,7 +474,12 @@ mod tests {
     fn report_counts_and_json_shape() {
         let f = file("crates/nn/src/a.rs", "fn f() { x.unwrap(); let y = v[0]; }");
         let diags = lint_files(vec![f], &ctx(), &[]);
-        let report = Report { files: 1, diags };
+        let report = Report {
+            files: 1,
+            cache_hits: 0,
+            cache_misses: 1,
+            diags,
+        };
         assert_eq!(report.errors(), 1);
         assert_eq!(report.warnings(), 1);
         let json = report.to_json("/ws");

@@ -1,0 +1,589 @@
+//! A lightweight item parser: the bridge from one file's token stream to
+//! the workspace call graph.
+//!
+//! [`extract`] walks a [`SourceFile`] once and produces a [`FileItems`]
+//! summary: every `fn` item (with the `impl` type that owns it, when
+//! any), the *call references* its body makes, and the marker sites the
+//! cross-file passes care about — panic sites, direct-indexing sites,
+//! nondeterminism sources, and references to `telemetry::keys` constants.
+//!
+//! There is no type inference and no real name resolution (the build
+//! container cannot reach the registry for `syn`), so calls are matched
+//! by name with whatever qualifier the call site spells:
+//!
+//! * `foo(..)`            → [`CallKind::Bare`] — free functions named `foo`
+//! * `x.foo(..)`          → [`CallKind::Method`] — any `impl` fn named `foo`
+//! * `self.foo(..)`       → method scoped to the enclosing `impl` type
+//! * `Type::foo(..)`      → method scoped to `impl Type`
+//! * `module::foo(..)`    → free fn scoped to that crate or module
+//!
+//! The resulting graph is deliberately **over-approximate**: an edge that
+//! might exist is recorded, so reachability answers "provably cannot
+//! reach" questions (the direction the determinism-taint and
+//! serve-reachability rules need) at the cost of occasional
+//! false-positive paths, which carry reason-bearing `lint:allow`s.
+//! Turbofish call sites (`foo::<T>(..)`) are the one known blind spot.
+
+use crate::lexer::TokKind;
+use crate::registry::KeyRegistry;
+use crate::source::SourceFile;
+
+/// How a call site spells its target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(..)` — a free function.
+    Bare,
+    /// `x.foo(..)` — a method on some receiver.
+    Method,
+    /// `Qual::foo(..)` — qualified by a type or module path segment.
+    Qualified,
+}
+
+impl CallKind {
+    /// Stable single-letter tag used by the cache serialisation.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CallKind::Bare => "b",
+            CallKind::Method => "m",
+            CallKind::Qualified => "q",
+        }
+    }
+
+    /// Inverse of [`CallKind::tag`].
+    pub fn from_tag(tag: &str) -> Option<CallKind> {
+        match tag {
+            "b" => Some(CallKind::Bare),
+            "m" => Some(CallKind::Method),
+            "q" => Some(CallKind::Qualified),
+            _ => None,
+        }
+    }
+}
+
+/// One call reference inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallRef {
+    /// Spelling of the call site.
+    pub kind: CallKind,
+    /// Called function name (last path segment).
+    pub name: String,
+    /// Qualifier: the `impl` type for `self.`/`Self::`/`Type::` calls,
+    /// the module/crate segment for `module::` calls, empty when the
+    /// call carries no usable qualifier.
+    pub qual: String,
+}
+
+/// One marker location inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What the marker is (`.unwrap()`, `HashMap`, `env::var`, ...).
+    pub what: String,
+}
+
+/// One `fn` item and everything the workspace passes need to know about
+/// its body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Owning `impl` type, empty for free functions.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the item sits in test-only code (or a tests/benches
+    /// directory, which is fully masked).
+    pub is_test: bool,
+    /// Call references made by the body.
+    pub calls: Vec<CallRef>,
+    /// `unwrap`/`expect`/panic-macro sites.
+    pub panic_sites: Vec<Site>,
+    /// Direct slice/map indexing sites.
+    pub index_sites: Vec<Site>,
+    /// Nondeterminism sources (wall clock, OS entropy, env reads, hash
+    /// collections, `thread::current`).
+    pub source_sites: Vec<Site>,
+    /// `telemetry::keys` constant names referenced by the body.
+    pub key_refs: Vec<String>,
+}
+
+/// Per-file item summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FileItems {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Nondeterminism-source markers outside any `fn` body (`use`
+    /// declarations, struct fields holding hash collections). These taint
+    /// every function of the file: without type inference, a field of
+    /// hash-collection type may feed any method.
+    pub file_sources: Vec<Site>,
+    /// `telemetry::keys` constant names referenced outside any `fn` body
+    /// (static tables and the like) — always treated as live.
+    pub top_key_refs: Vec<String>,
+}
+
+/// Identifiers that look like calls but are control-flow or item keywords.
+const NON_CALL_KEYWORDS: [&str; 24] = [
+    "if", "else", "match", "while", "for", "loop", "return", "fn", "let", "mut", "ref", "move",
+    "as", "in", "where", "impl", "use", "pub", "mod", "struct", "enum", "trait", "type", "const",
+];
+
+/// Hash-ordered container types whose presence marks a potential
+/// nondeterministic iteration.
+const HASH_CONTAINERS: [&str; 3] = ["HashMap", "HashSet", "RandomState"];
+
+/// What an open brace belongs to, tracked on a scope stack.
+enum ScopeKind {
+    /// `impl Type { ... }` — owns the type name.
+    Impl(String),
+    /// `fn name(..) { ... }` — owns the index into `FileItems::fns`.
+    Fn(usize),
+    /// Any other brace (mod, match, struct literal, block, ...).
+    Other,
+}
+
+/// Extracts the item summary for one analysed file. `keys` supplies the
+/// registered constant names for key-reference tracking.
+pub fn extract(f: &SourceFile, keys: &KeyRegistry) -> FileItems {
+    let toks = &f.toks;
+    let mut items = FileItems::default();
+    // Braces whose opening token index starts a known scope.
+    let mut scope_openers: std::collections::BTreeMap<usize, ScopeKind> =
+        std::collections::BTreeMap::new();
+    let mut stack: Vec<ScopeKind> = Vec::new();
+    let key_names: std::collections::BTreeSet<&str> =
+        keys.consts().iter().map(|k| k.name.as_str()).collect();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some((type_name, open)) = impl_header(f, i) {
+                scope_openers.insert(open, ScopeKind::Impl(type_name));
+            }
+        } else if t.is_ident("fn") {
+            if let Some(n) = toks.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    let qual = stack
+                        .iter()
+                        .rev()
+                        .find_map(|s| match s {
+                            ScopeKind::Impl(ty) => Some(ty.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_default();
+                    let item = FnItem {
+                        name: n.text.clone(),
+                        qual,
+                        line: t.line,
+                        is_test: f.is_test(i),
+                        ..FnItem::default()
+                    };
+                    let idx = items.fns.len();
+                    items.fns.push(item);
+                    if let Some(open) = fn_body_open(f, i + 2) {
+                        scope_openers.insert(open, ScopeKind::Fn(idx));
+                    }
+                }
+            }
+        }
+
+        if t.is_punct("{") {
+            stack.push(scope_openers.remove(&i).unwrap_or(ScopeKind::Other));
+        } else if t.is_punct("}") {
+            stack.pop();
+        }
+
+        let enclosing_fn = stack.iter().rev().find_map(|s| match s {
+            ScopeKind::Fn(idx) => Some(*idx),
+            _ => None,
+        });
+        let enclosing_impl = stack.iter().rev().find_map(|s| match s {
+            ScopeKind::Impl(ty) => Some(ty.as_str()),
+            _ => None,
+        });
+        scan_token(f, i, enclosing_fn, enclosing_impl, &key_names, &mut items);
+        i += 1;
+    }
+
+    for fun in &mut items.fns {
+        fun.key_refs.sort_unstable();
+        fun.key_refs.dedup();
+    }
+    items.top_key_refs.sort_unstable();
+    items.top_key_refs.dedup();
+    items
+}
+
+/// Parses an `impl` header starting at token `i` (the `impl` keyword).
+/// Returns the implemented type name and the token index of the body `{`.
+/// Handles `impl Type`, `impl<G> Type<G>`, `impl Trait for Type` and
+/// multi-segment paths (the last segment names the type).
+fn impl_header(f: &SourceFile, i: usize) -> Option<(String, usize)> {
+    let toks = &f.toks;
+    let mut j = i + 1;
+    // Skip the generic parameter list directly after `impl`.
+    if matches!(toks.get(j), Some(t) if t.is_punct("<")) {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("<") || t.is_punct("<<") {
+                depth += if t.text == "<<" { 2 } else { 1 };
+            } else if t.is_punct(">") || t.is_punct(">>") {
+                depth -= if t.text == ">>" { 2 } else { 1 };
+                if depth <= 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Scan to the body `{`, remembering the last identifier seen at angle
+    // depth zero, both overall and after a `for` (trait impls name the
+    // implementing type after `for`).
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "{" if angle <= 0 => {
+                    let name = if saw_for { after_for } else { last_ident };
+                    return name.map(|n| (n, j));
+                }
+                "<" | "<<" => angle += if t.text == "<<" { 2 } else { 1 },
+                ">" | ">>" => angle -= if t.text == ">>" { 2 } else { 1 },
+                ";" if angle <= 0 => return None,
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 => {
+                if t.text == "for" {
+                    saw_for = true;
+                } else if t.text != "where" && t.text != "dyn" {
+                    if saw_for {
+                        after_for = Some(t.text.clone());
+                    } else {
+                        last_ident = Some(t.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Finds the token index of the `{` opening a fn body, scanning from just
+/// after the fn name. Returns `None` for bodiless trait declarations.
+fn fn_body_open(f: &SourceFile, from: usize) -> Option<usize> {
+    let toks = &f.toks;
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return Some(j),
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Records whatever marker or call reference token `i` contributes.
+fn scan_token(
+    f: &SourceFile,
+    i: usize,
+    enclosing_fn: Option<usize>,
+    enclosing_impl: Option<&str>,
+    key_names: &std::collections::BTreeSet<&str>,
+    items: &mut FileItems,
+) {
+    let toks = &f.toks;
+    let t = &toks[i];
+
+    // Key-constant references are tracked everywhere (fn bodies and
+    // top-level tables alike).
+    if t.kind == TokKind::Ident && key_names.contains(t.text.as_str()) {
+        let is_decl = f.path.ends_with("telemetry/src/keys.rs");
+        if !is_decl {
+            match enclosing_fn {
+                Some(idx) => items.fns[idx].key_refs.push(t.text.clone()),
+                None => items.top_key_refs.push(t.text.clone()),
+            }
+        }
+    }
+
+    // Hash-ordered containers mark a nondeterminism source wherever they
+    // appear: in a body (local use) or at file scope (fields, imports).
+    if t.kind == TokKind::Ident && HASH_CONTAINERS.contains(&t.text.as_str()) && !f.is_test(i) {
+        let site = Site {
+            line: t.line,
+            col: t.col,
+            what: t.text.clone(),
+        };
+        match enclosing_fn {
+            Some(idx) => items.fns[idx].source_sites.push(site),
+            None => items.file_sources.push(site),
+        }
+    }
+
+    let Some(idx) = enclosing_fn else { return };
+
+    // Panic sites, mirroring the per-file `panic` pass.
+    if t.kind == TokKind::Ident {
+        let method_call = |name: &str| {
+            t.text == name
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+        };
+        if method_call("unwrap") || method_call("expect") {
+            items.fns[idx].panic_sites.push(Site {
+                line: t.line,
+                col: t.col,
+                what: format!(".{}()", t.text),
+            });
+        }
+        let is_macro = matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"));
+        if is_macro {
+            items.fns[idx].panic_sites.push(Site {
+                line: t.line,
+                col: t.col,
+                what: format!("{}!", t.text),
+            });
+        }
+    }
+
+    // Direct-indexing sites.
+    if t.is_punct("[") && f.bracket_is_index(i) {
+        items.fns[idx].index_sites.push(Site {
+            line: t.line,
+            col: t.col,
+            what: String::new(),
+        });
+    }
+
+    // Remaining nondeterminism sources.
+    if t.kind == TokKind::Ident && !f.is_test(i) {
+        let path_to = |seg: &str| {
+            matches!(toks.get(i + 1), Some(n) if n.is_punct("::"))
+                && matches!(toks.get(i + 2), Some(n) if n.is_ident(seg))
+        };
+        let source = if (t.text == "Instant" || t.text == "SystemTime") && path_to("now") {
+            Some(format!("{}::now", t.text))
+        } else if t.text == "thread" && path_to("current") {
+            Some("thread::current".to_string())
+        } else if t.text == "env"
+            && (path_to("var") || path_to("vars") || path_to("var_os") || path_to("vars_os"))
+        {
+            Some(format!("env::{}", toks[i + 2].text))
+        } else if t.text == "thread_rng" || t.text == "from_entropy" {
+            Some(t.text.clone())
+        } else {
+            None
+        };
+        if let Some(what) = source {
+            items.fns[idx].source_sites.push(Site {
+                line: t.line,
+                col: t.col,
+                what,
+            });
+        }
+    }
+
+    // Call references.
+    if t.kind == TokKind::Ident
+        && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+        && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+    {
+        let prev = if i > 0 { Some(&toks[i - 1]) } else { None };
+        if matches!(prev, Some(p) if p.is_ident("fn")) {
+            return; // the definition itself
+        }
+        let call = match prev {
+            Some(p) if p.is_punct(".") => {
+                // `recv.name(..)`; `self.name(..)` scopes to the impl type.
+                let receiver_is_self = i >= 2
+                    && toks[i - 2].is_ident("self")
+                    && !(i >= 3 && toks[i - 3].is_punct("."));
+                let qual = if receiver_is_self {
+                    enclosing_impl.unwrap_or_default().to_string()
+                } else {
+                    String::new()
+                };
+                CallRef {
+                    kind: CallKind::Method,
+                    name: t.text.clone(),
+                    qual,
+                }
+            }
+            Some(p) if p.is_punct("::") => {
+                let qual_tok = if i >= 2 { Some(&toks[i - 2]) } else { None };
+                let qual = match qual_tok {
+                    Some(q) if q.kind == TokKind::Ident => match q.text.as_str() {
+                        "self" | "super" | "crate" => String::new(),
+                        "Self" => enclosing_impl.unwrap_or_default().to_string(),
+                        other => other.to_string(),
+                    },
+                    _ => String::new(),
+                };
+                CallRef {
+                    kind: CallKind::Qualified,
+                    name: t.text.clone(),
+                    qual,
+                }
+            }
+            _ => CallRef {
+                kind: CallKind::Bare,
+                name: t.text.clone(),
+                qual: String::new(),
+            },
+        };
+        items.fns[idx].calls.push(call);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extract_src(path: &str, src: &str) -> FileItems {
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        let f = SourceFile::analyse(path.into(), crate_name, src);
+        let keys = KeyRegistry::parse("pub const GOOD: &str = \"sim.good\";\n");
+        extract(&f, &keys)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_extracted_with_quals() {
+        let items = extract_src(
+            "crates/nn/src/a.rs",
+            "pub fn free() {}\nimpl Widget {\n    pub fn method(&self) {}\n}\nimpl Display for Gadget {\n    fn fmt(&self) {}\n}\n",
+        );
+        let sigs: Vec<(String, String)> = items
+            .fns
+            .iter()
+            .map(|f| (f.qual.clone(), f.name.clone()))
+            .collect();
+        assert_eq!(
+            sigs,
+            vec![
+                (String::new(), "free".to_string()),
+                ("Widget".to_string(), "method".to_string()),
+                ("Gadget".to_string(), "fmt".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let items = extract_src(
+            "crates/nn/src/a.rs",
+            "impl<'a, T: Clone> Holder<'a, T> {\n    fn get(&self) {}\n}\n",
+        );
+        assert_eq!(items.fns[0].qual, "Holder");
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let items = extract_src(
+            "crates/nn/src/a.rs",
+            "impl W {\n    fn go(&self) {\n        helper();\n        x.update(1);\n        self.local();\n        Pool::new(2);\n        decision::pick();\n        Self::stat();\n    }\n}\n",
+        );
+        let calls = &items.fns[0].calls;
+        let find = |name: &str| calls.iter().find(|c| c.name == name).expect(name);
+        assert_eq!(find("helper").kind, CallKind::Bare);
+        assert_eq!(find("update").kind, CallKind::Method);
+        assert_eq!(find("update").qual, "");
+        assert_eq!(find("local").qual, "W", "self call scopes to the impl");
+        assert_eq!(find("new").qual, "Pool");
+        assert_eq!(find("pick").qual, "decision");
+        assert_eq!(find("stat").qual, "W", "Self:: scopes to the impl");
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_calls() {
+        let items = extract_src(
+            "crates/nn/src/a.rs",
+            "fn f(v: &[u8]) {\n    if (a) {}\n    match (b) { _ => {} }\n    format!(\"x\");\n    while (c) {}\n}\n",
+        );
+        assert!(items.fns[0].calls.is_empty(), "{:?}", items.fns[0].calls);
+    }
+
+    #[test]
+    fn markers_are_attributed_to_the_enclosing_fn() {
+        let items = extract_src(
+            "crates/head/src/a.rs",
+            "fn risky(v: &[f64], x: Option<u32>) -> f64 {\n    let a = v[0];\n    let b = x.unwrap();\n    panic!(\"no\");\n    let t = Instant::now();\n    let e = std::env::var(\"X\");\n    a\n}\n",
+        );
+        let f0 = &items.fns[0];
+        assert_eq!(f0.index_sites.len(), 1);
+        let panics: Vec<&str> = f0.panic_sites.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(panics, vec![".unwrap()", "panic!"]);
+        let sources: Vec<&str> = f0.source_sites.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(sources, vec!["Instant::now", "env::var"]);
+    }
+
+    #[test]
+    fn hash_containers_at_file_scope_are_recorded() {
+        let items = extract_src(
+            "crates/nn/src/a.rs",
+            "use std::collections::HashMap;\npub struct Pool {\n    free: HashMap<usize, Vec<f32>>,\n}\nfn body() {\n    let m = HashMap::new();\n}\n",
+        );
+        assert_eq!(items.file_sources.len(), 2, "use + field");
+        assert_eq!(items.fns[0].source_sites.len(), 1, "local construction");
+    }
+
+    #[test]
+    fn test_code_markers_are_flagged_via_fn_is_test() {
+        let items = extract_src(
+            "crates/nn/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        x.unwrap();\n    }\n}\nfn live() {}\n",
+        );
+        let t = items.fns.iter().find(|f| f.name == "t").expect("test fn");
+        assert!(t.is_test);
+        assert!(!items.fns.iter().find(|f| f.name == "live").unwrap().is_test);
+    }
+
+    #[test]
+    fn key_refs_split_between_fns_and_top_level() {
+        let items = extract_src(
+            "crates/head/src/a.rs",
+            "static TABLE: &[&str] = &[GOOD];\nfn emits() {\n    counter_add(GOOD, 1);\n}\n",
+        );
+        assert_eq!(items.top_key_refs, vec!["GOOD".to_string()]);
+        assert_eq!(items.fns[0].key_refs, vec!["GOOD".to_string()]);
+    }
+
+    #[test]
+    fn bodiless_trait_fns_get_no_scope() {
+        let items = extract_src(
+            "crates/nn/src/a.rs",
+            "trait T {\n    fn decl(&self);\n    fn with_default(&self) {\n        helper();\n    }\n}\n",
+        );
+        assert_eq!(items.fns.len(), 2);
+        assert!(items.fns[0].calls.is_empty());
+        assert_eq!(items.fns[1].calls.len(), 1, "default body is scanned");
+        assert_eq!(items.fns[1].qual, "", "trait scope is not an impl type");
+    }
+}

@@ -20,14 +20,29 @@
 //! * **config drift** — every crate's `lib.rs` carries the agreed
 //!   panic-audit header (`lint-header`).
 //!
+//! On top of the per-file passes sits a workspace-level semantic layer:
+//! [`items`] extracts `fn`/`impl` items and call references per file,
+//! [`callgraph`] links them into an over-approximate cross-crate call
+//! graph (narrowed by impl types and Cargo.toml dependency scoping), and
+//! [`taint`] runs three graph-reachability rule families on it —
+//! `determinism-taint` (nondeterminism sources must not reach the
+//! checksum-gated paths), `serve-reachability` (panic sites must not be
+//! reachable from the serving daemon's request path), and
+//! `telemetry-liveness` (registered keys must be reachable from some
+//! live root). Per-file analysis runs in parallel through `par::Pool`
+//! and behind a content-hash incremental cache ([`cache`]), with output
+//! byte-identical at any thread count, cold or warm. [`sarif`] renders
+//! findings as SARIF 2.1.0 / GitHub annotations for CI.
+//!
 //! Findings are suppressed line-by-line with `// lint:allow(rule) reason`;
 //! the reason is mandatory (`allow-no-reason`) and stale directives are
 //! flagged (`unused-allow`).
 //!
 //! The cargo registry is unreachable in the build container, so there is
 //! no `syn`/`proc-macro2`: [`lexer`] is a hand-rolled Rust tokenizer and
-//! the passes work on token patterns. The only dependency is the
-//! workspace's own `telemetry` crate, reused for the `--json` report.
+//! the passes work on token patterns. The only dependencies are the
+//! workspace's own `telemetry` (JSON, counters) and `par` (the
+//! deterministic pool the engine dogfoods).
 
 // Panic audit: library code must surface errors, not unwrap them away
 // (tests may unwrap freely). Enforced by clippy and the headlint
@@ -35,13 +50,21 @@
 #![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod cache;
+pub mod callgraph;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod passes;
 pub mod registry;
+pub mod sarif;
 pub mod source;
+pub mod taint;
 
-pub use engine::{lint_files, run, Options, Report};
+pub use engine::{
+    analyse_source, lint_facts, lint_files, run, workspace_paths, FileFacts, Options, Report,
+};
 pub use passes::{rule, Context, Diagnostic, Rule, Severity, RULES};
 pub use registry::KeyRegistry;
+pub use sarif::{github_annotations, to_sarif};
 pub use source::{Allow, SourceFile};

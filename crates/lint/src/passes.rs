@@ -137,6 +137,30 @@ pub const RULES: &[Rule] = &[
                   (#![deny(clippy::unwrap_used)] + test cfg_attr allow)",
     },
     Rule {
+        name: "determinism-taint",
+        severity: Severity::Error,
+        summary: "a nondeterminism source (wall clock, OS entropy, env read, hash-ordered \
+                  collection, thread identity) is reachable, through the workspace call \
+                  graph, from a checksum-gated path (par, nn matmul/backward, \
+                  head::evaluate_agent*, traffic-sim step); the parallel/serial \
+                  byte-identity contract cannot survive it",
+    },
+    Rule {
+        name: "serve-reachability",
+        severity: Severity::Error,
+        summary: "a panic site (unwrap/expect/panic-family macro) is reachable from \
+                  crates/serve request handling — the crash-only daemon must degrade, \
+                  never die; direct-indexing sites aggregate to one warning per \
+                  reachable fn, suppressible at its signature line",
+    },
+    Rule {
+        name: "telemetry-liveness",
+        severity: Severity::Error,
+        summary: "a telemetry::keys constant is only referenced from code unreachable \
+                  from every live root (tests, binaries, examples); the metric can \
+                  never be emitted in a real run",
+    },
+    Rule {
         name: "allow-no-reason",
         severity: Severity::Error,
         summary: "lint:allow directive without a justification after the parentheses",
@@ -153,10 +177,24 @@ pub fn rule(name: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.name == name)
 }
 
-/// Workspace-level inputs shared by all per-file passes.
+/// Workspace-level inputs shared by all passes.
 pub struct Context {
     /// Parsed `telemetry::keys` registry (empty when keys.rs is absent).
     pub keys: KeyRegistry,
+    /// Transitive crate-dependency map for call-graph scoping. Empty
+    /// (unit tests, fixture workspaces without manifests) means every
+    /// crate is in scope — the over-approximate default.
+    pub deps: crate::callgraph::DepMap,
+}
+
+impl Context {
+    /// A context with the given key registry and no dependency scoping.
+    pub fn new(keys: KeyRegistry) -> Context {
+        Context {
+            keys,
+            deps: crate::callgraph::DepMap::new(),
+        }
+    }
 }
 
 fn diag(rule_name: &'static str, f: &SourceFile, tok_idx: usize, message: String) -> Diagnostic {
@@ -197,10 +235,11 @@ const ORDERED_CRATES: [&str; 3] = ["traffic-sim", "decision", "head"];
 /// Crates under the float-cast rule (numerical kernels and training math).
 const FLOAT_CRATES: [&str; 3] = ["nn", "perception", "decision"];
 
-/// Determinism: no wall-clock or entropy sources outside telemetry/bench
-/// binaries. Reporting-only timing goes through `telemetry::Stopwatch`.
+/// Determinism: no wall-clock or entropy sources outside telemetry and
+/// binary-like code (CLI tools, examples). Reporting-only timing goes
+/// through `telemetry::Stopwatch`.
 fn pass_wallclock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if f.crate_name == "telemetry" || f.path.contains("/src/bin/") {
+    if f.crate_name == "telemetry" || crate::callgraph::is_bin_like(&f.path) {
         return;
     }
     let toks = &f.toks;
@@ -522,7 +561,7 @@ fn source_expr_is_floaty(f: &SourceFile, as_idx: usize) -> bool {
 /// seen before the call), which is exact for this workspace's flat item
 /// layout.
 fn pass_graph_churn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if f.path.contains("/src/bin/") {
+    if crate::callgraph::is_bin_like(&f.path) {
         return;
     }
     let toks = &f.toks;
@@ -782,36 +821,6 @@ fn pass_lint_header(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Workspace-level check: every registered key constant must be referenced
-/// somewhere outside keys.rs. Runs only when keys.rs itself was walked.
-pub fn check_unused_keys(files: &[SourceFile], ctx: &Context, out: &mut Vec<Diagnostic>) {
-    let Some(keys_file) = files
-        .iter()
-        .find(|f| f.path.ends_with("telemetry/src/keys.rs"))
-    else {
-        return;
-    };
-    for k in ctx.keys.consts() {
-        let used = files.iter().any(|f| {
-            !f.path.ends_with("telemetry/src/keys.rs") && f.toks.iter().any(|t| t.is_ident(&k.name))
-        });
-        if !used {
-            out.push(Diagnostic {
-                rule: "telemetry-keys",
-                severity: Severity::Error,
-                file: keys_file.path.clone(),
-                line: k.line,
-                col: 1,
-                message: format!(
-                    "registered telemetry key `{}` (\"{}\") has no call site; remove it \
-                     or instrument the code path",
-                    k.name, k.value
-                ),
-            });
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -819,11 +828,9 @@ mod tests {
 
     fn lint_src(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
         let f = SourceFile::analyse(path.into(), crate_name.into(), src);
-        let ctx = Context {
-            keys: KeyRegistry::parse(
-                "pub const GOOD: &str = \"sim.good\";\npub const OTHER: &str = \"sim.other\";\n",
-            ),
-        };
+        let ctx = Context::new(KeyRegistry::parse(
+            "pub const GOOD: &str = \"sim.good\";\npub const OTHER: &str = \"sim.other\";\n",
+        ));
         let mut out = Vec::new();
         run_file_passes(&f, &ctx, &mut out);
         out
@@ -1099,28 +1106,5 @@ mod tests { fn t() { flight_record("adhoc.key", 1.0); } }"#,
             "#![deny(clippy::unwrap_used)]\n#![cfg_attr(test, allow(clippy::unwrap_used))]\npub fn f() {}",
         );
         assert!(ok.is_empty());
-    }
-
-    #[test]
-    fn unused_keys_reported_at_their_definition() {
-        let keys_src = "pub const USED: &str = \"a.b\";\npub const DEAD: &str = \"c.d\";\n";
-        let keys_file = SourceFile::analyse(
-            "crates/telemetry/src/keys.rs".into(),
-            "telemetry".into(),
-            keys_src,
-        );
-        let user = SourceFile::analyse(
-            "crates/head/src/a.rs".into(),
-            "head".into(),
-            "fn f() { counter_add(keys::USED, 1); }",
-        );
-        let ctx = Context {
-            keys: KeyRegistry::parse(keys_src),
-        };
-        let mut out = Vec::new();
-        check_unused_keys(&[keys_file, user], &ctx, &mut out);
-        assert_eq!(out.len(), 1);
-        assert!(out[0].message.contains("DEAD"));
-        assert_eq!(out[0].line, 2);
     }
 }

@@ -1,0 +1,208 @@
+//! CI-native report formats: SARIF 2.1.0 and GitHub workflow commands.
+//!
+//! SARIF is the interchange format GitHub's code-scanning UI ingests, so
+//! archiving `lint_report.sarif` from CI turns every headlint finding
+//! into an inline PR annotation. The emitted document is the minimal
+//! valid subset: one run, the rule table as `tool.driver.rules`, one
+//! `result` per diagnostic with a physical location.
+//!
+//! The GitHub mode prints `::error`/`::warning` workflow commands
+//! directly, for jobs that want annotations without the code-scanning
+//! upload round-trip.
+
+use telemetry::Json;
+
+use crate::engine::Report;
+use crate::passes::{Severity, RULES};
+
+/// SARIF severity level for a diagnostic severity.
+fn level(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warn => "warning",
+    }
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &Report) -> Json {
+    let rules: Vec<Json> = RULES
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("id", Json::from(r.name)),
+                (
+                    "shortDescription",
+                    Json::obj(vec![("text", Json::from(r.summary))]),
+                ),
+                (
+                    "defaultConfiguration",
+                    Json::obj(vec![("level", Json::from(level(r.severity)))]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Json> = report
+        .diags
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("ruleId", Json::from(d.rule)),
+                ("level", Json::from(level(d.severity))),
+                (
+                    "message",
+                    Json::obj(vec![("text", Json::from(d.message.as_str()))]),
+                ),
+                (
+                    "locations",
+                    Json::Arr(vec![Json::obj(vec![(
+                        "physicalLocation",
+                        Json::obj(vec![
+                            (
+                                "artifactLocation",
+                                Json::obj(vec![("uri", Json::from(d.file.as_str()))]),
+                            ),
+                            (
+                                "region",
+                                Json::obj(vec![
+                                    ("startLine", Json::from(u64::from(d.line))),
+                                    ("startColumn", Json::from(u64::from(d.col))),
+                                ]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "$schema",
+            Json::from("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", Json::from("2.1.0")),
+        (
+            "runs",
+            Json::Arr(vec![Json::obj(vec![
+                (
+                    "tool",
+                    Json::obj(vec![(
+                        "driver",
+                        Json::obj(vec![
+                            ("name", Json::from("headlint")),
+                            ("informationUri", Json::from("README.md#static-analysis")),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+/// Renders the report as GitHub workflow commands, one annotation per
+/// diagnostic. Messages are single-line by construction, which is what
+/// the command grammar requires.
+pub fn github_annotations(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diags {
+        let cmd = match d.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str(&format!(
+            "::{cmd} file={},line={},col={},title=headlint({})::{}\n",
+            d.file, d.line, d.col, d.rule, d.message
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::Diagnostic;
+
+    fn report() -> Report {
+        Report {
+            files: 2,
+            cache_hits: 0,
+            cache_misses: 2,
+            diags: vec![
+                Diagnostic {
+                    rule: "panic",
+                    severity: Severity::Error,
+                    file: "crates/nn/src/a.rs".to_string(),
+                    line: 3,
+                    col: 9,
+                    message: "`.unwrap()` panics on the error path".to_string(),
+                },
+                Diagnostic {
+                    rule: "index-panic",
+                    severity: Severity::Warn,
+                    file: "crates/nn/src/b.rs".to_string(),
+                    line: 7,
+                    col: 1,
+                    message: "direct indexing panics when out of bounds".to_string(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sarif_document_shape() {
+        let doc = to_sarif(&report());
+        assert_eq!(
+            doc.get("version").and_then(Json::as_str),
+            Some("2.1.0"),
+            "{doc:?}"
+        );
+        let Some(Json::Arr(runs)) = doc.get("runs") else {
+            panic!("runs array");
+        };
+        assert_eq!(runs.len(), 1);
+        let Some(Json::Arr(results)) = runs[0].get("results") else {
+            panic!("results array");
+        };
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(Json::as_str),
+            Some("panic")
+        );
+        assert_eq!(
+            results[1].get("level").and_then(Json::as_str),
+            Some("warning")
+        );
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(driver.get("name").and_then(Json::as_str), Some("headlint"));
+        let Some(Json::Arr(rules)) = driver.get("rules") else {
+            panic!("rules array");
+        };
+        assert_eq!(rules.len(), RULES.len(), "every rule is described");
+        // The document must round-trip through the strict parser.
+        let text = to_sarif(&report()).to_string();
+        assert_eq!(Json::parse(&text).expect("valid"), to_sarif(&report()));
+    }
+
+    #[test]
+    fn sarif_locations_carry_line_and_column() {
+        let doc = to_sarif(&report());
+        let text = doc.to_string();
+        assert!(text.contains("\"startLine\":3"));
+        assert!(text.contains("\"startColumn\":9"));
+        assert!(text.contains("crates/nn/src/a.rs"));
+    }
+
+    #[test]
+    fn github_annotations_one_line_per_diag() {
+        let out = github_annotations(&report());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("::error file=crates/nn/src/a.rs,line=3,col=9,"));
+        assert!(lines[0].contains("title=headlint(panic)::"));
+        assert!(lines[1].starts_with("::warning "));
+    }
+}

@@ -32,7 +32,8 @@ pub struct SourceFile {
     pub path: String,
     /// Crate directory name under `crates/` (empty outside `crates/`).
     pub crate_name: String,
-    /// True for files under a `tests/` directory (integration tests).
+    /// True for files under a `tests/` or `benches/` directory
+    /// (integration tests and criterion benches are fully test-masked).
     pub in_tests_dir: bool,
     /// Comment-free token stream.
     pub toks: Vec<Tok>,
@@ -53,7 +54,8 @@ const PRE_BRACKET_KEYWORDS: [&str; 10] = [
 impl SourceFile {
     /// Lexes `src` and computes the test mask and allow directives.
     pub fn analyse(path: String, crate_name: String, src: &str) -> SourceFile {
-        let in_tests_dir = path.contains("/tests/");
+        let in_tests_dir =
+            path.contains("/tests/") || path.starts_with("tests/") || path.contains("/benches/");
         let all = lex(src);
         let mut toks = Vec::new();
         let mut comments = Vec::new();

@@ -1,0 +1,536 @@
+//! Workspace-level passes: the rules that need the call graph.
+//!
+//! Three rule families ride on [`crate::callgraph::Graph`]:
+//!
+//! * **determinism-taint** — nondeterminism sources (wall clock, OS
+//!   entropy, env reads, hash-ordered collections, `thread::current`)
+//!   must not be reachable from the checksum-gated paths: anything in
+//!   `par`, the `nn` matmul/backward kernels, `head::evaluate_agent*`,
+//!   and `traffic_sim`'s `step`. Those paths promise byte-identical
+//!   parallel/serial output; a source anywhere in their call cone breaks
+//!   the promise silently.
+//! * **serve-reachability** — panic sites reachable from `crates/serve`
+//!   are errors (the daemon's crash-only, always-answer contract), and
+//!   fns with direct-indexing sites reachable from serve get one
+//!   aggregated warning at their signature line.
+//! * **telemetry-liveness** — a key registered in `telemetry::keys` whose
+//!   only references sit in code unreachable from every root (test fns,
+//!   binaries, examples) can never be emitted in a live run; the inverse
+//!   of the per-reference `telemetry-keys` check.
+//!
+//! The graph is over-approximate, so "unreachable" findings are sound and
+//! "reachable" findings may occasionally be false paths — those carry
+//! reason-bearing `lint:allow` directives at the flagged line.
+
+use crate::callgraph::{is_bin_like, normalise, FileUnit, Graph, Node};
+use crate::engine::FileFacts;
+use crate::passes::{rule, Context, Diagnostic, Severity};
+
+/// Runs every workspace pass, appending diagnostics to `out`.
+pub fn run_workspace_passes(facts: &[FileFacts], ctx: &Context, out: &mut Vec<Diagnostic>) {
+    check_unused_keys(facts, ctx, out);
+    let units: Vec<FileUnit> = facts
+        .iter()
+        .map(|f| FileUnit {
+            path: &f.path,
+            crate_name: &f.crate_name,
+            items: &f.items,
+        })
+        .collect();
+    let graph = Graph::build(&units, &ctx.deps);
+    pass_determinism_taint(facts, &graph, out);
+    pass_serve_reachability(&graph, out);
+    pass_telemetry_liveness(facts, &graph, ctx, out);
+}
+
+fn diag_at(
+    rule_name: &'static str,
+    severity: Severity,
+    file: &str,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule: rule_name,
+        severity,
+        file: file.to_string(),
+        line,
+        col,
+        message,
+    }
+}
+
+fn error_sev(rule_name: &str) -> Severity {
+    rule(rule_name).map_or(Severity::Error, |r| r.severity)
+}
+
+/// True for fns on a checksum-gated path: every non-test fn in `par`, the
+/// `nn` matmul/outer kernels and tape replay, `head`'s parallel evaluator,
+/// and the simulator step.
+fn is_sink(n: &Node) -> bool {
+    if n.item.is_test || n.bin_like {
+        return false;
+    }
+    let name = n.item.name.as_str();
+    match normalise(n.crate_name).as_str() {
+        "par" => true,
+        "nn" => name.starts_with("matmul") || name.starts_with("outer") || name == "backward",
+        "head" => name.starts_with("evaluate_agent"),
+        "traffic_sim" => name == "step",
+        _ => false,
+    }
+}
+
+/// determinism-taint: walk the call cone *below* the checksum-gated sinks
+/// and flag every nondeterminism source inside it. `telemetry` is exempt
+/// (sanctioned wall-clock for reporting), as are bins/examples/tests
+/// (excluded from traversal entirely).
+fn pass_determinism_taint(facts: &[FileFacts], graph: &Graph, out: &mut Vec<Diagnostic>) {
+    let sinks: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| is_sink(&graph.nodes[i]))
+        .collect();
+    if sinks.is_empty() {
+        return;
+    }
+    let parent = graph.reach(&sinks, &|n| n.item.is_test || n.bin_like);
+    let sev = error_sev("determinism-taint");
+
+    // Sources inside reached fn bodies.
+    for i in 0..graph.nodes.len() {
+        if parent[i].is_none() {
+            continue;
+        }
+        let n = &graph.nodes[i];
+        if normalise(n.crate_name) == "telemetry" {
+            continue;
+        }
+        for site in &n.item.source_sites {
+            out.push(diag_at(
+                "determinism-taint",
+                sev,
+                n.path,
+                site.line,
+                site.col,
+                format!(
+                    "`{}` is a nondeterminism source inside `{}`, which sits on the \
+                     checksum-gated path {}; the parallel/serial byte-identity \
+                     contract cannot survive it — thread a seeded stream or an \
+                     ordered collection through instead",
+                    site.what,
+                    graph.symbol(i),
+                    graph.chain(&parent, i)
+                ),
+            ));
+        }
+    }
+
+    // File-scope sources (hash-collection fields and imports): without
+    // type inference any method of the file may iterate the field, so the
+    // file taints as soon as one of its fns is reached.
+    for (file_idx, f) in facts.iter().enumerate() {
+        if f.items.file_sources.is_empty()
+            || normalise(&f.crate_name) == "telemetry"
+            || is_bin_like(&f.path)
+        {
+            continue;
+        }
+        let reached = (0..graph.nodes.len())
+            .find(|&i| graph.nodes[i].file_idx == file_idx && parent[i].is_some());
+        let Some(via) = reached else { continue };
+        for site in &f.items.file_sources {
+            out.push(diag_at(
+                "determinism-taint",
+                sev,
+                &f.path,
+                site.line,
+                site.col,
+                format!(
+                    "`{}` at file scope: its iteration order can leak into `{}`, \
+                     reachable from the checksum-gated path {}; use an ordered \
+                     collection (BTreeMap/BTreeSet/Vec)",
+                    site.what,
+                    graph.symbol(via),
+                    graph.chain(&parent, via)
+                ),
+            ));
+        }
+    }
+}
+
+/// serve-reachability: the serving daemon is crash-only — a panic
+/// anywhere in the request path's call cone kills the always-answer
+/// guarantee. Panic sites reachable from `crates/serve` are errors;
+/// direct-indexing sites aggregate to one warning per reachable fn
+/// (suppressible at the fn's signature line).
+fn pass_serve_reachability(graph: &Graph, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            normalise(n.crate_name) == "serve" && !n.item.is_test
+        })
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parent = graph.reach(&roots, &|n| {
+        n.item.is_test || (n.bin_like && normalise(n.crate_name) != "serve")
+    });
+    let sev = error_sev("serve-reachability");
+
+    for i in 0..graph.nodes.len() {
+        if parent[i].is_none() {
+            continue;
+        }
+        let n = &graph.nodes[i];
+        for site in &n.item.panic_sites {
+            out.push(diag_at(
+                "serve-reachability",
+                sev,
+                n.path,
+                site.line,
+                site.col,
+                format!(
+                    "`{}` in `{}` is reachable from the serve request path ({}); a \
+                     panic here kills the always-answer daemon — degrade to an error \
+                     response instead",
+                    site.what,
+                    graph.symbol(i),
+                    graph.chain(&parent, i)
+                ),
+            ));
+        }
+        if !n.item.index_sites.is_empty() {
+            out.push(diag_at(
+                "serve-reachability",
+                Severity::Warn,
+                n.path,
+                n.item.line,
+                1,
+                format!(
+                    "`{}` has {} direct-indexing site(s) and is reachable from the \
+                     serve request path ({}); an out-of-bounds panic here kills the \
+                     daemon — prefer get()",
+                    graph.symbol(i),
+                    n.item.index_sites.len(),
+                    graph.chain(&parent, i)
+                ),
+            ));
+        }
+    }
+}
+
+/// telemetry-liveness: a registered key referenced *only* from fns that no
+/// root (test, binary, example, `main`) can reach is dead weight — the
+/// metric can never fire in any real run. Reported at the key's
+/// definition line. Keys with no references at all are left to the
+/// per-reference `telemetry-keys` check.
+fn pass_telemetry_liveness(
+    facts: &[FileFacts],
+    graph: &Graph,
+    ctx: &Context,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(keys_file) = facts
+        .iter()
+        .find(|f| f.path.ends_with("telemetry/src/keys.rs"))
+    else {
+        return;
+    };
+    let roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            n.item.is_test || n.bin_like || n.item.name == "main"
+        })
+        .collect();
+    let parent = graph.reach(&roots, &|_| false);
+    let sev = error_sev("telemetry-liveness");
+
+    for k in ctx.keys.consts() {
+        let mut referenced: Vec<usize> = Vec::new();
+        let mut live = facts
+            .iter()
+            .any(|f| f.items.top_key_refs.iter().any(|r| r == &k.name));
+        for (i, reached) in parent.iter().enumerate() {
+            let n = &graph.nodes[i];
+            if n.item.key_refs.iter().any(|r| r == &k.name) {
+                referenced.push(i);
+                live |= reached.is_some();
+            }
+        }
+        if referenced.is_empty() || live {
+            continue;
+        }
+        let witness = referenced[0];
+        let w = &graph.nodes[witness];
+        out.push(diag_at(
+            "telemetry-liveness",
+            sev,
+            &keys_file.path,
+            k.line,
+            1,
+            format!(
+                "telemetry key `{}` (\"{}\") is only referenced from dead code \
+                 (e.g. `{}` at {}:{}, unreachable from any test, binary or \
+                 example); delete the key or wire the code path in",
+                k.name,
+                k.value,
+                graph.symbol(witness),
+                w.path,
+                w.item.line
+            ),
+        ));
+    }
+}
+
+/// Every registered key constant must be referenced somewhere outside
+/// keys.rs. Runs only when keys.rs itself was walked.
+pub fn check_unused_keys(facts: &[FileFacts], ctx: &Context, out: &mut Vec<Diagnostic>) {
+    let Some(keys_file) = facts
+        .iter()
+        .find(|f| f.path.ends_with("telemetry/src/keys.rs"))
+    else {
+        return;
+    };
+    for k in ctx.keys.consts() {
+        let used = facts.iter().any(|f| {
+            f.items.top_key_refs.iter().any(|r| r == &k.name)
+                || f.items
+                    .fns
+                    .iter()
+                    .any(|fun| fun.key_refs.iter().any(|r| r == &k.name))
+        });
+        if !used {
+            out.push(Diagnostic {
+                rule: "telemetry-keys",
+                severity: error_sev("telemetry-keys"),
+                file: keys_file.path.clone(),
+                line: k.line,
+                col: 1,
+                message: format!(
+                    "registered telemetry key `{}` (\"{}\") has no call site; remove it \
+                     or instrument the code path",
+                    k.name, k.value
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyse_source;
+    use crate::registry::KeyRegistry;
+
+    fn keys() -> KeyRegistry {
+        KeyRegistry::parse(
+            "pub const USED: &str = \"a.b\";\npub const DEAD: &str = \"c.d\";\npub const GONE: &str = \"e.f\";\n",
+        )
+    }
+
+    fn workspace(files: &[(&str, &str)]) -> (Vec<FileFacts>, Context) {
+        let ctx = Context::new(keys());
+        let facts = files
+            .iter()
+            .map(|(path, src)| {
+                let crate_name = path
+                    .strip_prefix("crates/")
+                    .and_then(|r| r.split('/').next())
+                    .unwrap_or("")
+                    .to_string();
+                analyse_source(path.to_string(), crate_name, src, &ctx)
+            })
+            .collect();
+        (facts, ctx)
+    }
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let (facts, ctx) = workspace(files);
+        let mut out = Vec::new();
+        run_workspace_passes(&facts, &ctx, &mut out);
+        out
+    }
+
+    fn by_rule<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+        diags.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    #[test]
+    fn taint_flags_env_read_two_crates_below_a_sink() {
+        let d = run(&[
+            (
+                "crates/traffic-sim/src/sim.rs",
+                "impl Sim {\n    pub fn step(&mut self) { decision::jitter(); }\n}\n",
+            ),
+            (
+                "crates/decision/src/lib.rs",
+                "pub fn jitter() -> String {\n    std::env::var(\"JITTER\").unwrap_or_default()\n}\n",
+            ),
+        ]);
+        let taint = by_rule(&d, "determinism-taint");
+        assert_eq!(taint.len(), 1, "{d:?}");
+        assert_eq!(taint[0].file, "crates/decision/src/lib.rs");
+        assert!(taint[0].message.contains("env::var"));
+        assert!(taint[0].message.contains("traffic_sim::Sim::step"));
+    }
+
+    #[test]
+    fn taint_ignores_sources_outside_the_sink_cone() {
+        let d = run(&[
+            (
+                "crates/traffic-sim/src/sim.rs",
+                "impl Sim {\n    pub fn step(&mut self) {}\n}\n",
+            ),
+            (
+                "crates/decision/src/lib.rs",
+                "pub fn jitter() -> String {\n    std::env::var(\"JITTER\").unwrap_or_default()\n}\n",
+            ),
+        ]);
+        assert!(by_rule(&d, "determinism-taint").is_empty());
+    }
+
+    #[test]
+    fn taint_flags_file_scope_hash_fields_once_reached() {
+        let d = run(&[
+            (
+                "crates/nn/src/graph.rs",
+                "impl Graph {\n    pub fn backward(&mut self) { self.pool.take(4); }\n}\n",
+            ),
+            (
+                "crates/nn/src/pool.rs",
+                "use std::collections::HashMap;\npub struct BufferPool {\n    free: HashMap<usize, Vec<f32>>,\n}\nimpl BufferPool {\n    pub fn take(&mut self, n: usize) -> Vec<f32> { Vec::new() }\n}\n",
+            ),
+        ]);
+        let taint = by_rule(&d, "determinism-taint");
+        assert_eq!(taint.len(), 2, "use + field: {d:?}");
+        assert!(taint.iter().all(|t| t.file == "crates/nn/src/pool.rs"));
+        assert!(taint[0].message.contains("file scope"));
+    }
+
+    #[test]
+    fn taint_exempts_telemetry_and_test_code() {
+        let d = run(&[
+            (
+                "crates/par/src/pool.rs",
+                "pub fn try_map() { telemetry::stamp(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let x = Instant::now(); }\n}\n",
+            ),
+            (
+                "crates/telemetry/src/clock.rs",
+                "pub fn stamp() -> u64 { let t = Instant::now(); 0 }\n",
+            ),
+        ]);
+        assert!(by_rule(&d, "determinism-taint").is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn serve_reachability_flags_unwrap_across_crates() {
+        let d = run(&[
+            (
+                "crates/serve/src/service.rs",
+                "impl Service {\n    pub fn handle(&mut self) { decision::risky(); }\n}\n",
+            ),
+            (
+                "crates/decision/src/lib.rs",
+                "pub fn risky() -> u32 {\n    maybe().unwrap()\n}\n",
+            ),
+        ]);
+        let hits = by_rule(&d, "serve-reachability");
+        assert_eq!(hits.len(), 1, "{d:?}");
+        assert_eq!(hits[0].severity, Severity::Error);
+        assert_eq!(hits[0].file, "crates/decision/src/lib.rs");
+        assert!(hits[0].message.contains(".unwrap()"));
+        assert!(hits[0].message.contains("serve::Service::handle"));
+    }
+
+    #[test]
+    fn serve_reachability_aggregates_indexing_to_one_warning() {
+        let d = run(&[
+            (
+                "crates/serve/src/service.rs",
+                "pub fn handle() { decision::pick(); }\n",
+            ),
+            (
+                "crates/decision/src/lib.rs",
+                "pub fn pick() -> f64 {\n    let a = v[0];\n    let b = v[1];\n    a + b\n}\n",
+            ),
+        ]);
+        let hits = by_rule(&d, "serve-reachability");
+        assert_eq!(hits.len(), 1, "aggregated: {d:?}");
+        assert_eq!(hits[0].severity, Severity::Warn);
+        assert_eq!(hits[0].line, 1, "reported at the fn signature");
+        assert!(hits[0].message.contains("2 direct-indexing site(s)"));
+    }
+
+    #[test]
+    fn serve_reachability_needs_a_serve_root() {
+        let d = run(&[(
+            "crates/decision/src/lib.rs",
+            "pub fn risky() -> u32 { maybe().unwrap() }\n",
+        )]);
+        assert!(by_rule(&d, "serve-reachability").is_empty());
+    }
+
+    #[test]
+    fn liveness_flags_keys_referenced_only_from_dead_code() {
+        let d = run(&[
+            (
+                "crates/telemetry/src/keys.rs",
+                "pub const USED: &str = \"a.b\";\npub const DEAD: &str = \"c.d\";\npub const GONE: &str = \"e.f\";\n",
+            ),
+            (
+                "crates/head/src/metrics.rs",
+                // `emits` is wired to a test; `zombie` is called by nothing.
+                "pub fn emits() { counter_add(keys::USED, 1); }\npub fn zombie() { counter_add(keys::DEAD, 1); }\npub fn gone_ref() { let _ = keys::GONE; }\npub fn also_dead() { zombie_helper(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { emits(); gone_ref(); }\n}\n",
+            ),
+        ]);
+        let live = by_rule(&d, "telemetry-liveness");
+        assert_eq!(live.len(), 1, "{d:?}");
+        assert!(live[0].message.contains("`DEAD`"));
+        assert_eq!(live[0].file, "crates/telemetry/src/keys.rs");
+        assert_eq!(live[0].line, 2);
+        assert!(live[0].message.contains("head::zombie"));
+    }
+
+    #[test]
+    fn liveness_counts_top_level_tables_and_bins_as_live() {
+        let d = run(&[
+            (
+                "crates/telemetry/src/keys.rs",
+                "pub const USED: &str = \"a.b\";\npub const DEAD: &str = \"c.d\";\npub const GONE: &str = \"e.f\";\n",
+            ),
+            (
+                "crates/head/src/metrics.rs",
+                "pub static TABLE: &[&str] = &[keys::USED];\npub fn from_bin() { counter_add(keys::DEAD, 1); }\n",
+            ),
+            (
+                "crates/bench/src/bin/tool.rs",
+                "fn main() { from_bin(); let _ = keys::GONE; }\n",
+            ),
+        ]);
+        assert!(by_rule(&d, "telemetry-liveness").is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unused_keys_reported_at_their_definition() {
+        let (facts, ctx) = workspace(&[
+            (
+                "crates/telemetry/src/keys.rs",
+                "pub const USED: &str = \"a.b\";\npub const DEAD: &str = \"c.d\";\n",
+            ),
+            (
+                "crates/head/src/a.rs",
+                "fn f() { counter_add(keys::USED, 1); }",
+            ),
+        ]);
+        let mut out = Vec::new();
+        check_unused_keys(&facts, &ctx, &mut out);
+        let dead: Vec<&Diagnostic> = out
+            .iter()
+            .filter(|d| d.message.contains("has no call site"))
+            .collect();
+        assert_eq!(dead.len(), 2, "DEAD and GONE: {out:?}");
+        assert!(dead[0].message.contains("DEAD"));
+        assert_eq!(dead[0].line, 2);
+    }
+}

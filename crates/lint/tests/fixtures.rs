@@ -17,6 +17,8 @@ fn fixture_report() -> lint::Report {
         root: fixture_root(),
         paths: Vec::new(),
         deny: Vec::new(),
+        threads: 1,
+        cache: None,
     })
     .expect("lint run on fixture workspace")
 }
@@ -29,7 +31,7 @@ fn seeded_fixture_produces_the_expected_findings() {
     assert_eq!(count("hash-collections"), 3, "{listing}");
     assert_eq!(count("wallclock"), 1, "{listing}");
     assert_eq!(count("thread-spawn"), 1, "{listing}");
-    assert_eq!(count("index-panic"), 1, "{listing}");
+    assert_eq!(count("index-panic"), 2, "{listing}");
     assert_eq!(count("float-eq"), 1, "{listing}");
     assert_eq!(count("float-cast"), 1, "{listing}");
     assert_eq!(count("telemetry-keys"), 3, "{listing}");
@@ -38,14 +40,58 @@ fn seeded_fixture_produces_the_expected_findings() {
     assert_eq!(count("serve-no-graph-new"), 1, "{listing}");
     assert_eq!(
         count("panic"),
-        1,
-        "only the unwrap; the expect is allowed: {listing}"
+        2,
+        "seeded.rs unwrap + paths.rs unwrap; the expect is allowed: {listing}"
     );
     assert_eq!(count("allow-no-reason"), 1, "{listing}");
     assert_eq!(count("unused-allow"), 1, "{listing}");
     assert_eq!(count("lint-header"), 2, "{listing}");
-    assert_eq!(report.errors(), 17, "{listing}");
-    assert_eq!(report.warnings(), 2, "{listing}");
+    assert_eq!(
+        count("determinism-taint"),
+        1,
+        "env read reached from the traffic_sim::step sink: {listing}"
+    );
+    assert_eq!(
+        count("serve-reachability"),
+        2,
+        "one unwrap error + one aggregated indexing warning: {listing}"
+    );
+    assert_eq!(
+        count("telemetry-liveness"),
+        1,
+        "ZOMBIE_KEY referenced only from dead code: {listing}"
+    );
+    assert_eq!(report.errors(), 21, "{listing}");
+    assert_eq!(report.warnings(), 4, "{listing}");
+}
+
+#[test]
+fn taint_chain_crosses_the_crate_boundary() {
+    let report = fixture_report();
+    let taint = report
+        .diags
+        .iter()
+        .find(|d| d.rule == "determinism-taint")
+        .expect("taint diagnostic");
+    assert!(
+        taint
+            .message
+            .contains("traffic_sim::Simulation::step -> decision::jitter"),
+        "chain names both crates: {}",
+        taint.message
+    );
+    let serve = report
+        .diags
+        .iter()
+        .find(|d| d.rule == "serve-reachability" && d.severity == Severity::Error)
+        .expect("serve-reachability diagnostic");
+    assert!(
+        serve
+            .message
+            .contains("serve::Handler::handle -> decision::risky_answer"),
+        "chain starts in the serve crate: {}",
+        serve.message
+    );
 }
 
 #[test]
@@ -66,6 +112,8 @@ fn explicit_path_limits_the_walk() {
         root: fixture_root(),
         paths: vec![PathBuf::from("crates/decision/src/lib.rs")],
         deny: Vec::new(),
+        threads: 1,
+        cache: None,
     })
     .expect("lint run on one file");
     assert_eq!(report.files, 1);
@@ -77,11 +125,17 @@ fn deny_flag_promotes_warnings() {
     let report = run(&Options {
         root: fixture_root(),
         paths: Vec::new(),
-        deny: vec!["index-panic".to_string(), "unused-allow".to_string()],
+        deny: vec![
+            "index-panic".to_string(),
+            "unused-allow".to_string(),
+            "serve-reachability".to_string(),
+        ],
+        threads: 1,
+        cache: None,
     })
     .expect("lint run with deny");
     assert_eq!(report.warnings(), 0);
-    assert_eq!(report.errors(), 19);
+    assert_eq!(report.errors(), 25);
 }
 
 #[test]
@@ -94,7 +148,7 @@ fn headlint_binary_exits_one_on_the_seeded_fixture() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("error[panic]"), "{stdout}");
-    assert!(stdout.contains("17 errors"), "{stdout}");
+    assert!(stdout.contains("21 errors"), "{stdout}");
 }
 
 #[test]
@@ -108,12 +162,12 @@ fn headlint_binary_json_report_is_parseable() {
     let json =
         telemetry::Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report");
     assert_eq!(json.get("tool").and_then(|j| j.as_str()), Some("headlint"));
-    assert_eq!(json.get("errors").and_then(|j| j.as_f64()), Some(17.0));
+    assert_eq!(json.get("errors").and_then(|j| j.as_f64()), Some(21.0));
     let diags = match json.get("diagnostics") {
         Some(telemetry::Json::Arr(items)) => items.len(),
         other => panic!("diagnostics not an array: {other:?}"),
     };
-    assert_eq!(diags, 19);
+    assert_eq!(diags, 25);
 }
 
 #[test]
@@ -130,7 +184,7 @@ fn headlint_binary_telemetry_dir_layout() {
     let report_path = dir.join("lint_report.json");
     let text = std::fs::read_to_string(&report_path).expect("lint_report.json written");
     let json = telemetry::Json::parse(text.trim()).expect("valid JSON file");
-    assert_eq!(json.get("warnings").and_then(|j| j.as_f64()), Some(2.0));
+    assert_eq!(json.get("warnings").and_then(|j| j.as_f64()), Some(4.0));
     std::fs::remove_dir_all(&dir).ok();
 }
 

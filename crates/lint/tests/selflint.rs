@@ -1,12 +1,15 @@
 //! The workspace must stay clean under its own linter — this is the
 //! enforcement test behind the CI `headlint` step: every error-severity
-//! finding in `crates/*/src` or `crates/*/tests` is either fixed or
-//! carries a reason-bearing `// lint:allow(...)` directive.
+//! finding in the walked tree (`crates/*/{src,tests,benches}`, root
+//! `examples/` and `tests/`) is either fixed or carries a reason-bearing
+//! `// lint:allow(...)` directive. The determinism contracts are pinned
+//! here too: the walk covers every `.rs` file in the repo, and output is
+//! byte-identical across thread counts and cache states.
 
 use std::path::PathBuf;
 use std::process::Command;
 
-use lint::{run, Options, Severity};
+use lint::{run, workspace_paths, Options, Severity};
 
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -17,14 +20,19 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-#[test]
-fn workspace_is_lint_clean() {
-    let report = run(&Options {
+fn opts() -> Options {
+    Options {
         root: workspace_root(),
         paths: Vec::new(),
         deny: Vec::new(),
-    })
-    .expect("lint run over the workspace");
+        threads: 1,
+        cache: None,
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run(&opts()).expect("lint run over the workspace");
     assert!(
         report.files >= 50,
         "walk looks truncated: only {} files",
@@ -45,12 +53,7 @@ fn workspace_is_lint_clean() {
 
 #[test]
 fn workspace_has_no_stale_allow_directives() {
-    let report = run(&Options {
-        root: workspace_root(),
-        paths: Vec::new(),
-        deny: Vec::new(),
-    })
-    .expect("lint run over the workspace");
+    let report = run(&opts()).expect("lint run over the workspace");
     let stale: Vec<String> = report
         .diags
         .iter()
@@ -64,6 +67,120 @@ fn workspace_has_no_stale_allow_directives() {
     );
 }
 
+/// Every `.rs` file in the repository is visited by the walker, so a new
+/// directory of Rust code cannot silently escape the linter. Generated
+/// trees (`target/`, `vendor/`) and the intentionally-broken lint
+/// fixtures are the only exclusions.
+#[test]
+fn walker_covers_every_rust_file_in_the_repo() {
+    let root = workspace_root();
+    let walked: std::collections::BTreeSet<String> = workspace_paths(&root)
+        .expect("workspace walk")
+        .into_iter()
+        .map(|p| {
+            p.strip_prefix(&root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+
+    let mut missing = Vec::new();
+    let mut stack = vec![root.clone()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().to_string();
+            if path.is_dir() {
+                if name == "target" || name == "vendor" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(&root)
+                    .expect("file under root")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if !walked.contains(&rel) {
+                    missing.push(rel);
+                }
+            }
+        }
+    }
+    missing.sort();
+    assert!(
+        missing.is_empty(),
+        "rust files the walker never visits:\n{}",
+        missing.join("\n")
+    );
+}
+
+/// Snapshot of the real tree's diagnostic totals. A drift in either
+/// direction is meaningful: new warnings should be conscious, and a
+/// sudden drop usually means a pass stopped firing.
+#[test]
+fn real_tree_diagnostic_totals_are_pinned() {
+    let report = run(&opts()).expect("lint run over the workspace");
+    assert_eq!(report.errors(), 0, "{}", report.render_human());
+    let warnings = report
+        .diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    assert!(
+        (300..=700).contains(&warnings),
+        "advisory warning count drifted far from the pinned band: {warnings}"
+    );
+    let serve_warns = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == "serve-reachability")
+        .count();
+    assert!(
+        serve_warns > 0,
+        "the serve daemon calls indexing code; the reachability pass should see it"
+    );
+}
+
+/// The engine's output is a pure function of the tree: any thread count
+/// and any cache state must produce byte-identical reports.
+#[test]
+fn parallel_and_cached_runs_are_byte_identical() {
+    let serial = run(&opts()).expect("serial run");
+    let mut par4 = opts();
+    par4.threads = 4;
+    let parallel = run(&par4).expect("4-thread run");
+    assert_eq!(
+        serial.render_human(),
+        parallel.render_human(),
+        "thread count changed the report"
+    );
+
+    let dir = std::env::temp_dir().join(format!("headlint-selflint-{}", std::process::id()));
+    let cache_path = dir.join("lint_cache.json");
+    let mut cold = opts();
+    cold.cache = Some(cache_path.clone());
+    let first = run(&cold).expect("cold-cache run");
+    assert_eq!(first.cache_hits, 0, "cold cache cannot hit");
+    assert!(first.cache_misses > 0);
+    let second = run(&cold).expect("warm-cache run");
+    assert_eq!(
+        second.cache_misses, 0,
+        "unchanged tree must be fully served from cache"
+    );
+    assert_eq!(
+        serial.render_human(),
+        second.render_human(),
+        "cache changed the report"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn headlint_binary_exits_zero_on_the_workspace() {
     let out = Command::new(env!("CARGO_BIN_EXE_headlint"))
@@ -74,4 +191,26 @@ fn headlint_binary_exits_zero_on_the_workspace() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(0), "{stdout}");
     assert!(stdout.contains("0 errors"), "{stdout}");
+}
+
+#[test]
+fn headlint_binary_writes_sarif() {
+    let dir = std::env::temp_dir().join(format!("headlint-sarif-{}", std::process::id()));
+    let sarif_path = dir.join("lint_report.sarif");
+    let out = Command::new(env!("CARGO_BIN_EXE_headlint"))
+        .args(["--sarif-out"])
+        .arg(&sarif_path)
+        .args(["--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn headlint --sarif-out");
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&sarif_path).expect("sarif written");
+    let doc = telemetry::Json::parse(text.trim()).expect("valid SARIF JSON");
+    assert_eq!(
+        doc.get("version").and_then(|j| j.as_str()),
+        Some("2.1.0"),
+        "{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

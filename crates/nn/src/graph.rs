@@ -22,7 +22,7 @@
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use crate::pool::{BufferPool, PoolStats};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use telemetry::{keys, Stopwatch};
 
@@ -103,15 +103,17 @@ struct OpTimes {
     /// value immediately before pushing, so the delta is dominated by that
     /// op's own compute).
     mark: Stopwatch,
-    fwd: HashMap<&'static str, (u64, u64)>,
-    bwd: HashMap<&'static str, (u64, u64)>,
+    // Ordered so the counter flush (and hence telemetry snapshots) is
+    // independent of hasher state; ~20 keys, so the tree walk is noise.
+    fwd: BTreeMap<&'static str, (u64, u64)>,
+    bwd: BTreeMap<&'static str, (u64, u64)>,
 }
 
 fn new_op_times() -> Box<OpTimes> {
     Box::new(OpTimes {
         mark: Stopwatch::start(),
-        fwd: HashMap::new(),
-        bwd: HashMap::new(),
+        fwd: BTreeMap::new(),
+        bwd: BTreeMap::new(),
     })
 }
 

@@ -216,7 +216,7 @@ impl Matrix {
             block
         }) {
             Ok(blocks) => blocks,
-            // lint:allow(panic) a worker panic here is a kernel bug; re-raise with context
+            // lint:allow(panic, serve-reachability) a worker panic here is a kernel bug; re-raise with context
             Err(e) => panic!("parallel matmul failed: {e}"),
         };
         let mut data = Vec::with_capacity(self.rows * rhs.cols);

@@ -218,7 +218,7 @@ impl ParamStore {
     /// paths) should prefer [`ParamStore::try_to_json`].
     pub fn to_json(&self) -> String {
         self.try_to_json()
-            // lint:allow(panic) documented above: a plain tree of names and floats always serialises
+            // lint:allow(panic, serve-reachability) documented above: a plain tree of names and floats always serialises
             .expect("ParamStore is always serialisable")
     }
 

@@ -28,7 +28,7 @@
 //! an honest per-step allocation profile.
 
 use crate::matrix::Matrix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use telemetry::keys;
 
 /// Allocation counters of one [`BufferPool`], cumulative since creation.
@@ -45,7 +45,10 @@ pub struct PoolStats {
 /// A free-list arena of `Vec<f32>` backing stores keyed by element count.
 #[derive(Default)]
 pub struct BufferPool {
-    free: HashMap<usize, Vec<Vec<f32>>>,
+    // Ordered map: lookups are always by exact length, but an ordered
+    // free list keeps any future iteration (shrink, debug dumps) off the
+    // hasher's nondeterministic order.
+    free: BTreeMap<usize, Vec<Vec<f32>>>,
     stats: PoolStats,
     flushed: PoolStats,
 }

@@ -141,7 +141,7 @@ impl FallbackGuard {
         }
 
         let out = match tier {
-            // lint:allow(panic) the healthy tier returned earlier in this function
+            // lint:allow(panic, serve-reachability) the healthy tier returned earlier in this function
             FallbackTier::Model => unreachable!("healthy path returns above"),
             FallbackTier::LastPrediction => (good_graph.clone(), *good_pred),
             FallbackTier::LastObservation => (good_graph.clone(), persistence(good_graph)),

@@ -136,6 +136,12 @@ pub const SERVE_RELOAD_OK: &str = "serve.reload.ok";
 /// Weight hot-reloads rejected (corrupt/mismatched/non-finite) and rolled
 /// back to the serving weights.
 pub const SERVE_RELOAD_REJECTED: &str = "serve.reload.rejected";
+/// Files analysed by a `headlint` run (cache hits + misses).
+pub const LINT_FILES: &str = "lint.files";
+/// Files served from the `headlint` incremental cache.
+pub const LINT_CACHE_HITS: &str = "lint.cache.hits";
+/// Files analysed from scratch by `headlint` (cold cache or changed).
+pub const LINT_CACHE_MISSES: &str = "lint.cache.misses";
 
 // --- Dynamic counter prefixes -------------------------------------------
 
@@ -264,6 +270,9 @@ pub const ALL: &[&str] = &[
     SERVE_DEADLINE_MISS,
     SERVE_RELOAD_OK,
     SERVE_RELOAD_REJECTED,
+    LINT_FILES,
+    LINT_CACHE_HITS,
+    LINT_CACHE_MISSES,
     NN_FWD_PREFIX,
     NN_BWD_PREFIX,
     SIM_VEHICLES,

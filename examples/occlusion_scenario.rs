@@ -40,7 +40,7 @@ fn main() {
     for _ in 0..5 {
         history.push(sense(&sim, ego, &sensor_cfg));
     }
-    let latest = history.latest().unwrap();
+    let latest = history.latest().unwrap(); // lint:allow(panic) demo binary: the loop above pushed five frames
     println!(
         "sensor reports {} vehicle(s) within {} m:",
         latest.observed.len(),

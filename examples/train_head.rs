@@ -32,7 +32,7 @@ fn main() {
         "      {} train / {} test samples, final epoch loss {:.5}",
         corpus.train.len(),
         corpus.test.len(),
-        report.epoch_losses.last().unwrap()
+        report.epoch_losses.last().unwrap() // lint:allow(panic) demo binary: training always runs at least one epoch
     );
 
     println!(
@@ -40,7 +40,7 @@ fn main() {
         scale.demo_episodes
     );
     let mut model = LstGat::new(LstGatConfig::default(), scale.normalizer());
-    model.load_weights_json(&weights).unwrap();
+    model.load_weights_json(&weights).unwrap(); // lint:allow(panic) demo binary: weights come straight from train_lstgat
     let mut env = HighwayEnv::new(scale.env.clone(), PerceptionMode::LstGat(Box::new(model)));
     let mut agent = PolicyAgent::new("HEAD", Box::new(BpDqn::new(scale.agent)));
     let mut teacher = IdmLc::new(RuleConfig::default());
@@ -56,13 +56,13 @@ fn main() {
 
     println!("[4/4] checkpointing and verifying reload ...");
     let dir = std::path::Path::new("target/head_checkpoints");
-    std::fs::create_dir_all(dir).expect("create checkpoint dir");
-    std::fs::write(dir.join("lstgat.json"), &weights).unwrap();
-    std::fs::write(dir.join("bpdqn.json"), agent.learner().save_json()).unwrap();
+    std::fs::create_dir_all(dir).expect("create checkpoint dir"); // lint:allow(panic) demo binary: checkpoint I/O failure should abort loudly
+    std::fs::write(dir.join("lstgat.json"), &weights).unwrap(); // lint:allow(panic) demo binary: checkpoint I/O failure should abort loudly
+    std::fs::write(dir.join("bpdqn.json"), agent.learner().save_json()).unwrap(); // lint:allow(panic) demo binary: checkpoint I/O failure should abort loudly
 
     let mut reloaded = PolicyAgent::new("HEAD (reloaded)", Box::new(BpDqn::new(scale.agent)));
-    let json = std::fs::read_to_string(dir.join("bpdqn.json")).unwrap();
-    reloaded.learner_mut().load_json(&json).unwrap();
+    let json = std::fs::read_to_string(dir.join("bpdqn.json")).unwrap(); // lint:allow(panic) demo binary: reads the file written two lines up
+    reloaded.learner_mut().load_json(&json).unwrap(); // lint:allow(panic) demo binary: round-trips the checkpoint just saved
 
     let before = evaluate_agent(&mut env, &mut agent, 4, 7_500_000);
     let after = evaluate_agent(&mut env, &mut reloaded, 4, 7_500_000);

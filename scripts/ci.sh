@@ -23,9 +23,25 @@ run_cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== headlint (workspace static analysis) =="
 # Errors (determinism, panic-safety, float-safety, telemetry keys, header
-# drift) fail the gate; the seeded fixture must keep failing or the engine
-# itself has regressed.
-run_cargo run -q -p lint --bin headlint
+# drift, and the call-graph rules: determinism-taint, serve-reachability,
+# telemetry-liveness) fail the gate; the seeded fixture must keep failing
+# or the engine itself has regressed. The main run exercises the
+# incremental cache and the 2-thread pool, then a serial no-cache run must
+# reproduce the report byte-for-byte — the engine's determinism contract.
+mkdir -p results
+run_cargo run -q -p lint --bin headlint -- \
+    --threads 2 --cache target/lint_cache.json \
+    --sarif-out results/lint_report.sarif > results/lint_stdout.txt
+cat results/lint_stdout.txt
+run_cargo run -q -p lint --bin headlint > results/lint_stdout_serial.txt
+if ! cmp -s results/lint_stdout.txt results/lint_stdout_serial.txt; then
+    echo "FAIL: 2-thread cached headlint output differs from the serial run" >&2
+    diff results/lint_stdout_serial.txt results/lint_stdout.txt >&2 || true
+    exit 1
+fi
+rm -f results/lint_stdout.txt results/lint_stdout_serial.txt
+test -f results/lint_report.sarif
+echo "   archived: results/lint_report.sarif"
 if run_cargo run -q -p lint --bin headlint -- --root crates/lint/fixtures/ws > /dev/null; then
     echo "FAIL: headlint exited 0 on the seeded fixture workspace" >&2
     exit 1
