@@ -587,3 +587,18 @@ mod tests {
         assert_eq!(items.fns[1].qual, "", "trait scope is not an impl type");
     }
 }
+#[test]
+fn impl_trait_in_signature_keeps_fn_scope() {
+    use crate::items::extract;
+    use crate::registry::KeyRegistry;
+    use crate::source::SourceFile;
+    let f = SourceFile::analyse(
+        "crates/nn/src/a.rs".into(),
+        "nn".into(),
+        "pub fn frames() -> impl Iterator<Item = u32> {\n    helper();\n    x.unwrap();\n}\n",
+    );
+    let items = extract(&f, &KeyRegistry::parse(""));
+    assert_eq!(items.fns.len(), 1);
+    assert_eq!(items.fns[0].calls.len(), 1, "calls: {:?}", items.fns[0].calls);
+    assert_eq!(items.fns[0].panic_sites.len(), 1, "panics: {:?}", items.fns[0].panic_sites);
+}
