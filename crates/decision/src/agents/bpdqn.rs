@@ -218,25 +218,43 @@ impl BpDqn {
 
     /// Greedy parameters and Q-values for one state.
     fn evaluate_state(&mut self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
+        let mut out = self.evaluate_states(std::slice::from_ref(&state));
+        out.swap_remove(0)
+    }
+
+    /// Greedy parameters and Q-values for a whole batch of states: one
+    /// wide frozen pass on the act tape, row `i` belonging to
+    /// `states[i]`. Every op in the branched networks treats sample rows
+    /// independently (the per-branch reshape maps sample `i`'s scalars to
+    /// row `i`), so each row is bit-identical to the batch-1 pass.
+    fn evaluate_states(&mut self, states: &[&AugmentedState]) -> Vec<([f32; 3], [f32; 3])> {
+        let n = states.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let mut g = std::mem::take(&mut self.tapes.act);
         g.reset();
-        let cur = g.input(self.cfg.scale.current_batch(&[state]));
-        let fut = g.input(self.cfg.scale.future_batch(&[state]));
+        let cur = g.input(self.cfg.scale.current_batch(states));
+        let fut = g.input(self.cfg.scale.future_batch(states));
         let x = self.x_net.forward(
             &mut g,
             &self.x_store,
             cur,
             fut,
-            1,
+            n,
             self.cfg.a_max as f32,
             false,
         );
         let q = self
             .q_net
-            .forward(&mut g, &self.q_store, cur, fut, x, 1, false);
-        let xr = g.value(x).row_slice(0);
-        let qr = g.value(q).row_slice(0);
-        let out = ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]]);
+            .forward(&mut g, &self.q_store, cur, fut, x, n, false);
+        let out = (0..n)
+            .map(|i| {
+                let xr = g.value(x).row_slice(i);
+                let qr = g.value(q).row_slice(i);
+                ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]])
+            })
+            .collect();
         self.tapes.act = g;
         out
     }
@@ -269,6 +287,21 @@ impl PamdpAgent for BpDqn {
             accel: params[chosen] as f64,
         };
         (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+    }
+
+    fn act_batch_greedy(&mut self, states: &[&AugmentedState]) -> Vec<(Action, [f32; 6])> {
+        telemetry::counter_add(keys::NN_KERNEL_BATCHED_STATES, states.len() as u64);
+        self.evaluate_states(states)
+            .into_iter()
+            .map(|(params, q)| {
+                let chosen = argmax(&q);
+                let action = Action {
+                    behaviour: LaneBehaviour::from_index(chosen),
+                    accel: params[chosen] as f64,
+                };
+                (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+            })
+            .collect()
     }
 
     fn observe(&mut self, transition: Transition) {

@@ -67,11 +67,23 @@ impl DiscreteDqn {
 
     /// Q-values of every discrete action for one state.
     pub fn q_values(&mut self, state: &AugmentedState) -> Vec<f32> {
+        let mut out = self.q_values_batch(std::slice::from_ref(&state));
+        out.swap_remove(0)
+    }
+
+    /// Q-values of every discrete action for a whole batch of states in one
+    /// wide frozen pass; row `i` is bit-identical to the batch-1 pass for
+    /// `states[i]` (every trunk op is row-independent).
+    pub fn q_values_batch(&mut self, states: &[&AugmentedState]) -> Vec<Vec<f32>> {
+        let n = states.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let mut g = std::mem::take(&mut self.tapes.act);
         g.reset();
-        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let s = g.input(self.cfg.scale.flat_batch(states));
         let q = self.net.forward_frozen(&mut g, &self.store, s);
-        let out = g.value(q).row_slice(0).to_vec();
+        let out = (0..n).map(|i| g.value(q).row_slice(i).to_vec()).collect();
         self.tapes.act = g;
         out
     }
@@ -115,6 +127,22 @@ impl PamdpAgent for DiscreteDqn {
         let mut params = [0.0f32; 6];
         params[action.behaviour.index()] = action.accel as f32;
         (action, params)
+    }
+
+    fn act_batch_greedy(&mut self, states: &[&AugmentedState]) -> Vec<(Action, [f32; 6])> {
+        telemetry::counter_add(
+            telemetry::keys::NN_KERNEL_BATCHED_STATES,
+            states.len() as u64,
+        );
+        self.q_values_batch(states)
+            .into_iter()
+            .map(|q| {
+                let action = self.action_of(argmax(&q));
+                let mut params = [0.0f32; 6];
+                params[action.behaviour.index()] = action.accel as f32;
+                (action, params)
+            })
+            .collect()
     }
 
     fn observe(&mut self, transition: Transition) {

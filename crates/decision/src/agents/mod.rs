@@ -157,6 +157,20 @@ pub trait PamdpAgent {
     /// were actually in force).
     fn act(&mut self, state: &AugmentedState, explore: bool) -> (Action, [f32; 6]);
 
+    /// Greedy (no-exploration) action selection for a whole batch of
+    /// states at once.
+    ///
+    /// The default falls back to looping [`PamdpAgent::act`] with
+    /// `explore = false`. Network-backed learners override it with one
+    /// wide `(batch, features)` forward pass, which is bit-identical per
+    /// row to the batch-1 pass (every graph op treats rows independently)
+    /// but amortises tape dispatch and turns `batch` skinny matmuls into
+    /// one wide one — the `serve` batcher and the perf harness's
+    /// batched-inference gate run through this path.
+    fn act_batch_greedy(&mut self, states: &[&AugmentedState]) -> Vec<(Action, [f32; 6])> {
+        states.iter().map(|s| self.act(s, false)).collect()
+    }
+
     /// Stores a transition in the replay buffer.
     fn observe(&mut self, transition: Transition);
 

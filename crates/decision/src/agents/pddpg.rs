@@ -76,16 +76,31 @@ impl PDdpg {
     /// Actor output for one state: `[act0, act1, act2, a0, a1, a2]` with
     /// activations in (-1, 1) and accelerations in (-a', a').
     fn actor_output(&mut self, state: &AugmentedState) -> [f32; ACTION_DIM] {
+        let mut out = self.actor_outputs(std::slice::from_ref(&state));
+        out.swap_remove(0)
+    }
+
+    /// One wide frozen actor pass over a batch of states; row `i` is
+    /// bit-identical to the batch-1 pass for `states[i]`.
+    fn actor_outputs(&mut self, states: &[&AugmentedState]) -> Vec<[f32; ACTION_DIM]> {
+        let n = states.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let mut g = std::mem::take(&mut self.tapes.act);
         g.reset();
-        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let s = g.input(self.cfg.scale.flat_batch(states));
         let raw = self.actor.forward_frozen(&mut g, &self.actor_store, s);
         let out = g.tanh(raw);
-        let row = g.value(out).row_slice(0);
         let a = self.cfg.a_max as f32;
-        let out = [row[0], row[1], row[2], row[3] * a, row[4] * a, row[5] * a];
+        let outs = (0..n)
+            .map(|i| {
+                let row = g.value(out).row_slice(i);
+                [row[0], row[1], row[2], row[3] * a, row[4] * a, row[5] * a]
+            })
+            .collect();
         self.tapes.act = g;
-        out
+        outs
     }
 
     /// Scales a raw tanh actor output node into the collapsed action
@@ -136,6 +151,21 @@ impl PamdpAgent for PDdpg {
         };
         // Store accelerations in slots 0..3 and activations in 3..6.
         (action, [out[3], out[4], out[5], out[0], out[1], out[2]])
+    }
+
+    fn act_batch_greedy(&mut self, states: &[&AugmentedState]) -> Vec<(Action, [f32; 6])> {
+        telemetry::counter_add(keys::NN_KERNEL_BATCHED_STATES, states.len() as u64);
+        self.actor_outputs(states)
+            .into_iter()
+            .map(|out| {
+                let chosen = argmax(&out[..NUM_BEHAVIOURS]);
+                let action = Action {
+                    behaviour: LaneBehaviour::from_index(chosen),
+                    accel: out[NUM_BEHAVIOURS + chosen] as f64,
+                };
+                (action, [out[3], out[4], out[5], out[0], out[1], out[2]])
+            })
+            .collect()
     }
 
     fn observe(&mut self, transition: Transition) {

@@ -76,17 +76,33 @@ impl PDqn {
     }
 
     fn evaluate_state(&mut self, state: &AugmentedState) -> ([f32; 3], [f32; 3]) {
+        let mut out = self.evaluate_states(std::slice::from_ref(&state));
+        out.swap_remove(0)
+    }
+
+    /// One wide frozen pass over a batch of states; row `i` is
+    /// bit-identical to the batch-1 pass for `states[i]` (all trunk ops
+    /// are row-independent).
+    fn evaluate_states(&mut self, states: &[&AugmentedState]) -> Vec<([f32; 3], [f32; 3])> {
+        let n = states.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let mut g = std::mem::take(&mut self.tapes.act);
         g.reset();
-        let s = g.input(self.cfg.scale.flat_batch(&[state]));
+        let s = g.input(self.cfg.scale.flat_batch(states));
         let x = self.x_net.forward_frozen(&mut g, &self.x_store, s);
         let x = g.tanh(x);
         let x = g.scale(x, self.cfg.a_max as f32);
         let sq = g.concat_cols(s, x);
         let q = self.q_net.forward_frozen(&mut g, &self.q_store, sq);
-        let xr = g.value(x).row_slice(0);
-        let qr = g.value(q).row_slice(0);
-        let out = ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]]);
+        let out = (0..n)
+            .map(|i| {
+                let xr = g.value(x).row_slice(i);
+                let qr = g.value(q).row_slice(i);
+                ([xr[0], xr[1], xr[2]], [qr[0], qr[1], qr[2]])
+            })
+            .collect();
         self.tapes.act = g;
         out
     }
@@ -118,6 +134,21 @@ impl PamdpAgent for PDqn {
             accel: params[chosen] as f64,
         };
         (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+    }
+
+    fn act_batch_greedy(&mut self, states: &[&AugmentedState]) -> Vec<(Action, [f32; 6])> {
+        telemetry::counter_add(keys::NN_KERNEL_BATCHED_STATES, states.len() as u64);
+        self.evaluate_states(states)
+            .into_iter()
+            .map(|(params, q)| {
+                let chosen = argmax(&q);
+                let action = Action {
+                    behaviour: LaneBehaviour::from_index(chosen),
+                    accel: params[chosen] as f64,
+                };
+                (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+            })
+            .collect()
     }
 
     fn observe(&mut self, transition: Transition) {

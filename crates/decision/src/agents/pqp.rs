@@ -98,6 +98,33 @@ impl PQp {
         self.tapes.act = g;
         out
     }
+
+    /// Greedy parameters and Q-values for a whole batch of states: both
+    /// frozen passes share one tape and one wide input. Row `i` is
+    /// bit-identical to `params_of`/`q_of` on `states[i]` (both nets read
+    /// the same input rows, and every op is row-independent).
+    fn greedy_eval(&mut self, states: &[&AugmentedState]) -> Vec<([f32; 3], [f32; 3])> {
+        let n = states.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut g = std::mem::take(&mut self.tapes.act);
+        g.reset();
+        let s = g.input(self.cfg.scale.flat_batch(states));
+        let raw = self.param_net.forward_frozen(&mut g, &self.param_store, s);
+        let t = g.tanh(raw);
+        let p = g.scale(t, self.cfg.a_max as f32);
+        let q = self.q_net.forward_frozen(&mut g, &self.q_store, s);
+        let out = (0..n)
+            .map(|i| {
+                let pr = g.value(p).row_slice(i);
+                let qr = g.value(q).row_slice(i);
+                ([pr[0], pr[1], pr[2]], [qr[0], qr[1], qr[2]])
+            })
+            .collect();
+        self.tapes.act = g;
+        out
+    }
 }
 
 impl PamdpAgent for PQp {
@@ -127,6 +154,24 @@ impl PamdpAgent for PQp {
             accel: params[chosen] as f64,
         };
         (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+    }
+
+    fn act_batch_greedy(&mut self, states: &[&AugmentedState]) -> Vec<(Action, [f32; 6])> {
+        telemetry::counter_add(
+            telemetry::keys::NN_KERNEL_BATCHED_STATES,
+            states.len() as u64,
+        );
+        self.greedy_eval(states)
+            .into_iter()
+            .map(|(params, q)| {
+                let chosen = argmax(&q);
+                let action = Action {
+                    behaviour: LaneBehaviour::from_index(chosen),
+                    accel: params[chosen] as f64,
+                };
+                (action, [params[0], params[1], params[2], 0.0, 0.0, 0.0])
+            })
+            .collect()
     }
 
     fn observe(&mut self, transition: Transition) {

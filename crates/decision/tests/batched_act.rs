@@ -1,0 +1,98 @@
+//! Batched greedy action selection must be **bit-identical** to the
+//! per-state path for every learner.
+//!
+//! The serve batcher and the perf harness's batched-inference gate route
+//! through [`PamdpAgent::act_batch_greedy`], which runs one wide
+//! `(batch, features)` forward pass instead of `batch` skinny ones. That
+//! substitution is only sound because every graph op treats rows
+//! independently and the GEMM micro-kernel accumulates each output element
+//! in a fixed ascending-k order — so row `i` of the wide pass carries the
+//! same bits as a batch-1 pass over `states[i]`. This test pins that
+//! contract across all five agents.
+
+use decision::{
+    Action, AgentConfig, AugmentedState, BpDqn, DiscreteDqn, LinearSchedule, PDdpg, PDqn, PQp,
+    PamdpAgent, CURRENT_ROWS, FUTURE_ROWS, ROW_DIM,
+};
+
+/// Deterministic, varied, finite states (no RNG needed: any fixed inputs
+/// exercise the bit-equality contract).
+fn varied_states(n: usize) -> Vec<AugmentedState> {
+    (0..n)
+        .map(|i| {
+            let mut s = AugmentedState::zeros();
+            for (r, row) in s.current.iter_mut().enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = ((i * CURRENT_ROWS + r) as f64 * 0.7 + c as f64 * 1.3).sin() * 20.0;
+                }
+            }
+            for (r, row) in s.future.iter_mut().enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = ((i * FUTURE_ROWS + r) as f64 * 1.1 - c as f64 * 0.9).cos() * 15.0;
+                }
+            }
+            debug_assert_eq!(ROW_DIM, 4);
+            s
+        })
+        .collect()
+}
+
+fn assert_actions_bit_equal(
+    name: &str,
+    single: &[(Action, [f32; 6])],
+    batched: &[(Action, [f32; 6])],
+) {
+    assert_eq!(single.len(), batched.len(), "{name}: length mismatch");
+    for (i, (s, b)) in single.iter().zip(batched).enumerate() {
+        assert_eq!(
+            s.0.behaviour, b.0.behaviour,
+            "{name}: behaviour diverges at state {i}"
+        );
+        assert_eq!(
+            s.0.accel.to_bits(),
+            b.0.accel.to_bits(),
+            "{name}: accel bits diverge at state {i}: {} vs {}",
+            s.0.accel,
+            b.0.accel
+        );
+        for (j, (sv, bv)) in s.1.iter().zip(&b.1).enumerate() {
+            assert_eq!(
+                sv.to_bits(),
+                bv.to_bits(),
+                "{name}: param[{j}] bits diverge at state {i}: {sv} vs {bv}"
+            );
+        }
+    }
+}
+
+fn check_agent(agent: &mut dyn PamdpAgent) {
+    let states = varied_states(7);
+    let refs: Vec<&AugmentedState> = states.iter().collect();
+    // Per-state greedy reference first: batching must not perturb it
+    // (greedy passes advance no exploration counters).
+    let single: Vec<(Action, [f32; 6])> = states.iter().map(|s| agent.act(s, false)).collect();
+    let batched = agent.act_batch_greedy(&refs);
+    assert_actions_bit_equal(agent.name(), &single, &batched);
+    // And batch-of-1 must match too (degenerate batch path).
+    let one = agent.act_batch_greedy(&refs[..1]);
+    assert_actions_bit_equal(agent.name(), &single[..1], &one);
+    assert!(agent.act_batch_greedy(&[]).is_empty());
+}
+
+fn quick_cfg(seed: u64) -> AgentConfig {
+    AgentConfig {
+        epsilon: LinearSchedule::new(1.0, 0.05, 600),
+        noise: LinearSchedule::new(1.0, 0.1, 600),
+        seed,
+        ..AgentConfig::default()
+    }
+}
+
+#[test]
+fn batched_greedy_actions_bit_identical_across_all_agents() {
+    check_agent(&mut BpDqn::new(quick_cfg(101)));
+    check_agent(&mut PDqn::new(quick_cfg(102)));
+    check_agent(&mut PDdpg::new(quick_cfg(103)));
+    check_agent(&mut PQp::new(quick_cfg(104)));
+    check_agent(&mut DiscreteDqn::new(quick_cfg(105)));
+}

@@ -32,7 +32,7 @@ use crate::passes::{rule, Diagnostic, Severity, RULES};
 use crate::source::Allow;
 
 /// Bumped whenever FileFacts serialisation or pass semantics change.
-pub const CACHE_VERSION: u64 = 1;
+pub const CACHE_VERSION: u64 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

@@ -162,7 +162,12 @@ pub fn extract(f: &SourceFile, keys: &KeyRegistry) -> FileItems {
         let t = &toks[i];
         if t.is_ident("impl") {
             if let Some((type_name, open)) = impl_header(f, i) {
-                scope_openers.insert(open, ScopeKind::Impl(type_name));
+                // `impl Trait` in a signature position (`-> impl Iterator<..>`,
+                // `x: impl Fn()`) scans forward to the same `{` the enclosing
+                // fn already claimed; only a real `impl` block owns a fresh one.
+                scope_openers
+                    .entry(open)
+                    .or_insert(ScopeKind::Impl(type_name));
             }
         } else if t.is_ident("fn") {
             if let Some(n) = toks.get(i + 1) {
@@ -418,6 +423,12 @@ fn scan_token(
         }
         let call = match prev {
             Some(p) if p.is_punct(".") => {
+                // `.unwrap()` / `.expect()` are std combinators already
+                // recorded as panic sites above; resolving them as workspace
+                // method calls would only pollute the call graph.
+                if t.text == "unwrap" || t.text == "expect" {
+                    return;
+                }
                 // `recv.name(..)`; `self.name(..)` scopes to the impl type.
                 let receiver_is_self = i >= 2
                     && toks[i - 2].is_ident("self")
@@ -599,6 +610,16 @@ fn impl_trait_in_signature_keeps_fn_scope() {
     );
     let items = extract(&f, &KeyRegistry::parse(""));
     assert_eq!(items.fns.len(), 1);
-    assert_eq!(items.fns[0].calls.len(), 1, "calls: {:?}", items.fns[0].calls);
-    assert_eq!(items.fns[0].panic_sites.len(), 1, "panics: {:?}", items.fns[0].panic_sites);
+    assert_eq!(
+        items.fns[0].calls.len(),
+        1,
+        "calls: {:?}",
+        items.fns[0].calls
+    );
+    assert_eq!(
+        items.fns[0].panic_sites.len(),
+        1,
+        "panics: {:?}",
+        items.fns[0].panic_sites
+    );
 }

@@ -19,16 +19,32 @@ pub fn narrow(v: f64) -> f32 {
     v as f32
 }
 
-/// Output-row tile of the blocked matmul kernel.
-const MM_ROW_TILE: usize = 16;
-/// `k`-band tile: one `MM_K_TILE`-row band of `rhs` stays cache-hot while
-/// a row tile of output sweeps it.
-const MM_K_TILE: usize = 64;
+/// Register-tile height of the GEMM micro-kernel: output rows advanced
+/// per inner step.
+///
+/// `MM_MR x MM_NR` f32 accumulators are 8 four-lane SIMD words — together
+/// with one `MM_NR`-wide `rhs` panel and one broadcast lane they fit the
+/// 16 vector registers of baseline x86-64, so the accumulator block never
+/// spills inside the `k` loop.
+const MM_MR: usize = 4;
+/// Register-tile width of the GEMM micro-kernel: output columns advanced
+/// per inner step (two four-lane SIMD words per row at baseline width).
+const MM_NR: usize = 8;
 /// Auto-dispatch threshold in multiply-adds: below this, scoped-thread
 /// spawn overhead exceeds the whole kernel, so [`Matrix::matmul_auto`]
-/// stays serial. The workspace's policy nets (hidden ≤ 64) sit far below
-/// it — parallelism pays at the episode/head level there, not per-GEMM.
-pub const PAR_MIN_MACS: usize = 1 << 20;
+/// stays serial.
+///
+/// Derived from measured crossover, not guessed (see `bench --bin perf`,
+/// kernel section): `par::Pool::try_map` spawns its scoped workers per
+/// call at ~0.3 ms for two threads, and the serial micro-kernel sustains
+/// on the order of 10 GFLOP/s, so spawn cost alone buys ~3 M multiply-adds
+/// of work. Break-even is therefore in the millions of MACs; `1 << 23`
+/// (~8.4 M) adds a safety margin so the parallel path only wins. The
+/// workspace's policy nets (hidden ≤ 64) sit far below it — parallelism
+/// pays at the episode/head level there, not per-GEMM. The old `1 << 20`
+/// threshold admitted ~1 M-MAC products (~0.1 ms of work) and produced the
+/// 0.47x smoke-scale slowdown recorded in `results/BENCH_parallel.json`.
+pub const PAR_MIN_MACS: usize = 1 << 23;
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -232,18 +248,23 @@ impl Matrix {
 
     /// `self * rhs` with automatic serial/parallel dispatch.
     ///
-    /// Routes to [`Matrix::matmul_par`] when the process-global
-    /// [`par::threads`] setting is above 1 **and** the product is big
+    /// Routes to [`Matrix::matmul_par`] when the effective worker count
+    /// ([`par::effective_threads`]: the configured [`par::threads`] capped
+    /// by the hardware core count) is above 1 **and** the product is big
     /// enough ([`PAR_MIN_MACS`] multiply-adds) that scoped-thread spawn
     /// overhead is amortised; otherwise runs the serial kernel. Because
     /// both paths are bit-identical the dispatch decision is invisible in
-    /// the output — only in wall-clock.
+    /// the output — only in wall-clock. Decisions are counted under the
+    /// `nn.kernel.dispatch_*` telemetry keys so a run can report how often
+    /// each path was taken.
     pub fn matmul_auto(&self, rhs: &Matrix) -> Matrix {
-        let threads = par::threads();
+        let threads = par::effective_threads();
         let macs = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
         if threads > 1 && self.rows > 1 && macs >= PAR_MIN_MACS {
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_PARALLEL, 1);
             self.matmul_par(rhs, &par::Pool::new(threads))
         } else {
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_SERIAL, 1);
             self.matmul(rhs)
         }
     }
@@ -251,9 +272,9 @@ impl Matrix {
     /// [`Matrix::matmul_auto`] computing into a caller-provided output
     /// buffer, so a pooled tape can reuse allocations across steps.
     ///
-    /// Bit-identical to [`Matrix::matmul_auto`]: the serial branch zeroes
-    /// `out` and runs the same kernel; the parallel branch (only reached
-    /// on [`PAR_MIN_MACS`]-sized products, where a copy is noise) computes
+    /// Bit-identical to [`Matrix::matmul_auto`]: the serial branch runs
+    /// the same overwriting kernel; the parallel branch (only reached on
+    /// [`PAR_MIN_MACS`]-sized products, where a copy is noise) computes
     /// with [`Matrix::matmul_par`] and copies the result in.
     ///
     /// # Panics
@@ -266,46 +287,103 @@ impl Matrix {
             (self.rows, rhs.cols),
             "matmul output shape mismatch"
         );
-        let threads = par::threads();
+        let threads = par::effective_threads();
         let macs = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
         if threads > 1 && self.rows > 1 && macs >= PAR_MIN_MACS {
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_PARALLEL, 1);
             let m = self.matmul_par(rhs, &par::Pool::new(threads));
             out.data.copy_from_slice(&m.data);
         } else {
-            out.zero_out();
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_SERIAL, 1);
             self.matmul_rows_into(rhs, 0, self.rows, &mut out.data);
         }
     }
 
-    /// The shared row-range matmul kernel: computes output rows
+    /// The shared row-range GEMM kernel: computes (overwrites) output rows
     /// `r0..r1` into `out` (a `(r1-r0) x rhs.cols` row-major block).
     ///
-    /// i-k-j loop order with row/k cache tiles: a `MM_K_TILE`-row band of
-    /// `rhs` stays hot while a `MM_ROW_TILE` tile of output rows sweeps
-    /// it. Tiles are visited in increasing `k`, so for any fixed output
-    /// element the floating-point accumulation order is exactly the
-    /// untiled loop's — tiling (and row partitioning above) never changes
-    /// a single bit of the result.
+    /// Register-tiled micro-kernel over contiguous column panels: for each
+    /// `MM_NR`-wide panel of output columns, `MM_MR x MM_NR` accumulators
+    /// sweep the **full** inner dimension before anything is stored, with
+    /// the `MM_NR`-wide `rhs` panel row reloaded per `k` step (contiguous,
+    /// cache-hot — the whole `k x MM_NR` panel of `rhs` stays resident
+    /// while every row tile sweeps it). The per-column accumulator lanes
+    /// are independent, so the compiler vectorises the panel loop without
+    /// reassociating anything.
+    ///
+    /// Determinism contract: for every output element the products are
+    /// accumulated in strictly ascending `k` order, starting from `+0.0`
+    /// and never splitting the `k` sweep into partial sums — so tiling
+    /// width, SIMD width, and the row partitioning above never change a
+    /// single bit of the result, and serial/parallel checksums match at
+    /// any thread count. Inputs are assumed finite (everything upstream is
+    /// finite-guarded); the kernel itself never skips a term.
     fn matmul_rows_into(&self, rhs: &Matrix, r0: usize, r1: usize, out: &mut [f32]) {
-        debug_assert!(r1 <= self.rows && out.len() == (r1 - r0) * rhs.cols);
-        for ib in (r0..r1).step_by(MM_ROW_TILE) {
-            let ie = (ib + MM_ROW_TILE).min(r1);
-            for kb in (0..self.cols).step_by(MM_K_TILE) {
-                let ke = (kb + MM_K_TILE).min(self.cols);
-                for i in ib..ie {
-                    let base = (i - r0) * rhs.cols;
-                    let out_row = &mut out[base..base + rhs.cols];
-                    for k in kb..ke {
-                        let a = self.data[i * self.cols + k];
-                        // lint:allow(float-eq) sparsity fast path: only an exact-zero row skips work
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                            *o += a * b;
+        let m = r1 - r0;
+        let k_dim = self.cols;
+        let n = rhs.cols;
+        debug_assert!(r1 <= self.rows && out.len() == m * n);
+        let a = &self.data;
+        let b = &rhs.data;
+        let n_main = n - n % MM_NR;
+        let m_main = m - m % MM_MR;
+        let mut jb = 0;
+        while jb < n_main {
+            // Full MM_MR x MM_NR register tiles.
+            let mut ib = 0;
+            while ib < m_main {
+                // Pre-sliced `lhs` rows let the `arows[r][kk]` loads below
+                // elide bounds checks (kk < k_dim by construction).
+                let mut arows: [&[f32]; MM_MR] = [&a[0..0]; MM_MR];
+                for (r, slot) in arows.iter_mut().enumerate() {
+                    let row = r0 + ib + r;
+                    *slot = &a[row * k_dim..row * k_dim + k_dim];
+                }
+                let mut acc = [[0.0f32; MM_NR]; MM_MR];
+                for kk in 0..k_dim {
+                    let bs = kk * n + jb;
+                    let mut bp = [0.0f32; MM_NR];
+                    bp.copy_from_slice(&b[bs..bs + MM_NR]);
+                    for (row, &av) in acc.iter_mut().zip(&arows) {
+                        let av = av[kk];
+                        for (o, &bv) in row.iter_mut().zip(&bp) {
+                            *o += av * bv;
                         }
                     }
+                }
+                for (r, row) in acc.iter().enumerate() {
+                    let base = (ib + r) * n + jb;
+                    out[base..base + MM_NR].copy_from_slice(row);
+                }
+                ib += MM_MR;
+            }
+            // Row remainder: single-row accumulators over the same panel.
+            for i in ib..m {
+                let arow = &a[(r0 + i) * k_dim..(r0 + i) * k_dim + k_dim];
+                let mut acc = [0.0f32; MM_NR];
+                for (kk, &av) in arow.iter().enumerate() {
+                    let bs = kk * n + jb;
+                    let mut bp = [0.0f32; MM_NR];
+                    bp.copy_from_slice(&b[bs..bs + MM_NR]);
+                    for (o, &bv) in acc.iter_mut().zip(&bp) {
+                        *o += av * bv;
+                    }
+                }
+                out[i * n + jb..i * n + jb + MM_NR].copy_from_slice(&acc);
+            }
+            jb += MM_NR;
+        }
+        // Column remainder (n % MM_NR): scalar per-element, ascending k —
+        // the same per-element accumulation order as the panels.
+        if n_main < n {
+            for i in 0..m {
+                let arow = &a[(r0 + i) * k_dim..(r0 + i) * k_dim + k_dim];
+                for j in n_main..n {
+                    let mut acc = 0.0f32;
+                    for (kk, &av) in arow.iter().enumerate() {
+                        acc += av * b[kk * n + j];
+                    }
+                    out[i * n + j] = acc;
                 }
             }
         }
@@ -321,8 +399,8 @@ impl Matrix {
 
     /// Outer product `u vᵀ` (a `u.len() x v.len()` matrix).
     ///
-    /// Mirrors the matmul kernel's arithmetic exactly — zero-initialised
-    /// accumulate with the same exact-zero skip — so `outer(u, v)` is
+    /// Mirrors the matmul kernel's arithmetic exactly — a `+0.0`-seeded
+    /// one-term accumulation per element — so `outer(u, v)` is
     /// bit-identical to `col(u).matmul(&row(v))` and the graph backward
     /// pass can take this cheaper path for batch-1 gradients without
     /// perturbing any checksum.
@@ -369,10 +447,12 @@ impl Matrix {
     /// Outer product with the same auto-dispatch policy as
     /// [`Matrix::matmul_auto`].
     pub fn outer_auto(u: &[f32], v: &[f32]) -> Matrix {
-        let threads = par::threads();
+        let threads = par::effective_threads();
         if threads > 1 && u.len() > 1 && u.len().saturating_mul(v.len()) >= PAR_MIN_MACS {
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_PARALLEL, 1);
             Self::outer_par(u, v, &par::Pool::new(threads))
         } else {
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_SERIAL, 1);
             Self::outer(u, v)
         }
     }
@@ -389,12 +469,13 @@ impl Matrix {
             (u.len(), v.len()),
             "outer output shape mismatch"
         );
-        let threads = par::threads();
+        let threads = par::effective_threads();
         if threads > 1 && u.len() > 1 && u.len().saturating_mul(v.len()) >= PAR_MIN_MACS {
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_PARALLEL, 1);
             let m = Self::outer_par(u, v, &par::Pool::new(threads));
             out.data.copy_from_slice(&m.data);
         } else {
-            out.zero_out();
+            telemetry::counter_add(telemetry::keys::NN_KERNEL_DISPATCH_SERIAL, 1);
             Self::outer_rows_into(u, v, 0, u.len(), &mut out.data);
         }
     }
@@ -402,14 +483,15 @@ impl Matrix {
     fn outer_rows_into(u: &[f32], v: &[f32], r0: usize, r1: usize, out: &mut [f32]) {
         debug_assert!(r1 <= u.len() && out.len() == (r1 - r0) * v.len());
         for (off, &a) in u[r0..r1].iter().enumerate() {
-            // lint:allow(float-eq) sparsity fast path mirroring the matmul kernel
-            if a == 0.0 {
-                continue;
-            }
             let base = off * v.len();
             let out_row = &mut out[base..base + v.len()];
             for (o, &b) in out_row.iter_mut().zip(v) {
-                *o += a * b;
+                // Seed from +0.0 and accumulate (never assign the bare
+                // product) so a `-0.0` product lands as `+0.0`, exactly as
+                // the k=1 case of the matmul kernel produces it.
+                let mut acc = 0.0f32;
+                acc += a * b;
+                *o = acc;
             }
         }
     }
@@ -574,7 +656,7 @@ mod tests {
             .map(|i| {
                 z = par::stream_seed(z, i as u64);
                 // Spread across [-1, 1) with a sprinkling of exact zeros
-                // so the sparsity fast path is exercised too.
+                // so signed-zero products are exercised too.
                 if z % 17 == 0 {
                     0.0
                 } else {
@@ -603,6 +685,50 @@ mod tests {
                 assert_eq!(serial, parallel);
             }
         }
+    }
+
+    /// Naive i-j-k reference: per-element ascending-`k` accumulation from
+    /// `+0.0` — the order the micro-kernel contractually reproduces.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn micro_kernel_matches_naive_accumulation_order_bitwise() {
+        // Shapes straddling every tile boundary: row remainders (m % MM_MR),
+        // column remainders (n % MM_NR), k=1, and single-row inputs.
+        for (m, k, n) in [(4, 8, 8), (7, 129, 23), (1, 5, 3), (12, 64, 40), (5, 1, 9)] {
+            let a = seeded(m, k, 21);
+            let b = seeded(k, n, 22);
+            let fast = a.matmul(&b);
+            let naive = matmul_naive(&a, &b);
+            assert_eq!(fast.checksum(), naive.checksum(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn negative_zero_products_accumulate_to_positive_zero() {
+        // (-1)·0 = -0.0, but the kernel seeds every accumulator with +0.0
+        // and adds, so the stored element must be +0.0 bit-for-bit — the
+        // invariant that keeps the old sparsity-skipping kernel's
+        // checksums (and all committed baselines) valid.
+        let u = Matrix::from_vec(2, 1, vec![-1.0, 0.0]);
+        let v = Matrix::from_vec(1, 3, vec![0.0, 3.0, 0.0]);
+        let prod = u.matmul(&v);
+        assert_eq!(prod.get(0, 0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(prod.get(1, 2).to_bits(), 0.0f32.to_bits());
+        let direct = Matrix::outer(u.data(), v.data());
+        assert_eq!(prod.checksum(), direct.checksum());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Bit-identity contracts of batch-major execution:
+//!
+//! * a batch-of-N forward pass carries, row for row, the exact bits of N
+//!   batch-1 forward passes — the property that lets the perception heads,
+//!   the decision agents and the serve batcher fold per-sample inference
+//!   into one wide GEMM without perturbing any answer;
+//! * a batched learn step (one wide forward, one backward, one Adam step)
+//!   leaves the weights bit-identical to the reference per-sample
+//!   accumulation: each sample's loss normalised by the full batch's
+//!   element count, gradients accumulated in sample order.
+//!
+//! Both hold because the GEMM micro-kernel accumulates every output
+//! element in a fixed ascending-k order from +0.0 and every graph op
+//! treats rows independently — accumulation order is part of the
+//! determinism contract (DESIGN.md §5).
+
+use nn::{Adam, Graph, Matrix, Mlp, ParamStore};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn rand_matrix(rng: &mut ChaCha12Rng, rows: usize, cols: usize) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(-1.0..1.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn build_net(seed: u64) -> (ParamStore, Mlp) {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "net", &[6, 16, 16, 4], &mut rng);
+    (store, mlp)
+}
+
+fn assert_bits_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} != {y}");
+    }
+}
+
+/// Extracts row `r` of a node value as an owned 1-row matrix.
+fn row_of(m: &Matrix, r: usize) -> Matrix {
+    Matrix::from_vec(1, m.cols(), m.row_slice(r).to_vec())
+}
+
+#[test]
+fn batched_forward_rows_match_per_sample_forwards_bitwise() {
+    let (store, mlp) = build_net(7);
+    let mut data_rng = ChaCha12Rng::seed_from_u64(8);
+    // Odd batch sizes exercise the micro-kernel's row-remainder path;
+    // width-16 hidden layers exercise the full 4x8 tile path.
+    for batch in [1usize, 2, 3, 5, 8, 13] {
+        let x = rand_matrix(&mut data_rng, batch, 6);
+
+        let mut wide = Graph::new();
+        let xv = wide.input_copy(&x);
+        let y_wide = mlp.forward(&mut wide, &store, xv);
+        let y_wide = wide.value(y_wide);
+
+        for b in 0..batch {
+            let mut g = Graph::new();
+            let xv = g.input(row_of(&x, b));
+            let y = mlp.forward(&mut g, &store, xv);
+            assert_bits_equal(
+                &row_of(y_wide, b),
+                g.value(y),
+                &format!("batch {batch}, row {b}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_learn_step_matches_per_sample_accumulation_bitwise() {
+    let (mut store_w, mlp_w) = build_net(21);
+    let (mut store_s, mlp_s) = build_net(21);
+    let mut adam_w = Adam::new(1e-3);
+    let mut adam_s = Adam::new(1e-3);
+    let mut data_rng = ChaCha12Rng::seed_from_u64(22);
+    let mut tape_w = Graph::new();
+    let mut tape_s = Graph::new();
+
+    for step in 0..25 {
+        let batch = 2 + step % 4;
+        let x = rand_matrix(&mut data_rng, batch, 6);
+        let t = rand_matrix(&mut data_rng, batch, 4);
+        let elems = (batch * 4) as f32;
+
+        // Batched side: one wide forward, one backward, one Adam step.
+        tape_w.reset();
+        let xv = tape_w.input_copy(&x);
+        let tv = tape_w.input_copy(&t);
+        let y = mlp_w.forward(&mut tape_w, &store_w, xv);
+        let loss = tape_w.mse(y, tv);
+        store_w.zero_grad();
+        tape_w.backward(loss, &mut store_w);
+
+        // Reference side: per-sample passes, each normalised by the full
+        // batch's element count, gradients accumulated in sample order.
+        store_s.zero_grad();
+        for b in 0..batch {
+            tape_s.reset();
+            let xv = tape_s.input(row_of(&x, b));
+            let tv = tape_s.input(row_of(&t, b));
+            let ones = tape_s.input(Matrix::full(1, 4, 1.0));
+            let y = mlp_s.forward(&mut tape_s, &store_s, xv);
+            let loss = tape_s.masked_sse(y, tv, ones, elems);
+            tape_s.backward(loss, &mut store_s);
+        }
+
+        for (pw, ps) in store_w.iter().zip(store_s.iter()) {
+            assert_bits_equal(
+                &pw.grad,
+                &ps.grad,
+                &format!("grad of {} at step {step}", pw.name),
+            );
+        }
+        adam_w.step(&mut store_w);
+        adam_s.step(&mut store_s);
+    }
+
+    for (pw, ps) in store_w.iter().zip(store_s.iter()) {
+        assert_bits_equal(&pw.value, &ps.value, &format!("final value of {}", pw.name));
+    }
+}

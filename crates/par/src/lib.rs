@@ -49,6 +49,10 @@ static THREADS: AtomicUsize = AtomicUsize::new(1);
 pub fn set_threads(n: usize) -> usize {
     let n = n.max(1);
     telemetry::gauge_set(telemetry::keys::PAR_THREADS, n as f64);
+    telemetry::gauge_set(
+        telemetry::keys::PAR_EFFECTIVE_THREADS,
+        n.min(hardware_threads()) as f64,
+    );
     THREADS.swap(n, Ordering::Relaxed)
 }
 
@@ -56,6 +60,38 @@ pub fn set_threads(n: usize) -> usize {
 #[inline]
 pub fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
+}
+
+/// Number of hardware execution units actually available to this process
+/// (`std::thread::available_parallelism`), cached after the first query.
+///
+/// Requesting more workers than cores never speeds up a compute-bound
+/// kernel — the extra threads only time-slice — so the auto-dispatch
+/// heuristics cap their decisions at this value via
+/// [`effective_threads`]. Falls back to 1 when the platform cannot
+/// report a count.
+pub fn hardware_threads() -> usize {
+    static HARDWARE: AtomicUsize = AtomicUsize::new(0);
+    let cached = HARDWARE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+    telemetry::gauge_set(telemetry::keys::PAR_HARDWARE_THREADS, n as f64);
+    HARDWARE.store(n, Ordering::Relaxed);
+    n
+}
+
+/// The worker count auto-dispatch should actually plan for: the requested
+/// [`threads`] capped by [`hardware_threads`]. Explicitly constructed
+/// pools ([`Pool::new`]) are *not* capped — forced-parallel benchmark
+/// legs and determinism tests deliberately oversubscribe — but
+/// work-stealing heuristics that pick between serial and parallel paths
+/// must consult this so the parallel path is never chosen on hardware
+/// that cannot run it concurrently.
+#[inline]
+pub fn effective_threads() -> usize {
+    threads().min(hardware_threads())
 }
 
 /// A [`Pool`] sized by the process-global [`threads`] setting.

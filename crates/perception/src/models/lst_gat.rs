@@ -7,12 +7,13 @@
 //! the `z` history steps, and a linear head emits the one-step future state
 //! of all six targets **in parallel** (a single forward pass).
 
+use crate::graph::NUM_NODES;
 use crate::graph::{
     member_indices, target_node, Prediction, StGraph, NUM_SURROUNDING, NUM_TARGETS,
 };
 use crate::models::{
-    mask_matrix, node_matrix, real_output_count, to_prediction, truth_matrix, StatePredictor,
-    TrainSample,
+    mask_matrix, node_matrix, node_matrix_stacked, real_output_count, to_prediction, truth_matrix,
+    StatePredictor, TrainSample,
 };
 use crate::normalize::Normalizer;
 use nn::{Adam, Graph, Linear, LstmCell, ParamId, ParamStore, Var};
@@ -144,11 +145,59 @@ impl LstGat {
     /// [`LstGat::predict_par`] split the six heads across workers without
     /// perturbing a single output bit.
     fn forward_targets(&self, g: &mut Graph, graph: &StGraph, targets: &[usize]) -> Var {
+        self.forward_stacked(g, &[graph], targets)
+    }
+
+    /// Gather-index buffers for `n_samples` stacked copies of the
+    /// `targets` subset, sample `s` offset by `s * NUM_NODES` node rows.
+    /// Built once per pass and Arc-shared by every history step.
+    fn stacked_gathers(
+        &self,
+        n_samples: usize,
+        targets: &[usize],
+    ) -> (Arc<Vec<usize>>, Arc<Vec<usize>>) {
+        let (tf1, mf1) = self.flat_subset(targets);
+        if n_samples == 1 {
+            return (tf1, mf1);
+        }
+        let mut tf = Vec::with_capacity(n_samples * tf1.len());
+        let mut mf = Vec::with_capacity(n_samples * mf1.len());
+        for s in 0..n_samples {
+            let off = s * NUM_NODES;
+            tf.extend(tf1.iter().map(|&i| i + off));
+            mf.extend(mf1.iter().map(|&i| i + off));
+        }
+        (Arc::new(tf), Arc::new(mf))
+    }
+
+    /// Batch-major forward pass: `samples.len()` graphs stacked into one
+    /// tape, returning a `(samples.len() * targets.len()) x 3` output node
+    /// whose row `s * targets.len() + r` belongs to target `targets[r]` of
+    /// sample `s`.
+    ///
+    /// Every op in the pass treats rows (or `group`-row blocks that never
+    /// cross a sample boundary) independently, so each sample's row block
+    /// is **bit-identical** to the single-sample pass — batching is purely
+    /// a wall-clock optimisation, invisible in the output. One wide matmul
+    /// per op replaces `samples.len()` skinny ones, which is where the
+    /// batched speedup measured by `bench --bin perf`'s kernel section
+    /// comes from.
+    ///
+    /// # Panics
+    /// Panics if the stacked graphs disagree on history depth (a corpus
+    /// bug — every builder in the workspace produces a fixed `z`).
+    fn forward_stacked(&self, g: &mut Graph, samples: &[&StGraph], targets: &[usize]) -> Var {
         let group = NUM_SURROUNDING + 1;
-        let (target_flat, member_flat) = self.flat_subset(targets);
-        let mut state = self.lstm.zero_state(g, targets.len());
-        for tau in 0..graph.depth() {
-            let h = g.input(node_matrix(graph, tau, &self.norm));
+        debug_assert!(!samples.is_empty());
+        let depth = samples[0].depth();
+        for s in samples {
+            assert_eq!(s.depth(), depth, "stacked graphs must share history depth");
+        }
+        let rows = samples.len() * targets.len();
+        let (target_flat, member_flat) = self.stacked_gathers(samples.len(), targets);
+        let mut state = self.lstm.zero_state(g, rows);
+        for tau in 0..depth {
+            let h = g.input(node_matrix_stacked(samples, tau, &self.norm));
             let w1 = g.param(&self.store, self.w1);
             let u = g.matmul(h, w1);
             let a1 = g.param(&self.store, self.a1);
@@ -161,17 +210,17 @@ impl LstGat {
             let e_neigh = g.gather_rows(s_neigh, Arc::clone(&member_flat));
             let e = g.add(e_self, e_neigh);
             let e = g.leaky_relu(e, self.leaky_slope);
-            let e = g.reshape(e, targets.len(), group);
+            let e = g.reshape(e, rows, group);
             let alpha = g.softmax_rows(e);
-            let alpha_flat = g.reshape(alpha, targets.len() * group, 1);
+            let alpha_flat = g.reshape(alpha, rows * group, 1);
             // Weighted aggregation of value embeddings (Eq. 11).
             let w3 = g.param(&self.store, self.w3);
             let v = g.matmul(h, w3);
             let v_gathered = g.gather_rows(v, Arc::clone(&member_flat));
             let weighted = g.mul_broadcast_col(v_gathered, alpha_flat);
             let updated = g.sum_groups(weighted, group);
-            // Temporal aggregation (Eq. 12): the requested targets as one
-            // batch.
+            // Temporal aggregation (Eq. 12): all samples' requested
+            // targets as one batch.
             state = self.lstm.step(g, &self.store, updated, state);
         }
         // Output head (Eq. 13) with a residual connection to the targets'
@@ -180,15 +229,53 @@ impl LstGat {
         // absolute state through the LSTM bottleneck. (Implementation
         // refinement; documented in DESIGN.md §6.)
         let delta = self.head.forward(g, &self.store, state.h);
-        let latest = node_matrix(graph, graph.depth() - 1, &self.norm);
-        let mut current = nn::Matrix::zeros(targets.len(), 3);
-        for (r, &t) in targets.iter().enumerate() {
-            for c in 0..3 {
-                current.set(r, c, latest.get(target_node(t), c));
+        let mut current = nn::Matrix::zeros(rows, 3);
+        for (s, graph) in samples.iter().enumerate() {
+            let latest = node_matrix(graph, depth - 1, &self.norm);
+            for (r, &t) in targets.iter().enumerate() {
+                for c in 0..3 {
+                    current.set(s * targets.len() + r, c, latest.get(target_node(t), c));
+                }
             }
         }
         let current = g.input(current);
         g.add(delta, current)
+    }
+
+    /// Batched inference over several graphs on the persistent pooled
+    /// tape: one wide forward pass, sliced back into per-graph
+    /// predictions. Row-bit-identical to calling
+    /// [`StatePredictor::predict`] once per graph (see
+    /// [`LstGat::forward_stacked`]); taking `&mut self` hands the pass the
+    /// training tape, so steady-state batches allocate nothing fresh.
+    pub fn predict_batch(&mut self, graphs: &[&StGraph]) -> Vec<Prediction> {
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        telemetry::counter_add(
+            telemetry::keys::NN_KERNEL_BATCHED_STATES,
+            graphs.len() as u64,
+        );
+        let all: Vec<usize> = (0..NUM_TARGETS).collect();
+        let mut g = std::mem::take(&mut self.tape);
+        g.reset();
+        let out = self.forward_stacked(&mut g, graphs, &all);
+        let preds = {
+            let value = g.value(out);
+            (0..graphs.len())
+                .map(|s| {
+                    let mut block = nn::Matrix::zeros(NUM_TARGETS, 3);
+                    for r in 0..NUM_TARGETS {
+                        block
+                            .row_slice_mut(r)
+                            .copy_from_slice(value.row_slice(s * NUM_TARGETS + r));
+                    }
+                    to_prediction(&block, &self.norm)
+                })
+                .collect()
+        };
+        self.tape = g;
+        preds
     }
 
     /// [`StatePredictor::predict`] with the six per-target heads spread
@@ -276,18 +363,41 @@ impl StatePredictor for LstGat {
             return 0.0;
         }
         self.store.zero_grad();
-        let mut total = 0.0;
         let n = samples.len() as f32;
+        let all: Vec<usize> = (0..NUM_TARGETS).collect();
+        let graphs: Vec<&StGraph> = samples.iter().map(|s| &s.graph).collect();
         let mut g = std::mem::take(&mut self.tape);
-        for s in samples {
-            g.reset();
-            let pred = self.forward(&mut g, &s.graph);
-            let truth = g.input(truth_matrix(&s.truth, &self.norm));
-            let mask = g.input(mask_matrix(&s.graph));
-            let normaliser = real_output_count(&s.graph) * n;
-            let loss = g.masked_sse(pred, truth, mask, normaliser);
-            total += g.backward(loss, &mut self.store) as f64;
+        g.reset();
+        // One wide forward and ONE backward per minibatch: every sample
+        // used to pay a full tape build and reverse walk of its own; now
+        // all of them share each op's dispatch and the wide matmuls.
+        let pred = self.forward_stacked(&mut g, &graphs, &all);
+        // Stacked truth/mask. Each sample's `1 / (real_output_count * n)`
+        // loss normaliser is folded into its mask rows, so a single
+        // `masked_sse` over the stack computes the same sum of per-sample
+        // masked losses — and because `mask * inv` multiplies in the same
+        // order the old per-sample `scale` backward did, every element's
+        // prediction gradient keeps the exact bits of the per-sample path.
+        let mut truth = nn::Matrix::zeros(samples.len() * NUM_TARGETS, 3);
+        let mut mask = nn::Matrix::zeros(samples.len() * NUM_TARGETS, 3);
+        for (s, sample) in samples.iter().enumerate() {
+            let t = truth_matrix(&sample.truth, &self.norm);
+            let m = mask_matrix(&sample.graph);
+            let inv = 1.0 / (real_output_count(&sample.graph) * n);
+            let base = s * NUM_TARGETS;
+            for r in 0..NUM_TARGETS {
+                truth
+                    .row_slice_mut(base + r)
+                    .copy_from_slice(t.row_slice(r));
+                for (o, &mv) in mask.row_slice_mut(base + r).iter_mut().zip(m.row_slice(r)) {
+                    *o = mv * inv;
+                }
+            }
         }
+        let truth = g.input(truth);
+        let mask = g.input(mask);
+        let loss = g.masked_sse(pred, truth, mask, 1.0);
+        let total = g.backward(loss, &mut self.store) as f64;
         self.tape = g;
         // Poisoned samples (NaN observations) must not destroy the weights:
         // non-finite losses or gradients skip the step.
@@ -379,6 +489,28 @@ mod tests {
             let serial = model.predict(&s.graph);
             let parallel = model.predict_par(&s.graph, &pool);
             for (a, b) in serial.iter().zip(parallel.iter()) {
+                assert_eq!(a.d_lat.to_bits(), b.d_lat.to_bits());
+                assert_eq!(a.d_lon.to_bits(), b.d_lon.to_bits());
+                assert_eq!(a.v_rel.to_bits(), b.v_rel.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_predict_rows_are_bit_identical_to_per_sample() {
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let samples = synthetic_samples(5, &mut rng);
+        let refs: Vec<&TrainSample> = samples.iter().collect();
+        let mut model = LstGat::new(LstGatConfig::default(), Normalizer::paper_default());
+        for _ in 0..3 {
+            model.train_batch(&refs);
+        }
+        let graphs: Vec<&StGraph> = samples.iter().map(|s| &s.graph).collect();
+        let batched = model.predict_batch(&graphs);
+        assert_eq!(batched.len(), samples.len());
+        for (s, sample) in samples.iter().enumerate() {
+            let single = model.predict(&sample.graph);
+            for (a, b) in single.iter().zip(batched[s].iter()) {
                 assert_eq!(a.d_lat.to_bits(), b.d_lat.to_bits());
                 assert_eq!(a.d_lon.to_bits(), b.d_lon.to_bits());
                 assert_eq!(a.v_rel.to_bits(), b.v_rel.to_bits());

@@ -54,6 +54,21 @@ pub(crate) fn node_matrix(graph: &StGraph, tau: usize, norm: &Normalizer) -> Mat
     Matrix::from_vec(NUM_NODES, NODE_DIM, data)
 }
 
+/// Vertically stacks [`node_matrix`] for a batch of graphs: the
+/// `(graphs.len() * NUM_NODES) x NODE_DIM` input of a batch-major forward
+/// pass, sample `s` occupying the `s`-th `NUM_NODES`-row block. Each block
+/// is byte-identical to the single-graph matrix, which is what makes the
+/// stacked pass row-bit-identical to per-sample passes.
+pub(crate) fn node_matrix_stacked(graphs: &[&StGraph], tau: usize, norm: &Normalizer) -> Matrix {
+    let mut out = Matrix::zeros(graphs.len() * NUM_NODES, NODE_DIM);
+    for (s, graph) in graphs.iter().enumerate() {
+        let block = node_matrix(graph, tau, norm);
+        out.data_mut()[s * NUM_NODES * NODE_DIM..(s + 1) * NUM_NODES * NODE_DIM]
+            .copy_from_slice(block.data());
+    }
+    out
+}
+
 /// Normalised `NUM_TARGETS x 3` ground-truth matrix.
 pub(crate) fn truth_matrix(truth: &[[f64; 3]; NUM_TARGETS], norm: &Normalizer) -> Matrix {
     let mut data = Vec::with_capacity(NUM_TARGETS * 3);

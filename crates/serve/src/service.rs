@@ -16,7 +16,7 @@
 use crate::admission::Admission;
 use crate::ladder::{DecisionLadder, ServeTier};
 use crate::protocol::{self, Decision, Request};
-use decision::{AgentConfig, AugmentedState, BpDqn, PamdpAgent};
+use decision::{Action, AgentConfig, AugmentedState, BpDqn, PamdpAgent};
 use head::{Checkpoint, CheckpointSource};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -133,19 +133,78 @@ impl Service {
                 None
             }
         };
-        let (action, tier) = self.ladder.resolve(fresh);
+        let decision = self.resolve_tiered(fresh);
 
         let elapsed_ms = sw.elapsed().as_secs_f64() * 1e3;
         telemetry::histogram_record(keys::SERVE_LATENCY_MS, elapsed_ms);
-        self.est_cost_ms = if self.est_cost_ms > 0.0 {
-            0.9 * self.est_cost_ms + 0.1 * elapsed_ms
-        } else {
-            elapsed_ms
-        };
+        self.record_cost(elapsed_ms);
         if fresh.is_some() && elapsed_ms > deadline_ms {
             telemetry::counter_add(keys::SERVE_DEADLINE_MISS, 1);
         }
 
+        decision
+    }
+
+    /// Answers a whole admitted batch within one shared `deadline_ms`.
+    ///
+    /// The agent sees one wide greedy pass ([`PamdpAgent::act_batch_greedy`])
+    /// over every inferable state instead of per-state skinny passes; each
+    /// row is bit-identical to [`Service::decide`] on that state, so the
+    /// crash-only determinism contract is unchanged. Ladder resolution still
+    /// walks the states **in request order** — staleness bookkeeping is
+    /// sequential by design. The deadline watchdog preempts the whole batch
+    /// up front when the *per-state* budget is already lost, and the EWMA
+    /// cost estimate absorbs the batch's per-state mean.
+    pub fn decide_batch(&mut self, states: &[AugmentedState], deadline_ms: f64) -> Vec<Decision> {
+        let n = states.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        telemetry::counter_add(keys::SERVE_REQUESTS, n as u64);
+        let sw = Stopwatch::start();
+        let preempted = deadline_ms <= self.est_cost_ms;
+
+        let mut fresh: Vec<Option<Action>> = vec![None; n];
+        let mut inferable: Vec<usize> = Vec::with_capacity(n);
+        for (i, state) in states.iter().enumerate() {
+            if !state_is_finite(state) {
+                telemetry::counter_add(keys::SERVE_NONFINITE, 1);
+            } else if preempted {
+                telemetry::counter_add(keys::SERVE_DEADLINE_MISS, 1);
+            } else {
+                inferable.push(i);
+            }
+        }
+        if !inferable.is_empty() {
+            let refs: Vec<&AugmentedState> = inferable.iter().map(|&i| &states[i]).collect();
+            let outputs = self.agent.act_batch_greedy(&refs);
+            for (&i, (action, params)) in inferable.iter().zip(&outputs) {
+                if output_is_finite(action.accel, params) {
+                    fresh[i] = Some(*action);
+                } else {
+                    telemetry::counter_add(keys::SERVE_NONFINITE, 1);
+                }
+            }
+        }
+        let fresh_count = fresh.iter().flatten().count();
+        let decisions: Vec<Decision> = fresh.into_iter().map(|f| self.resolve_tiered(f)).collect();
+
+        let per_state_ms = sw.elapsed().as_secs_f64() * 1e3 / n as f64;
+        for _ in 0..n {
+            telemetry::histogram_record(keys::SERVE_LATENCY_MS, per_state_ms);
+        }
+        self.record_cost(per_state_ms);
+        if fresh_count > 0 && per_state_ms > deadline_ms {
+            telemetry::counter_add(keys::SERVE_DEADLINE_MISS, fresh_count as u64);
+        }
+        decisions
+    }
+
+    /// Walks the degradation ladder with an optional fresh full-tier
+    /// answer and emits the tier-transition telemetry. Shared by the
+    /// single-state and batched decision paths.
+    fn resolve_tiered(&mut self, fresh: Option<Action>) -> Decision {
+        let (action, tier) = self.ladder.resolve(fresh);
         if tier != ServeTier::Full {
             telemetry::counter_add(keys::SERVE_DEGRADED, 1);
         }
@@ -156,13 +215,22 @@ impl Service {
             let _ = telemetry::flight_dump(keys::FLIGHT_SERVE_DEGRADE);
             self.last_tier = tier;
         }
-
         Decision {
             tier,
             behaviour: action.behaviour.index(),
             accel: action.accel,
             shed: false,
         }
+    }
+
+    /// Folds an observed per-request inference cost into the watchdog's
+    /// EWMA estimate.
+    fn record_cost(&mut self, elapsed_ms: f64) {
+        self.est_cost_ms = if self.est_cost_ms > 0.0 {
+            0.9 * self.est_cost_ms + 0.1 * elapsed_ms
+        } else {
+            elapsed_ms
+        };
     }
 
     fn reload_inner(&mut self, dir: &Path) -> Result<CheckpointSource, String> {
@@ -254,10 +322,7 @@ impl Service {
                 states,
             } => {
                 let outcome = self.admission.admit(states.len());
-                let mut results = Vec::with_capacity(states.len());
-                for state in states.iter().take(outcome.admitted) {
-                    results.push(self.decide(state, deadline_ms));
-                }
+                let mut results = self.decide_batch(&states[..outcome.admitted], deadline_ms);
                 for _ in 0..outcome.shed {
                     telemetry::counter_add(keys::SERVE_REQUESTS, 1);
                     results.push(Decision::shed());
@@ -370,6 +435,31 @@ mod tests {
                 Some(crate::SAFE_DECEL)
             );
         }
+    }
+
+    #[test]
+    fn batched_decisions_match_sequential_decides() {
+        let mut seq = fresh_service(16);
+        let mut bat = fresh_service(16);
+        let mut states = Vec::new();
+        for i in 0..6 {
+            let mut s = AugmentedState::zeros();
+            s.current[0][0] = f64::from(i) * 0.3 - 1.0;
+            s.future[1][2] = f64::from(i) * -0.2;
+            states.push(s);
+        }
+        // A non-finite state mid-batch: the ladder walk must interleave
+        // with the wide pass exactly as it does sequentially.
+        states.insert(3, nan_state());
+        let sequential: Vec<Decision> = states
+            .iter()
+            .map(|s| seq.decide(s, f64::INFINITY))
+            .collect();
+        let batched = bat.decide_batch(&states, f64::INFINITY);
+        assert_eq!(
+            sequential, batched,
+            "one wide pass must not change any answer"
+        );
     }
 
     #[test]

@@ -142,6 +142,12 @@ pub const LINT_FILES: &str = "lint.files";
 pub const LINT_CACHE_HITS: &str = "lint.cache.hits";
 /// Files analysed from scratch by `headlint` (cold cache or changed).
 pub const LINT_CACHE_MISSES: &str = "lint.cache.misses";
+/// GEMM auto-dispatch decisions that stayed on the serial micro-kernel.
+pub const NN_KERNEL_DISPATCH_SERIAL: &str = "nn.kernel.dispatch_serial";
+/// GEMM auto-dispatch decisions that took the row-partitioned parallel path.
+pub const NN_KERNEL_DISPATCH_PARALLEL: &str = "nn.kernel.dispatch_parallel";
+/// States answered through a batched greedy-inference pass (wide forward).
+pub const NN_KERNEL_BATCHED_STATES: &str = "nn.kernel.batched_states";
 
 // --- Dynamic counter prefixes -------------------------------------------
 
@@ -164,6 +170,12 @@ pub const DECISION_REPLAY_OCCUPANCY: &str = "decision.replay_occupancy";
 pub const PERCEPTION_EPOCH_LOSS: &str = "perception.epoch_loss";
 /// Process-global worker count configured via `par::set_threads`.
 pub const PAR_THREADS: &str = "par.threads";
+/// Hardware execution units visible to the process
+/// (`std::thread::available_parallelism`), cached at first query.
+pub const PAR_HARDWARE_THREADS: &str = "par.hardware_threads";
+/// Worker count auto-dispatch plans for: requested threads capped by the
+/// hardware count.
+pub const PAR_EFFECTIVE_THREADS: &str = "par.effective_threads";
 
 // --- Histograms ---------------------------------------------------------
 
@@ -273,6 +285,9 @@ pub const ALL: &[&str] = &[
     LINT_FILES,
     LINT_CACHE_HITS,
     LINT_CACHE_MISSES,
+    NN_KERNEL_DISPATCH_SERIAL,
+    NN_KERNEL_DISPATCH_PARALLEL,
+    NN_KERNEL_BATCHED_STATES,
     NN_FWD_PREFIX,
     NN_BWD_PREFIX,
     SIM_VEHICLES,
@@ -280,6 +295,8 @@ pub const ALL: &[&str] = &[
     DECISION_REPLAY_OCCUPANCY,
     PERCEPTION_EPOCH_LOSS,
     PAR_THREADS,
+    PAR_HARDWARE_THREADS,
+    PAR_EFFECTIVE_THREADS,
     HEAD_EPISODE_STEPS,
     DECISION_Q_LOSS,
     DECISION_X_LOSS,

@@ -64,23 +64,35 @@ run_cargo run -q -p bench --bin robustness -- \
     --scale smoke --episodes 6 --faults blackout \
     --checkpoint "$CKPT_DIR" | grep -q "robustness run: 6 episodes"
 
-echo "== parallel perf smoke (2 threads; serial/parallel checksums must match) =="
+echo "== parallel + kernel perf smoke (2 threads; all checksums must match) =="
 mkdir -p results
 # The perf binary itself exits 1 on a checksum mismatch, on a learn-step
-# weight divergence between the fresh-graph and persistent-tape loops, or
-# when the steady-state tape allocates more than it reuses. The greps also
-# require both explicit all-clear lines so a silent early exit cannot pass.
-PERF_OUT=$(run_cargo run -q -p bench --bin perf -- \
+# weight divergence between the fresh-graph and persistent-tape loops,
+# when the steady-state tape allocates more than it reuses, and on any
+# kernel gate: the auto-dispatched GEMM losing to serial at any measured
+# size, forced parallel losing where the dispatcher would choose it
+# (hosts with >=2 effective cores), or a batched-inference row falling
+# under its gated floor (2x for the flat-state DQN trunk, "never loses"
+# for the shape-bound rows). The greps re-require the explicit all-clear
+# lines so a silent early exit cannot pass. Runs the release profile: the
+# committed baselines under results/baseline/ were recorded from it, and
+# the dev profile's debug assertions flatten the batching gains the
+# floors gate on.
+PERF_OUT=$(run_cargo run -q --release -p bench --bin perf -- \
     --scale smoke --threads 2 --json results/BENCH_parallel.json \
     --json-core results/BENCH_core.json \
+    --json-kernels results/BENCH_kernels.json \
     --telemetry results --trends results/trends.jsonl)
 echo "$PERF_OUT" | grep -q "all serial/parallel checksums equal"
+echo "$PERF_OUT" | grep -q "kernel perf gates ok"
 echo "$PERF_OUT" | grep -q "steady-state allocation reuse ok"
 test -f results/BENCH_parallel.json
 test -f results/BENCH_core.json
-# Every perf smoke appends one entry to the trend database.
+test -f results/BENCH_kernels.json
+# Every perf smoke appends its sections to the trend database.
 grep -q '"perf"' results/trends.jsonl
-echo "   archived: results/BENCH_parallel.json results/BENCH_core.json results/trends.jsonl"
+grep -q '"kernels\.' results/trends.jsonl
+echo "   archived: results/BENCH_parallel.json results/BENCH_core.json results/BENCH_kernels.json results/trends.jsonl"
 
 echo "== serve chaos soak (heavy faults, hot-reload + kill/restart) =="
 # The soak drives >=1k framed requests through a real headd child under the
@@ -123,11 +135,16 @@ run_cargo run -q -p bench --bin benchdiff -- \
 run_cargo run -q -p bench --bin benchdiff -- \
     --base results/baseline/BENCH_core.json --cand results/BENCH_core.json \
     --time-tol 9.0 --json results/benchdiff_core.json
+# Kernel sweep: GFLOP/s and speedups are higher-better (benchdiff reads
+# the direction from the leaf name), checksums and gate floors are exact.
+run_cargo run -q -p bench --bin benchdiff -- \
+    --base results/baseline/BENCH_kernels.json --cand results/BENCH_kernels.json \
+    --time-tol 9.0 --json results/benchdiff_kernels.json
 # The serve soak gates the same way: latency bands are wide, but the
 # degradation counters, shed counts and byte-identity flags are exact.
 run_cargo run -q -p bench --bin benchdiff -- \
     --base results/baseline/BENCH_serve.json --cand results/BENCH_serve.json \
     --time-tol 9.0 --json results/benchdiff_serve.json
-echo "   archived: results/benchdiff_parallel.json results/benchdiff_core.json results/benchdiff_serve.json"
+echo "   archived: results/benchdiff_parallel.json results/benchdiff_core.json results/benchdiff_kernels.json results/benchdiff_serve.json"
 
 echo "CI OK"
