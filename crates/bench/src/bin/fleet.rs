@@ -1,0 +1,202 @@
+//! Fleet bench: many concurrent HEAD agents on the sharded multi-segment
+//! world, swept across shard counts, writing `BENCH_fleet.json`.
+//!
+//! Each shard count runs the *same* fleet — same seed, same road network
+//! (the four-segment ramp corridor of `FleetConfig::bench_scale`), same
+//! shared policy — so every row must land on the same FNV world checksum
+//! as the 1-shard serial row. That is the space-sharding contract: the
+//! shard schedule may change *when* a segment is stepped, never *what*
+//! the step computes. The run exits 1 on any divergence, so CI catches a
+//! sharding determinism regression as a hard failure.
+//!
+//! Reported rates (min-of-reps wall time, so a host hiccup cannot fake a
+//! regression):
+//! * `vehicles_per_sec` — conventional vehicle-steps through the world
+//!   per second (the simulation throughput axis);
+//! * `av_decisions_per_sec` — HEAD policy decisions per second through
+//!   the one wide `act_batch_greedy` pass (the decision throughput axis).
+//!
+//! Usage: `cargo run -p bench --bin fleet --release -- \
+//!     [--scale smoke|bench|paper] [--shards N] [--avs N] [--reps N] \
+//!     [--json PATH] [--trends PATH]`
+//!
+//! `--shards N` sweeps `[1, N]` instead of the default `[1, 2, 4]`; the
+//! serial row is always present because it anchors the checksum gate.
+
+use decision::{AgentConfig, BpDqn};
+use head::{Fleet, FleetConfig, PerceptionMode};
+use std::time::Instant;
+use telemetry::Json;
+
+/// One shard count's measured run.
+struct ShardResult {
+    shards: usize,
+    avs: usize,
+    steps: usize,
+    /// Min-of-reps wall time for the full stepped run.
+    wall_ms: f64,
+    /// Conventional-vehicle steps per second at the min-wall rep.
+    vehicles_per_sec: f64,
+    /// HEAD decisions per second at the min-wall rep.
+    av_decisions_per_sec: f64,
+    /// Fleet world checksum (identical across reps by construction).
+    checksum: u64,
+}
+
+impl ShardResult {
+    fn to_json(&self, serial_checksum: u64) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(format!("shards_{}", self.shards))),
+            ("shards", Json::from(self.shards)),
+            ("avs", Json::from(self.avs)),
+            ("steps", Json::from(self.steps)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            ("vehicles_per_sec", Json::Num(self.vehicles_per_sec)),
+            ("av_decisions_per_sec", Json::Num(self.av_decisions_per_sec)),
+            ("checksum", Json::from(format!("{:016x}", self.checksum))),
+            (
+                "checksums_equal",
+                Json::Bool(self.checksum == serial_checksum),
+            ),
+        ])
+    }
+}
+
+/// Steps a fresh fleet to completion and returns (wall_ms, vehicle_steps,
+/// decisions, checksum).
+fn run_once(seed: u64, avs: usize, shards: usize, steps: usize) -> (f64, u64, u64, u64) {
+    let mut cfg = FleetConfig::bench_scale(avs);
+    cfg.env.seed = seed;
+    let agent = Box::new(BpDqn::new(AgentConfig::default()));
+    let mut fleet = Fleet::new(cfg, agent, PerceptionMode::Persistence);
+    fleet.set_shards(shards);
+    let started = Instant::now();
+    let mut vehicle_steps = 0u64;
+    for _ in 0..steps {
+        let out = fleet.step();
+        vehicle_steps += out.vehicles as u64;
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, vehicle_steps, fleet.decisions(), fleet.checksum())
+}
+
+fn bench_shard_count(
+    seed: u64,
+    avs: usize,
+    shards: usize,
+    steps: usize,
+    reps: usize,
+) -> ShardResult {
+    let (mut wall_ms, mut vehicle_steps, mut decisions, mut checksum) =
+        run_once(seed, avs, shards, steps);
+    for _ in 1..reps {
+        let (w, v, d, c) = run_once(seed, avs, shards, steps);
+        assert_eq!(
+            c, checksum,
+            "rep-to-rep divergence at {shards} shards — the fleet is not \
+             a pure function of its config"
+        );
+        if w < wall_ms {
+            wall_ms = w;
+            vehicle_steps = v;
+            decisions = d;
+        }
+        checksum = c;
+    }
+    let wall_s = (wall_ms / 1e3).max(1e-12);
+    ShardResult {
+        shards,
+        avs,
+        steps,
+        wall_ms,
+        vehicles_per_sec: vehicle_steps as f64 / wall_s,
+        av_decisions_per_sec: decisions as f64 / wall_s,
+        checksum,
+    }
+}
+
+fn main() {
+    let cli = bench::Cli::parse("fleet", &["--reps"]);
+    let scale = cli.scale();
+    let n_threads = cli.apply_threads().max(2);
+    par::set_threads(n_threads);
+    cli.init_telemetry("fleet", &scale);
+
+    let (steps, default_reps) = match cli.value("--scale") {
+        Some("paper") => (400, 5),
+        None | Some("bench") => (150, 3),
+        _ => (40, 2),
+    };
+    let reps = cli.parsed("--reps").unwrap_or(default_reps);
+    let avs = cli.parsed("--avs").unwrap_or(8).max(1);
+    // The serial row always anchors the sweep: the checksum gate compares
+    // every sharded row against it.
+    let shard_counts: Vec<usize> = match cli.parsed::<usize>("--shards") {
+        Some(n) if n > 1 => vec![1, n],
+        Some(_) => vec![1],
+        None => vec![1, 2, 4],
+    };
+    let seed = scale.env.seed;
+
+    eprintln!(
+        "fleet: {avs} AVs, {steps} steps, {reps} reps, shard sweep {shard_counts:?}, seed {seed}"
+    );
+    let results: Vec<ShardResult> = shard_counts
+        .iter()
+        .map(|&shards| bench_shard_count(seed, avs, shards, steps, reps))
+        .collect();
+    let serial_checksum = results[0].checksum;
+
+    println!(
+        "{:<9} {:>10} {:>14} {:>18}  {:<16} equal",
+        "shards", "wall(ms)", "vehicles/s", "AV-decisions/s", "checksum"
+    );
+    for r in &results {
+        println!(
+            "{:<9} {:>10.1} {:>14.0} {:>18.0}  {:016x} {}",
+            r.shards,
+            r.wall_ms,
+            r.vehicles_per_sec,
+            r.av_decisions_per_sec,
+            r.checksum,
+            r.checksum == serial_checksum
+        );
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::from("fleet")),
+        ("n_threads", Json::from(n_threads)),
+        ("scale", Json::from(cli.value("--scale").unwrap_or("bench"))),
+        ("avs", Json::from(avs)),
+        ("steps", Json::from(steps)),
+        ("reps", Json::from(reps)),
+        ("seed", Json::from(seed)),
+        (
+            "shard_sweep",
+            Json::Arr(results.iter().map(|r| r.to_json(serial_checksum)).collect()),
+        ),
+    ]);
+    let path = cli.value("--json").unwrap_or("BENCH_fleet.json");
+    if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
+
+    if let Some(bad) = results.iter().find(|r| r.checksum != serial_checksum) {
+        eprintln!(
+            "DETERMINISM VIOLATION: {} shards checksum {:016x} != serial {:016x}",
+            bad.shards, bad.checksum, serial_checksum
+        );
+        telemetry::flight_record(
+            telemetry::keys::FLIGHT_CHECKSUM_DIVERGENCE,
+            bad.checksum as f64,
+        );
+        telemetry::flight_dump(telemetry::keys::FLIGHT_CHECKSUM_DIVERGENCE);
+        std::process::exit(1);
+    }
+    println!("all fleet shard checksums equal");
+
+    cli.append_trend_json(&[("fleet", &doc)]);
+    bench::finish_telemetry();
+}

@@ -18,6 +18,8 @@ use head::experiments::Scale;
 /// * `--telemetry DIR` — record a JSONL telemetry run into `DIR`
 /// * `--threads N` — worker count for the deterministic pool
 /// * `--trends PATH` — append this run's metrics to the trend database
+/// * `--shards N` — segment-shard count for the fleet world
+/// * `--avs N` — concurrent HEAD agents in the fleet world
 pub const COMMON_FLAGS: &[&str] = &[
     "--scale",
     "--episodes",
@@ -28,6 +30,8 @@ pub const COMMON_FLAGS: &[&str] = &[
     "--telemetry",
     "--threads",
     "--trends",
+    "--shards",
+    "--avs",
 ];
 
 /// Capacity of the per-run flight-recorder ring installed by
@@ -318,6 +322,14 @@ mod tests {
         let scale = cli.scale();
         assert_eq!(scale.eval_episodes, 7);
         assert!(scale.train_episodes <= 20, "smoke sizing");
+    }
+
+    #[test]
+    fn fleet_flags_are_common_vocabulary() {
+        let cli =
+            Cli::try_parse("t", &[], args(&["--shards", "4", "--avs", "8"])).expect("valid args");
+        assert_eq!(cli.parsed::<usize>("--shards"), Some(4));
+        assert_eq!(cli.parsed::<usize>("--avs"), Some(8));
     }
 
     #[test]

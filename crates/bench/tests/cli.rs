@@ -5,7 +5,7 @@
 use std::process::Command;
 
 /// Every bench binary, resolved at compile time by Cargo.
-const BINS: [(&str, &str); 9] = [
+const BINS: [(&str, &str); 10] = [
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table2", env!("CARGO_BIN_EXE_table2")),
     ("table3_4", env!("CARGO_BIN_EXE_table3_4")),
@@ -15,6 +15,7 @@ const BINS: [(&str, &str); 9] = [
     ("train_curve", env!("CARGO_BIN_EXE_train_curve")),
     ("perf", env!("CARGO_BIN_EXE_perf")),
     ("benchdiff", env!("CARGO_BIN_EXE_benchdiff")),
+    ("fleet", env!("CARGO_BIN_EXE_fleet")),
 ];
 
 fn run(exe: &str, args: &[&str]) -> std::process::Output {
@@ -88,6 +89,25 @@ fn per_binary_extra_flags_stay_per_binary() {
         Some(2),
         "table1 must reject robustness-only flags"
     );
+}
+
+#[test]
+fn fleet_rejects_malformed_shard_and_av_counts_with_exit_2() {
+    let exe = env!("CARGO_BIN_EXE_fleet");
+    for args in [["--shards", "banana"], ["--avs", "-3"]] {
+        let out = run(exe, &args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "fleet {args:?}: malformed value must exit 2\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("malformed value"),
+            "fleet {args:?}: stderr should flag the malformed value, got: {stderr}"
+        );
+    }
 }
 
 fn benchdiff_exe() -> &'static str {

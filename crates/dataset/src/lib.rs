@@ -121,7 +121,6 @@ pub fn generate_samples(cfg: &CorpusConfig) -> Vec<TrainSample> {
         // are well populated throughout the window.
         let candidates: Vec<VehicleId> = sim
             .vehicles()
-            .iter()
             .filter(|v| v.pos > 150.0 && v.pos < cfg.road_len - 150.0)
             .map(|v| v.id)
             .collect();

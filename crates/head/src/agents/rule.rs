@@ -100,6 +100,7 @@ impl RuleAgent {
         let cfg = &self.cfg;
         let ego_vehicle = Vehicle {
             id: VehicleId(u64::MAX),
+            seg: traffic_sim::SegmentId(0),
             lane: (percepts.ego.lat - 1.0).max(0.0) as usize,
             pos: percepts.ego.lon,
             vel: percepts.ego.vel,

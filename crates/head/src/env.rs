@@ -39,7 +39,7 @@ pub enum PerceptionMode {
 }
 
 impl PerceptionMode {
-    fn predict(&self, graph: &StGraph) -> Prediction {
+    pub(crate) fn predict(&self, graph: &StGraph) -> Prediction {
         match self {
             PerceptionMode::LstGat(model) => model.predict(graph),
             PerceptionMode::Persistence => {
@@ -446,8 +446,9 @@ impl HighwayEnv {
         let vels: Vec<f64> = self
             .sim
             .vehicles()
-            .iter()
-            .filter(|v| v.id != self.av && v.pos <= av.pos && v.pos >= av.pos - 100.0)
+            .filter(|v| {
+                v.id != self.av && v.seg == av.seg && v.pos <= av.pos && v.pos >= av.pos - 100.0
+            })
             .map(|v| v.vel)
             .collect();
         if vels.is_empty() {

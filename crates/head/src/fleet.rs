@@ -1,0 +1,335 @@
+//! The fleet driver: many concurrent HEAD agents sharing one world.
+//!
+//! [`Fleet`] owns a (possibly multi-segment, possibly sharded)
+//! [`Simulation`] and N externally controlled AVs driven by **one** shared
+//! policy. Each step:
+//!
+//! 1. **sense** — per-AV percepts are gathered in vehicle-id order (each
+//!    AV has its own [`SensorHistory`] and [`FallbackGuard`]; a history is
+//!    reset when its AV migrates to a new segment, since segment-local
+//!    positions jump at the boundary);
+//! 2. **decide** — all N augmented states are answered in one wide
+//!    [`PamdpAgent::act_batch_greedy`] pass (the PR-9 batched-inference
+//!    path, bit-identical per row to batch-1);
+//! 3. **act** — commands are applied in vehicle-id order, then the world
+//!    advances one Δt (sharded or serial — byte-identical either way);
+//! 4. **recycle** — collided or arrived AVs are removed and respawned at
+//!    the world entry deterministically (a spawn counter, not wall clock,
+//!    picks the lane).
+//!
+//! Everything is a pure function of the config, so a fleet run has a
+//! stable [`Fleet::checksum`] at any shard count — the fleet bench gates
+//! on exactly that.
+
+use crate::config::EnvConfig;
+use crate::env::{augmented_state, PerceptionMode};
+use decision::{Action, AugmentedState, LaneBehaviour, PamdpAgent};
+use perception::{BuilderConfig, FallbackGuard, GraphBuilder};
+use sensor::{sense, SensorHistory};
+use telemetry::keys;
+use traffic_sim::{ExternalCommand, LaneChange, SegmentId, Simulation, VehicleId};
+
+/// Longitudinal spacing between initially spawned AVs, m.
+const SPAWN_SPACING: f64 = 40.0;
+
+/// Configuration of a fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// World and perception settings (the `sim.network` field selects the
+    /// road network; `None` is the single straight road).
+    pub env: EnvConfig,
+    /// Number of concurrent HEAD agents sharing the world.
+    pub avs: usize,
+}
+
+impl FleetConfig {
+    /// A laptop-scale fleet world: a four-segment three-lane corridor with
+    /// on/off-ramps, dense enough to exercise migration and merging.
+    pub fn bench_scale(avs: usize) -> Self {
+        let mut env = EnvConfig::bench_scale();
+        env.sim.lanes = 3;
+        env.sim.density_per_km = 120.0;
+        env.sim.network = Some(traffic_sim::RoadNetwork::with_ramps(
+            &[300.0, 300.0, 300.0, 300.0],
+            3,
+            150.0,
+        ));
+        Self { env, avs }
+    }
+}
+
+/// Per-AV perception state.
+struct AvSlot {
+    id: VehicleId,
+    /// Segment the AV was on at the last sense (history resets on change).
+    seg: SegmentId,
+    history: SensorHistory,
+    guard: FallbackGuard,
+    state: AugmentedState,
+}
+
+/// What happened during one [`Fleet::step`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetStepOutcome {
+    /// AVs that collided this step (each is respawned).
+    pub av_collisions: u32,
+    /// AVs that reached a network exit this step (each is respawned).
+    pub av_arrivals: u32,
+    /// Vehicles currently in the world (after recycling).
+    pub vehicles: usize,
+}
+
+/// Many concurrent HEAD agents sharing one (sharded) world.
+pub struct Fleet {
+    cfg: FleetConfig,
+    sim: Simulation,
+    agent: Box<dyn PamdpAgent>,
+    perception: PerceptionMode,
+    builder: GraphBuilder,
+    avs: Vec<AvSlot>,
+    spawn_counter: u64,
+    decisions: u64,
+}
+
+impl Fleet {
+    /// Builds the world, populates traffic, warms it up, and inserts the
+    /// AVs on the first entry segment.
+    pub fn new(cfg: FleetConfig, agent: Box<dyn PamdpAgent>, perception: PerceptionMode) -> Self {
+        let mut sim_cfg = cfg.env.sim.clone();
+        sim_cfg.seed = cfg.env.seed;
+        let mut sim = Simulation::new(sim_cfg);
+        sim.populate();
+        sim.warm_up(cfg.env.warmup_steps);
+        let builder = GraphBuilder::new(BuilderConfig {
+            lanes: cfg.env.sim.lanes,
+            lane_width: cfg.env.sim.lane_width,
+            range: cfg.env.sensor.range,
+            dt: cfg.env.sim.dt,
+            z: cfg.env.z,
+            phantoms_enabled: true,
+        });
+        let mut fleet = Self {
+            sim,
+            agent,
+            perception,
+            builder,
+            avs: Vec::with_capacity(cfg.avs),
+            spawn_counter: 0,
+            decisions: 0,
+            cfg,
+        };
+        for _ in 0..fleet.cfg.avs {
+            fleet.spawn_av();
+        }
+        telemetry::gauge_set(keys::FLEET_AVS, fleet.avs.len() as f64);
+        fleet
+    }
+
+    /// Number of shards the world's segment stepping fans out over.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+
+    /// The underlying world.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Batched decisions issued so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Inserts one AV at the world entry. Lane and stagger come from the
+    /// spawn counter, so the sequence is a pure function of the config.
+    fn spawn_av(&mut self) {
+        let lanes = self.sim.network().segments[0].lanes;
+        let k = self.spawn_counter;
+        self.spawn_counter += 1;
+        let lane = ((self.cfg.env.seed + k) % lanes as u64) as usize;
+        let wave = ((k as usize / lanes) % 4) as f64;
+        let pos = self.cfg.env.sim.vehicle_len + 2.0 + wave * SPAWN_SPACING;
+        let id = self
+            .sim
+            .spawn_external_in(SegmentId(0), lane, pos, self.cfg.env.av_start_vel);
+        self.avs.push(AvSlot {
+            id,
+            seg: SegmentId(0),
+            history: SensorHistory::new(self.cfg.env.z),
+            guard: FallbackGuard::new(self.cfg.env.sim.dt),
+            state: AugmentedState::zeros(),
+        });
+        // Keep the slots in vehicle-id order: ids are monotone, fresh
+        // spawns always append at the end.
+        debug_assert!(self.avs.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    /// Senses the world for one AV and refreshes its augmented state.
+    fn refresh_slot(
+        sim: &Simulation,
+        builder: &GraphBuilder,
+        mode: &PerceptionMode,
+        sensor_cfg: &sensor::SensorConfig,
+        slot: &mut AvSlot,
+    ) {
+        let Some(av) = sim.get(slot.id) else { return };
+        if av.seg != slot.seg {
+            // Crossing a segment boundary re-bases positions; stale frames
+            // in the old frame would corrupt the temporal graph.
+            slot.history.clear();
+            slot.seg = av.seg;
+        }
+        let mut frame = sense(sim, slot.id, sensor_cfg);
+        frame
+            .observed
+            .retain(|o| o.pos.is_finite() && o.vel.is_finite());
+        slot.history.push(frame);
+        let graph = builder.build(&slot.history);
+        let prediction = mode.predict(&graph);
+        if let Some((graph, prediction, _tier)) = slot.guard.resolve(Some((graph, prediction))) {
+            slot.state = augmented_state(&graph, &prediction);
+        }
+    }
+
+    /// One fleet step: sense every AV, decide the whole fleet in one wide
+    /// pass, apply commands in vehicle-id order, advance the world, and
+    /// recycle collided/arrived AVs.
+    pub fn step(&mut self) -> FleetStepOutcome {
+        let _span = telemetry::span!(keys::SPAN_FLEET_STEP);
+
+        // 1. Sense, in vehicle-id order (the slots are kept sorted).
+        for slot in &mut self.avs {
+            Self::refresh_slot(
+                &self.sim,
+                &self.builder,
+                &self.perception,
+                &self.cfg.env.sensor,
+                slot,
+            );
+        }
+
+        // 2. One wide greedy pass over all AV states.
+        let states: Vec<&AugmentedState> = self.avs.iter().map(|s| &s.state).collect();
+        let actions = self.agent.act_batch_greedy(&states);
+        self.decisions += actions.len() as u64;
+        telemetry::counter_add(keys::FLEET_DECISIONS, actions.len() as u64);
+
+        // 3. Apply actions in vehicle-id order through the same sanitized
+        // command machinery a single-agent episode uses.
+        for (slot, (action, _)) in self.avs.iter().zip(&actions) {
+            self.sim.set_command(slot.id, command_for(action));
+        }
+
+        // 4. Advance the world (sharded or serial — byte-identical).
+        let outcome = self.sim.step();
+
+        // 5. Recycle finished AVs deterministically.
+        let mut result = FleetStepOutcome::default();
+        let mut finished: Vec<(usize, bool)> = Vec::new();
+        for (i, slot) in self.avs.iter().enumerate() {
+            let collided = outcome
+                .collisions
+                .iter()
+                .any(|c| c.vehicle == slot.id || c.other == Some(slot.id));
+            let arrived = outcome.exited_external.contains(&slot.id);
+            if collided {
+                finished.push((i, true));
+            } else if arrived {
+                finished.push((i, false));
+            }
+        }
+        for &(i, collided) in finished.iter().rev() {
+            let slot = self.avs.remove(i);
+            self.sim.remove(slot.id);
+            if collided {
+                result.av_collisions += 1;
+            } else {
+                result.av_arrivals += 1;
+            }
+        }
+        for _ in 0..finished.len() {
+            self.spawn_av();
+        }
+        if result.av_collisions > 0 {
+            telemetry::counter_add(keys::FLEET_AV_COLLISIONS, u64::from(result.av_collisions));
+        }
+        if result.av_arrivals > 0 {
+            telemetry::counter_add(keys::FLEET_ARRIVALS, u64::from(result.av_arrivals));
+        }
+        telemetry::gauge_set(keys::FLEET_AVS, self.avs.len() as f64);
+        result.vehicles = self.sim.vehicle_count();
+        result
+    }
+
+    /// FNV checksum over the full world state plus the decision count —
+    /// two fleet runs agree on this iff they took identical trajectories.
+    pub fn checksum(&self) -> u64 {
+        let mut c = par::Checksum::new();
+        c.push_u64(self.sim.state_checksum());
+        c.push_u64(self.decisions);
+        c.push_u64(self.spawn_counter);
+        c.finish()
+    }
+}
+
+/// Maps a policy action onto a sanitized external command (same mapping as
+/// the single-agent environment).
+fn command_for(action: &Action) -> ExternalCommand {
+    let accel = if action.accel.is_finite() {
+        action.accel
+    } else {
+        0.0
+    };
+    let lane_change = match action.behaviour {
+        LaneBehaviour::Left => LaneChange::Left,
+        LaneBehaviour::Right => LaneChange::Right,
+        LaneBehaviour::Keep => LaneChange::Keep,
+    };
+    ExternalCommand { lane_change, accel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decision::{AgentConfig, BpDqn};
+
+    fn small_fleet(avs: usize, shards: usize) -> Fleet {
+        let mut cfg = FleetConfig::bench_scale(avs);
+        cfg.env.warmup_steps = 10;
+        let agent = Box::new(BpDqn::new(AgentConfig::default()));
+        let mut fleet = Fleet::new(cfg, agent, PerceptionMode::Persistence);
+        fleet.set_shards(shards);
+        fleet
+    }
+
+    #[test]
+    fn fleet_steps_and_counts_decisions() {
+        let mut fleet = small_fleet(4, 1);
+        for _ in 0..5 {
+            let out = fleet.step();
+            assert!(out.vehicles > 0);
+        }
+        assert_eq!(fleet.decisions(), 20, "4 AVs x 5 steps");
+    }
+
+    #[test]
+    fn fleet_keeps_av_count_across_recycling() {
+        let mut fleet = small_fleet(6, 2);
+        for _ in 0..60 {
+            fleet.step();
+        }
+        assert_eq!(fleet.avs.len(), 6, "every finished AV must be replaced");
+    }
+
+    #[test]
+    fn fleet_checksum_is_reproducible() {
+        let run = |shards: usize| {
+            let mut fleet = small_fleet(4, shards);
+            for _ in 0..30 {
+                fleet.step();
+            }
+            fleet.checksum()
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

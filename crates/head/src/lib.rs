@@ -38,6 +38,7 @@ mod checkpoint;
 mod config;
 mod env;
 pub mod experiments;
+mod fleet;
 mod metrics;
 mod robustness;
 mod train;
@@ -51,6 +52,7 @@ pub use checkpoint::{
 };
 pub use config::EnvConfig;
 pub use env::{augmented_state, HighwayEnv, PerceptionMode, Percepts, StepResult};
+pub use fleet::{Fleet, FleetConfig, FleetStepOutcome};
 pub use metrics::{aggregate, AggregateMetrics, EpisodeMetrics, MetricsCollector, Terminal};
 pub use robustness::RobustnessEvent;
 pub use train::{

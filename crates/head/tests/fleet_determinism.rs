@@ -1,0 +1,34 @@
+//! The fleet shard-determinism contract: an N-shard fleet run must be
+//! byte-identical (FNV checksum) to the 1-shard serial run — same world,
+//! same AVs, same policy, only the stepping schedule differs.
+
+use decision::{AgentConfig, BpDqn};
+use head::{Fleet, FleetConfig, PerceptionMode};
+
+fn smoke_run(avs: usize, shards: usize, steps: usize) -> u64 {
+    let mut cfg = FleetConfig::bench_scale(avs);
+    cfg.env.warmup_steps = 20;
+    cfg.env.seed = 7;
+    let agent = Box::new(BpDqn::new(AgentConfig::default()));
+    let mut fleet = Fleet::new(cfg, agent, PerceptionMode::Persistence);
+    fleet.set_shards(shards);
+    for _ in 0..steps {
+        fleet.step();
+    }
+    fleet.checksum()
+}
+
+#[test]
+fn four_shard_eight_av_run_matches_serial() {
+    let serial = smoke_run(8, 1, 40);
+    let sharded = smoke_run(8, 4, 40);
+    assert_eq!(
+        sharded, serial,
+        "4-shard 8-AV fleet diverged from the 1-shard run"
+    );
+}
+
+#[test]
+fn two_shard_run_matches_serial() {
+    assert_eq!(smoke_run(8, 2, 40), smoke_run(8, 1, 40));
+}

@@ -1,0 +1,19 @@
+// Seeded determinism-taint violation, fleet side: `Fleet::step` is a
+// checksum-gated sink (the fleet bench gates on the world checksum it
+// produces), and `fleet_jitter` reads an environment variable inside its
+// call cone. The taint pass must report the env read with the chain.
+
+pub struct Fleet {
+    pub decisions: u64,
+}
+
+fn fleet_jitter() -> bool {
+    std::env::var("FLEET_JITTER").is_ok()
+}
+
+impl Fleet {
+    pub fn step(&mut self) {
+        self.decisions += 1;
+        fleet_jitter();
+    }
+}

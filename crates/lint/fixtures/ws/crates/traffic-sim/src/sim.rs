@@ -1,7 +1,9 @@
-// Seeded determinism-taint violation, sink side: `Simulation::step` is a
-// checksum-gated sink, and it calls across the crate boundary into
+// Seeded determinism-taint violations, sink side: `Simulation::step` is
+// a checksum-gated sink, and it calls across the crate boundary into
 // decision::jitter, which reads an environment variable. The taint pass
 // must report the env read with the two-crate call chain.
+// `apply_migrations` (the cross-segment merge of the sharded stepper) is
+// itself a sink, and its env read must be flagged in place.
 
 use decision::jitter;
 
@@ -13,5 +15,11 @@ impl Simulation {
     pub fn step(&mut self) {
         self.tick += 1;
         jitter();
+    }
+
+    fn apply_migrations(&mut self) {
+        if std::env::var("MERGE_ORDER").is_ok() {
+            self.tick += 1;
+        }
     }
 }

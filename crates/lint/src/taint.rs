@@ -5,10 +5,12 @@
 //! * **determinism-taint** — nondeterminism sources (wall clock, OS
 //!   entropy, env reads, hash-ordered collections, `thread::current`)
 //!   must not be reachable from the checksum-gated paths: anything in
-//!   `par`, the `nn` matmul/backward kernels, `head::evaluate_agent*`,
-//!   and `traffic_sim`'s `step`. Those paths promise byte-identical
-//!   parallel/serial output; a source anywhere in their call cone breaks
-//!   the promise silently.
+//!   `par`, the `nn` matmul/backward kernels, `head::evaluate_agent*`
+//!   plus the fleet driver's `Fleet::step`, and `traffic_sim`'s sharded
+//!   stepping (`step`, the per-shard `step_segment`, and the
+//!   cross-segment `apply_migrations` merge). Those paths promise
+//!   byte-identical parallel/serial output; a source anywhere in their
+//!   call cone breaks the promise silently.
 //! * **serve-reachability** — panic sites reachable from `crates/serve`
 //!   are errors (the daemon's crash-only, always-answer contract), and
 //!   fns with direct-indexing sites reachable from serve get one
@@ -66,8 +68,9 @@ fn error_sev(rule_name: &str) -> Severity {
 }
 
 /// True for fns on a checksum-gated path: every non-test fn in `par`, the
-/// `nn` matmul/outer kernels and tape replay, `head`'s parallel evaluator,
-/// and the simulator step.
+/// `nn` matmul/outer kernels and tape replay, `head`'s parallel evaluator
+/// and fleet step, and the simulator's sharded stepping (the step driver,
+/// the per-shard segment kernel, and the migration merge).
 fn is_sink(n: &Node) -> bool {
     if n.item.is_test || n.bin_like {
         return false;
@@ -76,8 +79,8 @@ fn is_sink(n: &Node) -> bool {
     match normalise(n.crate_name).as_str() {
         "par" => true,
         "nn" => name.starts_with("matmul") || name.starts_with("outer") || name == "backward",
-        "head" => name.starts_with("evaluate_agent"),
-        "traffic_sim" => name == "step",
+        "head" => name.starts_with("evaluate_agent") || (name == "step" && n.item.qual == "Fleet"),
+        "traffic_sim" => name == "step" || name == "step_segment" || name == "apply_migrations",
         _ => false,
     }
 }
@@ -373,6 +376,43 @@ mod tests {
         assert_eq!(taint[0].file, "crates/decision/src/lib.rs");
         assert!(taint[0].message.contains("env::var"));
         assert!(taint[0].message.contains("traffic_sim::Sim::step"));
+    }
+
+    #[test]
+    fn taint_sinks_cover_fleet_step_but_not_other_head_steps() {
+        let d = run(&[
+            (
+                "crates/head/src/fleet.rs",
+                "impl Fleet {\n    pub fn step(&mut self) { decision::jitter(); }\n}\n",
+            ),
+            (
+                "crates/head/src/env.rs",
+                "impl HighwayEnv {\n    pub fn step(&mut self) { decision::other_jitter(); }\n}\n",
+            ),
+            (
+                "crates/decision/src/lib.rs",
+                "pub fn jitter() -> String {\n    std::env::var(\"J\").unwrap_or_default()\n}\npub fn other_jitter() -> String {\n    std::env::var(\"K\").unwrap_or_default()\n}\n",
+            ),
+        ]);
+        let taint = by_rule(&d, "determinism-taint");
+        assert_eq!(taint.len(), 1, "only Fleet::step is a sink: {d:?}");
+        assert!(taint[0].message.contains("head::Fleet::step"));
+    }
+
+    #[test]
+    fn taint_sinks_cover_shard_kernel_and_migration_merge() {
+        let d = run(&[
+            (
+                "crates/traffic-sim/src/sim.rs",
+                "pub fn step_segment(s: &mut Seg) { decision::a(); }\nimpl Simulation {\n    fn apply_migrations(&mut self) { decision::b(); }\n}\n",
+            ),
+            (
+                "crates/decision/src/lib.rs",
+                "pub fn a() -> String {\n    std::env::var(\"A\").unwrap_or_default()\n}\npub fn b() -> String {\n    std::env::var(\"B\").unwrap_or_default()\n}\n",
+            ),
+        ]);
+        let taint = by_rule(&d, "determinism-taint");
+        assert_eq!(taint.len(), 2, "both sharded-step fns are sinks: {d:?}");
     }
 
     #[test]

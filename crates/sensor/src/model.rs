@@ -1,4 +1,11 @@
 //! The geometric sensor model: range filtering and line-of-sight occlusion.
+//!
+//! Sensing is *segment-aware*: candidates come from the ego's own segment
+//! plus, through each lane link, the near band of successor and
+//! predecessor segments, projected into the ego segment's frame (a
+//! successor vehicle appears at `pos + seg.length`, a predecessor vehicle
+//! at `pos - pred.length`). On the degenerate one-node network this
+//! reduces exactly to the original whole-road sweep.
 
 use serde::{Deserialize, Serialize};
 use traffic_sim::{Simulation, Vehicle, VehicleId};
@@ -49,6 +56,81 @@ impl ObservedState {
     }
 }
 
+/// A sensing candidate projected into the ego segment's frame.
+#[derive(Clone, Copy)]
+struct Candidate {
+    id: VehicleId,
+    /// Lane index in the ego segment's frame.
+    lane: usize,
+    /// Front-bumper position in the ego segment's frame (negative for
+    /// predecessor-segment vehicles behind the origin).
+    pos: f64,
+    vel: f64,
+    length: f64,
+}
+
+impl Candidate {
+    fn local(v: &Vehicle) -> Self {
+        Self {
+            id: v.id,
+            lane: v.lane,
+            pos: v.pos,
+            vel: v.vel,
+            length: v.length,
+        }
+    }
+}
+
+/// Gathers candidates: the ego's segment, plus successor and predecessor
+/// segments through the lane links, projected into the ego frame.
+fn gather_candidates(sim: &Simulation, ego: &Vehicle) -> Vec<Candidate> {
+    let net = sim.network();
+    let seg_idx = ego.seg.0 as usize;
+    let segment = &net.segments[seg_idx];
+    let mut cands: Vec<Candidate> = Vec::new();
+    for v in sim.segment_vehicles(ego.seg) {
+        if v.id != ego.id {
+            cands.push(Candidate::local(v));
+        }
+    }
+    // Successor band: a vehicle in the linked lane of the next segment is
+    // seen ahead, in the source lane, at `seg.length + pos`.
+    for (lane, link) in segment.links.iter().enumerate() {
+        let Some(link) = link else { continue };
+        for v in sim.segment_vehicles(link.to) {
+            if v.lane == link.lane {
+                cands.push(Candidate {
+                    id: v.id,
+                    lane,
+                    pos: segment.length + v.pos,
+                    vel: v.vel,
+                    length: v.length,
+                });
+            }
+        }
+    }
+    // Predecessor band: a vehicle feeding into this segment is seen
+    // behind the origin, in the lane its link targets.
+    for (pred, pred_lane, target_lane) in net.incoming(ego.seg) {
+        let pred_len = net.segments[pred.0 as usize].length;
+        for v in sim.segment_vehicles(pred) {
+            if v.lane == pred_lane && v.id != ego.id {
+                cands.push(Candidate {
+                    id: v.id,
+                    lane: target_lane,
+                    pos: v.pos - pred_len,
+                    vel: v.vel,
+                    length: v.length,
+                });
+            }
+        }
+    }
+    // A vehicle reachable through two links appears once (first wins).
+    let mut seen = std::collections::BTreeSet::new();
+    cands.retain(|c| seen.insert(c.id));
+    cands
+}
+
 /// One sensor sweep: the ego's own state plus every visible vehicle.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SensorFrame {
@@ -67,14 +149,14 @@ impl SensorFrame {
     }
 }
 
-/// Body centre of a vehicle in road coordinates `(x, y)`:
+/// Body centre of a candidate in road coordinates `(x, y)`:
 /// `x` longitudinal (m), `y` lateral (m, lane 0 centred at 0.5 widths).
-fn centre(v: &Vehicle, lane_width: f64) -> (f64, f64) {
+fn centre(v: &Candidate, lane_width: f64) -> (f64, f64) {
     (v.pos - v.length * 0.5, (v.lane as f64 + 0.5) * lane_width)
 }
 
 /// Axis-aligned body rectangle `(x_min, x_max, y_min, y_max)`.
-fn body_rect(v: &Vehicle, lane_width: f64, width: f64) -> (f64, f64, f64, f64) {
+fn body_rect(v: &Candidate, lane_width: f64, width: f64) -> (f64, f64, f64, f64) {
     let (cx, cy) = centre(v, lane_width);
     (
         cx - v.length * 0.5,
@@ -123,13 +205,12 @@ pub fn sense(sim: &Simulation, ego_id: VehicleId, cfg: &SensorConfig) -> SensorF
     // lint:allow(panic) sensing a removed vehicle is a caller bug worth failing fast on
     let ego = sim.get(ego_id).expect("ego vehicle must exist");
     let lane_width = sim.cfg().lane_width;
-    let ego_centre = centre(ego, lane_width);
+    let ego_centre = centre(&Candidate::local(ego), lane_width);
 
-    // Range gate first.
-    let in_range: Vec<&Vehicle> = sim
-        .vehicles()
-        .iter()
-        .filter(|v| v.id != ego_id)
+    // Range gate over the ego-frame candidates (own segment plus the
+    // linked neighbour bands).
+    let in_range: Vec<Candidate> = gather_candidates(sim, ego)
+        .into_iter()
         .filter(|v| {
             let (cx, cy) = centre(v, lane_width);
             let d2 = (cx - ego_centre.0).powi(2) + (cy - ego_centre.1).powi(2);
@@ -155,7 +236,12 @@ pub fn sense(sim: &Simulation, ego_id: VehicleId, cfg: &SensorConfig) -> SensorF
                     )
             })
         })
-        .map(|v| ObservedState::from_vehicle(v))
+        .map(|v| ObservedState {
+            id: v.id,
+            lane: v.lane,
+            pos: v.pos,
+            vel: v.vel,
+        })
         .collect();
 
     SensorFrame {

@@ -18,6 +18,8 @@
 
 /// One simulator step (`traffic-sim`), parent of the per-phase spans.
 pub const SPAN_SIM_STEP: &str = "sim.step";
+/// One fleet step (`head::fleet`): sense + batched decide + world step.
+pub const SPAN_FLEET_STEP: &str = "fleet.step";
 /// Simulator phase 1: lane-change decisions.
 pub const SPAN_LANE_CHANGE: &str = "lane_change";
 /// Simulator phase 2: longitudinal control.
@@ -71,6 +73,16 @@ pub const SIM_COLLISIONS: &str = "sim.collisions";
 pub const SIM_SANITIZED_COMMANDS: &str = "sim.sanitized_commands";
 /// Vehicles frozen because integration would go non-finite.
 pub const SIM_NONFINITE_FROZEN: &str = "sim.nonfinite_frozen";
+/// Vehicles merged into a successor segment by the migration path.
+pub const SIM_SHARD_MIGRATIONS: &str = "sim.shard.migrations";
+/// Boundary crossings held back by an occupied merge pocket.
+pub const SIM_SHARD_HELD: &str = "sim.shard.held";
+/// Batched AV decisions issued by the fleet driver.
+pub const FLEET_DECISIONS: &str = "fleet.decisions";
+/// Fleet AVs that reached a network exit and were re-injected.
+pub const FLEET_ARRIVALS: &str = "fleet.arrivals";
+/// Fleet AVs that collided and were re-injected.
+pub const FLEET_AV_COLLISIONS: &str = "fleet.av_collisions";
 /// Episodes completed (any terminal).
 pub const HEAD_EPISODES: &str = "head.episodes";
 /// Non-finite training losses caught by the divergence guard.
@@ -162,6 +174,10 @@ pub const NN_BWD_PREFIX: &str = "nn.bwd";
 
 /// Vehicles currently on the road.
 pub const SIM_VEHICLES: &str = "sim.vehicles";
+/// Shard count the simulator's segment stepping fans out over.
+pub const SIM_SHARD_COUNT: &str = "sim.shard.count";
+/// Concurrent HEAD agents driven by the fleet driver.
+pub const FLEET_AVS: &str = "fleet.avs";
 /// Current ε of the ε-greedy exploration schedule.
 pub const DECISION_EPSILON: &str = "decision.epsilon";
 /// Transitions currently held by the replay buffer.
@@ -225,6 +241,7 @@ pub const FLIGHT_SERVE_ROLLBACK: &str = "flight.serve_rollback";
 /// themselves, not from this list.)
 pub const ALL: &[&str] = &[
     SPAN_SIM_STEP,
+    SPAN_FLEET_STEP,
     SPAN_LANE_CHANGE,
     SPAN_CAR_FOLLOWING,
     SPAN_INTEGRATE,
@@ -250,6 +267,11 @@ pub const ALL: &[&str] = &[
     SIM_COLLISIONS,
     SIM_SANITIZED_COMMANDS,
     SIM_NONFINITE_FROZEN,
+    SIM_SHARD_MIGRATIONS,
+    SIM_SHARD_HELD,
+    FLEET_DECISIONS,
+    FLEET_ARRIVALS,
+    FLEET_AV_COLLISIONS,
     HEAD_EPISODES,
     NN_NONFINITE_LOSS,
     NN_NONFINITE_GRAD,
@@ -291,6 +313,8 @@ pub const ALL: &[&str] = &[
     NN_FWD_PREFIX,
     NN_BWD_PREFIX,
     SIM_VEHICLES,
+    SIM_SHARD_COUNT,
+    FLEET_AVS,
     DECISION_EPSILON,
     DECISION_REPLAY_OCCUPANCY,
     PERCEPTION_EPOCH_LOSS,

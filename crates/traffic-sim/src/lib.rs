@@ -1,18 +1,27 @@
-//! # traffic-sim — a microscopic multi-lane highway simulator
+//! # traffic-sim — a microscopic road-network traffic simulator
 //!
 //! SUMO substitute for the HEAD reproduction (ICDE 2023). The paper runs
 //! its agent on a straight six-lane 3 km road simulated by SUMO and driven
-//! through TraCI; this crate provides the equivalent substrate:
+//! through TraCI; this crate provides the equivalent substrate, grown into
+//! a segment-graph world for fleet-scale simulation:
 //!
+//! * a [`RoadNetwork`] of multi-lane [`Segment`]s joined by per-lane links
+//!   (corridors, on-ramps, off-ramps, merges), with vehicles addressed by
+//!   `(SegmentId, lane, pos)` — the default config is the degenerate
+//!   one-node network, byte-identical to the original straight road;
 //! * discrete time steps (Δt = 0.5 s, the paper's maneuver granularity);
 //! * conventional traffic controlled by the Krauss model (SUMO's default)
 //!   with MOBIL-style lane changing, heterogeneous per-driver parameters,
-//!   density maintenance via exit recycling;
+//!   density maintenance via exit recycling into the entry segments;
 //! * IDM and ACC controllers for the paper's rule-based baselines;
-//! * a TraCI-like command interface ([`Simulation::set_command`]) for the
-//!   externally controlled autonomous vehicle, with the paper's traffic
+//! * deterministic space-sharded stepping ([`Simulation::set_shards`]):
+//!   shards own contiguous segment runs, cross-boundary traffic moves as
+//!   migration records merged in submission order, and per-segment RNG
+//!   streams keep any shard count byte-identical to the serial run;
+//! * a TraCI-like command interface ([`Simulation::set_command`]) for
+//!   externally controlled autonomous vehicles, with the paper's traffic
 //!   restrictions (speed limits, ±a' acceleration bound, adjacent-lane
-//!   changes only);
+//!   changes only) — cross-segment transitions ride the same machinery;
 //! * collision detection (vehicle crash and road-boundary violation), the
 //!   paper's episode-terminating events.
 //!
@@ -35,6 +44,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod models;
+mod network;
 mod sim;
 mod vehicle;
 
@@ -42,5 +52,6 @@ pub use models::{
     acc_accel, idm_accel, krauss_accel, mobil_decision, FollowerView, LaneChange, LaneContext,
     LeaderView,
 };
+pub use network::{Link, RoadNetwork, Segment, SegmentId};
 pub use sim::{CollisionEvent, ExternalCommand, SimConfig, Simulation, StepOutcome};
 pub use vehicle::{Controller, DriverParams, Vehicle, VehicleId};

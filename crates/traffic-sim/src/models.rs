@@ -213,6 +213,7 @@ mod tests {
     fn nominal_vehicle(vel: f64) -> Vehicle {
         Vehicle {
             id: VehicleId(1),
+            seg: crate::network::SegmentId(0),
             lane: 1,
             pos: 100.0,
             vel,

@@ -1,0 +1,307 @@
+//! The road-network graph: [`Segment`] nodes joined by per-lane [`Link`]s.
+//!
+//! A network is a directed graph of road segments. Each segment is a
+//! straight multi-lane stretch with its own length and lane count; each of
+//! its lanes either ends the network (`None` link — vehicles exit there)
+//! or continues into a lane of a successor segment (`Some(Link)`). Lane
+//! links express every junction kind the fleet world needs:
+//!
+//! * **corridor** — lane `i` of segment `k` links to lane `i` of segment
+//!   `k + 1` (a long road cut into shardable pieces);
+//! * **on-ramp / merge** — a ramp segment's lane links into a lane that a
+//!   mainline segment's lane also links into;
+//! * **off-ramp** — one mainline lane links into a ramp segment instead of
+//!   the next mainline segment.
+//!
+//! Positions are *segment-local*: a vehicle is addressed by
+//! `(SegmentId, lane, pos)` with `pos` measured from its segment's origin.
+//! The degenerate one-node network (every lane link `None`) reproduces the
+//! original single-road simulation exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a segment within a [`RoadNetwork`].
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SegmentId(pub u32);
+
+/// Continuation of one lane into a successor segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Successor segment.
+    pub to: SegmentId,
+    /// Lane index within the successor segment.
+    pub lane: usize,
+}
+
+/// One straight multi-lane stretch of road.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment length, m.
+    pub length: f64,
+    /// Number of lanes; lane 0 is the leftmost.
+    pub lanes: usize,
+    /// Per-lane continuation; `links[l]` is where lane `l` leads.
+    /// `None` means vehicles leaving that lane exit the network.
+    pub links: Vec<Option<Link>>,
+}
+
+impl Segment {
+    /// A dead-end segment (all lanes exit the network).
+    pub fn dead_end(length: f64, lanes: usize) -> Self {
+        Self {
+            length,
+            lanes,
+            links: vec![None; lanes],
+        }
+    }
+}
+
+/// A directed graph of road segments.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    /// Segment nodes, indexed by [`SegmentId`].
+    pub segments: Vec<Segment>,
+}
+
+impl RoadNetwork {
+    /// The degenerate one-node network: a single straight road whose lanes
+    /// all exit at the far end. Byte-compatible with the pre-network
+    /// simulator.
+    pub fn single(length: f64, lanes: usize) -> Self {
+        Self {
+            segments: vec![Segment::dead_end(length, lanes)],
+        }
+    }
+
+    /// A chain of segments with identity lane mapping: lane `i` of segment
+    /// `k` continues into lane `i` of segment `k + 1`; the last segment
+    /// exits the network.
+    pub fn corridor(lengths: &[f64], lanes: usize) -> Self {
+        let segments = lengths
+            .iter()
+            .enumerate()
+            .map(|(k, &length)| {
+                let links = if k + 1 < lengths.len() {
+                    let to = SegmentId(k as u32 + 1);
+                    (0..lanes).map(|lane| Some(Link { to, lane })).collect()
+                } else {
+                    vec![None; lanes]
+                };
+                Segment {
+                    length,
+                    lanes,
+                    links,
+                }
+            })
+            .collect();
+        Self { segments }
+    }
+
+    /// A mainline corridor with one on-ramp merging into the second
+    /// segment and one off-ramp leaving the second-to-last segment.
+    ///
+    /// Layout for `main_lengths = [A, B, C]`:
+    ///
+    /// ```text
+    ///   ramp_in ──┐                      ┌── ramp_out
+    ///   main[A] ──┴── main[B] ── main[C]─┘
+    /// ```
+    ///
+    /// The on-ramp's single lane merges into the rightmost lane of the
+    /// second mainline segment; the rightmost lane of the second-to-last
+    /// mainline segment diverges onto the off-ramp. Needs at least two
+    /// mainline segments and two lanes.
+    pub fn with_ramps(main_lengths: &[f64], lanes: usize, ramp_len: f64) -> Self {
+        assert!(
+            main_lengths.len() >= 2 && lanes >= 2,
+            "ramps need >= 2 mainline segments and >= 2 lanes"
+        );
+        let mut net = Self::corridor(main_lengths, lanes);
+        let n_main = main_lengths.len();
+        // Off-ramp: rightmost lane of segment n_main - 2 diverges onto a
+        // dead-end ramp instead of continuing down the mainline.
+        let off_ramp = SegmentId(n_main as u32);
+        net.segments.push(Segment::dead_end(ramp_len, 1));
+        net.segments[n_main - 2].links[lanes - 1] = Some(Link {
+            to: off_ramp,
+            lane: 0,
+        });
+        // On-ramp: a one-lane feeder merging into the rightmost lane of
+        // segment 1 (alongside segment 0's rightmost lane — a real merge).
+        net.segments.push(Segment {
+            length: ramp_len,
+            lanes: 1,
+            links: vec![Some(Link {
+                to: SegmentId(1),
+                lane: lanes - 1,
+            })],
+        });
+        net
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the network has no segments (never valid for simulation).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Segments with no incoming link — where recycled conventional
+    /// traffic re-enters the world. Falls back to segment 0 for networks
+    /// where every segment has a predecessor (a pure cycle).
+    pub fn entry_segments(&self) -> Vec<usize> {
+        let mut has_incoming = vec![false; self.segments.len()];
+        for seg in &self.segments {
+            for link in seg.links.iter().flatten() {
+                if let Some(slot) = has_incoming.get_mut(link.to.0 as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        let entries: Vec<usize> = (0..self.segments.len())
+            .filter(|&i| !has_incoming[i])
+            .collect();
+        if entries.is_empty() {
+            vec![0]
+        } else {
+            entries
+        }
+    }
+
+    /// Incoming links of `seg`: `(predecessor, predecessor_lane, lane)`
+    /// triples, in predecessor order (used by segment-aware sensing).
+    pub fn incoming(&self, seg: SegmentId) -> Vec<(SegmentId, usize, usize)> {
+        let mut in_links = Vec::new();
+        for (p, pred) in self.segments.iter().enumerate() {
+            for (pl, link) in pred.links.iter().enumerate() {
+                if let Some(link) = link {
+                    if link.to == seg {
+                        in_links.push((SegmentId(p as u32), pl, link.lane));
+                    }
+                }
+            }
+        }
+        in_links
+    }
+
+    /// Panics unless every segment has at least one lane, a positive
+    /// finite length, and links that stay inside the network and inside
+    /// the target segment's lane range.
+    pub fn validate(&self) {
+        assert!(!self.segments.is_empty(), "network must have segments");
+        for (i, seg) in self.segments.iter().enumerate() {
+            assert!(
+                seg.length.is_finite() && seg.length > 0.0,
+                "segment {i} has invalid length {}",
+                seg.length
+            );
+            assert!(seg.lanes > 0, "segment {i} has no lanes");
+            assert_eq!(
+                seg.links.len(),
+                seg.lanes,
+                "segment {i} must have one link slot per lane"
+            );
+            for (lane, link) in seg.links.iter().enumerate() {
+                if let Some(link) = link {
+                    let target = self.segments.get(link.to.0 as usize);
+                    assert!(
+                        target.is_some(),
+                        "segment {i} lane {lane} links out of range"
+                    );
+                    assert!(
+                        target.is_some_and(|t| link.lane < t.lanes),
+                        "segment {i} lane {lane} links to missing lane {} of segment {}",
+                        link.lane,
+                        link.to.0
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_a_dead_end_node() {
+        let net = RoadNetwork::single(3000.0, 6);
+        net.validate();
+        assert_eq!(net.len(), 1);
+        assert!(net.segments[0].links.iter().all(Option::is_none));
+        assert_eq!(net.entry_segments(), vec![0]);
+    }
+
+    #[test]
+    fn corridor_links_identity_lanes() {
+        let net = RoadNetwork::corridor(&[500.0, 400.0, 300.0], 3);
+        net.validate();
+        assert_eq!(net.len(), 3);
+        assert_eq!(
+            net.segments[0].links[2],
+            Some(Link {
+                to: SegmentId(1),
+                lane: 2
+            })
+        );
+        assert!(net.segments[2].links.iter().all(Option::is_none));
+        assert_eq!(net.entry_segments(), vec![0]);
+    }
+
+    #[test]
+    fn ramps_merge_and_diverge() {
+        let net = RoadNetwork::with_ramps(&[600.0, 600.0, 600.0], 4, 250.0);
+        net.validate();
+        assert_eq!(net.len(), 5, "3 mainline + off-ramp + on-ramp");
+        // The on-ramp (last segment) merges into segment 1's rightmost lane.
+        let on_ramp = net.segments.last().unwrap();
+        assert_eq!(
+            on_ramp.links[0],
+            Some(Link {
+                to: SegmentId(1),
+                lane: 3
+            })
+        );
+        // Segment 1's rightmost lane therefore has two predecessors.
+        assert_eq!(net.incoming(SegmentId(1)).len(), 5, "4 mainline + ramp");
+        // The off-ramp diverges from segment 1's rightmost lane.
+        assert_eq!(
+            net.segments[1].links[3],
+            Some(Link {
+                to: SegmentId(3),
+                lane: 0
+            })
+        );
+        // Entries: the mainline head and the on-ramp.
+        assert_eq!(net.entry_segments(), vec![0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "links to missing lane")]
+    fn validate_rejects_out_of_range_lane() {
+        let mut net = RoadNetwork::corridor(&[100.0, 100.0], 2);
+        net.segments[0].links[0] = Some(Link {
+            to: SegmentId(1),
+            lane: 9,
+        });
+        net.validate();
+    }
+
+    #[test]
+    fn incoming_reports_predecessor_lanes() {
+        let net = RoadNetwork::corridor(&[100.0, 100.0], 2);
+        let inc = net.incoming(SegmentId(1));
+        assert_eq!(
+            inc,
+            vec![(SegmentId(0), 0, 0), (SegmentId(0), 1, 1)],
+            "identity lane mapping from the predecessor"
+        );
+        assert!(net.incoming(SegmentId(0)).is_empty());
+    }
+}

@@ -1,11 +1,38 @@
-//! The simulation core: a straight multi-lane road, discrete 0.5 s steps,
-//! heterogeneous model-controlled traffic, and a TraCI-like command
-//! interface for externally controlled vehicles.
+//! The simulation core: a road-network world of multi-lane segments,
+//! discrete 0.5 s steps, heterogeneous model-controlled traffic, and a
+//! TraCI-like command interface for externally controlled vehicles.
+//!
+//! # Sharded stepping and the determinism contract
+//!
+//! Every segment owns its own vehicle storage and its own seeded RNG
+//! stream (segment 0 uses the config seed directly — byte-compatible with
+//! the pre-network simulator — and segment `k > 0` uses
+//! [`par::stream_seed`]`(seed, k)`). A step proceeds in four phases:
+//!
+//! 1. **ghost snapshot** (serial) — for every lane with a continuation
+//!    link, the rearmost vehicle of the successor lane is captured as a
+//!    pre-step "ghost leader" so car-following sees across the boundary;
+//! 2. **segment stepping** (sharded) — each shard steps a contiguous run
+//!    of segments purely locally: lane changes, car-following (dawdle
+//!    draws from the segment's own stream), integration, collision
+//!    detection, and classification of vehicles that crossed the segment
+//!    end into *migration records*;
+//! 3. **migration merge** (serial) — migration records are applied in
+//!    submission order (segment index, then emission order); a blocked
+//!    merge pocket holds the vehicle at the boundary instead;
+//! 4. **recycle + respawn** (serial) — network exits are re-injected at
+//!    the entry segments using each entry segment's own stream.
+//!
+//! Because every cross-segment read comes from the pre-step ghost
+//! snapshot, every RNG draw comes from a per-segment stream, and the merge
+//! is serial in a partition-independent order, an N-shard run is
+//! byte-identical to the 1-shard run ([`Simulation::state_checksum`]).
 
 use crate::models::{
     acc_accel, idm_accel, krauss_accel, mobil_decision, FollowerView, LaneChange, LaneContext,
     LeaderView,
 };
+use crate::network::{RoadNetwork, Segment, SegmentId};
 use crate::vehicle::{Controller, DriverParams, Vehicle, VehicleId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
@@ -20,9 +47,11 @@ use telemetry::keys;
 /// and 180 vehicles per kilometre of road.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimConfig {
-    /// Number of lanes (κ). Lane 0 is the leftmost.
+    /// Number of lanes (κ) of the degenerate single-segment road. Lane 0
+    /// is the leftmost. Ignored when `network` is set.
     pub lanes: usize,
-    /// Road length, m.
+    /// Road length of the degenerate single-segment road, m. Ignored when
+    /// `network` is set.
     pub road_len: f64,
     /// Lane width, m.
     pub lane_width: f64,
@@ -34,7 +63,7 @@ pub struct SimConfig {
     pub v_max: f64,
     /// Legal acceleration bound a', m/s².
     pub a_max: f64,
-    /// Target traffic density over the whole road, vehicles per km.
+    /// Target traffic density per segment, vehicles per km.
     pub density_per_km: f64,
     /// Vehicle body length, m.
     pub vehicle_len: f64,
@@ -50,6 +79,10 @@ pub struct SimConfig {
     pub emergency_decel: f64,
     /// RNG seed; every run with the same seed is bit-identical.
     pub seed: u64,
+    /// Road network. `None` builds the degenerate one-node network from
+    /// `road_len`/`lanes`, which reproduces the original single-road
+    /// simulation exactly.
+    pub network: Option<RoadNetwork>,
 }
 
 impl Default for SimConfig {
@@ -68,6 +101,7 @@ impl Default for SimConfig {
             conventional: Controller::Krauss,
             emergency_decel: 9.0,
             seed: 0,
+            network: None,
         }
     }
 }
@@ -97,7 +131,9 @@ pub struct CollisionEvent {
     pub vehicle: VehicleId,
     /// The struck vehicle; `None` for a road-boundary violation.
     pub other: Option<VehicleId>,
-    /// Longitudinal position of the event, m.
+    /// Segment the event happened on.
+    pub seg: SegmentId,
+    /// Longitudinal position of the event within the segment, m.
     pub pos: f64,
 }
 
@@ -106,7 +142,8 @@ pub struct CollisionEvent {
 pub struct StepOutcome {
     /// Collisions detected this step.
     pub collisions: Vec<CollisionEvent>,
-    /// Externally controlled vehicles that crossed the road end this step.
+    /// Externally controlled vehicles that crossed a network exit this
+    /// step (reported every step until the owner removes them).
     pub exited_external: Vec<VehicleId>,
     /// External commands whose acceleration was non-finite this step and
     /// was replaced by 0 (coasting) instead of corrupting the integration.
@@ -114,39 +151,128 @@ pub struct StepOutcome {
     /// Vehicles frozen this step because integrating them would have
     /// produced a non-finite position or velocity.
     pub non_finite: Vec<VehicleId>,
+    /// Vehicles that crossed a segment boundary and were merged into their
+    /// successor segment this step.
+    pub migrated: u32,
+    /// Boundary-crossing vehicles held at the segment end because the
+    /// merge pocket in the successor lane was occupied.
+    pub held: u32,
 }
 
-/// A microscopic multi-lane traffic simulation.
+/// Pre-step snapshot of the rearmost successor-lane vehicle, seen through
+/// a lane link as a leader at `seg.length + rear` in source coordinates.
+#[derive(Clone, Copy, Debug)]
+struct GhostLeader {
+    /// Rear-bumper position in the *source* segment's coordinates.
+    rear_pos: f64,
+    /// Velocity, m/s.
+    vel: f64,
+}
+
+/// Per-segment ghost-leader bands: `ghosts[seg][lane]`.
+type GhostMap = Vec<Vec<Option<GhostLeader>>>;
+
+/// A vehicle that crossed its segment end through a lane link.
+struct Migration {
+    /// The vehicle, still in source coordinates.
+    vehicle: Vehicle,
+    /// Source segment index.
+    from: usize,
+    /// Target segment index.
+    to: usize,
+    /// Target lane.
+    to_lane: usize,
+}
+
+/// Everything one segment produced during its local step.
+#[derive(Default)]
+struct SegOut {
+    collisions: Vec<CollisionEvent>,
+    exited_external: Vec<VehicleId>,
+    sanitized: u32,
+    non_finite: Vec<VehicleId>,
+    /// Conventional vehicles that left through a network exit.
+    recycled: usize,
+    /// Boundary crossings, in emission (storage) order.
+    migrations: Vec<Migration>,
+}
+
+/// One segment's mutable state: vehicle storage plus its own RNG stream.
+struct SegmentState {
+    vehicles: Vec<Vehicle>,
+    rng: ChaCha12Rng,
+    pending_respawns: usize,
+}
+
+/// A microscopic multi-lane traffic simulation over a road network.
 pub struct Simulation {
     cfg: SimConfig,
-    vehicles: Vec<Vehicle>,
-    index: BTreeMap<VehicleId, usize>,
+    net: RoadNetwork,
+    entries: Vec<usize>,
+    segs: Vec<SegmentState>,
+    index: BTreeMap<VehicleId, (usize, usize)>,
     commands: BTreeMap<VehicleId, ExternalCommand>,
     next_id: u64,
     step_count: u64,
-    pending_respawns: usize,
-    rng: ChaCha12Rng,
+    shards: usize,
 }
 
 impl Simulation {
     /// Creates an empty simulation.
     pub fn new(cfg: SimConfig) -> Self {
-        let rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let net = cfg
+            .network
+            .clone()
+            .unwrap_or_else(|| RoadNetwork::single(cfg.road_len, cfg.lanes));
+        net.validate();
+        let segs = (0..net.len())
+            .map(|k| SegmentState {
+                vehicles: Vec::new(),
+                // Segment 0 uses the base seed directly so the degenerate
+                // one-node network reproduces the pre-network RNG stream;
+                // every other segment gets an independent derived stream.
+                rng: if k == 0 {
+                    ChaCha12Rng::seed_from_u64(cfg.seed)
+                } else {
+                    ChaCha12Rng::seed_from_u64(par::stream_seed(cfg.seed, k as u64))
+                },
+                pending_respawns: 0,
+            })
+            .collect();
+        let entries = net.entry_segments();
         Self {
             cfg,
-            vehicles: Vec::new(),
+            net,
+            entries,
+            segs,
             index: BTreeMap::new(),
             commands: BTreeMap::new(),
             next_id: 0,
             step_count: 0,
-            pending_respawns: 0,
-            rng,
+            shards: 1,
         }
     }
 
     /// Configuration in effect.
     pub fn cfg(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// The road network in effect.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// Number of shards segment stepping fans out over (1 = serial). The
+    /// result is byte-identical at any shard count; sharding only changes
+    /// how the per-segment work is scheduled over [`par::pool`].
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
     }
 
     /// Number of steps executed.
@@ -159,34 +285,80 @@ impl Simulation {
         self.step_count as f64 * self.cfg.dt
     }
 
-    /// All vehicles currently on the road.
-    pub fn vehicles(&self) -> &[Vehicle] {
-        &self.vehicles
+    /// All vehicles in the world, segment-major (segment-0 storage order
+    /// first, then segment 1, ...).
+    pub fn vehicles(&self) -> impl Iterator<Item = &Vehicle> {
+        self.segs.iter().flat_map(|s| s.vehicles.iter())
+    }
+
+    /// Number of vehicles in the world.
+    pub fn vehicle_count(&self) -> usize {
+        self.segs.iter().map(|s| s.vehicles.len()).sum()
+    }
+
+    /// Vehicles on one segment, in storage order.
+    pub fn segment_vehicles(&self, seg: SegmentId) -> &[Vehicle] {
+        self.segs
+            .get(seg.0 as usize)
+            .map(|s| s.vehicles.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Looks up a vehicle by id.
     pub fn get(&self, id: VehicleId) -> Option<&Vehicle> {
-        self.index.get(&id).map(|&i| &self.vehicles[i])
+        self.index
+            .get(&id)
+            .and_then(|&(s, i)| self.segs.get(s).and_then(|seg| seg.vehicles.get(i)))
     }
 
-    /// Fills the road with conventional traffic at the configured density.
+    /// FNV-1a checksum over the full kinematic state (id, segment, lane,
+    /// position and velocity bit patterns), segment-major. Two runs agree
+    /// on this iff they agree byte-for-byte on every vehicle.
+    pub fn state_checksum(&self) -> u64 {
+        let mut c = par::Checksum::new();
+        for seg in &self.segs {
+            for v in &seg.vehicles {
+                c.push_u64(v.id.0);
+                c.push_u64(u64::from(v.seg.0));
+                c.push_u64(v.lane as u64);
+                c.push_f64(v.pos);
+                c.push_f64(v.vel);
+            }
+        }
+        c.finish()
+    }
+
+    /// Fills every segment with conventional traffic at the configured
+    /// density (per-segment targets, so a short ramp gets proportionally
+    /// fewer vehicles than a long mainline stretch).
     ///
     /// Vehicles are placed with jittered spacing and heterogeneous drivers,
     /// each starting near its desired speed.
     pub fn populate(&mut self) {
-        let target = (self.cfg.density_per_km * self.cfg.road_len / 1000.0).round() as usize;
-        let per_lane = target / self.cfg.lanes;
-        let spacing = self.cfg.road_len / (per_lane.max(1)) as f64;
-        for lane in 0..self.cfg.lanes {
-            let mut pos = self.cfg.vehicle_len + self.rng.random_range(0.0..spacing * 0.5);
+        for s in 0..self.net.len() {
+            self.populate_segment(s);
+        }
+    }
+
+    fn populate_segment(&mut self, s: usize) {
+        let seg_len = self.net.segments[s].length;
+        let seg_lanes = self.net.segments[s].lanes;
+        let target = (self.cfg.density_per_km * seg_len / 1000.0).round() as usize;
+        let per_lane = target / seg_lanes;
+        let spacing = seg_len / (per_lane.max(1)) as f64;
+        for lane in 0..seg_lanes {
             let mut placements = Vec::with_capacity(per_lane);
-            for _ in 0..per_lane {
-                let driver = DriverParams::sample(&mut self.rng, self.cfg.v_max);
-                let vel = driver.desired_speed * self.rng.random_range(0.7..1.0);
-                placements.push((pos, vel, driver));
-                pos += spacing * self.rng.random_range(0.8..1.2);
-                if pos > self.cfg.road_len {
-                    break;
+            {
+                let state = &mut self.segs[s];
+                let mut pos = self.cfg.vehicle_len + state.rng.random_range(0.0..spacing * 0.5);
+                for _ in 0..per_lane {
+                    let driver = DriverParams::sample(&mut state.rng, self.cfg.v_max);
+                    let vel = driver.desired_speed * state.rng.random_range(0.7..1.0);
+                    placements.push((pos, vel, driver));
+                    pos += spacing * state.rng.random_range(0.8..1.2);
+                    if pos > seg_len {
+                        break;
+                    }
                 }
             }
             // Cap each follower's initial speed by the Krauss safe speed
@@ -203,7 +375,7 @@ impl Simulation {
                 *vel = vel.min(v_safe.max(0.0));
             }
             for (pos, vel, driver) in placements {
-                self.insert_vehicle(lane, pos, vel, self.cfg.conventional, driver);
+                self.insert_vehicle(s, lane, pos, vel, self.cfg.conventional, driver);
             }
         }
     }
@@ -218,6 +390,7 @@ impl Simulation {
 
     fn insert_vehicle(
         &mut self,
+        seg: usize,
         lane: usize,
         pos: f64,
         vel: f64,
@@ -226,8 +399,10 @@ impl Simulation {
     ) -> VehicleId {
         let id = VehicleId(self.next_id);
         self.next_id += 1;
-        self.vehicles.push(Vehicle {
+        let state = &mut self.segs[seg];
+        state.vehicles.push(Vehicle {
             id,
+            seg: SegmentId(seg as u32),
             lane,
             pos,
             vel,
@@ -238,25 +413,36 @@ impl Simulation {
             collided: false,
             lc_cooldown: 0,
         });
-        self.index.insert(id, self.vehicles.len() - 1);
+        self.index.insert(id, (seg, state.vehicles.len() - 1));
         id
     }
 
-    /// Inserts an externally controlled vehicle, clearing a safe pocket
-    /// around it (any conventional vehicle overlapping the pocket is moved
-    /// downstream). Returns the new vehicle's id.
+    /// Inserts an externally controlled vehicle on the first segment,
+    /// clearing a safe pocket around it. Returns the new vehicle's id.
     pub fn spawn_external(&mut self, lane: usize, pos: f64, vel: f64) -> VehicleId {
-        assert!(lane < self.cfg.lanes, "lane out of range");
+        self.spawn_external_in(SegmentId(0), lane, pos, vel)
+    }
+
+    /// Inserts an externally controlled vehicle on `seg`, clearing a safe
+    /// pocket around it (any conventional vehicle overlapping the pocket
+    /// is removed). Returns the new vehicle's id.
+    pub fn spawn_external_in(
+        &mut self,
+        seg: SegmentId,
+        lane: usize,
+        pos: f64,
+        vel: f64,
+    ) -> VehicleId {
+        let s = seg.0 as usize;
+        assert!(s < self.net.len(), "segment out of range");
+        assert!(lane < self.net.segments[s].lanes, "lane out of range");
         let pocket = 2.5 * self.cfg.vehicle_len;
-        // Remove conventional vehicles overlapping the pocket in this lane.
-        let keep: Vec<Vehicle> = self
+        self.segs[s]
             .vehicles
-            .drain(..)
-            .filter(|v| !(v.lane == lane && (v.pos - pos).abs() < pocket + v.length))
-            .collect();
-        self.vehicles = keep;
+            .retain(|v| !(v.lane == lane && (v.pos - pos).abs() < pocket + v.length));
         self.reindex();
         self.insert_vehicle(
+            s,
             lane,
             pos,
             vel,
@@ -267,8 +453,8 @@ impl Simulation {
 
     /// Removes a vehicle (e.g. a finished external agent).
     pub fn remove(&mut self, id: VehicleId) {
-        if let Some(&i) = self.index.get(&id) {
-            self.vehicles.swap_remove(i);
+        if let Some(&(s, i)) = self.index.get(&id) {
+            self.segs[s].vehicles.swap_remove(i);
             self.reindex();
             self.commands.remove(&id);
         }
@@ -276,10 +462,15 @@ impl Simulation {
 
     fn reindex(&mut self) {
         self.index = self
-            .vehicles
+            .segs
             .iter()
             .enumerate()
-            .map(|(i, v)| (v.id, i))
+            .flat_map(|(s, seg)| {
+                seg.vehicles
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, v)| (v.id, (s, i)))
+            })
             .collect();
     }
 
@@ -289,262 +480,136 @@ impl Simulation {
         self.commands.insert(id, cmd);
     }
 
-    /// Per-lane vehicle indices sorted by increasing position.
-    fn lane_order(&self) -> Vec<Vec<usize>> {
-        let mut lanes = vec![Vec::new(); self.cfg.lanes];
-        for (i, v) in self.vehicles.iter().enumerate() {
-            lanes[v.lane].push(i);
-        }
-        for lane in &mut lanes {
-            lane.sort_by(|&a, &b| {
-                self.vehicles[a]
-                    .pos
-                    .total_cmp(&self.vehicles[b].pos)
-                    .then(self.vehicles[a].id.cmp(&self.vehicles[b].id))
-            });
-        }
-        lanes
-    }
-
-    /// Nearest vehicle ahead of `pos` in `lane` (excluding `exclude`).
+    /// Nearest vehicle ahead of `pos` in `lane` of the first segment
+    /// (excluding `exclude`).
     pub fn leader_in_lane(&self, lane: usize, pos: f64, exclude: VehicleId) -> Option<&Vehicle> {
-        self.vehicles
-            .iter()
-            .filter(|v| v.lane == lane && v.id != exclude && v.pos > pos)
-            .min_by(|a, b| a.pos.total_cmp(&b.pos))
+        leader_in(&self.segs[0].vehicles, lane, pos, exclude)
     }
 
-    /// Nearest vehicle behind `pos` in `lane` (excluding `exclude`).
+    /// Nearest vehicle behind `pos` in `lane` of the first segment
+    /// (excluding `exclude`).
     pub fn follower_in_lane(&self, lane: usize, pos: f64, exclude: VehicleId) -> Option<&Vehicle> {
-        self.vehicles
-            .iter()
-            .filter(|v| v.lane == lane && v.id != exclude && v.pos <= pos)
-            .max_by(|a, b| a.pos.total_cmp(&b.pos))
+        follower_in(&self.segs[0].vehicles, lane, pos, exclude)
     }
 
-    fn context_for(&self, lanes: &[Vec<usize>], vi: usize, lane: usize) -> LaneContext {
-        let v = &self.vehicles[vi];
-        let order = &lanes[lane];
-        // Position of the first vehicle in `order` strictly ahead of v.pos.
-        let split = order.partition_point(|&oi| {
-            let o = &self.vehicles[oi];
-            o.pos < v.pos || (o.pos == v.pos && o.id <= v.id)
-        });
-        let leader = order[split..]
+    /// Pre-step ghost snapshot: for every lane with a continuation link,
+    /// the rearmost vehicle of the successor lane, projected into source
+    /// coordinates. Computed before any segment steps, so it is identical
+    /// at every shard count.
+    fn ghost_leaders(&self) -> GhostMap {
+        self.net
+            .segments
             .iter()
-            .map(|&oi| &self.vehicles[oi])
-            .find(|o| o.id != v.id)
-            .map(|o| LeaderView {
-                gap: v.gap_to(o),
-                vel: o.vel,
-            });
-        let follower = order[..split]
-            .iter()
-            .rev()
-            .map(|&oi| &self.vehicles[oi])
-            .find(|o| o.id != v.id)
-            .map(|o| FollowerView {
-                gap: o.gap_to(v),
-                vel: o.vel,
-                decel: o.driver.decel,
-                driver: o.driver,
-            });
-        LaneContext { leader, follower }
+            .map(|seg| {
+                seg.links
+                    .iter()
+                    .map(|link| {
+                        link.as_ref().and_then(|link| {
+                            self.segs[link.to.0 as usize]
+                                .vehicles
+                                .iter()
+                                .filter(|v| v.lane == link.lane)
+                                .min_by(|a, b| a.pos.total_cmp(&b.pos))
+                                .map(|v| GhostLeader {
+                                    rear_pos: seg.length + v.rear(),
+                                    vel: v.vel,
+                                })
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Advances the simulation by one Δt step.
     pub fn step(&mut self) -> StepOutcome {
         let _step_span = telemetry::span!(keys::SPAN_SIM_STEP);
+        let n = self.segs.len();
+        let shard_count = self.shards.min(n).max(1);
+        let ghosts = self.ghost_leaders();
+        let states = std::mem::take(&mut self.segs);
+
+        // Phase 2 of the module contract: step every segment locally.
+        // Shards own contiguous runs of segments; the merge below is in
+        // submission order either way, so the partition never shows.
+        let stepped: Vec<(SegmentState, SegOut)> = {
+            let cfg = &self.cfg;
+            let net = &self.net;
+            let commands = &self.commands;
+            let run_seg = |i: usize, mut state: SegmentState| {
+                let out = step_segment(cfg, &net.segments[i], i, &mut state, &ghosts[i], commands);
+                (state, out)
+            };
+            if shard_count <= 1 {
+                states
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| run_seg(i, s))
+                    .collect()
+            } else {
+                let per = n.div_ceil(shard_count);
+                let mut chunks: Vec<(usize, Vec<SegmentState>)> = Vec::with_capacity(shard_count);
+                for (i, state) in states.into_iter().enumerate() {
+                    if i % per == 0 {
+                        chunks.push((i, Vec::with_capacity(per)));
+                    }
+                    if let Some(chunk) = chunks.last_mut() {
+                        chunk.1.push(state);
+                    }
+                }
+                let mapped = par::pool().try_map(chunks, |_, (start, chunk)| {
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, s)| run_seg(start + k, s))
+                        .collect::<Vec<_>>()
+                });
+                match mapped {
+                    Ok(per_shard) => per_shard.into_iter().flatten().collect(),
+                    // lint:allow(panic) a shard worker panic is already a bug
+                    // in the step itself; surface it instead of limping on
+                    Err(e) => panic!("shard worker failed: {e}"),
+                }
+            }
+        };
+
+        // Serial merge: aggregate per-segment outcomes in segment order.
         let mut outcome = StepOutcome::default();
-        let lanes = self.lane_order();
-
-        // --- Phase 1: lane-change decisions -----------------------------
-        let lc_span = telemetry::span!(keys::SPAN_LANE_CHANGE);
-        let mut changes: Vec<(usize, i32)> = Vec::new();
-        for vi in 0..self.vehicles.len() {
-            let v = &self.vehicles[vi];
-            match v.controller {
-                Controller::External => {
-                    let cmd = self.commands.get(&v.id).copied().unwrap_or_default();
-                    let delta = match cmd.lane_change {
-                        LaneChange::Keep => 0,
-                        LaneChange::Left => -1,
-                        LaneChange::Right => 1,
-                    };
-                    if delta != 0 {
-                        let target = v.lane as i32 + delta;
-                        if target < 0 || target >= self.cfg.lanes as i32 {
-                            // Hitting the road boundary is a collision.
-                            outcome.collisions.push(CollisionEvent {
-                                vehicle: v.id,
-                                other: None,
-                                pos: v.pos,
-                            });
-                        } else {
-                            changes.push((vi, delta));
-                        }
-                    }
-                }
-                _ => {
-                    if v.lc_cooldown > 0 {
-                        continue;
-                    }
-                    let current = self.context_for(&lanes, vi, v.lane);
-                    let left = (v.lane > 0).then(|| self.context_for(&lanes, vi, v.lane - 1));
-                    let right = (v.lane + 1 < self.cfg.lanes)
-                        .then(|| self.context_for(&lanes, vi, v.lane + 1));
-                    match mobil_decision(v, current, left, right) {
-                        LaneChange::Keep => {}
-                        LaneChange::Left => changes.push((vi, -1)),
-                        LaneChange::Right => changes.push((vi, 1)),
-                    }
-                }
-            }
+        let mut migrations: Vec<Migration> = Vec::new();
+        let mut total_recycled = 0usize;
+        let mut needs_reindex = false;
+        let mut states_back = Vec::with_capacity(n);
+        for (state, mut out) in stepped {
+            outcome.collisions.append(&mut out.collisions);
+            outcome.exited_external.append(&mut out.exited_external);
+            outcome.sanitized_commands += out.sanitized;
+            outcome.non_finite.append(&mut out.non_finite);
+            total_recycled += out.recycled;
+            needs_reindex |= out.recycled > 0 || !out.migrations.is_empty();
+            migrations.append(&mut out.migrations);
+            states_back.push(state);
         }
-        // Apply changes in descending position order, re-validating gaps in
-        // the target lane against the *live* state so two vehicles cannot
-        // merge into the same pocket in one step.
-        changes.sort_by(|a, b| self.vehicles[b.0].pos.total_cmp(&self.vehicles[a.0].pos));
-        for (vi, delta) in changes {
-            let v = &self.vehicles[vi];
-            let target = (v.lane as i32 + delta) as usize;
-            let safe = if matches!(v.controller, Controller::External) {
-                true // the AV may command unsafe changes; collisions are detected below
-            } else {
-                let leader_ok = self
-                    .leader_in_lane(target, v.pos, v.id)
-                    .map_or(true, |l| v.gap_to(l) > 0.5);
-                let follower_ok = self
-                    .follower_in_lane(target, v.pos, v.id)
-                    .map_or(true, |f| f.gap_to(v) > 0.5);
-                leader_ok && follower_ok
-            };
-            if safe {
-                let cooldown = self.cfg.lc_cooldown_steps;
-                let v = &mut self.vehicles[vi];
-                v.lane = target;
-                v.lc_cooldown = cooldown;
-            }
-        }
+        self.segs = states_back;
 
-        drop(lc_span);
-
-        // --- Phase 2: longitudinal control -------------------------------
-        let cf_span = telemetry::span!(keys::SPAN_CAR_FOLLOWING);
-        let lanes = self.lane_order();
-        let mut accels = vec![0.0_f64; self.vehicles.len()];
-        for (vi, slot) in accels.iter_mut().enumerate() {
-            let v = &self.vehicles[vi];
-            let ctx = self.context_for(&lanes, vi, v.lane);
-            let a = match v.controller {
-                Controller::Idm => idm_accel(&v.driver, v.vel, ctx.leader),
-                Controller::Krauss => {
-                    let dawdle = self.rng.random::<f64>();
-                    krauss_accel(&v.driver, v.vel, ctx.leader, self.cfg.dt, dawdle)
-                }
-                Controller::Acc => acc_accel(&v.driver, v.vel, ctx.leader),
-                Controller::External => {
-                    let a = self.commands.get(&v.id).copied().unwrap_or_default().accel;
-                    if a.is_finite() {
-                        a
-                    } else {
-                        // A corrupted command must not poison the physics;
-                        // coast instead and report it.
-                        outcome.sanitized_commands += 1;
-                        0.0
-                    }
-                }
-            };
-            let max_decel = if matches!(v.controller, Controller::External) {
-                self.cfg.a_max
-            } else {
-                self.cfg.emergency_decel
-            };
-            *slot = a.clamp(-max_decel, self.cfg.a_max);
-        }
-
-        drop(cf_span);
-
-        // --- Phase 3: integration ----------------------------------------
-        let int_span = telemetry::span!(keys::SPAN_INTEGRATE);
-        let dt = self.cfg.dt;
-        for (vi, v) in self.vehicles.iter_mut().enumerate() {
-            let v_floor = if matches!(v.controller, Controller::External) {
-                self.cfg.v_min
-            } else {
-                0.0
-            };
-            let v_next = (v.vel + accels[vi] * dt).clamp(v_floor, self.cfg.v_max);
-            let pos_next = v.pos + (v.vel + v_next) * 0.5 * dt;
-            if !v_next.is_finite() || !pos_next.is_finite() {
-                // Freeze rather than integrate a non-finite state: hold the
-                // position, stop the vehicle, and report it so the owner can
-                // terminate the episode.
-                v.vel = if v.vel.is_finite() { v.vel } else { 0.0 };
-                v.accel = 0.0;
-                v.lc_cooldown = v.lc_cooldown.saturating_sub(1);
-                outcome.non_finite.push(v.id);
-                continue;
-            }
-            let eff_accel = (v_next - v.vel) / dt;
-            v.pos = pos_next;
-            v.vel = v_next;
-            v.accel = eff_accel;
-            v.lc_cooldown = v.lc_cooldown.saturating_sub(1);
-        }
-
-        drop(int_span);
-
-        // --- Phase 4: collision detection ---------------------------------
-        let col_span = telemetry::span!(keys::SPAN_COLLISION);
-        let lanes = self.lane_order();
-        for order in &lanes {
-            for pair in order.windows(2) {
-                let (f, l) = (pair[0], pair[1]);
-                if self.vehicles[f].gap_to(&self.vehicles[l]) < 0.0 {
-                    outcome.collisions.push(CollisionEvent {
-                        vehicle: self.vehicles[f].id,
-                        other: Some(self.vehicles[l].id),
-                        pos: self.vehicles[f].pos,
-                    });
-                    self.vehicles[f].collided = true;
-                    self.vehicles[l].collided = true;
-                }
-            }
-        }
-        for ev in &outcome.collisions {
-            if ev.other.is_none() {
-                if let Some(&i) = self.index.get(&ev.vehicle) {
-                    self.vehicles[i].collided = true;
-                }
-            }
-        }
-
-        drop(col_span);
-
-        // --- Phase 5: recycle exits ----------------------------------------
-        let rc_span = telemetry::span!(keys::SPAN_RECYCLE);
-        let road_len = self.cfg.road_len;
-        let mut exited_external = Vec::new();
-        let mut removed = 0usize;
-        self.vehicles.retain(|v| {
-            if v.rear() <= road_len {
-                return true;
-            }
-            if matches!(v.controller, Controller::External) {
-                exited_external.push(v.id);
-                return true; // the owner decides when to remove it
-            }
-            removed += 1;
-            false
-        });
-        self.pending_respawns += removed;
-        if removed > 0 || !exited_external.is_empty() {
+        // Phase 3: apply migrations in submission order.
+        let (migrated, held) = self.apply_migrations(migrations);
+        outcome.migrated = migrated;
+        outcome.held = held;
+        if needs_reindex {
             self.reindex();
         }
-        self.try_respawn();
-        outcome.exited_external = exited_external;
-        drop(rc_span);
+
+        // Phase 4: recycle network exits into the entry segments.
+        if total_recycled > 0 {
+            for k in 0..total_recycled {
+                let e = self.entries[k % self.entries.len()];
+                self.segs[e].pending_respawns += 1;
+            }
+        }
+        for k in 0..self.entries.len() {
+            let e = self.entries[k];
+            self.try_respawn_seg(e);
+        }
 
         if !outcome.collisions.is_empty() {
             telemetry::counter_add(keys::SIM_COLLISIONS, outcome.collisions.len() as u64);
@@ -563,45 +628,398 @@ impl Simulation {
             telemetry::counter_add(keys::SIM_NONFINITE_FROZEN, outcome.non_finite.len() as u64);
             telemetry::flight_record(keys::SIM_NONFINITE_FROZEN, outcome.non_finite.len() as f64);
         }
-        telemetry::gauge_set(keys::SIM_VEHICLES, self.vehicles.len() as f64);
+        if outcome.migrated > 0 {
+            telemetry::counter_add(keys::SIM_SHARD_MIGRATIONS, u64::from(outcome.migrated));
+        }
+        if outcome.held > 0 {
+            telemetry::counter_add(keys::SIM_SHARD_HELD, u64::from(outcome.held));
+        }
+        telemetry::gauge_set(keys::SIM_SHARD_COUNT, shard_count as f64);
+        telemetry::gauge_set(keys::SIM_VEHICLES, self.vehicle_count() as f64);
         self.step_count += 1;
         outcome
     }
 
-    /// Tries to re-inject queued vehicles at the road origin.
-    fn try_respawn(&mut self) {
-        let mut remaining = self.pending_respawns;
-        if remaining == 0 {
-            return;
-        }
-        let entry_pos = self.cfg.vehicle_len + 1.0;
-        let mut lanes: Vec<usize> = (0..self.cfg.lanes).collect();
-        // Rotate the starting lane so injection is spread across lanes.
-        let start = (self.rng.random::<u32>() as usize) % self.cfg.lanes;
-        lanes.rotate_left(start);
-        for lane in lanes {
-            if remaining == 0 {
-                break;
+    /// Applies boundary crossings in submission order: insert into the
+    /// successor lane when its merge pocket is clear, otherwise hold the
+    /// vehicle at the source boundary (a ramp-meter queue). Serial and
+    /// order-deterministic, so the shard partition never leaks in.
+    fn apply_migrations(&mut self, migrations: Vec<Migration>) -> (u32, u32) {
+        const MERGE_GAP: f64 = 0.5;
+        let (mut migrated, mut held) = (0u32, 0u32);
+        for m in migrations {
+            let src_len = self.net.segments[m.from].length;
+            let mut v = m.vehicle;
+            let entry_pos = v.pos - src_len;
+            let pocket_blocked = self.segs[m.to].vehicles.iter().any(|o| {
+                o.lane == m.to_lane
+                    && o.rear() < entry_pos + MERGE_GAP
+                    && o.pos > entry_pos - v.length - MERGE_GAP
+            });
+            if pocket_blocked {
+                // Hold at the boundary: rear bumper exactly at the segment
+                // end, stopped. Re-attempts the merge once it moves again.
+                v.pos = src_len + v.length;
+                v.vel = 0.0;
+                v.accel = 0.0;
+                self.segs[m.from].vehicles.push(v);
+                held += 1;
+            } else {
+                v.pos = entry_pos;
+                v.lane = m.to_lane;
+                v.seg = SegmentId(m.to as u32);
+                self.segs[m.to].vehicles.push(v);
+                migrated += 1;
             }
-            let min_entry_gap = 8.0;
-            let blocked = self
-                .vehicles
-                .iter()
-                .any(|v| v.lane == lane && v.rear() < entry_pos + min_entry_gap);
-            if blocked {
+        }
+        (migrated, held)
+    }
+
+    /// Tries to re-inject queued vehicles at one entry segment's origin.
+    fn try_respawn_seg(&mut self, e: usize) {
+        let entry_pos = self.cfg.vehicle_len + 1.0;
+        let seg_lanes = self.net.segments[e].lanes;
+        let v_max = self.cfg.v_max;
+        let mut placements: Vec<(usize, f64, DriverParams)> = Vec::new();
+        {
+            let state = &mut self.segs[e];
+            let mut remaining = state.pending_respawns;
+            if remaining == 0 {
+                return;
+            }
+            let mut lanes: Vec<usize> = (0..seg_lanes).collect();
+            // Rotate the starting lane so injection is spread across lanes.
+            let start = (state.rng.random::<u32>() as usize) % seg_lanes;
+            lanes.rotate_left(start);
+            for lane in lanes {
+                if remaining == 0 {
+                    break;
+                }
+                let min_entry_gap = 8.0;
+                let blocked = state
+                    .vehicles
+                    .iter()
+                    .any(|v| v.lane == lane && v.rear() < entry_pos + min_entry_gap);
+                if blocked {
+                    continue;
+                }
+                let driver = DriverParams::sample(&mut state.rng, v_max);
+                let lead_vel = leader_in(&state.vehicles, lane, entry_pos, VehicleId(u64::MAX))
+                    .map(|l| l.vel)
+                    .unwrap_or(driver.desired_speed);
+                let vel = lead_vel.min(driver.desired_speed).max(3.0);
+                placements.push((lane, vel, driver));
+                remaining -= 1;
+            }
+            state.pending_respawns = remaining;
+        }
+        for (lane, vel, driver) in placements {
+            self.insert_vehicle(e, lane, entry_pos, vel, self.cfg.conventional, driver);
+        }
+    }
+}
+
+/// Nearest vehicle ahead of `pos` in `lane` (excluding `exclude`).
+fn leader_in(vehicles: &[Vehicle], lane: usize, pos: f64, exclude: VehicleId) -> Option<&Vehicle> {
+    vehicles
+        .iter()
+        .filter(|v| v.lane == lane && v.id != exclude && v.pos > pos)
+        .min_by(|a, b| a.pos.total_cmp(&b.pos))
+}
+
+/// Nearest vehicle behind `pos` in `lane` (excluding `exclude`).
+fn follower_in(
+    vehicles: &[Vehicle],
+    lane: usize,
+    pos: f64,
+    exclude: VehicleId,
+) -> Option<&Vehicle> {
+    vehicles
+        .iter()
+        .filter(|v| v.lane == lane && v.id != exclude && v.pos <= pos)
+        .max_by(|a, b| a.pos.total_cmp(&b.pos))
+}
+
+/// Per-lane vehicle indices sorted by increasing position.
+fn lane_order(vehicles: &[Vehicle], lanes: usize) -> Vec<Vec<usize>> {
+    let mut order = vec![Vec::new(); lanes];
+    for (i, v) in vehicles.iter().enumerate() {
+        order[v.lane].push(i);
+    }
+    for lane in &mut order {
+        lane.sort_by(|&a, &b| {
+            vehicles[a]
+                .pos
+                .total_cmp(&vehicles[b].pos)
+                .then(vehicles[a].id.cmp(&vehicles[b].id))
+        });
+    }
+    order
+}
+
+/// Leader/follower context of vehicle `vi` in `lane`, falling back to the
+/// lane's ghost leader when no in-segment leader exists.
+fn context_for(
+    vehicles: &[Vehicle],
+    order: &[Vec<usize>],
+    vi: usize,
+    lane: usize,
+    ghosts: &[Option<GhostLeader>],
+) -> LaneContext {
+    let v = &vehicles[vi];
+    let lane_order = &order[lane];
+    // Position of the first vehicle in `lane_order` strictly ahead of v.pos.
+    let split = lane_order.partition_point(|&oi| {
+        let o = &vehicles[oi];
+        o.pos < v.pos || (o.pos == v.pos && o.id <= v.id)
+    });
+    let leader = lane_order[split..]
+        .iter()
+        .map(|&oi| &vehicles[oi])
+        .find(|o| o.id != v.id)
+        .map(|o| LeaderView {
+            gap: v.gap_to(o),
+            vel: o.vel,
+        })
+        .or_else(|| {
+            ghosts.get(lane).copied().flatten().map(|g| LeaderView {
+                gap: g.rear_pos - v.pos,
+                vel: g.vel,
+            })
+        });
+    let follower = lane_order[..split]
+        .iter()
+        .rev()
+        .map(|&oi| &vehicles[oi])
+        .find(|o| o.id != v.id)
+        .map(|o| FollowerView {
+            gap: o.gap_to(v),
+            vel: o.vel,
+            decel: o.driver.decel,
+            driver: o.driver,
+        });
+    LaneContext { leader, follower }
+}
+
+/// Steps one segment purely locally: lane changes, car-following (dawdle
+/// draws from the segment's own RNG stream), trapezoidal integration,
+/// collision detection, and exit classification. All cross-segment reads
+/// come from the pre-step `ghosts` snapshot, so this function is a pure
+/// function of `(cfg, seg, state, ghosts, commands)` — the shard partition
+/// cannot influence its output.
+fn step_segment(
+    cfg: &SimConfig,
+    seg: &Segment,
+    seg_idx: usize,
+    state: &mut SegmentState,
+    ghosts: &[Option<GhostLeader>],
+    commands: &BTreeMap<VehicleId, ExternalCommand>,
+) -> SegOut {
+    let mut out = SegOut::default();
+    let seg_id = SegmentId(seg_idx as u32);
+    let order = lane_order(&state.vehicles, seg.lanes);
+
+    // --- Phase 1: lane-change decisions -----------------------------
+    let lc_span = telemetry::span!(keys::SPAN_LANE_CHANGE);
+    let mut changes: Vec<(usize, i32)> = Vec::new();
+    for vi in 0..state.vehicles.len() {
+        let v = &state.vehicles[vi];
+        match v.controller {
+            Controller::External => {
+                let cmd = commands.get(&v.id).copied().unwrap_or_default();
+                let delta = match cmd.lane_change {
+                    LaneChange::Keep => 0,
+                    LaneChange::Left => -1,
+                    LaneChange::Right => 1,
+                };
+                if delta != 0 {
+                    let target = v.lane as i32 + delta;
+                    if target < 0 || target >= seg.lanes as i32 {
+                        // Hitting the road boundary is a collision.
+                        out.collisions.push(CollisionEvent {
+                            vehicle: v.id,
+                            other: None,
+                            seg: seg_id,
+                            pos: v.pos,
+                        });
+                    } else {
+                        changes.push((vi, delta));
+                    }
+                }
+            }
+            _ => {
+                if v.lc_cooldown > 0 {
+                    continue;
+                }
+                let current = context_for(&state.vehicles, &order, vi, v.lane, ghosts);
+                let left = (v.lane > 0)
+                    .then(|| context_for(&state.vehicles, &order, vi, v.lane - 1, ghosts));
+                let right = (v.lane + 1 < seg.lanes)
+                    .then(|| context_for(&state.vehicles, &order, vi, v.lane + 1, ghosts));
+                match mobil_decision(v, current, left, right) {
+                    LaneChange::Keep => {}
+                    LaneChange::Left => changes.push((vi, -1)),
+                    LaneChange::Right => changes.push((vi, 1)),
+                }
+            }
+        }
+    }
+    // Apply changes in descending position order, re-validating gaps in
+    // the target lane against the *live* state so two vehicles cannot
+    // merge into the same pocket in one step.
+    changes.sort_by(|a, b| state.vehicles[b.0].pos.total_cmp(&state.vehicles[a.0].pos));
+    for (vi, delta) in changes {
+        let v = &state.vehicles[vi];
+        let target = (v.lane as i32 + delta) as usize;
+        let safe = if matches!(v.controller, Controller::External) {
+            true // the AV may command unsafe changes; collisions are detected below
+        } else {
+            let leader_ok =
+                leader_in(&state.vehicles, target, v.pos, v.id).map_or(true, |l| v.gap_to(l) > 0.5);
+            let follower_ok = follower_in(&state.vehicles, target, v.pos, v.id)
+                .map_or(true, |f| f.gap_to(v) > 0.5);
+            leader_ok && follower_ok
+        };
+        if safe {
+            let cooldown = cfg.lc_cooldown_steps;
+            let v = &mut state.vehicles[vi];
+            v.lane = target;
+            v.lc_cooldown = cooldown;
+        }
+    }
+
+    drop(lc_span);
+
+    // --- Phase 2: longitudinal control -------------------------------
+    let cf_span = telemetry::span!(keys::SPAN_CAR_FOLLOWING);
+    let order = lane_order(&state.vehicles, seg.lanes);
+    let mut accels = vec![0.0_f64; state.vehicles.len()];
+    for (vi, slot) in accels.iter_mut().enumerate() {
+        let ctx = {
+            let v = &state.vehicles[vi];
+            context_for(&state.vehicles, &order, vi, v.lane, ghosts)
+        };
+        let v = &state.vehicles[vi];
+        let a = match v.controller {
+            Controller::Idm => idm_accel(&v.driver, v.vel, ctx.leader),
+            Controller::Krauss => {
+                let dawdle = state.rng.random::<f64>();
+                krauss_accel(&v.driver, v.vel, ctx.leader, cfg.dt, dawdle)
+            }
+            Controller::Acc => acc_accel(&v.driver, v.vel, ctx.leader),
+            Controller::External => {
+                let a = commands.get(&v.id).copied().unwrap_or_default().accel;
+                if a.is_finite() {
+                    a
+                } else {
+                    // A corrupted command must not poison the physics;
+                    // coast instead and report it.
+                    out.sanitized += 1;
+                    0.0
+                }
+            }
+        };
+        let max_decel = if matches!(v.controller, Controller::External) {
+            cfg.a_max
+        } else {
+            cfg.emergency_decel
+        };
+        *slot = a.clamp(-max_decel, cfg.a_max);
+    }
+
+    drop(cf_span);
+
+    // --- Phase 3: integration ----------------------------------------
+    let int_span = telemetry::span!(keys::SPAN_INTEGRATE);
+    let dt = cfg.dt;
+    for (vi, v) in state.vehicles.iter_mut().enumerate() {
+        let v_floor = if matches!(v.controller, Controller::External) {
+            cfg.v_min
+        } else {
+            0.0
+        };
+        let v_next = (v.vel + accels[vi] * dt).clamp(v_floor, cfg.v_max);
+        let pos_next = v.pos + (v.vel + v_next) * 0.5 * dt;
+        if !v_next.is_finite() || !pos_next.is_finite() {
+            // Freeze rather than integrate a non-finite state: hold the
+            // position, stop the vehicle, and report it so the owner can
+            // terminate the episode.
+            v.vel = if v.vel.is_finite() { v.vel } else { 0.0 };
+            v.accel = 0.0;
+            v.lc_cooldown = v.lc_cooldown.saturating_sub(1);
+            out.non_finite.push(v.id);
+            continue;
+        }
+        let eff_accel = (v_next - v.vel) / dt;
+        v.pos = pos_next;
+        v.vel = v_next;
+        v.accel = eff_accel;
+        v.lc_cooldown = v.lc_cooldown.saturating_sub(1);
+    }
+
+    drop(int_span);
+
+    // --- Phase 4: collision detection ---------------------------------
+    let col_span = telemetry::span!(keys::SPAN_COLLISION);
+    let order = lane_order(&state.vehicles, seg.lanes);
+    for lane in &order {
+        for pair in lane.windows(2) {
+            let (f, l) = (pair[0], pair[1]);
+            if state.vehicles[f].gap_to(&state.vehicles[l]) < 0.0 {
+                out.collisions.push(CollisionEvent {
+                    vehicle: state.vehicles[f].id,
+                    other: Some(state.vehicles[l].id),
+                    seg: seg_id,
+                    pos: state.vehicles[f].pos,
+                });
+                state.vehicles[f].collided = true;
+                state.vehicles[l].collided = true;
+            }
+        }
+    }
+    for ci in 0..out.collisions.len() {
+        let ev = out.collisions[ci];
+        if ev.other.is_none() {
+            if let Some(v) = state.vehicles.iter_mut().find(|v| v.id == ev.vehicle) {
+                v.collided = true;
+            }
+        }
+    }
+
+    drop(col_span);
+
+    // --- Phase 5: exit classification ----------------------------------
+    let rc_span = telemetry::span!(keys::SPAN_RECYCLE);
+    let seg_len = seg.length;
+    if state.vehicles.iter().any(|v| v.rear() > seg_len) {
+        let mut kept = Vec::with_capacity(state.vehicles.len());
+        for v in state.vehicles.drain(..) {
+            if v.rear() <= seg_len {
+                kept.push(v);
                 continue;
             }
-            let driver = DriverParams::sample(&mut self.rng, self.cfg.v_max);
-            let lead_vel = self
-                .leader_in_lane(lane, entry_pos, VehicleId(u64::MAX))
-                .map(|l| l.vel)
-                .unwrap_or(driver.desired_speed);
-            let vel = lead_vel.min(driver.desired_speed).max(3.0);
-            self.insert_vehicle(lane, entry_pos, vel, self.cfg.conventional, driver);
-            remaining -= 1;
+            match seg.links.get(v.lane).copied().flatten() {
+                Some(link) => out.migrations.push(Migration {
+                    vehicle: v,
+                    from: seg_idx,
+                    to: link.to.0 as usize,
+                    to_lane: link.lane,
+                }),
+                None => {
+                    if matches!(v.controller, Controller::External) {
+                        out.exited_external.push(v.id);
+                        kept.push(v); // the owner decides when to remove it
+                    } else {
+                        out.recycled += 1;
+                    }
+                }
+            }
         }
-        self.pending_respawns = remaining;
+        state.vehicles = kept;
     }
+    drop(rc_span);
+
+    out
 }
 
 #[cfg(test)]
@@ -623,7 +1041,7 @@ mod tests {
         let mut sim = Simulation::new(small_cfg(1));
         sim.populate();
         let target = (90.0 * 0.5) as usize;
-        let n = sim.vehicles().len();
+        let n = sim.vehicle_count();
         assert!(
             n >= target * 8 / 10 && n <= target,
             "expected ~{target} vehicles, got {n}"
@@ -799,6 +1217,7 @@ mod tests {
         assert_eq!(out.collisions.len(), 1);
         assert_eq!(out.collisions[0].vehicle, id);
         assert!(out.collisions[0].other.is_none());
+        assert_eq!(out.collisions[0].seg, SegmentId(0));
     }
 
     #[test]
@@ -806,7 +1225,7 @@ mod tests {
         let mut sim = Simulation::new(small_cfg(8));
         let id = sim.spawn_external(0, 50.0, 25.0);
         // A stationary conventional vehicle dead ahead.
-        sim.insert_vehicle(0, 58.0, 0.0, Controller::Idm, DriverParams::nominal());
+        sim.insert_vehicle(0, 0, 58.0, 0.0, Controller::Idm, DriverParams::nominal());
         sim.set_command(
             id,
             ExternalCommand {
@@ -865,11 +1284,11 @@ mod tests {
     fn conventional_exits_are_recycled() {
         let mut sim = Simulation::new(small_cfg(10));
         sim.populate();
-        let before = sim.vehicles().len();
+        let before = sim.vehicle_count();
         for _ in 0..600 {
             sim.step();
         }
-        let after = sim.vehicles().len();
+        let after = sim.vehicle_count();
         // Density maintained within a small tolerance (respawns can queue).
         assert!(
             after as f64 >= before as f64 * 0.85,
@@ -886,7 +1305,6 @@ mod tests {
                 sim.step();
             }
             sim.vehicles()
-                .iter()
                 .map(|v| (v.id, v.lane, v.pos.to_bits(), v.vel.to_bits()))
                 .collect::<Vec<_>>()
         };
@@ -897,9 +1315,9 @@ mod tests {
     #[test]
     fn leader_follower_queries() {
         let mut sim = Simulation::new(small_cfg(11));
-        sim.insert_vehicle(0, 100.0, 10.0, Controller::Idm, DriverParams::nominal());
-        sim.insert_vehicle(0, 200.0, 10.0, Controller::Idm, DriverParams::nominal());
-        sim.insert_vehicle(0, 300.0, 10.0, Controller::Idm, DriverParams::nominal());
+        sim.insert_vehicle(0, 0, 100.0, 10.0, Controller::Idm, DriverParams::nominal());
+        sim.insert_vehicle(0, 0, 200.0, 10.0, Controller::Idm, DriverParams::nominal());
+        sim.insert_vehicle(0, 0, 300.0, 10.0, Controller::Idm, DriverParams::nominal());
         let probe = VehicleId(u64::MAX);
         assert_eq!(sim.leader_in_lane(0, 150.0, probe).unwrap().pos, 200.0);
         assert_eq!(sim.follower_in_lane(0, 150.0, probe).unwrap().pos, 100.0);
@@ -909,7 +1327,7 @@ mod tests {
     #[test]
     fn spawn_external_clears_pocket() {
         let mut sim = Simulation::new(small_cfg(12));
-        sim.insert_vehicle(2, 101.0, 10.0, Controller::Idm, DriverParams::nominal());
+        sim.insert_vehicle(0, 2, 101.0, 10.0, Controller::Idm, DriverParams::nominal());
         let id = sim.spawn_external(2, 100.0, 10.0);
         let av = sim.get(id).unwrap();
         for v in sim.vehicles() {
@@ -917,5 +1335,174 @@ mod tests {
                 assert!((v.pos - av.pos).abs() > sim.cfg().vehicle_len);
             }
         }
+    }
+
+    // ---- multi-segment / sharding tests ------------------------------
+
+    fn corridor_cfg(seed: u64, lengths: &[f64], lanes: usize) -> SimConfig {
+        SimConfig {
+            lanes,
+            density_per_km: 90.0,
+            seed,
+            network: Some(RoadNetwork::corridor(lengths, lanes)),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn boundary_crossing_is_never_duplicated_or_dropped() {
+        let mut sim = Simulation::new(corridor_cfg(21, &[200.0, 200.0], 2));
+        let id = sim.spawn_external(0, 190.0, 20.0);
+        let mut seen_on_second = false;
+        for _ in 0..20 {
+            sim.set_command(
+                id,
+                ExternalCommand {
+                    lane_change: LaneChange::Keep,
+                    accel: 0.0,
+                },
+            );
+            let out = sim.step();
+            assert!(out.exited_external.is_empty(), "corridor has no exit yet");
+            // The vehicle must exist exactly once in the whole world.
+            let copies = sim.vehicles().filter(|v| v.id == id).count();
+            assert_eq!(copies, 1, "migration duplicated or dropped the vehicle");
+            let v = sim.get(id).unwrap();
+            assert!(v.pos <= 200.0 + v.length + 1e-9);
+            if v.seg == SegmentId(1) {
+                seen_on_second = true;
+            }
+        }
+        assert!(seen_on_second, "vehicle never migrated to segment 1");
+    }
+
+    #[test]
+    fn migration_preserves_continuous_position() {
+        let mut sim = Simulation::new(corridor_cfg(22, &[200.0, 200.0], 2));
+        let id = sim.spawn_external(1, 196.0, 20.0);
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Keep,
+                accel: 0.0,
+            },
+        );
+        // One step moves the front bumper to 206; the rear (201) crosses
+        // the 200 m boundary, so the vehicle migrates to (seg 1, pos 6).
+        sim.step();
+        let v = sim.get(id).unwrap();
+        assert_eq!(v.seg, SegmentId(1));
+        assert_eq!(v.lane, 1);
+        assert!((v.pos - 6.0).abs() < 1e-9, "pos {} not translated", v.pos);
+    }
+
+    #[test]
+    fn blocked_merge_pocket_holds_the_vehicle() {
+        let mut sim = Simulation::new(corridor_cfg(23, &[200.0, 200.0], 2));
+        // A parked conventional vehicle just past the boundary in lane 0.
+        sim.insert_vehicle(1, 0, 6.0, 0.0, Controller::Acc, DriverParams::nominal());
+        let id = sim.spawn_external(0, 196.0, 20.0);
+        sim.set_command(
+            id,
+            ExternalCommand {
+                lane_change: LaneChange::Keep,
+                accel: 0.0,
+            },
+        );
+        let out = sim.step();
+        assert_eq!(out.held, 1, "occupied pocket must hold the merge");
+        let v = sim.get(id).unwrap();
+        assert_eq!(v.seg, SegmentId(0), "held vehicle stays on its segment");
+        assert!((v.rear() - 200.0).abs() < 1e-9, "held at the boundary");
+        assert_eq!(v.vel, 0.0);
+        let copies = sim.vehicles().filter(|v| v.id == id).count();
+        assert_eq!(copies, 1);
+    }
+
+    #[test]
+    fn sharded_corridor_is_byte_identical_to_serial() {
+        let run = |shards: usize| {
+            let mut sim = Simulation::new(corridor_cfg(
+                24,
+                &[300.0, 300.0, 300.0, 300.0, 300.0, 300.0],
+                3,
+            ));
+            sim.set_shards(shards);
+            sim.populate();
+            for _ in 0..200 {
+                sim.step();
+            }
+            sim.state_checksum()
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial, "2-shard run diverged from serial");
+        assert_eq!(run(4), serial, "4-shard run diverged from serial");
+        assert_eq!(run(6), serial, "6-shard run diverged from serial");
+    }
+
+    #[test]
+    fn ramp_network_steps_collision_free_and_deterministic() {
+        let cfg = SimConfig {
+            lanes: 3,
+            density_per_km: 60.0,
+            seed: 25,
+            network: Some(RoadNetwork::with_ramps(&[400.0, 400.0, 400.0], 3, 150.0)),
+            ..SimConfig::default()
+        };
+        let run = |shards: usize| {
+            let mut sim = Simulation::new(cfg.clone());
+            sim.set_shards(shards);
+            sim.populate();
+            for _ in 0..300 {
+                sim.step();
+            }
+            sim.state_checksum()
+        };
+        assert_eq!(run(1), run(3), "ramp world diverged across shard counts");
+    }
+
+    #[test]
+    fn per_segment_populate_scales_with_segment_length() {
+        let cfg = SimConfig {
+            lanes: 2,
+            density_per_km: 90.0,
+            seed: 26,
+            network: Some(RoadNetwork::with_ramps(&[500.0, 500.0], 2, 100.0)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg);
+        sim.populate();
+        // The 100 m one-lane ramps must get ~9 vehicles, not the 500 m
+        // mainline target.
+        for ramp in [2usize, 3] {
+            let n = sim.segment_vehicles(SegmentId(ramp as u32)).len();
+            assert!(n <= 9, "ramp segment {ramp} overfilled: {n} vehicles");
+        }
+        assert!(sim.segment_vehicles(SegmentId(0)).len() > 30);
+    }
+
+    #[test]
+    fn degenerate_network_matches_implicit_single_segment() {
+        // cfg.network = single(road_len, lanes) must be byte-identical to
+        // cfg.network = None.
+        let implicit = {
+            let mut sim = Simulation::new(small_cfg(27));
+            sim.populate();
+            for _ in 0..100 {
+                sim.step();
+            }
+            sim.state_checksum()
+        };
+        let explicit = {
+            let mut cfg = small_cfg(27);
+            cfg.network = Some(RoadNetwork::single(cfg.road_len, cfg.lanes));
+            let mut sim = Simulation::new(cfg);
+            sim.populate();
+            for _ in 0..100 {
+                sim.step();
+            }
+            sim.state_checksum()
+        };
+        assert_eq!(implicit, explicit);
     }
 }

@@ -1,5 +1,6 @@
 //! Vehicle state and per-driver behavioural parameters.
 
+use crate::network::SegmentId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -82,7 +83,9 @@ impl DriverParams {
 pub struct Vehicle {
     /// Stable identifier.
     pub id: VehicleId,
-    /// Lane index, 0 = leftmost.
+    /// Segment the vehicle is on (always 0 in single-segment worlds).
+    pub seg: SegmentId,
+    /// Lane index within the segment, 0 = leftmost.
     pub lane: usize,
     /// Longitudinal position of the *front bumper*, metres from the origin.
     pub pos: f64,
@@ -127,6 +130,7 @@ mod tests {
     fn car(pos: f64, len: f64) -> Vehicle {
         Vehicle {
             id: VehicleId(0),
+            seg: SegmentId(0),
             lane: 0,
             pos,
             vel: 10.0,

@@ -3,7 +3,7 @@
 //! and deterministic.
 
 use proptest::prelude::*;
-use traffic_sim::{ExternalCommand, LaneChange, SimConfig, Simulation};
+use traffic_sim::{ExternalCommand, LaneChange, RoadNetwork, SimConfig, Simulation};
 
 fn cfg(seed: u64, density: f64, lanes: usize) -> SimConfig {
     SimConfig {
@@ -42,7 +42,7 @@ proptest! {
         let dt = sim.cfg().dt;
         for _ in 0..100 {
             let before: std::collections::HashMap<_, _> =
-                sim.vehicles().iter().map(|v| (v.id, (v.pos, v.vel))).collect();
+                sim.vehicles().map(|v| (v.id, (v.pos, v.vel))).collect();
             sim.step();
             for v in sim.vehicles() {
                 prop_assert!(v.vel >= 0.0 && v.vel <= v_max + 1e-9);
@@ -87,11 +87,32 @@ proptest! {
     fn density_is_maintained(seed in 0u64..500) {
         let mut sim = Simulation::new(cfg(seed, 100.0, 4));
         sim.populate();
-        let initial = sim.vehicles().len();
+        let initial = sim.vehicle_count();
         for _ in 0..300 {
             sim.step();
         }
-        let now = sim.vehicles().len();
+        let now = sim.vehicle_count();
         prop_assert!(now * 10 >= initial * 8, "density decayed {initial} -> {now}");
+    }
+
+    #[test]
+    fn sharded_stepping_is_byte_identical(seed in 0u64..500, shards in 2usize..5) {
+        let corridor = |seed: u64, shards: usize| {
+            let mut sim = Simulation::new(SimConfig {
+                lanes: 3,
+                density_per_km: 100.0,
+                seed,
+                network: Some(RoadNetwork::corridor(&[250.0, 250.0, 250.0, 250.0], 3)),
+                ..SimConfig::default()
+            });
+            sim.set_shards(shards);
+            sim.populate();
+            for _ in 0..120 {
+                sim.step();
+            }
+            sim.state_checksum()
+        };
+        prop_assert_eq!(corridor(seed, 1), corridor(seed, shards),
+            "shard count must not change the trajectory");
     }
 }

@@ -111,6 +111,21 @@ test -f results/BENCH_serve.json
 grep -q '"serve"' results/trends.jsonl
 echo "   archived: results/BENCH_serve.json"
 
+echo "== fleet shard-determinism smoke (8 AVs; N-shard == serial) =="
+# The fleet bench steps 8 concurrent HEAD agents on the four-segment ramp
+# network at shard counts 1/2/4 and exits 1 if any sharded world checksum
+# diverges from the serial run — the space-sharding handoff contract as a
+# hard failure, same shape as the perf checksum gate. The grep re-requires
+# the all-clear line so a silent early exit cannot pass. Release profile:
+# the committed baseline was recorded from it.
+FLEET_OUT=$(run_cargo run -q --release -p bench --bin fleet -- \
+    --scale smoke --threads 2 --avs 8 \
+    --json results/BENCH_fleet.json --trends results/trends.jsonl)
+echo "$FLEET_OUT" | grep -q "all fleet shard checksums equal"
+test -f results/BENCH_fleet.json
+grep -q '"fleet"' results/trends.jsonl
+echo "   archived: results/BENCH_fleet.json"
+
 echo "== benchdiff regression gate =="
 # Sanity first: identical inputs must diff clean, and a synthetic 4x
 # wall-time + checksum regression must trip the gate — otherwise the gate
@@ -145,6 +160,13 @@ run_cargo run -q -p bench --bin benchdiff -- \
 run_cargo run -q -p bench --bin benchdiff -- \
     --base results/baseline/BENCH_serve.json --cand results/BENCH_serve.json \
     --time-tol 9.0 --json results/benchdiff_serve.json
-echo "   archived: results/benchdiff_parallel.json results/benchdiff_core.json results/benchdiff_kernels.json results/benchdiff_serve.json"
+# Fleet sweep: the throughput rates are higher-better with wide bands
+# (hardware varies), but the per-shard checksum strings and the
+# checksums_equal flags are exact — a cross-machine shard-determinism
+# gate on top of the in-run one.
+run_cargo run -q -p bench --bin benchdiff -- \
+    --base results/baseline/BENCH_fleet.json --cand results/BENCH_fleet.json \
+    --time-tol 9.0 --json results/benchdiff_fleet.json
+echo "   archived: results/benchdiff_parallel.json results/benchdiff_core.json results/benchdiff_kernels.json results/benchdiff_serve.json results/benchdiff_fleet.json"
 
 echo "CI OK"

@@ -33,6 +33,14 @@ echo "== perf (parallel determinism) =="
     --telemetry results --trends results/trends.jsonl \
     --json results/BENCH_parallel.json > results/perf.txt 2>&1
 
+# Fleet shard sweep: BENCH_fleet.json records vehicles/sec and
+# AV-decisions/sec vs shard count; the binary exits non-zero if any
+# sharded world checksum diverges from the serial run.
+echo "== fleet (sharded world throughput) =="
+./target/release/fleet --scale smoke --threads 2 --avs 8 \
+    --telemetry results --trends results/trends.jsonl \
+    --json results/BENCH_fleet.json > results/fleet.txt 2>&1
+
 run_table table3_4
 run_table table1 --episodes 1200
 run_table table5_6 --episodes 800
